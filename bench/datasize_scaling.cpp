@@ -1,0 +1,57 @@
+//===- bench/datasize_scaling.cpp - Section 6 "Dataset size" --------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the paper's dataset-size experiment (Section 6, "Dataset
+/// size"): Huffman decoding speedup across input sizes (the paper used
+/// 10-50 MB; we sweep 1-8 MB to fit the container). The paper observed
+/// that "speedups do not vary significantly within the data size
+/// intervals", with a small average drop attributed to the memory
+/// subsystem.
+///
+/// Note (EXPERIMENTS.md): the single-vCPU substitution cannot reproduce
+/// memory-bandwidth *contention between threads*; the simulated speedups
+/// capture the measured per-byte cost growth of larger inputs (cache
+/// effects on the real segment timings) but stay essentially flat, which
+/// matches the paper's primary observation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/SpeculativeHuffman.h"
+#include "simsched/SimSched.h"
+#include "workloads/Datasets.h"
+
+#include <cstdio>
+
+using namespace specpar;
+using namespace specpar::apps;
+using namespace specpar::huffman;
+using namespace specpar::workloads;
+
+int main() {
+  std::printf("=== Dataset-size scaling (Huffman/text, 4 threads, max "
+              "overlap) ===\n\n");
+  std::printf("%10s %14s %12s %10s\n", "size (MB)", "seq decode (ms)",
+              "ns per byte", "speedup");
+
+  for (size_t MB : {1, 2, 4, 8}) {
+    size_t Bytes = MB * 1000000;
+    Encoded E = encode(generateHuffmanData(HuffmanFlavour::Text, 7, Bytes));
+    Decoder D(E.Code);
+    BitReader In(E.Bytes, E.NumBits);
+    SegmentedMeasurement M = measureHuffman(D, In, 4, 512 * 8);
+    sim::MachineParams P;
+    P.NumProcs = 4;
+    P.PredictorWork = M.PredictorSeconds;
+    sim::SimResult R = sim::simulateIteration(M.Tasks, P);
+    std::printf("%10zu %14.2f %12.2f %10.2f\n", MB,
+                M.SequentialSeconds * 1e3,
+                M.SequentialSeconds * 1e9 / double(Bytes), R.Speedup);
+  }
+  std::printf("\n(paper: speedups do not vary significantly with size; a "
+              "small drop from memory effects)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+//===- bench/fig9_analysis.cpp - Paper Figure 9 ---------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 9, "Characteristics of benchmark programs and time
+/// & memory consumed to verify rollback freedom": the three benchmarks
+/// implemented in Speculate (bench/speculate/*.spec) are run through the
+/// static rollback-freedom checker, reporting size metrics, verification
+/// time and memory.
+///
+/// Paper reference (their C# programs and analysis):
+///   Lexical Analysis (Java): 493 LOC, 76 methods, 23.62 s, 50 MB
+///   Huffman Decoding:        578 LOC, 83 methods, 21.25 s, 66 MB
+///   MWIS:                    412 LOC, 44 methods, 29.89 s, 64 MB
+///
+/// Our Speculate programs are smaller and the checker correspondingly
+/// faster; the shape to reproduce is "all three benchmarks verified
+/// rollback-free by the analysis".
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RollbackChecker.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace specpar;
+
+namespace {
+
+int64_t countCodeLines(const std::string &Source) {
+  int64_t Lines = 0;
+  for (const std::string &Line : splitString(Source, '\n')) {
+    std::string_view T = trimString(Line);
+    if (!T.empty() && !startsWith(T, "//"))
+      ++Lines;
+  }
+  return Lines;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 9: verifying rollback freedom of the benchmark "
+              "programs ===\n\n");
+  std::printf("%-22s %6s %6s %7s %10s %10s %9s %8s\n", "benchmark", "LOC",
+              "funs", "sites", "AST nodes", "time (ms)", "mem (MB)",
+              "verdict");
+
+  struct Entry {
+    const char *File;
+    const char *Name;
+  };
+  const Entry Entries[] = {
+      {"lexing.spec", "Lexical Analysis"},
+      {"huffman.spec", "Huffman Decoding"},
+      {"mwis.spec", "MWIS"},
+  };
+
+  bool AllSafe = true;
+  for (const Entry &E : Entries) {
+    std::string Path = std::string(SPECPAR_SPEC_DIR) + "/" + E.File;
+    std::string Source;
+    if (!readFileToString(Path, Source)) {
+      std::fprintf(stderr, "cannot read %s\n", Path.c_str());
+      return 2;
+    }
+    auto PR = lang::parseProgram(Source);
+    if (!PR) {
+      std::fprintf(stderr, "%s: %s\n", E.File, PR.error().c_str());
+      return 2;
+    }
+    const lang::Program &P = **PR;
+
+    uint64_t MemBefore = currentMemoryKB();
+    Timer T;
+    // Repeat to get a stable timing (the paper averaged over runs).
+    const int Repeats = 25;
+    analysis::AnalysisReport Report;
+    for (int I = 0; I < Repeats; ++I)
+      Report = analysis::checkRollbackFreedom(P);
+    double Millis = T.elapsedMillis() / Repeats;
+    uint64_t MemAfter = currentMemoryKB();
+
+    int64_t Sites = static_cast<int64_t>(Report.Sites.size());
+    AllSafe = AllSafe && Report.programSafe();
+    std::printf("%-22s %6lld %6zu %7lld %10lld %10.3f %9.1f %8s\n", E.Name,
+                static_cast<long long>(countCodeLines(Source)),
+                P.Funs.size(), static_cast<long long>(Sites),
+                static_cast<long long>(lang::countNodes(P)), Millis,
+                double(MemAfter > MemBefore ? MemAfter - MemBefore
+                                            : MemAfter) /
+                    1024.0,
+                Report.programSafe() ? "SAFE" : "UNSAFE");
+    for (const analysis::SiteReport &S : Report.Sites)
+      std::printf("    %s\n", S.str().c_str());
+  }
+
+  std::printf("\npaper reference: 493/578/412 LOC, 76/83/44 methods, "
+              "21-30 s, 50-66 MB — all verified\n");
+  std::printf("verdict shape reproduced: %s\n",
+              AllSafe ? "all three benchmarks verified rollback-free"
+                      : "MISMATCH: some benchmark failed verification");
+  return AllSafe ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+//===- bench/micro_benchmarks.cpp - Substrate microbenchmarks -------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks of the individual substrates: raw
+/// lexing/decoding/DP throughput (the Work inputs of the speedup
+/// simulation), predictor costs, speculation-runtime per-task overhead,
+/// and the interpreter's steps/second. Not tied to a paper figure; used
+/// to sanity-check that measured segment costs are in sane ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/SpeculativeHuffman.h"
+#include "apps/SpeculativeLexing.h"
+#include "apps/SpeculativeMwis.h"
+#include "interp/NonSpecEval.h"
+#include "lang/Parser.h"
+#include "workloads/Datasets.h"
+#include "workloads/SourceGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace specpar;
+using namespace specpar::lexgen;
+using namespace specpar::huffman;
+using namespace specpar::workloads;
+
+namespace {
+
+void BM_LexThroughput(benchmark::State &State) {
+  Language L = static_cast<Language>(State.range(0));
+  Lexer LX = makeLexer(L);
+  std::string Text = generateSource(L, 42, 1 << 20);
+  for (auto _ : State) {
+    std::vector<Token> T = LX.lexAll(Text);
+    benchmark::DoNotOptimize(T.data());
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) *
+                          int64_t(Text.size()));
+}
+BENCHMARK(BM_LexThroughput)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_LexPredictor(benchmark::State &State) {
+  Lexer LX = makeLexer(Language::Java);
+  std::string Text = generateSource(Language::Java, 42, 1 << 20);
+  int64_t Overlap = State.range(0);
+  for (auto _ : State) {
+    LexState S = LX.predictStateAt(Text, int64_t(Text.size()) / 2, Overlap);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_LexPredictor)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_HuffmanDecode(benchmark::State &State) {
+  Encoded E = encode(generateHuffmanData(HuffmanFlavour::Text, 7, 1 << 20));
+  Decoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  for (auto _ : State) {
+    std::vector<uint8_t> Out = D.decodeAll(In, E.NumSymbols);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_HuffmanDecode)->Unit(benchmark::kMillisecond);
+
+void BM_HuffmanDecodeTable(benchmark::State &State) {
+  Encoded E = encode(generateHuffmanData(HuffmanFlavour::Text, 7, 1 << 20));
+  TableDecoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  for (auto _ : State) {
+    std::vector<uint8_t> Out = D.decodeAll(In, E.NumSymbols);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_HuffmanDecodeTable)->Unit(benchmark::kMillisecond);
+
+void BM_MwisForward(benchmark::State &State) {
+  std::vector<int64_t> W = generatePathGraph(3, 1 << 20, 50);
+  std::vector<int64_t> D(W.size());
+  for (auto _ : State) {
+    int64_t Out = mwis::forwardSegment(W, 0, int64_t(W.size()), 0, D);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(W.size()));
+}
+BENCHMARK(BM_MwisForward)->Unit(benchmark::kMillisecond);
+
+void BM_IterateOverhead(benchmark::State &State) {
+  rt::ThreadPool Pool(2);
+  rt::Options Opts;
+  Opts.Pool = &Pool;
+  const int64_t N = State.range(0);
+  for (auto _ : State) {
+    int64_t R = rt::Speculation::iterate<int64_t>(
+        0, N, [](int64_t, int64_t A) { return A + 1; },
+        [](int64_t I) { return I; }, Opts);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * N);
+}
+BENCHMARK(BM_IterateOverhead)->Arg(16)->Arg(256);
+
+void BM_DfaConstruction(benchmark::State &State) {
+  Language L = static_cast<Language>(State.range(0));
+  for (auto _ : State) {
+    Lexer LX = makeLexer(L);
+    benchmark::DoNotOptimize(LX.numDfaStates());
+  }
+}
+BENCHMARK(BM_DfaConstruction)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_InterpreterSteps(benchmark::State &State) {
+  auto PR = lang::parseProgram(
+      "main = fold(\\i a. (a * 31 + i) % 1000003, 0, 1, 2000)");
+  const lang::Program &P = **PR;
+  for (auto _ : State) {
+    interp::RunOutcome O = interp::runNonSpeculative(P);
+    benchmark::DoNotOptimize(O.Steps);
+  }
+}
+BENCHMARK(BM_InterpreterSteps)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+//===- bench/overhead_ablation.cpp - Library-overhead ablation ------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Ablation for the paper's observation that "there are a small number of
+/// cases where speedup is marginally less than 1 — the runtime overheads
+/// introduced by our library are negligible": real wall-clock (no
+/// simulation — this is the one speedup experiment a single vCPU can run
+/// honestly, because the expected ratio is <= 1) of the speculative
+/// implementations against the plain sequential ones.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/SpeculativeHuffman.h"
+#include "apps/SpeculativeLexing.h"
+#include "apps/SpeculativeMwis.h"
+#include "support/Timer.h"
+#include "workloads/Datasets.h"
+#include "workloads/SourceGen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+using namespace specpar;
+using namespace specpar::apps;
+using namespace specpar::lexgen;
+using namespace specpar::huffman;
+using namespace specpar::workloads;
+
+namespace {
+
+double bestOf(int Repeats, const std::function<void()> &Fn) {
+  double Best = -1;
+  for (int I = 0; I < Repeats; ++I) {
+    Timer T;
+    Fn();
+    double S = T.elapsedSeconds();
+    if (Best < 0 || S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Library-overhead ablation (real wall clock, 1 vCPU) "
+              "===\n\n");
+  std::printf("%-18s %14s %16s %10s\n", "benchmark", "sequential (ms)",
+              "speculative (ms)", "ratio");
+
+  const int Repeats = 5;
+
+  {
+    Lexer LX = makeLexer(Language::Java);
+    std::string Text = generateSource(Language::Java, 42, 2000000);
+    double Seq = bestOf(Repeats, [&] { sequentialLex(LX, Text); });
+    rt::Options Opts;
+    Opts.NumThreads = 1;
+    double Spec = bestOf(Repeats, [&] {
+      speculativeLex(LX, Text, 4, 2048, Opts);
+    });
+    std::printf("%-18s %14.2f %16.2f %10.3f\n", "lex/Java", Seq * 1e3,
+                Spec * 1e3, Seq / Spec);
+  }
+  {
+    Encoded E =
+        encode(generateHuffmanData(HuffmanFlavour::Text, 7, 4000000));
+    Decoder D(E.Code);
+    BitReader In(E.Bytes, E.NumBits);
+    double Seq = bestOf(Repeats, [&] { D.decodeAll(In, E.NumSymbols); });
+    rt::Options Opts;
+    Opts.NumThreads = 1;
+    double Spec = bestOf(Repeats, [&] {
+      speculativeDecode(D, In, 4, 512 * 8, Opts);
+    });
+    std::printf("%-18s %14.2f %16.2f %10.3f\n", "huffman/text", Seq * 1e3,
+                Spec * 1e3, Seq / Spec);
+  }
+  {
+    std::vector<int64_t> W = generatePathGraph(3, 4000000, 50);
+    // The same two-phase algorithm (including member extraction) the
+    // speculative version runs, so the ratio isolates the speculation
+    // machinery.
+    double Seq = bestOf(Repeats, [&] {
+      std::vector<int32_t> Members;
+      mwis::solveTwoPhase(W, &Members);
+    });
+    rt::Options Opts;
+    Opts.NumThreads = 1;
+    double Spec = bestOf(Repeats, [&] { speculativeMwis(W, 4, 128, Opts); });
+    std::printf("%-18s %14.2f %16.2f %10.3f\n", "mwis/uni-50", Seq * 1e3,
+                Spec * 1e3, Seq / Spec);
+  }
+
+  std::printf("\n(paper: such ratios are 'marginally less than 1' — the "
+              "library overhead is negligible; on one vCPU the parallel "
+              "upside is necessarily absent)\n");
+  return 0;
+}

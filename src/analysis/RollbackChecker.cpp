@@ -1,0 +1,163 @@
+//===- analysis/RollbackChecker.cpp - Rollback-freedom checking ------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RollbackChecker.h"
+
+#include "analysis/AbstractInterp.h"
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+using namespace specpar;
+using namespace specpar::analysis;
+using namespace specpar::lang;
+
+std::string SiteReport::str() const {
+  std::string Kind = isa<Spec>(Site) ? "spec" : "specfold";
+  if (Safe)
+    return formatString("%s at line %d col %d: SAFE", Kind.c_str(),
+                        Site->loc().Line, Site->loc().Col);
+  return formatString("%s at line %d col %d: UNSAFE %s — %s", Kind.c_str(),
+                      Site->loc().Line, Site->loc().Col,
+                      FailedCondition.c_str(), Explanation.c_str());
+}
+
+std::string AnalysisReport::str() const {
+  std::string S;
+  for (const SiteReport &R : Sites)
+    S += R.str() + "\n";
+  S += formatString("program: %s (%llu abstract steps%s)\n",
+                    programSafe() ? "rollback-free" : "NOT rollback-free",
+                    static_cast<unsigned long long>(AbstractSteps),
+                    BudgetExceeded ? ", budget exceeded" : "");
+  return S;
+}
+
+namespace {
+
+/// Collects every syntactic speculation site.
+void collectSites(const Expr *E, std::vector<const Expr *> &Out) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::Lambda:
+    collectSites(cast<Lambda>(E)->body(), Out);
+    return;
+  case Expr::Kind::Call: {
+    const auto *C = cast<Call>(E);
+    collectSites(C->callee(), Out);
+    for (const Expr *A : C->args())
+      collectSites(A, Out);
+    return;
+  }
+  case Expr::Kind::Seq:
+    collectSites(cast<Seq>(E)->first(), Out);
+    collectSites(cast<Seq>(E)->second(), Out);
+    return;
+  case Expr::Kind::If:
+    collectSites(cast<If>(E)->cond(), Out);
+    collectSites(cast<If>(E)->thenExpr(), Out);
+    collectSites(cast<If>(E)->elseExpr(), Out);
+    return;
+  case Expr::Kind::BinOp:
+    collectSites(cast<BinOp>(E)->lhs(), Out);
+    collectSites(cast<BinOp>(E)->rhs(), Out);
+    return;
+  case Expr::Kind::NewCell:
+    collectSites(cast<NewCell>(E)->init(), Out);
+    return;
+  case Expr::Kind::Assign:
+    collectSites(cast<Assign>(E)->cell(), Out);
+    collectSites(cast<Assign>(E)->value(), Out);
+    return;
+  case Expr::Kind::Deref:
+    collectSites(cast<Deref>(E)->cell(), Out);
+    return;
+  case Expr::Kind::NewArray:
+    collectSites(cast<NewArray>(E)->size(), Out);
+    collectSites(cast<NewArray>(E)->init(), Out);
+    return;
+  case Expr::Kind::ArrayGet:
+    collectSites(cast<ArrayGet>(E)->array(), Out);
+    collectSites(cast<ArrayGet>(E)->index(), Out);
+    return;
+  case Expr::Kind::ArraySet:
+    collectSites(cast<ArraySet>(E)->array(), Out);
+    collectSites(cast<ArraySet>(E)->index(), Out);
+    collectSites(cast<ArraySet>(E)->value(), Out);
+    return;
+  case Expr::Kind::ArrayLen:
+    collectSites(cast<ArrayLen>(E)->array(), Out);
+    return;
+  case Expr::Kind::Let:
+    collectSites(cast<Let>(E)->init(), Out);
+    collectSites(cast<Let>(E)->body(), Out);
+    return;
+  case Expr::Kind::Fold: {
+    const auto *F = cast<Fold>(E);
+    collectSites(F->fn(), Out);
+    collectSites(F->init(), Out);
+    collectSites(F->lo(), Out);
+    collectSites(F->hi(), Out);
+    return;
+  }
+  case Expr::Kind::Spec: {
+    const auto *S = cast<Spec>(E);
+    Out.push_back(E);
+    collectSites(S->producer(), Out);
+    collectSites(S->guess(), Out);
+    collectSites(S->consumer(), Out);
+    return;
+  }
+  case Expr::Kind::SpecFold: {
+    const auto *S = cast<SpecFold>(E);
+    Out.push_back(E);
+    collectSites(S->fn(), Out);
+    collectSites(S->guess(), Out);
+    collectSites(S->lo(), Out);
+    collectSites(S->hi(), Out);
+    return;
+  }
+  }
+}
+
+} // namespace
+
+AnalysisReport specpar::analysis::checkRollbackFreedom(
+    const Program &P, const CheckerOptions &Opts) {
+  AnalysisReport Report;
+  AbstractInterpreter AI(P, Opts, Report);
+  AI.run();
+
+  // Sites never visited by the abstract evaluation: unreachable code when
+  // the run completed, unknown when the budget blew.
+  std::vector<const Expr *> AllSites;
+  for (const FunDef *F : P.Funs)
+    collectSites(F->Body, AllSites);
+  collectSites(P.Main, AllSites);
+  for (const Expr *Site : AllSites) {
+    bool Seen = false;
+    for (const SiteReport &R : Report.Sites)
+      Seen = Seen || R.Site == Site;
+    if (Seen)
+      continue;
+    SiteReport R;
+    R.Site = Site;
+    if (Report.BudgetExceeded) {
+      R.Safe = false;
+      R.FailedCondition = "imprecision";
+      R.Explanation = "not analyzed: abstract step budget exceeded";
+    } else {
+      // Unreachable sites are vacuously safe (no reachable (H, spec)).
+      R.Safe = true;
+      R.Explanation = "unreachable";
+    }
+    Report.Sites.push_back(std::move(R));
+  }
+  return Report;
+}

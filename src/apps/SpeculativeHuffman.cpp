@@ -1,0 +1,121 @@
+//===- apps/SpeculativeHuffman.cpp - Speculative Huffman decoding ----------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/SpeculativeHuffman.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace specpar;
+using namespace specpar::apps;
+using namespace specpar::huffman;
+
+HuffmanRun specpar::apps::speculativeDecode(const Decoder &D,
+                                            const BitReader &In,
+                                            int NumTasks, int64_t OverlapBits,
+                                            const rt::Options &Opts) {
+  HuffmanRun Run;
+  const int64_t NumBits = In.numBits();
+  if (NumTasks <= 0 || NumBits == 0)
+    return Run;
+
+  rt::Options RO = Opts;
+  rt::SpeculationStats Stats;
+  RO.Stats = &Stats;
+
+  rt::Speculation::iterateLocal<int64_t, std::vector<uint8_t>>(
+      0, NumTasks,
+      /*Init=*/[] { return std::vector<uint8_t>(); },
+      /*Body=*/
+      [&](int64_t I, std::vector<uint8_t> &Local, int64_t StartBit) {
+        if (StartBit < 0)
+          return int64_t(-1); // garbage input from a desynchronized chain
+        int64_t SegEnd =
+            I + 1 == NumTasks ? NumBits : NumBits * (I + 1) / NumTasks;
+        return D.decodeRange(In, StartBit, SegEnd, &Local);
+      },
+      /*Predictor=*/
+      [&](int64_t I) {
+        if (I == 0)
+          return int64_t(0);
+        return D.predictSyncPoint(In, NumBits * I / NumTasks, OverlapBits);
+      },
+      /*Finalize=*/
+      [&Run](int64_t, std::vector<uint8_t> &Local) {
+        Run.Decoded.insert(Run.Decoded.end(), Local.begin(), Local.end());
+      },
+      RO);
+
+  Run.Stats = Stats;
+  return Run;
+}
+
+double specpar::apps::huffmanPredictionAccuracy(const Decoder &D,
+                                                const BitReader &In,
+                                                int64_t OverlapBits,
+                                                int NumPoints) {
+  const int64_t NumBits = In.numBits();
+  if (NumPoints <= 1 || NumBits == 0)
+    return 100.0;
+  int Correct = 0, Total = 0;
+  int64_t Truth = 0;
+  for (int I = 1; I < NumPoints; ++I) {
+    int64_t Boundary = NumBits * I / NumPoints;
+    // The true sync point: continue the sequential decode to Boundary.
+    if (Truth < Boundary)
+      Truth = D.decodeRange(In, Truth, Boundary, nullptr);
+    ++Total;
+    if (D.predictSyncPoint(In, Boundary, OverlapBits) == Truth)
+      ++Correct;
+  }
+  return 100.0 * Correct / Total;
+}
+
+SegmentedMeasurement specpar::apps::measureHuffman(const Decoder &D,
+                                                   const BitReader &In,
+                                                   int NumTasks,
+                                                   int64_t OverlapBits,
+                                                   int Repeats) {
+  SegmentedMeasurement M;
+  const int64_t NumBits = In.numBits();
+  std::vector<uint8_t> Scratch;
+  int64_t Carried = 0;
+  double PredTotal = 0;
+  for (int I = 0; I < NumTasks; ++I) {
+    int64_t SegEnd =
+        I + 1 == NumTasks ? NumBits : NumBits * (I + 1) / NumTasks;
+    bool Correct = true;
+    double PredSeconds = 0;
+    if (I > 0) {
+      Timer T;
+      int64_t Pred =
+          D.predictSyncPoint(In, NumBits * I / NumTasks, OverlapBits);
+      PredSeconds = T.elapsedSeconds();
+      Correct = Pred == Carried;
+    }
+    PredTotal += PredSeconds;
+    double Best = -1;
+    int64_t Out = Carried;
+    for (int R = 0; R < Repeats; ++R) {
+      Scratch.clear();
+      Timer T;
+      Out = D.decodeRange(In, Carried, SegEnd, &Scratch);
+      double S = T.elapsedSeconds();
+      if (Best < 0 || S < Best)
+        Best = S;
+    }
+    Carried = Out;
+    sim::TaskSpec Spec;
+    Spec.Work = Best;
+    Spec.PredictionCorrect = Correct;
+    M.Tasks.push_back(Spec);
+    M.SequentialSeconds += Best;
+  }
+  M.PredictorSeconds = NumTasks > 1 ? PredTotal / (NumTasks - 1) : 0;
+  return M;
+}

@@ -1,0 +1,56 @@
+//===- apps/SpeculativeHuffman.h - Speculative Huffman decoding -*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Segmented speculative Huffman decoding (paper Section 6): the bit
+/// stream is split into NumTasks segments; the loop-carried value is the
+/// bit position of the first codeword of the next segment, predicted by
+/// overlap decoding (Huffman self-synchronization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_APPS_SPECULATIVEHUFFMAN_H
+#define SPECPAR_APPS_SPECULATIVEHUFFMAN_H
+
+#include "apps/SpeculativeLexing.h" // SegmentedMeasurement
+#include "huffman/Huffman.h"
+#include "runtime/Speculation.h"
+
+#include <vector>
+
+namespace specpar {
+namespace apps {
+
+/// Output of a (speculative) decode run.
+struct HuffmanRun {
+  std::vector<uint8_t> Decoded;
+  rt::SpeculationStats Stats;
+};
+
+/// Decodes the whole stream speculatively with \p NumTasks bit segments
+/// and an \p OverlapBits predictor window.
+HuffmanRun speculativeDecode(const huffman::Decoder &D,
+                             const huffman::BitReader &In, int NumTasks,
+                             int64_t OverlapBits,
+                             const rt::Options &Opts = rt::Options());
+
+/// Prediction accuracy of the sync-point predictor at \p NumPoints
+/// boundaries, in percent (Figure 7 methodology).
+double huffmanPredictionAccuracy(const huffman::Decoder &D,
+                                 const huffman::BitReader &In,
+                                 int64_t OverlapBits, int NumPoints = 32);
+
+/// Per-segment work and prediction outcomes for the speedup simulation.
+SegmentedMeasurement measureHuffman(const huffman::Decoder &D,
+                                    const huffman::BitReader &In,
+                                    int NumTasks, int64_t OverlapBits,
+                                    int Repeats = 3);
+
+} // namespace apps
+} // namespace specpar
+
+#endif // SPECPAR_APPS_SPECULATIVEHUFFMAN_H

@@ -1,0 +1,130 @@
+//===- apps/SpeculativeLexing.cpp - The paper's lexing benchmark -----------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/SpeculativeLexing.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace specpar;
+using namespace specpar::apps;
+using namespace specpar::lexgen;
+
+std::vector<Token> specpar::apps::sequentialLex(const Lexer &L,
+                                                std::string_view Text) {
+  return L.lexAll(Text);
+}
+
+LexRun specpar::apps::speculativeLex(const Lexer &L, std::string_view Text,
+                                     int NumTasks, int64_t Overlap,
+                                     const rt::Options &Opts) {
+  LexRun Run;
+  const int64_t N = static_cast<int64_t>(Text.size());
+  if (NumTasks <= 0 || N == 0) {
+    Run.Tokens = sequentialLex(L, Text);
+    return Run;
+  }
+  const int64_t Frag = (N + NumTasks - 1) / NumTasks;
+
+  rt::Options RO = Opts;
+  rt::SpeculationStats Stats;
+  RO.Stats = &Stats;
+
+  LexState Final = rt::Speculation::iterateLocal<LexState,
+                                                 std::vector<Token>>(
+      0, NumTasks,
+      /*Init=*/[] { return std::vector<Token>(); },
+      /*Body=*/
+      [&](int64_t I, std::vector<Token> &Local, LexState In) {
+        int64_t From = I * Frag;
+        int64_t To = std::min(N, (I + 1) * Frag);
+        return L.lexRange(Text, From, To, In, &Local);
+      },
+      /*Predictor=*/
+      [&](int64_t I) {
+        if (I == 0)
+          return L.initialState(0);
+        return L.predictStateAt(Text, I * Frag, Overlap);
+      },
+      /*Finalize=*/
+      [&Run](int64_t, std::vector<Token> &Local) {
+        Run.Tokens.insert(Run.Tokens.end(), Local.begin(), Local.end());
+      },
+      RO);
+
+  // Flush the trailing in-flight token of the final segment.
+  L.finishLex(Text, Final, &Run.Tokens);
+  Run.Stats = Stats;
+  return Run;
+}
+
+double specpar::apps::lexPredictionAccuracy(const Lexer &L,
+                                            std::string_view Text,
+                                            int64_t Overlap, int NumPoints) {
+  const int64_t N = static_cast<int64_t>(Text.size());
+  if (NumPoints <= 1 || N == 0)
+    return 100.0;
+  int Correct = 0, Total = 0;
+  LexState Truth = L.initialState(0);
+  int64_t Done = 0;
+  for (int I = 1; I < NumPoints; ++I) {
+    int64_t Boundary = N * I / NumPoints;
+    Truth = L.lexRange(Text, Done, Boundary, Truth, nullptr);
+    Done = Boundary;
+    LexState Pred = L.predictStateAt(Text, Boundary, Overlap);
+    ++Total;
+    if (Pred == Truth)
+      ++Correct;
+  }
+  return 100.0 * Correct / Total;
+}
+
+SegmentedMeasurement specpar::apps::measureLexing(const Lexer &L,
+                                                  std::string_view Text,
+                                                  int NumTasks,
+                                                  int64_t Overlap,
+                                                  int Repeats) {
+  SegmentedMeasurement M;
+  const int64_t N = static_cast<int64_t>(Text.size());
+  const int64_t Frag = (N + NumTasks - 1) / NumTasks;
+  std::vector<Token> Scratch;
+  LexState Carried = L.initialState(0);
+  double PredTotal = 0;
+  for (int I = 0; I < NumTasks; ++I) {
+    int64_t From = I * Frag, To = std::min(N, (I + 1) * Frag);
+    // Prediction outcome against the true carried state.
+    bool Correct = true;
+    double PredSeconds = 0;
+    if (I > 0) {
+      Timer T;
+      LexState Pred = L.predictStateAt(Text, From, Overlap);
+      PredSeconds = T.elapsedSeconds();
+      Correct = Pred == Carried;
+    }
+    PredTotal += PredSeconds;
+    // Segment work: best of Repeats timings of the real range lex.
+    double Best = -1;
+    LexState Out = Carried;
+    for (int R = 0; R < Repeats; ++R) {
+      Scratch.clear();
+      Timer T;
+      Out = L.lexRange(Text, From, To, Carried, &Scratch);
+      double S = T.elapsedSeconds();
+      if (Best < 0 || S < Best)
+        Best = S;
+    }
+    Carried = Out;
+    sim::TaskSpec Spec;
+    Spec.Work = Best;
+    Spec.PredictionCorrect = Correct;
+    M.Tasks.push_back(Spec);
+    M.SequentialSeconds += Best;
+  }
+  M.PredictorSeconds = NumTasks > 1 ? PredTotal / (NumTasks - 1) : 0;
+  return M;
+}

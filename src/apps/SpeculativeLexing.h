@@ -1,0 +1,68 @@
+//===- apps/SpeculativeLexing.h - The paper's lexing benchmark --*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The speculative parallel lexer of the paper's Figure 4, built on the
+/// specpar runtime: the input is split into NumTasks segments, each lexed
+/// speculatively from an overlap-predicted LexState; per-task token
+/// collections are published by validated finalizers, exactly the
+/// initializer/finalizer Iterate variant of the paper's API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_APPS_SPECULATIVELEXING_H
+#define SPECPAR_APPS_SPECULATIVELEXING_H
+
+#include "lexgen/Lexer.h"
+#include "runtime/Speculation.h"
+#include "simsched/SimSched.h"
+
+#include <string_view>
+#include <vector>
+
+namespace specpar {
+namespace apps {
+
+/// Output of a (speculative) lexing run.
+struct LexRun {
+  std::vector<lexgen::Token> Tokens;
+  rt::SpeculationStats Stats;
+};
+
+/// Lexes \p Text sequentially (the baseline).
+std::vector<lexgen::Token> sequentialLex(const lexgen::Lexer &L,
+                                         std::string_view Text);
+
+/// Lexes \p Text speculatively with \p NumTasks segments and an
+/// \p Overlap-byte predictor.
+LexRun speculativeLex(const lexgen::Lexer &L, std::string_view Text,
+                      int NumTasks, int64_t Overlap,
+                      const rt::Options &Opts = rt::Options());
+
+/// Prediction accuracy of the overlap predictor at \p NumPoints equally
+/// spaced boundaries (the paper's Figure 7 methodology), in percent.
+double lexPredictionAccuracy(const lexgen::Lexer &L, std::string_view Text,
+                             int64_t Overlap, int NumPoints = 32);
+
+/// Measures the per-segment work and prediction outcomes that drive the
+/// discrete-event speedup simulation (DESIGN.md Section 5): Work is the
+/// measured sequential time of each segment, PredictionCorrect the real
+/// predictor outcome on this input.
+struct SegmentedMeasurement {
+  std::vector<sim::TaskSpec> Tasks;
+  double PredictorSeconds = 0; // average predictor cost
+  double SequentialSeconds = 0;
+};
+
+SegmentedMeasurement measureLexing(const lexgen::Lexer &L,
+                                   std::string_view Text, int NumTasks,
+                                   int64_t Overlap, int Repeats = 3);
+
+} // namespace apps
+} // namespace specpar
+
+#endif // SPECPAR_APPS_SPECULATIVELEXING_H

@@ -1,0 +1,129 @@
+//===- apps/SpeculativeMwis.cpp - Speculative MWIS --------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/SpeculativeMwis.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace specpar;
+using namespace specpar::apps;
+using namespace specpar::mwis;
+
+MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
+                                       int NumTasks, int64_t Overlap,
+                                       const rt::Options &Opts) {
+  MwisRun Run;
+  const int64_t N = static_cast<int64_t>(Weights.size());
+  if (N == 0)
+    return Run;
+  if (NumTasks <= 0)
+    NumTasks = 1;
+
+  std::vector<int64_t> D(Weights.size());
+  std::vector<uint8_t> Taken(Weights.size());
+
+  // Phase 1: forward d-recurrence over segments.
+  rt::Options RO = Opts;
+  rt::SpeculationStats FStats;
+  RO.Stats = &FStats;
+  rt::Speculation::iterate<int64_t>(
+      0, NumTasks,
+      [&](int64_t I, int64_t DIn) {
+        int64_t From = N * I / NumTasks, To = N * (I + 1) / NumTasks;
+        return forwardSegment(Weights, From, To, DIn, D);
+      },
+      [&](int64_t I) {
+        return I == 0 ? int64_t(0)
+                      : predictForward(Weights, N * I / NumTasks, Overlap);
+      },
+      RO);
+  Run.ForwardStats = FStats;
+
+  // Phase 2: backward membership emission; iteration I handles the
+  // segment counted from the top so the carried bit flows downwards.
+  rt::SpeculationStats BStats;
+  RO.Stats = &BStats;
+  rt::Speculation::iterate<int64_t>(
+      0, NumTasks,
+      [&](int64_t I, int64_t NextTaken) {
+        int64_t Seg = NumTasks - 1 - I;
+        int64_t From = N * Seg / NumTasks, To = N * (Seg + 1) / NumTasks;
+        return static_cast<int64_t>(
+            backwardSegment(D, From, To, NextTaken != 0, Taken));
+      },
+      [&](int64_t I) {
+        if (I == 0)
+          return int64_t(0); // no node above the top segment
+        int64_t Boundary = N * (NumTasks - I) / NumTasks;
+        return static_cast<int64_t>(
+            predictBackward(D, Boundary, Overlap, N));
+      },
+      RO);
+  Run.BackwardStats = BStats;
+
+  Run.Weight = weightFromD(D);
+  Run.Members = membersFromTaken(Taken);
+  return Run;
+}
+
+double specpar::apps::mwisPredictionAccuracy(
+    const std::vector<int64_t> &Weights, int64_t Overlap, int NumPoints) {
+  const int64_t N = static_cast<int64_t>(Weights.size());
+  if (NumPoints <= 1 || N == 0)
+    return 100.0;
+  std::vector<int64_t> D(Weights.size());
+  forwardSegment(Weights, 0, N, 0, D);
+  int Correct = 0, Total = 0;
+  for (int I = 1; I < NumPoints; ++I) {
+    int64_t Boundary = N * I / NumPoints;
+    ++Total;
+    if (predictForward(Weights, Boundary, Overlap) == D[Boundary - 1])
+      ++Correct;
+  }
+  return 100.0 * Correct / Total;
+}
+
+SegmentedMeasurement specpar::apps::measureMwis(
+    const std::vector<int64_t> &Weights, int NumTasks, int64_t Overlap,
+    int Repeats) {
+  SegmentedMeasurement M;
+  const int64_t N = static_cast<int64_t>(Weights.size());
+  std::vector<int64_t> D(Weights.size());
+  int64_t Carried = 0;
+  double PredTotal = 0;
+  for (int I = 0; I < NumTasks; ++I) {
+    int64_t From = N * I / NumTasks, To = N * (I + 1) / NumTasks;
+    bool Correct = true;
+    double PredSeconds = 0;
+    if (I > 0) {
+      Timer T;
+      int64_t Pred = predictForward(Weights, From, Overlap);
+      PredSeconds = T.elapsedSeconds();
+      Correct = Pred == Carried;
+    }
+    PredTotal += PredSeconds;
+    double Best = -1;
+    int64_t Out = Carried;
+    for (int R = 0; R < Repeats; ++R) {
+      Timer T;
+      Out = forwardSegment(Weights, From, To, Carried, D);
+      double S = T.elapsedSeconds();
+      if (Best < 0 || S < Best)
+        Best = S;
+    }
+    Carried = Out;
+    sim::TaskSpec Spec;
+    Spec.Work = Best;
+    Spec.PredictionCorrect = Correct;
+    M.Tasks.push_back(Spec);
+    M.SequentialSeconds += Best;
+  }
+  M.PredictorSeconds = NumTasks > 1 ? PredTotal / (NumTasks - 1) : 0;
+  return M;
+}

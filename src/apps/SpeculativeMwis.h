@@ -1,0 +1,55 @@
+//===- apps/SpeculativeMwis.h - Speculative MWIS ---------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two-phase speculative MWIS benchmark on the specpar
+/// runtime: a forward DP pass carrying the single-integer d value and a
+/// backward member-emission pass carrying the "next node taken" bit, both
+/// over NumTasks segments with overlap predictors (see mwis/Mwis.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_APPS_SPECULATIVEMWIS_H
+#define SPECPAR_APPS_SPECULATIVEMWIS_H
+
+#include "apps/SpeculativeLexing.h" // SegmentedMeasurement
+#include "mwis/Mwis.h"
+#include "runtime/Speculation.h"
+
+#include <vector>
+
+namespace specpar {
+namespace apps {
+
+/// Output of a (speculative) MWIS run.
+struct MwisRun {
+  int64_t Weight = 0;
+  std::vector<int32_t> Members;
+  rt::SpeculationStats ForwardStats;
+  rt::SpeculationStats BackwardStats;
+};
+
+/// Solves MWIS speculatively with \p NumTasks segments per phase and an
+/// \p Overlap-node predictor window.
+MwisRun speculativeMwis(const std::vector<int64_t> &Weights, int NumTasks,
+                        int64_t Overlap,
+                        const rt::Options &Opts = rt::Options());
+
+/// Phase-1 prediction accuracy at \p NumPoints boundaries, in percent.
+double mwisPredictionAccuracy(const std::vector<int64_t> &Weights,
+                              int64_t Overlap, int NumPoints = 32);
+
+/// Per-segment work and prediction outcomes of the forward phase, for the
+/// speedup simulation.
+SegmentedMeasurement measureMwis(const std::vector<int64_t> &Weights,
+                                 int NumTasks, int64_t Overlap,
+                                 int Repeats = 3);
+
+} // namespace apps
+} // namespace specpar
+
+#endif // SPECPAR_APPS_SPECULATIVEMWIS_H

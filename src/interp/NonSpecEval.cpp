@@ -1,0 +1,390 @@
+//===- interp/NonSpecEval.cpp - Non-speculative semantics -------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/NonSpecEval.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+using namespace specpar;
+using namespace specpar::interp;
+using namespace specpar::lang;
+
+std::string RunOutcome::statusStr() const {
+  switch (St) {
+  case Status::Done:
+    return "done";
+  case Status::Error:
+    return formatString("error at line %d col %d: %s", Error.Loc.Line,
+                        Error.Loc.Col, Error.Message.c_str());
+  case Status::StepLimit:
+    return "step limit exceeded";
+  case Status::Deadlock:
+    return "deadlock";
+  }
+  sp_unreachable("unknown status");
+}
+
+namespace {
+
+class Evaluator {
+public:
+  Evaluator(const Program &P, Heap &H, uint64_t MaxSteps)
+      : P(P), H(H), MaxSteps(MaxSteps) {}
+
+  /// Evaluates \p E; on success stores into \p Out and returns true.
+  bool eval(const Expr *E, const EnvPtr &Env, Value &Out) {
+    if (++Steps > MaxSteps) {
+      StepLimitHit = true;
+      return false;
+    }
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      Out = Value(cast<IntLit>(E)->value());
+      return true;
+    case Expr::Kind::UnitLit:
+      Out = Value(UnitVal{});
+      return true;
+    case Expr::Kind::VarRef: {
+      const auto *V = cast<VarRef>(E);
+      if (const Binding *B = V->binding()) {
+        const Value *Found = EnvNode::lookup(Env, B);
+        if (!Found)
+          return fail(E, formatString("unbound variable '%s'",
+                                      V->name().c_str()));
+        Out = *Found;
+        return true;
+      }
+      Out = Value(FunVal{V->fun(), nullptr});
+      return true;
+    }
+    case Expr::Kind::Lambda:
+      Out = Value(Closure{cast<Lambda>(E), Env});
+      return true;
+    case Expr::Kind::Call: {
+      const auto *C = cast<Call>(E);
+      Value Fn;
+      if (!eval(C->callee(), Env, Fn))
+        return false;
+      std::vector<Value> Args;
+      Args.reserve(C->args().size());
+      for (const Expr *A : C->args()) {
+        Value V;
+        if (!eval(A, Env, V))
+          return false;
+        Args.push_back(std::move(V));
+      }
+      return applyMany(E, Fn, Args, Out);
+    }
+    case Expr::Kind::Seq: {
+      const auto *S = cast<Seq>(E);
+      Value Ignored;
+      return eval(S->first(), Env, Ignored) && eval(S->second(), Env, Out);
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<If>(E);
+      Value Cond;
+      if (!eval(I->cond(), Env, Cond))
+        return false;
+      if (!Cond.isInt())
+        return fail(I->cond(), "if condition must be an integer");
+      return eval(Cond.asInt() != 0 ? I->thenExpr() : I->elseExpr(), Env,
+                  Out);
+    }
+    case Expr::Kind::BinOp: {
+      const auto *B = cast<BinOp>(E);
+      Value L, R;
+      if (!eval(B->lhs(), Env, L) || !eval(B->rhs(), Env, R))
+        return false;
+      return applyBinOp(B, L, R, Out);
+    }
+    case Expr::Kind::NewCell: {
+      Value Init;
+      if (!eval(cast<NewCell>(E)->init(), Env, Init))
+        return false;
+      Out = Value(H.allocCell(Init));
+      return true;
+    }
+    case Expr::Kind::Assign: {
+      const auto *A = cast<Assign>(E);
+      Value Cell, V;
+      if (!eval(A->cell(), Env, Cell) || !eval(A->value(), Env, V))
+        return false;
+      const auto *Ref = std::get_if<CellRef>(&Cell.V);
+      if (!Ref)
+        return fail(A->cell(), "assignment target is not a cell");
+      if (!H.setCell(*Ref, V))
+        return fail(A->cell(), "dangling cell reference");
+      Out = V;
+      return true;
+    }
+    case Expr::Kind::Deref: {
+      Value Cell;
+      if (!eval(cast<Deref>(E)->cell(), Env, Cell))
+        return false;
+      const auto *Ref = std::get_if<CellRef>(&Cell.V);
+      if (!Ref)
+        return fail(E, "dereference of a non-cell");
+      std::optional<Value> V = H.getCell(*Ref);
+      if (!V)
+        return fail(E, "dangling cell reference");
+      Out = *V;
+      return true;
+    }
+    case Expr::Kind::NewArray: {
+      const auto *A = cast<NewArray>(E);
+      Value Size, Init;
+      if (!eval(A->size(), Env, Size) || !eval(A->init(), Env, Init))
+        return false;
+      if (!Size.isInt() || Size.asInt() < 0)
+        return fail(A->size(), "array size must be a non-negative integer");
+      Out = Value(H.allocArray(Size.asInt(), Init));
+      return true;
+    }
+    case Expr::Kind::ArrayGet: {
+      const auto *A = cast<ArrayGet>(E);
+      Value Arr, Idx;
+      if (!eval(A->array(), Env, Arr) || !eval(A->index(), Env, Idx))
+        return false;
+      const auto *Ref = std::get_if<ArrRef>(&Arr.V);
+      if (!Ref || !Idx.isInt())
+        return fail(E, "array read needs an array and an integer index");
+      std::optional<Value> V = H.getSlot(*Ref, Idx.asInt());
+      if (!V)
+        return fail(E, formatString("array index %lld out of bounds",
+                                    static_cast<long long>(Idx.asInt())));
+      Out = *V;
+      return true;
+    }
+    case Expr::Kind::ArraySet: {
+      const auto *A = cast<ArraySet>(E);
+      Value Arr, Idx, V;
+      if (!eval(A->array(), Env, Arr) || !eval(A->index(), Env, Idx) ||
+          !eval(A->value(), Env, V))
+        return false;
+      const auto *Ref = std::get_if<ArrRef>(&Arr.V);
+      if (!Ref || !Idx.isInt())
+        return fail(E, "array write needs an array and an integer index");
+      if (!H.setSlot(*Ref, Idx.asInt(), V))
+        return fail(E, formatString("array index %lld out of bounds",
+                                    static_cast<long long>(Idx.asInt())));
+      Out = V;
+      return true;
+    }
+    case Expr::Kind::ArrayLen: {
+      Value Arr;
+      if (!eval(cast<ArrayLen>(E)->array(), Env, Arr))
+        return false;
+      const auto *Ref = std::get_if<ArrRef>(&Arr.V);
+      if (!Ref)
+        return fail(E, "len of a non-array");
+      Out = Value(*H.arrayLen(*Ref));
+      return true;
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<Let>(E);
+      Value Init;
+      if (!eval(L->init(), Env, Init))
+        return false;
+      return eval(L->body(), EnvNode::bind(Env, L->var(), std::move(Init)),
+                  Out);
+    }
+    case Expr::Kind::Fold: {
+      const auto *F = cast<Fold>(E);
+      Value Fn, Acc, Lo, Hi;
+      if (!eval(F->fn(), Env, Fn) || !eval(F->init(), Env, Acc) ||
+          !eval(F->lo(), Env, Lo) || !eval(F->hi(), Env, Hi))
+        return false;
+      return runFold(F, Fn, Acc, Lo, Hi, Out);
+    }
+    case Expr::Kind::Spec: {
+      // NONSPEC-APPLY: evaluate the consumer (evaluation context), then
+      // c(p). The predictor is never evaluated.
+      const auto *S = cast<Spec>(E);
+      Value Consumer, Produced;
+      if (!eval(S->consumer(), Env, Consumer))
+        return false;
+      if (!eval(S->producer(), Env, Produced))
+        return false;
+      return applyMany(E, Consumer, {Produced}, Out);
+    }
+    case Expr::Kind::SpecFold: {
+      // NONSPEC-ITERATE: fold f (g l) l u.
+      const auto *S = cast<SpecFold>(E);
+      Value Fn, Guess, Lo, Hi;
+      if (!eval(S->fn(), Env, Fn) || !eval(S->guess(), Env, Guess) ||
+          !eval(S->lo(), Env, Lo) || !eval(S->hi(), Env, Hi))
+        return false;
+      Value Init;
+      if (!applyMany(E, Guess, {Lo}, Init))
+        return false;
+      return runFold(E, Fn, Init, Lo, Hi, Out);
+    }
+    }
+    sp_unreachable("unknown expression kind");
+  }
+
+  bool fail(const Expr *E, std::string Msg) {
+    if (!Failed) {
+      Failed = true;
+      Error = RtError{std::move(Msg), E->loc()};
+    }
+    return false;
+  }
+
+  bool stepLimitHit() const { return StepLimitHit; }
+  const RtError &error() const { return Error; }
+  uint64_t steps() const { return Steps; }
+
+  /// Applies \p Fn to \p Args left to right (curried).
+  bool applyMany(const Expr *At, Value Fn, std::vector<Value> Args,
+                 Value &Out) {
+    // A zero-argument call of a nullary named function runs its body.
+    if (Args.empty()) {
+      if (const auto *F = std::get_if<FunVal>(&Fn.V);
+          F && F->Fn->Params.empty())
+        return eval(F->Fn->Body, nullptr, Out);
+      Out = std::move(Fn);
+      return true;
+    }
+    Value Cur = std::move(Fn);
+    for (Value &A : Args) {
+      Value Next;
+      if (!applyOne(At, Cur, std::move(A), Next))
+        return false;
+      Cur = std::move(Next);
+    }
+    Out = std::move(Cur);
+    return true;
+  }
+
+private:
+  bool applyOne(const Expr *At, const Value &Fn, Value Arg, Value &Out) {
+    if (const auto *C = std::get_if<Closure>(&Fn.V)) {
+      EnvPtr Env = EnvNode::bind(C->Env, C->Fn->param(), std::move(Arg));
+      return eval(C->Fn->body(), Env, Out);
+    }
+    if (const auto *F = std::get_if<FunVal>(&Fn.V)) {
+      std::vector<Value> Partial =
+          F->Partial ? *F->Partial : std::vector<Value>();
+      Partial.push_back(std::move(Arg));
+      if (Partial.size() < F->Fn->Params.size()) {
+        Out = Value(FunVal{
+            F->Fn,
+            std::make_shared<const std::vector<Value>>(std::move(Partial))});
+        return true;
+      }
+      EnvPtr Env;
+      for (size_t I = 0; I < Partial.size(); ++I)
+        Env = EnvNode::bind(Env, F->Fn->Params[I], std::move(Partial[I]));
+      return eval(F->Fn->Body, Env, Out);
+    }
+    return fail(At, "application of a non-function value");
+  }
+
+  bool applyBinOp(const BinOp *B, const Value &L, const Value &R,
+                  Value &Out) {
+    if (!L.isInt() || !R.isInt())
+      return fail(B, formatString("operator '%s' needs integer operands",
+                                  binOpSpelling(B->op())));
+    int64_t A = L.asInt(), C = R.asInt();
+    switch (B->op()) {
+    case BinOpKind::Add:
+      Out = Value(static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                       static_cast<uint64_t>(C)));
+      return true;
+    case BinOpKind::Sub:
+      Out = Value(static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                       static_cast<uint64_t>(C)));
+      return true;
+    case BinOpKind::Mul:
+      Out = Value(static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                       static_cast<uint64_t>(C)));
+      return true;
+    case BinOpKind::Div:
+      if (C == 0)
+        return fail(B, "division by zero");
+      if (A == INT64_MIN && C == -1)
+        return fail(B, "integer overflow in division");
+      Out = Value(A / C);
+      return true;
+    case BinOpKind::Mod:
+      if (C == 0)
+        return fail(B, "modulo by zero");
+      if (A == INT64_MIN && C == -1)
+        return fail(B, "integer overflow in modulo");
+      Out = Value(A % C);
+      return true;
+    case BinOpKind::Lt:
+      Out = Value(static_cast<int64_t>(A < C));
+      return true;
+    case BinOpKind::Le:
+      Out = Value(static_cast<int64_t>(A <= C));
+      return true;
+    case BinOpKind::Gt:
+      Out = Value(static_cast<int64_t>(A > C));
+      return true;
+    case BinOpKind::Ge:
+      Out = Value(static_cast<int64_t>(A >= C));
+      return true;
+    case BinOpKind::EqEq:
+      Out = Value(static_cast<int64_t>(A == C));
+      return true;
+    case BinOpKind::Ne:
+      Out = Value(static_cast<int64_t>(A != C));
+      return true;
+    }
+    sp_unreachable("unknown binop");
+  }
+
+  /// The FOLD-1/FOLD-2 loop (inclusive bounds), iterative.
+  bool runFold(const Expr *At, const Value &Fn, Value Acc, const Value &Lo,
+               const Value &Hi, Value &Out) {
+    if (!Lo.isInt() || !Hi.isInt())
+      return fail(At, "fold bounds must be integers");
+    for (int64_t I = Lo.asInt(); I <= Hi.asInt(); ++I) {
+      Value Next;
+      if (!applyMany(At, Fn, {Value(I), std::move(Acc)}, Next))
+        return false;
+      Acc = std::move(Next);
+    }
+    Out = std::move(Acc);
+    return true;
+  }
+
+  const Program &P;
+  Heap &H;
+  uint64_t MaxSteps;
+  uint64_t Steps = 0;
+  bool Failed = false;
+  bool StepLimitHit = false;
+  RtError Error;
+};
+
+} // namespace
+
+RunOutcome specpar::interp::runNonSpeculative(const Program &P,
+                                              const EvalOptions &Opts) {
+  RunOutcome Out;
+  Heap H(&Out.Trace);
+  H.setActingThread(0);
+  Evaluator Ev(P, H, Opts.MaxSteps);
+  Value Result;
+  if (Ev.eval(P.Main, nullptr, Result)) {
+    Out.St = RunOutcome::Status::Done;
+    Out.Result = Result;
+    Out.Final = H.snapshot(Result);
+  } else if (Ev.stepLimitHit()) {
+    Out.St = RunOutcome::Status::StepLimit;
+  } else {
+    Out.St = RunOutcome::Status::Error;
+    Out.Error = Ev.error();
+  }
+  Out.Steps = Ev.steps();
+  return Out;
+}

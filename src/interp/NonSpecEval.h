@@ -1,0 +1,56 @@
+//===- interp/NonSpecEval.h - Non-speculative semantics ---------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-speculative semantics of Speculate (paper rules C + N): a
+/// sequential big-step evaluator that treats speculation constructs as
+/// hints to ignore — `spec p g c` runs `c(p)` and `specfold f g l u` runs
+/// `fold f (g l) l u`. This is the specification the speculative machine
+/// is checked against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_INTERP_NONSPECEVAL_H
+#define SPECPAR_INTERP_NONSPECEVAL_H
+
+#include "interp/Heap.h"
+#include "interp/Value.h"
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace specpar {
+namespace interp {
+
+/// Outcome of a complete run (shared with the speculative machine).
+struct RunOutcome {
+  enum class Status { Done, Error, StepLimit, Deadlock } St = Status::Done;
+  Value Result;             // valid when Done
+  RtError Error;            // valid when Error
+  uint64_t Steps = 0;       // evaluation steps taken
+  tr::Trace Trace;          // interesting transitions
+  tr::FinalState Final;     // snapshot at the end (valid when Done)
+
+  bool ok() const { return St == Status::Done; }
+  std::string statusStr() const;
+};
+
+/// Evaluation knobs.
+struct EvalOptions {
+  /// Abort with StepLimit after this many evaluation steps.
+  uint64_t MaxSteps = 50000000;
+};
+
+/// Runs \p P under the non-speculative semantics.
+RunOutcome runNonSpeculative(const lang::Program &P,
+                             const EvalOptions &Opts = EvalOptions());
+
+} // namespace interp
+} // namespace specpar
+
+#endif // SPECPAR_INTERP_NONSPECEVAL_H

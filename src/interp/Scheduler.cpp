@@ -1,0 +1,43 @@
+//===- interp/Scheduler.cpp - Nondeterministic thread schedulers -----------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Scheduler.h"
+
+#include "support/Unreachable.h"
+
+using namespace specpar;
+using namespace specpar::interp;
+
+size_t Scheduler::pick(const std::vector<SchedCandidate> &Candidates) {
+  switch (K) {
+  case SchedulerKind::Random:
+    return static_cast<size_t>(R.nextBelow(Candidates.size()));
+  case SchedulerKind::RoundRobin: {
+    // The smallest Tid strictly greater than the last one; wrap around.
+    for (size_t I = 0; I < Candidates.size(); ++I)
+      if (Candidates[I].Tid > LastTid ||
+          LastTid == UINT64_MAX) {
+        LastTid = Candidates[I].Tid;
+        return I;
+      }
+    LastTid = Candidates[0].Tid;
+    return 0;
+  }
+  case SchedulerKind::NonSpecPriority: {
+    // Random among non-speculative threads if any exist, else among the
+    // speculative ones (Section 3.3's termination-friendly policy).
+    std::vector<size_t> NonSpec;
+    for (size_t I = 0; I < Candidates.size(); ++I)
+      if (!Candidates[I].Speculative)
+        NonSpec.push_back(I);
+    if (!NonSpec.empty())
+      return NonSpec[static_cast<size_t>(R.nextBelow(NonSpec.size()))];
+    return static_cast<size_t>(R.nextBelow(Candidates.size()));
+  }
+  }
+  sp_unreachable("unknown scheduler kind");
+}

@@ -1,0 +1,55 @@
+//===- interp/Scheduler.h - Nondeterministic thread schedulers --*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling policies for the speculative machine. The THREAD rule makes
+/// scheduling nondeterministic; the machine explores it with a seeded
+/// random scheduler (property tests sweep seeds), a round-robin scheduler,
+/// and the Section 3.3 nonspec-priority scheduler that guarantees
+/// termination by preferring non-speculative threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_INTERP_SCHEDULER_H
+#define SPECPAR_INTERP_SCHEDULER_H
+
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace specpar {
+namespace interp {
+
+enum class SchedulerKind { Random, RoundRobin, NonSpecPriority };
+
+/// A runnable thread the scheduler can pick.
+struct SchedCandidate {
+  uint64_t Tid;
+  bool Speculative;
+};
+
+/// Picks the next thread to step.
+class Scheduler {
+public:
+  Scheduler(SchedulerKind K, uint64_t Seed) : K(K), R(Seed) {}
+
+  /// Returns the index into \p Candidates of the chosen thread.
+  /// \p Candidates is non-empty and sorted by Tid.
+  size_t pick(const std::vector<SchedCandidate> &Candidates);
+
+private:
+  SchedulerKind K;
+  Rng R;
+  uint64_t LastTid = UINT64_MAX;
+};
+
+} // namespace interp
+} // namespace specpar
+
+#endif // SPECPAR_INTERP_SCHEDULER_H

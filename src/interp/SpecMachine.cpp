@@ -1,0 +1,1034 @@
+//===- interp/SpecMachine.cpp - The speculative semantics -------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SpecMachine.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <memory>
+
+using namespace specpar;
+using namespace specpar::interp;
+using namespace specpar::lang;
+
+namespace {
+
+/// An argument of a machine-level application: either a value or the
+/// result of waiting on a thread (the `vc (wait tg)` shapes of the rules).
+struct ArgSpec {
+  bool IsWait = false;
+  Value V;
+  uint64_t Tid = 0;
+
+  static ArgSpec val(Value V) {
+    ArgSpec A;
+    A.V = std::move(V);
+    return A;
+  }
+  static ArgSpec wait(uint64_t Tid) {
+    ArgSpec A;
+    A.IsWait = true;
+    A.Tid = Tid;
+    return A;
+  }
+};
+
+/// Thread control: what the thread does next.
+struct Control {
+  enum class Kind { Eval, Ret, Wait, StartApply, AuxFold } K = Kind::Ret;
+  // Eval
+  const Expr *E = nullptr;
+  EnvPtr Env;
+  // Ret
+  Value V;
+  // Wait
+  uint64_t Tid = 0;
+  // StartApply
+  Value Fn;
+  std::vector<ArgSpec> Specs;
+  // AuxFold (rule SPEC-ITERATE-2/3 state)
+  Value FoldFn, FoldGuess;
+  int64_t FoldLo = 0, FoldHi = 0;
+  uint64_t FoldPrev = 0;
+
+  static Control eval(const Expr *E, EnvPtr Env) {
+    Control C;
+    C.K = Kind::Eval;
+    C.E = E;
+    C.Env = std::move(Env);
+    return C;
+  }
+  static Control ret(Value V) {
+    Control C;
+    C.K = Kind::Ret;
+    C.V = std::move(V);
+    return C;
+  }
+  static Control wait(uint64_t Tid) {
+    Control C;
+    C.K = Kind::Wait;
+    C.Tid = Tid;
+    return C;
+  }
+  static Control startApply(Value Fn, std::vector<ArgSpec> Specs) {
+    Control C;
+    C.K = Kind::StartApply;
+    C.Fn = std::move(Fn);
+    C.Specs = std::move(Specs);
+    return C;
+  }
+  static Control auxFold(Value F, Value G, int64_t Lo, int64_t Hi,
+                         uint64_t Prev) {
+    Control C;
+    C.K = Kind::AuxFold;
+    C.FoldFn = std::move(F);
+    C.FoldGuess = std::move(G);
+    C.FoldLo = Lo;
+    C.FoldHi = Hi;
+    C.FoldPrev = Prev;
+    return C;
+  }
+};
+
+/// One entry of a thread's evaluation context.
+struct Frame {
+  enum class Kind {
+    CallCallee,
+    CallArgs,
+    SeqNext,
+    IfCond,
+    BinLhs,
+    BinRhs,
+    NewCellInit,
+    AssignCell,
+    AssignVal,
+    DerefCell,
+    NewArrSize,
+    NewArrInit,
+    ArrGetArr,
+    ArrGetIdx,
+    ArrSetArr,
+    ArrSetIdx,
+    ArrSetVal,
+    ArrLenArr,
+    LetInit,
+    FoldCollect,
+    FoldLoop,
+    SpecConsumer,
+    SpecFoldCollect,
+    MultiApply,
+    ApplyArgs,
+    Check,
+  } K;
+  const Expr *E = nullptr;
+  EnvPtr Env;
+  Value V1, V2;
+  std::vector<Value> Vals;
+  std::vector<ArgSpec> Specs;
+  size_t Idx = 0;
+  int64_t I = 0, Hi = 0;
+  uint64_t T1 = 0, T2 = 0, T3 = 0;
+  int Phase = 0; // Check: 0=await consumer value, 1=wait producer,
+                 // 2=wait predictor
+};
+
+struct MachineThread {
+  uint64_t Id = 0;
+  bool Speculative = false;
+  enum class Status { Running, Done, Cancelled, Failed } St = Status::Running;
+  Control Ctl;
+  std::vector<Frame> Stack;
+  Value Result;
+  RtError Err;
+};
+
+class Machine {
+public:
+  Machine(const Program &P, const MachineOptions &Opts)
+      : P(P), Opts(Opts), Sched(Opts.Sched, Opts.Seed), H(&Out.Trace) {}
+
+  SpecRunOutcome run() {
+    spawn(Control::eval(P.Main, nullptr), /*Speculative=*/false);
+    uint64_t Steps = 0;
+    for (;;) {
+      MachineThread &Main = *Threads[0];
+      if (Main.St == MachineThread::Status::Done) {
+        Out.St = RunOutcome::Status::Done;
+        Out.Result = Main.Result;
+        Out.Final = H.snapshot(Main.Result);
+        break;
+      }
+      if (Main.St == MachineThread::Status::Failed) {
+        Out.St = RunOutcome::Status::Error;
+        Out.Error = Main.Err;
+        break;
+      }
+      if (Steps >= Opts.MaxSteps) {
+        Out.St = RunOutcome::Status::StepLimit;
+        break;
+      }
+      // Collect runnable threads (THREAD rule nondeterminism).
+      Candidates.clear();
+      for (const auto &T : Threads) {
+        if (T->St != MachineThread::Status::Running)
+          continue;
+        if (T->Ctl.K == Control::Kind::Wait &&
+            Threads[T->Ctl.Tid]->St == MachineThread::Status::Running)
+          continue; // blocked
+        Candidates.push_back(SchedCandidate{T->Id, T->Speculative});
+      }
+      if (Candidates.empty()) {
+        Out.St = RunOutcome::Status::Deadlock;
+        break;
+      }
+      uint64_t Tid = Candidates[Sched.pick(Candidates)].Tid;
+      ++Steps;
+      step(*Threads[Tid]);
+    }
+    Out.Steps = Steps;
+    return std::move(Out);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Thread management
+  //===--------------------------------------------------------------------===//
+
+  uint64_t spawn(Control Ctl, bool Speculative,
+                 std::vector<Frame> Stack = {}) {
+    auto T = std::make_unique<MachineThread>();
+    T->Id = Threads.size();
+    T->Speculative = Speculative;
+    T->Ctl = std::move(Ctl);
+    T->Stack = std::move(Stack);
+    Threads.push_back(std::move(T));
+    if (Threads.size() > 1)
+      ++Out.ThreadsSpawned;
+    return Threads.back()->Id;
+  }
+
+  void cancelThread(uint64_t Tid) {
+    Threads[Tid]->St = MachineThread::Status::Cancelled;
+    ++Out.Cancellations;
+  }
+
+  void failThread(MachineThread &T, const Expr *At, std::string Msg) {
+    T.St = MachineThread::Status::Failed;
+    T.Err = RtError{std::move(Msg), At ? At->loc() : SourceLoc{}};
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Stepping
+  //===--------------------------------------------------------------------===//
+
+  void step(MachineThread &T) {
+    H.setActingThread(T.Id);
+    switch (T.Ctl.K) {
+    case Control::Kind::Eval:
+      stepEval(T);
+      return;
+    case Control::Kind::Ret:
+      onReturn(T, std::move(T.Ctl.V));
+      return;
+    case Control::Kind::Wait: {
+      MachineThread &Target = *Threads[T.Ctl.Tid];
+      switch (Target.St) {
+      case MachineThread::Status::Done:
+        T.Ctl = Control::ret(Target.Result);
+        return;
+      case MachineThread::Status::Cancelled:
+        failThread(T, nullptr, "wait on a cancelled thread");
+        return;
+      case MachineThread::Status::Failed:
+        // Propagate the failure to the waiter (a stuck redex in the
+        // formal semantics).
+        T.St = MachineThread::Status::Failed;
+        T.Err = Target.Err;
+        return;
+      case MachineThread::Status::Running:
+        sp_unreachable("scheduled a blocked thread");
+      }
+      return;
+    }
+    case Control::Kind::StartApply: {
+      Frame F;
+      F.K = Frame::Kind::ApplyArgs;
+      F.V1 = std::move(T.Ctl.Fn);
+      F.Specs = std::move(T.Ctl.Specs);
+      T.Stack.push_back(std::move(F));
+      continueApplyArgs(T);
+      return;
+    }
+    case Control::Kind::AuxFold:
+      stepAuxFold(T);
+      return;
+    }
+    sp_unreachable("unknown control kind");
+  }
+
+  /// SPEC-ITERATE-2 and SPEC-ITERATE-3.
+  void stepAuxFold(MachineThread &T) {
+    Control C = T.Ctl; // copy: we overwrite T.Ctl below
+    if (C.FoldLo > C.FoldHi) {
+      // SPEC-ITERATE-3: wait for the last checker in the chain.
+      T.Ctl = Control::wait(C.FoldPrev);
+      return;
+    }
+    // SPEC-ITERATE-2: spawn predictor tg', speculative body tb', and the
+    // checker tc' that first evaluates the re-execution consumer (f lo).
+    uint64_t Tg = spawn(
+        Control::startApply(C.FoldGuess, {ArgSpec::val(Value(C.FoldLo))}),
+        /*Speculative=*/true);
+    uint64_t Tb = spawn(
+        Control::startApply(
+            C.FoldFn, {ArgSpec::val(Value(C.FoldLo)), ArgSpec::wait(Tg)}),
+        /*Speculative=*/true);
+    Frame Check;
+    Check.K = Frame::Kind::Check;
+    Check.T1 = C.FoldPrev; // producer role: the previous iteration
+    Check.T2 = Tg;         // predictor
+    Check.T3 = Tb;         // speculative consumer
+    Check.Phase = 0;       // consumer value (f lo) evaluated first
+    std::vector<Frame> Stack;
+    Stack.push_back(std::move(Check));
+    uint64_t Tc = spawn(
+        Control::startApply(C.FoldFn, {ArgSpec::val(Value(C.FoldLo))}),
+        /*Speculative=*/false, std::move(Stack));
+    T.Ctl = Control::auxFold(C.FoldFn, C.FoldGuess, C.FoldLo + 1, C.FoldHi,
+                             Tc);
+  }
+
+  void stepEval(MachineThread &T) {
+    const Expr *E = T.Ctl.E;
+    EnvPtr Env = T.Ctl.Env;
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      T.Ctl = Control::ret(Value(cast<IntLit>(E)->value()));
+      return;
+    case Expr::Kind::UnitLit:
+      T.Ctl = Control::ret(Value(UnitVal{}));
+      return;
+    case Expr::Kind::VarRef: {
+      const auto *V = cast<VarRef>(E);
+      if (const Binding *B = V->binding()) {
+        const Value *Found = EnvNode::lookup(Env, B);
+        if (!Found) {
+          failThread(T, E, formatString("unbound variable '%s'",
+                                        V->name().c_str()));
+          return;
+        }
+        T.Ctl = Control::ret(*Found);
+        return;
+      }
+      T.Ctl = Control::ret(Value(FunVal{V->fun(), nullptr}));
+      return;
+    }
+    case Expr::Kind::Lambda:
+      T.Ctl = Control::ret(Value(Closure{cast<Lambda>(E), Env}));
+      return;
+    case Expr::Kind::Call: {
+      const auto *C = cast<Call>(E);
+      Frame F;
+      F.K = Frame::Kind::CallCallee;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(C->callee(), Env);
+      return;
+    }
+    case Expr::Kind::Seq: {
+      const auto *S = cast<Seq>(E);
+      Frame F;
+      F.K = Frame::Kind::SeqNext;
+      F.E = S->second();
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(S->first(), Env);
+      return;
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<If>(E);
+      Frame F;
+      F.K = Frame::Kind::IfCond;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(I->cond(), Env);
+      return;
+    }
+    case Expr::Kind::BinOp: {
+      const auto *B = cast<BinOp>(E);
+      Frame F;
+      F.K = Frame::Kind::BinLhs;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(B->lhs(), Env);
+      return;
+    }
+    case Expr::Kind::NewCell: {
+      Frame F;
+      F.K = Frame::Kind::NewCellInit;
+      F.E = E;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<NewCell>(E)->init(), Env);
+      return;
+    }
+    case Expr::Kind::Assign: {
+      Frame F;
+      F.K = Frame::Kind::AssignCell;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<Assign>(E)->cell(), Env);
+      return;
+    }
+    case Expr::Kind::Deref: {
+      Frame F;
+      F.K = Frame::Kind::DerefCell;
+      F.E = E;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<Deref>(E)->cell(), Env);
+      return;
+    }
+    case Expr::Kind::NewArray: {
+      Frame F;
+      F.K = Frame::Kind::NewArrSize;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<NewArray>(E)->size(), Env);
+      return;
+    }
+    case Expr::Kind::ArrayGet: {
+      Frame F;
+      F.K = Frame::Kind::ArrGetArr;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<ArrayGet>(E)->array(), Env);
+      return;
+    }
+    case Expr::Kind::ArraySet: {
+      Frame F;
+      F.K = Frame::Kind::ArrSetArr;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<ArraySet>(E)->array(), Env);
+      return;
+    }
+    case Expr::Kind::ArrayLen: {
+      Frame F;
+      F.K = Frame::Kind::ArrLenArr;
+      F.E = E;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<ArrayLen>(E)->array(), Env);
+      return;
+    }
+    case Expr::Kind::Let: {
+      Frame F;
+      F.K = Frame::Kind::LetInit;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<Let>(E)->init(), Env);
+      return;
+    }
+    case Expr::Kind::Fold: {
+      Frame F;
+      F.K = Frame::Kind::FoldCollect;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<Fold>(E)->fn(), Env);
+      return;
+    }
+    case Expr::Kind::Spec: {
+      // Evaluation context `spec ep eg E`: the consumer first.
+      Frame F;
+      F.K = Frame::Kind::SpecConsumer;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<Spec>(E)->consumer(), Env);
+      return;
+    }
+    case Expr::Kind::SpecFold: {
+      Frame F;
+      F.K = Frame::Kind::SpecFoldCollect;
+      F.E = E;
+      F.Env = Env;
+      T.Stack.push_back(std::move(F));
+      T.Ctl = Control::eval(cast<SpecFold>(E)->fn(), Env);
+      return;
+    }
+    }
+    sp_unreachable("unknown expression kind");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Returning a value into the top frame
+  //===--------------------------------------------------------------------===//
+
+  void onReturn(MachineThread &T, Value V) {
+    if (T.Stack.empty()) {
+      T.St = MachineThread::Status::Done;
+      T.Result = std::move(V);
+      return;
+    }
+    Frame &F = T.Stack.back();
+    switch (F.K) {
+    case Frame::Kind::CallCallee: {
+      const auto *C = cast<Call>(F.E);
+      if (C->args().empty()) {
+        Value Fn = std::move(V);
+        T.Stack.pop_back();
+        beginMultiApply(T, std::move(Fn), {}, C);
+        return;
+      }
+      F.K = Frame::Kind::CallArgs;
+      F.V1 = std::move(V);
+      F.Idx = 0;
+      T.Ctl = Control::eval(C->args()[0], F.Env);
+      return;
+    }
+    case Frame::Kind::CallArgs: {
+      const auto *C = cast<Call>(F.E);
+      F.Vals.push_back(std::move(V));
+      if (F.Vals.size() < C->args().size()) {
+        T.Ctl = Control::eval(C->args()[F.Vals.size()], F.Env);
+        return;
+      }
+      Value Fn = std::move(F.V1);
+      std::vector<Value> Args = std::move(F.Vals);
+      T.Stack.pop_back();
+      beginMultiApply(T, std::move(Fn), std::move(Args), C);
+      return;
+    }
+    case Frame::Kind::SeqNext: {
+      const Expr *Second = F.E;
+      EnvPtr Env = F.Env;
+      T.Stack.pop_back();
+      T.Ctl = Control::eval(Second, Env);
+      return;
+    }
+    case Frame::Kind::IfCond: {
+      const auto *I = cast<If>(F.E);
+      EnvPtr Env = F.Env;
+      T.Stack.pop_back();
+      if (!V.isInt()) {
+        failThread(T, I->cond(), "if condition must be an integer");
+        return;
+      }
+      T.Ctl =
+          Control::eval(V.asInt() != 0 ? I->thenExpr() : I->elseExpr(), Env);
+      return;
+    }
+    case Frame::Kind::BinLhs: {
+      const auto *B = cast<BinOp>(F.E);
+      F.K = Frame::Kind::BinRhs;
+      F.V1 = std::move(V);
+      T.Ctl = Control::eval(B->rhs(), F.Env);
+      return;
+    }
+    case Frame::Kind::BinRhs: {
+      const auto *B = cast<BinOp>(F.E);
+      Value L = std::move(F.V1);
+      T.Stack.pop_back();
+      applyBinOp(T, B, L, V);
+      return;
+    }
+    case Frame::Kind::NewCellInit:
+      T.Stack.pop_back();
+      T.Ctl = Control::ret(Value(H.allocCell(V)));
+      return;
+    case Frame::Kind::AssignCell: {
+      const auto *A = cast<Assign>(F.E);
+      F.K = Frame::Kind::AssignVal;
+      F.V1 = std::move(V);
+      T.Ctl = Control::eval(A->value(), F.Env);
+      return;
+    }
+    case Frame::Kind::AssignVal: {
+      const auto *A = cast<Assign>(F.E);
+      Value Cell = std::move(F.V1);
+      T.Stack.pop_back();
+      const auto *Ref = std::get_if<CellRef>(&Cell.V);
+      if (!Ref) {
+        failThread(T, A->cell(), "assignment target is not a cell");
+        return;
+      }
+      if (!H.setCell(*Ref, V)) {
+        failThread(T, A->cell(), "dangling cell reference");
+        return;
+      }
+      T.Ctl = Control::ret(std::move(V));
+      return;
+    }
+    case Frame::Kind::DerefCell: {
+      const Expr *E = F.E;
+      T.Stack.pop_back();
+      const auto *Ref = std::get_if<CellRef>(&V.V);
+      if (!Ref) {
+        failThread(T, E, "dereference of a non-cell");
+        return;
+      }
+      std::optional<Value> Read = H.getCell(*Ref);
+      if (!Read) {
+        failThread(T, E, "dangling cell reference");
+        return;
+      }
+      T.Ctl = Control::ret(std::move(*Read));
+      return;
+    }
+    case Frame::Kind::NewArrSize: {
+      const auto *A = cast<NewArray>(F.E);
+      F.K = Frame::Kind::NewArrInit;
+      F.V1 = std::move(V);
+      T.Ctl = Control::eval(A->init(), F.Env);
+      return;
+    }
+    case Frame::Kind::NewArrInit: {
+      const auto *A = cast<NewArray>(F.E);
+      Value Size = std::move(F.V1);
+      T.Stack.pop_back();
+      if (!Size.isInt() || Size.asInt() < 0) {
+        failThread(T, A->size(), "array size must be a non-negative integer");
+        return;
+      }
+      T.Ctl = Control::ret(Value(H.allocArray(Size.asInt(), V)));
+      return;
+    }
+    case Frame::Kind::ArrGetArr: {
+      const auto *A = cast<ArrayGet>(F.E);
+      F.K = Frame::Kind::ArrGetIdx;
+      F.V1 = std::move(V);
+      T.Ctl = Control::eval(A->index(), F.Env);
+      return;
+    }
+    case Frame::Kind::ArrGetIdx: {
+      const Expr *E = F.E;
+      Value Arr = std::move(F.V1);
+      T.Stack.pop_back();
+      const auto *Ref = std::get_if<ArrRef>(&Arr.V);
+      if (!Ref || !V.isInt()) {
+        failThread(T, E, "array read needs an array and an integer index");
+        return;
+      }
+      std::optional<Value> Read = H.getSlot(*Ref, V.asInt());
+      if (!Read) {
+        failThread(T, E, formatString("array index %lld out of bounds",
+                                      static_cast<long long>(V.asInt())));
+        return;
+      }
+      T.Ctl = Control::ret(std::move(*Read));
+      return;
+    }
+    case Frame::Kind::ArrSetArr: {
+      const auto *A = cast<ArraySet>(F.E);
+      F.K = Frame::Kind::ArrSetIdx;
+      F.V1 = std::move(V);
+      T.Ctl = Control::eval(A->index(), F.Env);
+      return;
+    }
+    case Frame::Kind::ArrSetIdx: {
+      const auto *A = cast<ArraySet>(F.E);
+      F.K = Frame::Kind::ArrSetVal;
+      F.V2 = std::move(V);
+      T.Ctl = Control::eval(A->value(), F.Env);
+      return;
+    }
+    case Frame::Kind::ArrSetVal: {
+      const Expr *E = F.E;
+      Value Arr = std::move(F.V1);
+      Value Idx = std::move(F.V2);
+      T.Stack.pop_back();
+      const auto *Ref = std::get_if<ArrRef>(&Arr.V);
+      if (!Ref || !Idx.isInt()) {
+        failThread(T, E, "array write needs an array and an integer index");
+        return;
+      }
+      if (!H.setSlot(*Ref, Idx.asInt(), V)) {
+        failThread(T, E, formatString("array index %lld out of bounds",
+                                      static_cast<long long>(Idx.asInt())));
+        return;
+      }
+      T.Ctl = Control::ret(std::move(V));
+      return;
+    }
+    case Frame::Kind::ArrLenArr: {
+      const Expr *E = F.E;
+      T.Stack.pop_back();
+      const auto *Ref = std::get_if<ArrRef>(&V.V);
+      if (!Ref) {
+        failThread(T, E, "len of a non-array");
+        return;
+      }
+      T.Ctl = Control::ret(Value(*H.arrayLen(*Ref)));
+      return;
+    }
+    case Frame::Kind::LetInit: {
+      const auto *L = cast<Let>(F.E);
+      EnvPtr Env = F.Env;
+      T.Stack.pop_back();
+      T.Ctl =
+          Control::eval(L->body(), EnvNode::bind(Env, L->var(), std::move(V)));
+      return;
+    }
+    case Frame::Kind::FoldCollect: {
+      const auto *Fo = cast<Fold>(F.E);
+      F.Vals.push_back(std::move(V));
+      static constexpr size_t FoldArity = 4;
+      if (F.Vals.size() < FoldArity) {
+        const Expr *Next[FoldArity] = {Fo->fn(), Fo->init(), Fo->lo(),
+                                       Fo->hi()};
+        T.Ctl = Control::eval(Next[F.Vals.size()], F.Env);
+        return;
+      }
+      Value Fn = std::move(F.Vals[0]);
+      Value Acc = std::move(F.Vals[1]);
+      Value Lo = std::move(F.Vals[2]);
+      Value Hi = std::move(F.Vals[3]);
+      const Expr *At = F.E;
+      T.Stack.pop_back();
+      beginFold(T, At, std::move(Fn), std::move(Acc), Lo, Hi);
+      return;
+    }
+    case Frame::Kind::FoldLoop: {
+      // V is the accumulator after iteration F.I - 1.
+      if (F.I > F.Hi) {
+        T.Stack.pop_back();
+        T.Ctl = Control::ret(std::move(V));
+        return;
+      }
+      int64_t I = F.I++;
+      Value Fn = F.V1;
+      beginMultiApply(T, std::move(Fn), {Value(I), std::move(V)}, F.E);
+      return;
+    }
+    case Frame::Kind::SpecConsumer: {
+      // SPEC-APPLY: V is the consumer value vc.
+      const auto *S = cast<Spec>(F.E);
+      EnvPtr Env = F.Env;
+      Value Vc = std::move(V);
+      T.Stack.pop_back();
+      uint64_t Tp = spawn(Control::eval(S->producer(), Env),
+                          /*Speculative=*/false);
+      uint64_t Tg = spawn(Control::eval(S->guess(), Env),
+                          /*Speculative=*/true);
+      uint64_t Tc = spawn(Control::startApply(Vc, {ArgSpec::wait(Tg)}),
+                          /*Speculative=*/true);
+      Frame Check;
+      Check.K = Frame::Kind::Check;
+      Check.E = F.E;
+      Check.T1 = Tp;
+      Check.T2 = Tg;
+      Check.T3 = Tc;
+      Check.V1 = std::move(Vc);
+      Check.Phase = 1; // the consumer value is already known
+      T.Stack.push_back(std::move(Check));
+      T.Ctl = Control::wait(Tp);
+      return;
+    }
+    case Frame::Kind::SpecFoldCollect: {
+      const auto *S = cast<SpecFold>(F.E);
+      F.Vals.push_back(std::move(V));
+      static constexpr size_t SpecFoldArity = 4;
+      if (F.Vals.size() < SpecFoldArity) {
+        const Expr *Next[SpecFoldArity] = {S->fn(), S->guess(), S->lo(),
+                                           S->hi()};
+        T.Ctl = Control::eval(Next[F.Vals.size()], F.Env);
+        return;
+      }
+      Value Fn = std::move(F.Vals[0]);
+      Value Guess = std::move(F.Vals[1]);
+      Value Lo = std::move(F.Vals[2]);
+      Value Hi = std::move(F.Vals[3]);
+      const Expr *At = F.E;
+      T.Stack.pop_back();
+      if (!Lo.isInt() || !Hi.isInt()) {
+        failThread(T, At, "specfold bounds must be integers");
+        return;
+      }
+      if (Lo.asInt() > Hi.asInt()) {
+        // Empty loop: the value is the initial accumulator g(l) (matches
+        // NONSPEC-ITERATE + FOLD-1).
+        beginMultiApply(T, std::move(Guess), {Value(Lo.asInt())}, At);
+        return;
+      }
+      // SPEC-ITERATE-1: the first iteration is non-speculative in its
+      // input (g(l) is the definition of the initial value).
+      uint64_t Tg = spawn(
+          Control::startApply(Guess, {ArgSpec::val(Value(Lo.asInt()))}),
+          /*Speculative=*/true);
+      uint64_t Tb = spawn(
+          Control::startApply(
+              Fn, {ArgSpec::val(Value(Lo.asInt())), ArgSpec::wait(Tg)}),
+          /*Speculative=*/true);
+      T.Ctl = Control::auxFold(std::move(Fn), std::move(Guess),
+                               Lo.asInt() + 1, Hi.asInt(), Tb);
+      return;
+    }
+    case Frame::Kind::MultiApply: {
+      std::vector<Value> Vals = std::move(F.Vals);
+      size_t Idx = F.Idx;
+      const Expr *At = F.E;
+      T.Stack.pop_back();
+      continueMultiApply(T, std::move(V), std::move(Vals), Idx, At);
+      return;
+    }
+    case Frame::Kind::ApplyArgs: {
+      F.Vals.push_back(std::move(V));
+      continueApplyArgs(T);
+      return;
+    }
+    case Frame::Kind::Check:
+      onCheckReturn(T, std::move(V));
+      return;
+    }
+    sp_unreachable("unknown frame kind");
+  }
+
+  /// The CHECK rule's state machine. Phases: 0 = the consumer value is
+  /// being computed in this thread (iterate's `(vf vl)`), 1 = waiting for
+  /// the producer, 2 = waiting for the predictor.
+  void onCheckReturn(MachineThread &T, Value V) {
+    Frame &F = T.Stack.back();
+    switch (F.Phase) {
+    case 0:
+      F.V1 = std::move(V); // vc
+      F.Phase = 1;
+      T.Ctl = Control::wait(F.T1);
+      return;
+    case 1: {
+      F.V2 = std::move(V); // vp
+      if (Opts.EagerProducerAbort &&
+          Threads[F.T2]->St == MachineThread::Status::Running) {
+        // Section 3.3: the producer finished before the predictor — there
+        // is no point continuing the speculation.
+        Value Vc = std::move(F.V1);
+        Value Vp = std::move(F.V2);
+        uint64_t Tg = F.T2, Tc = F.T3;
+        const Expr *At = F.E;
+        T.Stack.pop_back();
+        cancelThread(Tg);
+        cancelThread(Tc);
+        beginMultiApply(T, std::move(Vc), {std::move(Vp)}, At);
+        return;
+      }
+      F.Phase = 2;
+      T.Ctl = Control::wait(F.T2);
+      return;
+    }
+    case 2: {
+      Value Vg = std::move(V);
+      Value Vc = std::move(F.V1);
+      Value Vp = std::move(F.V2);
+      uint64_t Tc = F.T3;
+      const Expr *At = F.E;
+      T.Stack.pop_back();
+      ++Out.Predictions;
+      if (predictionEquals(Vp, Vg)) {
+        T.Ctl = Control::wait(Tc);
+        return;
+      }
+      ++Out.Mispredictions;
+      // `cancel tc; vc xp` (fused into this step; see the header note).
+      cancelThread(Tc);
+      beginMultiApply(T, std::move(Vc), {std::move(Vp)}, At);
+      return;
+    }
+    default:
+      sp_unreachable("bad check phase");
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Application machinery
+  //===--------------------------------------------------------------------===//
+
+  /// Applies \p Fn to \p Vals curried, starting at index 0.
+  void beginMultiApply(MachineThread &T, Value Fn, std::vector<Value> Vals,
+                       const Expr *At) {
+    // Zero-argument direct call of a nullary function.
+    if (Vals.empty()) {
+      if (const auto *FV = std::get_if<FunVal>(&Fn.V);
+          FV && FV->Fn->Params.empty()) {
+        T.Ctl = Control::eval(FV->Fn->Body, nullptr);
+        return;
+      }
+      T.Ctl = Control::ret(std::move(Fn));
+      return;
+    }
+    continueMultiApply(T, std::move(Fn), std::move(Vals), 0, At);
+  }
+
+  void continueMultiApply(MachineThread &T, Value Cur,
+                          std::vector<Value> Vals, size_t Idx,
+                          const Expr *At) {
+    while (Idx < Vals.size()) {
+      Value Arg = std::move(Vals[Idx]);
+      ++Idx;
+      if (const auto *C = std::get_if<Closure>(&Cur.V)) {
+        EnvPtr Env = EnvNode::bind(C->Env, C->Fn->param(), std::move(Arg));
+        const Expr *Body = C->Fn->body();
+        pushMultiApplyRest(T, std::move(Vals), Idx, At);
+        T.Ctl = Control::eval(Body, Env);
+        return;
+      }
+      if (const auto *FV = std::get_if<FunVal>(&Cur.V)) {
+        std::vector<Value> Partial =
+            FV->Partial ? *FV->Partial : std::vector<Value>();
+        Partial.push_back(std::move(Arg));
+        if (Partial.size() < FV->Fn->Params.size()) {
+          Cur = Value(FunVal{FV->Fn, std::make_shared<const std::vector<Value>>(
+                                         std::move(Partial))});
+          continue;
+        }
+        EnvPtr Env;
+        const FunDef *Def = FV->Fn;
+        for (size_t I = 0; I < Partial.size(); ++I)
+          Env = EnvNode::bind(Env, Def->Params[I], std::move(Partial[I]));
+        pushMultiApplyRest(T, std::move(Vals), Idx, At);
+        T.Ctl = Control::eval(Def->Body, Env);
+        return;
+      }
+      failThread(T, At, "application of a non-function value");
+      return;
+    }
+    T.Ctl = Control::ret(std::move(Cur));
+  }
+
+  void pushMultiApplyRest(MachineThread &T, std::vector<Value> Vals,
+                          size_t Idx, const Expr *At) {
+    if (Idx >= Vals.size())
+      return; // nothing left; the body's value is the result
+    Frame F;
+    F.K = Frame::Kind::MultiApply;
+    F.E = At;
+    F.Vals = std::move(Vals);
+    F.Idx = Idx;
+    T.Stack.push_back(std::move(F));
+  }
+
+  /// Advances an ApplyArgs frame (machine-level application with waits).
+  /// The frame is the top of the stack.
+  void continueApplyArgs(MachineThread &T) {
+    Frame &F = T.Stack.back();
+    while (F.Idx < F.Specs.size() && !F.Specs[F.Idx].IsWait)
+      F.Vals.push_back(F.Specs[F.Idx++].V);
+    if (F.Idx < F.Specs.size()) {
+      uint64_t Tid = F.Specs[F.Idx].Tid;
+      ++F.Idx;
+      T.Ctl = Control::wait(Tid);
+      return; // the waited value re-enters through onReturn(ApplyArgs)
+    }
+    Value Fn = std::move(F.V1);
+    std::vector<Value> Vals = std::move(F.Vals);
+    const Expr *At = F.E;
+    T.Stack.pop_back();
+    beginMultiApply(T, std::move(Fn), std::move(Vals), At);
+  }
+
+  /// FOLD-1/FOLD-2 via the FoldLoop frame.
+  void beginFold(MachineThread &T, const Expr *At, Value Fn, Value Acc,
+                 const Value &Lo, const Value &Hi) {
+    if (!Lo.isInt() || !Hi.isInt()) {
+      failThread(T, At, "fold bounds must be integers");
+      return;
+    }
+    if (Lo.asInt() > Hi.asInt()) {
+      T.Ctl = Control::ret(std::move(Acc));
+      return;
+    }
+    Frame F;
+    F.K = Frame::Kind::FoldLoop;
+    F.E = At;
+    F.V1 = Fn;
+    F.I = Lo.asInt() + 1;
+    F.Hi = Hi.asInt();
+    T.Stack.push_back(std::move(F));
+    beginMultiApply(T, std::move(Fn), {Value(Lo.asInt()), std::move(Acc)},
+                    At);
+  }
+
+  void applyBinOp(MachineThread &T, const BinOp *B, const Value &L,
+                  const Value &R) {
+    if (!L.isInt() || !R.isInt()) {
+      failThread(T, B, formatString("operator '%s' needs integer operands",
+                                    binOpSpelling(B->op())));
+      return;
+    }
+    int64_t A = L.asInt(), C = R.asInt();
+    auto Ret = [&](int64_t V) { T.Ctl = Control::ret(Value(V)); };
+    switch (B->op()) {
+    case BinOpKind::Add:
+      Ret(static_cast<int64_t>(static_cast<uint64_t>(A) +
+                               static_cast<uint64_t>(C)));
+      return;
+    case BinOpKind::Sub:
+      Ret(static_cast<int64_t>(static_cast<uint64_t>(A) -
+                               static_cast<uint64_t>(C)));
+      return;
+    case BinOpKind::Mul:
+      Ret(static_cast<int64_t>(static_cast<uint64_t>(A) *
+                               static_cast<uint64_t>(C)));
+      return;
+    case BinOpKind::Div:
+      if (C == 0 || (A == INT64_MIN && C == -1)) {
+        failThread(T, B, "division by zero or overflow");
+        return;
+      }
+      Ret(A / C);
+      return;
+    case BinOpKind::Mod:
+      if (C == 0 || (A == INT64_MIN && C == -1)) {
+        failThread(T, B, "modulo by zero or overflow");
+        return;
+      }
+      Ret(A % C);
+      return;
+    case BinOpKind::Lt:
+      Ret(A < C);
+      return;
+    case BinOpKind::Le:
+      Ret(A <= C);
+      return;
+    case BinOpKind::Gt:
+      Ret(A > C);
+      return;
+    case BinOpKind::Ge:
+      Ret(A >= C);
+      return;
+    case BinOpKind::EqEq:
+      Ret(A == C);
+      return;
+    case BinOpKind::Ne:
+      Ret(A != C);
+      return;
+    }
+    sp_unreachable("unknown binop");
+  }
+
+  const Program &P;
+  MachineOptions Opts;
+  Scheduler Sched;
+  SpecRunOutcome Out;
+  Heap H;
+  std::vector<std::unique_ptr<MachineThread>> Threads;
+  std::vector<SchedCandidate> Candidates;
+};
+
+} // namespace
+
+SpecRunOutcome specpar::interp::runSpeculative(const Program &P,
+                                               const MachineOptions &Opts) {
+  return Machine(P, Opts).run();
+}

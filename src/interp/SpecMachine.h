@@ -1,0 +1,72 @@
+//===- interp/SpecMachine.h - The speculative semantics ---------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small-step, multi-thread CEK machine implementing the speculative
+/// semantics of Figure 2 (rules C + S). Each thread holds a control and a
+/// frame stack (the evaluation context); a scheduler picks one runnable
+/// thread per global step, which makes executions linearizable and lets
+/// the trace module check equivalence against the non-speculative run.
+///
+/// Rules realized:
+///  * SPEC-APPLY — the consumer is evaluated to a value in the current
+///    thread (evaluation context `spec ep eg E`); then producer thread tp,
+///    predictor thread tg and speculative consumer thread tc
+///    (`vc (wait tg)`) are spawned and the current thread becomes the
+///    check `check tp tg tc vc`;
+///  * CHECK — waits for the producer and predictor, compares with integer
+///    (and unit) equality, then either waits for the speculative consumer
+///    or cancels it and re-executes `vc vp`. Mispredicted side effects are
+///    *not* rolled back;
+///  * SPEC-ITERATE-1/2/3 — the auxfold chain spawning one predictor,
+///    body, and checker thread per iteration;
+///  * WAIT / CANCEL — thread synchronization; cancellation is preemptive
+///    (the machine controls interleaving). The fusing of `cancel tc; vc
+///    xp` into one machine step is a harmless linearization of the CHECK
+///    redex.
+///
+/// Section 3.3's termination fix — abort the predictor and speculative
+/// consumer when the producer finishes first — is available via
+/// MachineOptions::EagerProducerAbort, and the nonspec-priority scheduler
+/// realizes the prioritization fix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_INTERP_SPECMACHINE_H
+#define SPECPAR_INTERP_SPECMACHINE_H
+
+#include "interp/NonSpecEval.h"
+#include "interp/Scheduler.h"
+
+namespace specpar {
+namespace interp {
+
+/// Knobs of the speculative machine.
+struct MachineOptions {
+  SchedulerKind Sched = SchedulerKind::Random;
+  uint64_t Seed = 1;
+  uint64_t MaxSteps = 50000000;
+  /// Section 3.3: abort speculation when the producer beats the predictor.
+  bool EagerProducerAbort = false;
+};
+
+/// RunOutcome plus speculation statistics.
+struct SpecRunOutcome : RunOutcome {
+  uint64_t ThreadsSpawned = 0;
+  uint64_t Predictions = 0;
+  uint64_t Mispredictions = 0;
+  uint64_t Cancellations = 0;
+};
+
+/// Runs \p P under the speculative semantics.
+SpecRunOutcome runSpeculative(const lang::Program &P,
+                              const MachineOptions &Opts = MachineOptions());
+
+} // namespace interp
+} // namespace specpar
+
+#endif // SPECPAR_INTERP_SPECMACHINE_H

@@ -1,0 +1,55 @@
+//===- interp/Value.cpp - Runtime values -----------------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Value.h"
+
+#include "support/StringUtils.h"
+
+using namespace specpar;
+using namespace specpar::interp;
+
+tr::LabelValue Value::toLabel() const {
+  if (const auto *I = std::get_if<int64_t>(&V))
+    return tr::LabelValue::intValue(*I);
+  if (std::holds_alternative<UnitVal>(V))
+    return tr::LabelValue::unitValue();
+  if (const auto *C = std::get_if<CellRef>(&V))
+    return tr::LabelValue::cellLoc(C->Base);
+  if (const auto *A = std::get_if<ArrRef>(&V))
+    return tr::LabelValue::arrLoc(A->Base);
+  return tr::LabelValue::opaque();
+}
+
+std::string Value::str() const {
+  if (const auto *I = std::get_if<int64_t>(&V))
+    return std::to_string(*I);
+  if (std::holds_alternative<UnitVal>(V))
+    return "()";
+  if (const auto *C = std::get_if<Closure>(&V))
+    return formatString("<\\%s. ...>", C->Fn->param()->Name.c_str());
+  if (const auto *F = std::get_if<FunVal>(&V)) {
+    size_t Applied = F->Partial ? F->Partial->size() : 0;
+    if (Applied == 0)
+      return formatString("<fun %s>", F->Fn->Name.c_str());
+    return formatString("<fun %s/%zu applied>", F->Fn->Name.c_str(), Applied);
+  }
+  if (const auto *C = std::get_if<CellRef>(&V))
+    return formatString("cell#%llu", static_cast<unsigned long long>(C->Base));
+  if (const auto *A = std::get_if<ArrRef>(&V))
+    return formatString("arr#%llu", static_cast<unsigned long long>(A->Base));
+  if (const auto *T = std::get_if<TidVal>(&V))
+    return formatString("tid#%llu", static_cast<unsigned long long>(T->Tid));
+  return "<?>";
+}
+
+bool specpar::interp::predictionEquals(const Value &A, const Value &B) {
+  if (A.isInt() && B.isInt())
+    return A.asInt() == B.asInt();
+  if (A.isUnit() && B.isUnit())
+    return true;
+  return false;
+}

@@ -1,0 +1,132 @@
+//===- interp/Value.h - Runtime values and environments ---------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of the Speculate interpreters: integers, unit, closures,
+/// (partially applied) top-level functions, cell and array references, and
+/// thread ids (runtime-internal, per Figure 2's value grammar). Environments
+/// are persistent singly-linked maps so closures capture in O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_INTERP_VALUE_H
+#define SPECPAR_INTERP_VALUE_H
+
+#include "lang/Ast.h"
+#include "trace/Trace.h"
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace specpar {
+namespace interp {
+
+class EnvNode;
+using EnvPtr = std::shared_ptr<const EnvNode>;
+
+struct Value;
+
+/// A lambda closure.
+struct Closure {
+  const lang::Lambda *Fn = nullptr;
+  EnvPtr Env;
+};
+
+/// A top-level function value, possibly partially applied.
+struct FunVal {
+  const lang::FunDef *Fn = nullptr;
+  std::shared_ptr<const std::vector<Value>> Partial; // may be null
+};
+
+/// Reference to a heap cell.
+struct CellRef {
+  uint64_t Base = 0;
+};
+
+/// Reference to a heap array.
+struct ArrRef {
+  uint64_t Base = 0;
+};
+
+/// The unit value.
+struct UnitVal {};
+
+/// A thread id (appears only in runtime expressions).
+struct TidVal {
+  uint64_t Tid = 0;
+};
+
+/// A runtime value.
+struct Value {
+  std::variant<int64_t, UnitVal, Closure, FunVal, CellRef, ArrRef, TidVal> V;
+
+  Value() : V(UnitVal{}) {}
+  /*implicit*/ Value(int64_t I) : V(I) {}
+  /*implicit*/ Value(UnitVal U) : V(U) {}
+  /*implicit*/ Value(Closure C) : V(std::move(C)) {}
+  /*implicit*/ Value(FunVal F) : V(std::move(F)) {}
+  /*implicit*/ Value(CellRef C) : V(C) {}
+  /*implicit*/ Value(ArrRef A) : V(A) {}
+  /*implicit*/ Value(TidVal T) : V(T) {}
+
+  bool isInt() const { return std::holds_alternative<int64_t>(V); }
+  bool isUnit() const { return std::holds_alternative<UnitVal>(V); }
+  bool isCallable() const {
+    return std::holds_alternative<Closure>(V) ||
+           std::holds_alternative<FunVal>(V);
+  }
+  int64_t asInt() const { return std::get<int64_t>(V); }
+
+  /// The label-value projection used by traces and final states.
+  tr::LabelValue toLabel() const;
+
+  std::string str() const;
+};
+
+/// The integer (and unit) equality of the paper's check step. Values of
+/// any other kind never compare equal (the paper restricts predictions to
+/// primitive values).
+bool predictionEquals(const Value &A, const Value &B);
+
+/// A persistent environment node binding one variable.
+class EnvNode {
+public:
+  EnvNode(const lang::Binding *B, Value V, EnvPtr Parent)
+      : B(B), V(std::move(V)), Parent(std::move(Parent)) {}
+
+  /// Extends \p Env with a binding.
+  static EnvPtr bind(EnvPtr Env, const lang::Binding *B, Value V) {
+    return std::make_shared<EnvNode>(B, std::move(V), std::move(Env));
+  }
+
+  /// Looks up \p B; null if unbound (a resolver bug if it happens).
+  static const Value *lookup(const EnvPtr &Env, const lang::Binding *B) {
+    for (const EnvNode *N = Env.get(); N; N = N->Parent.get())
+      if (N->B == B)
+        return &N->V;
+    return nullptr;
+  }
+
+private:
+  const lang::Binding *B;
+  Value V;
+  EnvPtr Parent;
+};
+
+/// A runtime error (type error, division by zero, out-of-bounds, wait on a
+/// cancelled thread, ...). Carries the location of the offending node.
+struct RtError {
+  std::string Message;
+  lang::SourceLoc Loc;
+};
+
+} // namespace interp
+} // namespace specpar
+
+#endif // SPECPAR_INTERP_VALUE_H

@@ -1,0 +1,41 @@
+//===- lang/Ast.cpp - Speculate abstract syntax ----------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+#include "support/Unreachable.h"
+
+using namespace specpar;
+using namespace specpar::lang;
+
+const char *specpar::lang::binOpSpelling(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Mod:
+    return "%";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Ge:
+    return ">=";
+  case BinOpKind::EqEq:
+    return "==";
+  case BinOpKind::Ne:
+    return "!=";
+  }
+  sp_unreachable("unknown binop");
+}

@@ -1,0 +1,440 @@
+//===- lang/Ast.h - Speculate abstract syntax -------------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax of Speculate, the paper's core language (Figure
+/// 2(a)): call-by-value lambda calculus with dynamically allocated mutable
+/// heap cells, fold, and the two speculation constructs `spec` and
+/// `specfold`. Conservative extensions, documented in DESIGN.md Section 4:
+/// integer/comparison primops, `let`, arrays (`newarr`/`a[i]`/`len`), and
+/// top-level function definitions (the "methods" counted by the paper's
+/// Figure 9).
+///
+/// The hierarchy is closed with kind-tag dispatch (support/Casting.h).
+/// All nodes are owned by an AstContext arena; Program owns the context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_LANG_AST_H
+#define SPECPAR_LANG_AST_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specpar {
+namespace lang {
+
+/// A position in the source text (1-based).
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+};
+
+/// A variable binder (lambda/let parameter or function parameter). Each
+/// binder is a distinct object; VarRefs point at their binder after
+/// resolution.
+struct Binding {
+  std::string Name;
+  uint32_t Id = 0; // unique within a Program
+};
+
+struct FunDef;
+
+/// Base class of all Speculate expressions.
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    UnitLit,
+    VarRef,
+    Lambda,
+    Call,
+    Seq,
+    If,
+    BinOp,
+    NewCell,
+    Assign,
+    Deref,
+    NewArray,
+    ArrayGet,
+    ArraySet,
+    ArrayLen,
+    Let,
+    Fold,
+    Spec,
+    SpecFold,
+  };
+
+  Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+  virtual ~Expr() = default;
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+private:
+  const Kind K;
+  const SourceLoc Loc;
+};
+
+/// An integer literal.
+class IntLit : public Expr {
+public:
+  IntLit(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+  int64_t value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// The unit literal `()`.
+class UnitLit : public Expr {
+public:
+  explicit UnitLit(SourceLoc Loc) : Expr(Kind::UnitLit, Loc) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::UnitLit; }
+};
+
+/// A variable reference. After resolution exactly one of binding() /
+/// fun() is non-null: a local binder, or a top-level function used as a
+/// first-class value.
+class VarRef : public Expr {
+public:
+  VarRef(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+  const Binding *binding() const { return Bound; }
+  const FunDef *fun() const { return Fun; }
+  void resolveTo(const Binding *B) { Bound = B; }
+  void resolveTo(const FunDef *F) { Fun = F; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+  const Binding *Bound = nullptr;
+  const FunDef *Fun = nullptr;
+};
+
+/// A single-parameter lambda `\x. body` (the parser desugars multi-
+/// parameter lambdas into nests).
+class Lambda : public Expr {
+public:
+  Lambda(Binding *Param, Expr *Body, SourceLoc Loc)
+      : Expr(Kind::Lambda, Loc), Param(Param), Body(Body) {}
+  const Binding *param() const { return Param; }
+  Expr *body() const { return Body; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Lambda; }
+
+private:
+  Binding *Param;
+  Expr *Body;
+};
+
+/// N-ary application `f(a1, ..., an)`, evaluated callee-first then
+/// arguments left to right, applied curried. `directCallee()` is set by
+/// the resolver when the callee is a bare reference to a top-level
+/// function (the common case the analysis summarizes).
+class Call : public Expr {
+public:
+  Call(Expr *Callee, std::vector<Expr *> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(Callee), Args(std::move(Args)) {}
+  Expr *callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+  const FunDef *directCallee() const { return Direct; }
+  void setDirectCallee(const FunDef *F) { Direct = F; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+  const FunDef *Direct = nullptr;
+};
+
+/// Sequential composition `e1; e2`.
+class Seq : public Expr {
+public:
+  Seq(Expr *First, Expr *Second, SourceLoc Loc)
+      : Expr(Kind::Seq, Loc), First(First), Second(Second) {}
+  Expr *first() const { return First; }
+  Expr *second() const { return Second; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Seq; }
+
+private:
+  Expr *First;
+  Expr *Second;
+};
+
+/// `if c then t else e` — zero is false, everything else true (paper rule
+/// IF-ZERO / IF-NON-ZERO).
+class If : public Expr {
+public:
+  If(Expr *Cond, Expr *Then, Expr *Else, SourceLoc Loc)
+      : Expr(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *cond() const { return Cond; }
+  Expr *thenExpr() const { return Then; }
+  Expr *elseExpr() const { return Else; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::If; }
+
+private:
+  Expr *Cond;
+  Expr *Then;
+  Expr *Else;
+};
+
+/// Binary integer primitive.
+enum class BinOpKind { Add, Sub, Mul, Div, Mod, Lt, Le, Gt, Ge, EqEq, Ne };
+
+/// Printable operator spelling ("+", "<=", ...).
+const char *binOpSpelling(BinOpKind K);
+
+class BinOp : public Expr {
+public:
+  BinOp(BinOpKind Op, Expr *Lhs, Expr *Rhs, SourceLoc Loc)
+      : Expr(Kind::BinOp, Loc), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  BinOpKind op() const { return Op; }
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::BinOp; }
+
+private:
+  BinOpKind Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+/// `new(e)` — allocates a fresh cell initialized to e (paper ALLOC).
+class NewCell : public Expr {
+public:
+  NewCell(Expr *Init, SourceLoc Loc) : Expr(Kind::NewCell, Loc), Init(Init) {}
+  Expr *init() const { return Init; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::NewCell; }
+
+private:
+  Expr *Init;
+};
+
+/// `e1 := e2` — cell assignment (paper SET); evaluates to the value.
+class Assign : public Expr {
+public:
+  Assign(Expr *Cell, Expr *Value, SourceLoc Loc)
+      : Expr(Kind::Assign, Loc), Cell(Cell), Value(Value) {}
+  Expr *cell() const { return Cell; }
+  Expr *value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Assign; }
+
+private:
+  Expr *Cell;
+  Expr *Value;
+};
+
+/// `!e` — cell dereference (paper GET).
+class Deref : public Expr {
+public:
+  Deref(Expr *Cell, SourceLoc Loc) : Expr(Kind::Deref, Loc), Cell(Cell) {}
+  Expr *cell() const { return Cell; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Deref; }
+
+private:
+  Expr *Cell;
+};
+
+/// `newarr(size, init)` — a fresh array of `size` cells, each `init`.
+class NewArray : public Expr {
+public:
+  NewArray(Expr *Size, Expr *Init, SourceLoc Loc)
+      : Expr(Kind::NewArray, Loc), Size(Size), Init(Init) {}
+  Expr *size() const { return Size; }
+  Expr *init() const { return Init; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::NewArray; }
+
+private:
+  Expr *Size;
+  Expr *Init;
+};
+
+/// `a[i]`.
+class ArrayGet : public Expr {
+public:
+  ArrayGet(Expr *Array, Expr *Index, SourceLoc Loc)
+      : Expr(Kind::ArrayGet, Loc), Array(Array), Index(Index) {}
+  Expr *array() const { return Array; }
+  Expr *index() const { return Index; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayGet; }
+
+private:
+  Expr *Array;
+  Expr *Index;
+};
+
+/// `a[i] := v`; evaluates to v.
+class ArraySet : public Expr {
+public:
+  ArraySet(Expr *Array, Expr *Index, Expr *Value, SourceLoc Loc)
+      : Expr(Kind::ArraySet, Loc), Array(Array), Index(Index), Value(Value) {}
+  Expr *array() const { return Array; }
+  Expr *index() const { return Index; }
+  Expr *value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArraySet; }
+
+private:
+  Expr *Array;
+  Expr *Index;
+  Expr *Value;
+};
+
+/// `len(a)`.
+class ArrayLen : public Expr {
+public:
+  ArrayLen(Expr *Array, SourceLoc Loc)
+      : Expr(Kind::ArrayLen, Loc), Array(Array) {}
+  Expr *array() const { return Array; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayLen; }
+
+private:
+  Expr *Array;
+};
+
+/// `let x = e1 in e2` (sugar for `(\x. e2)(e1)`, kept structured for the
+/// analysis and printer).
+class Let : public Expr {
+public:
+  Let(Binding *Var, Expr *Init, Expr *Body, SourceLoc Loc)
+      : Expr(Kind::Let, Loc), Var(Var), Init(Init), Body(Body) {}
+  const Binding *var() const { return Var; }
+  Expr *init() const { return Init; }
+  Expr *body() const { return Body; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Let; }
+
+private:
+  Binding *Var;
+  Expr *Init;
+  Expr *Body;
+};
+
+/// `fold(f, s, l, u)`: the value f(u, ... f(l+1, f(l, s)) ...) — paper
+/// rules FOLD-1/FOLD-2, bounds inclusive.
+class Fold : public Expr {
+public:
+  Fold(Expr *Fn, Expr *Init, Expr *Lo, Expr *Hi, SourceLoc Loc)
+      : Expr(Kind::Fold, Loc), Fn(Fn), Init(Init), Lo(Lo), Hi(Hi) {}
+  Expr *fn() const { return Fn; }
+  Expr *init() const { return Init; }
+  Expr *lo() const { return Lo; }
+  Expr *hi() const { return Hi; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Fold; }
+
+private:
+  Expr *Fn;
+  Expr *Init;
+  Expr *Lo;
+  Expr *Hi;
+};
+
+/// `spec(p, g, c)` — speculative composition. The consumer c is evaluated
+/// to a function value first (evaluation context `spec ep eg E`); p and g
+/// then run in fresh producer/predictor threads (rule SPEC-APPLY).
+class Spec : public Expr {
+public:
+  Spec(Expr *Producer, Expr *Guess, Expr *Consumer, SourceLoc Loc)
+      : Expr(Kind::Spec, Loc), Producer(Producer), Guess(Guess),
+        Consumer(Consumer) {}
+  Expr *producer() const { return Producer; }
+  Expr *guess() const { return Guess; }
+  Expr *consumer() const { return Consumer; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Spec; }
+
+private:
+  Expr *Producer;
+  Expr *Guess;
+  Expr *Consumer;
+};
+
+/// `specfold(f, g, l, u)` — speculative iteration (rules SPEC-ITERATE-*).
+/// f is the loop body (index, accumulator) -> accumulator; g(l) is the
+/// initial value and g(i) the predicted accumulator entering iteration i.
+class SpecFold : public Expr {
+public:
+  SpecFold(Expr *Fn, Expr *Guess, Expr *Lo, Expr *Hi, SourceLoc Loc)
+      : Expr(Kind::SpecFold, Loc), Fn(Fn), Guess(Guess), Lo(Lo), Hi(Hi) {}
+  Expr *fn() const { return Fn; }
+  Expr *guess() const { return Guess; }
+  Expr *lo() const { return Lo; }
+  Expr *hi() const { return Hi; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::SpecFold; }
+
+private:
+  Expr *Fn;
+  Expr *Guess;
+  Expr *Lo;
+  Expr *Hi;
+};
+
+/// A top-level function definition `fun f(x, y) = body`.
+struct FunDef {
+  std::string Name;
+  std::vector<Binding *> Params;
+  Expr *Body = nullptr;
+  SourceLoc Loc;
+};
+
+/// Arena ownership for expressions and bindings.
+class AstContext {
+public:
+  template <typename T, typename... Args> T *make(Args &&...As) {
+    auto Node = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Raw = Node.get();
+    Exprs.push_back(std::move(Node));
+    return Raw;
+  }
+
+  Binding *makeBinding(std::string Name) {
+    auto B = std::make_unique<Binding>();
+    B->Name = std::move(Name);
+    B->Id = NextBindingId++;
+    Binding *Raw = B.get();
+    Bindings.push_back(std::move(B));
+    return Raw;
+  }
+
+  FunDef *makeFun() {
+    Funs.push_back(std::make_unique<FunDef>());
+    return Funs.back().get();
+  }
+
+private:
+  std::vector<std::unique_ptr<Expr>> Exprs;
+  std::vector<std::unique_ptr<Binding>> Bindings;
+  std::vector<std::unique_ptr<FunDef>> Funs;
+  uint32_t NextBindingId = 0;
+};
+
+/// A whole Speculate program: function definitions plus the main
+/// expression.
+struct Program {
+  Program() : Context(std::make_unique<AstContext>()) {}
+
+  std::unique_ptr<AstContext> Context;
+  std::vector<FunDef *> Funs;
+  Expr *Main = nullptr;
+
+  /// Finds a function by name, or null.
+  const FunDef *findFun(const std::string &Name) const {
+    for (const FunDef *F : Funs)
+      if (F->Name == Name)
+        return F;
+    return nullptr;
+  }
+};
+
+} // namespace lang
+} // namespace specpar
+
+#endif // SPECPAR_LANG_AST_H

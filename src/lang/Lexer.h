@@ -1,0 +1,90 @@
+//===- lang/Lexer.h - Speculate tokenizer -----------------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Speculate concrete syntax. Hand-written (the lexgen
+/// module is a benchmark substrate, not a bootstrap dependency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_LANG_LEXER_H
+#define SPECPAR_LANG_LEXER_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specpar {
+namespace lang {
+
+/// Token kinds of the Speculate grammar.
+enum class TokKind {
+  // Literals and identifiers.
+  Int,
+  Ident,
+  // Keywords.
+  KwFun,
+  KwMain,
+  KwLet,
+  KwIn,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwNew,
+  KwNewArr,
+  KwLen,
+  KwFold,
+  KwSpec,
+  KwSpecFold,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Dot,
+  Backslash,
+  Assign, // :=
+  Equal,  // =
+  Bang,   // !
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  Ne,
+  Eof,
+};
+
+/// Printable token-kind name for diagnostics.
+const char *tokKindName(TokKind K);
+
+/// One token: kind, source range text, location, numeric value for Int.
+struct Tok {
+  TokKind Kind;
+  std::string Text;
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+};
+
+/// Tokenizes \p Source. `//` starts a comment to end of line. On a lexical
+/// error the token list ends with an Eof token and \p Error is set.
+std::vector<Tok> tokenize(std::string_view Source, std::string *Error);
+
+} // namespace lang
+} // namespace specpar
+
+#endif // SPECPAR_LANG_LEXER_H

@@ -1,0 +1,417 @@
+//===- lang/Parser.cpp - Speculate parser ----------------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "lang/Resolver.h"
+#include "support/StringUtils.h"
+
+using namespace specpar;
+using namespace specpar::lang;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Tok> Toks, Program &P)
+      : Toks(std::move(Toks)), P(P), Ctx(*P.Context) {}
+
+  bool parseProgramBody() {
+    while (peek().Kind == TokKind::KwFun) {
+      if (!parseFunDef())
+        return false;
+    }
+    if (!expect(TokKind::KwMain) || !expect(TokKind::Equal))
+      return false;
+    P.Main = parseExpr();
+    if (!P.Main)
+      return false;
+    return expect(TokKind::Eof);
+  }
+
+  bool parseBareExpr() {
+    P.Main = parseExpr();
+    if (!P.Main)
+      return false;
+    return expect(TokKind::Eof);
+  }
+
+  std::string takeError() { return Error; }
+
+private:
+  const Tok &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  const Tok &advance() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+  bool at(TokKind K) const { return peek().Kind == K; }
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty()) {
+      const Tok &T = peek();
+      Error = formatString("line %d col %d: %s (found %s)", T.Loc.Line,
+                           T.Loc.Col, Msg.c_str(), tokKindName(T.Kind));
+    }
+    return false;
+  }
+
+  bool expect(TokKind K) {
+    if (accept(K))
+      return true;
+    return fail(formatString("expected %s", tokKindName(K)));
+  }
+
+  bool parseFunDef() {
+    SourceLoc Loc = peek().Loc;
+    expect(TokKind::KwFun);
+    if (!at(TokKind::Ident))
+      return fail("expected function name");
+    std::string Name = advance().Text;
+    FunDef *F = Ctx.makeFun();
+    F->Name = Name;
+    F->Loc = Loc;
+    if (!expect(TokKind::LParen))
+      return false;
+    if (!at(TokKind::RParen)) {
+      do {
+        if (!at(TokKind::Ident))
+          return fail("expected parameter name");
+        F->Params.push_back(Ctx.makeBinding(advance().Text));
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen) || !expect(TokKind::Equal))
+      return false;
+    F->Body = parseExpr();
+    if (!F->Body)
+      return false;
+    P.Funs.push_back(F);
+    return true;
+  }
+
+  /// expr := spine (';' spine)*
+  Expr *parseExpr() {
+    Expr *Lhs = parseSpine();
+    if (!Lhs)
+      return nullptr;
+    while (at(TokKind::Semi)) {
+      SourceLoc Loc = advance().Loc;
+      Expr *Rhs = parseSpine();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Ctx.make<Seq>(Lhs, Rhs, Loc);
+    }
+    return Lhs;
+  }
+
+  Expr *parseSpine() {
+    switch (peek().Kind) {
+    case TokKind::KwLet:
+      return parseLet();
+    case TokKind::KwIf:
+      return parseIf();
+    case TokKind::Backslash:
+      return parseLambda();
+    default:
+      return parseAssign();
+    }
+  }
+
+  Expr *parseLet() {
+    SourceLoc Loc = advance().Loc; // 'let'
+    if (!at(TokKind::Ident)) {
+      fail("expected variable name after 'let'");
+      return nullptr;
+    }
+    Binding *B = Ctx.makeBinding(advance().Text);
+    if (!expect(TokKind::Equal))
+      return nullptr;
+    Expr *Init = parseExpr();
+    if (!Init || !expect(TokKind::KwIn))
+      return nullptr;
+    Expr *Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    return Ctx.make<Let>(B, Init, Body, Loc);
+  }
+
+  Expr *parseIf() {
+    SourceLoc Loc = advance().Loc; // 'if'
+    Expr *Cond = parseExpr();
+    if (!Cond || !expect(TokKind::KwThen))
+      return nullptr;
+    Expr *Then = parseExpr();
+    if (!Then || !expect(TokKind::KwElse))
+      return nullptr;
+    Expr *Else = parseExpr();
+    if (!Else)
+      return nullptr;
+    return Ctx.make<If>(Cond, Then, Else, Loc);
+  }
+
+  Expr *parseLambda() {
+    SourceLoc Loc = advance().Loc; // '\'
+    std::vector<Binding *> Params;
+    while (at(TokKind::Ident))
+      Params.push_back(Ctx.makeBinding(advance().Text));
+    if (Params.empty()) {
+      fail("expected at least one lambda parameter");
+      return nullptr;
+    }
+    if (!expect(TokKind::Dot))
+      return nullptr;
+    Expr *Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    for (size_t I = Params.size(); I-- > 0;)
+      Body = Ctx.make<Lambda>(Params[I], Body, Loc);
+    return Body;
+  }
+
+  Expr *parseAssign() {
+    Expr *Lhs = parseCmp();
+    if (!Lhs)
+      return nullptr;
+    if (!at(TokKind::Assign))
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    Expr *Rhs = parseAssign();
+    if (!Rhs)
+      return nullptr;
+    if (auto *AG = dyn_cast<ArrayGet>(Lhs))
+      return Ctx.make<ArraySet>(AG->array(), AG->index(), Rhs, Loc);
+    return Ctx.make<Assign>(Lhs, Rhs, Loc);
+  }
+
+  Expr *parseCmp() {
+    Expr *Lhs = parseAdd();
+    if (!Lhs)
+      return nullptr;
+    BinOpKind Op;
+    switch (peek().Kind) {
+    case TokKind::Lt:
+      Op = BinOpKind::Lt;
+      break;
+    case TokKind::Le:
+      Op = BinOpKind::Le;
+      break;
+    case TokKind::Gt:
+      Op = BinOpKind::Gt;
+      break;
+    case TokKind::Ge:
+      Op = BinOpKind::Ge;
+      break;
+    case TokKind::EqEq:
+      Op = BinOpKind::EqEq;
+      break;
+    case TokKind::Ne:
+      Op = BinOpKind::Ne;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = advance().Loc;
+    Expr *Rhs = parseAdd();
+    if (!Rhs)
+      return nullptr;
+    return Ctx.make<BinOp>(Op, Lhs, Rhs, Loc);
+  }
+
+  Expr *parseAdd() {
+    Expr *Lhs = parseMul();
+    if (!Lhs)
+      return nullptr;
+    while (at(TokKind::Plus) || at(TokKind::Minus)) {
+      BinOpKind Op = at(TokKind::Plus) ? BinOpKind::Add : BinOpKind::Sub;
+      SourceLoc Loc = advance().Loc;
+      Expr *Rhs = parseMul();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Ctx.make<BinOp>(Op, Lhs, Rhs, Loc);
+    }
+    return Lhs;
+  }
+
+  Expr *parseMul() {
+    Expr *Lhs = parseUnary();
+    if (!Lhs)
+      return nullptr;
+    while (at(TokKind::Star) || at(TokKind::Slash) || at(TokKind::Percent)) {
+      BinOpKind Op = at(TokKind::Star)
+                         ? BinOpKind::Mul
+                         : (at(TokKind::Slash) ? BinOpKind::Div
+                                               : BinOpKind::Mod);
+      SourceLoc Loc = advance().Loc;
+      Expr *Rhs = parseUnary();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Ctx.make<BinOp>(Op, Lhs, Rhs, Loc);
+    }
+    return Lhs;
+  }
+
+  Expr *parseUnary() {
+    if (at(TokKind::Bang)) {
+      SourceLoc Loc = advance().Loc;
+      Expr *E = parseUnary();
+      if (!E)
+        return nullptr;
+      return Ctx.make<Deref>(E, Loc);
+    }
+    if (at(TokKind::Minus)) {
+      SourceLoc Loc = advance().Loc;
+      Expr *E = parseUnary();
+      if (!E)
+        return nullptr;
+      return Ctx.make<BinOp>(BinOpKind::Sub, Ctx.make<IntLit>(0, Loc), E,
+                             Loc);
+    }
+    return parsePostfix();
+  }
+
+  Expr *parsePostfix() {
+    Expr *E = parsePrimary();
+    if (!E)
+      return nullptr;
+    for (;;) {
+      if (at(TokKind::LParen)) {
+        SourceLoc Loc = advance().Loc;
+        std::vector<Expr *> Args;
+        if (!at(TokKind::RParen)) {
+          do {
+            Expr *A = parseExpr();
+            if (!A)
+              return nullptr;
+            Args.push_back(A);
+          } while (accept(TokKind::Comma));
+        }
+        if (!expect(TokKind::RParen))
+          return nullptr;
+        E = Ctx.make<Call>(E, std::move(Args), Loc);
+      } else if (at(TokKind::LBracket)) {
+        SourceLoc Loc = advance().Loc;
+        Expr *Index = parseExpr();
+        if (!Index || !expect(TokKind::RBracket))
+          return nullptr;
+        E = Ctx.make<ArrayGet>(E, Index, Loc);
+      } else {
+        return E;
+      }
+    }
+  }
+
+  /// Parses `'(' e1 ',' ... ',' ek ')'` for a fixed-arity builtin.
+  bool parseBuiltinArgs(unsigned Arity, Expr *Out[4]) {
+    if (!expect(TokKind::LParen))
+      return false;
+    for (unsigned I = 0; I < Arity; ++I) {
+      if (I > 0 && !expect(TokKind::Comma))
+        return false;
+      Out[I] = parseExpr();
+      if (!Out[I])
+        return false;
+    }
+    return expect(TokKind::RParen);
+  }
+
+  Expr *parsePrimary() {
+    const Tok &T = peek();
+    SourceLoc Loc = T.Loc;
+    Expr *A[4] = {nullptr, nullptr, nullptr, nullptr};
+    switch (T.Kind) {
+    case TokKind::Int:
+      advance();
+      return Ctx.make<IntLit>(T.IntValue, Loc);
+    case TokKind::Ident:
+      advance();
+      return Ctx.make<VarRef>(T.Text, Loc);
+    case TokKind::LParen: {
+      advance();
+      if (accept(TokKind::RParen))
+        return Ctx.make<UnitLit>(Loc);
+      Expr *E = parseExpr();
+      if (!E || !expect(TokKind::RParen))
+        return nullptr;
+      return E;
+    }
+    case TokKind::KwNew:
+      advance();
+      if (!parseBuiltinArgs(1, A))
+        return nullptr;
+      return Ctx.make<NewCell>(A[0], Loc);
+    case TokKind::KwNewArr:
+      advance();
+      if (!parseBuiltinArgs(2, A))
+        return nullptr;
+      return Ctx.make<NewArray>(A[0], A[1], Loc);
+    case TokKind::KwLen:
+      advance();
+      if (!parseBuiltinArgs(1, A))
+        return nullptr;
+      return Ctx.make<ArrayLen>(A[0], Loc);
+    case TokKind::KwFold:
+      advance();
+      if (!parseBuiltinArgs(4, A))
+        return nullptr;
+      return Ctx.make<Fold>(A[0], A[1], A[2], A[3], Loc);
+    case TokKind::KwSpec:
+      advance();
+      if (!parseBuiltinArgs(3, A))
+        return nullptr;
+      return Ctx.make<Spec>(A[0], A[1], A[2], Loc);
+    case TokKind::KwSpecFold:
+      advance();
+      if (!parseBuiltinArgs(4, A))
+        return nullptr;
+      return Ctx.make<SpecFold>(A[0], A[1], A[2], A[3], Loc);
+    default:
+      fail("expected an expression");
+      return nullptr;
+    }
+  }
+
+  std::vector<Tok> Toks;
+  size_t Pos = 0;
+  Program &P;
+  AstContext &Ctx;
+  std::string Error;
+};
+
+Result<std::unique_ptr<Program>> parseWith(std::string_view Source,
+                                           bool BareExpr) {
+  std::string LexError;
+  std::vector<Tok> Toks = tokenize(Source, &LexError);
+  if (!LexError.empty())
+    return ResultError(LexError);
+  auto P = std::make_unique<Program>();
+  Parser Ps(std::move(Toks), *P);
+  bool Ok = BareExpr ? Ps.parseBareExpr() : Ps.parseProgramBody();
+  if (!Ok)
+    return ResultError(Ps.takeError());
+  std::string ResolveError;
+  if (!resolveProgram(*P, &ResolveError))
+    return ResultError(ResolveError);
+  return P;
+}
+
+} // namespace
+
+Result<std::unique_ptr<Program>>
+specpar::lang::parseProgram(std::string_view Source) {
+  return parseWith(Source, /*BareExpr=*/false);
+}
+
+Result<std::unique_ptr<Program>>
+specpar::lang::parseExpr(std::string_view Source) {
+  return parseWith(Source, /*BareExpr=*/true);
+}

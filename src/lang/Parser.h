@@ -1,0 +1,60 @@
+//===- lang/Parser.h - Speculate parser -------------------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Speculate concrete syntax:
+///
+///   program  := fundef* 'main' '=' expr
+///   fundef   := 'fun' ID '(' [ID (',' ID)*] ')' '=' expr
+///   expr     := spine (';' spine)*                      (Seq, left-assoc)
+///   spine    := 'let' ID '=' expr 'in' expr
+///             | 'if' expr 'then' expr 'else' expr
+///             | '\' ID+ '.' expr
+///             | assign
+///   assign   := cmp [':=' assign]      (cell write, or a[i] := v)
+///   cmp      := add [('<'|'<='|'>'|'>='|'=='|'!=') add]
+///   add      := mul (('+'|'-') mul)*
+///   mul      := unary (('*'|'/'|'%') unary)*
+///   unary    := '!' unary | '-' unary | postfix
+///   postfix  := primary ('(' [expr (',' expr)*] ')' | '[' expr ']')*
+///   primary  := INT | '(' ')' | '(' expr ')' | ID
+///             | 'new' '(' expr ')' | 'newarr' '(' expr ',' expr ')'
+///             | 'len' '(' expr ')' | 'fold' '(' e ',' e ',' e ',' e ')'
+///             | 'spec' '(' e ',' e ',' e ')'
+///             | 'specfold' '(' e ',' e ',' e ',' e ')'
+///
+/// Tail positions (let/lambda bodies, else branches) extend maximally to
+/// the right; parenthesize to restrict them. The parser also runs the
+/// resolver (lang/Resolver.h), so a successful parse returns a fully
+/// resolved program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_LANG_PARSER_H
+#define SPECPAR_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "support/Result.h"
+
+#include <memory>
+#include <string_view>
+
+namespace specpar {
+namespace lang {
+
+/// Parses and resolves \p Source into a Program. The error message carries
+/// a line/column position.
+Result<std::unique_ptr<Program>> parseProgram(std::string_view Source);
+
+/// Parses a bare expression (no fundefs, no 'main =' header) — convenient
+/// in tests and the REPL example.
+Result<std::unique_ptr<Program>> parseExpr(std::string_view Source);
+
+} // namespace lang
+} // namespace specpar
+
+#endif // SPECPAR_LANG_PARSER_H

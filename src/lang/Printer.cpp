@@ -1,0 +1,267 @@
+//===- lang/Printer.cpp - Speculate pretty printer --------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Printer.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+using namespace specpar;
+using namespace specpar::lang;
+
+namespace {
+
+/// Precedence levels mirroring the parser: 0=seq, 1=spine (let/if/\),
+/// 2=assign, 3=cmp, 4=add, 5=mul, 6=unary, 7=postfix, 8=primary.
+int levelOf(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::Seq:
+    return 0;
+  case Expr::Kind::Let:
+  case Expr::Kind::If:
+  case Expr::Kind::Lambda:
+    return 1;
+  case Expr::Kind::Assign:
+  case Expr::Kind::ArraySet:
+    return 2;
+  case Expr::Kind::BinOp:
+    switch (cast<BinOp>(E)->op()) {
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::Gt:
+    case BinOpKind::Ge:
+    case BinOpKind::EqEq:
+    case BinOpKind::Ne:
+      return 3;
+    case BinOpKind::Add:
+    case BinOpKind::Sub:
+      return 4;
+    case BinOpKind::Mul:
+    case BinOpKind::Div:
+    case BinOpKind::Mod:
+      return 5;
+    }
+    sp_unreachable("unknown binop");
+  case Expr::Kind::Deref:
+    return 6;
+  case Expr::Kind::Call:
+  case Expr::Kind::ArrayGet:
+    return 7;
+  default:
+    return 8;
+  }
+}
+
+std::string print(const Expr *E, int MinLevel);
+
+std::string printAt(const Expr *E, int MinLevel) {
+  std::string S = print(E, MinLevel);
+  if (levelOf(E) < MinLevel)
+    return "(" + S + ")";
+  return S;
+}
+
+std::string print(const Expr *E, int /*MinLevel*/) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit: {
+    int64_t V = cast<IntLit>(E)->value();
+    if (V >= 0)
+      return std::to_string(V);
+    // The parser only builds non-negative literals; mirror its desugaring
+    // so round-trips stay structural.
+    if (V == INT64_MIN)
+      return "(0 - 9223372036854775807 - 1)";
+    return formatString("(0 - %lld)", static_cast<long long>(-V));
+  }
+  case Expr::Kind::UnitLit:
+    return "()";
+  case Expr::Kind::VarRef:
+    return cast<VarRef>(E)->name();
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<Lambda>(E);
+    return "\\" + L->param()->Name + ". " + printAt(L->body(), 0);
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<Call>(E);
+    std::string S = printAt(C->callee(), 7) + "(";
+    for (size_t I = 0; I < C->args().size(); ++I) {
+      if (I)
+        S += ", ";
+      S += printAt(C->args()[I], 0);
+    }
+    return S + ")";
+  }
+  case Expr::Kind::Seq:
+    return printAt(cast<Seq>(E)->first(), 2) + "; " +
+           printAt(cast<Seq>(E)->second(), 0);
+  case Expr::Kind::If: {
+    const auto *I = cast<If>(E);
+    return "if " + printAt(I->cond(), 0) + " then " +
+           printAt(I->thenExpr(), 0) + " else " + printAt(I->elseExpr(), 0);
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOp>(E);
+    int Level = levelOf(B);
+    // cmp is non-associative (both sides tighter); add/mul left-assoc.
+    int LhsLevel = Level == 3 ? 4 : Level;
+    int RhsLevel = Level == 3 ? 4 : Level + 1;
+    return printAt(B->lhs(), LhsLevel) + " " + binOpSpelling(B->op()) + " " +
+           printAt(B->rhs(), RhsLevel);
+  }
+  case Expr::Kind::NewCell:
+    return "new(" + printAt(cast<NewCell>(E)->init(), 0) + ")";
+  case Expr::Kind::Assign:
+    return printAt(cast<Assign>(E)->cell(), 3) + " := " +
+           printAt(cast<Assign>(E)->value(), 2);
+  case Expr::Kind::Deref:
+    return "!" + printAt(cast<Deref>(E)->cell(), 6);
+  case Expr::Kind::NewArray: {
+    const auto *A = cast<NewArray>(E);
+    return "newarr(" + printAt(A->size(), 0) + ", " + printAt(A->init(), 0) +
+           ")";
+  }
+  case Expr::Kind::ArrayGet: {
+    const auto *A = cast<ArrayGet>(E);
+    return printAt(A->array(), 7) + "[" + printAt(A->index(), 0) + "]";
+  }
+  case Expr::Kind::ArraySet: {
+    const auto *A = cast<ArraySet>(E);
+    return printAt(A->array(), 7) + "[" + printAt(A->index(), 0) +
+           "] := " + printAt(A->value(), 2);
+  }
+  case Expr::Kind::ArrayLen:
+    return "len(" + printAt(cast<ArrayLen>(E)->array(), 0) + ")";
+  case Expr::Kind::Let: {
+    const auto *L = cast<Let>(E);
+    return "let " + L->var()->Name + " = " + printAt(L->init(), 0) + " in " +
+           printAt(L->body(), 0);
+  }
+  case Expr::Kind::Fold: {
+    const auto *F = cast<Fold>(E);
+    return "fold(" + printAt(F->fn(), 0) + ", " + printAt(F->init(), 0) +
+           ", " + printAt(F->lo(), 0) + ", " + printAt(F->hi(), 0) + ")";
+  }
+  case Expr::Kind::Spec: {
+    const auto *S = cast<Spec>(E);
+    return "spec(" + printAt(S->producer(), 0) + ", " +
+           printAt(S->guess(), 0) + ", " + printAt(S->consumer(), 0) + ")";
+  }
+  case Expr::Kind::SpecFold: {
+    const auto *S = cast<SpecFold>(E);
+    return "specfold(" + printAt(S->fn(), 0) + ", " + printAt(S->guess(), 0) +
+           ", " + printAt(S->lo(), 0) + ", " + printAt(S->hi(), 0) + ")";
+  }
+  }
+  sp_unreachable("unknown expression kind");
+}
+
+} // namespace
+
+std::string specpar::lang::printExpr(const Expr *E) { return printAt(E, 0); }
+
+std::string specpar::lang::printProgram(const Program &P) {
+  std::string S;
+  for (const FunDef *F : P.Funs) {
+    S += "fun " + F->Name + "(";
+    for (size_t I = 0; I < F->Params.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += F->Params[I]->Name;
+    }
+    S += ") =\n  " + printExpr(F->Body) + "\n\n";
+  }
+  S += "main = " + printExpr(P.Main) + "\n";
+  return S;
+}
+
+int64_t specpar::lang::countNodes(const Expr *E) {
+  int64_t N = 1;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::VarRef:
+    break;
+  case Expr::Kind::Lambda:
+    N += countNodes(cast<Lambda>(E)->body());
+    break;
+  case Expr::Kind::Call: {
+    const auto *C = cast<Call>(E);
+    N += countNodes(C->callee());
+    for (const Expr *A : C->args())
+      N += countNodes(A);
+    break;
+  }
+  case Expr::Kind::Seq:
+    N += countNodes(cast<Seq>(E)->first()) +
+         countNodes(cast<Seq>(E)->second());
+    break;
+  case Expr::Kind::If:
+    N += countNodes(cast<If>(E)->cond()) +
+         countNodes(cast<If>(E)->thenExpr()) +
+         countNodes(cast<If>(E)->elseExpr());
+    break;
+  case Expr::Kind::BinOp:
+    N += countNodes(cast<BinOp>(E)->lhs()) + countNodes(cast<BinOp>(E)->rhs());
+    break;
+  case Expr::Kind::NewCell:
+    N += countNodes(cast<NewCell>(E)->init());
+    break;
+  case Expr::Kind::Assign:
+    N += countNodes(cast<Assign>(E)->cell()) +
+         countNodes(cast<Assign>(E)->value());
+    break;
+  case Expr::Kind::Deref:
+    N += countNodes(cast<Deref>(E)->cell());
+    break;
+  case Expr::Kind::NewArray:
+    N += countNodes(cast<NewArray>(E)->size()) +
+         countNodes(cast<NewArray>(E)->init());
+    break;
+  case Expr::Kind::ArrayGet:
+    N += countNodes(cast<ArrayGet>(E)->array()) +
+         countNodes(cast<ArrayGet>(E)->index());
+    break;
+  case Expr::Kind::ArraySet:
+    N += countNodes(cast<ArraySet>(E)->array()) +
+         countNodes(cast<ArraySet>(E)->index()) +
+         countNodes(cast<ArraySet>(E)->value());
+    break;
+  case Expr::Kind::ArrayLen:
+    N += countNodes(cast<ArrayLen>(E)->array());
+    break;
+  case Expr::Kind::Let:
+    N += countNodes(cast<Let>(E)->init()) + countNodes(cast<Let>(E)->body());
+    break;
+  case Expr::Kind::Fold: {
+    const auto *F = cast<Fold>(E);
+    N += countNodes(F->fn()) + countNodes(F->init()) + countNodes(F->lo()) +
+         countNodes(F->hi());
+    break;
+  }
+  case Expr::Kind::Spec: {
+    const auto *S = cast<Spec>(E);
+    N += countNodes(S->producer()) + countNodes(S->guess()) +
+         countNodes(S->consumer());
+    break;
+  }
+  case Expr::Kind::SpecFold: {
+    const auto *S = cast<SpecFold>(E);
+    N += countNodes(S->fn()) + countNodes(S->guess()) + countNodes(S->lo()) +
+         countNodes(S->hi());
+    break;
+  }
+  }
+  return N;
+}
+
+int64_t specpar::lang::countNodes(const Program &P) {
+  int64_t N = 0;
+  for (const FunDef *F : P.Funs)
+    N += countNodes(F->Body);
+  return N + countNodes(P.Main);
+}

@@ -1,0 +1,40 @@
+//===- lang/Printer.h - Speculate pretty printer ----------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints Speculate ASTs back to (re-parseable) concrete syntax. Output is
+/// fully parenthesized where precedence could be ambiguous, so
+/// parse(print(P)) is structurally equal to P (tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_LANG_PRINTER_H
+#define SPECPAR_LANG_PRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace specpar {
+namespace lang {
+
+/// Prints one expression.
+std::string printExpr(const Expr *E);
+
+/// Prints a whole program (fundefs + main).
+std::string printProgram(const Program &P);
+
+/// Counts AST nodes in an expression (used by Fig. 9's size metrics).
+int64_t countNodes(const Expr *E);
+
+/// Counts AST nodes in a whole program.
+int64_t countNodes(const Program &P);
+
+} // namespace lang
+} // namespace specpar
+
+#endif // SPECPAR_LANG_PRINTER_H

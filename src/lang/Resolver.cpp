@@ -1,0 +1,193 @@
+//===- lang/Resolver.cpp - Name resolution for Speculate -------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Resolver.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <map>
+#include <vector>
+
+using namespace specpar;
+using namespace specpar::lang;
+
+namespace {
+
+class Resolver {
+public:
+  explicit Resolver(Program &P) : P(P) {}
+
+  bool run() {
+    // Register function names in definition order, checking duplicates,
+    // and resolve each body with only earlier functions visible.
+    for (FunDef *F : P.Funs) {
+      if (FunsByName.count(F->Name))
+        return fail(F->Loc,
+                    formatString("duplicate function '%s'", F->Name.c_str()));
+      std::map<std::string, const Binding *> Params;
+      for (Binding *B : F->Params) {
+        if (Params.count(B->Name))
+          return fail(F->Loc, formatString("duplicate parameter '%s' in '%s'",
+                                           B->Name.c_str(), F->Name.c_str()));
+        Params.emplace(B->Name, B);
+      }
+      Scope.clear();
+      for (Binding *B : F->Params)
+        Scope.push_back(B);
+      if (!resolve(F->Body))
+        return false;
+      FunsByName.emplace(F->Name, F);
+    }
+    Scope.clear();
+    return resolve(P.Main);
+  }
+
+  std::string takeError() { return Error; }
+
+private:
+  bool fail(SourceLoc Loc, const std::string &Msg) {
+    if (Error.empty())
+      Error = formatString("line %d col %d: %s", Loc.Line, Loc.Col,
+                           Msg.c_str());
+    return false;
+  }
+
+  const Binding *lookupLocal(const std::string &Name) const {
+    for (size_t I = Scope.size(); I-- > 0;)
+      if (Scope[I]->Name == Name)
+        return Scope[I];
+    return nullptr;
+  }
+
+  bool resolve(Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::UnitLit:
+      return true;
+    case Expr::Kind::VarRef: {
+      auto *V = cast<VarRef>(E);
+      if (const Binding *B = lookupLocal(V->name())) {
+        V->resolveTo(B);
+        return true;
+      }
+      auto It = FunsByName.find(V->name());
+      if (It != FunsByName.end()) {
+        V->resolveTo(It->second);
+        return true;
+      }
+      return fail(V->loc(),
+                  formatString("undefined variable '%s'", V->name().c_str()));
+    }
+    case Expr::Kind::Lambda: {
+      auto *L = cast<Lambda>(E);
+      Scope.push_back(const_cast<Binding *>(L->param()));
+      bool Ok = resolve(L->body());
+      Scope.pop_back();
+      return Ok;
+    }
+    case Expr::Kind::Call: {
+      auto *C = cast<Call>(E);
+      if (!resolve(C->callee()))
+        return false;
+      for (Expr *A : C->args())
+        if (!resolve(A))
+          return false;
+      // Mark direct calls to top-level functions and check arity.
+      if (auto *V = dyn_cast<VarRef>(C->callee())) {
+        if (const FunDef *F = V->fun()) {
+          if (F->Params.size() != C->args().size())
+            return fail(C->loc(),
+                        formatString("'%s' expects %zu arguments, got %zu",
+                                     F->Name.c_str(), F->Params.size(),
+                                     C->args().size()));
+          C->setDirectCallee(F);
+        }
+      }
+      return true;
+    }
+    case Expr::Kind::Seq: {
+      auto *S = cast<Seq>(E);
+      return resolve(S->first()) && resolve(S->second());
+    }
+    case Expr::Kind::If: {
+      auto *I = cast<If>(E);
+      return resolve(I->cond()) && resolve(I->thenExpr()) &&
+             resolve(I->elseExpr());
+    }
+    case Expr::Kind::BinOp: {
+      auto *B = cast<BinOp>(E);
+      return resolve(B->lhs()) && resolve(B->rhs());
+    }
+    case Expr::Kind::NewCell:
+      return resolve(cast<NewCell>(E)->init());
+    case Expr::Kind::Assign: {
+      auto *A = cast<Assign>(E);
+      return resolve(A->cell()) && resolve(A->value());
+    }
+    case Expr::Kind::Deref:
+      return resolve(cast<Deref>(E)->cell());
+    case Expr::Kind::NewArray: {
+      auto *A = cast<NewArray>(E);
+      return resolve(A->size()) && resolve(A->init());
+    }
+    case Expr::Kind::ArrayGet: {
+      auto *A = cast<ArrayGet>(E);
+      return resolve(A->array()) && resolve(A->index());
+    }
+    case Expr::Kind::ArraySet: {
+      auto *A = cast<ArraySet>(E);
+      return resolve(A->array()) && resolve(A->index()) &&
+             resolve(A->value());
+    }
+    case Expr::Kind::ArrayLen:
+      return resolve(cast<ArrayLen>(E)->array());
+    case Expr::Kind::Let: {
+      auto *L = cast<Let>(E);
+      if (!resolve(L->init()))
+        return false;
+      Scope.push_back(const_cast<Binding *>(L->var()));
+      bool Ok = resolve(L->body());
+      Scope.pop_back();
+      return Ok;
+    }
+    case Expr::Kind::Fold: {
+      auto *F = cast<Fold>(E);
+      return resolve(F->fn()) && resolve(F->init()) && resolve(F->lo()) &&
+             resolve(F->hi());
+    }
+    case Expr::Kind::Spec: {
+      auto *S = cast<Spec>(E);
+      return resolve(S->producer()) && resolve(S->guess()) &&
+             resolve(S->consumer());
+    }
+    case Expr::Kind::SpecFold: {
+      auto *S = cast<SpecFold>(E);
+      return resolve(S->fn()) && resolve(S->guess()) && resolve(S->lo()) &&
+             resolve(S->hi());
+    }
+    }
+    sp_unreachable("unknown expression kind");
+  }
+
+  Program &P;
+  std::map<std::string, const FunDef *> FunsByName;
+  std::vector<Binding *> Scope;
+  std::string Error;
+};
+
+} // namespace
+
+bool specpar::lang::resolveProgram(Program &P, std::string *Error) {
+  Resolver R(P);
+  if (R.run())
+    return true;
+  if (Error)
+    *Error = R.takeError();
+  return false;
+}

@@ -1,0 +1,36 @@
+//===- lang/Resolver.h - Name resolution for Speculate ----------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves every VarRef to its binder (innermost lambda/let/parameter) or
+/// to a top-level function, marks direct calls, and enforces the static
+/// rules of the language:
+///  * no duplicate function names or parameter names;
+///  * a function body may reference only functions defined *before* it
+///    (no recursion — iteration is expressed with fold/specfold, and this
+///    keeps the interprocedural analysis summary-ordered);
+///  * direct calls must match the callee's arity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_LANG_RESOLVER_H
+#define SPECPAR_LANG_RESOLVER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace specpar {
+namespace lang {
+
+/// Resolves \p P in place. Returns false and sets \p Error on failure.
+bool resolveProgram(Program &P, std::string *Error);
+
+} // namespace lang
+} // namespace specpar
+
+#endif // SPECPAR_LANG_RESOLVER_H

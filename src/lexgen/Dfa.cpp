@@ -1,0 +1,206 @@
+//===- lexgen/Dfa.cpp - Subset construction and minimization --------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexgen/Dfa.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <queue>
+
+using namespace specpar;
+using namespace specpar::lexgen;
+
+bool Dfa::matches(std::string_view Text, int32_t *RuleOut) const {
+  uint32_t S = Start;
+  for (char CS : Text) {
+    S = next(S, static_cast<unsigned char>(CS));
+    if (S == DeadState)
+      return false;
+  }
+  if (Accepts[S] == NoRule)
+    return false;
+  if (RuleOut)
+    *RuleOut = Accepts[S];
+  return true;
+}
+
+Dfa Dfa::fromNfa(const Nfa &N) {
+  Dfa D;
+  std::map<std::vector<uint32_t>, uint32_t> SubsetIds;
+  std::vector<std::vector<uint32_t>> Subsets;
+
+  auto InternSubset = [&](std::vector<uint32_t> Subset) -> uint32_t {
+    auto It = SubsetIds.find(Subset);
+    if (It != SubsetIds.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Subsets.size());
+    SubsetIds.emplace(Subset, Id);
+    Subsets.push_back(std::move(Subset));
+    D.Table.resize((Id + 1) * 256, DeadState);
+    int32_t Best = NoRule;
+    for (uint32_t S : Subsets[Id]) {
+      int32_t R = N.acceptRule(S);
+      if (R != NoRule && (Best == NoRule || R < Best))
+        Best = R;
+    }
+    D.Accepts.push_back(Best);
+    return Id;
+  };
+
+  D.Start = InternSubset(N.epsilonClosure({N.startState()}));
+  std::queue<uint32_t> Work;
+  Work.push(D.Start);
+  std::vector<bool> Done(1, false);
+
+  while (!Work.empty()) {
+    uint32_t Id = Work.front();
+    Work.pop();
+    if (Id < Done.size() && Done[Id])
+      continue;
+    if (Id >= Done.size())
+      Done.resize(Id + 1, false);
+    Done[Id] = true;
+
+    // Collect the target subset for every byte in one pass over the edges.
+    std::vector<std::vector<uint32_t>> Targets(256);
+    for (uint32_t S : Subsets[Id]) {
+      for (const Nfa::CharEdge &E : N.charEdges(S)) {
+        for (unsigned C = 0; C < 256; ++C)
+          if (E.On.test(C))
+            Targets[C].push_back(E.To);
+      }
+    }
+    for (unsigned C = 0; C < 256; ++C) {
+      if (Targets[C].empty())
+        continue;
+      std::sort(Targets[C].begin(), Targets[C].end());
+      Targets[C].erase(std::unique(Targets[C].begin(), Targets[C].end()),
+                       Targets[C].end());
+      uint32_t To = InternSubset(N.epsilonClosure(std::move(Targets[C])));
+      D.Table[Id * 256 + C] = To;
+      if (To >= Done.size())
+        Done.resize(To + 1, false);
+      if (!Done[To])
+        Work.push(To);
+    }
+  }
+  return D;
+}
+
+Dfa Dfa::minimized() const {
+  uint32_t N = numStates();
+  // Initial partition: states grouped by accepting rule.
+  std::vector<uint32_t> Block(N);
+  std::map<int32_t, uint32_t> RuleBlock;
+  uint32_t NumBlocks = 0;
+  for (uint32_t S = 0; S < N; ++S) {
+    auto [It, Inserted] = RuleBlock.emplace(Accepts[S], NumBlocks);
+    if (Inserted)
+      ++NumBlocks;
+    Block[S] = It->second;
+  }
+
+  // Moore refinement: split blocks by the successor-block signature until
+  // stable. The dead state is treated as its own implicit block id.
+  for (;;) {
+    std::map<std::vector<uint32_t>, uint32_t> SigIds;
+    std::vector<uint32_t> NewBlock(N);
+    uint32_t NewNumBlocks = 0;
+    for (uint32_t S = 0; S < N; ++S) {
+      std::vector<uint32_t> Sig;
+      Sig.reserve(257);
+      Sig.push_back(Block[S]);
+      for (unsigned C = 0; C < 256; ++C) {
+        uint32_t T = Table[S * 256 + C];
+        Sig.push_back(T == DeadState ? UINT32_MAX : Block[T]);
+      }
+      auto [It, Inserted] = SigIds.emplace(std::move(Sig), NewNumBlocks);
+      if (Inserted)
+        ++NewNumBlocks;
+      NewBlock[S] = It->second;
+    }
+    bool Changed = NewNumBlocks != NumBlocks;
+    Block = std::move(NewBlock);
+    NumBlocks = NewNumBlocks;
+    if (!Changed)
+      break;
+  }
+
+  Dfa M;
+  M.Accepts.assign(NumBlocks, NoRule);
+  M.Table.assign(static_cast<size_t>(NumBlocks) * 256, DeadState);
+  for (uint32_t S = 0; S < N; ++S) {
+    uint32_t B = Block[S];
+    M.Accepts[B] = Accepts[S];
+    for (unsigned C = 0; C < 256; ++C) {
+      uint32_t T = Table[S * 256 + C];
+      M.Table[B * 256 + C] = T == DeadState ? DeadState : Block[T];
+    }
+  }
+  M.Start = Block[Start];
+  return M;
+}
+
+std::string
+Dfa::toDot(const std::function<std::string(int32_t)> &RuleName) const {
+  auto EscapeByte = [](unsigned C) -> std::string {
+    if (C == '"' || C == '\\')
+      return std::string("\\\\") + static_cast<char>(C);
+    if (C >= 0x21 && C <= 0x7e)
+      return std::string(1, static_cast<char>(C));
+    if (C == ' ')
+      return "SP";
+    if (C == '\n')
+      return "\\\\n";
+    if (C == '\t')
+      return "\\\\t";
+    char Buf[8];
+    std::snprintf(Buf, sizeof(Buf), "x%02X", C);
+    return Buf;
+  };
+
+  std::string Dot = "digraph dfa {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (uint32_t S = 0; S < numStates(); ++S) {
+    int32_t Rule = Accepts[S];
+    if (Rule != NoRule)
+      Dot += "  s" + std::to_string(S) + " [shape=doublecircle, label=\"" +
+             std::to_string(S) + "\\n" + RuleName(Rule) + "\"];\n";
+    else
+      Dot += "  s" + std::to_string(S) + ";\n";
+  }
+  Dot += "  start [shape=point];\n  start -> s" + std::to_string(Start) +
+         ";\n";
+  for (uint32_t S = 0; S < numStates(); ++S) {
+    // Group contiguous byte ranges per target.
+    std::map<uint32_t, std::string> Labels;
+    unsigned C = 0;
+    while (C < 256) {
+      uint32_t T = Table[S * 256 + C];
+      if (T == DeadState) {
+        ++C;
+        continue;
+      }
+      unsigned End = C;
+      while (End + 1 < 256 && Table[S * 256 + End + 1] == T)
+        ++End;
+      std::string &L = Labels[T];
+      if (!L.empty())
+        L += ",";
+      L += EscapeByte(C);
+      if (End > C)
+        L += "-" + EscapeByte(End);
+      C = End + 1;
+    }
+    for (const auto &[T, L] : Labels)
+      Dot += "  s" + std::to_string(S) + " -> s" + std::to_string(T) +
+             " [label=\"" + L + "\"];\n";
+  }
+  Dot += "}\n";
+  return Dot;
+}

@@ -1,0 +1,158 @@
+//===- lexgen/Languages.cpp - Token rules for C/Java/HTML/LaTeX -----------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexgen/Languages.h"
+
+#include "support/Unreachable.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace specpar;
+using namespace specpar::lexgen;
+
+const char *specpar::lexgen::languageName(Language L) {
+  switch (L) {
+  case Language::C:
+    return "C";
+  case Language::Java:
+    return "Java";
+  case Language::Html:
+    return "HTML";
+  case Language::Latex:
+    return "Latex";
+  }
+  sp_unreachable("unknown language");
+}
+
+static void addKeywords(std::vector<LexRule> &Rules,
+                        const char *const *Words, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Rules.push_back(LexRule{std::string("kw_") + Words[I], Words[I], false});
+}
+
+static std::vector<LexRule> cRules() {
+  std::vector<LexRule> R;
+  static const char *const Keywords[] = {
+      "auto",     "break",  "case",    "char",   "const",    "continue",
+      "default",  "do",     "double",  "else",   "enum",     "extern",
+      "float",    "for",    "goto",    "if",     "int",      "long",
+      "register", "return", "short",   "signed", "sizeof",   "static",
+      "struct",   "switch", "typedef", "union",  "unsigned", "void",
+      "volatile", "while"};
+  addKeywords(R, Keywords, sizeof(Keywords) / sizeof(Keywords[0]));
+  R.push_back({"identifier", "[a-zA-Z_]\\w*", false});
+  R.push_back({"hex", "0[xX][0-9a-fA-F]+[uUlL]*", false});
+  R.push_back({"float",
+               "\\d+\\.\\d+([eE][-+]?\\d+)?[fFlL]?|\\d+[eE][-+]?\\d+[fFlL]?",
+               false});
+  R.push_back({"int", "\\d+[uUlL]*", false});
+  R.push_back({"string", "\"(\\\\.|[^\"\\\\\n])*\"", false});
+  R.push_back({"charlit", "'(\\\\.|[^'\\\\\n])+'", false});
+  R.push_back({"block_comment", "/\\*([^*]|\\*+[^*/])*\\*+/", true});
+  R.push_back({"line_comment", "//[^\n]*", true});
+  R.push_back({"preproc", "#[^\n]*", false});
+  R.push_back({"op",
+               "\\.\\.\\.|<<=|>>=|->|\\+\\+|--|<<|>>|<=|>=|==|!=|&&|\\|\\||"
+               "\\+=|-=|\\*=|/=|%=|&=|\\|=|\\^=",
+               false});
+  R.push_back({"punct", "[-+*/%=<>!&|^~?:;,.(){}[\\]]", false});
+  R.push_back({"ws", "\\s+", true});
+  return R;
+}
+
+static std::vector<LexRule> javaRules() {
+  std::vector<LexRule> R;
+  static const char *const Keywords[] = {
+      "abstract", "assert",     "boolean",   "break",      "byte",
+      "case",     "catch",      "char",      "class",      "const",
+      "continue", "default",    "do",        "double",     "else",
+      "enum",     "extends",    "final",     "finally",    "float",
+      "for",      "goto",       "if",        "implements", "import",
+      "instanceof", "int",      "interface", "long",       "native",
+      "new",      "package",    "private",   "protected",  "public",
+      "return",   "short",      "static",    "strictfp",   "super",
+      "switch",   "synchronized", "this",    "throw",      "throws",
+      "transient", "try",       "void",      "volatile",   "while",
+      "true",     "false",      "null"};
+  addKeywords(R, Keywords, sizeof(Keywords) / sizeof(Keywords[0]));
+  R.push_back({"identifier", "[a-zA-Z_$][\\w$]*", false});
+  R.push_back({"annotation", "@[a-zA-Z_][\\w]*", false});
+  R.push_back({"hex", "0[xX][0-9a-fA-F_]+[lL]?", false});
+  R.push_back({"float",
+               "\\d+\\.\\d+([eE][-+]?\\d+)?[fFdD]?|\\d+[eE][-+]?\\d+[fFdD]?",
+               false});
+  R.push_back({"int", "\\d[\\d_]*[lL]?", false});
+  R.push_back({"string", "\"(\\\\.|[^\"\\\\\n])*\"", false});
+  R.push_back({"charlit", "'(\\\\.|[^'\\\\\n])+'", false});
+  R.push_back({"block_comment", "/\\*([^*]|\\*+[^*/])*\\*+/", true});
+  R.push_back({"line_comment", "//[^\n]*", true});
+  R.push_back({"op",
+               ">>>=|>>>|<<=|>>=|->|::|\\+\\+|--|<<|>>|<=|>=|==|!=|&&|\\|\\||"
+               "\\+=|-=|\\*=|/=|%=|&=|\\|=|\\^=",
+               false});
+  R.push_back({"punct", "[-+*/%=<>!&|^~?:;,.(){}[\\]@]", false});
+  R.push_back({"ws", "\\s+", true});
+  return R;
+}
+
+static std::vector<LexRule> htmlRules() {
+  std::vector<LexRule> R;
+  R.push_back({"comment", "<!--([^-]|-[^-]|--+[^->])*--+>", true});
+  R.push_back({"decl", "<![^>]*>", false});
+  R.push_back({"pi", "<\\?[^>]*>", false});
+  R.push_back({"end_tag", "</[a-zA-Z][^>]*>", false});
+  R.push_back({"open_tag", "<[a-zA-Z][^>]*>", false});
+  R.push_back({"entity", "&[a-zA-Z]+;|&#\\d+;", false});
+  R.push_back({"text", "[^<&]+", false});
+  R.push_back({"stray_lt", "<", false});
+  R.push_back({"stray_amp", "&", false});
+  return R;
+}
+
+static std::vector<LexRule> latexRules() {
+  std::vector<LexRule> R;
+  R.push_back({"command", "\\\\[a-zA-Z]+\\*?", false});
+  R.push_back({"symbol_command", "\\\\[^a-zA-Z]", false});
+  R.push_back({"comment", "%[^\n]*", true});
+  R.push_back({"lbrace", "{", false});
+  R.push_back({"rbrace", "}", false});
+  R.push_back({"lbracket", "\\[", false});
+  R.push_back({"rbracket", "\\]", false});
+  R.push_back({"math", "\\$\\$?", false});
+  R.push_back({"align", "&", false});
+  R.push_back({"sub", "_", false});
+  R.push_back({"sup", "\\^", false});
+  R.push_back({"tie", "~", false});
+  R.push_back({"text", "[^\\\\{}$%&_^~ \t\n\r\\[\\]]+", false});
+  R.push_back({"ws", "\\s+", true});
+  return R;
+}
+
+std::vector<LexRule> specpar::lexgen::rulesFor(Language L) {
+  switch (L) {
+  case Language::C:
+    return cRules();
+  case Language::Java:
+    return javaRules();
+  case Language::Html:
+    return htmlRules();
+  case Language::Latex:
+    return latexRules();
+  }
+  sp_unreachable("unknown language");
+}
+
+Lexer specpar::lexgen::makeLexer(Language L) {
+  Result<Lexer> LX = Lexer::compile(rulesFor(L));
+  if (!LX) {
+    std::fprintf(stderr, "lexer spec for %s failed to compile: %s\n",
+                 languageName(L), LX.error().c_str());
+    std::abort();
+  }
+  return LX.take();
+}

@@ -1,0 +1,44 @@
+//===- lexgen/Languages.h - Token rules for C/Java/HTML/LaTeX ---*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four lexer specifications evaluated by the paper: C, Java, HTML and
+/// LaTeX. The relative FSM sizes match the paper's observation (C largest,
+/// LaTeX smallest) because C and Java carry their keyword sets as distinct
+/// rules while LaTeX has only a handful of token shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_LEXGEN_LANGUAGES_H
+#define SPECPAR_LEXGEN_LANGUAGES_H
+
+#include "lexgen/Lexer.h"
+
+namespace specpar {
+namespace lexgen {
+
+/// The four benchmark languages.
+enum class Language { C, Java, Html, Latex };
+
+/// Printable name ("C", "Java", "HTML", "Latex").
+const char *languageName(Language L);
+
+/// The token rules for \p L.
+std::vector<LexRule> rulesFor(Language L);
+
+/// Compiles the lexer for \p L. Compilation cannot fail for the builtin
+/// rule sets; failures abort.
+Lexer makeLexer(Language L);
+
+/// All four languages, for parameterized sweeps.
+inline constexpr Language AllLanguages[] = {Language::C, Language::Java,
+                                            Language::Html, Language::Latex};
+
+} // namespace lexgen
+} // namespace specpar
+
+#endif // SPECPAR_LEXGEN_LANGUAGES_H

@@ -1,0 +1,159 @@
+//===- lexgen/Nfa.cpp - Thompson NFA construction -------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexgen/Nfa.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <algorithm>
+
+using namespace specpar;
+using namespace specpar::lexgen;
+
+uint32_t Nfa::addState() {
+  Edges.emplace_back();
+  Epsilons.emplace_back();
+  Accepts.push_back(NoRule);
+  return numStates() - 1;
+}
+
+void Nfa::addEdge(uint32_t From, CharSet On, uint32_t To) {
+  Edges[From].push_back(CharEdge{On, To});
+}
+
+void Nfa::addEpsilon(uint32_t From, uint32_t To) {
+  Epsilons[From].push_back(To);
+}
+
+void Nfa::setAccept(uint32_t State, int32_t Rule) {
+  if (Accepts[State] == NoRule || Rule < Accepts[State])
+    Accepts[State] = Rule;
+}
+
+std::vector<uint32_t> Nfa::epsilonClosure(std::vector<uint32_t> States) const {
+  std::vector<bool> Seen(numStates(), false);
+  std::vector<uint32_t> Work = States;
+  for (uint32_t S : Work)
+    Seen[S] = true;
+  while (!Work.empty()) {
+    uint32_t S = Work.back();
+    Work.pop_back();
+    for (uint32_t T : Epsilons[S]) {
+      if (!Seen[T]) {
+        Seen[T] = true;
+        States.push_back(T);
+        Work.push_back(T);
+      }
+    }
+  }
+  std::sort(States.begin(), States.end());
+  States.erase(std::unique(States.begin(), States.end()), States.end());
+  return States;
+}
+
+std::pair<uint32_t, uint32_t> Nfa::addFragment(const Regex *R) {
+  switch (R->kind()) {
+  case Regex::Kind::Chars: {
+    uint32_t In = addState(), Out = addState();
+    addEdge(In, cast<CharsRegex>(R)->chars(), Out);
+    return {In, Out};
+  }
+  case Regex::Kind::Epsilon: {
+    uint32_t In = addState(), Out = addState();
+    addEpsilon(In, Out);
+    return {In, Out};
+  }
+  case Regex::Kind::Concat: {
+    const auto *C = cast<ConcatRegex>(R);
+    auto [LIn, LOut] = addFragment(C->lhs());
+    auto [RIn, ROut] = addFragment(C->rhs());
+    addEpsilon(LOut, RIn);
+    return {LIn, ROut};
+  }
+  case Regex::Kind::Alt: {
+    const auto *A = cast<AltRegex>(R);
+    auto [LIn, LOut] = addFragment(A->lhs());
+    auto [RIn, ROut] = addFragment(A->rhs());
+    uint32_t In = addState(), Out = addState();
+    addEpsilon(In, LIn);
+    addEpsilon(In, RIn);
+    addEpsilon(LOut, Out);
+    addEpsilon(ROut, Out);
+    return {In, Out};
+  }
+  case Regex::Kind::Star: {
+    auto [BIn, BOut] = addFragment(cast<StarRegex>(R)->body());
+    uint32_t In = addState(), Out = addState();
+    addEpsilon(In, BIn);
+    addEpsilon(In, Out);
+    addEpsilon(BOut, BIn);
+    addEpsilon(BOut, Out);
+    return {In, Out};
+  }
+  case Regex::Kind::Plus: {
+    auto [BIn, BOut] = addFragment(cast<PlusRegex>(R)->body());
+    uint32_t In = addState(), Out = addState();
+    addEpsilon(In, BIn);
+    addEpsilon(BOut, BIn);
+    addEpsilon(BOut, Out);
+    return {In, Out};
+  }
+  case Regex::Kind::Opt: {
+    auto [BIn, BOut] = addFragment(cast<OptRegex>(R)->body());
+    uint32_t In = addState(), Out = addState();
+    addEpsilon(In, BIn);
+    addEpsilon(In, Out);
+    addEpsilon(BOut, Out);
+    return {In, Out};
+  }
+  }
+  sp_unreachable("unknown regex kind");
+}
+
+bool Nfa::matches(std::string_view Text, int32_t *RuleOut) const {
+  std::vector<uint32_t> Current = epsilonClosure({Start});
+  for (char CS : Text) {
+    unsigned char C = static_cast<unsigned char>(CS);
+    std::vector<uint32_t> Next;
+    for (uint32_t S : Current)
+      for (const CharEdge &E : Edges[S])
+        if (E.On.test(C))
+          Next.push_back(E.To);
+    if (Next.empty())
+      return false;
+    Current = epsilonClosure(std::move(Next));
+  }
+  int32_t Best = NoRule;
+  for (uint32_t S : Current)
+    if (Accepts[S] != NoRule && (Best == NoRule || Accepts[S] < Best))
+      Best = Accepts[S];
+  if (Best == NoRule)
+    return false;
+  if (RuleOut)
+    *RuleOut = Best;
+  return true;
+}
+
+Result<Nfa> specpar::lexgen::buildCombinedNfa(
+    const std::vector<std::string> &Patterns) {
+  Nfa N;
+  uint32_t Start = N.addState();
+  N.setStartState(Start);
+  for (size_t I = 0; I < Patterns.size(); ++I) {
+    Result<RegexPtr> R = parseRegex(Patterns[I]);
+    if (!R)
+      return ResultError(formatString("rule %zu ('%s'): %s", I,
+                                      Patterns[I].c_str(),
+                                      R.error().c_str()));
+    auto [In, Out] = N.addFragment(R->get());
+    N.addEpsilon(Start, In);
+    N.setAccept(Out, static_cast<int32_t>(I));
+  }
+  return N;
+}

@@ -1,0 +1,88 @@
+//===- lexgen/Nfa.h - Thompson NFA construction -----------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nondeterministic finite automata built with Thompson's construction
+/// from regex ASTs. Multiple token rules are combined into a single NFA
+/// whose accepting states carry the (priority-ordered) rule index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_LEXGEN_NFA_H
+#define SPECPAR_LEXGEN_NFA_H
+
+#include "lexgen/Regex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specpar {
+namespace lexgen {
+
+/// Sentinel "no rule" marker for non-accepting states.
+constexpr int32_t NoRule = -1;
+
+/// An NFA over the byte alphabet with epsilon moves.
+class Nfa {
+public:
+  struct CharEdge {
+    CharSet On;
+    uint32_t To;
+  };
+
+  /// Adds a fresh state; returns its id.
+  uint32_t addState();
+
+  /// Adds the transition From --[On]--> To.
+  void addEdge(uint32_t From, CharSet On, uint32_t To);
+
+  /// Adds the epsilon transition From --> To.
+  void addEpsilon(uint32_t From, uint32_t To);
+
+  /// Marks \p State as accepting rule \p Rule (lower index = higher
+  /// priority); keeps the higher-priority rule on conflict.
+  void setAccept(uint32_t State, int32_t Rule);
+
+  uint32_t numStates() const { return static_cast<uint32_t>(Edges.size()); }
+  uint32_t startState() const { return Start; }
+  void setStartState(uint32_t S) { Start = S; }
+
+  const std::vector<CharEdge> &charEdges(uint32_t State) const {
+    return Edges[State];
+  }
+  const std::vector<uint32_t> &epsilonEdges(uint32_t State) const {
+    return Epsilons[State];
+  }
+  int32_t acceptRule(uint32_t State) const { return Accepts[State]; }
+
+  /// Computes the epsilon closure of \p States as a sorted unique vector.
+  std::vector<uint32_t> epsilonClosure(std::vector<uint32_t> States) const;
+
+  /// Adds a Thompson fragment for \p R; returns {entry, exit}.
+  std::pair<uint32_t, uint32_t> addFragment(const Regex *R);
+
+  /// True if the NFA (started at its start state) accepts \p Text exactly;
+  /// if so and \p RuleOut is non-null, stores the highest-priority rule.
+  /// Used as the test oracle against the DFA.
+  bool matches(std::string_view Text, int32_t *RuleOut = nullptr) const;
+
+private:
+  std::vector<std::vector<CharEdge>> Edges;
+  std::vector<std::vector<uint32_t>> Epsilons;
+  std::vector<int32_t> Accepts;
+  uint32_t Start = 0;
+};
+
+/// Builds a combined NFA from the ordered rule patterns: one Thompson
+/// fragment per rule, all joined from a common start state, each fragment's
+/// exit accepting its rule index.
+Result<Nfa> buildCombinedNfa(const std::vector<std::string> &Patterns);
+
+} // namespace lexgen
+} // namespace specpar
+
+#endif // SPECPAR_LEXGEN_NFA_H

@@ -1,0 +1,260 @@
+//===- lexgen/Regex.cpp - Regular expression parser -----------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexgen/Regex.h"
+
+#include "support/StringUtils.h"
+
+using namespace specpar;
+using namespace specpar::lexgen;
+
+CharSet specpar::lexgen::singleChar(unsigned char C) {
+  CharSet S;
+  S.set(C);
+  return S;
+}
+
+CharSet specpar::lexgen::charRange(unsigned char Lo, unsigned char Hi) {
+  CharSet S;
+  for (unsigned C = Lo; C <= Hi; ++C)
+    S.set(C);
+  return S;
+}
+
+CharSet specpar::lexgen::anyCharNoNewline() {
+  CharSet S;
+  S.set();
+  S.reset(static_cast<unsigned char>('\n'));
+  return S;
+}
+
+namespace {
+
+/// Recursive-descent regex parser. Grammar:
+///   alt    := concat ('|' concat)*
+///   concat := repeat*
+///   repeat := atom ('*' | '+' | '?')*
+///   atom   := char | '.' | escape | class | '(' alt ')'
+class RegexParser {
+public:
+  explicit RegexParser(std::string_view Pattern) : Text(Pattern) {}
+
+  Result<RegexPtr> parse() {
+    RegexPtr R = parseAlt();
+    if (!ErrorMessage.empty())
+      return ResultError(ErrorMessage);
+    if (Pos != Text.size())
+      return ResultError(formatString("unexpected '%c' at offset %zu",
+                                      Text[Pos], Pos));
+    return R;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void fail(const std::string &Msg) {
+    if (ErrorMessage.empty())
+      ErrorMessage = Msg;
+    // Skip to the end so that parsing unwinds quickly.
+    Pos = Text.size();
+  }
+
+  RegexPtr parseAlt() {
+    RegexPtr Lhs = parseConcat();
+    while (!atEnd() && peek() == '|') {
+      ++Pos;
+      RegexPtr Rhs = parseConcat();
+      Lhs = std::make_unique<AltRegex>(std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  RegexPtr parseConcat() {
+    RegexPtr Acc = std::make_unique<EpsilonRegex>();
+    bool First = true;
+    while (!atEnd() && peek() != '|' && peek() != ')') {
+      RegexPtr Next = parseRepeat();
+      if (First) {
+        Acc = std::move(Next);
+        First = false;
+      } else {
+        Acc = std::make_unique<ConcatRegex>(std::move(Acc), std::move(Next));
+      }
+    }
+    return Acc;
+  }
+
+  RegexPtr parseRepeat() {
+    RegexPtr Body = parseAtom();
+    while (!atEnd()) {
+      char C = peek();
+      if (C == '*') {
+        ++Pos;
+        Body = std::make_unique<StarRegex>(std::move(Body));
+      } else if (C == '+') {
+        ++Pos;
+        Body = std::make_unique<PlusRegex>(std::move(Body));
+      } else if (C == '?') {
+        ++Pos;
+        Body = std::make_unique<OptRegex>(std::move(Body));
+      } else {
+        break;
+      }
+    }
+    return Body;
+  }
+
+  RegexPtr parseAtom() {
+    if (atEnd()) {
+      fail("pattern ends where an atom was expected");
+      return std::make_unique<EpsilonRegex>();
+    }
+    char C = Text[Pos++];
+    switch (C) {
+    case '(': {
+      RegexPtr Inner = parseAlt();
+      if (atEnd() || peek() != ')') {
+        fail("missing ')'");
+        return Inner;
+      }
+      ++Pos;
+      return Inner;
+    }
+    case '[':
+      return parseClass();
+    case '.':
+      return std::make_unique<CharsRegex>(anyCharNoNewline());
+    case '\\':
+      return std::make_unique<CharsRegex>(parseEscape(/*InClass=*/false));
+    case '*':
+    case '+':
+    case '?':
+    case ')':
+    case '|':
+      fail(formatString("metacharacter '%c' needs an operand or escape", C));
+      return std::make_unique<EpsilonRegex>();
+    default:
+      return std::make_unique<CharsRegex>(
+          singleChar(static_cast<unsigned char>(C)));
+    }
+  }
+
+  /// Parses the body of a [...] class; the opening '[' is consumed.
+  RegexPtr parseClass() {
+    bool Negate = false;
+    if (!atEnd() && peek() == '^') {
+      Negate = true;
+      ++Pos;
+    }
+    CharSet Set;
+    bool First = true;
+    while (true) {
+      if (atEnd()) {
+        fail("missing ']'");
+        break;
+      }
+      char C = peek();
+      if (C == ']' && !First)
+        break;
+      ++Pos;
+      First = false;
+      CharSet Piece;
+      if (C == '\\') {
+        Piece = parseEscape(/*InClass=*/true);
+      } else {
+        Piece = singleChar(static_cast<unsigned char>(C));
+      }
+      // A range "a-z": only when the left side was a single character and a
+      // '-' followed by a non-']' char comes next.
+      if (Piece.count() == 1 && !atEnd() && peek() == '-' &&
+          Pos + 1 < Text.size() && Text[Pos + 1] != ']') {
+        ++Pos; // '-'
+        char HiChar = Text[Pos++];
+        unsigned char Lo = 0;
+        for (unsigned I = 0; I < 256; ++I)
+          if (Piece.test(I)) {
+            Lo = static_cast<unsigned char>(I);
+            break;
+          }
+        unsigned char Hi = static_cast<unsigned char>(
+            HiChar == '\\' ? Text[Pos++] : HiChar);
+        if (Hi < Lo) {
+          fail("character range with hi < lo");
+          break;
+        }
+        Piece = charRange(Lo, Hi);
+      }
+      Set |= Piece;
+    }
+    if (!atEnd() && peek() == ']')
+      ++Pos;
+    if (Negate)
+      Set.flip();
+    return std::make_unique<CharsRegex>(Set);
+  }
+
+  /// Parses an escape; the leading '\\' is consumed.
+  CharSet parseEscape(bool InClass) {
+    (void)InClass;
+    if (atEnd()) {
+      fail("pattern ends after '\\'");
+      return CharSet();
+    }
+    char C = Text[Pos++];
+    switch (C) {
+    case 'n':
+      return singleChar('\n');
+    case 't':
+      return singleChar('\t');
+    case 'r':
+      return singleChar('\r');
+    case '0':
+      return singleChar('\0');
+    case 'd':
+      return charRange('0', '9');
+    case 'D': {
+      CharSet S = charRange('0', '9');
+      S.flip();
+      return S;
+    }
+    case 'w': {
+      CharSet S = charRange('a', 'z') | charRange('A', 'Z') |
+                  charRange('0', '9') | singleChar('_');
+      return S;
+    }
+    case 'W': {
+      CharSet S = charRange('a', 'z') | charRange('A', 'Z') |
+                  charRange('0', '9') | singleChar('_');
+      S.flip();
+      return S;
+    }
+    case 's':
+      return singleChar(' ') | singleChar('\t') | singleChar('\n') |
+             singleChar('\r') | singleChar('\f') | singleChar('\v');
+    case 'S': {
+      CharSet S = singleChar(' ') | singleChar('\t') | singleChar('\n') |
+                  singleChar('\r') | singleChar('\f') | singleChar('\v');
+      S.flip();
+      return S;
+    }
+    default:
+      // Escaped metacharacter or literal.
+      return singleChar(static_cast<unsigned char>(C));
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string ErrorMessage;
+};
+
+} // namespace
+
+Result<RegexPtr> specpar::lexgen::parseRegex(std::string_view Pattern) {
+  return RegexParser(Pattern).parse();
+}

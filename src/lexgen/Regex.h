@@ -1,0 +1,146 @@
+//===- lexgen/Regex.h - Regular expression AST and parser -------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small regular-expression engine used to generate the finite state
+/// machines for the paper's lexical-analysis benchmarks. Supports the
+/// operators needed by real token rules: literals, escapes, character
+/// classes (with ranges and negation), '.', alternation, grouping and the
+/// *, +, ? quantifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_LEXGEN_REGEX_H
+#define SPECPAR_LEXGEN_REGEX_H
+
+#include "support/Result.h"
+
+#include <bitset>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specpar {
+namespace lexgen {
+
+/// A set of byte values.
+using CharSet = std::bitset<256>;
+
+/// Builds the set containing the single byte \p C.
+CharSet singleChar(unsigned char C);
+/// Builds the set containing the inclusive range [Lo, Hi].
+CharSet charRange(unsigned char Lo, unsigned char Hi);
+/// The set of all bytes except '\n' (the regex '.').
+CharSet anyCharNoNewline();
+
+/// Regular-expression AST. A closed hierarchy with kind-tag dispatch
+/// (LLVM-style; see support/Casting.h).
+class Regex {
+public:
+  enum class Kind { Chars, Epsilon, Concat, Alt, Star, Plus, Opt };
+
+  explicit Regex(Kind K) : K(K) {}
+  virtual ~Regex() = default;
+
+  Kind kind() const { return K; }
+
+private:
+  const Kind K;
+};
+
+using RegexPtr = std::unique_ptr<Regex>;
+
+/// Matches exactly one byte drawn from a character set.
+class CharsRegex : public Regex {
+public:
+  explicit CharsRegex(CharSet Set) : Regex(Kind::Chars), Set(Set) {}
+  const CharSet &chars() const { return Set; }
+  static bool classof(const Regex *R) { return R->kind() == Kind::Chars; }
+
+private:
+  CharSet Set;
+};
+
+/// Matches the empty string.
+class EpsilonRegex : public Regex {
+public:
+  EpsilonRegex() : Regex(Kind::Epsilon) {}
+  static bool classof(const Regex *R) { return R->kind() == Kind::Epsilon; }
+};
+
+/// Matches Lhs followed by Rhs.
+class ConcatRegex : public Regex {
+public:
+  ConcatRegex(RegexPtr Lhs, RegexPtr Rhs)
+      : Regex(Kind::Concat), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+  const Regex *lhs() const { return Lhs.get(); }
+  const Regex *rhs() const { return Rhs.get(); }
+  static bool classof(const Regex *R) { return R->kind() == Kind::Concat; }
+
+private:
+  RegexPtr Lhs, Rhs;
+};
+
+/// Matches Lhs or Rhs.
+class AltRegex : public Regex {
+public:
+  AltRegex(RegexPtr Lhs, RegexPtr Rhs)
+      : Regex(Kind::Alt), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+  const Regex *lhs() const { return Lhs.get(); }
+  const Regex *rhs() const { return Rhs.get(); }
+  static bool classof(const Regex *R) { return R->kind() == Kind::Alt; }
+
+private:
+  RegexPtr Lhs, Rhs;
+};
+
+/// Matches zero or more repetitions of the body.
+class StarRegex : public Regex {
+public:
+  explicit StarRegex(RegexPtr Body) : Regex(Kind::Star), Body(std::move(Body)) {}
+  const Regex *body() const { return Body.get(); }
+  static bool classof(const Regex *R) { return R->kind() == Kind::Star; }
+
+private:
+  RegexPtr Body;
+};
+
+/// Matches one or more repetitions of the body.
+class PlusRegex : public Regex {
+public:
+  explicit PlusRegex(RegexPtr Body) : Regex(Kind::Plus), Body(std::move(Body)) {}
+  const Regex *body() const { return Body.get(); }
+  static bool classof(const Regex *R) { return R->kind() == Kind::Plus; }
+
+private:
+  RegexPtr Body;
+};
+
+/// Matches zero or one occurrence of the body.
+class OptRegex : public Regex {
+public:
+  explicit OptRegex(RegexPtr Body) : Regex(Kind::Opt), Body(std::move(Body)) {}
+  const Regex *body() const { return Body.get(); }
+  static bool classof(const Regex *R) { return R->kind() == Kind::Opt; }
+
+private:
+  RegexPtr Body;
+};
+
+/// Parses \p Pattern into a regex AST.
+///
+/// Supported syntax: plain characters, '\\' escapes (\n \t \r \0 \\ \d \w
+/// \s \D \W \S and escaped metacharacters), '.', "[...]" classes with
+/// ranges and leading '^' negation, '(...)' groups, '|', and the postfix
+/// quantifiers '*', '+', '?'.
+Result<RegexPtr> parseRegex(std::string_view Pattern);
+
+} // namespace lexgen
+} // namespace specpar
+
+#endif // SPECPAR_LEXGEN_REGEX_H

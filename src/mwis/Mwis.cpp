@@ -1,0 +1,124 @@
+//===- mwis/Mwis.cpp - Max-weight independent set on path graphs ----------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mwis/Mwis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specpar;
+using namespace specpar::mwis;
+
+int64_t specpar::mwis::solveSequential(const std::vector<int64_t> &Weights,
+                                       std::vector<int32_t> *Members) {
+  int64_t N = static_cast<int64_t>(Weights.size());
+  if (N == 0) {
+    if (Members)
+      Members->clear();
+    return 0;
+  }
+  std::vector<int64_t> Include(N), Exclude(N);
+  Include[0] = Weights[0];
+  Exclude[0] = 0;
+  for (int64_t I = 1; I < N; ++I) {
+    Include[I] = Weights[I] + Exclude[I - 1];
+    Exclude[I] = std::max(Include[I - 1], Exclude[I - 1]);
+  }
+  int64_t Best = std::max(Include[N - 1], Exclude[N - 1]);
+  if (Members) {
+    Members->clear();
+    // Canonical backtrack: on ties prefer exclusion, matching the d > 0
+    // criterion of the two-phase solver.
+    bool NextTaken = false;
+    for (int64_t I = N - 1; I >= 0; --I) {
+      bool Taken = !NextTaken && Include[I] > Exclude[I];
+      if (Taken)
+        Members->push_back(static_cast<int32_t>(I));
+      NextTaken = Taken;
+    }
+    std::reverse(Members->begin(), Members->end());
+  }
+  return Best;
+}
+
+int64_t specpar::mwis::forwardSegment(const std::vector<int64_t> &Weights,
+                                      int64_t From, int64_t To, int64_t DIn,
+                                      std::vector<int64_t> &DOut) {
+  assert(From >= 0 && To <= static_cast<int64_t>(Weights.size()) &&
+         From <= To && "segment out of bounds");
+  assert(DOut.size() == Weights.size() && "DOut must be pre-sized");
+  int64_t D = DIn;
+  for (int64_t I = From; I < To; ++I) {
+    D = Weights[I] - std::max<int64_t>(D, 0);
+    DOut[I] = D;
+  }
+  return D;
+}
+
+int64_t specpar::mwis::predictForward(const std::vector<int64_t> &Weights,
+                                      int64_t Boundary, int64_t Overlap) {
+  int64_t From = std::max<int64_t>(0, Boundary - Overlap);
+  int64_t D = 0;
+  for (int64_t I = From; I < Boundary; ++I)
+    D = Weights[I] - std::max<int64_t>(D, 0);
+  return D;
+}
+
+bool specpar::mwis::backwardSegment(const std::vector<int64_t> &D,
+                                    int64_t From, int64_t To, bool NextTaken,
+                                    std::vector<uint8_t> &Taken) {
+  assert(From >= 0 && To <= static_cast<int64_t>(D.size()) && From <= To &&
+         "segment out of bounds");
+  assert(Taken.size() == D.size() && "Taken must be pre-sized");
+  bool Next = NextTaken;
+  for (int64_t I = To - 1; I >= From; --I) {
+    bool T = !Next && D[I] > 0;
+    Taken[I] = T;
+    Next = T;
+  }
+  return Next; // == Taken[From] if the segment is non-empty, else NextTaken.
+}
+
+bool specpar::mwis::predictBackward(const std::vector<int64_t> &D,
+                                    int64_t Boundary, int64_t Overlap,
+                                    int64_t NumNodes) {
+  assert(NumNodes == static_cast<int64_t>(D.size()) && "size mismatch");
+  int64_t WindowTop = std::min(NumNodes, Boundary + Overlap);
+  bool Next = false; // Assume the node just above the window is not taken.
+  for (int64_t I = WindowTop - 1; I >= Boundary; --I)
+    Next = !Next && D[I] > 0;
+  return Next;
+}
+
+int64_t specpar::mwis::weightFromD(const std::vector<int64_t> &D) {
+  int64_t Sum = 0;
+  for (int64_t V : D)
+    Sum += std::max<int64_t>(V, 0);
+  return Sum;
+}
+
+std::vector<int32_t>
+specpar::mwis::membersFromTaken(const std::vector<uint8_t> &Taken) {
+  std::vector<int32_t> Members;
+  for (size_t I = 0; I < Taken.size(); ++I)
+    if (Taken[I])
+      Members.push_back(static_cast<int32_t>(I));
+  return Members;
+}
+
+int64_t specpar::mwis::solveTwoPhase(const std::vector<int64_t> &Weights,
+                                     std::vector<int32_t> *Members) {
+  int64_t N = static_cast<int64_t>(Weights.size());
+  std::vector<int64_t> D(N);
+  forwardSegment(Weights, 0, N, /*DIn=*/0, D);
+  if (Members) {
+    std::vector<uint8_t> Taken(N);
+    backwardSegment(D, 0, N, /*NextTaken=*/false, Taken);
+    *Members = membersFromTaken(Taken);
+  }
+  return weightFromD(D);
+}

@@ -1,0 +1,90 @@
+//===- mwis/Mwis.h - Max-weight independent set on path graphs --*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maximum-weight independent set (MWIS) of a path graph — the paper's
+/// third benchmark. The standard DP is
+///
+///   include[i] = w[i] + exclude[i-1]
+///   exclude[i] = max(include[i-1], exclude[i-1])
+///
+/// whose loop-carried state is the pair (include, exclude). Defining
+/// d[i] = include[i] - exclude[i] collapses the carried state to a single
+/// integer:
+///
+///   d[i] = w[i] - max(d[i-1], 0),          d[-1] = 0
+///
+/// and the optimum equals sum_i max(d[i], 0). This is the value the
+/// speculative iteration predicts (the paper predicts "whether the pair of
+/// nodes immediately preceding the current segment will be part of the
+/// MWIS", which is exactly the sign information carried by d).
+///
+/// The second phase walks the path backwards emitting the chosen nodes;
+/// its carried state is the boolean "was node i+1 taken", again predicted
+/// by an overlap walk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_MWIS_MWIS_H
+#define SPECPAR_MWIS_MWIS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace specpar {
+namespace mwis {
+
+/// Reference solver: classic include/exclude DP plus backtracking.
+/// Returns the optimal weight and fills \p Members (ascending node ids)
+/// if non-null. O(n) time, O(n) space.
+int64_t solveSequential(const std::vector<int64_t> &Weights,
+                        std::vector<int32_t> *Members);
+
+/// Phase-1 segment body: computes d[i] for i in [From, To) given the
+/// carried value \p DIn = d[From-1] (0 for the first segment), storing
+/// d[i] into \p DOut[i] (pre-sized by the caller). Returns d[To-1].
+///
+/// Writes only the slots [From, To) of DOut — the disjoint-slot write
+/// pattern that rollback freedom condition (e) licenses.
+int64_t forwardSegment(const std::vector<int64_t> &Weights, int64_t From,
+                       int64_t To, int64_t DIn, std::vector<int64_t> &DOut);
+
+/// Phase-1 overlap predictor: predicts d[Boundary-1] by running the d
+/// recurrence over the \p Overlap nodes before \p Boundary from d = 0.
+int64_t predictForward(const std::vector<int64_t> &Weights, int64_t Boundary,
+                       int64_t Overlap);
+
+/// Phase-2 segment body: walks nodes [From, To) *backwards* (To > From)
+/// deciding membership from the d array. \p NextTaken says whether node To
+/// was taken (false for the last segment, i.e. To == n). Fills
+/// \p Taken[i] for i in [From, To). Returns whether node From was taken
+/// (the carried value for the segment below).
+bool backwardSegment(const std::vector<int64_t> &D, int64_t From, int64_t To,
+                     bool NextTaken, std::vector<uint8_t> &Taken);
+
+/// Phase-2 overlap predictor: predicts whether node \p Boundary is taken
+/// by walking backwards over the \p Overlap nodes above it, assuming the
+/// node just past the window is not taken.
+bool predictBackward(const std::vector<int64_t> &D, int64_t Boundary,
+                     int64_t Overlap, int64_t NumNodes);
+
+/// Computes the optimal weight from the d array (sum of positive parts).
+int64_t weightFromD(const std::vector<int64_t> &D);
+
+/// Extracts the member list from the phase-2 Taken flags.
+std::vector<int32_t> membersFromTaken(const std::vector<uint8_t> &Taken);
+
+/// Full sequential two-phase solver built from the segment primitives
+/// (single segment each). Used to cross-check the segmented formulation
+/// against solveSequential.
+int64_t solveTwoPhase(const std::vector<int64_t> &Weights,
+                      std::vector<int32_t> *Members);
+
+} // namespace mwis
+} // namespace specpar
+
+#endif // SPECPAR_MWIS_MWIS_H

@@ -1,0 +1,202 @@
+//===- runtime/EffectCheck.cpp - Declared-summary safety checks ------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/EffectCheck.h"
+
+#include "support/StringUtils.h"
+
+using namespace specpar;
+using namespace specpar::rt;
+
+std::string LinIndex::str() const {
+  if (Coeff == 0)
+    return std::to_string(Offset);
+  std::string S = Coeff == 1 ? "i" : formatString("%lld*i",
+                                                  static_cast<long long>(Coeff));
+  if (Offset > 0)
+    S += formatString(" + %lld", static_cast<long long>(Offset));
+  else if (Offset < 0)
+    S += formatString(" - %lld", static_cast<long long>(-Offset));
+  return S;
+}
+
+std::string RangeRef::str(const EffectRegions &R) const {
+  if (Lo.Coeff == Hi.Coeff && Lo.Offset == Hi.Offset && Lo.Coeff == 0 &&
+      Lo.Offset == 0)
+    return R.name(Region);
+  return R.name(Region) + "[" + Lo.str() + " .. " + Hi.str() + "]";
+}
+
+/// The RangeRef::whole sentinels act as -inf / +inf bounds.
+static bool isNegInfBound(const LinIndex &I) {
+  return I.Coeff == 0 && I.Offset <= INT64_MIN / 2;
+}
+static bool isPosInfBound(const LinIndex &I) {
+  return I.Coeff == 0 && I.Offset >= INT64_MAX / 2;
+}
+
+/// Is A provably <= B for every i?
+static bool provablyLe(const LinIndex &A, const LinIndex &B) {
+  if (isNegInfBound(A) || isPosInfBound(B))
+    return true;
+  int64_t D;
+  return A.differenceFrom(B, D) && D <= 0;
+}
+
+/// Is A provably < B for every i?
+static bool provablyLt(const LinIndex &A, const LinIndex &B) {
+  if (isPosInfBound(A) || isNegInfBound(B))
+    return false;
+  if (isNegInfBound(A) || isPosInfBound(B))
+    return true;
+  int64_t D;
+  return A.differenceFrom(B, D) && D < 0;
+}
+
+bool RangeRef::mayOverlap(const RangeRef &Other) const {
+  if (Region != Other.Region)
+    return false;
+  // Disjoint iff Hi < Other.Lo or Other.Hi < Lo, provably for all i —
+  // decidable when the bound pair shares a coefficient.
+  if (provablyLt(Hi, Other.Lo) || provablyLt(Other.Hi, Lo))
+    return false;
+  return true;
+}
+
+bool RangeRef::mustContain(const RangeRef &Other) const {
+  if (Region != Other.Region)
+    return false;
+  return provablyLe(Lo, Other.Lo) && provablyLe(Other.Hi, Hi);
+}
+
+std::string SummaryCheckResult::str() const {
+  if (Safe)
+    return "SAFE";
+  return "UNSAFE " + FailedCondition + " — " + Explanation;
+}
+
+namespace {
+
+/// Finds an overlapping pair across two range lists; returns a witness
+/// string via \p Why.
+bool disjoint(const std::vector<RangeRef> &A, const std::vector<RangeRef> &B,
+              const EffectRegions &Regions, std::string *Why) {
+  for (const RangeRef &X : A)
+    for (const RangeRef &Y : B)
+      if (X.mayOverlap(Y)) {
+        if (Why)
+          *Why = X.str(Regions) + " overlaps " + Y.str(Regions);
+        return false;
+      }
+  return true;
+}
+
+/// Every range of \p May covered by some range of \p Must.
+bool covers(const std::vector<RangeRef> &Must,
+            const std::vector<RangeRef> &May, const EffectRegions &Regions,
+            std::string *Why) {
+  for (const RangeRef &M : May) {
+    bool Covered = false;
+    for (const RangeRef &C : Must)
+      Covered = Covered || C.mustContain(M);
+    if (!Covered) {
+      if (Why)
+        *Why = "speculative write to " + M.str(Regions) +
+               " is not certainly overwritten by the re-execution";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<RangeRef> concat(const std::vector<RangeRef> &A,
+                             const std::vector<RangeRef> &B) {
+  std::vector<RangeRef> Out = A;
+  Out.insert(Out.end(), B.begin(), B.end());
+  return Out;
+}
+
+std::vector<RangeRef> shiftAll(const std::vector<RangeRef> &A,
+                               int64_t Delta) {
+  std::vector<RangeRef> Out;
+  Out.reserve(A.size());
+  for (const RangeRef &R : A)
+    Out.push_back(R.shifted(Delta));
+  return Out;
+}
+
+SummaryCheckResult runConditions(const std::vector<RangeRef> &ProducerR,
+                                 const std::vector<RangeRef> &ProducerW,
+                                 const std::vector<RangeRef> &SpecR,
+                                 const std::vector<RangeRef> &SpecW,
+                                 const std::vector<RangeRef> &ReexecR,
+                                 const std::vector<RangeRef> &ReexecMustW,
+                                 const EffectRegions &Regions) {
+  SummaryCheckResult Out;
+  std::string Why;
+  if (!disjoint(ProducerW, SpecR, Regions, &Why)) {
+    Out.FailedCondition = "(a)";
+    Out.Explanation =
+        "producer writes race with speculative-consumer reads: " + Why;
+    return Out;
+  }
+  if (!disjoint(ProducerR, SpecW, Regions, &Why)) {
+    Out.FailedCondition = "(b)";
+    Out.Explanation =
+        "producer reads race with speculative-consumer writes: " + Why;
+    return Out;
+  }
+  if (!disjoint(ProducerW, SpecW, Regions, &Why)) {
+    Out.FailedCondition = "(c)";
+    Out.Explanation =
+        "producer and speculative consumer write the same state: " + Why;
+    return Out;
+  }
+  if (!disjoint(ReexecR, SpecW, Regions, &Why)) {
+    Out.FailedCondition = "(d)";
+    Out.Explanation = "the consumer re-execution may read state the "
+                      "speculative consumer wrote: " +
+                      Why;
+    return Out;
+  }
+  if (!covers(ReexecMustW, SpecW, Regions, &Why)) {
+    Out.FailedCondition = "(e)";
+    Out.Explanation = Why;
+    return Out;
+  }
+  Out.Safe = true;
+  return Out;
+}
+
+} // namespace
+
+SummaryCheckResult specpar::rt::checkApplySummaries(
+    const EffectSummary &Producer, const EffectSummary &Predictor,
+    const EffectSummary &Consumer, const EffectRegions &Regions) {
+  // W(ec eg) = predictor writes + consumer writes; R(ec eg) analogous.
+  std::vector<RangeRef> SpecR = concat(Predictor.Reads, Consumer.Reads);
+  std::vector<RangeRef> SpecW = concat(Predictor.Writes, Consumer.Writes);
+  return runConditions(Producer.Reads, Producer.Writes, SpecR, SpecW,
+                       Consumer.Reads, Consumer.MustWrites, Regions);
+}
+
+SummaryCheckResult specpar::rt::checkIterateSummaries(
+    const EffectSummary &Body, const EffectSummary &Predictor,
+    const EffectRegions &Regions) {
+  // Iteration i is the producer; the speculative consumer is the
+  // predictor at i+1 followed by the body at i+1; the re-execution is the
+  // body at i+1.
+  std::vector<RangeRef> NextBodyR = shiftAll(Body.Reads, 1);
+  std::vector<RangeRef> NextBodyW = shiftAll(Body.Writes, 1);
+  std::vector<RangeRef> NextBodyMustW = shiftAll(Body.MustWrites, 1);
+  std::vector<RangeRef> NextPredR = shiftAll(Predictor.Reads, 1);
+  std::vector<RangeRef> NextPredW = shiftAll(Predictor.Writes, 1);
+  return runConditions(Body.Reads, Body.Writes,
+                       concat(NextPredR, NextBodyR),
+                       concat(NextPredW, NextBodyW), NextBodyR,
+                       NextBodyMustW, Regions);
+}

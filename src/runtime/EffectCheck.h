@@ -1,0 +1,176 @@
+//===- runtime/EffectCheck.h - Declared-summary safety checks --*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rollback-freedom checking for C++ uses of the speculation runtime.
+///
+/// C++ code cannot be analyzed the way Speculate programs are (see
+/// DESIGN.md), so — like the paper, which "manually provided summaries
+/// for BCL methods" — the user declares per-delegate *effect summaries*:
+/// which named memory regions a producer/predictor/consumer (or an
+/// iteration body, as a function of the iteration index i) reads, writes,
+/// and certainly overwrites. The checker then decides the same five
+/// conditions (a)-(e) of paper Section 3.2, with the iteration-shift rule
+/// for speculative iteration (iteration i as the producer of iteration
+/// i+1).
+///
+/// Index expressions are linear in the iteration variable (`a*i + b`),
+/// mirroring the symbolic interval domain of the static analysis, so
+/// per-iteration slot ranges like out[i*K .. i*K+K-1] are decidable.
+///
+/// Example — the speculative lexer's summaries:
+///
+///   EffectRegions R;
+///   RegionId In  = R.intern("input");
+///   RegionId Out = R.intern("tokens");
+///   EffectSummary Body;                      // iteration i
+///   Body.Reads  = {RangeRef::range(In, LinIndex::affine(K, -Overlap),
+///                                      LinIndex::affine(K, K - 1))};
+///   Body.Writes = {RangeRef::range(Out, LinIndex::affine(K, 0),
+///                                       LinIndex::affine(K, K - 1))};
+///   Body.MustWrites = Body.Writes;
+///   EffectSummary Guess;                     // pure overlap predictor
+///   Guess.Reads = {...};
+///   auto Verdict = checkIterateSummaries(Body, Guess);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_EFFECTCHECK_H
+#define SPECPAR_RUNTIME_EFFECTCHECK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specpar {
+namespace rt {
+
+/// A user-interned named memory region (an array, a scalar, a data
+/// structure treated atomically).
+using RegionId = uint32_t;
+
+/// Interns region names; purely for readable diagnostics.
+class EffectRegions {
+public:
+  RegionId intern(std::string Name) {
+    for (RegionId I = 0; I < Names.size(); ++I)
+      if (Names[I] == Name)
+        return I;
+    Names.push_back(std::move(Name));
+    return static_cast<RegionId>(Names.size() - 1);
+  }
+  const std::string &name(RegionId Id) const { return Names[Id]; }
+  size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+};
+
+/// A linear index expression Coeff * i + Offset over the iteration
+/// variable i (Coeff = 0 for index-independent accesses).
+struct LinIndex {
+  int64_t Coeff = 0;
+  int64_t Offset = 0;
+
+  static LinIndex constant(int64_t C) { return LinIndex{0, C}; }
+  static LinIndex affine(int64_t Coeff, int64_t Offset) {
+    return LinIndex{Coeff, Offset};
+  }
+
+  /// The expression at iteration i+Delta.
+  LinIndex shifted(int64_t Delta) const {
+    return LinIndex{Coeff, Offset + Coeff * Delta};
+  }
+  /// This minus Other, when comparable (same coefficient).
+  bool differenceFrom(const LinIndex &Other, int64_t &Out) const {
+    if (Coeff != Other.Coeff)
+      return false;
+    Out = Offset - Other.Offset;
+    return true;
+  }
+
+  std::string str() const;
+};
+
+/// An inclusive index range [Lo, Hi] within one region. Scalars use the
+/// point range [0, 0].
+struct RangeRef {
+  RegionId Region = 0;
+  LinIndex Lo, Hi;
+
+  static RangeRef whole(RegionId R) {
+    // A conservative "the whole region" reference.
+    return RangeRef{R, LinIndex::constant(INT64_MIN / 2),
+                    LinIndex::constant(INT64_MAX / 2)};
+  }
+  static RangeRef scalar(RegionId R) {
+    return RangeRef{R, LinIndex::constant(0), LinIndex::constant(0)};
+  }
+  static RangeRef slot(RegionId R, LinIndex At) {
+    return RangeRef{R, At, At};
+  }
+  static RangeRef range(RegionId R, LinIndex Lo, LinIndex Hi) {
+    return RangeRef{R, Lo, Hi};
+  }
+
+  RangeRef shifted(int64_t Delta) const {
+    return RangeRef{Region, Lo.shifted(Delta), Hi.shifted(Delta)};
+  }
+
+  /// May this range overlap \p Other (for any value of i)? Conservative:
+  /// true unless provably disjoint.
+  bool mayOverlap(const RangeRef &Other) const;
+
+  /// Does this range provably contain \p Other (for every i)?
+  bool mustContain(const RangeRef &Other) const;
+
+  std::string str(const EffectRegions &R) const;
+};
+
+/// The declared effects of one delegate. For iteration bodies the ranges
+/// are functions of the iteration index i; for apply-style
+/// producer/predictor/consumer delegates they are constants (Coeff 0).
+/// `Reads` means reads *of pre-existing state before this delegate writes
+/// it* (the paper's R); iteration-local allocations are omitted entirely.
+struct EffectSummary {
+  std::vector<RangeRef> Reads;
+  std::vector<RangeRef> Writes;
+  /// Sub-ranges of Writes that execute on every path (the under-
+  /// approximate must-write set of condition (e)).
+  std::vector<RangeRef> MustWrites;
+};
+
+/// The verdict for one speculation site.
+struct SummaryCheckResult {
+  bool Safe = false;
+  std::string FailedCondition; // "(a)".."(e)" when unsafe
+  std::string Explanation;
+
+  std::string str() const;
+};
+
+/// Checks a `Speculation::apply` site: conditions (a)-(e) over the
+/// producer, predictor and consumer summaries. The consumer summary must
+/// cover its behaviour on *any* input value (speculative and
+/// re-executed runs share it).
+SummaryCheckResult checkApplySummaries(const EffectSummary &Producer,
+                                       const EffectSummary &Predictor,
+                                       const EffectSummary &Consumer,
+                                       const EffectRegions &Regions);
+
+/// Checks a `Speculation::iterate` site: iteration i as producer of
+/// iteration i+1 (the paper's specfold rule). \p Body is the iteration
+/// body at index i; \p Predictor the prediction function at index i
+/// (checked at i+1 via shifting).
+SummaryCheckResult checkIterateSummaries(const EffectSummary &Body,
+                                         const EffectSummary &Predictor,
+                                         const EffectRegions &Regions);
+
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_EFFECTCHECK_H

@@ -1,0 +1,29 @@
+//===- runtime/Speculation.cpp - Programmable value speculation -----------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Speculation.h"
+
+#include "support/StringUtils.h"
+
+using namespace specpar;
+using namespace specpar::rt;
+
+thread_local const std::atomic<bool> *detail::CurrentCancelFlag = nullptr;
+
+bool specpar::rt::currentTaskCancelled() {
+  const std::atomic<bool> *Flag = detail::CurrentCancelFlag;
+  return Flag && Flag->load(std::memory_order_relaxed);
+}
+
+std::string SpeculationStats::str() const {
+  return formatString("tasks=%lld predictions=%lld mispredictions=%lld "
+                      "reexecutions=%lld",
+                      static_cast<long long>(Tasks),
+                      static_cast<long long>(Predictions),
+                      static_cast<long long>(Mispredictions),
+                      static_cast<long long>(Reexecutions));
+}

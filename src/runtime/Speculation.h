@@ -1,0 +1,557 @@
+//===- runtime/Speculation.h - Programmable value speculation ---*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C++ analogue of the paper's C# Speculation library (Section 4,
+/// Figure 3):
+///
+///  * `Speculation::apply`    — speculative composition (`spec p g c`)
+///  * `Speculation::iterate`  — speculative iteration (`specfold f g l u`),
+///    in the plain form and the local initializer/finalizer form, with
+///    sequential (`Seq`) and parallel (`Par`) validation modes.
+///
+/// Semantics mirror the paper:
+///  * the prediction function g is indexed by the iteration and g(Low) is
+///    the (non-speculative) initial value of the loop-carried state;
+///  * predictions are validated with a user-overridable equality;
+///  * mispredicted iterations are re-executed with the correct input — no
+///    rollback of side effects, which is exactly what the rollback-freedom
+///    conditions (Section 3.2) license. The validator quiesces each
+///    iteration's attempts before accepting or re-executing, and attempts
+///    of one iteration never run concurrently with each other, so for
+///    condition-(a)-(e) programs the accepted execution's writes are the
+///    final writes and runs are free of data races (ThreadSanitizer-clean);
+///  * sequential exception semantics: the exception of the first *valid*
+///    iteration propagates; exceptions of code speculatively executed with
+///    wrong inputs are suppressed;
+///  * cancellation is cooperative (like the paper's TPL-based
+///    implementation): speculative bodies may poll
+///    `currentTaskCancelled()` to stop early once invalidated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_SPECULATION_H
+#define SPECPAR_RUNTIME_SPECULATION_H
+
+#include "runtime/ThreadPool.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace specpar {
+namespace rt {
+
+/// How speculative iterations are validated (paper Section 4).
+/// `Seq`: iterations are validated strictly in order by the calling thread.
+/// `Par`: as soon as iteration i-1 completes *speculatively*, iteration i is
+/// re-dispatched with i-1's speculative output if that output contradicts
+/// the prediction — validation work overlaps with speculation.
+enum class ValidationMode { Seq, Par };
+
+/// Counters reported by a speculative run.
+struct SpeculationStats {
+  /// Speculative task executions dispatched to the pool.
+  int64_t Tasks = 0;
+  /// Validated prediction points (iteration boundaries after the first).
+  int64_t Predictions = 0;
+  /// Prediction points whose predicted value differed from the true one.
+  int64_t Mispredictions = 0;
+  /// Consumer/iteration re-executions performed by the validator itself.
+  int64_t Reexecutions = 0;
+
+  std::string str() const;
+};
+
+/// A shared cancellation flag (cooperative, like .NET's).
+class CancellationToken {
+public:
+  CancellationToken() : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+  void cancel() const { Flag->store(true, std::memory_order_relaxed); }
+  bool isCancelled() const {
+    return Flag->load(std::memory_order_relaxed);
+  }
+  const std::atomic<bool> *raw() const { return Flag.get(); }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+namespace detail {
+/// The cancellation flag of the speculative task running on this thread.
+extern thread_local const std::atomic<bool> *CurrentCancelFlag;
+
+/// RAII: marks the current thread as running under \p Token.
+class CancelScope {
+public:
+  explicit CancelScope(const CancellationToken &Token)
+      : Saved(CurrentCancelFlag) {
+    CurrentCancelFlag = Token.raw();
+  }
+  ~CancelScope() { CurrentCancelFlag = Saved; }
+
+private:
+  const std::atomic<bool> *Saved;
+};
+} // namespace detail
+
+/// True if the speculative task running on this thread has been cancelled
+/// (its prediction was invalidated). Long-running bodies should poll this —
+/// the paper's cooperative-cancellation contract.
+bool currentTaskCancelled();
+
+/// Knobs for a speculative run.
+struct Options {
+  /// Worker threads used for speculation. Ignored when \p Pool is set.
+  unsigned NumThreads = 2;
+  /// Validation mode for iterate().
+  ValidationMode Mode = ValidationMode::Seq;
+  /// Output statistics (optional).
+  SpeculationStats *Stats = nullptr;
+  /// An existing pool to run on; if null a transient pool is created.
+  /// NOTE: nested speculation (an iterate() inside another iterate()'s
+  /// body) must not share one fixed-size pool — the outer body occupies a
+  /// worker while the inner run waits for workers, which can deadlock.
+  /// Use transient pools (Pool = nullptr) or disjoint pools when nesting.
+  ThreadPool *Pool = nullptr;
+  /// apply() only — the paper's Section 3.3 termination fix: when the
+  /// producer finishes before the predictor has produced a guess, abort
+  /// the speculation (cancel predictor + speculative consumer) and run
+  /// the consumer with the real value instead of waiting.
+  bool EagerProducerAbort = false;
+};
+
+namespace detail {
+
+/// A single speculative execution of one iteration with a given input.
+template <typename T, typename U> struct Attempt {
+  explicit Attempt(T In) : In(std::move(In)) {}
+  T In;
+  std::optional<T> Out;
+  std::optional<U> Local;
+  std::exception_ptr Err;
+  bool Done = false;
+  /// Completion order within the run (0 = not finished). The validator
+  /// only accepts an attempt that finished *last* in its slot, so that
+  /// the accepted execution's writes are the final ones.
+  uint64_t FinishStamp = 0;
+  CancellationToken Cancel;
+};
+
+/// Shared state of one iterate() run.
+template <typename T, typename U> struct IterRun {
+  std::mutex M;
+  std::condition_variable CV;
+  std::vector<std::vector<std::unique_ptr<Attempt<T, U>>>> Slots;
+  int64_t Outstanding = 0;   // attempts queued or running
+  uint64_t FinishCounter = 0; // orders attempt completions
+
+  void attemptFinished() {
+    std::unique_lock<std::mutex> Lock(M);
+    --Outstanding;
+    CV.notify_all();
+  }
+  void waitAllAttempts() {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Outstanding == 0; });
+  }
+};
+
+} // namespace detail
+
+/// The speculation API (paper Figure 3).
+class Speculation {
+public:
+  /// Speculative composition: computes `Consumer(Producer())`, overlapping
+  /// the producer with a speculative run of `Consumer(Predictor())`.
+  ///
+  /// \returns nothing; the consumer acts by side effect (like the paper's
+  /// `Action<T> consumer`). On misprediction the consumer is simply
+  /// re-executed with the correct value (no rollback). Exceptions: the
+  /// producer's exception propagates; the consumer's exception propagates
+  /// only from the validated run.
+  template <typename T, typename ProducerFn, typename PredictorFn,
+            typename ConsumerFn, typename Eq = std::equal_to<T>>
+  static void apply(ProducerFn &&Producer, PredictorFn &&Predictor,
+                    ConsumerFn &&Consumer, const Options &Opts = Options(),
+                    Eq Equal = Eq()) {
+    std::optional<ThreadPool> Transient;
+    ThreadPool &Pool = resolvePool(Opts, Transient);
+    SpeculationStats Stats;
+
+    struct SpecState {
+      std::mutex M;
+      std::condition_variable CV;
+      std::optional<T> Guess;
+      std::exception_ptr ConsumerErr;
+      bool ConsumerDone = false;
+      CancellationToken Cancel;
+    };
+    auto State = std::make_shared<SpecState>();
+
+    ++Stats.Tasks;
+    Pool.submit([State, &Predictor, &Consumer] {
+      detail::CancelScope Scope(State->Cancel);
+      std::optional<T> G;
+      std::exception_ptr Err;
+      try {
+        G = Predictor();
+      } catch (...) {
+        // A failing predictor counts as an unusable guess; the validator
+        // falls back to the non-speculative path.
+        Err = std::current_exception();
+      }
+      {
+        std::unique_lock<std::mutex> Lock(State->M);
+        State->Guess = G;
+        State->CV.notify_all();
+      }
+      if (G && !State->Cancel.isCancelled()) {
+        try {
+          Consumer(*G);
+        } catch (...) {
+          Err = std::current_exception();
+        }
+      }
+      std::unique_lock<std::mutex> Lock(State->M);
+      State->ConsumerErr = Err;
+      State->ConsumerDone = true;
+      State->CV.notify_all();
+    });
+
+    std::optional<T> Produced;
+    std::exception_ptr ProducerErr;
+    try {
+      Produced = Producer();
+    } catch (...) {
+      ProducerErr = std::current_exception();
+    }
+    if (ProducerErr) {
+      // Abort the speculation; nothing it did is observable under
+      // rollback freedom, and its exception (if any) is suppressed.
+      State->Cancel.cancel();
+      waitConsumer(*State);
+      finishStats(Opts, Stats);
+      std::rethrow_exception(ProducerErr);
+    }
+
+    // The check step (paper rule CHECK): compare guess with the product.
+    std::optional<T> Guess;
+    {
+      std::unique_lock<std::mutex> Lock(State->M);
+      if (Opts.EagerProducerAbort && !State->Guess &&
+          !State->ConsumerDone) {
+        // Section 3.3: the producer beat the predictor — speculation can
+        // no longer pay off; abort it and go non-speculative.
+        Lock.unlock();
+        ++Stats.Reexecutions;
+        State->Cancel.cancel();
+        waitConsumer(*State);
+        finishStats(Opts, Stats);
+        Consumer(*Produced);
+        return;
+      }
+      State->CV.wait(Lock, [&] {
+        return State->Guess.has_value() || State->ConsumerDone;
+      });
+      Guess = State->Guess;
+    }
+    ++Stats.Predictions;
+    if (Guess && Equal(*Produced, *Guess)) {
+      waitConsumer(*State);
+      finishStats(Opts, Stats);
+      if (State->ConsumerErr)
+        std::rethrow_exception(State->ConsumerErr);
+      return;
+    }
+    // Misprediction: cancel the speculative consumer and re-execute with
+    // the correct value (rule CHECK's `cancel tc; vc xp`).
+    ++Stats.Mispredictions;
+    ++Stats.Reexecutions;
+    State->Cancel.cancel();
+    waitConsumer(*State);
+    finishStats(Opts, Stats);
+    Consumer(*Produced);
+  }
+
+  /// Speculative iteration over [Low, High): computes
+  ///
+  ///   T Acc = Predictor(Low);
+  ///   for (int64_t I = Low; I < High; ++I) Acc = Body(I, Acc);
+  ///   return Acc;
+  ///
+  /// with all iterations launched speculatively on predicted inputs
+  /// (`Predictor(I)` is the predicted loop-carried value *entering*
+  /// iteration I).
+  ///
+  /// Prediction functions are invoked on the calling thread before
+  /// speculation begins; they are assumed cheap relative to iteration
+  /// bodies (overlap window << segment size), as in the paper.
+  template <typename T, typename BodyFn, typename PredictorFn,
+            typename Eq = std::equal_to<T>>
+  static T iterate(int64_t Low, int64_t High, BodyFn &&Body,
+                   PredictorFn &&Predictor, const Options &Opts = Options(),
+                   Eq Equal = Eq()) {
+    struct NoLocal {};
+    return iterateLocal<T, NoLocal>(
+        Low, High, [] { return NoLocal{}; },
+        [&Body](int64_t I, NoLocal &, T In) {
+          return Body(I, std::move(In));
+        },
+        std::forward<PredictorFn>(Predictor), [](int64_t, NoLocal &) {},
+        Opts, Equal);
+  }
+
+  /// The initializer/finalizer variant (paper Figure 3, the second
+  /// Iterate overload): each iteration gets fresh local state `U` from
+  /// \p Init, the body computes into it, and \p Finalize publishes it.
+  /// Finalizers run exactly once per iteration, in iteration order, on the
+  /// calling thread, and only for validated executions — the supported
+  /// idiom for iterations whose writes would otherwise violate rollback
+  /// freedom.
+  template <typename T, typename U, typename InitFn, typename BodyFn,
+            typename PredictorFn, typename FinalFn,
+            typename Eq = std::equal_to<T>>
+  static T iterateLocal(int64_t Low, int64_t High, InitFn &&Init,
+                        BodyFn &&Body, PredictorFn &&Predictor,
+                        FinalFn &&Finalize, const Options &Opts = Options(),
+                        Eq Equal = Eq()) {
+    if (High <= Low)
+      return Predictor(Low);
+
+    std::optional<ThreadPool> Transient;
+    ThreadPool &Pool = resolvePool(Opts, Transient);
+    SpeculationStats Stats;
+
+    const int64_t N = High - Low;
+    detail::IterRun<T, U> Run;
+    Run.Slots.resize(static_cast<size_t>(N));
+    std::vector<T> InitialPrediction;
+    InitialPrediction.reserve(static_cast<size_t>(N));
+    for (int64_t I = Low; I < High; ++I)
+      InitialPrediction.push_back(Predictor(I));
+
+    // The recursive speculative task: run one attempt, then (in Par mode)
+    // chain a corrective attempt for the next iteration if our output
+    // contradicts its prediction. A corrective attempt first waits for
+    // the slot's initial attempt to complete, so attempts of one
+    // iteration never write the same locations concurrently, and skips
+    // its body if it was cancelled meanwhile. (The wait is deadlock-free:
+    // the pool queue is FIFO and all initial attempts are submitted
+    // before any corrective, so by the time a corrective is dequeued its
+    // initial attempt is running or done.)
+    std::function<void(int64_t, detail::Attempt<T, U> *,
+                       detail::Attempt<T, U> *)>
+        RunAttempt = [&](int64_t Index, detail::Attempt<T, U> *A,
+                         detail::Attempt<T, U> *After) {
+          bool Skip = false;
+          if (After) {
+            std::unique_lock<std::mutex> Lock(Run.M);
+            Run.CV.wait(Lock, [&] { return After->Done; });
+            Skip = A->Cancel.isCancelled();
+          }
+          detail::CancelScope Scope(A->Cancel);
+          std::optional<T> Out;
+          std::optional<U> Local;
+          std::exception_ptr Err;
+          if (!Skip) {
+            try {
+              U L = Init();
+              Out = Body(Index, L, A->In);
+              Local = std::move(L);
+            } catch (...) {
+              Err = std::current_exception();
+            }
+          }
+          detail::Attempt<T, U> *Chained = nullptr;
+          detail::Attempt<T, U> *ChainAfter = nullptr;
+          {
+            std::unique_lock<std::mutex> Lock(Run.M);
+            A->Out = std::move(Out);
+            A->Local = std::move(Local);
+            A->Err = Err;
+            A->Done = true;
+            A->FinishStamp = ++Run.FinishCounter;
+            if (Opts.Mode == ValidationMode::Par && A->Out &&
+                Index + 1 < High && !A->Cancel.isCancelled()) {
+              // Parallel validation: if the next iteration's prediction
+              // contradicts our (speculative) output, start a corrective
+              // attempt for it now instead of waiting for the validator.
+              auto &NextSlot = Run.Slots[static_cast<size_t>(Index + 1 - Low)];
+              bool Exists =
+                  Equal(InitialPrediction[static_cast<size_t>(Index + 1 - Low)],
+                        *A->Out);
+              for (const auto &Other : NextSlot)
+                Exists = Exists || Equal(Other->In, *A->Out);
+              if (!Exists && NextSlot.size() < 2) {
+                NextSlot.push_back(
+                    std::make_unique<detail::Attempt<T, U>>(*A->Out));
+                Chained = NextSlot.back().get();
+                ChainAfter = NextSlot.front().get();
+                ++Run.Outstanding;
+                ++Stats.Tasks;
+              }
+            }
+            Run.CV.notify_all();
+          }
+          if (Chained) {
+            Pool.submit([&RunAttempt, Index, Chained, ChainAfter, &Run] {
+              RunAttempt(Index + 1, Chained, ChainAfter);
+              Run.attemptFinished();
+            });
+          }
+          // Our own completion is signalled by the caller wrapper.
+        };
+
+    // Launch the initial speculative attempt of every iteration. Attempt
+    // pointers are captured under the lock: once workers start, Par-mode
+    // chaining may push corrective attempts and reallocate the slot
+    // vectors concurrently.
+    std::vector<detail::Attempt<T, U> *> InitialAttempts;
+    InitialAttempts.reserve(static_cast<size_t>(N));
+    {
+      std::unique_lock<std::mutex> Lock(Run.M);
+      for (int64_t I = Low; I < High; ++I) {
+        auto &Slot = Run.Slots[static_cast<size_t>(I - Low)];
+        Slot.push_back(std::make_unique<detail::Attempt<T, U>>(
+            InitialPrediction[static_cast<size_t>(I - Low)]));
+        InitialAttempts.push_back(Slot.back().get());
+        ++Run.Outstanding;
+        ++Stats.Tasks;
+      }
+    }
+    for (int64_t I = Low; I < High; ++I) {
+      detail::Attempt<T, U> *A = InitialAttempts[static_cast<size_t>(I - Low)];
+      Pool.submit([&RunAttempt, I, A, &Run] {
+        RunAttempt(I, A, nullptr);
+        Run.attemptFinished();
+      });
+    }
+
+    // Validation (the chain of `check` threads in the formal semantics).
+    T Correct = InitialPrediction.front(); // == Predictor(Low)
+    std::exception_ptr FirstValidErr;
+    int64_t ValidatedUpTo = Low;
+    for (int64_t I = Low; I < High; ++I) {
+      auto &Slot = Run.Slots[static_cast<size_t>(I - Low)];
+      if (I > Low) {
+        ++Stats.Predictions;
+        if (!Equal(InitialPrediction[static_cast<size_t>(I - Low)], Correct))
+          ++Stats.Mispredictions;
+      }
+      // Quiesce the slot: cancel attempts whose input is already known
+      // wrong, then wait for every attempt to finish. (No new attempt can
+      // join this slot: chains into it originate from the previous slot,
+      // which was quiesced before we advanced.) An attempt is acceptable
+      // only if it ran with the correct input AND finished last in its
+      // slot — only then are its writes the final ones; otherwise the
+      // validator re-executes, making its own writes final (condition
+      // (e)'s re-execution).
+      detail::Attempt<T, U> *Match = nullptr;
+      {
+        std::unique_lock<std::mutex> Lock(Run.M);
+        for (const auto &A : Slot)
+          if (!Equal(A->In, Correct))
+            A->Cancel.cancel();
+        Run.CV.wait(Lock, [&] {
+          for (const auto &A : Slot)
+            if (!A->Done)
+              return false;
+          return true;
+        });
+        // The last attempt that actually executed (skipped correctives —
+        // cancelled during their pre-wait — wrote nothing and don't
+        // count).
+        detail::Attempt<T, U> *LastReal = nullptr;
+        for (const auto &A : Slot)
+          if ((A->Out || A->Err) &&
+              (!LastReal || A->FinishStamp > LastReal->FinishStamp))
+            LastReal = A.get();
+        if (LastReal && Equal(LastReal->In, Correct))
+          Match = LastReal;
+      }
+      std::optional<U> LocalForFinal;
+      if (Match) {
+        if (Match->Err)
+          FirstValidErr = Match->Err;
+        else {
+          Correct = *Match->Out;
+          LocalForFinal = std::move(Match->Local);
+        }
+      } else {
+        // Misprediction (or a stale valid run that was overwritten by a
+        // later garbage attempt): re-execute on the validator thread
+        // (rule CHECK's consumer re-execution). The slot is quiescent, so
+        // this execution's writes land last.
+        ++Stats.Reexecutions;
+        try {
+          U L = Init();
+          Correct = Body(I, L, std::move(Correct));
+          LocalForFinal = std::move(L);
+        } catch (...) {
+          FirstValidErr = std::current_exception();
+        }
+      }
+      if (FirstValidErr)
+        break;
+      ValidatedUpTo = I + 1;
+      try {
+        Finalize(I, *LocalForFinal);
+      } catch (...) {
+        FirstValidErr = std::current_exception();
+        break;
+      }
+    }
+    (void)ValidatedUpTo;
+
+    // Cancel whatever speculation is still in flight, wait for every
+    // attempt to retire (they reference this frame), and report. Taking
+    // the lock here also fences off new Par-mode chain attempts: chaining
+    // rechecks the cancellation flag under the same lock.
+    {
+      std::unique_lock<std::mutex> Lock(Run.M);
+      for (auto &Slot : Run.Slots)
+        for (const auto &A : Slot)
+          A->Cancel.cancel();
+    }
+    Run.waitAllAttempts();
+    finishStats(Opts, Stats);
+    if (FirstValidErr)
+      std::rethrow_exception(FirstValidErr);
+    return Correct;
+  }
+
+private:
+  static ThreadPool &resolvePool(const Options &Opts,
+                                 std::optional<ThreadPool> &Transient) {
+    if (Opts.Pool)
+      return *Opts.Pool;
+    Transient.emplace(Opts.NumThreads);
+    return *Transient;
+  }
+
+  template <typename SpecState> static void waitConsumer(SpecState &State) {
+    std::unique_lock<std::mutex> Lock(State.M);
+    State.CV.wait(Lock, [&] { return State.ConsumerDone; });
+  }
+
+  static void finishStats(const Options &Opts, const SpeculationStats &S) {
+    if (Opts.Stats)
+      *Opts.Stats = S;
+  }
+};
+
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_SPECULATION_H

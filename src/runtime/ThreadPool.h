@@ -1,0 +1,67 @@
+//===- runtime/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool, the substrate under the speculation runtime
+/// (the role .NET's Task Parallel Library plays for the paper's C#
+/// library).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_THREADPOOL_H
+#define SPECPAR_RUNTIME_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specpar {
+namespace rt {
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+///
+/// Destruction waits for all queued and running tasks to finish. Tasks must
+/// not throw (the speculation runtime catches user exceptions before they
+/// reach the pool).
+class ThreadPool {
+public:
+  /// Creates a pool with \p NumThreads workers (at least one).
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task; never blocks.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted so far has finished.
+  void waitIdle();
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+private:
+  void workerLoop();
+
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  unsigned NumRunning = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_THREADPOOL_H

@@ -1,0 +1,177 @@
+//===- simsched/SimSched.cpp - Discrete-event speculation simulator -------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simsched/SimSched.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+using namespace specpar;
+using namespace specpar::sim;
+
+std::string SimResult::str() const {
+  return formatString(
+      "makespan=%.3f seq=%.3f speedup=%.2f mispred=%lld reexec=%lld "
+      "corrective=%lld totalWork=%.3f",
+      Makespan, SequentialTime, Speedup,
+      static_cast<long long>(Mispredictions),
+      static_cast<long long>(ValidatorReexecutions),
+      static_cast<long long>(CorrectiveTasks), TotalWork);
+}
+
+namespace {
+
+/// One speculative execution in flight (initial or corrective).
+struct SimAttempt {
+  int64_t Iter;      // iteration index
+  bool InputCorrect; // executes with the true incoming value
+  bool Initial;      // first attempt of the slot (uses the prediction)
+  double Ready;      // time it can start
+  double Completion = -1.0;
+};
+
+struct Event {
+  double Time;
+  enum class Kind { Ready, ProcFree } K;
+  int64_t AttemptId; // for Ready
+  // Deterministic ordering: time, then kind, then id.
+  bool operator>(const Event &O) const {
+    if (Time != O.Time)
+      return Time > O.Time;
+    if (K != O.K)
+      return K > O.K;
+    return AttemptId > O.AttemptId;
+  }
+};
+
+} // namespace
+
+SimResult specpar::sim::simulateIteration(const std::vector<TaskSpec> &Tasks,
+                                          const MachineParams &Params) {
+  SimResult R;
+  const int64_t N = static_cast<int64_t>(Tasks.size());
+  for (const TaskSpec &T : Tasks)
+    R.SequentialTime += T.Work;
+  if (N == 0) {
+    R.Speedup = 1.0;
+    return R;
+  }
+
+  const unsigned P = std::max(1u, Params.NumProcs);
+
+  // Prologue on the spawning thread: all predictions, then all dispatches.
+  const double PrologueBase = Params.PredictorWork * static_cast<double>(N);
+
+  std::vector<SimAttempt> Attempts;
+  Attempts.reserve(static_cast<size_t>(N) * 2);
+  // Slot bookkeeping: [iter] -> attempt ids (capacity 2, like the runtime).
+  std::vector<std::vector<int64_t>> Slots(static_cast<size_t>(N));
+  for (int64_t I = 0; I < N; ++I) {
+    SimAttempt A;
+    A.Iter = I;
+    A.InputCorrect = (I == 0) || Tasks[static_cast<size_t>(I)].PredictionCorrect;
+    A.Initial = true;
+    A.Ready = PrologueBase +
+              Params.SpawnOverhead * static_cast<double>(I + 1);
+    Slots[static_cast<size_t>(I)].push_back(
+        static_cast<int64_t>(Attempts.size()));
+    Attempts.push_back(A);
+  }
+
+  // Discrete-event list scheduling onto P workers. A completion may chain
+  // a corrective attempt for the next iteration (Par mode).
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Events;
+  for (int64_t I = 0; I < N; ++I)
+    Events.push(Event{Attempts[static_cast<size_t>(I)].Ready,
+                      Event::Kind::Ready, I});
+
+  std::deque<int64_t> ReadyQueue; // attempt ids, FIFO
+  unsigned FreeProcs = P;
+  double Now = 0.0;
+
+  auto OnCompletion = [&](int64_t AttemptId, double Time) {
+    SimAttempt &A = Attempts[static_cast<size_t>(AttemptId)];
+    A.Completion = Time;
+    R.TotalWork += Tasks[static_cast<size_t>(A.Iter)].Work;
+    if (Params.Mode != SimValidation::Par || A.Iter + 1 >= N)
+      return;
+    // Chain rule (mirrors the runtime): our speculative output is correct
+    // iff our input was; it contradicts the next prediction unless both
+    // are correct. Garbage outputs contradict everything.
+    bool NextPredCorrect = Tasks[static_cast<size_t>(A.Iter + 1)].PredictionCorrect;
+    bool Contradicts = !(A.InputCorrect && NextPredCorrect);
+    auto &NextSlot = Slots[static_cast<size_t>(A.Iter + 1)];
+    if (!Contradicts || NextSlot.size() >= 2)
+      return;
+    // A corrective attempt with our input; correct iff our output was.
+    SimAttempt B;
+    B.Iter = A.Iter + 1;
+    B.InputCorrect = A.InputCorrect;
+    B.Initial = false;
+    B.Ready = Time + Params.SpawnOverhead;
+    int64_t Id = static_cast<int64_t>(Attempts.size());
+    NextSlot.push_back(Id);
+    Attempts.push_back(B);
+    ++R.CorrectiveTasks;
+    Events.push(Event{B.Ready, Event::Kind::Ready, Id});
+  };
+
+  while (!Events.empty()) {
+    Event E = Events.top();
+    Events.pop();
+    Now = E.Time;
+    if (E.K == Event::Kind::Ready)
+      ReadyQueue.push_back(E.AttemptId);
+    else
+      ++FreeProcs;
+    // Start as many ready attempts as we have processors.
+    while (FreeProcs > 0 && !ReadyQueue.empty()) {
+      int64_t Id = ReadyQueue.front();
+      ReadyQueue.pop_front();
+      --FreeProcs;
+      double Done =
+          Now + Tasks[static_cast<size_t>(Attempts[static_cast<size_t>(Id)]
+                                              .Iter)]
+                    .Work;
+      OnCompletion(Id, Done);
+      Events.push(Event{Done, Event::Kind::ProcFree, Id});
+    }
+  }
+
+  // Validation pass (dedicated validator thread, in iteration order),
+  // mirroring the runtime's quiescence discipline: the validator waits
+  // for every attempt of the slot to finish, accepts the attempt only if
+  // the *last finisher* ran with the correct input (corrective attempts
+  // serialize after the initial one, so a corrective present is the last
+  // finisher), and otherwise re-executes so its own writes land last.
+  double V = 0.0;
+  for (int64_t I = 0; I < N; ++I) {
+    if (I > 0 && !Tasks[static_cast<size_t>(I)].PredictionCorrect)
+      ++R.Mispredictions;
+    const auto &Slot = Slots[static_cast<size_t>(I)];
+    double Quiesce = 0.0;
+    for (int64_t Id : Slot)
+      Quiesce = std::max(Quiesce, Attempts[static_cast<size_t>(Id)].Completion);
+    const SimAttempt &LastFinisher =
+        Attempts[static_cast<size_t>(Slot.back())];
+    if (LastFinisher.InputCorrect) {
+      V = std::max(V, Quiesce) + Params.ValidationOverhead;
+    } else {
+      // Validator re-executes with the true value it just established.
+      ++R.ValidatorReexecutions;
+      R.TotalWork += Tasks[static_cast<size_t>(I)].Work;
+      V = std::max(V, Quiesce) + Tasks[static_cast<size_t>(I)].Work +
+          Params.ValidationOverhead;
+    }
+  }
+  R.Makespan = V;
+  R.Speedup = R.SequentialTime > 0 ? R.SequentialTime / R.Makespan : 1.0;
+  return R;
+}

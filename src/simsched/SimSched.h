@@ -1,0 +1,103 @@
+//===- simsched/SimSched.h - Discrete-event speculation simulator -*- C++ -*-=//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A discrete-event simulator of a P-processor machine executing a
+/// speculative iteration, mirroring the scheduling policy of the runtime
+/// in runtime/Speculation.h. This is the hardware substitution documented
+/// in DESIGN.md: the host has a single vCPU, so wall-clock threading
+/// cannot exhibit parallel speedups; instead the simulator consumes
+/// *measured* per-segment work and *measured* prediction outcomes from the
+/// real application code and computes the makespan a P-processor machine
+/// would achieve.
+///
+/// Model (matching the real runtime):
+///  * a prologue on the spawning thread runs all predictors and dispatches
+///    all tasks (SpawnOverhead + PredictorWork each);
+///  * speculative tasks are list-scheduled greedily onto P workers;
+///  * a dedicated validator thread validates iterations in order
+///    (ValidationOverhead each) with the runtime's quiescence discipline:
+///    it waits for every attempt of the slot to finish and accepts only a
+///    last-finishing attempt with the correct input; a mispredicted
+///    iteration is re-executed by the validator itself (Seq mode), or
+///    repaired by a corrective task chained from the completion of the
+///    previous iteration's attempt (Par mode, at most one corrective
+///    attempt per iteration — exactly the runtime's MaxAttempts=2 rule,
+///    including the possibility that a *garbage* corrective attempt
+///    claims the slot during misprediction cascades and forces a
+///    validator re-execution);
+///  * a wrong-input execution is assumed to produce a wrong output (the
+///    conservative assumption; accidental value collisions would only
+///    improve the real numbers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SIMSCHED_SIMSCHED_H
+#define SPECPAR_SIMSCHED_SIMSCHED_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specpar {
+namespace sim {
+
+/// Per-iteration inputs, measured from the real application.
+struct TaskSpec {
+  /// Cost of executing the iteration body once (time units).
+  double Work = 1.0;
+  /// Whether the predicted incoming value equals the true incoming value.
+  /// (Predictions are input-independent, so this is well defined without
+  /// simulating value flow.)
+  bool PredictionCorrect = true;
+};
+
+/// Validation policy (mirrors rt::ValidationMode).
+enum class SimValidation { Seq, Par };
+
+/// Machine and runtime-overhead parameters.
+struct MachineParams {
+  /// Worker processors executing speculative tasks.
+  unsigned NumProcs = 4;
+  /// Cost of dispatching one task from the spawning thread.
+  double SpawnOverhead = 0.0;
+  /// Cost of running one prediction function (spawning thread).
+  double PredictorWork = 0.0;
+  /// Validator cost per iteration boundary.
+  double ValidationOverhead = 0.0;
+  SimValidation Mode = SimValidation::Seq;
+};
+
+/// Simulation outputs.
+struct SimResult {
+  /// Time at which the final iteration is validated.
+  double Makespan = 0.0;
+  /// Baseline: the plain sequential loop (no speculation machinery).
+  double SequentialTime = 0.0;
+  /// SequentialTime / Makespan.
+  double Speedup = 0.0;
+  /// Mispredicted iteration boundaries.
+  int64_t Mispredictions = 0;
+  /// Re-executions performed serially by the validator.
+  int64_t ValidatorReexecutions = 0;
+  /// Corrective tasks spawned (Par mode).
+  int64_t CorrectiveTasks = 0;
+  /// Total work executed (including wasted speculative work), in time
+  /// units; WastedWork = TotalWork - SequentialTime.
+  double TotalWork = 0.0;
+
+  std::string str() const;
+};
+
+/// Simulates one speculative iteration run.
+SimResult simulateIteration(const std::vector<TaskSpec> &Tasks,
+                            const MachineParams &Params);
+
+} // namespace sim
+} // namespace specpar
+
+#endif // SPECPAR_SIMSCHED_SIMSCHED_H

@@ -1,0 +1,24 @@
+//===- support/Interval.cpp - Interval printing --------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interval.h"
+
+using namespace specpar;
+
+std::string ExtInt::str() const {
+  if (isPosInf())
+    return "+inf";
+  if (isNegInf())
+    return "-inf";
+  return std::to_string(V);
+}
+
+std::string Interval::str() const {
+  if (Empty)
+    return "[]";
+  return "[" + Lo.str() + ", " + Hi.str() + "]";
+}

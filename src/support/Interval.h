@@ -1,0 +1,245 @@
+//===- support/Interval.h - Integer interval arithmetic ---------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer intervals with +/- infinity bounds and saturating arithmetic.
+/// This is the numeric core of the paper's range analysis (Section 5):
+/// array accesses are described by index intervals, with an
+/// over-approximate (may) interval domain and an under-approximate (must)
+/// variant built on top of the same representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SUPPORT_INTERVAL_H
+#define SPECPAR_SUPPORT_INTERVAL_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace specpar {
+
+/// An extended integer: an int64 with explicit +/- infinity. Arithmetic
+/// saturates at the infinities.
+class ExtInt {
+public:
+  static ExtInt posInf() { return ExtInt(Kind::PosInf, 0); }
+  static ExtInt negInf() { return ExtInt(Kind::NegInf, 0); }
+  /*implicit*/ ExtInt(int64_t V) : K(Kind::Finite), V(V) {}
+  ExtInt() : ExtInt(0) {}
+
+  bool isPosInf() const { return K == Kind::PosInf; }
+  bool isNegInf() const { return K == Kind::NegInf; }
+  bool isFinite() const { return K == Kind::Finite; }
+
+  int64_t value() const {
+    assert(isFinite() && "value() on an infinite ExtInt");
+    return V;
+  }
+
+  friend bool operator==(const ExtInt &A, const ExtInt &B) {
+    return A.K == B.K && (A.K != Kind::Finite || A.V == B.V);
+  }
+  friend bool operator!=(const ExtInt &A, const ExtInt &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const ExtInt &A, const ExtInt &B) {
+    if (A.K == Kind::NegInf)
+      return B.K != Kind::NegInf;
+    if (A.K == Kind::PosInf)
+      return false;
+    if (B.K == Kind::NegInf)
+      return false;
+    if (B.K == Kind::PosInf)
+      return true;
+    return A.V < B.V;
+  }
+  friend bool operator<=(const ExtInt &A, const ExtInt &B) {
+    return A < B || A == B;
+  }
+
+  /// Saturating addition. NegInf + PosInf is not a meaningful query in the
+  /// interval operations below and is asserted against.
+  friend ExtInt operator+(const ExtInt &A, const ExtInt &B) {
+    if (A.isFinite() && B.isFinite()) {
+      // Saturate instead of overflowing.
+      int64_t R;
+      if (__builtin_add_overflow(A.V, B.V, &R))
+        return A.V > 0 ? posInf() : negInf();
+      return ExtInt(R);
+    }
+    assert(!(A.isPosInf() && B.isNegInf()) &&
+           !(A.isNegInf() && B.isPosInf()) && "inf + -inf is undefined");
+    return (A.isPosInf() || B.isPosInf()) ? posInf() : negInf();
+  }
+
+  friend ExtInt operator-(const ExtInt &A) {
+    if (A.isPosInf())
+      return negInf();
+    if (A.isNegInf())
+      return posInf();
+    if (A.V == INT64_MIN)
+      return posInf();
+    return ExtInt(-A.V);
+  }
+
+  friend ExtInt operator-(const ExtInt &A, const ExtInt &B) {
+    return A + (-B);
+  }
+
+  friend ExtInt operator*(const ExtInt &A, const ExtInt &B) {
+    auto Sign = [](const ExtInt &X) {
+      if (X.isPosInf())
+        return 1;
+      if (X.isNegInf())
+        return -1;
+      return X.V > 0 ? 1 : (X.V < 0 ? -1 : 0);
+    };
+    int SA = Sign(A), SB = Sign(B);
+    if (SA == 0 || SB == 0)
+      return ExtInt(0);
+    if (!A.isFinite() || !B.isFinite())
+      return SA * SB > 0 ? posInf() : negInf();
+    int64_t R;
+    if (__builtin_mul_overflow(A.V, B.V, &R))
+      return SA * SB > 0 ? posInf() : negInf();
+    return ExtInt(R);
+  }
+
+  static const ExtInt &min(const ExtInt &A, const ExtInt &B) {
+    return A < B ? A : B;
+  }
+  static const ExtInt &max(const ExtInt &A, const ExtInt &B) {
+    return A < B ? B : A;
+  }
+
+  std::string str() const;
+
+private:
+  enum class Kind { NegInf, Finite, PosInf };
+  ExtInt(Kind K, int64_t V) : K(K), V(V) {}
+  Kind K;
+  int64_t V;
+};
+
+/// A (possibly empty, possibly unbounded) integer interval [Lo, Hi].
+///
+/// The empty interval is canonical (represented with Lo > Hi via the
+/// factory `empty()`); all operations preserve canonicity.
+class Interval {
+public:
+  /// The empty interval.
+  static Interval empty() { return Interval(); }
+  /// The full interval (-inf, +inf).
+  static Interval full() { return Interval(ExtInt::negInf(), ExtInt::posInf()); }
+  /// The singleton [V, V].
+  static Interval point(int64_t V) { return Interval(V, V); }
+  /// [Lo, Hi]; empty if Lo > Hi.
+  static Interval of(ExtInt Lo, ExtInt Hi) {
+    if (Hi < Lo)
+      return empty();
+    return Interval(Lo, Hi);
+  }
+
+  bool isEmpty() const { return Empty; }
+  bool isFull() const {
+    return !Empty && Lo.isNegInf() && Hi.isPosInf();
+  }
+  bool isPoint() const { return !Empty && Lo == Hi; }
+
+  const ExtInt &lo() const {
+    assert(!Empty && "lo() of the empty interval");
+    return Lo;
+  }
+  const ExtInt &hi() const {
+    assert(!Empty && "hi() of the empty interval");
+    return Hi;
+  }
+
+  bool contains(int64_t V) const {
+    return !Empty && Lo <= ExtInt(V) && ExtInt(V) <= Hi;
+  }
+  bool contains(const Interval &Other) const {
+    if (Other.Empty)
+      return true;
+    return !Empty && Lo <= Other.Lo && Other.Hi <= Hi;
+  }
+  bool intersects(const Interval &Other) const {
+    return !meet(*this, Other).isEmpty();
+  }
+
+  friend bool operator==(const Interval &A, const Interval &B) {
+    if (A.Empty || B.Empty)
+      return A.Empty == B.Empty;
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+
+  /// Least upper bound (convex hull).
+  static Interval join(const Interval &A, const Interval &B) {
+    if (A.Empty)
+      return B;
+    if (B.Empty)
+      return A;
+    return Interval(ExtInt::min(A.Lo, B.Lo), ExtInt::max(A.Hi, B.Hi));
+  }
+
+  /// Greatest lower bound (intersection).
+  static Interval meet(const Interval &A, const Interval &B) {
+    if (A.Empty || B.Empty)
+      return empty();
+    return of(ExtInt::max(A.Lo, B.Lo), ExtInt::min(A.Hi, B.Hi));
+  }
+
+  /// Standard interval widening: bounds that grew jump to infinity.
+  static Interval widen(const Interval &Old, const Interval &New) {
+    if (Old.Empty)
+      return New;
+    if (New.Empty)
+      return Old;
+    ExtInt Lo = New.Lo < Old.Lo ? ExtInt::negInf() : Old.Lo;
+    ExtInt Hi = Old.Hi < New.Hi ? ExtInt::posInf() : Old.Hi;
+    return Interval(Lo, Hi);
+  }
+
+  friend Interval operator+(const Interval &A, const Interval &B) {
+    if (A.Empty || B.Empty)
+      return empty();
+    return Interval(A.Lo + B.Lo, A.Hi + B.Hi);
+  }
+
+  friend Interval operator-(const Interval &A, const Interval &B) {
+    if (A.Empty || B.Empty)
+      return empty();
+    return Interval(A.Lo - B.Hi, A.Hi - B.Lo);
+  }
+
+  friend Interval operator*(const Interval &A, const Interval &B) {
+    if (A.Empty || B.Empty)
+      return empty();
+    ExtInt C1 = A.Lo * B.Lo, C2 = A.Lo * B.Hi;
+    ExtInt C3 = A.Hi * B.Lo, C4 = A.Hi * B.Hi;
+    ExtInt Lo = ExtInt::min(ExtInt::min(C1, C2), ExtInt::min(C3, C4));
+    ExtInt Hi = ExtInt::max(ExtInt::max(C1, C2), ExtInt::max(C3, C4));
+    return Interval(Lo, Hi);
+  }
+
+  std::string str() const;
+
+private:
+  Interval() : Empty(true), Lo(0), Hi(0) {}
+  Interval(ExtInt Lo, ExtInt Hi) : Empty(false), Lo(Lo), Hi(Hi) {
+    assert(!(Hi < Lo) && "non-canonical interval");
+  }
+
+  bool Empty;
+  ExtInt Lo, Hi;
+};
+
+} // namespace specpar
+
+#endif // SPECPAR_SUPPORT_INTERVAL_H

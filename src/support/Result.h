@@ -1,0 +1,73 @@
+//===- support/Result.h - Lightweight Expected<T> analogue ------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result<T>: either a value or a string error message. A deliberately tiny
+/// stand-in for llvm::Expected used at fallible API boundaries (parsing,
+/// program loading). Unlike llvm::Expected there is no unchecked-abort
+/// discipline; this project is small enough that call sites are audited by
+/// the test suite instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SUPPORT_RESULT_H
+#define SPECPAR_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace specpar {
+
+/// Tag type that makes error construction explicit at call sites:
+/// `return ResultError("bad token");`
+struct ResultError {
+  std::string Message;
+  explicit ResultError(std::string Message) : Message(std::move(Message)) {}
+};
+
+/// A value of type T or an error message.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Result(ResultError Err) : Error(std::move(Err.Message)) {}
+
+  /// True on success.
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing an error Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing an error Result");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// The error message; only valid when !bool(*this).
+  const std::string &error() const {
+    assert(!Value && "asking for the error of a success Result");
+    return Error;
+  }
+
+  /// Moves the value out; only valid on success.
+  T take() {
+    assert(Value && "taking the value of an error Result");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  std::string Error;
+};
+
+} // namespace specpar
+
+#endif // SPECPAR_SUPPORT_RESULT_H

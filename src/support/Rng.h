@@ -1,0 +1,73 @@
+//===- support/Rng.h - Deterministic seeded PRNG ----------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic PRNG. Every randomized component in the
+/// project (dataset generators, interpreter schedulers, property tests)
+/// takes an explicit seed so that runs are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SUPPORT_RNG_H
+#define SPECPAR_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace specpar {
+
+/// A small, fast, deterministic PRNG (SplitMix64 core).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t V = next();
+      if (V >= Threshold)
+        return V % Bound;
+    }
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Derives an independent child stream (useful for per-task seeding).
+  Rng split() { return Rng(next() ^ 0xa5a5a5a5deadbeefULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace specpar
+
+#endif // SPECPAR_SUPPORT_RNG_H

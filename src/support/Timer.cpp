@@ -1,0 +1,36 @@
+//===- support/Timer.cpp - Memory probe implementation -------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace specpar;
+
+static uint64_t readProcStatusKB(const char *Key) {
+  std::FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  uint64_t Value = 0;
+  size_t KeyLen = std::strlen(Key);
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, Key, KeyLen) == 0 && Line[KeyLen] == ':') {
+      unsigned long long KB = 0;
+      if (std::sscanf(Line + KeyLen + 1, "%llu", &KB) == 1)
+        Value = KB;
+      break;
+    }
+  }
+  std::fclose(F);
+  return Value;
+}
+
+uint64_t specpar::peakMemoryKB() { return readProcStatusKB("VmHWM"); }
+
+uint64_t specpar::currentMemoryKB() { return readProcStatusKB("VmRSS"); }

@@ -1,0 +1,53 @@
+//===- support/Timer.h - Wall-clock timing + memory probes ------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock stopwatch and a /proc-based peak-memory probe. These stand in
+/// for the paper's ptime / DateTime / PeakVirtualMemorySize64 measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SUPPORT_TIMER_H
+#define SPECPAR_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace specpar {
+
+/// A simple wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Returns the process peak resident set size (VmHWM) in kilobytes, or 0 if
+/// it cannot be determined (non-Linux platforms).
+uint64_t peakMemoryKB();
+
+/// Returns the current resident set size (VmRSS) in kilobytes, or 0 if it
+/// cannot be determined.
+uint64_t currentMemoryKB();
+
+} // namespace specpar
+
+#endif // SPECPAR_SUPPORT_TIMER_H

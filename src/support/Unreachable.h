@@ -1,0 +1,34 @@
+//===- support/Unreachable.h - sp_unreachable --------------------*- C++ -*-=//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// sp_unreachable: marks a point in code that must never execute. Prints the
+/// message and aborts in all build modes (the project is small enough that
+/// we keep the check in release builds too).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SUPPORT_UNREACHABLE_H
+#define SPECPAR_SUPPORT_UNREACHABLE_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace specpar {
+
+[[noreturn]] inline void unreachableInternal(const char *Msg,
+                                             const char *File, int Line) {
+  std::fprintf(stderr, "%s:%d: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace specpar
+
+#define sp_unreachable(MSG)                                                    \
+  ::specpar::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // SPECPAR_SUPPORT_UNREACHABLE_H

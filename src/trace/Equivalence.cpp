@@ -1,0 +1,348 @@
+//===- trace/Equivalence.cpp - Correctness criterion of Section 3.1 --------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Equivalence.h"
+
+#include "support/StringUtils.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+using namespace specpar;
+using namespace specpar::tr;
+
+//===----------------------------------------------------------------------===//
+// Final-state equivalence (result-reachable bisimulation)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FinalStateChecker {
+public:
+  FinalStateChecker(const FinalState &N, const FinalState &S) : N(N), S(S) {}
+
+  EquivResult run() {
+    if (!matchValue(N.Result, S.Result, "result"))
+      return {EquivStatus::NotEquivalent, Why};
+    while (!Work.empty()) {
+      auto [BaseN, BaseS] = Work.front();
+      Work.pop_front();
+      if (!matchBase(BaseN, BaseS))
+        return {EquivStatus::NotEquivalent, Why};
+    }
+    return {EquivStatus::Equivalent, ""};
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Why.empty())
+      Why = Msg;
+    return false;
+  }
+
+  /// Records the correspondence BaseN <-> BaseS; checks bijectivity.
+  bool mapBases(uint64_t BaseN, uint64_t BaseS) {
+    auto ItN = NtoS.find(BaseN);
+    if (ItN != NtoS.end())
+      return ItN->second == BaseS ||
+             fail(formatString("location #%llu maps inconsistently",
+                               static_cast<unsigned long long>(BaseN)));
+    auto ItS = StoN.find(BaseS);
+    if (ItS != StoN.end())
+      return fail(formatString("speculative location #%llu matched twice",
+                               static_cast<unsigned long long>(BaseS)));
+    NtoS.emplace(BaseN, BaseS);
+    StoN.emplace(BaseS, BaseN);
+    Work.push_back({BaseN, BaseS});
+    return true;
+  }
+
+  bool matchValue(const LabelValue &VN, const LabelValue &VS,
+                  const char *What) {
+    if (VN.K != VS.K)
+      return fail(formatString("%s: kind mismatch (%s vs %s)", What,
+                               VN.str().c_str(), VS.str().c_str()));
+    switch (VN.K) {
+    case LabelValue::Kind::Int:
+      return VN.Int == VS.Int ||
+             fail(formatString("%s: %lld vs %lld", What,
+                               static_cast<long long>(VN.Int),
+                               static_cast<long long>(VS.Int)));
+    case LabelValue::Kind::Unit:
+    case LabelValue::Kind::Opaque:
+      return true;
+    case LabelValue::Kind::CellLoc:
+    case LabelValue::Kind::ArrLoc:
+      return mapBases(VN.Base, VS.Base);
+    }
+    return false;
+  }
+
+  bool matchBase(uint64_t BaseN, uint64_t BaseS) {
+    auto CellN = N.Cells.find(BaseN);
+    if (CellN != N.Cells.end()) {
+      auto CellS = S.Cells.find(BaseS);
+      if (CellS == S.Cells.end())
+        return fail("cell matched against a non-cell");
+      return matchValue(CellN->second, CellS->second, "cell content");
+    }
+    auto ArrN = N.Arrays.find(BaseN);
+    if (ArrN != N.Arrays.end()) {
+      auto ArrS = S.Arrays.find(BaseS);
+      if (ArrS == S.Arrays.end())
+        return fail("array matched against a non-array");
+      if (ArrN->second.size() != ArrS->second.size())
+        return fail("array size mismatch");
+      for (size_t I = 0; I < ArrN->second.size(); ++I)
+        if (!matchValue(ArrN->second[I], ArrS->second[I], "array slot"))
+          return false;
+      return true;
+    }
+    return fail("dangling location in the non-speculative state");
+  }
+
+  const FinalState &N;
+  const FinalState &S;
+  std::map<uint64_t, uint64_t> NtoS, StoN;
+  std::deque<std::pair<uint64_t, uint64_t>> Work;
+  std::string Why;
+};
+
+} // namespace
+
+EquivResult specpar::tr::checkFinalStateEquivalent(const FinalState &NonSpec,
+                                                   const FinalState &Spec) {
+  return FinalStateChecker(NonSpec, Spec).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Dependence-preserving embedding search
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class EmbeddingSearch {
+public:
+  EmbeddingSearch(const Trace &N, const Trace &S, uint64_t Budget)
+      : N(N), S(S), Budget(Budget) {}
+
+  EquivResult run() {
+    RFn = computeReadsFrom(N);
+    RFs = computeReadsFrom(S);
+    LastN = computeLastWriters(N);
+    LastS = computeLastWriters(S);
+    EventMap.assign(N.Events.size(), -1);
+    UsedS.assign(S.Events.size(), false);
+    switch (search(0)) {
+    case SearchOutcome::Found:
+      return {EquivStatus::Equivalent, ""};
+    case SearchOutcome::Exhausted:
+      return {EquivStatus::NotEquivalent,
+              FirstObstacle.empty() ? "no dependence-preserving embedding"
+                                    : FirstObstacle};
+    case SearchOutcome::OutOfBudget:
+      return {EquivStatus::ResourceLimit, "embedding search budget exceeded"};
+    }
+    return {EquivStatus::NotEquivalent, "unreachable"};
+  }
+
+private:
+  enum class SearchOutcome { Found, Exhausted, OutOfBudget };
+
+  /// Maps a location of N through the base correspondence; only valid when
+  /// the base is mapped.
+  bool mapLoc(const MemLoc &L, MemLoc &Out) const {
+    auto It = BaseMap.find(L.Base);
+    if (It == BaseMap.end())
+      return false;
+    Out = MemLoc{It->second, L.Index};
+    return true;
+  }
+
+  bool valueMatches(const LabelValue &VN, const LabelValue &VS) const {
+    if (VN.K != VS.K)
+      return false;
+    switch (VN.K) {
+    case LabelValue::Kind::Int:
+      return VN.Int == VS.Int;
+    case LabelValue::Kind::Unit:
+    case LabelValue::Kind::Opaque:
+      return true;
+    case LabelValue::Kind::CellLoc:
+    case LabelValue::Kind::ArrLoc: {
+      // A location value must reference an already-mapped base (it was
+      // allocated earlier in the sequential N trace).
+      auto It = BaseMap.find(VN.Base);
+      return It != BaseMap.end() && It->second == VS.Base;
+    }
+    }
+    return false;
+  }
+
+  /// Checks the last-writer (final-heap dependence) conditions for mapping
+  /// N event \p NIdx to S event \p SIdx.
+  bool lastWriterConsistent(size_t NIdx, size_t SIdx, const MemLoc &LocN,
+                            const MemLoc &LocS) const {
+    auto ItN = LastN.find(LocN);
+    auto ItS = LastS.find(LocS);
+    bool IsLastN = ItN != LastN.end() &&
+                   ItN->second == static_cast<int64_t>(NIdx);
+    bool IsLastS = ItS != LastS.end() &&
+                   ItS->second == static_cast<int64_t>(SIdx);
+    return IsLastN == IsLastS;
+  }
+
+  /// Whether mapping N event NIdx onto S event SIdx is locally consistent.
+  bool compatible(size_t NIdx, size_t SIdx, bool &ExtendsBase) {
+    const Event &En = N.Events[NIdx];
+    const Event &Es = S.Events[SIdx];
+    ExtendsBase = false;
+    if (En.K != Es.K)
+      return false;
+    if (!valueMatches(En.Value, Es.Value))
+      return false;
+    switch (En.K) {
+    case Event::Kind::Alloc:
+    case Event::Kind::AllocArr: {
+      if (En.K == Event::Kind::AllocArr && En.ArraySize != Es.ArraySize)
+        return false;
+      // A fresh base: extend the correspondence (injectively).
+      if (BaseMap.count(En.Loc.Base))
+        return false; // each base allocated once per trace
+      if (BaseMapInv.count(Es.Loc.Base))
+        return false;
+      ExtendsBase = true;
+      // Last-writer condition for the allocated location(s).
+      if (En.K == Event::Kind::Alloc) {
+        // Temporarily treat the base as mapped for the check.
+        MemLoc LocS{Es.Loc.Base, 0};
+        auto ItN = LastN.find(En.Loc);
+        auto ItS = LastS.find(LocS);
+        bool IsLastN = ItN != LastN.end() &&
+                       ItN->second == static_cast<int64_t>(NIdx);
+        bool IsLastS = ItS != LastS.end() &&
+                       ItS->second == static_cast<int64_t>(SIdx);
+        if (IsLastN != IsLastS)
+          return false;
+      } else {
+        for (int64_t J = 0; J < En.ArraySize; ++J) {
+          MemLoc LN{En.Loc.Base, J}, LS{Es.Loc.Base, J};
+          auto ItN = LastN.find(LN);
+          auto ItS = LastS.find(LS);
+          bool IsLastN = ItN != LastN.end() &&
+                         ItN->second == static_cast<int64_t>(NIdx);
+          bool IsLastS = ItS != LastS.end() &&
+                         ItS->second == static_cast<int64_t>(SIdx);
+          if (IsLastN != IsLastS)
+            return false;
+        }
+      }
+      return true;
+    }
+    case Event::Kind::Set: {
+      MemLoc LocS;
+      if (!mapLoc(En.Loc, LocS) || !(LocS == Es.Loc))
+        return false;
+      return lastWriterConsistent(NIdx, SIdx, En.Loc, LocS);
+    }
+    case Event::Kind::Get: {
+      MemLoc LocS;
+      if (!mapLoc(En.Loc, LocS) || !(LocS == Es.Loc))
+        return false;
+      // Reads-from must commute with the mapping. The N writer precedes
+      // the read, so it is already mapped.
+      int64_t WN = RFn[NIdx];
+      int64_t WS = RFs[SIdx];
+      if (WN < 0 || WS < 0)
+        return WN == WS;
+      return EventMap[static_cast<size_t>(WN)] == WS;
+    }
+    }
+    return false;
+  }
+
+  /// Iterative backtracking (traces run to thousands of events; recursion
+  /// would overflow the stack). Each level remembers the S candidate it
+  /// committed to and whether it extended the base correspondence.
+  SearchOutcome search(size_t /*unused*/) {
+    struct Level {
+      size_t SIdx;
+      bool ExtendedBase;
+    };
+    std::vector<Level> Assigned; // one entry per mapped N event
+    size_t NIdx = 0;
+    size_t Cursor = 0; // next S candidate to try at the current level
+    for (;;) {
+      if (NIdx == N.Events.size())
+        return SearchOutcome::Found;
+      if (Steps++ > Budget)
+        return SearchOutcome::OutOfBudget;
+      const Event &En = N.Events[NIdx];
+      // Find the next compatible unused S event from Cursor on.
+      size_t Found = S.Events.size();
+      bool ExtendsBase = false;
+      for (size_t SIdx = Cursor; SIdx < S.Events.size(); ++SIdx) {
+        if (UsedS[SIdx])
+          continue;
+        if (compatible(NIdx, SIdx, ExtendsBase)) {
+          Found = SIdx;
+          break;
+        }
+      }
+      if (Found < S.Events.size()) {
+        EventMap[NIdx] = static_cast<int64_t>(Found);
+        UsedS[Found] = true;
+        if (ExtendsBase) {
+          BaseMap.emplace(En.Loc.Base, S.Events[Found].Loc.Base);
+          BaseMapInv.emplace(S.Events[Found].Loc.Base, En.Loc.Base);
+        }
+        Assigned.push_back(Level{Found, ExtendsBase});
+        ++NIdx;
+        Cursor = 0;
+        continue;
+      }
+      // No candidate (left) at this level.
+      if (Cursor == 0 && FirstObstacle.empty())
+        FirstObstacle = formatString(
+            "no speculative counterpart for non-speculative event %zu: %s",
+            NIdx, En.str().c_str());
+      if (NIdx == 0)
+        return SearchOutcome::Exhausted;
+      // Backtrack one level and resume after its committed candidate.
+      --NIdx;
+      Level L = Assigned.back();
+      Assigned.pop_back();
+      EventMap[NIdx] = -1;
+      UsedS[L.SIdx] = false;
+      if (L.ExtendedBase) {
+        BaseMap.erase(N.Events[NIdx].Loc.Base);
+        BaseMapInv.erase(S.Events[L.SIdx].Loc.Base);
+      }
+      Cursor = L.SIdx + 1;
+    }
+  }
+
+  const Trace &N;
+  const Trace &S;
+  uint64_t Budget;
+  uint64_t Steps = 0;
+  std::vector<int64_t> RFn, RFs;
+  std::map<MemLoc, int64_t> LastN, LastS;
+  std::vector<int64_t> EventMap;
+  std::vector<bool> UsedS;
+  std::map<uint64_t, uint64_t> BaseMap, BaseMapInv;
+  std::string FirstObstacle;
+};
+
+} // namespace
+
+EquivResult specpar::tr::checkDependenceEquivalent(const Trace &NonSpec,
+                                                   const Trace &Spec,
+                                                   uint64_t Budget) {
+  return EmbeddingSearch(NonSpec, Spec, Budget).run();
+}

@@ -1,0 +1,63 @@
+//===- trace/Equivalence.h - Correctness criterion of Section 3.1 -*- C++ -*-=//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two equivalence notions between a speculative and a
+/// non-speculative execution (Section 3.1):
+///
+///  * final-state equivalence — the results agree and the heaps agree
+///    modulo a location correspondence. We check it over the part of the
+///    final state reachable from the result value (the speculative heap
+///    may contain extra garbage, which the definition permits);
+///
+///  * dependence equivalence — there is a dependence-preserving embedding
+///    mapping every interesting transition of the non-speculative trace to
+///    a distinct transition of the speculative trace, preserving labels
+///    (modulo the location correspondence), reads-from data dependences in
+///    both directions, and final-heap dependences. The speculative trace
+///    may contain extra (mispredicted, garbage) transitions.
+///
+/// The embedding checker is a backtracking search with strong per-event
+/// pruning; it is exact on the small programs the test-suite explores and
+/// reports ResourceLimit if the step budget is exhausted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_TRACE_EQUIVALENCE_H
+#define SPECPAR_TRACE_EQUIVALENCE_H
+
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <string>
+
+namespace specpar {
+namespace tr {
+
+enum class EquivStatus { Equivalent, NotEquivalent, ResourceLimit };
+
+struct EquivResult {
+  EquivStatus Status;
+  /// Human-readable reason when not equivalent.
+  std::string Explanation;
+
+  bool ok() const { return Status == EquivStatus::Equivalent; }
+};
+
+/// Final-state equivalence over the result-reachable heap.
+EquivResult checkFinalStateEquivalent(const FinalState &NonSpec,
+                                      const FinalState &Spec);
+
+/// Dependence equivalence: searches for a dependence-preserving embedding
+/// of \p NonSpec into \p Spec. \p Budget bounds backtracking steps.
+EquivResult checkDependenceEquivalent(const Trace &NonSpec, const Trace &Spec,
+                                      uint64_t Budget = 2000000);
+
+} // namespace tr
+} // namespace specpar
+
+#endif // SPECPAR_TRACE_EQUIVALENCE_H

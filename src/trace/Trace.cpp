@@ -1,0 +1,147 @@
+//===- trace/Trace.cpp - Labelled execution traces --------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+using namespace specpar;
+using namespace specpar::tr;
+
+std::string LabelValue::str() const {
+  switch (K) {
+  case Kind::Int:
+    return std::to_string(Int);
+  case Kind::Unit:
+    return "()";
+  case Kind::CellLoc:
+    return formatString("cell#%llu", static_cast<unsigned long long>(Base));
+  case Kind::ArrLoc:
+    return formatString("arr#%llu", static_cast<unsigned long long>(Base));
+  case Kind::Opaque:
+    return "<fun>";
+  }
+  sp_unreachable("unknown label value kind");
+}
+
+std::string Event::str() const {
+  const char *Name = "?";
+  switch (K) {
+  case Kind::Alloc:
+    Name = "ALLOC";
+    break;
+  case Kind::AllocArr:
+    Name = "ALLOCARR";
+    break;
+  case Kind::Set:
+    Name = "SET";
+    break;
+  case Kind::Get:
+    Name = "GET";
+    break;
+  }
+  std::string S = formatString("[t%llu] %s #%llu",
+                               static_cast<unsigned long long>(ThreadId),
+                               Name,
+                               static_cast<unsigned long long>(Loc.Base));
+  if (K == Kind::AllocArr)
+    S += formatString(" size=%lld", static_cast<long long>(ArraySize));
+  else if (Loc.Index != 0 || K != Kind::Alloc)
+    S += formatString("[%lld]", static_cast<long long>(Loc.Index));
+  return S + " " + Value.str();
+}
+
+std::string Trace::str() const {
+  std::string S;
+  for (const Event &E : Events)
+    S += E.str() + "\n";
+  return S;
+}
+
+std::string FinalState::str() const {
+  std::string S = "result = " + Result.str() + "\n";
+  for (const auto &[Base, V] : Cells)
+    S += formatString("cell#%llu = %s\n",
+                      static_cast<unsigned long long>(Base),
+                      V.str().c_str());
+  for (const auto &[Base, Slots] : Arrays) {
+    S += formatString("arr#%llu = [",
+                      static_cast<unsigned long long>(Base));
+    for (size_t I = 0; I < Slots.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Slots[I].str();
+    }
+    S += "]\n";
+  }
+  return S;
+}
+
+bool specpar::tr::writesLoc(const Event &W, const MemLoc &L) {
+  switch (W.K) {
+  case Event::Kind::Get:
+    return false;
+  case Event::Kind::Alloc:
+  case Event::Kind::Set:
+    return W.Loc == L;
+  case Event::Kind::AllocArr:
+    return W.Loc.Base == L.Base && L.Index >= 0 && L.Index < W.ArraySize;
+  }
+  sp_unreachable("unknown event kind");
+}
+
+std::vector<int64_t> specpar::tr::computeReadsFrom(const Trace &T) {
+  std::vector<int64_t> RF(T.Events.size(), -1);
+  std::map<MemLoc, int64_t> LastWrite;
+  std::map<uint64_t, int64_t> ArrAlloc; // base -> AllocArr index
+  for (size_t I = 0; I < T.Events.size(); ++I) {
+    const Event &E = T.Events[I];
+    switch (E.K) {
+    case Event::Kind::Alloc:
+    case Event::Kind::Set:
+      LastWrite[E.Loc] = static_cast<int64_t>(I);
+      break;
+    case Event::Kind::AllocArr:
+      ArrAlloc[E.Loc.Base] = static_cast<int64_t>(I);
+      break;
+    case Event::Kind::Get: {
+      auto It = LastWrite.find(E.Loc);
+      if (It != LastWrite.end()) {
+        RF[I] = It->second;
+      } else {
+        auto AIt = ArrAlloc.find(E.Loc.Base);
+        if (AIt != ArrAlloc.end() &&
+            writesLoc(T.Events[static_cast<size_t>(AIt->second)], E.Loc))
+          RF[I] = AIt->second;
+      }
+      break;
+    }
+    }
+  }
+  return RF;
+}
+
+std::map<MemLoc, int64_t> specpar::tr::computeLastWriters(const Trace &T) {
+  std::map<MemLoc, int64_t> Last;
+  for (size_t I = 0; I < T.Events.size(); ++I) {
+    const Event &E = T.Events[I];
+    switch (E.K) {
+    case Event::Kind::Get:
+      break;
+    case Event::Kind::Alloc:
+    case Event::Kind::Set:
+      Last[E.Loc] = static_cast<int64_t>(I);
+      break;
+    case Event::Kind::AllocArr:
+      for (int64_t J = 0; J < E.ArraySize; ++J)
+        Last[MemLoc{E.Loc.Base, J}] = static_cast<int64_t>(I);
+      break;
+    }
+  }
+  return Last;
+}

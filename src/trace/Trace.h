@@ -1,0 +1,162 @@
+//===- trace/Trace.h - Labelled execution traces ----------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Labelled execution traces, the raw material of the paper's correctness
+/// criterion (Section 3.1). The interesting transitions are ALLOC(l, v),
+/// SET(l, v) and GET(l, v); everything else is a tau step and is not
+/// recorded. Arrays (a conservative extension) add an ALLOCARR(l, n, v)
+/// label and per-slot locations (base, index).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_TRACE_TRACE_H
+#define SPECPAR_TRACE_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace specpar {
+namespace tr {
+
+/// A heap location: a cell (Index == 0) or an array slot.
+struct MemLoc {
+  uint64_t Base = 0;
+  int64_t Index = 0;
+
+  friend bool operator==(const MemLoc &A, const MemLoc &B) {
+    return A.Base == B.Base && A.Index == B.Index;
+  }
+  friend bool operator<(const MemLoc &A, const MemLoc &B) {
+    if (A.Base != B.Base)
+      return A.Base < B.Base;
+    return A.Index < B.Index;
+  }
+};
+
+/// A value as it appears in a transition label. Locations are compared
+/// modulo the correspondence mapping; closures and thread ids are opaque
+/// (they never appear in labels of well-formed first-order programs, but
+/// the representation keeps the checker total).
+struct LabelValue {
+  enum class Kind { Int, Unit, CellLoc, ArrLoc, Opaque };
+  Kind K = Kind::Unit;
+  int64_t Int = 0;    // Kind::Int
+  uint64_t Base = 0;  // CellLoc / ArrLoc
+
+  static LabelValue intValue(int64_t V) {
+    LabelValue L;
+    L.K = Kind::Int;
+    L.Int = V;
+    return L;
+  }
+  static LabelValue unitValue() { return LabelValue(); }
+  static LabelValue cellLoc(uint64_t Base) {
+    LabelValue L;
+    L.K = Kind::CellLoc;
+    L.Base = Base;
+    return L;
+  }
+  static LabelValue arrLoc(uint64_t Base) {
+    LabelValue L;
+    L.K = Kind::ArrLoc;
+    L.Base = Base;
+    return L;
+  }
+  static LabelValue opaque() {
+    LabelValue L;
+    L.K = Kind::Opaque;
+    return L;
+  }
+
+  bool isLoc() const { return K == Kind::CellLoc || K == Kind::ArrLoc; }
+
+  friend bool operator==(const LabelValue &A, const LabelValue &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case Kind::Int:
+      return A.Int == B.Int;
+    case Kind::Unit:
+    case Kind::Opaque:
+      return true;
+    case Kind::CellLoc:
+    case Kind::ArrLoc:
+      return A.Base == B.Base;
+    }
+    return false;
+  }
+
+  std::string str() const;
+};
+
+/// An interesting transition.
+struct Event {
+  enum class Kind { Alloc, AllocArr, Set, Get };
+  Kind K = Kind::Alloc;
+  MemLoc Loc;            // Alloc/Set/Get: the location; AllocArr: base
+  int64_t ArraySize = 0; // AllocArr only
+  LabelValue Value;      // the value allocated/written/read
+  uint64_t ThreadId = 0; // informational (not part of the label)
+
+  bool isWrite() const { return K != Kind::Get; }
+
+  std::string str() const;
+};
+
+/// A linearized execution trace (the machine executes one global step at a
+/// time, so both semantics produce a total order).
+struct Trace {
+  std::vector<Event> Events;
+
+  void alloc(uint64_t ThreadId, MemLoc Loc, LabelValue V) {
+    Events.push_back(Event{Event::Kind::Alloc, Loc, 0, V, ThreadId});
+  }
+  void allocArr(uint64_t ThreadId, uint64_t Base, int64_t Size,
+                LabelValue Init) {
+    Events.push_back(
+        Event{Event::Kind::AllocArr, MemLoc{Base, 0}, Size, Init, ThreadId});
+  }
+  void set(uint64_t ThreadId, MemLoc Loc, LabelValue V) {
+    Events.push_back(Event{Event::Kind::Set, Loc, 0, V, ThreadId});
+  }
+  void get(uint64_t ThreadId, MemLoc Loc, LabelValue V) {
+    Events.push_back(Event{Event::Kind::Get, Loc, 0, V, ThreadId});
+  }
+
+  std::string str() const;
+};
+
+/// The final state of a complete execution: result value plus heap
+/// contents (cells and arrays).
+struct FinalState {
+  LabelValue Result;
+  std::map<uint64_t, LabelValue> Cells;
+  std::map<uint64_t, std::vector<LabelValue>> Arrays;
+
+  /// Human-readable dump (result, then every cell and array).
+  std::string str() const;
+};
+
+/// True if \p W writes location \p L (an Alloc/Set of L, or an AllocArr
+/// whose slot range covers L).
+bool writesLoc(const Event &W, const MemLoc &L);
+
+/// For each Get event index in \p T, the index of the write it reads from
+/// (Alloc/AllocArr/Set), or -1 if it reads an unwritten location (a
+/// runtime error in well-formed executions).
+std::vector<int64_t> computeReadsFrom(const Trace &T);
+
+/// For each location written in \p T, the index of its last write.
+std::map<MemLoc, int64_t> computeLastWriters(const Trace &T);
+
+} // namespace tr
+} // namespace specpar
+
+#endif // SPECPAR_TRACE_TRACE_H

@@ -1,0 +1,143 @@
+//===- workloads/Datasets.cpp - Synthetic benchmark datasets --------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Datasets.h"
+
+#include "support/Rng.h"
+#include "support/Unreachable.h"
+
+#include <cmath>
+
+using namespace specpar;
+using namespace specpar::workloads;
+
+const char *specpar::workloads::huffmanFlavourName(HuffmanFlavour F) {
+  switch (F) {
+  case HuffmanFlavour::Media:
+    return "media";
+  case HuffmanFlavour::RawData:
+    return "rawdata";
+  case HuffmanFlavour::Text:
+    return "text";
+  }
+  sp_unreachable("unknown flavour");
+}
+
+/// mp3-like: mostly high-entropy bytes (compressed payload) with a mild
+/// skew so Huffman code lengths vary, which is what makes the stream slow
+/// to self-synchronize.
+static std::vector<uint8_t> generateMedia(Rng &R, size_t NumBytes) {
+  std::vector<uint8_t> Out;
+  Out.reserve(NumBytes);
+  while (Out.size() < NumBytes) {
+    // Sum of two uniforms: a triangular distribution over bytes, giving a
+    // spread of code lengths around 8 bits.
+    unsigned V = static_cast<unsigned>(R.nextBelow(128) + R.nextBelow(129));
+    Out.push_back(static_cast<uint8_t>(V));
+  }
+  return Out;
+}
+
+/// Profiler-trace-like: fixed-size records with strongly skewed fields
+/// (tag bytes, small deltas, zero padding). Highly compressible and fast
+/// to self-synchronize.
+static std::vector<uint8_t> generateRawData(Rng &R, size_t NumBytes) {
+  std::vector<uint8_t> Out;
+  Out.reserve(NumBytes + 16);
+  while (Out.size() < NumBytes) {
+    // Record: tag, counter delta (geometric-ish), two payload bytes, pad.
+    Out.push_back(static_cast<uint8_t>(0x80 + R.nextBelow(4)));
+    unsigned Delta = 0;
+    while (Delta < 200 && R.nextBool(0.55))
+      ++Delta;
+    Out.push_back(static_cast<uint8_t>(Delta));
+    Out.push_back(static_cast<uint8_t>(R.nextBelow(16)));
+    Out.push_back(static_cast<uint8_t>(R.nextBelow(256)));
+    Out.push_back(0);
+    Out.push_back(0);
+  }
+  Out.resize(NumBytes);
+  return Out;
+}
+
+std::string specpar::workloads::generateTextCorpus(uint64_t Seed,
+                                                   size_t NumBytes) {
+  // A small Zipf-weighted vocabulary gives book-like letter statistics.
+  static const char *const Vocab[] = {
+      "the",    "of",       "and",     "to",       "a",       "in",
+      "that",   "is",       "was",     "he",       "for",     "it",
+      "with",   "as",       "his",     "on",       "be",      "at",
+      "by",     "had",      "not",     "are",      "but",     "from",
+      "or",     "have",     "an",      "they",     "which",   "one",
+      "you",    "were",     "her",     "all",      "she",     "there",
+      "would",  "their",    "we",      "him",      "been",    "has",
+      "when",   "who",      "will",    "more",     "no",      "if",
+      "out",    "so",       "said",    "what",     "up",      "its",
+      "about",  "into",     "than",    "them",     "can",     "only",
+      "other",  "new",      "some",    "could",    "time",    "these",
+      "two",    "may",      "then",    "do",       "first",   "any",
+      "speculation", "parallel", "computation", "machine", "analysis",
+      "history",     "chapter",  "morning",     "evening", "window"};
+  constexpr size_t VocabSize = sizeof(Vocab) / sizeof(Vocab[0]);
+
+  Rng R(Seed);
+  std::string Out;
+  Out.reserve(NumBytes + 64);
+  size_t WordsInSentence = 0;
+  size_t SentencesInParagraph = 0;
+  while (Out.size() < NumBytes) {
+    // Zipf-ish rank selection: square a uniform to favour low ranks.
+    double U = R.nextDouble();
+    size_t Rank = static_cast<size_t>(U * U * VocabSize);
+    if (Rank >= VocabSize)
+      Rank = VocabSize - 1;
+    Out += Vocab[Rank];
+    ++WordsInSentence;
+    if (WordsInSentence >= 6 + R.nextBelow(10)) {
+      Out += '.';
+      WordsInSentence = 0;
+      ++SentencesInParagraph;
+      if (SentencesInParagraph >= 4 + R.nextBelow(4)) {
+        Out += "\n\n";
+        SentencesInParagraph = 0;
+      } else {
+        Out += ' ';
+      }
+    } else {
+      Out += R.nextBool(0.06) ? ", " : " ";
+    }
+  }
+  Out.resize(NumBytes);
+  return Out;
+}
+
+std::vector<uint8_t>
+specpar::workloads::generateHuffmanData(HuffmanFlavour F, uint64_t Seed,
+                                        size_t NumBytes) {
+  Rng R(Seed);
+  switch (F) {
+  case HuffmanFlavour::Media:
+    return generateMedia(R, NumBytes);
+  case HuffmanFlavour::RawData:
+    return generateRawData(R, NumBytes);
+  case HuffmanFlavour::Text: {
+    std::string S = generateTextCorpus(Seed, NumBytes);
+    return std::vector<uint8_t>(S.begin(), S.end());
+  }
+  }
+  sp_unreachable("unknown flavour");
+}
+
+std::vector<int64_t> specpar::workloads::generatePathGraph(uint64_t Seed,
+                                                           size_t NumNodes,
+                                                           int64_t MaxWeight) {
+  Rng R(Seed);
+  std::vector<int64_t> W(NumNodes);
+  for (int64_t &V : W)
+    V = R.nextInRange(0, MaxWeight);
+  return W;
+}

@@ -1,0 +1,54 @@
+//===- workloads/Datasets.h - Synthetic benchmark datasets ------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded synthetic stand-ins for the paper's proprietary datasets (see
+/// DESIGN.md Section 5). The Huffman flavours are tuned so the *relative*
+/// predictability ordering of the paper holds: `media` (mp3-like,
+/// high-entropy) self-synchronizes slowest, `rawdata` (profiler-trace-like
+/// records) and `text` (book-like) faster. Path graphs use the paper's two
+/// uniform weight ranges (0-50 and 0-5000).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_WORKLOADS_DATASETS_H
+#define SPECPAR_WORKLOADS_DATASETS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specpar {
+namespace workloads {
+
+/// The three Huffman dataset flavours of the paper.
+enum class HuffmanFlavour { Media, RawData, Text };
+
+/// Printable name ("media", "rawdata", "text").
+const char *huffmanFlavourName(HuffmanFlavour F);
+
+/// Generates \p NumBytes of data in the given flavour.
+std::vector<uint8_t> generateHuffmanData(HuffmanFlavour F, uint64_t Seed,
+                                         size_t NumBytes);
+
+/// All flavours, for parameterized sweeps.
+inline constexpr HuffmanFlavour AllHuffmanFlavours[] = {
+    HuffmanFlavour::Media, HuffmanFlavour::RawData, HuffmanFlavour::Text};
+
+/// Generates an \p NumNodes-node path graph with integer weights drawn
+/// uniformly from [0, MaxWeight] (the paper's uni-50 / uni-5000 datasets).
+std::vector<int64_t> generatePathGraph(uint64_t Seed, size_t NumNodes,
+                                       int64_t MaxWeight);
+
+/// Generates a text corpus (Zipf-distributed words with punctuation and
+/// paragraph structure) of roughly \p NumBytes bytes.
+std::string generateTextCorpus(uint64_t Seed, size_t NumBytes);
+
+} // namespace workloads
+} // namespace specpar
+
+#endif // SPECPAR_WORKLOADS_DATASETS_H

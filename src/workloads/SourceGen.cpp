@@ -1,0 +1,248 @@
+//===- workloads/SourceGen.cpp - Synthetic source-text generators ---------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SourceGen.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+#include "workloads/Datasets.h"
+
+using namespace specpar;
+using namespace specpar::workloads;
+using lexgen::Language;
+
+namespace {
+
+/// Shared helpers for identifier/number emission.
+class SourceBuilder {
+public:
+  SourceBuilder(uint64_t Seed, size_t Target) : R(Seed), Target(Target) {}
+
+  bool done() const { return Out.size() >= Target; }
+  std::string take() {
+    Out.resize(Target > Out.size() ? Out.size() : Target);
+    return std::move(Out);
+  }
+
+  Rng R;
+  std::string Out;
+  size_t Target;
+
+  std::string ident() {
+    static const char *const Stems[] = {"count", "value", "index",  "node",
+                                        "buf",   "size",  "result", "tmp",
+                                        "state", "flag",  "data",   "ptr"};
+    std::string S = Stems[R.nextBelow(12)];
+    if (R.nextBool(0.6))
+      S += std::to_string(R.nextBelow(100));
+    return S;
+  }
+
+  std::string number() {
+    switch (R.nextBelow(4)) {
+    case 0:
+      return std::to_string(R.nextBelow(100000));
+    case 1:
+      return formatString("0x%llX",
+                          static_cast<unsigned long long>(R.nextBelow(65536)));
+    case 2:
+      return formatString("%llu.%llu",
+                          static_cast<unsigned long long>(R.nextBelow(100)),
+                          static_cast<unsigned long long>(R.nextBelow(1000)));
+    default:
+      return std::to_string(R.nextBelow(256));
+    }
+  }
+
+  std::string binOp() {
+    static const char *const Ops[] = {"+",  "-",  "*", "/",  "%", "<<",
+                                      ">>", "&",  "|", "^",  "<", ">",
+                                      "<=", ">=", "==", "!="};
+    return Ops[R.nextBelow(16)];
+  }
+
+  std::string expr(int Depth) {
+    if (Depth <= 0 || R.nextBool(0.4))
+      return R.nextBool(0.5) ? ident() : number();
+    std::string Lhs = expr(Depth - 1), Rhs = expr(Depth - 1);
+    std::string E = Lhs + " " + binOp() + " " + Rhs;
+    if (R.nextBool(0.3))
+      return "(" + E + ")";
+    return E;
+  }
+
+  std::string words(size_t Count) {
+    static const char *const W[] = {"system", "value",  "note",  "figure",
+                                    "result", "section", "model", "state",
+                                    "input",  "output", "chapter", "proof"};
+    std::string S;
+    for (size_t I = 0; I < Count; ++I) {
+      if (I)
+        S += ' ';
+      S += W[R.nextBelow(12)];
+    }
+    return S;
+  }
+};
+
+std::string generateC(uint64_t Seed, size_t NumBytes) {
+  SourceBuilder B(Seed, NumBytes);
+  B.Out += "#include <stdio.h>\n\n";
+  while (!B.done()) {
+    if (B.R.nextBool(0.3))
+      B.Out += "/* " + B.words(3 + B.R.nextBelow(8)) + " */\n";
+    std::string Fn = B.ident();
+    B.Out += formatString("static int %s(int a, int b) {\n", Fn.c_str());
+    size_t NumStmts = 3 + B.R.nextBelow(8);
+    for (size_t I = 0; I < NumStmts; ++I) {
+      switch (B.R.nextBelow(5)) {
+      case 0:
+        B.Out += "  int " + B.ident() + " = " + B.expr(2) + ";\n";
+        break;
+      case 1:
+        B.Out += "  for (a = 0; a < " + B.number() + "; a++) { b += " +
+                 B.expr(1) + "; }\n";
+        break;
+      case 2:
+        B.Out += "  if (" + B.expr(1) + ") { return " + B.expr(1) + "; }\n";
+        break;
+      case 3:
+        B.Out += "  printf(\"" + B.words(2 + B.R.nextBelow(4)) +
+                 " %d\\n\", a);\n";
+        break;
+      default:
+        B.Out += "  b = " + B.expr(2) + "; // " + B.words(2) + "\n";
+        break;
+      }
+    }
+    B.Out += "  return a + b;\n}\n\n";
+  }
+  return B.take();
+}
+
+std::string generateJava(uint64_t Seed, size_t NumBytes) {
+  SourceBuilder B(Seed, NumBytes);
+  B.Out += "package bench.gen;\n\npublic class Workload {\n";
+  while (!B.done()) {
+    if (B.R.nextBool(0.25))
+      B.Out += "  // " + B.words(3 + B.R.nextBelow(6)) + "\n";
+    if (B.R.nextBool(0.3))
+      B.Out += "  @Override\n";
+    std::string Fn = B.ident();
+    B.Out += formatString("  public static long %s(int a, long b) {\n",
+                          Fn.c_str());
+    size_t NumStmts = 3 + B.R.nextBelow(7);
+    for (size_t I = 0; I < NumStmts; ++I) {
+      switch (B.R.nextBelow(5)) {
+      case 0:
+        B.Out += "    long " + B.ident() + " = " + B.expr(2) + ";\n";
+        break;
+      case 1:
+        B.Out += "    while (a < " + B.number() + ") { a++; b -= " +
+                 B.expr(1) + "; }\n";
+        break;
+      case 2:
+        B.Out += "    if (" + B.expr(1) + ") { b >>>= 2; }\n";
+        break;
+      case 3:
+        B.Out += "    String s = \"" + B.words(2 + B.R.nextBelow(3)) +
+                 "\";\n";
+        break;
+      default:
+        B.Out += "    b = " + B.expr(2) + ";\n";
+        break;
+      }
+    }
+    B.Out += "    return a + b;\n  }\n\n";
+  }
+  return B.take();
+}
+
+std::string generateHtml(uint64_t Seed, size_t NumBytes) {
+  SourceBuilder B(Seed, NumBytes);
+  B.Out += "<!DOCTYPE html>\n<html>\n<body>\n";
+  // Long text paragraphs dominate; that is what makes HTML lexing hard to
+  // predict with small overlaps (tokens longer than the overlap window).
+  uint64_t ParaSeed = Seed;
+  while (!B.done()) {
+    switch (B.R.nextBelow(6)) {
+    case 0:
+      B.Out += "<!-- " + B.words(4 + B.R.nextBelow(8)) + " -->\n";
+      break;
+    case 1:
+      B.Out += formatString("<div class=\"c%llu\" id=\"n%llu\">\n",
+                            static_cast<unsigned long long>(B.R.nextBelow(40)),
+                            static_cast<unsigned long long>(B.R.nextBelow(1000)));
+      break;
+    case 2:
+      B.Out += "</div>\n";
+      break;
+    case 3:
+      B.Out += "<p>" +
+               generateTextCorpus(++ParaSeed, 300 + B.R.nextBelow(900)) +
+               "</p>\n";
+      break;
+    case 4:
+      B.Out += "<span>" + B.words(2) + " &amp; " + B.words(2) +
+               " &#38; more</span>\n";
+      break;
+    default:
+      B.Out += "<a href=\"page" + std::to_string(B.R.nextBelow(100)) +
+               ".html\">" + B.words(2) + "</a>\n";
+      break;
+    }
+  }
+  return B.take();
+}
+
+std::string generateLatex(uint64_t Seed, size_t NumBytes) {
+  SourceBuilder B(Seed, NumBytes);
+  B.Out += "\\documentclass{article}\n\\begin{document}\n";
+  while (!B.done()) {
+    switch (B.R.nextBelow(6)) {
+    case 0:
+      B.Out += "\\section{" + B.words(2 + B.R.nextBelow(3)) + "}\n";
+      break;
+    case 1:
+      B.Out += "% " + B.words(3 + B.R.nextBelow(6)) + "\n";
+      break;
+    case 2:
+      B.Out += B.words(8 + B.R.nextBelow(20)) + ".\n";
+      break;
+    case 3:
+      B.Out += "$x_{" + std::to_string(B.R.nextBelow(10)) + "}^2 + y_" +
+               std::to_string(B.R.nextBelow(10)) + "$ ";
+      break;
+    case 4:
+      B.Out += "\\emph{" + B.words(1 + B.R.nextBelow(3)) + "} ";
+      break;
+    default:
+      B.Out += "\\cite{ref" + std::to_string(B.R.nextBelow(40)) + "} and " +
+               B.words(3) + "~" + B.words(1) + "\n";
+      break;
+    }
+  }
+  return B.take();
+}
+
+} // namespace
+
+std::string specpar::workloads::generateSource(Language L, uint64_t Seed,
+                                               size_t NumBytes) {
+  switch (L) {
+  case Language::C:
+    return generateC(Seed, NumBytes);
+  case Language::Java:
+    return generateJava(Seed, NumBytes);
+  case Language::Html:
+    return generateHtml(Seed, NumBytes);
+  case Language::Latex:
+    return generateLatex(Seed, NumBytes);
+  }
+  sp_unreachable("unknown language");
+}

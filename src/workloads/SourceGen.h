@@ -1,0 +1,35 @@
+//===- workloads/SourceGen.h - Synthetic source-text generators -*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grammar-driven generators of C / Java / HTML / LaTeX source text for the
+/// lexing benchmarks. The generated text lexes without error tokens under
+/// the corresponding lexgen specification, and reproduces the structural
+/// property the paper's accuracy results hinge on: HTML has very long
+/// tokens (text runs), Java/C mostly short ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_WORKLOADS_SOURCEGEN_H
+#define SPECPAR_WORKLOADS_SOURCEGEN_H
+
+#include "lexgen/Languages.h"
+
+#include <cstdint>
+#include <string>
+
+namespace specpar {
+namespace workloads {
+
+/// Generates roughly \p NumBytes of source text for language \p L.
+std::string generateSource(lexgen::Language L, uint64_t Seed,
+                           size_t NumBytes);
+
+} // namespace workloads
+} // namespace specpar
+
+#endif // SPECPAR_WORKLOADS_SOURCEGEN_H

@@ -1,0 +1,170 @@
+//===- tests/apps_test.cpp - End-to-end application tests ------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Integration tests: the three paper benchmarks run end-to-end through
+/// the speculation runtime (generate dataset -> speculative run ->
+/// compare against the sequential baseline), across task counts, overlap
+/// sizes (including adversarially tiny ones) and validation modes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/SpeculativeHuffman.h"
+#include "apps/SpeculativeLexing.h"
+#include "apps/SpeculativeMwis.h"
+#include "workloads/Datasets.h"
+#include "workloads/SourceGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+using namespace specpar::apps;
+using namespace specpar::lexgen;
+using namespace specpar::huffman;
+using namespace specpar::workloads;
+
+namespace {
+
+struct AppCase {
+  int NumTasks;
+  int64_t Overlap;
+  rt::ValidationMode Mode;
+};
+
+class AppSweep : public ::testing::TestWithParam<AppCase> {};
+
+TEST_P(AppSweep, SpeculativeLexingMatchesSequential) {
+  const AppCase &C = GetParam();
+  for (Language L : AllLanguages) {
+    Lexer LX = makeLexer(L);
+    std::string Text = generateSource(L, 11, 20000);
+    std::vector<Token> Seq = sequentialLex(LX, Text);
+    rt::Options Opts;
+    Opts.Mode = C.Mode;
+    Opts.NumThreads = 3;
+    LexRun Run = speculativeLex(LX, Text, C.NumTasks, C.Overlap, Opts);
+    EXPECT_EQ(Run.Tokens, Seq)
+        << languageName(L) << " tasks=" << C.NumTasks
+        << " overlap=" << C.Overlap;
+    EXPECT_EQ(Run.Stats.Predictions, C.NumTasks - 1);
+  }
+}
+
+TEST_P(AppSweep, SpeculativeHuffmanMatchesSequential) {
+  const AppCase &C = GetParam();
+  for (HuffmanFlavour F : AllHuffmanFlavours) {
+    std::vector<uint8_t> Data = generateHuffmanData(F, 23, 40000);
+    Encoded E = encode(Data);
+    Decoder D(E.Code);
+    BitReader In(E.Bytes, E.NumBits);
+    rt::Options Opts;
+    Opts.Mode = C.Mode;
+    Opts.NumThreads = 3;
+    HuffmanRun Run =
+        speculativeDecode(D, In, C.NumTasks, C.Overlap * 8, Opts);
+    EXPECT_EQ(Run.Decoded, Data)
+        << huffmanFlavourName(F) << " tasks=" << C.NumTasks
+        << " overlap=" << C.Overlap;
+  }
+}
+
+TEST_P(AppSweep, SpeculativeMwisMatchesSequential) {
+  const AppCase &C = GetParam();
+  for (int64_t MaxW : {int64_t(50), int64_t(5000)}) {
+    std::vector<int64_t> W = generatePathGraph(31, 50000, MaxW);
+    std::vector<int32_t> SeqMembers;
+    int64_t SeqWeight = mwis::solveSequential(W, &SeqMembers);
+    rt::Options Opts;
+    Opts.Mode = C.Mode;
+    Opts.NumThreads = 3;
+    MwisRun Run = speculativeMwis(W, C.NumTasks, C.Overlap, Opts);
+    EXPECT_EQ(Run.Weight, SeqWeight) << "maxW=" << MaxW;
+    EXPECT_EQ(Run.Members, SeqMembers) << "maxW=" << MaxW;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AppSweep,
+    ::testing::Values(AppCase{1, 64, rt::ValidationMode::Seq},
+                      AppCase{4, 256, rt::ValidationMode::Seq},
+                      AppCase{4, 0, rt::ValidationMode::Seq},
+                      AppCase{4, 256, rt::ValidationMode::Par},
+                      AppCase{4, 0, rt::ValidationMode::Par},
+                      AppCase{16, 64, rt::ValidationMode::Seq},
+                      AppCase{16, 2, rt::ValidationMode::Par}));
+
+TEST(AppsLexing, ZeroOverlapMispredictsButStaysCorrect) {
+  Lexer LX = makeLexer(Language::C);
+  std::string Text = generateSource(Language::C, 3, 30000);
+  rt::Options Opts;
+  LexRun Run = speculativeLex(LX, Text, 8, /*Overlap=*/0, Opts);
+  EXPECT_EQ(Run.Tokens, sequentialLex(LX, Text));
+  EXPECT_GT(Run.Stats.Mispredictions, 0)
+      << "zero overlap cannot predict mid-token states";
+}
+
+TEST(AppsLexing, LargeOverlapEliminatesMispredictions) {
+  Lexer LX = makeLexer(Language::Java);
+  std::string Text = generateSource(Language::Java, 3, 30000);
+  LexRun Run = speculativeLex(LX, Text, 8, /*Overlap=*/2048, rt::Options());
+  EXPECT_EQ(Run.Stats.Mispredictions, 0)
+      << "the paper's max-speedup configuration";
+}
+
+TEST(AppsLexing, AccuracyIsMonotoneInOverlap) {
+  Lexer LX = makeLexer(Language::Latex);
+  std::string Text = generateSource(Language::Latex, 9, 60000);
+  double A16 = lexPredictionAccuracy(LX, Text, 16);
+  double A64 = lexPredictionAccuracy(LX, Text, 64);
+  double A256 = lexPredictionAccuracy(LX, Text, 256);
+  EXPECT_LE(A16, A64 + 1e-9);
+  EXPECT_LE(A64, A256 + 1e-9);
+  EXPECT_GE(A256, 90.0);
+}
+
+TEST(AppsLexing, HtmlAccuracyStaysLowEvenAtLargeOverlap) {
+  // The paper: HTML is the exception that never reaches 100%.
+  Lexer LX = makeLexer(Language::Html);
+  std::string Text = generateSource(Language::Html, 9, 60000);
+  double A256 = lexPredictionAccuracy(LX, Text, 256);
+  EXPECT_LT(A256, 90.0) << "long text-run tokens defeat the predictor";
+}
+
+TEST(AppsHuffman, MeasurementProducesSaneInputsForTheSimulator) {
+  std::vector<uint8_t> Data =
+      generateHuffmanData(HuffmanFlavour::Text, 5, 60000);
+  Encoded E = encode(Data);
+  Decoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  SegmentedMeasurement M = measureHuffman(D, In, 8, 512 * 8);
+  ASSERT_EQ(M.Tasks.size(), 8u);
+  double Total = 0;
+  for (const sim::TaskSpec &T : M.Tasks) {
+    EXPECT_GT(T.Work, 0.0);
+    Total += T.Work;
+  }
+  EXPECT_NEAR(Total, M.SequentialSeconds, 1e-12);
+  // Large overlap: essentially all predictions correct.
+  int Correct = 0;
+  for (const sim::TaskSpec &T : M.Tasks)
+    Correct += T.PredictionCorrect;
+  EXPECT_GE(Correct, 7);
+}
+
+TEST(AppsMwis, SingleTaskIsTheSequentialAlgorithm) {
+  std::vector<int64_t> W = generatePathGraph(77, 10000, 50);
+  MwisRun Run = speculativeMwis(W, 1, 0, rt::Options());
+  EXPECT_EQ(Run.Weight, mwis::solveSequential(W, nullptr));
+  EXPECT_EQ(Run.ForwardStats.Mispredictions, 0);
+}
+
+TEST(AppsMwis, EmptyGraph) {
+  MwisRun Run = speculativeMwis({}, 4, 8, rt::Options());
+  EXPECT_EQ(Run.Weight, 0);
+  EXPECT_TRUE(Run.Members.empty());
+}
+
+} // namespace

@@ -1,0 +1,228 @@
+//===- tests/effectcheck_test.cpp - Declared-summary checker tests ---------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/EffectCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+using namespace specpar::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Range algebra
+//===----------------------------------------------------------------------===//
+
+TEST(RangeRef, ScalarOverlap) {
+  EffectRegions R;
+  RegionId A = R.intern("a"), B = R.intern("b");
+  EXPECT_TRUE(RangeRef::scalar(A).mayOverlap(RangeRef::scalar(A)));
+  EXPECT_FALSE(RangeRef::scalar(A).mayOverlap(RangeRef::scalar(B)));
+}
+
+TEST(RangeRef, AdjacentIterationSlotsDisjoint) {
+  EffectRegions R;
+  RegionId Out = R.intern("out");
+  RangeRef At = RangeRef::slot(Out, LinIndex::affine(1, 0));   // out[i]
+  RangeRef Next = At.shifted(1);                               // out[i+1]
+  EXPECT_FALSE(At.mayOverlap(Next));
+  EXPECT_TRUE(At.mayOverlap(At));
+}
+
+TEST(RangeRef, SegmentRangesShiftAndStayDisjoint) {
+  EffectRegions R;
+  RegionId Out = R.intern("out");
+  // out[32i .. 32i+31] vs the next iteration's segment.
+  RangeRef Seg = RangeRef::range(Out, LinIndex::affine(32, 0),
+                                 LinIndex::affine(32, 31));
+  EXPECT_FALSE(Seg.mayOverlap(Seg.shifted(1)));
+  // A one-slot bleed into the neighbour overlaps.
+  RangeRef Bleed = RangeRef::range(Out, LinIndex::affine(32, 0),
+                                   LinIndex::affine(32, 32));
+  EXPECT_TRUE(Bleed.mayOverlap(Bleed.shifted(1)));
+}
+
+TEST(RangeRef, DifferentCoefficientsAreConservative) {
+  EffectRegions R;
+  RegionId A = R.intern("a");
+  RangeRef X = RangeRef::slot(A, LinIndex::affine(2, 0)); // a[2i]
+  RangeRef Y = RangeRef::slot(A, LinIndex::affine(3, 1)); // a[3i+1]
+  EXPECT_TRUE(X.mayOverlap(Y)) << "incomparable bounds must be conservative";
+}
+
+TEST(RangeRef, MustContain) {
+  EffectRegions R;
+  RegionId A = R.intern("a");
+  RangeRef Big = RangeRef::range(A, LinIndex::affine(8, 0),
+                                 LinIndex::affine(8, 7));
+  RangeRef Small = RangeRef::range(A, LinIndex::affine(8, 2),
+                                   LinIndex::affine(8, 5));
+  EXPECT_TRUE(Big.mustContain(Small));
+  EXPECT_FALSE(Small.mustContain(Big));
+  EXPECT_TRUE(RangeRef::whole(A).mustContain(Small));
+  EXPECT_FALSE(Big.mustContain(RangeRef::slot(A, LinIndex::affine(1, 0))))
+      << "different coefficients cannot prove containment";
+}
+
+//===----------------------------------------------------------------------===//
+// Apply-site checks
+//===----------------------------------------------------------------------===//
+
+TEST(ApplySummaries, DisjointStateIsSafe) {
+  EffectRegions R;
+  RegionId In = R.intern("input"), Out = R.intern("output");
+  EffectSummary Producer;
+  Producer.Reads = {RangeRef::whole(In)};
+  EffectSummary Predictor; // pure
+  EffectSummary Consumer;
+  Consumer.Writes = {RangeRef::scalar(Out)};
+  Consumer.MustWrites = {RangeRef::scalar(Out)};
+  SummaryCheckResult V =
+      checkApplySummaries(Producer, Predictor, Consumer, R);
+  EXPECT_TRUE(V.Safe) << V.str();
+}
+
+TEST(ApplySummaries, ProducerWritesConsumerReadsViolatesA) {
+  EffectRegions R;
+  RegionId C = R.intern("cell");
+  EffectSummary Producer;
+  Producer.Writes = {RangeRef::scalar(C)};
+  EffectSummary Consumer;
+  Consumer.Reads = {RangeRef::scalar(C)};
+  SummaryCheckResult V =
+      checkApplySummaries(Producer, EffectSummary(), Consumer, R);
+  EXPECT_FALSE(V.Safe);
+  EXPECT_EQ(V.FailedCondition, "(a)");
+  EXPECT_NE(V.Explanation.find("cell"), std::string::npos);
+}
+
+TEST(ApplySummaries, PredictorWritesViolate) {
+  EffectRegions R;
+  RegionId C = R.intern("cache");
+  EffectSummary Producer;
+  Producer.Reads = {RangeRef::scalar(C)};
+  EffectSummary Predictor;
+  Predictor.Writes = {RangeRef::scalar(C)};
+  SummaryCheckResult V =
+      checkApplySummaries(Producer, Predictor, EffectSummary(), R);
+  EXPECT_FALSE(V.Safe);
+  EXPECT_EQ(V.FailedCondition, "(b)");
+}
+
+TEST(ApplySummaries, UncoveredSpeculativeWriteViolatesE) {
+  EffectRegions R;
+  RegionId Out = R.intern("out");
+  EffectSummary Consumer;
+  Consumer.Writes = {RangeRef::scalar(Out)};
+  // No MustWrites: a conditional write.
+  SummaryCheckResult V = checkApplySummaries(EffectSummary(),
+                                             EffectSummary(), Consumer, R);
+  EXPECT_FALSE(V.Safe);
+  EXPECT_EQ(V.FailedCondition, "(e)");
+}
+
+//===----------------------------------------------------------------------===//
+// Iterate-site checks: the three benchmarks' real summaries
+//===----------------------------------------------------------------------===//
+
+TEST(IterateSummaries, LexerShapeIsSafe) {
+  // Segment i reads input[Ki-Overlap .. Ki+K-1] (backtracking may re-read
+  // before the segment) and writes tokens[Ki .. Ki+K-1] unconditionally.
+  constexpr int64_t K = 4096, Overlap = 64;
+  EffectRegions R;
+  RegionId In = R.intern("input"), Toks = R.intern("tokens");
+  EffectSummary Body;
+  Body.Reads = {RangeRef::range(In, LinIndex::affine(K, -Overlap),
+                                LinIndex::affine(K, K - 1))};
+  Body.Writes = {RangeRef::range(Toks, LinIndex::affine(K, 0),
+                                 LinIndex::affine(K, K - 1))};
+  Body.MustWrites = Body.Writes;
+  EffectSummary Guess;
+  Guess.Reads = {RangeRef::range(In, LinIndex::affine(K, -Overlap),
+                                 LinIndex::affine(K, -1))};
+  SummaryCheckResult V = checkIterateSummaries(Body, Guess, R);
+  EXPECT_TRUE(V.Safe) << V.str();
+}
+
+TEST(IterateSummaries, MwisForwardShapeIsSafe) {
+  constexpr int64_t K = 1024;
+  EffectRegions R;
+  RegionId W = R.intern("weights"), D = R.intern("d");
+  EffectSummary Body;
+  Body.Reads = {RangeRef::range(W, LinIndex::affine(K, 0),
+                                LinIndex::affine(K, K - 1))};
+  Body.Writes = {RangeRef::range(D, LinIndex::affine(K, 0),
+                                 LinIndex::affine(K, K - 1))};
+  Body.MustWrites = Body.Writes;
+  EffectSummary Guess;
+  Guess.Reads = {RangeRef::range(W, LinIndex::affine(K, -32),
+                                 LinIndex::affine(K, -1))};
+  SummaryCheckResult V = checkIterateSummaries(Body, Guess, R);
+  EXPECT_TRUE(V.Safe) << V.str();
+}
+
+TEST(IterateSummaries, SharedAccumulatorViolates) {
+  EffectRegions R;
+  RegionId Acc = R.intern("total");
+  EffectSummary Body;
+  Body.Reads = {RangeRef::scalar(Acc)};
+  Body.Writes = {RangeRef::scalar(Acc)};
+  Body.MustWrites = Body.Writes;
+  SummaryCheckResult V = checkIterateSummaries(Body, EffectSummary(), R);
+  EXPECT_FALSE(V.Safe);
+  EXPECT_EQ(V.FailedCondition, "(a)");
+}
+
+TEST(IterateSummaries, NeighbourWriteViolatesC) {
+  EffectRegions R;
+  RegionId Out = R.intern("out");
+  EffectSummary Body;
+  // Writes out[i] and out[i+1].
+  Body.Writes = {RangeRef::range(Out, LinIndex::affine(1, 0),
+                                 LinIndex::affine(1, 1))};
+  Body.MustWrites = Body.Writes;
+  SummaryCheckResult V = checkIterateSummaries(Body, EffectSummary(), R);
+  EXPECT_FALSE(V.Safe);
+  EXPECT_EQ(V.FailedCondition, "(c)");
+}
+
+TEST(IterateSummaries, ConditionalSlotWriteViolatesE) {
+  EffectRegions R;
+  RegionId Out = R.intern("out");
+  EffectSummary Body;
+  Body.Writes = {RangeRef::slot(Out, LinIndex::affine(1, 0))};
+  // MustWrites empty: the write is conditional on the (possibly wrong)
+  // accumulator.
+  SummaryCheckResult V = checkIterateSummaries(Body, EffectSummary(), R);
+  EXPECT_FALSE(V.Safe);
+  EXPECT_EQ(V.FailedCondition, "(e)");
+}
+
+TEST(IterateSummaries, ReadModifyWriteOfOwnSlotViolatesD) {
+  EffectRegions R;
+  RegionId A = R.intern("a");
+  EffectSummary Body;
+  Body.Reads = {RangeRef::slot(A, LinIndex::affine(1, 0))};
+  Body.Writes = {RangeRef::slot(A, LinIndex::affine(1, 0))};
+  Body.MustWrites = Body.Writes;
+  SummaryCheckResult V = checkIterateSummaries(Body, EffectSummary(), R);
+  EXPECT_FALSE(V.Safe);
+  EXPECT_EQ(V.FailedCondition, "(d)");
+}
+
+TEST(IterateSummaries, StridedWritesSafe) {
+  EffectRegions R;
+  RegionId Out = R.intern("out");
+  EffectSummary Body;
+  Body.Writes = {RangeRef::slot(Out, LinIndex::affine(2, 0))}; // out[2i]
+  Body.MustWrites = Body.Writes;
+  SummaryCheckResult V = checkIterateSummaries(Body, EffectSummary(), R);
+  EXPECT_TRUE(V.Safe) << V.str();
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- tests/examples_corpus_test.cpp - examples/speculate corpus ---------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Keeps the pedagogical examples/speculate corpus honest: every program
+/// parses, produces the documented result under both semantics, and gets
+/// the documented checker verdict (the one marked UNSAFE is rejected and
+/// actually diverges under some schedule).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RollbackChecker.h"
+#include "interp/NonSpecEval.h"
+#include "interp/SpecMachine.h"
+#include "lang/Parser.h"
+#include "support/StringUtils.h"
+#include "trace/Equivalence.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+
+namespace {
+
+struct CorpusCase {
+  const char *File;
+  int64_t Expected;
+  bool Safe;
+};
+
+std::unique_ptr<lang::Program> load(const char *Name) {
+  std::string Path = std::string(SPECPAR_EXAMPLES_DIR) + "/" + Name;
+  std::string Source;
+  EXPECT_TRUE(readFileToString(Path, Source)) << Path;
+  auto R = lang::parseProgram(Source);
+  EXPECT_TRUE(bool(R)) << Name << ": " << R.error();
+  return R ? R.take() : nullptr;
+}
+
+class SpeculateCorpus : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(SpeculateCorpus, BehavesAsDocumented) {
+  const CorpusCase &C = GetParam();
+  auto P = load(C.File);
+  ASSERT_NE(P, nullptr);
+
+  interp::RunOutcome N = interp::runNonSpeculative(*P);
+  ASSERT_TRUE(N.ok()) << N.statusStr();
+  ASSERT_TRUE(N.Result.isInt());
+  EXPECT_EQ(N.Result.asInt(), C.Expected) << C.File;
+
+  analysis::AnalysisReport Rep = analysis::checkRollbackFreedom(*P);
+  EXPECT_EQ(Rep.programSafe(), C.Safe) << C.File << "\n" << Rep.str();
+
+  bool AnyDivergence = false;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    interp::MachineOptions MO;
+    MO.Seed = Seed;
+    interp::SpecRunOutcome S = interp::runSpeculative(*P, MO);
+    ASSERT_TRUE(S.ok()) << S.statusStr();
+    bool Equivalent = tr::checkFinalStateEquivalent(N.Final, S.Final).ok();
+    if (C.Safe) {
+      EXPECT_TRUE(Equivalent) << C.File << " seed " << Seed;
+    }
+    AnyDivergence = AnyDivergence || !Equivalent;
+  }
+  if (!C.Safe) {
+    EXPECT_TRUE(AnyDivergence)
+        << C.File << ": the UNSAFE example should actually diverge";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, SpeculateCorpus,
+    ::testing::Values(CorpusCase{"01_hello_spec.spec", 84, true},
+                      CorpusCase{"02_running_sum.spec", 5050, true},
+                      CorpusCase{"03_mispredict.spec", 3060, true},
+                      CorpusCase{"04_slot_writes.spec", 680, true},
+                      CorpusCase{"05_unsafe_counter.spec", 8, false},
+                      CorpusCase{"06_parallel_pair.spec",
+                                 5050 + 338350, true},
+                      CorpusCase{"07_do_all.spec", 10416, true}));
+
+} // namespace

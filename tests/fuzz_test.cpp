@@ -1,0 +1,214 @@
+//===- tests/fuzz_test.cpp - Random-program soundness fuzzing -------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Grammar-driven random Speculate programs exercise the soundness chain
+/// end to end:
+///
+///   * whenever the rollback-freedom checker accepts a program, every
+///     explored speculative schedule must be final-state equivalent to
+///     the non-speculative run (Theorem 1 — the checker may never accept
+///     a program that diverges);
+///   * parse/print round-trips stay stable on generated programs;
+///   * the corpus must contain both accepted and rejected programs (the
+///     test is vacuous otherwise).
+///
+/// The generator draws loop bodies from statement templates spanning safe
+/// idioms (slot writes, local cells, read-only inputs) and unsafe ones
+/// (shared accumulators, neighbour writes, conditional slot writes,
+/// read-modify-write slots); programs are terminating by construction
+/// (no recursion, bounded folds) and error-free by construction (indices
+/// stay in bounds, no division).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RollbackChecker.h"
+#include "interp/NonSpecEval.h"
+#include "interp/SpecMachine.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "trace/Equivalence.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+
+namespace {
+
+/// Builds one random program. Shape:
+///
+///   main =
+///     let inp = newarr(SIZE, seed) in        (read-only input)
+///     let out = newarr(SIZE, 0) in           (per-iteration slots)
+///     let aux = newarr(SIZE, 0) in
+///     let c = new(seedC) in                  (a shared cell)
+///     <prelude folds filling inp>
+///     specfold(\i a. <body>, \i. <guess>, 0, SEGS - 1);
+///     <observation: fold summing out/aux/!c>
+std::string generateProgram(Rng &R) {
+  const int Segs = 3 + static_cast<int>(R.nextBelow(5));   // iterations
+  const int Size = 4 * Segs + 8;                           // array size
+
+  // Body statements: a random subset of templates, always ending by
+  // returning a new accumulator.
+  std::vector<std::string> Stmts;
+  int NumStmts = 1 + static_cast<int>(R.nextBelow(3));
+  for (int S = 0; S < NumStmts; ++S) {
+    switch (R.nextBelow(9)) {
+    case 0: // safe: own slot write from acc
+      Stmts.push_back("out[i] := a + inp[i]");
+      break;
+    case 1: // safe: own slot write, pure of acc
+      Stmts.push_back("out[i] := inp[i] * 2");
+      break;
+    case 2: // safe: strided slot
+      Stmts.push_back("aux[2 * i] := a");
+      break;
+    case 3: // safe: iteration-local cell
+      Stmts.push_back("let t = new(a) in t := !t + inp[i]; aux[2 * i + 1] "
+                      ":= !t");
+      break;
+    case 4: // unsafe: shared counter (violates a/d)
+      Stmts.push_back("c := !c + 1");
+      break;
+    case 5: // unsafe: neighbour write (violates c)
+      Stmts.push_back("out[i + 1] := a");
+      break;
+    case 6: // unsafe: conditional slot write (violates e)
+      Stmts.push_back("if a > 2 then out[i] := a else ()");
+      break;
+    case 7: // unsafe: read-modify-write of own slot (violates d)
+      Stmts.push_back("out[i] := out[i] + 1");
+      break;
+    default: // safe: read-only observation of the input
+      Stmts.push_back("aux[2 * i] := inp[i] + inp[i + 1]");
+      break;
+    }
+  }
+  // Accumulator update: a few terminating integer recurrences.
+  const char *AccUpdates[] = {
+      "a + inp[i]",
+      "a * 2 + i",
+      "inp[i] - (if a > 0 then a else 0)",
+      "a + 1",
+  };
+  std::string Body = joinStrings(Stmts, "; ") + "; " +
+                     AccUpdates[R.nextBelow(4)];
+
+  // Predictors: sometimes exact for simple recurrences, usually not; the
+  // initial value g(0) is what the fold starts from either way.
+  const char *Guesses[] = {"0", "i", "i * 3 - 1", "7"};
+  std::string Guess = Guesses[R.nextBelow(4)];
+
+  std::string P;
+  P += "main =\n";
+  P += formatString("  let inp = newarr(%d, 1) in\n", Size);
+  P += formatString("  let out = newarr(%d, 0) in\n", Size);
+  P += formatString("  let aux = newarr(%d, 0) in\n", 2 * Size);
+  P += formatString("  let c = new(%d) in\n",
+                    static_cast<int>(R.nextBelow(5)));
+  P += formatString("  fold(\\p u. (inp[p] := (p * %d + %d) %% 17; u), (), "
+                    "0, %d);\n",
+                    static_cast<int>(3 + R.nextBelow(7)),
+                    static_cast<int>(R.nextBelow(11)), Size - 1);
+  P += formatString("  specfold(\\i a. (%s), \\i. %s, 0, %d);\n",
+                    Body.c_str(), Guess.c_str(), Segs - 1);
+  P += formatString("  fold(\\p s. s + out[p] + aux[p], !c, 0, %d)\n",
+                    Size - 1);
+  return P;
+}
+
+TEST(Fuzz, CheckerSoundnessOverRandomPrograms) {
+  Rng R(20260707);
+  int Accepted = 0, Rejected = 0, Divergent = 0;
+  const int Corpus = 60;
+  for (int Trial = 0; Trial < Corpus; ++Trial) {
+    std::string Source = generateProgram(R);
+    auto PR = lang::parseProgram(Source);
+    ASSERT_TRUE(bool(PR)) << PR.error() << "\n" << Source;
+    const lang::Program &P = **PR;
+
+    // Print/parse round-trip stability on the generated corpus.
+    std::string Printed = lang::printProgram(P);
+    auto PR2 = lang::parseProgram(Printed);
+    ASSERT_TRUE(bool(PR2)) << PR2.error() << "\nprinted:\n" << Printed;
+    EXPECT_EQ(lang::printProgram(**PR2), Printed);
+
+    interp::RunOutcome N = interp::runNonSpeculative(P);
+    ASSERT_TRUE(N.ok()) << N.statusStr() << "\n" << Source;
+
+    analysis::AnalysisReport Rep = analysis::checkRollbackFreedom(P);
+    bool SawDivergence = false;
+    for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+      interp::MachineOptions MO;
+      MO.Seed = Seed;
+      MO.Sched = Seed % 2 ? interp::SchedulerKind::Random
+                          : interp::SchedulerKind::RoundRobin;
+      interp::SpecRunOutcome S = interp::runSpeculative(P, MO);
+      ASSERT_TRUE(S.ok()) << S.statusStr() << "\n" << Source;
+      bool Equivalent = tr::checkFinalStateEquivalent(N.Final, S.Final).ok();
+      SawDivergence = SawDivergence || !Equivalent;
+      if (Rep.programSafe()) {
+        // THE soundness property: an accepted program never diverges.
+        ASSERT_TRUE(Equivalent)
+            << "checker accepted a divergent program (seed " << Seed
+            << "):\n"
+            << Source << "\n"
+            << Rep.str();
+      }
+    }
+    if (Rep.programSafe())
+      ++Accepted;
+    else
+      ++Rejected;
+    if (SawDivergence)
+      ++Divergent;
+  }
+  // The corpus must be informative.
+  EXPECT_GE(Accepted, 5) << "generator produced too few safe programs";
+  EXPECT_GE(Rejected, 5) << "generator produced too few unsafe programs";
+  EXPECT_GE(Divergent, 1)
+      << "no unsafe program actually diverged — weak schedules?";
+  ::testing::Test::RecordProperty("accepted", Accepted);
+  ::testing::Test::RecordProperty("rejected", Rejected);
+  ::testing::Test::RecordProperty("divergent", Divergent);
+}
+
+/// The interpreters themselves agree on *deterministic* random programs
+/// that contain no speculation (differential testing of the two
+/// evaluators' shared semantics).
+TEST(Fuzz, EvaluatorsAgreeOnSpeculationFreePrograms) {
+  Rng R(99);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    int N = 3 + static_cast<int>(R.nextBelow(12));
+    std::string Source = formatString(
+        "main =\n"
+        "  let a = newarr(%d, %d) in\n"
+        "  let c = new(%d) in\n"
+        "  fold(\\p u. (a[p] := (p * %d + !c) %% 23; c := !c + a[p]; u), "
+        "(), 0, %d);\n"
+        "  fold(\\p s. s * 3 + a[p], !c, 0, %d)",
+        N, static_cast<int>(R.nextBelow(7)),
+        static_cast<int>(R.nextBelow(9)),
+        static_cast<int>(1 + R.nextBelow(6)), N - 1, N - 1);
+    auto PR = lang::parseProgram(Source);
+    ASSERT_TRUE(bool(PR)) << PR.error();
+    interp::RunOutcome A = interp::runNonSpeculative(**PR);
+    interp::SpecRunOutcome B = interp::runSpeculative(**PR);
+    ASSERT_TRUE(A.ok() && B.ok());
+    ASSERT_TRUE(A.Result.isInt() && B.Result.isInt());
+    EXPECT_EQ(A.Result.asInt(), B.Result.asInt()) << Source;
+    // With no speculation constructs the speculative machine spawns no
+    // threads and records an identical trace.
+    EXPECT_EQ(B.ThreadsSpawned, 0u);
+    EXPECT_EQ(A.Trace.Events.size(), B.Trace.Events.size());
+    EXPECT_TRUE(tr::checkDependenceEquivalent(A.Trace, B.Trace).ok());
+  }
+}
+
+} // namespace

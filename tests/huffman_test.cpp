@@ -1,0 +1,242 @@
+//===- tests/huffman_test.cpp - Huffman codec tests -----------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "huffman/Huffman.h"
+#include "support/Rng.h"
+#include "workloads/Datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+using namespace specpar;
+using namespace specpar::huffman;
+using namespace specpar::workloads;
+
+namespace {
+
+std::vector<uint8_t> bytesOf(const char *S) {
+  return std::vector<uint8_t>(S, S + strlen(S));
+}
+
+TEST(HuffmanCode, KraftInequalityHolds) {
+  std::vector<uint8_t> Data = bytesOf("abracadabra alakazam");
+  HuffmanCode C = HuffmanCode::fromData(Data);
+  double Kraft = 0;
+  for (unsigned S = 0; S < 256; ++S)
+    if (C.codeLength(static_cast<uint8_t>(S)) > 0)
+      Kraft += std::pow(2.0, -double(C.codeLength(static_cast<uint8_t>(S))));
+  EXPECT_DOUBLE_EQ(Kraft, 1.0) << "a full Huffman code is exactly Kraft-tight";
+}
+
+TEST(HuffmanCode, CanonicalCodesArePrefixFree) {
+  std::vector<uint8_t> Data = generateHuffmanData(HuffmanFlavour::Text, 1,
+                                                  4096);
+  HuffmanCode C = HuffmanCode::fromData(Data);
+  for (unsigned A = 0; A < 256; ++A) {
+    unsigned LA = C.codeLength(static_cast<uint8_t>(A));
+    if (LA == 0)
+      continue;
+    for (unsigned B = 0; B < 256; ++B) {
+      if (A == B)
+        continue;
+      unsigned LB = C.codeLength(static_cast<uint8_t>(B));
+      if (LB == 0 || LB < LA)
+        continue;
+      // A's code must not be a prefix of B's.
+      uint64_t BPrefix = C.codeBits(static_cast<uint8_t>(B)) >> (LB - LA);
+      EXPECT_NE(BPrefix, C.codeBits(static_cast<uint8_t>(A)))
+          << "symbol " << A << " is a prefix of symbol " << B;
+    }
+  }
+}
+
+TEST(HuffmanCode, MoreFrequentSymbolsGetShorterCodes) {
+  std::array<uint64_t, 256> Freq{};
+  Freq['a'] = 1000;
+  Freq['b'] = 100;
+  Freq['c'] = 10;
+  Freq['d'] = 1;
+  HuffmanCode C = HuffmanCode::fromFrequencies(Freq);
+  EXPECT_LE(C.codeLength('a'), C.codeLength('b'));
+  EXPECT_LE(C.codeLength('b'), C.codeLength('c'));
+  EXPECT_LE(C.codeLength('c'), C.codeLength('d'));
+  EXPECT_EQ(C.numSymbols(), 4u);
+}
+
+TEST(HuffmanCode, SingleSymbolAlphabet) {
+  std::vector<uint8_t> Data(100, 'x');
+  Encoded E = encode(Data);
+  EXPECT_EQ(E.NumBits, 100);
+  Decoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  EXPECT_EQ(D.decodeAll(In, E.NumSymbols), Data);
+}
+
+TEST(Huffman, EmptyInput) {
+  Encoded E = encode({});
+  EXPECT_EQ(E.NumBits, 0);
+  EXPECT_EQ(E.Code.numSymbols(), 0u);
+}
+
+class HuffmanRoundTrip
+    : public ::testing::TestWithParam<std::tuple<HuffmanFlavour, size_t>> {};
+
+TEST_P(HuffmanRoundTrip, EncodeDecodeIsIdentity) {
+  auto [Flavour, Size] = GetParam();
+  std::vector<uint8_t> Data = generateHuffmanData(Flavour, 99, Size);
+  Encoded E = encode(Data);
+  Decoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  EXPECT_EQ(D.decodeAll(In, E.NumSymbols), Data);
+  // The encoding compresses skewed flavours.
+  if (Flavour != HuffmanFlavour::Media && Size > 1000) {
+    EXPECT_LT(E.NumBits, static_cast<int64_t>(8 * Size));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FlavoursAndSizes, HuffmanRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(AllHuffmanFlavours),
+                       ::testing::Values<size_t>(1, 17, 1000, 50000)));
+
+/// Segmented decode with the *true* carried values equals sequential
+/// decode: the correctness backbone of the speculative Huffman benchmark.
+TEST(Huffman, SegmentedDecodeMatchesSequential) {
+  std::vector<uint8_t> Data =
+      generateHuffmanData(HuffmanFlavour::Text, 7, 20000);
+  Encoded E = encode(Data);
+  Decoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  std::vector<uint8_t> Seq = D.decodeAll(In, E.NumSymbols);
+
+  for (int NumSegments : {1, 2, 3, 7, 16}) {
+    std::vector<uint8_t> Out;
+    int64_t Carried = 0;
+    for (int I = 0; I < NumSegments; ++I) {
+      int64_t SegEnd = (I + 1 == NumSegments)
+                           ? E.NumBits
+                           : E.NumBits * (I + 1) / NumSegments;
+      Carried = D.decodeRange(In, Carried, SegEnd, &Out);
+      ASSERT_GE(Carried, 0);
+    }
+    EXPECT_EQ(Out, Seq) << NumSegments << " segments";
+    EXPECT_EQ(Carried, E.NumBits);
+  }
+}
+
+TEST(Huffman, DecodeRangePastEndIsNoop) {
+  std::vector<uint8_t> Data = bytesOf("hello hello hello");
+  Encoded E = encode(Data);
+  Decoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(D.decodeRange(In, E.NumBits, E.NumBits + 10, &Out), E.NumBits);
+  EXPECT_TRUE(Out.empty());
+}
+
+/// The overlap predictor: with zero overlap it just proposes the boundary
+/// itself; with a large overlap it converges to the true sync point.
+TEST(Huffman, PredictorConvergesWithOverlap) {
+  std::vector<uint8_t> Data =
+      generateHuffmanData(HuffmanFlavour::Text, 21, 50000);
+  Encoded E = encode(Data);
+  Decoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+
+  // True sync points at 32 equally spaced boundaries.
+  int NumPoints = 32;
+  int Correct = 0;
+  for (int I = 1; I < NumPoints; ++I) {
+    int64_t Boundary = E.NumBits * I / NumPoints;
+    int64_t Truth = D.decodeRange(In, 0, Boundary, nullptr);
+    int64_t Pred = D.predictSyncPoint(In, Boundary, /*OverlapBits=*/512);
+    EXPECT_GE(Pred, Boundary);
+    if (Pred == Truth)
+      ++Correct;
+  }
+  // Text self-synchronizes readily; essentially all predictions hit.
+  EXPECT_GE(Correct, NumPoints - 4);
+}
+
+TEST(Huffman, PredictorAccuracyGrowsWithOverlap) {
+  std::vector<uint8_t> Data =
+      generateHuffmanData(HuffmanFlavour::Media, 5, 60000);
+  Encoded E = encode(Data);
+  Decoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+
+  auto AccuracyAt = [&](int64_t Overlap) {
+    int NumPoints = 32, Correct = 0;
+    for (int I = 1; I < NumPoints; ++I) {
+      int64_t Boundary = E.NumBits * I / NumPoints;
+      int64_t Truth = D.decodeRange(In, 0, Boundary, nullptr);
+      if (D.predictSyncPoint(In, Boundary, Overlap) == Truth)
+        ++Correct;
+    }
+    return Correct;
+  };
+  int A16 = AccuracyAt(16 * 8);
+  int A512 = AccuracyAt(512 * 8);
+  EXPECT_LE(A16, A512);
+  EXPECT_GE(A512, 24) << "media must eventually self-synchronize";
+}
+
+/// The table-driven decoder is bit-identical to the reference tree
+/// decoder on every flavour, size, and segmentation.
+class TableDecoderEquiv
+    : public ::testing::TestWithParam<std::tuple<HuffmanFlavour, size_t>> {};
+
+TEST_P(TableDecoderEquiv, MatchesTreeDecoder) {
+  auto [Flavour, Size] = GetParam();
+  std::vector<uint8_t> Data = generateHuffmanData(Flavour, 321, Size);
+  Encoded E = encode(Data);
+  Decoder Tree(E.Code);
+  TableDecoder Table(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  EXPECT_EQ(Table.decodeAll(In, E.NumSymbols), Data);
+  // Range decode agrees at every probed split, including desync starts.
+  for (int64_t Start : {int64_t(0), E.NumBits / 3, E.NumBits / 2 + 1}) {
+    std::vector<uint8_t> A, B;
+    int64_t EndA = Tree.decodeRange(In, Start, E.NumBits, &A);
+    int64_t EndB = Table.decodeRange(In, Start, E.NumBits, &B);
+    EXPECT_EQ(EndA, EndB) << "start " << Start;
+    EXPECT_EQ(A, B) << "start " << Start;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FlavoursAndSizes, TableDecoderEquiv,
+    ::testing::Combine(::testing::ValuesIn(AllHuffmanFlavours),
+                       ::testing::Values<size_t>(1, 500, 60000)));
+
+TEST(TableDecoder, PredictSyncPointMatchesTreeDecoder) {
+  std::vector<uint8_t> Data =
+      generateHuffmanData(HuffmanFlavour::Text, 55, 40000);
+  Encoded E = encode(Data);
+  Decoder Tree(E.Code);
+  TableDecoder Table(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  for (int I = 1; I < 16; ++I) {
+    int64_t Boundary = E.NumBits * I / 16;
+    EXPECT_EQ(Table.predictSyncPoint(In, Boundary, 256),
+              Tree.predictSyncPoint(In, Boundary, 256));
+  }
+}
+
+TEST(TableDecoder, SingleSymbolAlphabet) {
+  std::vector<uint8_t> Data(64, 'z');
+  Encoded E = encode(Data);
+  TableDecoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  EXPECT_EQ(D.decodeAll(In, E.NumSymbols), Data);
+  EXPECT_EQ(D.lookupBits(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,330 @@
+//===- tests/interp_test.cpp - Interpreter tests ---------------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/NonSpecEval.h"
+#include "interp/SpecMachine.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+using namespace specpar::interp;
+using namespace specpar::lang;
+
+namespace {
+
+std::unique_ptr<Program> parse(std::string_view Src) {
+  auto R = parseProgram(Src);
+  EXPECT_TRUE(bool(R)) << R.error() << "\nsource: " << Src;
+  return R ? R.take() : nullptr;
+}
+
+int64_t evalInt(std::string_view Src) {
+  auto P = parse(Src);
+  RunOutcome O = runNonSpeculative(*P);
+  EXPECT_TRUE(O.ok()) << O.statusStr() << "\nsource: " << Src;
+  EXPECT_TRUE(O.Result.isInt()) << "result: " << O.Result.str();
+  return O.Result.isInt() ? O.Result.asInt() : INT64_MIN;
+}
+
+//===----------------------------------------------------------------------===//
+// Non-speculative evaluator
+//===----------------------------------------------------------------------===//
+
+TEST(NonSpec, Arithmetic) {
+  EXPECT_EQ(evalInt("main = 2 + 3 * 4"), 14);
+  EXPECT_EQ(evalInt("main = (10 - 4) / 3"), 2);
+  EXPECT_EQ(evalInt("main = 17 % 5"), 2);
+  EXPECT_EQ(evalInt("main = -7 + 2"), -5);
+  EXPECT_EQ(evalInt("main = (3 < 4) + (4 <= 4) + (5 > 6) + (1 == 1)"), 3);
+}
+
+TEST(NonSpec, IfIsZeroTested) {
+  EXPECT_EQ(evalInt("main = if 0 then 1 else 2"), 2);
+  EXPECT_EQ(evalInt("main = if 7 then 1 else 2"), 1);
+  EXPECT_EQ(evalInt("main = if -1 then 1 else 2"), 1);
+}
+
+TEST(NonSpec, LambdaAndLet) {
+  EXPECT_EQ(evalInt("main = (\\x. x + 1)(41)"), 42);
+  EXPECT_EQ(evalInt("main = (\\x y. x * y)(6, 7)"), 42);
+  EXPECT_EQ(evalInt("main = let f = \\x. x + x in f(10) + f(11)"), 42);
+  // Lexical scoping: the closure captures its defining environment.
+  EXPECT_EQ(evalInt("main = let x = 1 in let f = \\y. x + y in "
+                    "let x = 100 in f(10)"),
+            11);
+}
+
+TEST(NonSpec, CellsAndSequencing) {
+  EXPECT_EQ(evalInt("main = let c = new(5) in c := !c + 1; c := !c * 2; !c"),
+            12);
+  EXPECT_EQ(evalInt("main = let c = new(1) in (c := 9); !c"), 9);
+}
+
+TEST(NonSpec, Arrays) {
+  EXPECT_EQ(evalInt("main = let a = newarr(4, 7) in a[0] + a[3]"), 14);
+  EXPECT_EQ(evalInt("main = let a = newarr(4, 0) in a[2] := 5; a[2]"), 5);
+  EXPECT_EQ(evalInt("main = len(newarr(9, 0))"), 9);
+  EXPECT_EQ(evalInt("main = let a = newarr(3, 0) in "
+                    "fold(\\i x. (a[i] := i * i; x), (), 0, 2); "
+                    "a[0] + a[1] + a[2]"),
+            5);
+}
+
+TEST(NonSpec, FoldInclusiveBounds) {
+  EXPECT_EQ(evalInt("main = fold(\\i a. a + i, 0, 1, 10)"), 55);
+  EXPECT_EQ(evalInt("main = fold(\\i a. a + i, 42, 5, 4)"), 42)
+      << "empty fold returns the initial value (FOLD-1)";
+  EXPECT_EQ(evalInt("main = fold(\\i a. a * 10 + i, 0, 1, 4)"), 1234)
+      << "fold iterates in ascending order";
+}
+
+TEST(NonSpec, TopLevelFunctions) {
+  EXPECT_EQ(evalInt("fun sq(x) = x * x\nmain = sq(6) + sq(1)"), 37);
+  EXPECT_EQ(evalInt("fun add(x, y) = x + y\n"
+                    "main = fold(add, 0, 1, 4)"),
+            10)
+      << "named functions are first-class and curry";
+}
+
+TEST(NonSpec, SpecIgnoresHint) {
+  // NONSPEC-APPLY: c(p), predictor never runs.
+  EXPECT_EQ(evalInt("main = spec(40 + 2, 0, \\x. x * 2)"), 84);
+  // A predictor that would crash is fine: it is not evaluated.
+  EXPECT_EQ(evalInt("main = spec(5, 1 / 0, \\x. x + 1)"), 6);
+}
+
+TEST(NonSpec, SpecFoldIgnoresHint) {
+  // NONSPEC-ITERATE: fold f (g l) l u; only g(l) is used.
+  EXPECT_EQ(evalInt("main = specfold(\\i a. a + i, \\i. i * 100, 1, 10)"),
+            155)
+      << "initial value is g(1) = 100";
+  EXPECT_EQ(evalInt("main = specfold(\\i a. a + i, \\i. 7, 5, 4)"), 7)
+      << "empty specfold returns g(l)";
+}
+
+TEST(NonSpec, RuntimeErrors) {
+  auto ExpectError = [](std::string_view Src, const char *Needle) {
+    auto P = parse(Src);
+    RunOutcome O = runNonSpeculative(*P);
+    EXPECT_EQ(O.St, RunOutcome::Status::Error) << Src;
+    EXPECT_NE(O.Error.Message.find(Needle), std::string::npos)
+        << O.Error.Message;
+  };
+  ExpectError("main = 1 / 0", "division by zero");
+  ExpectError("main = 1 % 0", "modulo by zero");
+  ExpectError("main = !5", "non-cell");
+  ExpectError("main = 3(4)", "non-function");
+  ExpectError("main = newarr(3, 0)[5]", "out of bounds");
+  ExpectError("main = newarr(0 - 2, 1)", "non-negative");
+  ExpectError("main = if () then 1 else 2", "integer");
+  ExpectError("main = len(7)", "non-array");
+}
+
+TEST(NonSpec, StepLimit) {
+  auto P = parse("main = fold(\\i a. a + i, 0, 1, 1000000)");
+  EvalOptions Opts;
+  Opts.MaxSteps = 1000;
+  RunOutcome O = runNonSpeculative(*P, Opts);
+  EXPECT_EQ(O.St, RunOutcome::Status::StepLimit);
+}
+
+TEST(NonSpec, TraceRecordsInterestingTransitions) {
+  auto P = parse("main = let c = new(1) in c := 2; !c");
+  RunOutcome O = runNonSpeculative(*P);
+  ASSERT_TRUE(O.ok());
+  ASSERT_EQ(O.Trace.Events.size(), 3u);
+  EXPECT_EQ(O.Trace.Events[0].K, tr::Event::Kind::Alloc);
+  EXPECT_EQ(O.Trace.Events[1].K, tr::Event::Kind::Set);
+  EXPECT_EQ(O.Trace.Events[2].K, tr::Event::Kind::Get);
+  EXPECT_EQ(O.Trace.Events[2].Value.Int, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Speculative machine: functional agreement
+//===----------------------------------------------------------------------===//
+
+struct MachineCase {
+  const char *Name;
+  const char *Source;
+  int64_t Expected;
+};
+
+class SpecMachineAgreement : public ::testing::TestWithParam<MachineCase> {};
+
+TEST_P(SpecMachineAgreement, AllSchedulersAndSeedsAgree) {
+  const MachineCase &C = GetParam();
+  auto P = parse(C.Source);
+  ASSERT_NE(P, nullptr);
+  RunOutcome NonSpec = runNonSpeculative(*P);
+  ASSERT_TRUE(NonSpec.ok()) << NonSpec.statusStr();
+  ASSERT_TRUE(NonSpec.Result.isInt());
+  EXPECT_EQ(NonSpec.Result.asInt(), C.Expected);
+
+  for (SchedulerKind K : {SchedulerKind::Random, SchedulerKind::RoundRobin,
+                          SchedulerKind::NonSpecPriority}) {
+    for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+      MachineOptions Opts;
+      Opts.Sched = K;
+      Opts.Seed = Seed;
+      SpecRunOutcome O = runSpeculative(*P, Opts);
+      ASSERT_TRUE(O.ok())
+          << C.Name << " sched=" << int(K) << " seed=" << Seed << ": "
+          << O.statusStr();
+      ASSERT_TRUE(O.Result.isInt());
+      EXPECT_EQ(O.Result.asInt(), C.Expected)
+          << C.Name << " sched=" << int(K) << " seed=" << Seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, SpecMachineAgreement,
+    ::testing::Values(
+        MachineCase{"pure_spec_hit", "main = spec(40 + 2, 42, \\x. x * 2)",
+                    84},
+        MachineCase{"pure_spec_miss", "main = spec(40 + 2, 41, \\x. x * 2)",
+                    84},
+        MachineCase{"unit_prediction_parallel_composition",
+                    "main = spec((), (), \\u. 21 + 21)", 42},
+        MachineCase{"specfold_perfect_predictor",
+                    "main = specfold(\\i a. a + i, \\i. (i * (i - 1)) / 2, "
+                    "1, 10)",
+                    55},
+        MachineCase{"specfold_bad_predictor",
+                    "main = specfold(\\i a. a + i, \\i. if i == 1 then 0 "
+                    "else 999, 1, 10)",
+                    55},
+        MachineCase{"specfold_empty",
+                    "main = specfold(\\i a. a + i, \\i. 7, 5, 4)", 7},
+        MachineCase{"specfold_single",
+                    "main = specfold(\\i a. a * 2, \\i. 3, 9, 9)", 6},
+        MachineCase{"slot_writes_safe",
+                    "main = let arr = newarr(10, 0) in "
+                    "specfold(\\i a. (arr[i] := a + i; a + i), "
+                    "\\i. (i * (i - 1)) / 2, 0, 9); "
+                    "fold(\\i s. s + arr[i], 0, 0, 9)",
+                    165},
+        MachineCase{"nested_spec",
+                    "main = spec(spec(20, 20, \\x. x + 1), 21, \\y. y * 2)",
+                    42},
+        MachineCase{"spec_inside_specfold",
+                    "main = specfold(\\i a. a + spec(i, i, \\x. x), "
+                    "\\i. (i * (i - 1)) / 2, 1, 5)",
+                    15},
+        MachineCase{"producer_with_fold",
+                    "main = spec(fold(\\i a. a + i, 0, 1, 100), 5050, "
+                    "\\x. x / 50)",
+                    101},
+        MachineCase{"named_functions",
+                    "fun body(i, a) = a + i * i\n"
+                    "fun pred(i) = ((i - 1) * i * (2 * i - 1)) / 6\n"
+                    "main = specfold(body, pred, 1, 5)",
+                    55}));
+
+//===----------------------------------------------------------------------===//
+// Speculative machine: statistics and modes
+//===----------------------------------------------------------------------===//
+
+TEST(SpecMachine, CountsPredictionsAndMispredictions) {
+  auto P = parse("main = specfold(\\i a. a + i, \\i. if i == 1 then 0 else "
+                 "999, 1, 10)");
+  MachineOptions Opts;
+  Opts.Sched = SchedulerKind::RoundRobin;
+  SpecRunOutcome O = runSpeculative(*P, Opts);
+  ASSERT_TRUE(O.ok());
+  // Boundaries validated: the chain checks iterations 2..10 plus the final
+  // wait; spec semantics validates 9 predictions, all wrong.
+  EXPECT_EQ(O.Predictions, 9u);
+  EXPECT_EQ(O.Mispredictions, 9u);
+  EXPECT_EQ(O.Cancellations, 9u);
+  EXPECT_GT(O.ThreadsSpawned, 18u) << "3 threads per speculative iteration";
+}
+
+TEST(SpecMachine, PerfectPredictionNoMispredictions) {
+  auto P =
+      parse("main = specfold(\\i a. a + i, \\i. (i * (i - 1)) / 2, 1, 10)");
+  SpecRunOutcome O = runSpeculative(*P);
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(O.Predictions, 9u);
+  EXPECT_EQ(O.Mispredictions, 0u);
+  EXPECT_EQ(O.Cancellations, 0u);
+}
+
+TEST(SpecMachine, SpecApplyStats) {
+  auto P = parse("main = spec(6 * 7, 41, \\x. x)");
+  SpecRunOutcome O = runSpeculative(*P);
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(O.Result.asInt(), 42);
+  EXPECT_EQ(O.Predictions, 1u);
+  EXPECT_EQ(O.Mispredictions, 1u);
+  EXPECT_EQ(O.ThreadsSpawned, 3u);
+}
+
+TEST(SpecMachine, EagerProducerAbortStillCorrect) {
+  // An expensive predictor: the producer usually finishes first under the
+  // nonspec-priority scheduler, triggering the Section 3.3 abort.
+  auto P = parse("main = spec(1 + 1, fold(\\i a. a + 1, 0, 1, 500) - 498, "
+                 "\\x. x * 21)");
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    MachineOptions Opts;
+    Opts.EagerProducerAbort = true;
+    Opts.Sched = SchedulerKind::NonSpecPriority;
+    Opts.Seed = Seed;
+    SpecRunOutcome O = runSpeculative(*P, Opts);
+    ASSERT_TRUE(O.ok()) << O.statusStr();
+    EXPECT_EQ(O.Result.asInt(), 42);
+  }
+}
+
+TEST(SpecMachine, StepLimitOnHugeSpeculation) {
+  auto P = parse("main = specfold(\\i a. a + i, \\i. 0, 1, 1000000)");
+  MachineOptions Opts;
+  Opts.MaxSteps = 2000;
+  SpecRunOutcome O = runSpeculative(*P, Opts);
+  EXPECT_EQ(O.St, RunOutcome::Status::StepLimit);
+}
+
+TEST(SpecMachine, ErrorInProducerPropagates) {
+  auto P = parse("main = spec(1 / 0, 1, \\x. x)");
+  SpecRunOutcome O = runSpeculative(*P);
+  EXPECT_EQ(O.St, RunOutcome::Status::Error);
+  EXPECT_NE(O.Error.Message.find("division"), std::string::npos);
+}
+
+TEST(SpecMachine, ErrorInMispredictedConsumerIsInvisible) {
+  // The speculative consumer divides by zero on the *predicted* value 0,
+  // but the prediction is wrong (producer yields 7), so the failing
+  // speculative thread is cancelled and the re-execution succeeds.
+  auto P = parse("main = spec(7, 0, \\x. 42 / (x + 1))");
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    MachineOptions Opts;
+    Opts.Seed = Seed;
+    SpecRunOutcome O = runSpeculative(*P, Opts);
+    ASSERT_TRUE(O.ok()) << "seed " << Seed << ": " << O.statusStr();
+    EXPECT_EQ(O.Result.asInt(), 5);
+  }
+}
+
+TEST(SpecMachine, SpeculativeTraceContainsWastedWork) {
+  // A mispredicted iteration writes its slot twice (speculative + re-exec)
+  // under schedulers that let the speculative body finish.
+  auto P = parse("main = let a = newarr(2, 0) in "
+                 "specfold(\\i x. (a[i] := x + 1; x + 1), "
+                 "\\i. if i == 0 then 0 else 999, 0, 1)");
+  MachineOptions Opts;
+  Opts.Sched = SchedulerKind::RoundRobin;
+  SpecRunOutcome O = runSpeculative(*P, Opts);
+  ASSERT_TRUE(O.ok());
+  size_t SetCount = 0;
+  for (const tr::Event &E : O.Trace.Events)
+    if (E.K == tr::Event::Kind::Set)
+      ++SetCount;
+  EXPECT_GE(SetCount, 3u) << "mispredicted side effects are not rolled back";
+}
+
+} // namespace

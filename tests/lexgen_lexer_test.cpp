@@ -1,0 +1,205 @@
+//===- tests/lexgen_lexer_test.cpp - Lexer and range-lexing tests ---------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexgen/Languages.h"
+#include "lexgen/Lexer.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+using namespace specpar::lexgen;
+
+namespace {
+
+Lexer tinyLexer() {
+  Result<Lexer> L = Lexer::compile({
+      {"word", "[a-z]+", false},
+      {"num", "\\d+", false},
+      {"ws", " +", true},
+  });
+  EXPECT_TRUE(bool(L)) << L.error();
+  return L.take();
+}
+
+std::string tokenKinds(const Lexer &L, const std::vector<Token> &Toks) {
+  std::string Out;
+  for (const Token &T : Toks) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += T.Rule == NoRule ? "<err>" : L.rules()[T.Rule].Name;
+  }
+  return Out;
+}
+
+TEST(Lexer, BasicTokenization) {
+  Lexer L = tinyLexer();
+  std::vector<Token> T = L.lexAll("abc 12 de");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(tokenKinds(L, T), "word num word");
+  EXPECT_EQ(T[0].Start, 0);
+  EXPECT_EQ(T[0].End, 3);
+  EXPECT_EQ(T[1].Start, 4);
+  EXPECT_EQ(T[1].End, 6);
+  EXPECT_EQ(T[2].Start, 7);
+  EXPECT_EQ(T[2].End, 9);
+}
+
+TEST(Lexer, ErrorBytesBecomeErrorTokens) {
+  Lexer L = tinyLexer();
+  std::vector<Token> T = L.lexAll("ab!cd");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[1].Rule, NoRule);
+  EXPECT_EQ(T[1].Start, 2);
+  EXPECT_EQ(T[1].End, 3);
+}
+
+TEST(Lexer, MaximalMunchBacktracks) {
+  // "ab" vs "abc": input "abd" must lex as [ab][d-error]... build rules so
+  // the scanner overshoots then backtracks.
+  Result<Lexer> LR = Lexer::compile({
+      {"ab", "ab", false},
+      {"abc", "abc", false},
+      {"d", "d", false},
+  });
+  ASSERT_TRUE(bool(LR)) << LR.error();
+  Lexer L = LR.take();
+  std::vector<Token> T = L.lexAll("abd");
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(L.rules()[T[0].Rule].Name, "ab");
+  EXPECT_EQ(L.rules()[T[1].Rule].Name, "d");
+}
+
+TEST(Lexer, EmptyInput) {
+  Lexer L = tinyLexer();
+  EXPECT_TRUE(L.lexAll("").empty());
+}
+
+TEST(Lexer, TrailingPartialTokenIsFlushed) {
+  Lexer L = tinyLexer();
+  std::vector<Token> T = L.lexAll("abc");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_EQ(T[0].End, 3);
+}
+
+/// The composition law behind speculative lexing: lexing [0,k) then [k,n)
+/// with the carried state equals lexing [0,n) in one go — for every split
+/// point k.
+TEST(Lexer, RangeCompositionAtEverySplitPoint) {
+  Lexer L = tinyLexer();
+  std::string Text = "abc 123 de 45 fgh 6 i 78 jkl";
+  int64_t N = static_cast<int64_t>(Text.size());
+  std::vector<Token> Whole = L.lexAll(Text);
+  for (int64_t K = 0; K <= N; ++K) {
+    std::vector<Token> Split;
+    LexState S = L.lexRange(Text, 0, K, L.initialState(0), &Split);
+    S = L.lexRange(Text, K, N, S, &Split);
+    L.finishLex(Text, S, &Split);
+    EXPECT_EQ(Split, Whole) << "split at " << K;
+  }
+}
+
+/// Overlap prediction: with a large enough overlap the predicted state
+/// equals the true carried state (the paper's "max speedup" setting).
+TEST(Lexer, PredictorConvergesWithOverlap) {
+  Lexer L = tinyLexer();
+  std::string Text = "aaa 11 bb 22 cc 33 dddd 444 ee";
+  int64_t N = static_cast<int64_t>(Text.size());
+  int64_t Boundary = N / 2;
+  LexState Truth = L.lexRange(Text, 0, Boundary, L.initialState(0), nullptr);
+  // Overlap covering at least one full token boundary resynchronizes.
+  LexState Pred = L.predictStateAt(Text, Boundary, /*Overlap=*/8);
+  EXPECT_TRUE(Pred == Truth);
+}
+
+TEST(Lexer, PredictorAtStartOfInput) {
+  Lexer L = tinyLexer();
+  LexState Pred = L.predictStateAt("abc def", 0, 16);
+  EXPECT_TRUE(Pred == L.initialState(0));
+}
+
+struct LangCase {
+  Language Lang;
+  const char *Snippet;
+  size_t MinTokens;
+};
+
+class LanguageLexing : public ::testing::TestWithParam<LangCase> {};
+
+TEST_P(LanguageLexing, SnippetLexesWithoutErrors) {
+  const LangCase &C = GetParam();
+  Lexer L = makeLexer(C.Lang);
+  std::vector<Token> T = L.lexAll(C.Snippet);
+  EXPECT_GE(T.size(), C.MinTokens);
+  for (const Token &Tok : T)
+    EXPECT_NE(Tok.Rule, NoRule)
+        << "error token at " << Tok.Start << " in " << languageName(C.Lang);
+  // Tokens are non-overlapping and ordered.
+  for (size_t I = 1; I < T.size(); ++I)
+    EXPECT_LE(T[I - 1].End, T[I].Start);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Snippets, LanguageLexing,
+    ::testing::Values(
+        LangCase{Language::C,
+                 "int main(void) {\n"
+                 "  /* block\n comment */\n"
+                 "  float x = 3.25e-1f; // line\n"
+                 "  return x >= 0 ? 0x1FUL : -1;\n"
+                 "}\n",
+                 20},
+        LangCase{Language::Java,
+                 "@Override\npublic static void main(String[] args) {\n"
+                 "  long n = 1_000L; double d = 2.5e3;\n"
+                 "  if (n >= 0 && d != 0) { n >>>= 2; }\n"
+                 "}\n",
+                 25},
+        LangCase{Language::Html,
+                 "<!DOCTYPE html><html><!-- a comment -->\n"
+                 "<body class=\"x\">Hello &amp; welcome &#38; more"
+                 "</body></html>",
+                 8},
+        LangCase{Language::Latex,
+                 "\\documentclass{article} % preamble\n"
+                 "\\begin{document} Hello $x^2_i$ \\& done~now"
+                 "\\end{document}\n",
+                 12}));
+
+/// Every language lexer satisfies the range-composition law on its own
+/// snippet, at every split point.
+TEST_P(LanguageLexing, RangeCompositionHolds) {
+  const LangCase &C = GetParam();
+  Lexer L = makeLexer(C.Lang);
+  std::string Text = C.Snippet;
+  int64_t N = static_cast<int64_t>(Text.size());
+  std::vector<Token> Whole = L.lexAll(Text);
+  for (int64_t K = 0; K <= N; K += 7) {
+    std::vector<Token> Split;
+    LexState S = L.lexRange(Text, 0, K, L.initialState(0), &Split);
+    S = L.lexRange(Text, K, N, S, &Split);
+    L.finishLex(Text, S, &Split);
+    EXPECT_EQ(Split, Whole) << languageName(C.Lang) << " split at " << K;
+  }
+}
+
+TEST(LanguageLexing, FsmSizeOrderingMatchesPaper) {
+  // The paper: "The lexical analyzer for C has the largest FSM whereas the
+  // one for Latex has the smallest FSM."
+  uint32_t CSize = makeLexer(Language::C).numDfaStates();
+  uint32_t JavaSize = makeLexer(Language::Java).numDfaStates();
+  uint32_t HtmlSize = makeLexer(Language::Html).numDfaStates();
+  uint32_t LatexSize = makeLexer(Language::Latex).numDfaStates();
+  EXPECT_GT(CSize, HtmlSize);
+  EXPECT_GT(JavaSize, HtmlSize);
+  EXPECT_GT(HtmlSize, 0u);
+  EXPECT_LT(LatexSize, CSize);
+  EXPECT_LT(LatexSize, JavaSize);
+  EXPECT_LT(LatexSize, HtmlSize);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+//===- tests/lexgen_regex_test.cpp - Regex/NFA/DFA unit tests -------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexgen/Dfa.h"
+#include "lexgen/Nfa.h"
+#include "lexgen/Regex.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+using namespace specpar::lexgen;
+
+namespace {
+
+/// Compiles a single pattern into (NFA, DFA, minimized DFA).
+struct Compiled {
+  Nfa N;
+  Dfa D;
+  Dfa M;
+};
+
+Compiled compileOne(const std::string &Pattern) {
+  Result<Nfa> N = buildCombinedNfa({Pattern});
+  EXPECT_TRUE(bool(N)) << N.error();
+  Compiled C{N.take(), Dfa(), Dfa()};
+  C.D = Dfa::fromNfa(C.N);
+  C.M = C.D.minimized();
+  return C;
+}
+
+bool dfaMatches(const Dfa &D, std::string_view Text) {
+  return D.matches(Text);
+}
+
+TEST(Regex, ParseErrors) {
+  EXPECT_FALSE(bool(parseRegex("a(b")));
+  EXPECT_FALSE(bool(parseRegex("*a")));
+  EXPECT_FALSE(bool(parseRegex("[abc")));
+  EXPECT_FALSE(bool(parseRegex("a\\")));
+  EXPECT_FALSE(bool(parseRegex("[z-a]")));
+  EXPECT_TRUE(bool(parseRegex("a|b*c+d?")));
+  EXPECT_TRUE(bool(parseRegex("[^a-z0-9_]")));
+  EXPECT_TRUE(bool(parseRegex("")));
+}
+
+TEST(Regex, LiteralMatching) {
+  Compiled C = compileOne("abc");
+  EXPECT_TRUE(dfaMatches(C.M, "abc"));
+  EXPECT_FALSE(dfaMatches(C.M, "ab"));
+  EXPECT_FALSE(dfaMatches(C.M, "abcd"));
+  EXPECT_FALSE(dfaMatches(C.M, ""));
+}
+
+TEST(Regex, Alternation) {
+  Compiled C = compileOne("foo|bar|baz");
+  EXPECT_TRUE(dfaMatches(C.M, "foo"));
+  EXPECT_TRUE(dfaMatches(C.M, "bar"));
+  EXPECT_TRUE(dfaMatches(C.M, "baz"));
+  EXPECT_FALSE(dfaMatches(C.M, "fo"));
+  EXPECT_FALSE(dfaMatches(C.M, "barbaz"));
+}
+
+TEST(Regex, Quantifiers) {
+  Compiled C = compileOne("a*b+c?");
+  EXPECT_TRUE(dfaMatches(C.M, "b"));
+  EXPECT_TRUE(dfaMatches(C.M, "aaabbc"));
+  EXPECT_TRUE(dfaMatches(C.M, "bc"));
+  EXPECT_FALSE(dfaMatches(C.M, "a"));
+  EXPECT_FALSE(dfaMatches(C.M, "abcc"));
+}
+
+TEST(Regex, CharClasses) {
+  Compiled C = compileOne("[a-fA-F0-9]+");
+  EXPECT_TRUE(dfaMatches(C.M, "deadBEEF01"));
+  EXPECT_FALSE(dfaMatches(C.M, "xyz"));
+  Compiled Neg = compileOne("[^0-9]+");
+  EXPECT_TRUE(dfaMatches(Neg.M, "hello!"));
+  EXPECT_FALSE(dfaMatches(Neg.M, "a1b"));
+}
+
+TEST(Regex, EscapesAndDot) {
+  Compiled C = compileOne("\\d+\\.\\d+");
+  EXPECT_TRUE(dfaMatches(C.M, "3.14"));
+  EXPECT_FALSE(dfaMatches(C.M, "314"));
+  Compiled Dot = compileOne("a.c");
+  EXPECT_TRUE(dfaMatches(Dot.M, "abc"));
+  EXPECT_TRUE(dfaMatches(Dot.M, "a!c"));
+  EXPECT_FALSE(dfaMatches(Dot.M, "a\nc")) << "'.' must not match newline";
+}
+
+TEST(Regex, ClassWithMetachars) {
+  Compiled C = compileOne("[-+*/]");
+  EXPECT_TRUE(dfaMatches(C.M, "-"));
+  EXPECT_TRUE(dfaMatches(C.M, "*"));
+  EXPECT_FALSE(dfaMatches(C.M, "a"));
+}
+
+TEST(Dfa, MinimizationShrinksAndPreservesStart) {
+  // (a|b)*abb has a classic 4-state minimal DFA (plus nothing else).
+  Compiled C = compileOne("(a|b)*abb");
+  EXPECT_LE(C.M.numStates(), C.D.numStates());
+  EXPECT_EQ(C.M.numStates(), 4u);
+  EXPECT_TRUE(dfaMatches(C.M, "abb"));
+  EXPECT_TRUE(dfaMatches(C.M, "aababb"));
+  EXPECT_FALSE(dfaMatches(C.M, "ab"));
+}
+
+TEST(Dfa, RulePriorityKeywordVsIdentifier) {
+  Result<Nfa> N = buildCombinedNfa({"if", "[a-z]+"});
+  ASSERT_TRUE(bool(N)) << N.error();
+  Dfa M = Dfa::fromNfa(*N).minimized();
+  int32_t Rule = NoRule;
+  EXPECT_TRUE(M.matches("if", &Rule));
+  EXPECT_EQ(Rule, 0) << "keyword rule must win over identifier";
+  EXPECT_TRUE(M.matches("iffy", &Rule));
+  EXPECT_EQ(Rule, 1);
+}
+
+TEST(Dfa, DotRenderingIsWellFormed) {
+  Result<Nfa> N = buildCombinedNfa({"if", "[a-z]+", "\\d+"});
+  ASSERT_TRUE(bool(N)) << N.error();
+  Dfa M = Dfa::fromNfa(*N).minimized();
+  std::string Dot = M.toDot([](int32_t Rule) {
+    const char *Names[] = {"kw_if", "ident", "num"};
+    return std::string(Names[Rule]);
+  });
+  EXPECT_NE(Dot.find("digraph dfa"), std::string::npos);
+  EXPECT_NE(Dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(Dot.find("kw_if"), std::string::npos);
+  EXPECT_NE(Dot.find("a-z"), std::string::npos);
+  EXPECT_NE(Dot.find("start -> s"), std::string::npos);
+  // Balanced braces and a closing line.
+  EXPECT_EQ(Dot.back(), '\n');
+  EXPECT_NE(Dot.find("}\n"), std::string::npos);
+}
+
+/// Property: NFA, DFA and minimized DFA agree on random strings over a
+/// small alphabet, for a set of nontrivial patterns.
+class RegexAgreement : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RegexAgreement, NfaDfaMinAgreeOnRandomStrings) {
+  Compiled C = compileOne(GetParam());
+  Rng R(0xC0FFEE ^ std::hash<std::string>{}(GetParam()));
+  const char Alphabet[] = {'a', 'b', 'c', '0', '1', '.', '*', '\n', ' '};
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    size_t Len = R.nextBelow(12);
+    std::string S;
+    for (size_t I = 0; I < Len; ++I)
+      S += Alphabet[R.nextBelow(sizeof(Alphabet))];
+    bool NfaRes = C.N.matches(S);
+    bool DfaRes = C.D.matches(S);
+    bool MinRes = C.M.matches(S);
+    EXPECT_EQ(NfaRes, DfaRes) << "pattern=" << GetParam() << " input=" << S;
+    EXPECT_EQ(DfaRes, MinRes) << "pattern=" << GetParam() << " input=" << S;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, RegexAgreement,
+    ::testing::Values("(a|b)*abb", "a*b*c*", "(ab|ba)+", "[ab]*c[ab]*",
+                      "a?a?a?aaa", "(a|b)(a|b)(a|b)", "[^ab]+|a+", "\\d+",
+                      "(0|1)*(00|11)", "a(b|c)*d?"));
+
+} // namespace

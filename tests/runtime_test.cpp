@@ -1,0 +1,495 @@
+//===- tests/runtime_test.cpp - Speculation runtime tests -----------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Speculation.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+using namespace specpar;
+using namespace specpar::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Pool.waitIdle();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 50; ++I)
+      Pool.submit([&Count] { ++Count; });
+  }
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::atomic<bool> Ran{false};
+  Pool.submit([&Ran] { Ran = true; });
+  Pool.waitIdle();
+  EXPECT_TRUE(Ran.load());
+}
+
+//===----------------------------------------------------------------------===//
+// Speculation::apply
+//===----------------------------------------------------------------------===//
+
+TEST(Apply, CorrectPredictionRunsConsumerOnce) {
+  std::atomic<int> ConsumerRuns{0};
+  std::atomic<int> Seen{0};
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.Stats = &Stats;
+  Speculation::apply<int>([] { return 42; }, [] { return 42; },
+                          [&](int V) {
+                            ++ConsumerRuns;
+                            Seen = V;
+                          },
+                          Opts);
+  EXPECT_EQ(ConsumerRuns.load(), 1);
+  EXPECT_EQ(Seen.load(), 42);
+  EXPECT_EQ(Stats.Mispredictions, 0);
+}
+
+TEST(Apply, MispredictionReexecutesConsumerWithCorrectValue) {
+  std::atomic<int> LastSeen{-1};
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.Stats = &Stats;
+  Speculation::apply<int>([] { return 7; }, [] { return 99; },
+                          [&](int V) { LastSeen = V; }, Opts);
+  // The final (validated) consumer execution uses the produced value.
+  EXPECT_EQ(LastSeen.load(), 7);
+  EXPECT_EQ(Stats.Mispredictions, 1);
+  EXPECT_EQ(Stats.Reexecutions, 1);
+}
+
+TEST(Apply, ProducerExceptionPropagates) {
+  EXPECT_THROW(Speculation::apply<int>(
+                   []() -> int { throw std::runtime_error("producer"); },
+                   [] { return 0; }, [](int) {}),
+               std::runtime_error);
+}
+
+TEST(Apply, ValidConsumerExceptionPropagates) {
+  EXPECT_THROW(Speculation::apply<int>([] { return 1; }, [] { return 1; },
+                                       [](int) {
+                                         throw std::runtime_error("consumer");
+                                       }),
+               std::runtime_error);
+}
+
+TEST(Apply, MispredictedConsumerExceptionIsSuppressed) {
+  std::atomic<int> ValidRuns{0};
+  // The speculative consumer (input 99) throws; the re-execution (input 7)
+  // succeeds. The paper's library "hides all exceptions from code that was
+  // speculatively executed with the wrong values".
+  EXPECT_NO_THROW(Speculation::apply<int>([] { return 7; },
+                                          [] { return 99; },
+                                          [&](int V) {
+                                            if (V == 99)
+                                              throw std::runtime_error("bad");
+                                            ++ValidRuns;
+                                          }));
+  EXPECT_EQ(ValidRuns.load(), 1);
+}
+
+TEST(Apply, PredictorExceptionFallsBackToNonSpeculative) {
+  std::atomic<int> Seen{0};
+  EXPECT_NO_THROW(Speculation::apply<int>(
+      [] { return 5; }, []() -> int { throw std::runtime_error("pred"); },
+      [&](int V) { Seen = V; }));
+  EXPECT_EQ(Seen.load(), 5);
+}
+
+TEST(Apply, EagerProducerAbortGoesNonSpeculative) {
+  // A predictor far slower than the producer: with the Section 3.3 fix
+  // enabled, apply() aborts the speculation instead of waiting for it.
+  std::atomic<int> Seen{0};
+  std::atomic<bool> PredictorCancelled{false};
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.Stats = &Stats;
+  Opts.EagerProducerAbort = true;
+  Speculation::apply<int>(
+      [] { return 7; },
+      [&PredictorCancelled]() -> int {
+        // Busy predictor that honours cooperative cancellation.
+        for (int Spin = 0; Spin < 200000000; ++Spin)
+          if (currentTaskCancelled()) {
+            PredictorCancelled = true;
+            return -1;
+          }
+        return 7;
+      },
+      [&Seen](int V) { Seen = V; }, Opts);
+  EXPECT_EQ(Seen.load(), 7);
+  // Either the producer truly beat the predictor (the common case: one
+  // re-execution, predictor observed the cancel) or the predictor
+  // finished first and normal validation ran; both must be correct.
+  if (Stats.Reexecutions > 0) {
+    EXPECT_TRUE(PredictorCancelled.load());
+  }
+}
+
+TEST(Apply, UnitEncodingOfParallelComposition) {
+  // The paper: e1 || e2 is spec with a unit prediction. Model unit as a
+  // trivially-equal int.
+  std::atomic<bool> ProducerRan{false}, ConsumerRan{false};
+  Speculation::apply<int>(
+      [&] {
+        ProducerRan = true;
+        return 0;
+      },
+      [] { return 0; },
+      [&](int) { ConsumerRan = true; });
+  EXPECT_TRUE(ProducerRan.load());
+  EXPECT_TRUE(ConsumerRan.load());
+}
+
+//===----------------------------------------------------------------------===//
+// Speculation::iterate
+//===----------------------------------------------------------------------===//
+
+/// Reference semantics: acc = pred(Low); for i: acc = body(i, acc).
+template <typename BodyFn, typename PredFn>
+int64_t sequentialFold(int64_t Low, int64_t High, BodyFn Body, PredFn Pred) {
+  int64_t Acc = Pred(Low);
+  for (int64_t I = Low; I < High; ++I)
+    Acc = Body(I, Acc);
+  return Acc;
+}
+
+TEST(Iterate, EmptyRangeReturnsInitialValue) {
+  int64_t R = Speculation::iterate<int64_t>(
+      5, 5, [](int64_t, int64_t A) { return A + 1; },
+      [](int64_t) { return int64_t(123); });
+  EXPECT_EQ(R, 123);
+}
+
+TEST(Iterate, SingleIteration) {
+  int64_t R = Speculation::iterate<int64_t>(
+      0, 1, [](int64_t I, int64_t A) { return A + I + 10; },
+      [](int64_t) { return int64_t(5); });
+  EXPECT_EQ(R, 15);
+}
+
+struct IterateCase {
+  ValidationMode Mode;
+  unsigned Threads;
+  double PredictorAccuracy; // probability a prediction is correct
+};
+
+class IterateModes : public ::testing::TestWithParam<IterateCase> {};
+
+TEST_P(IterateModes, MatchesSequentialFoldUnderAnyPredictor) {
+  const IterateCase &C = GetParam();
+  Rng R(0xABC ^ C.Threads ^ unsigned(C.PredictorAccuracy * 100));
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    int64_t N = 1 + static_cast<int64_t>(R.nextBelow(40));
+    // A nontrivial fold: acc' = acc * 31 + i (mod small prime).
+    auto Body = [](int64_t I, int64_t A) { return (A * 31 + I) % 100003; };
+    auto Truth = sequentialFold(0, N, Body, [](int64_t) { return int64_t(1); });
+
+    // Predictor: correct with the configured probability, else garbage.
+    std::vector<int64_t> TruthAt(static_cast<size_t>(N) + 1);
+    TruthAt[0] = 1;
+    for (int64_t I = 0; I < N; ++I)
+      TruthAt[static_cast<size_t>(I) + 1] = Body(I, TruthAt[static_cast<size_t>(I)]);
+    Rng PredRng(R.next());
+    std::vector<int64_t> Predicted(static_cast<size_t>(N));
+    for (int64_t I = 0; I < N; ++I)
+      Predicted[static_cast<size_t>(I)] =
+          (I == 0 || PredRng.nextBool(C.PredictorAccuracy))
+              ? TruthAt[static_cast<size_t>(I)]
+              : PredRng.nextInRange(0, 100002);
+
+    Options Opts;
+    Opts.Mode = C.Mode;
+    Opts.NumThreads = C.Threads;
+    SpeculationStats Stats;
+    Opts.Stats = &Stats;
+    int64_t Got = Speculation::iterate<int64_t>(
+        0, N, Body,
+        [&Predicted](int64_t I) { return Predicted[static_cast<size_t>(I)]; },
+        Opts);
+    EXPECT_EQ(Got, Truth) << "N=" << N;
+    EXPECT_EQ(Stats.Predictions, N - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IterateModes,
+    ::testing::Values(IterateCase{ValidationMode::Seq, 1, 1.0},
+                      IterateCase{ValidationMode::Seq, 4, 1.0},
+                      IterateCase{ValidationMode::Seq, 4, 0.5},
+                      IterateCase{ValidationMode::Seq, 2, 0.0},
+                      IterateCase{ValidationMode::Par, 1, 1.0},
+                      IterateCase{ValidationMode::Par, 4, 1.0},
+                      IterateCase{ValidationMode::Par, 4, 0.5},
+                      IterateCase{ValidationMode::Par, 2, 0.0}));
+
+TEST(Iterate, PerfectPredictionReportsNoMispredictions) {
+  // Truth: acc_i = i(i+1)/2 starting at 0.
+  auto Pred = [](int64_t I) { return I * (I - 1) / 2; };
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.Stats = &Stats;
+  Opts.NumThreads = 4;
+  int64_t R = Speculation::iterate<int64_t>(
+      1, 20, [](int64_t I, int64_t A) { return A + I; }, Pred, Opts);
+  EXPECT_EQ(R, 190);
+  EXPECT_EQ(Stats.Mispredictions, 0);
+  EXPECT_EQ(Stats.Reexecutions, 0);
+  EXPECT_EQ(Stats.Tasks, 19);
+}
+
+TEST(Iterate, AllWrongPredictionsStillCorrectAndCountsReexecutions) {
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.Stats = &Stats;
+  int64_t R = Speculation::iterate<int64_t>(
+      0, 10, [](int64_t, int64_t A) { return A + 1; },
+      [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-999); }, Opts);
+  EXPECT_EQ(R, 10);
+  EXPECT_EQ(Stats.Mispredictions, 9);
+  EXPECT_EQ(Stats.Reexecutions, 9);
+}
+
+TEST(Iterate, SequentialExceptionSemantics) {
+  // Iteration 3 (valid) throws; its exception must surface even though
+  // later iterations were speculatively executed.
+  std::atomic<int> BodiesRun{0};
+  Options Opts;
+  Opts.NumThreads = 4;
+  try {
+    Speculation::iterate<int64_t>(
+        0, 10,
+        [&BodiesRun](int64_t I, int64_t A) {
+          ++BodiesRun;
+          if (I == 3)
+            throw std::runtime_error("iteration 3");
+          return A + 1;
+        },
+        [](int64_t I) { return I; }, Opts);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "iteration 3");
+  }
+}
+
+TEST(Iterate, MispredictedIterationExceptionSuppressed) {
+  // Iteration 2's *speculative* run (wrong input 777) throws; the valid
+  // re-execution succeeds, so no exception escapes.
+  Options Opts;
+  Opts.NumThreads = 4;
+  int64_t R = Speculation::iterate<int64_t>(
+      0, 5,
+      [](int64_t, int64_t A) {
+        if (A == 777)
+          throw std::runtime_error("speculative garbage");
+        return A + 1;
+      },
+      [](int64_t I) { return I == 2 ? int64_t(777) : I; }, Opts);
+  EXPECT_EQ(R, 5);
+}
+
+TEST(Iterate, CustomEqualityRelaxesValidation) {
+  // Equality modulo 10: predictions that differ by a multiple of 10 from
+  // the true value are accepted (the paper's relaxed-Equals use case).
+  // With a body that only depends on the input mod 10, this is safe.
+  auto EqMod10 = [](int64_t A, int64_t B) { return A % 10 == B % 10; };
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.Stats = &Stats;
+  int64_t R = Speculation::iterate<int64_t>(
+      0, 6, [](int64_t, int64_t A) { return (A + 3) % 10; },
+      [](int64_t I) { return (3 * I) % 10 + 10 * I; }, Opts, EqMod10);
+  EXPECT_EQ(R % 10, (6 * 3) % 10);
+  EXPECT_EQ(Stats.Mispredictions, 0) << "all predictions correct modulo 10";
+}
+
+TEST(Iterate, CooperativeCancellationIsVisibleToBodies) {
+  // A mispredicted long-running body observes cancellation and exits
+  // early. We assert that cancellation is eventually signalled.
+  std::atomic<bool> SawCancel{false};
+  Options Opts;
+  Opts.NumThreads = 2;
+  Speculation::iterate<int64_t>(
+      0, 3,
+      [&SawCancel](int64_t I, int64_t A) {
+        if (I == 2 && A == 555) {
+          // Wrong-input speculative run: spin until cancelled.
+          for (int Spin = 0; Spin < 100000000; ++Spin) {
+            if (currentTaskCancelled()) {
+              SawCancel = true;
+              break;
+            }
+          }
+          return int64_t(-1);
+        }
+        return A + 1;
+      },
+      [](int64_t I) { return I == 2 ? int64_t(555) : I; }, Opts);
+  EXPECT_TRUE(SawCancel.load());
+}
+
+TEST(Iterate, SharedPoolCanBeReused) {
+  ThreadPool Pool(3);
+  Options Opts;
+  Opts.Pool = &Pool;
+  for (int Round = 0; Round < 5; ++Round) {
+    int64_t R = Speculation::iterate<int64_t>(
+        0, 8, [](int64_t I, int64_t A) { return A + I; },
+        [](int64_t I) { return I * (I - 1) / 2; }, Opts);
+    EXPECT_EQ(R, 28);
+  }
+}
+
+TEST(Iterate, SharedSlotWritesFinalValuesAreValidOnesUnderParMode) {
+  // The quiescence guarantee: even with wrong predictions, Par-mode
+  // chaining, and garbage attempts writing the same slots, the final
+  // array contents come from executions with correct inputs.
+  Rng R(4242);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    const int64_t N = 12;
+    std::vector<int64_t> Out(static_cast<size_t>(N), -1);
+    Options Opts;
+    Opts.Mode = ValidationMode::Par;
+    Opts.NumThreads = 4;
+    uint64_t Salt = R.next() % 1000;
+    auto Body = [&Out, Salt](int64_t I, int64_t A) {
+      int64_t V = (A * 7 + I + static_cast<int64_t>(Salt)) % 10007;
+      Out[static_cast<size_t>(I)] = V; // the rollback-free slot write
+      return V;
+    };
+    Rng PredRng(R.next());
+    std::vector<int64_t> Pred(static_cast<size_t>(N));
+    for (int64_t I = 0; I < N; ++I)
+      Pred[static_cast<size_t>(I)] =
+          I == 0 ? 1 : PredRng.nextInRange(0, 10006);
+    int64_t Got = Speculation::iterate<int64_t>(
+        0, N, Body,
+        [&Pred](int64_t I) { return Pred[static_cast<size_t>(I)]; }, Opts);
+    // Sequential reference.
+    std::vector<int64_t> Ref(static_cast<size_t>(N));
+    int64_t A = 1;
+    for (int64_t I = 0; I < N; ++I) {
+      A = (A * 7 + I + static_cast<int64_t>(Salt)) % 10007;
+      Ref[static_cast<size_t>(I)] = A;
+    }
+    EXPECT_EQ(Got, Ref.back());
+    EXPECT_EQ(Out, Ref) << "slot contents must come from valid executions";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Speculation::iterateLocal
+//===----------------------------------------------------------------------===//
+
+TEST(IterateLocal, FinalizersRunInOrderExactlyOncePerIteration) {
+  std::vector<int64_t> Published;
+  Options Opts;
+  Opts.NumThreads = 4;
+  // Each iteration computes locally; only validated locals get published.
+  // Predictions for odd iterations are wrong, forcing re-executions.
+  int64_t R = Speculation::iterateLocal<int64_t, std::vector<int64_t>>(
+      0, 12, [] { return std::vector<int64_t>(); },
+      [](int64_t I, std::vector<int64_t> &Local, int64_t In) {
+        Local.push_back(I * 100 + In);
+        return In + 1;
+      },
+      [](int64_t I) { return (I % 2 == 1) ? int64_t(-5) : I; },
+      [&Published](int64_t, std::vector<int64_t> &Local) {
+        for (int64_t V : Local)
+          Published.push_back(V);
+      },
+      Opts);
+  EXPECT_EQ(R, 12);
+  ASSERT_EQ(Published.size(), 12u);
+  for (int64_t I = 0; I < 12; ++I)
+    EXPECT_EQ(Published[static_cast<size_t>(I)], I * 100 + I)
+        << "finalized local state must come from the validated execution";
+}
+
+TEST(Iterate, NestedSpeculationWithTransientPools) {
+  // Nested iterate: the outer loop's body runs a whole inner speculative
+  // loop. Each level uses its own (transient) pool — see Options::Pool.
+  int64_t R = Speculation::iterate<int64_t>(
+      0, 6,
+      [](int64_t I, int64_t Acc) {
+        int64_t Inner = Speculation::iterate<int64_t>(
+            0, 5, [I](int64_t J, int64_t A) { return A + I * J; },
+            [I](int64_t J) { return I * J * (J - 1) / 2; });
+        return Acc + Inner;
+      },
+      [](int64_t I) {
+        // Closed form of the outer accumulator: sum_{k<I} 10k.
+        return 10 * I * (I - 1) / 2;
+      });
+  EXPECT_EQ(R, 150);
+}
+
+TEST(IterateLocal, FinalizerExceptionPropagates) {
+  EXPECT_THROW(
+      (Speculation::iterateLocal<int64_t, int>(
+          0, 4, [] { return 0; },
+          [](int64_t, int &, int64_t In) { return In + 1; },
+          [](int64_t I) { return I; },
+          [](int64_t I, int &) {
+            if (I == 1)
+              throw std::runtime_error("finalizer");
+          })),
+      std::runtime_error);
+}
+
+/// Property sweep across seeds: a fold with data-dependent control flow,
+/// a half-accurate predictor, random thread counts and both modes.
+class IterateFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IterateFuzz, AgreesWithSequentialFold) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    int64_t N = 1 + static_cast<int64_t>(R.nextBelow(60));
+    uint64_t Salt = R.next() % 997;
+    auto Body = [Salt](int64_t I, int64_t A) {
+      int64_t X = A ^ (I * 2654435761u);
+      X = (X % 2 == 0) ? X / 2 + static_cast<int64_t>(Salt) : 3 * X + 1;
+      return X % 1000003;
+    };
+    auto Pred = [&](int64_t I) {
+      return I == 0 ? int64_t(7) : static_cast<int64_t>((I * Salt) % 1000003);
+    };
+    int64_t Truth = sequentialFold(0, N, Body, Pred);
+    Options Opts;
+    Opts.Mode = R.nextBool(0.5) ? ValidationMode::Seq : ValidationMode::Par;
+    Opts.NumThreads = 1 + static_cast<unsigned>(R.nextBelow(6));
+    EXPECT_EQ(Speculation::iterate<int64_t>(0, N, Body, Pred, Opts), Truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IterateFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+} // namespace

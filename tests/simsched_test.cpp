@@ -1,0 +1,213 @@
+//===- tests/simsched_test.cpp - DES simulator tests ----------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simsched/SimSched.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+using namespace specpar::sim;
+
+namespace {
+
+std::vector<TaskSpec> uniformTasks(int64_t N, double Work, bool AllCorrect) {
+  std::vector<TaskSpec> T(static_cast<size_t>(N));
+  for (auto &S : T) {
+    S.Work = Work;
+    S.PredictionCorrect = AllCorrect;
+  }
+  return T;
+}
+
+TEST(SimSched, EmptyRun) {
+  MachineParams P;
+  SimResult R = simulateIteration({}, P);
+  EXPECT_EQ(R.Makespan, 0.0);
+  EXPECT_EQ(R.Speedup, 1.0);
+}
+
+TEST(SimSched, PerfectPredictionScalesLinearly) {
+  MachineParams P;
+  P.NumProcs = 4;
+  SimResult R = simulateIteration(uniformTasks(16, 10.0, true), P);
+  EXPECT_DOUBLE_EQ(R.SequentialTime, 160.0);
+  // 16 equal tasks on 4 procs, no overheads: makespan = 4 waves of 10.
+  EXPECT_DOUBLE_EQ(R.Makespan, 40.0);
+  EXPECT_DOUBLE_EQ(R.Speedup, 4.0);
+  EXPECT_EQ(R.Mispredictions, 0);
+  EXPECT_EQ(R.ValidatorReexecutions, 0);
+}
+
+TEST(SimSched, OneProcessorGivesNoSpeedup) {
+  MachineParams P;
+  P.NumProcs = 1;
+  P.SpawnOverhead = 0.1;
+  SimResult R = simulateIteration(uniformTasks(8, 10.0, true), P);
+  EXPECT_LE(R.Speedup, 1.0);
+  EXPECT_GE(R.Speedup, 0.9) << "overheads are small";
+}
+
+TEST(SimSched, AllMispredictionsDegradeToSequentialSeqMode) {
+  MachineParams P;
+  P.NumProcs = 4;
+  P.Mode = SimValidation::Seq;
+  std::vector<TaskSpec> T = uniformTasks(8, 10.0, true);
+  for (size_t I = 1; I < T.size(); ++I)
+    T[I].PredictionCorrect = false;
+  SimResult R = simulateIteration(T, P);
+  // Every iteration after the first is re-executed serially by the
+  // validator: makespan >= sequential time.
+  EXPECT_GE(R.Makespan, R.SequentialTime - 10.0 - 1e-9);
+  EXPECT_LE(R.Speedup, 1.15);
+  EXPECT_EQ(R.Mispredictions, 7);
+  EXPECT_EQ(R.ValidatorReexecutions, 7);
+  // Wasted speculative work was executed as well.
+  EXPECT_GT(R.TotalWork, R.SequentialTime);
+}
+
+TEST(SimSched, SpeedupMonotoneInProcessors) {
+  std::vector<TaskSpec> T = uniformTasks(32, 5.0, true);
+  double Prev = 0.0;
+  for (unsigned Procs : {1u, 2u, 4u, 8u}) {
+    MachineParams P;
+    P.NumProcs = Procs;
+    SimResult R = simulateIteration(T, P);
+    EXPECT_GE(R.Speedup, Prev - 1e-9) << Procs << " procs";
+    Prev = R.Speedup;
+  }
+  EXPECT_GT(Prev, 6.0) << "8 procs on 32 equal tasks should approach 8x";
+}
+
+TEST(SimSched, OverheadsReduceSpeedupBelowIdeal) {
+  std::vector<TaskSpec> T = uniformTasks(16, 10.0, true);
+  MachineParams Ideal;
+  Ideal.NumProcs = 4;
+  MachineParams Costly = Ideal;
+  Costly.SpawnOverhead = 0.5;
+  Costly.PredictorWork = 1.0;
+  Costly.ValidationOverhead = 0.25;
+  double SIdeal = simulateIteration(T, Ideal).Speedup;
+  double SCostly = simulateIteration(T, Costly).Speedup;
+  EXPECT_LT(SCostly, SIdeal);
+  EXPECT_GT(SCostly, 1.0) << "moderate overheads should not erase the win";
+}
+
+TEST(SimSched, ParModeGarbageCascadesForceReexecutions) {
+  // Under the quiescence discipline (a C++ memory-model necessity: the
+  // accepted execution's writes must land last), Par mode's optimism has
+  // a real price: a wrong-input initial attempt chains a *garbage*
+  // corrective into the next slot, whose late finish forces a validator
+  // re-execution there — and garbage correctives cascade ahead of the
+  // validator. Two independent mispredictions on 8 processors: Seq
+  // repairs them serially (makespan 30), while Par's useful correctives
+  // (slots 2 and 6, finishing at t=20) are offset by garbage cascades
+  // through slots 3-5 and 7.
+  std::vector<TaskSpec> T = uniformTasks(8, 10.0, true);
+  T[2].PredictionCorrect = false;
+  T[6].PredictionCorrect = false;
+  MachineParams Seq;
+  Seq.NumProcs = 8;
+  Seq.Mode = SimValidation::Seq;
+  MachineParams Par = Seq;
+  Par.Mode = SimValidation::Par;
+  SimResult RSeq = simulateIteration(T, Seq);
+  SimResult RPar = simulateIteration(T, Par);
+  EXPECT_EQ(RSeq.ValidatorReexecutions, 2);
+  EXPECT_DOUBLE_EQ(RSeq.Makespan, 30.0);
+  EXPECT_GE(RPar.CorrectiveTasks, 2);
+  EXPECT_GT(RPar.ValidatorReexecutions, 0)
+      << "garbage correctives finish last and force re-execution";
+  EXPECT_GE(RPar.Makespan, RSeq.Makespan)
+      << "consistent with the paper: sequential validation tends to win";
+}
+
+TEST(SimSched, ParModeCorrectiveQueuesBehindPendingWorkCanLose) {
+  // With all workers saturated by later initial tasks, the corrective
+  // task waits for a processor while Seq's dedicated validator just
+  // re-executes — Par validation is slower, the paper's counterintuitive
+  // Figure 8 observation.
+  std::vector<TaskSpec> T = uniformTasks(16, 10.0, true);
+  T[8].PredictionCorrect = false;
+  MachineParams Seq;
+  Seq.NumProcs = 4;
+  Seq.Mode = SimValidation::Seq;
+  MachineParams Par = Seq;
+  Par.Mode = SimValidation::Par;
+  SimResult RSeq = simulateIteration(T, Seq);
+  SimResult RPar = simulateIteration(T, Par);
+  EXPECT_DOUBLE_EQ(RSeq.Makespan, 40.0) << "re-execution hides in the slack";
+  EXPECT_GT(RPar.Makespan, RSeq.Makespan);
+}
+
+TEST(SimSched, ParModeValidationTaskOverheadCanOutweighBenefit) {
+  // The paper's counterintuitive finding: with good predictors and more
+  // threads, Seq validation can beat Par because of the cost of creating
+  // validation/corrective tasks. Model: high spawn overhead, a cascade of
+  // mispredictions (garbage correctives burn processors and spawn cost).
+  std::vector<TaskSpec> T = uniformTasks(16, 10.0, true);
+  for (size_t I = 4; I < 12; ++I)
+    T[I].PredictionCorrect = false;
+  MachineParams Seq;
+  Seq.NumProcs = 4;
+  Seq.SpawnOverhead = 2.0;
+  Seq.Mode = SimValidation::Seq;
+  MachineParams Par = Seq;
+  Par.Mode = SimValidation::Par;
+  SimResult RSeq = simulateIteration(T, Seq);
+  SimResult RPar = simulateIteration(T, Par);
+  // Par spawns extra corrective tasks; its total work must be higher.
+  EXPECT_GT(RPar.CorrectiveTasks, 0);
+  EXPECT_GE(RPar.TotalWork, RSeq.TotalWork);
+}
+
+TEST(SimSched, ValidatorChainLowerBoundsMakespan) {
+  // Even with infinite processors and perfect prediction, validation
+  // overhead serializes: makespan >= N * ValidationOverhead.
+  MachineParams P;
+  P.NumProcs = 1000;
+  P.ValidationOverhead = 1.0;
+  SimResult R = simulateIteration(uniformTasks(64, 1.0, true), P);
+  EXPECT_GE(R.Makespan, 64.0);
+}
+
+/// Property sweep: simulator invariants on random workloads.
+class SimFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimFuzz, Invariants) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    int64_t N = 1 + static_cast<int64_t>(R.nextBelow(40));
+    std::vector<TaskSpec> T(static_cast<size_t>(N));
+    for (auto &S : T) {
+      S.Work = 0.5 + R.nextDouble() * 20.0;
+      S.PredictionCorrect = R.nextBool(0.7);
+    }
+    MachineParams P;
+    P.NumProcs = 1 + static_cast<unsigned>(R.nextBelow(8));
+    P.SpawnOverhead = R.nextDouble();
+    P.PredictorWork = R.nextDouble();
+    P.ValidationOverhead = R.nextDouble();
+    P.Mode = R.nextBool(0.5) ? SimValidation::Seq : SimValidation::Par;
+    SimResult S = simulateIteration(T, P);
+    // Makespan is at least the critical path of the valid executions and
+    // at most fully serialized work plus all overheads.
+    EXPECT_GT(S.Makespan, 0.0);
+    EXPECT_GE(S.TotalWork, S.SequentialTime - 1e-9);
+    EXPECT_LE(S.Speedup, static_cast<double>(P.NumProcs) + 1.0 + 1e-9);
+    double UpperBound = S.TotalWork +
+                        static_cast<double>(N) *
+                            (P.SpawnOverhead + P.PredictorWork +
+                             P.ValidationOverhead) +
+                        1e-6;
+    EXPECT_LE(S.Makespan, UpperBound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz, ::testing::Values(1, 7, 13, 29));
+
+} // namespace

@@ -1,0 +1,101 @@
+//===- tests/spec_programs_test.cpp - Benchmark .spec program tests --------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end validation of the three Speculate benchmark programs used by
+/// the Figure 9 experiment: they parse, the rollback-freedom checker
+/// verifies them (as the paper verified its benchmarks), and speculative
+/// executions agree with the non-speculative semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RollbackChecker.h"
+#include "interp/NonSpecEval.h"
+#include "interp/SpecMachine.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "support/StringUtils.h"
+#include "trace/Equivalence.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+
+namespace {
+
+std::unique_ptr<lang::Program> load(const std::string &Name) {
+  std::string Path = std::string(SPECPAR_SPEC_DIR) + "/" + Name;
+  std::string Source;
+  EXPECT_TRUE(readFileToString(Path, Source)) << Path;
+  auto R = lang::parseProgram(Source);
+  EXPECT_TRUE(bool(R)) << Name << ": " << R.error();
+  return R ? R.take() : nullptr;
+}
+
+class BenchmarkSpecPrograms : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(BenchmarkSpecPrograms, ParsesAndHasRealSize) {
+  auto P = load(GetParam());
+  ASSERT_NE(P, nullptr);
+  EXPECT_GE(P->Funs.size(), 5u) << "Figure 9 counts functions";
+  EXPECT_GE(lang::countNodes(*P), 150);
+}
+
+TEST_P(BenchmarkSpecPrograms, CheckerVerifiesRollbackFreedom) {
+  auto P = load(GetParam());
+  ASSERT_NE(P, nullptr);
+  analysis::AnalysisReport R = analysis::checkRollbackFreedom(*P);
+  EXPECT_TRUE(R.programSafe()) << GetParam() << ":\n" << R.str();
+}
+
+TEST_P(BenchmarkSpecPrograms, SpeculativeRunsMatchNonSpeculative) {
+  auto P = load(GetParam());
+  ASSERT_NE(P, nullptr);
+  interp::RunOutcome N = interp::runNonSpeculative(*P);
+  ASSERT_TRUE(N.ok()) << N.statusStr();
+  ASSERT_TRUE(N.Result.isInt());
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    interp::MachineOptions MO;
+    MO.Seed = Seed;
+    MO.MaxSteps = 30000000;
+    interp::SpecRunOutcome S = interp::runSpeculative(*P, MO);
+    ASSERT_TRUE(S.ok()) << S.statusStr();
+    EXPECT_EQ(S.Result.asInt(), N.Result.asInt()) << "seed " << Seed;
+    tr::EquivResult Fin = tr::checkFinalStateEquivalent(N.Final, S.Final);
+    EXPECT_TRUE(Fin.ok()) << Fin.Explanation;
+    EXPECT_GT(S.ThreadsSpawned, 0u);
+    if (Seed == 1) {
+      // The stronger criterion once per program (the traces run to a few
+      // thousand events; the embedding search stays fast because
+      // locations are mostly distinct).
+      tr::EquivResult Dep = tr::checkDependenceEquivalent(N.Trace, S.Trace);
+      EXPECT_NE(Dep.Status, tr::EquivStatus::NotEquivalent)
+          << Dep.Explanation;
+    }
+  }
+}
+
+TEST_P(BenchmarkSpecPrograms, PrintRoundTripPreservesMeaningAndSafety) {
+  auto P = load(GetParam());
+  ASSERT_NE(P, nullptr);
+  std::string Printed = lang::printProgram(*P);
+  auto PR2 = lang::parseProgram(Printed);
+  ASSERT_TRUE(bool(PR2)) << PR2.error();
+  // The reprinted program still verifies and computes the same result.
+  EXPECT_TRUE(analysis::checkRollbackFreedom(**PR2).programSafe());
+  interp::RunOutcome A = interp::runNonSpeculative(*P);
+  interp::RunOutcome B = interp::runNonSpeculative(**PR2);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_EQ(A.Result.asInt(), B.Result.asInt());
+  EXPECT_EQ(A.Steps, B.Steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, BenchmarkSpecPrograms,
+                         ::testing::Values("lexing.spec", "huffman.spec",
+                                           "mwis.spec"));
+
+} // namespace

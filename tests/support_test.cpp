@@ -1,0 +1,302 @@
+//===- tests/support_test.cpp - Support library unit tests ----------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/CommandLine.h"
+#include "support/Interval.h"
+#include "support/Result.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Base {
+  enum class Kind { A, B } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->K == Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->K == Kind::B; }
+};
+
+TEST(Casting, IsaCastDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_TRUE((isa<DerivedB, DerivedA>(B)));
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_if_present<DerivedA>(Null), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Result
+//===----------------------------------------------------------------------===//
+
+Result<int> parsePositive(int V) {
+  if (V <= 0)
+    return ResultError("not positive");
+  return V;
+}
+
+TEST(Result, SuccessAndError) {
+  Result<int> Ok = parsePositive(5);
+  ASSERT_TRUE(bool(Ok));
+  EXPECT_EQ(*Ok, 5);
+  Result<int> Bad = parsePositive(-1);
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_EQ(Bad.error(), "not positive");
+}
+
+//===----------------------------------------------------------------------===//
+// ExtInt / Interval
+//===----------------------------------------------------------------------===//
+
+TEST(ExtInt, Ordering) {
+  EXPECT_TRUE(ExtInt::negInf() < ExtInt(0));
+  EXPECT_TRUE(ExtInt(0) < ExtInt::posInf());
+  EXPECT_TRUE(ExtInt::negInf() < ExtInt::posInf());
+  EXPECT_FALSE(ExtInt::posInf() < ExtInt::posInf());
+  EXPECT_TRUE(ExtInt(-3) < ExtInt(7));
+}
+
+TEST(ExtInt, SaturatingArithmetic) {
+  EXPECT_EQ(ExtInt(INT64_MAX) + ExtInt(1), ExtInt::posInf());
+  EXPECT_EQ(ExtInt(INT64_MIN) + ExtInt(-1), ExtInt::negInf());
+  EXPECT_EQ(ExtInt::posInf() + ExtInt(5), ExtInt::posInf());
+  EXPECT_EQ(-ExtInt::posInf(), ExtInt::negInf());
+  EXPECT_EQ(ExtInt(3) * ExtInt::negInf(), ExtInt::negInf());
+  EXPECT_EQ(ExtInt(-3) * ExtInt::negInf(), ExtInt::posInf());
+  EXPECT_EQ(ExtInt(0) * ExtInt::posInf(), ExtInt(0));
+}
+
+TEST(Interval, BasicOps) {
+  Interval A = Interval::of(1, 5);
+  Interval B = Interval::of(3, 9);
+  EXPECT_EQ(Interval::join(A, B), Interval::of(1, 9));
+  EXPECT_EQ(Interval::meet(A, B), Interval::of(3, 5));
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_FALSE(A.intersects(Interval::of(6, 9)));
+  EXPECT_TRUE(A.contains(3));
+  EXPECT_FALSE(A.contains(0));
+  EXPECT_TRUE(Interval::full().contains(A));
+  EXPECT_TRUE(A.contains(Interval::empty()));
+}
+
+TEST(Interval, EmptyIsAbsorbing) {
+  Interval E = Interval::empty();
+  Interval A = Interval::of(1, 5);
+  EXPECT_TRUE((E + A).isEmpty());
+  EXPECT_TRUE((A * E).isEmpty());
+  EXPECT_EQ(Interval::join(E, A), A);
+  EXPECT_TRUE(Interval::meet(E, A).isEmpty());
+}
+
+TEST(Interval, Arithmetic) {
+  Interval A = Interval::of(1, 3);
+  Interval B = Interval::of(-2, 4);
+  EXPECT_EQ(A + B, Interval::of(-1, 7));
+  EXPECT_EQ(A - B, Interval::of(-3, 5));
+  EXPECT_EQ(A * B, Interval::of(-6, 12));
+  EXPECT_EQ(Interval::point(2) * Interval::point(-3), Interval::point(-6));
+}
+
+TEST(Interval, Widening) {
+  Interval Old = Interval::of(0, 10);
+  EXPECT_EQ(Interval::widen(Old, Interval::of(0, 11)),
+            Interval::of(ExtInt(0), ExtInt::posInf()));
+  EXPECT_EQ(Interval::widen(Old, Interval::of(-1, 10)),
+            Interval::of(ExtInt::negInf(), ExtInt(10)));
+  EXPECT_EQ(Interval::widen(Old, Interval::of(2, 9)), Old);
+}
+
+/// Property sweep: interval arithmetic is a sound abstraction of concrete
+/// arithmetic on random samples.
+class IntervalSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSoundness, AddSubMulAreSound) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    int64_t ALo = R.nextInRange(-50, 50);
+    int64_t AHi = ALo + static_cast<int64_t>(R.nextBelow(20));
+    int64_t BLo = R.nextInRange(-50, 50);
+    int64_t BHi = BLo + static_cast<int64_t>(R.nextBelow(20));
+    Interval A = Interval::of(ALo, AHi), B = Interval::of(BLo, BHi);
+    int64_t X = R.nextInRange(ALo, AHi), Y = R.nextInRange(BLo, BHi);
+    EXPECT_TRUE((A + B).contains(X + Y));
+    EXPECT_TRUE((A - B).contains(X - Y));
+    EXPECT_TRUE((A * B).contains(X * Y));
+    EXPECT_TRUE(Interval::join(A, B).contains(X));
+    EXPECT_TRUE(Interval::join(A, B).contains(Y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSoundness,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, RangesRespectBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng A(9);
+  Rng B = A.split();
+  bool AnyDifferent = false;
+  Rng A2(9);
+  for (int I = 0; I < 10; ++I)
+    AnyDifferent |= (A2.next() != B.next());
+  EXPECT_TRUE(AnyDifferent);
+}
+
+//===----------------------------------------------------------------------===//
+// Strings
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtils, SplitJoinTrim) {
+  std::vector<std::string> Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(joinStrings(Parts, "-"), "a-b--c");
+  EXPECT_EQ(trimString("  x y\t\n"), "x y");
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_EQ(formatString("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(StringUtils, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/specpar_support_test.txt";
+  ASSERT_TRUE(writeStringToFile(Path, "hello\x00world"));
+  std::string Back;
+  ASSERT_TRUE(readFileToString(Path, Back));
+  EXPECT_EQ(Back, "hello\x00world");
+  EXPECT_FALSE(readFileToString("/nonexistent/none", Back));
+}
+
+//===----------------------------------------------------------------------===//
+// ArgParser
+//===----------------------------------------------------------------------===//
+
+TEST(ArgParser, FlagsOptionsPositionals) {
+  ArgParser Args("tool", "test tool");
+  bool *Trace = Args.flag("trace", "show trace");
+  int64_t *Seed = Args.intOption("seed", 7, "seed");
+  std::string *Sched = Args.strOption("sched", "random", "scheduler");
+  std::string *File = Args.positional("file", "input");
+  std::string *Extra = Args.optionalPositional("extra", "none", "optional");
+  const char *Argv[] = {"tool", "--trace", "--seed", "42",
+                        "--sched=rr", "prog.spec"};
+  ASSERT_TRUE(Args.parse(6, const_cast<char **>(Argv)));
+  EXPECT_TRUE(*Trace);
+  EXPECT_EQ(*Seed, 42);
+  EXPECT_EQ(*Sched, "rr");
+  EXPECT_EQ(*File, "prog.spec");
+  EXPECT_EQ(*Extra, "none");
+}
+
+TEST(ArgParser, DefaultsSurviveEmptyArgv) {
+  ArgParser Args("tool", "t");
+  int64_t *Seed = Args.intOption("seed", 5, "s");
+  const char *Argv[] = {"tool"};
+  ASSERT_TRUE(Args.parse(1, const_cast<char **>(Argv)));
+  EXPECT_EQ(*Seed, 5);
+}
+
+TEST(ArgParser, Failures) {
+  {
+    ArgParser Args("tool", "t");
+    Args.intOption("seed", 0, "s");
+    const char *Argv[] = {"tool", "--seed", "abc"};
+    EXPECT_FALSE(Args.parse(3, const_cast<char **>(Argv)));
+    EXPECT_FALSE(Args.helpRequested());
+  }
+  {
+    ArgParser Args("tool", "t");
+    const char *Argv[] = {"tool", "--nope"};
+    EXPECT_FALSE(Args.parse(2, const_cast<char **>(Argv)));
+  }
+  {
+    ArgParser Args("tool", "t");
+    Args.positional("file", "f");
+    const char *Argv[] = {"tool"};
+    EXPECT_FALSE(Args.parse(1, const_cast<char **>(Argv)));
+  }
+  {
+    ArgParser Args("tool", "t");
+    const char *Argv[] = {"tool", "--help"};
+    EXPECT_FALSE(Args.parse(2, const_cast<char **>(Argv)));
+    EXPECT_TRUE(Args.helpRequested());
+  }
+}
+
+TEST(ArgParser, HelpTextMentionsEverything) {
+  ArgParser Args("tool", "does things");
+  Args.flag("trace", "show trace");
+  Args.intOption("seed", 1, "the seed");
+  Args.positional("file", "the file");
+  std::string H = Args.helpText();
+  EXPECT_NE(H.find("usage: tool"), std::string::npos);
+  EXPECT_NE(H.find("--trace"), std::string::npos);
+  EXPECT_NE(H.find("--seed"), std::string::npos);
+  EXPECT_NE(H.find("<file>"), std::string::npos);
+  EXPECT_NE(H.find("default 1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Timer / memory probes
+//===----------------------------------------------------------------------===//
+
+TEST(Timer, MonotoneElapsed) {
+  Timer T;
+  double E1 = T.elapsedSeconds();
+  double E2 = T.elapsedSeconds();
+  EXPECT_GE(E1, 0.0);
+  EXPECT_GE(E2, E1);
+  T.reset();
+  EXPECT_GE(T.elapsedSeconds(), 0.0);
+}
+
+TEST(Timer, MemoryProbesReportSomething) {
+  EXPECT_GT(peakMemoryKB(), 0u);
+  EXPECT_GT(currentMemoryKB(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,347 @@
+//===- tests/trace_test.cpp - Equivalence checker tests --------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/NonSpecEval.h"
+#include "interp/SpecMachine.h"
+#include "lang/Parser.h"
+#include "trace/Equivalence.h"
+
+#include <gtest/gtest.h>
+
+using namespace specpar;
+using namespace specpar::tr;
+using namespace specpar::interp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Reads-from and last-writer computations
+//===----------------------------------------------------------------------===//
+
+TEST(TraceAnalysis, ReadsFromChainsThroughWrites) {
+  Trace T;
+  T.alloc(0, MemLoc{1, 0}, LabelValue::intValue(5)); // 0
+  T.get(0, MemLoc{1, 0}, LabelValue::intValue(5));   // 1 <- 0
+  T.set(0, MemLoc{1, 0}, LabelValue::intValue(9));   // 2
+  T.get(0, MemLoc{1, 0}, LabelValue::intValue(9));   // 3 <- 2
+  auto RF = computeReadsFrom(T);
+  EXPECT_EQ(RF[1], 0);
+  EXPECT_EQ(RF[3], 2);
+  auto Last = computeLastWriters(T);
+  EXPECT_EQ(Last[(MemLoc{1, 0})], 2);
+}
+
+TEST(TraceAnalysis, ArrayAllocWritesAllSlots) {
+  Trace T;
+  T.allocArr(0, 7, 3, LabelValue::intValue(0));      // 0
+  T.get(0, MemLoc{7, 2}, LabelValue::intValue(0));   // 1 <- 0
+  T.set(0, MemLoc{7, 1}, LabelValue::intValue(4));   // 2
+  T.get(0, MemLoc{7, 1}, LabelValue::intValue(4));   // 3 <- 2
+  auto RF = computeReadsFrom(T);
+  EXPECT_EQ(RF[1], 0);
+  EXPECT_EQ(RF[3], 2);
+  auto Last = computeLastWriters(T);
+  EXPECT_EQ(Last[(MemLoc{7, 0})], 0);
+  EXPECT_EQ(Last[(MemLoc{7, 1})], 2);
+  EXPECT_EQ(Last[(MemLoc{7, 2})], 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Dependence embedding on hand-built traces
+//===----------------------------------------------------------------------===//
+
+Trace simpleN() {
+  Trace N;
+  N.alloc(0, MemLoc{1, 0}, LabelValue::intValue(0));
+  N.set(0, MemLoc{1, 0}, LabelValue::intValue(42));
+  N.get(0, MemLoc{1, 0}, LabelValue::intValue(42));
+  return N;
+}
+
+TEST(Embedding, IdenticalTracesAreEquivalent) {
+  Trace N = simpleN();
+  EXPECT_TRUE(checkDependenceEquivalent(N, N).ok());
+}
+
+TEST(Embedding, LocationRenamingIsAllowed) {
+  Trace N;
+  N.alloc(0, MemLoc{1, 0}, LabelValue::intValue(1));
+  N.alloc(0, MemLoc{2, 0}, LabelValue::intValue(2));
+  N.get(0, MemLoc{1, 0}, LabelValue::intValue(1));
+  Trace S;
+  S.alloc(0, MemLoc{10, 0}, LabelValue::intValue(2)); // allocation order
+  S.alloc(0, MemLoc{11, 0}, LabelValue::intValue(1)); // swapped
+  S.get(0, MemLoc{11, 0}, LabelValue::intValue(1));
+  EXPECT_TRUE(checkDependenceEquivalent(N, S).ok());
+}
+
+TEST(Embedding, ExtraGarbageAllocationsAreAllowed) {
+  Trace N = simpleN();
+  Trace S = simpleN();
+  // A mispredicted speculative thread allocated and scribbled on its own
+  // garbage cell: harmless.
+  S.alloc(5, MemLoc{99, 0}, LabelValue::intValue(7));
+  S.set(5, MemLoc{99, 0}, LabelValue::intValue(8));
+  EXPECT_TRUE(checkDependenceEquivalent(N, S).ok());
+}
+
+TEST(Embedding, GarbageWriteBetweenDependentPairBreaksEquivalence) {
+  Trace N = simpleN();
+  Trace S;
+  S.alloc(0, MemLoc{1, 0}, LabelValue::intValue(0));
+  S.set(0, MemLoc{1, 0}, LabelValue::intValue(42));
+  S.set(5, MemLoc{1, 0}, LabelValue::intValue(999)); // interloper
+  S.get(0, MemLoc{1, 0}, LabelValue::intValue(999)); // observed!
+  // The speculative read observes the interloper's value, so it has no
+  // counterpart with a matching label and reads-from edge.
+  EXPECT_FALSE(checkDependenceEquivalent(N, S).ok());
+}
+
+TEST(Embedding, IndistinguishableDuplicateWriteIsEquivalent) {
+  // A re-execution writing the same value the speculative run wrote is
+  // fine — either write can serve as the image of the non-speculative
+  // one (the definition only constrains labels and dependences).
+  Trace N = simpleN();
+  Trace S;
+  S.alloc(0, MemLoc{1, 0}, LabelValue::intValue(0));
+  S.set(5, MemLoc{1, 0}, LabelValue::intValue(42)); // speculative write
+  S.set(0, MemLoc{1, 0}, LabelValue::intValue(42)); // re-execution
+  S.get(0, MemLoc{1, 0}, LabelValue::intValue(42));
+  EXPECT_TRUE(checkDependenceEquivalent(N, S).ok());
+}
+
+TEST(Embedding, OverwrittenSpeculativeWriteIsAllowed) {
+  // Condition (e)'s pattern: the speculative consumer wrote a wrong value
+  // that the re-execution overwrites before anyone reads it.
+  Trace N;
+  N.alloc(0, MemLoc{1, 0}, LabelValue::intValue(0));
+  N.set(0, MemLoc{1, 0}, LabelValue::intValue(42));
+  Trace S;
+  S.alloc(0, MemLoc{1, 0}, LabelValue::intValue(0));
+  S.set(7, MemLoc{1, 0}, LabelValue::intValue(999)); // wasted speculation
+  S.set(0, MemLoc{1, 0}, LabelValue::intValue(42));  // re-execution
+  EXPECT_TRUE(checkDependenceEquivalent(N, S).ok());
+}
+
+TEST(Embedding, FinalValueMustComeFromMappedWrite) {
+  Trace N;
+  N.alloc(0, MemLoc{1, 0}, LabelValue::intValue(0));
+  N.set(0, MemLoc{1, 0}, LabelValue::intValue(42));
+  Trace S;
+  S.alloc(0, MemLoc{1, 0}, LabelValue::intValue(0));
+  S.set(0, MemLoc{1, 0}, LabelValue::intValue(42));
+  S.set(9, MemLoc{1, 0}, LabelValue::intValue(999)); // late garbage write
+  EXPECT_FALSE(checkDependenceEquivalent(N, S).ok())
+      << "the final heap dependence (condition 3) must be preserved";
+}
+
+TEST(Embedding, ValueMismatchRejected) {
+  Trace N = simpleN();
+  Trace S;
+  S.alloc(0, MemLoc{1, 0}, LabelValue::intValue(0));
+  S.set(0, MemLoc{1, 0}, LabelValue::intValue(41));
+  S.get(0, MemLoc{1, 0}, LabelValue::intValue(41));
+  EXPECT_FALSE(checkDependenceEquivalent(N, S).ok());
+}
+
+TEST(Embedding, LocationValuesMapThroughMu) {
+  // A cell that stores a reference to another cell.
+  Trace N;
+  N.alloc(0, MemLoc{1, 0}, LabelValue::intValue(3));
+  N.alloc(0, MemLoc{2, 0}, LabelValue::cellLoc(1));
+  N.get(0, MemLoc{2, 0}, LabelValue::cellLoc(1));
+  Trace S;
+  S.alloc(0, MemLoc{8, 0}, LabelValue::intValue(3));
+  S.alloc(0, MemLoc{9, 0}, LabelValue::cellLoc(8));
+  S.get(0, MemLoc{9, 0}, LabelValue::cellLoc(8));
+  EXPECT_TRUE(checkDependenceEquivalent(N, S).ok());
+  // Breaking the pointer structure must be caught.
+  Trace Bad;
+  Bad.alloc(0, MemLoc{8, 0}, LabelValue::intValue(3));
+  Bad.alloc(0, MemLoc{9, 0}, LabelValue::cellLoc(9)); // self loop instead
+  Bad.get(0, MemLoc{9, 0}, LabelValue::cellLoc(9));
+  EXPECT_FALSE(checkDependenceEquivalent(N, Bad).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Final-state equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(FinalStateEquiv, IntResult) {
+  FinalState A, B;
+  A.Result = LabelValue::intValue(42);
+  B.Result = LabelValue::intValue(42);
+  EXPECT_TRUE(checkFinalStateEquivalent(A, B).ok());
+  B.Result = LabelValue::intValue(41);
+  EXPECT_FALSE(checkFinalStateEquivalent(A, B).ok());
+}
+
+TEST(FinalStateEquiv, ReachableGraphModuloRenaming) {
+  FinalState A;
+  A.Result = LabelValue::cellLoc(1);
+  A.Cells[1] = LabelValue::cellLoc(2);
+  A.Cells[2] = LabelValue::intValue(5);
+  FinalState B;
+  B.Result = LabelValue::cellLoc(20);
+  B.Cells[20] = LabelValue::cellLoc(10);
+  B.Cells[10] = LabelValue::intValue(5);
+  B.Cells[99] = LabelValue::intValue(7); // unreachable garbage: allowed
+  EXPECT_TRUE(checkFinalStateEquivalent(A, B).ok());
+  B.Cells[10] = LabelValue::intValue(6);
+  EXPECT_FALSE(checkFinalStateEquivalent(A, B).ok());
+}
+
+TEST(FinalStateEquiv, SharingMustBePreserved) {
+  // A: two distinct cells with equal contents; B: one shared cell.
+  FinalState A;
+  A.Result = LabelValue::arrLoc(1);
+  A.Arrays[1] = {LabelValue::cellLoc(2), LabelValue::cellLoc(3)};
+  A.Cells[2] = LabelValue::intValue(5);
+  A.Cells[3] = LabelValue::intValue(5);
+  FinalState B;
+  B.Result = LabelValue::arrLoc(1);
+  B.Arrays[1] = {LabelValue::cellLoc(2), LabelValue::cellLoc(2)};
+  B.Cells[2] = LabelValue::intValue(5);
+  EXPECT_FALSE(checkFinalStateEquivalent(A, B).ok())
+      << "the correspondence must be injective";
+  EXPECT_FALSE(checkFinalStateEquivalent(B, A).ok());
+}
+
+TEST(FinalStateEquiv, ArrayShapes) {
+  FinalState A, B;
+  A.Result = LabelValue::arrLoc(1);
+  A.Arrays[1] = {LabelValue::intValue(1), LabelValue::intValue(2)};
+  B.Result = LabelValue::arrLoc(4);
+  B.Arrays[4] = {LabelValue::intValue(1), LabelValue::intValue(2)};
+  EXPECT_TRUE(checkFinalStateEquivalent(A, B).ok());
+  B.Arrays[4].push_back(LabelValue::intValue(3));
+  EXPECT_FALSE(checkFinalStateEquivalent(A, B).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: Theorem 1 behaviour on real programs
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<lang::Program> parse(std::string_view Src) {
+  auto R = lang::parseProgram(Src);
+  EXPECT_TRUE(bool(R)) << R.error();
+  return R.take();
+}
+
+/// Rollback-free programs: every speculative execution is dependence- and
+/// final-state-equivalent to the non-speculative one (Theorem 1).
+class SafeProgramEquivalence : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(SafeProgramEquivalence, EverySpeculativeScheduleIsEquivalent) {
+  auto P = parse(GetParam());
+  RunOutcome N = runNonSpeculative(*P);
+  ASSERT_TRUE(N.ok()) << N.statusStr();
+  for (SchedulerKind K : {SchedulerKind::Random, SchedulerKind::RoundRobin,
+                          SchedulerKind::NonSpecPriority}) {
+    for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+      MachineOptions Opts;
+      Opts.Sched = K;
+      Opts.Seed = Seed;
+      SpecRunOutcome S = runSpeculative(*P, Opts);
+      ASSERT_TRUE(S.ok()) << S.statusStr();
+      EquivResult Fin = checkFinalStateEquivalent(N.Final, S.Final);
+      EXPECT_TRUE(Fin.ok()) << "final-state: " << Fin.Explanation
+                            << " (sched=" << int(K) << " seed=" << Seed
+                            << ")";
+      EquivResult Dep = checkDependenceEquivalent(N.Trace, S.Trace);
+      EXPECT_NE(Dep.Status, EquivStatus::NotEquivalent)
+          << "dependence: " << Dep.Explanation << " (sched=" << int(K)
+          << " seed=" << Seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, SafeProgramEquivalence,
+    ::testing::Values(
+        // Pure computation.
+        "main = specfold(\\i a. a + i * i, \\i. 0, 1, 6)",
+        // Producer allocates and returns its own state; consumer only
+        // reads its argument.
+        "main = spec(!new(21), 21, \\x. x + x)",
+        // The slot-write idiom: iteration i writes only arr[i], reads
+        // nothing; re-execution overwrites the speculative write.
+        "main = let arr = newarr(6, 0) in "
+        "specfold(\\i a. (arr[i] := a + i; a + i), \\i. i, 0, 5); arr",
+        // Iteration-local allocation: news in the consumer don't escape.
+        "main = specfold(\\i a. !new(a + i), \\i. 0 - i, 1, 5)",
+        // Disjoint state: producer writes its cell, consumer writes its
+        // own array slot.
+        "main = let a = newarr(4, 0) in "
+        "let p = new(0) in "
+        "spec((p := 5; !p), 5, \\x. a[1] := x * 2); a[1] + !p"));
+
+/// Unsafe programs (violating the rollback-freedom conditions): some
+/// schedule must reveal non-equivalence — the misprediction side effects
+/// or racing accesses are observable.
+class UnsafeProgramDivergence
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(UnsafeProgramDivergence, SomeScheduleDiverges) {
+  auto P = parse(GetParam());
+  RunOutcome N = runNonSpeculative(*P);
+  ASSERT_TRUE(N.ok()) << N.statusStr();
+  bool AnyDivergence = false;
+  for (SchedulerKind K : {SchedulerKind::Random, SchedulerKind::RoundRobin}) {
+    for (uint64_t Seed = 1; Seed <= 25 && !AnyDivergence; ++Seed) {
+      MachineOptions Opts;
+      Opts.Sched = K;
+      Opts.Seed = Seed;
+      SpecRunOutcome S = runSpeculative(*P, Opts);
+      if (!S.ok()) {
+        AnyDivergence = true; // e.g. a speculative error became fatal
+        break;
+      }
+      if (!checkFinalStateEquivalent(N.Final, S.Final).ok() ||
+          checkDependenceEquivalent(N.Trace, S.Trace).Status ==
+              EquivStatus::NotEquivalent)
+        AnyDivergence = true;
+    }
+  }
+  EXPECT_TRUE(AnyDivergence)
+      << "expected at least one diverging schedule for an unsafe program";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, UnsafeProgramDivergence,
+    ::testing::Values(
+        // Violates (d)/(e): the consumer increments a pre-existing cell;
+        // mispredicted runs leave extra increments behind.
+        "main = let c = new(0) in "
+        "specfold(\\i a. (c := !c + 1; a), \\i. if i == 1 then 0 else 9, "
+        "1, 4); !c",
+        // Violates (a)/(b): producer writes the cell the speculative
+        // consumer reads.
+        "main = let c = new(5) in spec((c := 9; 1), 1, \\x. !c + x)",
+        // Violates (c): both write the same cell; order matters.
+        "main = let c = new(0) in "
+        "spec((c := 1; 0), 0, \\x. c := 2); !c"));
+
+TEST(Embedding, BudgetExhaustionReportsResourceLimit) {
+  // Many identical events force heavy backtracking; a tiny budget must
+  // surface ResourceLimit instead of a wrong verdict.
+  // Thirteen interchangeable N allocations vs twelve S allocations: the
+  // mismatch is only detected at full depth, after exploring the
+  // factorially many symmetric prefixes.
+  Trace N, S;
+  for (int I = 0; I < 13; ++I)
+    N.alloc(0, MemLoc{static_cast<uint64_t>(I + 1), 0},
+            LabelValue::intValue(7));
+  for (int I = 0; I < 12; ++I)
+    S.alloc(0, MemLoc{static_cast<uint64_t>(I + 1), 0},
+            LabelValue::intValue(7));
+  EquivResult R = checkDependenceEquivalent(N, S, /*Budget=*/50);
+  EXPECT_EQ(R.Status, EquivStatus::ResourceLimit);
+}
+
+} // namespace
