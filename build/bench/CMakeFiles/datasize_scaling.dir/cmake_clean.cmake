@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasize_scaling.dir/datasize_scaling.cpp.o"
+  "CMakeFiles/datasize_scaling.dir/datasize_scaling.cpp.o.d"
+  "datasize_scaling"
+  "datasize_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasize_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

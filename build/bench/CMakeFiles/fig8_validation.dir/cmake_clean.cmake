@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_validation.dir/fig8_validation.cpp.o"
+  "CMakeFiles/fig8_validation.dir/fig8_validation.cpp.o.d"
+  "fig8_validation"
+  "fig8_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

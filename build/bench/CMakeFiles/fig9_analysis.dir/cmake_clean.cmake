@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_analysis.dir/fig9_analysis.cpp.o"
+  "CMakeFiles/fig9_analysis.dir/fig9_analysis.cpp.o.d"
+  "fig9_analysis"
+  "fig9_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

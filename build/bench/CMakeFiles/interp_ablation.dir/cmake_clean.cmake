@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_ablation.dir/interp_ablation.cpp.o"
+  "CMakeFiles/interp_ablation.dir/interp_ablation.cpp.o.d"
+  "interp_ablation"
+  "interp_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_ablation.dir/overhead_ablation.cpp.o"
+  "CMakeFiles/overhead_ablation.dir/overhead_ablation.cpp.o.d"
+  "overhead_ablation"
+  "overhead_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

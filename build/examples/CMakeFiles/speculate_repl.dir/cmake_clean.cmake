@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculate_repl.dir/speculate_repl.cpp.o"
+  "CMakeFiles/speculate_repl.dir/speculate_repl.cpp.o.d"
+  "speculate_repl"
+  "speculate_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculate_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_huffman.dir/speculative_huffman.cpp.o"
+  "CMakeFiles/speculative_huffman.dir/speculative_huffman.cpp.o.d"
+  "speculative_huffman"
+  "speculative_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

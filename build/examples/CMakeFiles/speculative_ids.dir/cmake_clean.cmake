@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_ids.dir/speculative_ids.cpp.o"
+  "CMakeFiles/speculative_ids.dir/speculative_ids.cpp.o.d"
+  "speculative_ids"
+  "speculative_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_lexing.dir/speculative_lexing.cpp.o"
+  "CMakeFiles/speculative_lexing.dir/speculative_lexing.cpp.o.d"
+  "speculative_lexing"
+  "speculative_lexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_lexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

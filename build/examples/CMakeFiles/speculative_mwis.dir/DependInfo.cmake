@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/speculative_mwis.cpp" "examples/CMakeFiles/speculative_mwis.dir/speculative_mwis.cpp.o" "gcc" "examples/CMakeFiles/speculative_mwis.dir/speculative_mwis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/sp_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/mwis/CMakeFiles/sp_mwis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/sp_simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexgen/CMakeFiles/sp_lexgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

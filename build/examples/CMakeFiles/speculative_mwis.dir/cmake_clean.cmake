@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_mwis.dir/speculative_mwis.cpp.o"
+  "CMakeFiles/speculative_mwis.dir/speculative_mwis.cpp.o.d"
+  "speculative_mwis"
+  "speculative_mwis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_mwis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

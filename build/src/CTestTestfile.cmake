@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lexgen")
+subdirs("huffman")
+subdirs("mwis")
+subdirs("workloads")
+subdirs("runtime")
+subdirs("simsched")
+subdirs("lang")
+subdirs("trace")
+subdirs("interp")
+subdirs("analysis")
+subdirs("apps")

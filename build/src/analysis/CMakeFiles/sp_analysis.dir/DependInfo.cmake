@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AbstractHeap.cpp" "src/analysis/CMakeFiles/sp_analysis.dir/AbstractHeap.cpp.o" "gcc" "src/analysis/CMakeFiles/sp_analysis.dir/AbstractHeap.cpp.o.d"
+  "/root/repo/src/analysis/AbstractInterp.cpp" "src/analysis/CMakeFiles/sp_analysis.dir/AbstractInterp.cpp.o" "gcc" "src/analysis/CMakeFiles/sp_analysis.dir/AbstractInterp.cpp.o.d"
+  "/root/repo/src/analysis/Effects.cpp" "src/analysis/CMakeFiles/sp_analysis.dir/Effects.cpp.o" "gcc" "src/analysis/CMakeFiles/sp_analysis.dir/Effects.cpp.o.d"
+  "/root/repo/src/analysis/RollbackChecker.cpp" "src/analysis/CMakeFiles/sp_analysis.dir/RollbackChecker.cpp.o" "gcc" "src/analysis/CMakeFiles/sp_analysis.dir/RollbackChecker.cpp.o.d"
+  "/root/repo/src/analysis/SymExpr.cpp" "src/analysis/CMakeFiles/sp_analysis.dir/SymExpr.cpp.o" "gcc" "src/analysis/CMakeFiles/sp_analysis.dir/SymExpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/sp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_analysis.dir/AbstractHeap.cpp.o"
+  "CMakeFiles/sp_analysis.dir/AbstractHeap.cpp.o.d"
+  "CMakeFiles/sp_analysis.dir/AbstractInterp.cpp.o"
+  "CMakeFiles/sp_analysis.dir/AbstractInterp.cpp.o.d"
+  "CMakeFiles/sp_analysis.dir/Effects.cpp.o"
+  "CMakeFiles/sp_analysis.dir/Effects.cpp.o.d"
+  "CMakeFiles/sp_analysis.dir/RollbackChecker.cpp.o"
+  "CMakeFiles/sp_analysis.dir/RollbackChecker.cpp.o.d"
+  "CMakeFiles/sp_analysis.dir/SymExpr.cpp.o"
+  "CMakeFiles/sp_analysis.dir/SymExpr.cpp.o.d"
+  "libsp_analysis.a"
+  "libsp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

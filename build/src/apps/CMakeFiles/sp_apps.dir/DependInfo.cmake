@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/SpeculativeHuffman.cpp" "src/apps/CMakeFiles/sp_apps.dir/SpeculativeHuffman.cpp.o" "gcc" "src/apps/CMakeFiles/sp_apps.dir/SpeculativeHuffman.cpp.o.d"
+  "/root/repo/src/apps/SpeculativeLexing.cpp" "src/apps/CMakeFiles/sp_apps.dir/SpeculativeLexing.cpp.o" "gcc" "src/apps/CMakeFiles/sp_apps.dir/SpeculativeLexing.cpp.o.d"
+  "/root/repo/src/apps/SpeculativeMwis.cpp" "src/apps/CMakeFiles/sp_apps.dir/SpeculativeMwis.cpp.o" "gcc" "src/apps/CMakeFiles/sp_apps.dir/SpeculativeMwis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lexgen/CMakeFiles/sp_lexgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/sp_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/mwis/CMakeFiles/sp_mwis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/sp_simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

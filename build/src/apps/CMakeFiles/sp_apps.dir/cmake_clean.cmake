@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_apps.dir/SpeculativeHuffman.cpp.o"
+  "CMakeFiles/sp_apps.dir/SpeculativeHuffman.cpp.o.d"
+  "CMakeFiles/sp_apps.dir/SpeculativeLexing.cpp.o"
+  "CMakeFiles/sp_apps.dir/SpeculativeLexing.cpp.o.d"
+  "CMakeFiles/sp_apps.dir/SpeculativeMwis.cpp.o"
+  "CMakeFiles/sp_apps.dir/SpeculativeMwis.cpp.o.d"
+  "libsp_apps.a"
+  "libsp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_huffman.dir/Huffman.cpp.o"
+  "CMakeFiles/sp_huffman.dir/Huffman.cpp.o.d"
+  "libsp_huffman.a"
+  "libsp_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsp_huffman.a"
+)

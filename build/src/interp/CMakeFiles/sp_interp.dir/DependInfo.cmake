@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/Heap.cpp" "src/interp/CMakeFiles/sp_interp.dir/Heap.cpp.o" "gcc" "src/interp/CMakeFiles/sp_interp.dir/Heap.cpp.o.d"
+  "/root/repo/src/interp/NonSpecEval.cpp" "src/interp/CMakeFiles/sp_interp.dir/NonSpecEval.cpp.o" "gcc" "src/interp/CMakeFiles/sp_interp.dir/NonSpecEval.cpp.o.d"
+  "/root/repo/src/interp/Scheduler.cpp" "src/interp/CMakeFiles/sp_interp.dir/Scheduler.cpp.o" "gcc" "src/interp/CMakeFiles/sp_interp.dir/Scheduler.cpp.o.d"
+  "/root/repo/src/interp/SpecMachine.cpp" "src/interp/CMakeFiles/sp_interp.dir/SpecMachine.cpp.o" "gcc" "src/interp/CMakeFiles/sp_interp.dir/SpecMachine.cpp.o.d"
+  "/root/repo/src/interp/Value.cpp" "src/interp/CMakeFiles/sp_interp.dir/Value.cpp.o" "gcc" "src/interp/CMakeFiles/sp_interp.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/sp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_interp.dir/Heap.cpp.o"
+  "CMakeFiles/sp_interp.dir/Heap.cpp.o.d"
+  "CMakeFiles/sp_interp.dir/NonSpecEval.cpp.o"
+  "CMakeFiles/sp_interp.dir/NonSpecEval.cpp.o.d"
+  "CMakeFiles/sp_interp.dir/Scheduler.cpp.o"
+  "CMakeFiles/sp_interp.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/sp_interp.dir/SpecMachine.cpp.o"
+  "CMakeFiles/sp_interp.dir/SpecMachine.cpp.o.d"
+  "CMakeFiles/sp_interp.dir/Value.cpp.o"
+  "CMakeFiles/sp_interp.dir/Value.cpp.o.d"
+  "libsp_interp.a"
+  "libsp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

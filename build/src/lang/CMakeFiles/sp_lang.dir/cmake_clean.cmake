@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_lang.dir/Ast.cpp.o"
+  "CMakeFiles/sp_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/sp_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/sp_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/sp_lang.dir/Parser.cpp.o"
+  "CMakeFiles/sp_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/sp_lang.dir/Printer.cpp.o"
+  "CMakeFiles/sp_lang.dir/Printer.cpp.o.d"
+  "CMakeFiles/sp_lang.dir/Resolver.cpp.o"
+  "CMakeFiles/sp_lang.dir/Resolver.cpp.o.d"
+  "libsp_lang.a"
+  "libsp_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

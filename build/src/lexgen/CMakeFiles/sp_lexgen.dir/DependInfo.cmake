@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lexgen/Dfa.cpp" "src/lexgen/CMakeFiles/sp_lexgen.dir/Dfa.cpp.o" "gcc" "src/lexgen/CMakeFiles/sp_lexgen.dir/Dfa.cpp.o.d"
+  "/root/repo/src/lexgen/Languages.cpp" "src/lexgen/CMakeFiles/sp_lexgen.dir/Languages.cpp.o" "gcc" "src/lexgen/CMakeFiles/sp_lexgen.dir/Languages.cpp.o.d"
+  "/root/repo/src/lexgen/Lexer.cpp" "src/lexgen/CMakeFiles/sp_lexgen.dir/Lexer.cpp.o" "gcc" "src/lexgen/CMakeFiles/sp_lexgen.dir/Lexer.cpp.o.d"
+  "/root/repo/src/lexgen/Nfa.cpp" "src/lexgen/CMakeFiles/sp_lexgen.dir/Nfa.cpp.o" "gcc" "src/lexgen/CMakeFiles/sp_lexgen.dir/Nfa.cpp.o.d"
+  "/root/repo/src/lexgen/Regex.cpp" "src/lexgen/CMakeFiles/sp_lexgen.dir/Regex.cpp.o" "gcc" "src/lexgen/CMakeFiles/sp_lexgen.dir/Regex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

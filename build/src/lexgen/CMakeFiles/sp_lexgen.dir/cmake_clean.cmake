@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_lexgen.dir/Dfa.cpp.o"
+  "CMakeFiles/sp_lexgen.dir/Dfa.cpp.o.d"
+  "CMakeFiles/sp_lexgen.dir/Languages.cpp.o"
+  "CMakeFiles/sp_lexgen.dir/Languages.cpp.o.d"
+  "CMakeFiles/sp_lexgen.dir/Lexer.cpp.o"
+  "CMakeFiles/sp_lexgen.dir/Lexer.cpp.o.d"
+  "CMakeFiles/sp_lexgen.dir/Nfa.cpp.o"
+  "CMakeFiles/sp_lexgen.dir/Nfa.cpp.o.d"
+  "CMakeFiles/sp_lexgen.dir/Regex.cpp.o"
+  "CMakeFiles/sp_lexgen.dir/Regex.cpp.o.d"
+  "libsp_lexgen.a"
+  "libsp_lexgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_lexgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

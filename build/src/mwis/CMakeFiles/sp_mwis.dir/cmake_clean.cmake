@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_mwis.dir/Mwis.cpp.o"
+  "CMakeFiles/sp_mwis.dir/Mwis.cpp.o.d"
+  "libsp_mwis.a"
+  "libsp_mwis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_mwis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/EffectCheck.cpp" "src/runtime/CMakeFiles/sp_runtime.dir/EffectCheck.cpp.o" "gcc" "src/runtime/CMakeFiles/sp_runtime.dir/EffectCheck.cpp.o.d"
+  "/root/repo/src/runtime/Speculation.cpp" "src/runtime/CMakeFiles/sp_runtime.dir/Speculation.cpp.o" "gcc" "src/runtime/CMakeFiles/sp_runtime.dir/Speculation.cpp.o.d"
+  "/root/repo/src/runtime/ThreadPool.cpp" "src/runtime/CMakeFiles/sp_runtime.dir/ThreadPool.cpp.o" "gcc" "src/runtime/CMakeFiles/sp_runtime.dir/ThreadPool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_runtime.dir/EffectCheck.cpp.o"
+  "CMakeFiles/sp_runtime.dir/EffectCheck.cpp.o.d"
+  "CMakeFiles/sp_runtime.dir/Speculation.cpp.o"
+  "CMakeFiles/sp_runtime.dir/Speculation.cpp.o.d"
+  "CMakeFiles/sp_runtime.dir/ThreadPool.cpp.o"
+  "CMakeFiles/sp_runtime.dir/ThreadPool.cpp.o.d"
+  "libsp_runtime.a"
+  "libsp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_simsched.dir/SimSched.cpp.o"
+  "CMakeFiles/sp_simsched.dir/SimSched.cpp.o.d"
+  "libsp_simsched.a"
+  "libsp_simsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_simsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sp_simsched.
+# This may be replaced when dependencies are built.

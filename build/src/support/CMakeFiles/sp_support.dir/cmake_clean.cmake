@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/sp_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/sp_support.dir/Interval.cpp.o"
+  "CMakeFiles/sp_support.dir/Interval.cpp.o.d"
+  "CMakeFiles/sp_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/sp_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/sp_support.dir/Timer.cpp.o"
+  "CMakeFiles/sp_support.dir/Timer.cpp.o.d"
+  "libsp_support.a"
+  "libsp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_trace.dir/Equivalence.cpp.o"
+  "CMakeFiles/sp_trace.dir/Equivalence.cpp.o.d"
+  "CMakeFiles/sp_trace.dir/Trace.cpp.o"
+  "CMakeFiles/sp_trace.dir/Trace.cpp.o.d"
+  "libsp_trace.a"
+  "libsp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

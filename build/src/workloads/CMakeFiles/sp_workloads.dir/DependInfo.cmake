@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Datasets.cpp" "src/workloads/CMakeFiles/sp_workloads.dir/Datasets.cpp.o" "gcc" "src/workloads/CMakeFiles/sp_workloads.dir/Datasets.cpp.o.d"
+  "/root/repo/src/workloads/SourceGen.cpp" "src/workloads/CMakeFiles/sp_workloads.dir/SourceGen.cpp.o" "gcc" "src/workloads/CMakeFiles/sp_workloads.dir/SourceGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lexgen/CMakeFiles/sp_lexgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

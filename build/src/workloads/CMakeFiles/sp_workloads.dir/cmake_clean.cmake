@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_workloads.dir/Datasets.cpp.o"
+  "CMakeFiles/sp_workloads.dir/Datasets.cpp.o.d"
+  "CMakeFiles/sp_workloads.dir/SourceGen.cpp.o"
+  "CMakeFiles/sp_workloads.dir/SourceGen.cpp.o.d"
+  "libsp_workloads.a"
+  "libsp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effectcheck_test.dir/effectcheck_test.cpp.o"
+  "CMakeFiles/effectcheck_test.dir/effectcheck_test.cpp.o.d"
+  "effectcheck_test"
+  "effectcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effectcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_corpus_test.dir/examples_corpus_test.cpp.o"
+  "CMakeFiles/examples_corpus_test.dir/examples_corpus_test.cpp.o.d"
+  "examples_corpus_test"
+  "examples_corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huffman_test.dir/huffman_test.cpp.o"
+  "CMakeFiles/huffman_test.dir/huffman_test.cpp.o.d"
+  "huffman_test"
+  "huffman_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huffman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_semantics_test.dir/interp_semantics_test.cpp.o"
+  "CMakeFiles/interp_semantics_test.dir/interp_semantics_test.cpp.o.d"
+  "interp_semantics_test"
+  "interp_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexgen_lexer_test.dir/lexgen_lexer_test.cpp.o"
+  "CMakeFiles/lexgen_lexer_test.dir/lexgen_lexer_test.cpp.o.d"
+  "lexgen_lexer_test"
+  "lexgen_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexgen_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexgen_regex_test.dir/lexgen_regex_test.cpp.o"
+  "CMakeFiles/lexgen_regex_test.dir/lexgen_regex_test.cpp.o.d"
+  "lexgen_regex_test"
+  "lexgen_regex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexgen_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

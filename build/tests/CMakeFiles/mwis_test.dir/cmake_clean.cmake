@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwis_test.dir/mwis_test.cpp.o"
+  "CMakeFiles/mwis_test.dir/mwis_test.cpp.o.d"
+  "mwis_test"
+  "mwis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsched_test.dir/simsched_test.cpp.o"
+  "CMakeFiles/simsched_test.dir/simsched_test.cpp.o.d"
+  "simsched_test"
+  "simsched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

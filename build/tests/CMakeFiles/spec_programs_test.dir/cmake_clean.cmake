@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_programs_test.dir/spec_programs_test.cpp.o"
+  "CMakeFiles/spec_programs_test.dir/spec_programs_test.cpp.o.d"
+  "spec_programs_test"
+  "spec_programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
