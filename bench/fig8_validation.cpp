@@ -39,15 +39,13 @@ using namespace specpar::huffman;
 using namespace specpar::workloads;
 
 static double measureSpawnOverheadSeconds() {
-  rt::ThreadPool Pool(2);
-  rt::Options Opts;
-  Opts.Pool = &Pool;
-  const int64_t N = 2000;
+  const int64_t N = 2000, ChunkSize = 8;
   Timer T;
-  rt::Speculation::iterate<int64_t>(
-      0, N, [](int64_t, int64_t A) { return A; },
-      [](int64_t) { return int64_t(0); }, Opts);
-  return T.elapsedSeconds() / static_cast<double>(N);
+  rt::SpecResult<int64_t> R = rt::Speculation::iterateChunked<int64_t>(
+      0, N, ChunkSize, [](int64_t, int64_t A) { return A; },
+      [](int64_t) { return int64_t(0); },
+      rt::SpecConfig().executor(&rt::SpecExecutor::process()));
+  return T.elapsedSeconds() / static_cast<double>(R.Stats.Tasks);
 }
 
 int main() {

@@ -90,19 +90,32 @@ void BM_MwisForward(benchmark::State &State) {
 BENCHMARK(BM_MwisForward)->Unit(benchmark::kMillisecond);
 
 void BM_IterateOverhead(benchmark::State &State) {
-  rt::ThreadPool Pool(2);
-  rt::Options Opts;
-  Opts.Pool = &Pool;
+  rt::SpecExecutor Ex(2);
+  rt::SpecConfig Cfg = rt::SpecConfig().executor(&Ex);
   const int64_t N = State.range(0);
   for (auto _ : State) {
-    int64_t R = rt::Speculation::iterate<int64_t>(
+    auto R = rt::Speculation::iterate<int64_t>(
         0, N, [](int64_t, int64_t A) { return A + 1; },
-        [](int64_t I) { return I; }, Opts);
-    benchmark::DoNotOptimize(R);
+        [](int64_t I) { return I; }, Cfg);
+    benchmark::DoNotOptimize(R.Value);
   }
   State.SetItemsProcessed(int64_t(State.iterations()) * N);
 }
 BENCHMARK(BM_IterateOverhead)->Arg(16)->Arg(256);
+
+void BM_IterateChunkedOverhead(benchmark::State &State) {
+  rt::SpecExecutor Ex(2);
+  rt::SpecConfig Cfg = rt::SpecConfig().executor(&Ex);
+  const int64_t N = State.range(0);
+  for (auto _ : State) {
+    auto R = rt::Speculation::iterateChunked<int64_t>(
+        0, N, /*ChunkSize=*/8, [](int64_t, int64_t A) { return A + 1; },
+        [](int64_t I) { return I; }, Cfg);
+    benchmark::DoNotOptimize(R.Value);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * N);
+}
+BENCHMARK(BM_IterateChunkedOverhead)->Arg(16)->Arg(256);
 
 void BM_DfaConstruction(benchmark::State &State) {
   Language L = static_cast<Language>(State.range(0));

@@ -7,11 +7,18 @@
 ///
 /// The smallest useful tour of the speculation API:
 ///
-///  1. `Speculation::apply`   — run a consumer concurrently with its
+///  1. `Speculation::apply`          — run a consumer concurrently with its
 ///     producer by predicting the produced value (the paper's `spec`);
-///  2. `Speculation::iterate` — run all iterations of a loop with a
+///  2. `Speculation::iterate`        — run all iterations of a loop with a
 ///     loop-carried dependence in parallel by predicting the carried
-///     value entering each iteration (the paper's `specfold`).
+///     value entering each iteration (the paper's `specfold`);
+///  3. `Speculation::iterateChunked` — the same, at segment granularity:
+///     predict once per chunk, amortizing task overhead.
+///
+/// Calls take a fluent `SpecConfig` and return a `SpecResult` carrying the
+/// value plus `SpeculationStats`. By default runs execute on the shared
+/// process-wide executor (`SpecExecutor::process()`); nested speculative
+/// runs on one shared executor are deadlock-free.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,36 +33,31 @@ int main() {
   // 1. Speculative composition.
   //
   // The producer computes an expensive checksum; the consumer formats a
-  // report from it. We predict the checksum (here: the common case 0) so
+  // report from it. We predict the checksum (here: the common case 87) so
   // the consumer can start before the producer finishes. A misprediction
   // just re-runs the consumer with the real value.
   // ------------------------------------------------------------------
-  SpeculationStats ApplyStats;
-  Options Opts;
-  Opts.Stats = &ApplyStats;
-
   auto Checksum = [] {
     long Sum = 0;
     for (int I = 1; I <= 1000000; ++I)
       Sum = (Sum + I) % 97;
     return Sum;
   };
-  Speculation::apply<long>(
+  SpecResult<void> Good = Speculation::apply<long>(
       Checksum,
       /*Predictor=*/[] { return 87L; }, // a good domain-specific guess
       /*Consumer=*/
-      [](long V) { std::printf("checksum report: %ld\n", V); }, Opts);
-  std::printf("apply: %s\n", ApplyStats.str().c_str());
+      [](long V) { std::printf("checksum report: %ld\n", V); });
+  std::printf("apply: %s\n", Good.Stats.str().c_str());
 
   // With a wrong guess the consumer's side effect (the printf) runs twice
   // — once speculatively with the predicted value, once validated with
   // the real one. Nothing is rolled back; the *validated* execution is
   // the one whose effects the rollback-freedom conditions let you keep.
-  Speculation::apply<long>(
+  SpecResult<void> Bad = Speculation::apply<long>(
       Checksum, [] { return 0L; },
-      [](long V) { std::printf("checksum report (guess 0): %ld\n", V); },
-      Opts);
-  std::printf("apply with misprediction: %s\n\n", ApplyStats.str().c_str());
+      [](long V) { std::printf("checksum report (guess 0): %ld\n", V); });
+  std::printf("apply with misprediction: %s\n\n", Bad.Stats.str().c_str());
 
   // ------------------------------------------------------------------
   // 2. Speculative iteration.
@@ -65,34 +67,48 @@ int main() {
   // Because the sum of i*i over a prefix has a closed form, the
   // prediction function can compute the exact carried value entering any
   // iteration — so every iteration runs in parallel and validation never
-  // re-executes anything.
+  // re-executes anything. SpecConfig() picks the run's mode, thread
+  // count, or executor; threads(0) — the default — means "one worker per
+  // hardware thread" via the shared process-wide executor.
   // ------------------------------------------------------------------
-  SpeculationStats IterStats;
-  Opts.Stats = &IterStats;
-  Opts.NumThreads = 4;
-
   auto SumOfSquaresBelow = [](int64_t I) {
     // sum_{k=1}^{I-1} k^2
     return (I - 1) * I * (2 * I - 1) / 6;
   };
-  int64_t Total = Speculation::iterate<int64_t>(
+  SpecResult<int64_t> Total = Speculation::iterate<int64_t>(
       1, 101,
       /*Body=*/[](int64_t I, int64_t Acc) { return Acc + I * I; },
-      /*Predictor=*/SumOfSquaresBelow, Opts);
+      /*Predictor=*/SumOfSquaresBelow,
+      SpecConfig().mode(ValidationMode::Seq));
   std::printf("sum of squares 1..100 = %lld (expect 338350)\n",
-              static_cast<long long>(Total));
-  std::printf("iterate: %s\n\n", IterStats.str().c_str());
+              static_cast<long long>(Total.Value));
+  std::printf("iterate: %s\n\n", Total.Stats.str().c_str());
 
   // ------------------------------------------------------------------
-  // 3. What a bad predictor costs: correctness is preserved, the stats
+  // 3. Chunked iteration: same loop, but speculate once per 25-iteration
+  // chunk instead of once per iteration — 4 tasks and 3 validated
+  // predictions instead of 100 and 99. This is how the paper's segment
+  // experiments amortize per-task overhead.
+  // ------------------------------------------------------------------
+  SpecResult<int64_t> Chunked = Speculation::iterateChunked<int64_t>(
+      1, 101, /*ChunkSize=*/25,
+      [](int64_t I, int64_t Acc) { return Acc + I * I; }, SumOfSquaresBelow);
+  std::printf("chunked sum = %lld, %s\n",
+              static_cast<long long>(Chunked.Value),
+              Chunked.Stats.str().c_str());
+
+  // ------------------------------------------------------------------
+  // 4. What a bad predictor costs: correctness is preserved, the stats
   // show the re-executions.
   // ------------------------------------------------------------------
-  SpeculationStats BadStats;
-  Opts.Stats = &BadStats;
-  int64_t Total2 = Speculation::iterate<int64_t>(
+  SpecResult<int64_t> Total2 = Speculation::iterate<int64_t>(
       1, 101, [](int64_t I, int64_t Acc) { return Acc + I * I; },
-      [](int64_t I) { return I == 1 ? int64_t(0) : int64_t(-1); }, Opts);
+      [](int64_t I) { return I == 1 ? int64_t(0) : int64_t(-1); });
   std::printf("with a useless predictor: %lld, %s\n",
-              static_cast<long long>(Total2), BadStats.str().c_str());
-  return Total == 338350 && Total2 == 338350 ? 0 : 1;
+              static_cast<long long>(Total2.Value),
+              Total2.Stats.str().c_str());
+  return Total.Value == 338350 && Chunked.Value == 338350 &&
+                 Total2.Value == 338350
+             ? 0
+             : 1;
 }

@@ -56,11 +56,10 @@ int main(int Argc, char **Argv) {
 
   const int NumTasks = 8;
   for (int64_t OverlapBytes : {2, 4, 8, 16, 64, 512}) {
-    rt::Options Opts;
-    Opts.NumThreads = 4;
+    rt::SpecConfig Cfg = rt::SpecConfig().threads(4);
     T.reset();
     HuffmanRun Run = speculativeDecode(D, In, NumTasks, OverlapBytes * 8,
-                                       Opts);
+                                       Cfg);
     double Seconds = T.elapsedSeconds();
     double Accuracy = huffmanPredictionAccuracy(D, In, OverlapBytes * 8);
     bool Match = Run.Decoded == Data;

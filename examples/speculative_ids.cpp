@@ -103,40 +103,42 @@ int main(int Argc, char **Argv) {
   std::printf("sequential scan: %zu alerts in %.3f ms\n\n", SeqAlerts,
               T.elapsedMillis());
 
+  // Chunked speculation on the shared process-wide executor: the stream
+  // is cut into NumTasks * ChunkSize sub-ranges, each speculative task
+  // scans one chunk of ChunkSize sub-ranges sequentially, and the DFA
+  // state is predicted once per chunk.
   const int NumTasks = 8;
+  const int64_t ChunkSize = 8;
   const int64_t N = static_cast<int64_t>(Traffic.size());
-  const int64_t Frag = (N + NumTasks - 1) / NumTasks;
+  const int64_t NumSub = NumTasks * ChunkSize;
+  auto Bound = [&](int64_t I) { return N * I / NumSub; };
   for (int64_t Overlap : {0, 8, 32, 128}) {
-    rt::Options Opts;
-    Opts.NumThreads = 4;
-    rt::SpeculationStats Stats;
-    Opts.Stats = &Stats;
     std::vector<Token> Tokens;
     T.reset();
-    LexState Final = rt::Speculation::iterateLocal<LexState,
-                                                   std::vector<Token>>(
-        0, NumTasks, [] { return std::vector<Token>(); },
-        [&](int64_t I, std::vector<Token> &Local, LexState In) {
-          return Matcher.lexRange(Traffic, I * Frag,
-                                  std::min(N, (I + 1) * Frag), In, &Local);
-        },
-        // Hot-state prediction: replay a short overlap from the start
-        // state; with Overlap == 0 this is the pure "assume the automaton
-        // is in its hot start state" guess.
-        [&](int64_t I) {
-          return I == 0 ? Matcher.initialState(0)
-                        : Matcher.predictStateAt(Traffic, I * Frag, Overlap);
-        },
-        [&Tokens](int64_t, std::vector<Token> &Local) {
-          Tokens.insert(Tokens.end(), Local.begin(), Local.end());
-        },
-        Opts);
-    Matcher.finishLex(Traffic, Final, &Tokens);
+    rt::SpecResult<LexState> Scan =
+        rt::Speculation::iterateChunkedLocal<LexState, std::vector<Token>>(
+            0, NumSub, ChunkSize, [] { return std::vector<Token>(); },
+            [&](int64_t I, std::vector<Token> &Local, LexState In) {
+              return Matcher.lexRange(Traffic, Bound(I), Bound(I + 1), In,
+                                      &Local);
+            },
+            // Hot-state prediction: replay a short overlap from the start
+            // state; with Overlap == 0 this is the pure "assume the
+            // automaton is in its hot start state" guess.
+            [&](int64_t I) {
+              return I == 0
+                         ? Matcher.initialState(0)
+                         : Matcher.predictStateAt(Traffic, Bound(I), Overlap);
+            },
+            [&Tokens](int64_t, std::vector<Token> &Local) {
+              Tokens.insert(Tokens.end(), Local.begin(), Local.end());
+            });
+    Matcher.finishLex(Traffic, Scan.Value, &Tokens);
     size_t Alerts = countAlerts(Matcher, Tokens);
     bool Match = Tokens == Seq;
     std::printf("overlap %4lld: %zu alerts  %s  %s  (%.3f ms)\n",
                 static_cast<long long>(Overlap), Alerts,
-                Stats.str().c_str(), Match ? "match" : "MISMATCH",
+                Scan.Stats.str().c_str(), Match ? "match" : "MISMATCH",
                 T.elapsedMillis());
     if (!Match)
       return 1;

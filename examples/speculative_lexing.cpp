@@ -53,10 +53,9 @@ int main(int Argc, char **Argv) {
 
   const int NumTasks = 8;
   for (int64_t Overlap : {0, 16, 64, 256, 1024}) {
-    rt::Options Opts;
-    Opts.NumThreads = 4;
+    rt::SpecConfig Cfg = rt::SpecConfig().threads(4);
     T.reset();
-    LexRun Run = speculativeLex(LX, Text, NumTasks, Overlap, Opts);
+    LexRun Run = speculativeLex(LX, Text, NumTasks, Overlap, Cfg);
     double Seconds = T.elapsedSeconds();
     double Accuracy = lexPredictionAccuracy(LX, Text, Overlap);
     bool Match = Run.Tokens == Seq;

@@ -43,10 +43,9 @@ int main(int Argc, char **Argv) {
 
   const int NumTasks = 8;
   for (int64_t Overlap : {0, 8, 16, 32, 128}) {
-    rt::Options Opts;
-    Opts.NumThreads = 4;
+    rt::SpecConfig Cfg = rt::SpecConfig().threads(4);
     T.reset();
-    MwisRun Run = speculativeMwis(W, NumTasks, Overlap, Opts);
+    MwisRun Run = speculativeMwis(W, NumTasks, Overlap, Cfg);
     double Seconds = T.elapsedSeconds();
     double Accuracy = mwisPredictionAccuracy(W, Overlap);
     bool Match = Run.Weight == SeqWeight && Run.Members == SeqMembers;

@@ -18,40 +18,45 @@ using namespace specpar::huffman;
 HuffmanRun specpar::apps::speculativeDecode(const Decoder &D,
                                             const BitReader &In,
                                             int NumTasks, int64_t OverlapBits,
-                                            const rt::Options &Opts) {
+                                            const rt::SpecConfig &Cfg) {
   HuffmanRun Run;
   const int64_t NumBits = In.numBits();
   if (NumTasks <= 0 || NumBits == 0)
     return Run;
 
-  rt::Options RO = Opts;
-  rt::SpeculationStats Stats;
-  RO.Stats = &Stats;
+  // Sub-segment granularity: one speculative chunk per task, kHuffChunkSize
+  // bit sub-segments decoded sequentially inside it. Chunk boundaries land
+  // on the same NumBits*t/NumTasks bit positions as a task-per-segment
+  // split, and decodeRange chains (a decode that overruns a sub-boundary
+  // resumes past it; an empty range decodes nothing), so the output is
+  // identical.
+  const int64_t NumSub = static_cast<int64_t>(NumTasks) * kHuffChunkSize;
+  auto Bound = [&](int64_t I) { return NumBits * I / NumSub; };
 
-  rt::Speculation::iterateLocal<int64_t, std::vector<uint8_t>>(
-      0, NumTasks,
-      /*Init=*/[] { return std::vector<uint8_t>(); },
-      /*Body=*/
-      [&](int64_t I, std::vector<uint8_t> &Local, int64_t StartBit) {
-        if (StartBit < 0)
-          return int64_t(-1); // garbage input from a desynchronized chain
-        int64_t SegEnd =
-            I + 1 == NumTasks ? NumBits : NumBits * (I + 1) / NumTasks;
-        return D.decodeRange(In, StartBit, SegEnd, &Local);
-      },
-      /*Predictor=*/
-      [&](int64_t I) {
-        if (I == 0)
-          return int64_t(0);
-        return D.predictSyncPoint(In, NumBits * I / NumTasks, OverlapBits);
-      },
-      /*Finalize=*/
-      [&Run](int64_t, std::vector<uint8_t> &Local) {
-        Run.Decoded.insert(Run.Decoded.end(), Local.begin(), Local.end());
-      },
-      RO);
+  rt::SpecResult<int64_t> R =
+      rt::Speculation::iterateChunkedLocal<int64_t, std::vector<uint8_t>>(
+          0, NumSub, kHuffChunkSize,
+          /*Init=*/[] { return std::vector<uint8_t>(); },
+          /*Body=*/
+          [&](int64_t I, std::vector<uint8_t> &Local, int64_t StartBit) {
+            if (StartBit < 0)
+              return int64_t(-1); // garbage input from a desynchronized chain
+            int64_t SegEnd = I + 1 == NumSub ? NumBits : Bound(I + 1);
+            return D.decodeRange(In, StartBit, SegEnd, &Local);
+          },
+          /*Predictor=*/
+          [&](int64_t I) {
+            if (I == 0)
+              return int64_t(0);
+            return D.predictSyncPoint(In, Bound(I), OverlapBits);
+          },
+          /*Finalize=*/
+          [&Run](int64_t, std::vector<uint8_t> &Local) {
+            Run.Decoded.insert(Run.Decoded.end(), Local.begin(), Local.end());
+          },
+          Cfg);
 
-  Run.Stats = Stats;
+  Run.Stats = R.Stats;
   return Run;
 }
 

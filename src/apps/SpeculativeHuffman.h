@@ -31,12 +31,17 @@ struct HuffmanRun {
   rt::SpeculationStats Stats;
 };
 
-/// Decodes the whole stream speculatively with \p NumTasks bit segments
-/// and an \p OverlapBits predictor window.
+/// Decodes the whole stream speculatively with \p NumTasks chunked
+/// speculation tasks (each covering `kHuffChunkSize` bit sub-segments,
+/// decoded sequentially inside one attempt) and an \p OverlapBits
+/// predictor window.
 HuffmanRun speculativeDecode(const huffman::Decoder &D,
                              const huffman::BitReader &In, int NumTasks,
                              int64_t OverlapBits,
-                             const rt::Options &Opts = rt::Options());
+                             const rt::SpecConfig &Cfg = rt::SpecConfig());
+
+/// Bit sub-segments per speculative decoding chunk.
+inline constexpr int64_t kHuffChunkSize = 8;
 
 /// Prediction accuracy of the sync-point predictor at \p NumPoints
 /// boundaries, in percent (Figure 7 methodology).

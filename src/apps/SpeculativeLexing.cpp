@@ -22,44 +22,46 @@ std::vector<Token> specpar::apps::sequentialLex(const Lexer &L,
 
 LexRun specpar::apps::speculativeLex(const Lexer &L, std::string_view Text,
                                      int NumTasks, int64_t Overlap,
-                                     const rt::Options &Opts) {
+                                     const rt::SpecConfig &Cfg) {
   LexRun Run;
   const int64_t N = static_cast<int64_t>(Text.size());
   if (NumTasks <= 0 || N == 0) {
     Run.Tokens = sequentialLex(L, Text);
     return Run;
   }
-  const int64_t Frag = (N + NumTasks - 1) / NumTasks;
+  // Iterate at sub-fragment granularity and speculate per chunk of
+  // kLexChunkSize sub-fragments: one prediction per chunk (= per task, at
+  // the same boundaries N*t/NumTasks a task-per-segment split would use,
+  // since floor(N*(t*K)/(NumTasks*K)) == floor(N*t/NumTasks)), with the
+  // chunk's sub-ranges lexed sequentially inside the attempt. lexRange
+  // composes (lexRange(a,b) then lexRange(b,c) == lexRange(a,c)), so the
+  // output is identical to the per-segment formulation.
+  const int64_t NumSub = static_cast<int64_t>(NumTasks) * kLexChunkSize;
+  auto Bound = [&](int64_t I) { return N * I / NumSub; };
 
-  rt::Options RO = Opts;
-  rt::SpeculationStats Stats;
-  RO.Stats = &Stats;
-
-  LexState Final = rt::Speculation::iterateLocal<LexState,
-                                                 std::vector<Token>>(
-      0, NumTasks,
-      /*Init=*/[] { return std::vector<Token>(); },
-      /*Body=*/
-      [&](int64_t I, std::vector<Token> &Local, LexState In) {
-        int64_t From = I * Frag;
-        int64_t To = std::min(N, (I + 1) * Frag);
-        return L.lexRange(Text, From, To, In, &Local);
-      },
-      /*Predictor=*/
-      [&](int64_t I) {
-        if (I == 0)
-          return L.initialState(0);
-        return L.predictStateAt(Text, I * Frag, Overlap);
-      },
-      /*Finalize=*/
-      [&Run](int64_t, std::vector<Token> &Local) {
-        Run.Tokens.insert(Run.Tokens.end(), Local.begin(), Local.end());
-      },
-      RO);
+  rt::SpecResult<LexState> R =
+      rt::Speculation::iterateChunkedLocal<LexState, std::vector<Token>>(
+          0, NumSub, kLexChunkSize,
+          /*Init=*/[] { return std::vector<Token>(); },
+          /*Body=*/
+          [&](int64_t I, std::vector<Token> &Local, LexState In) {
+            return L.lexRange(Text, Bound(I), Bound(I + 1), In, &Local);
+          },
+          /*Predictor=*/
+          [&](int64_t I) {
+            if (I == 0)
+              return L.initialState(0);
+            return L.predictStateAt(Text, Bound(I), Overlap);
+          },
+          /*Finalize=*/
+          [&Run](int64_t, std::vector<Token> &Local) {
+            Run.Tokens.insert(Run.Tokens.end(), Local.begin(), Local.end());
+          },
+          Cfg);
 
   // Flush the trailing in-flight token of the final segment.
-  L.finishLex(Text, Final, &Run.Tokens);
-  Run.Stats = Stats;
+  L.finishLex(Text, R.Value, &Run.Tokens);
+  Run.Stats = R.Stats;
   return Run;
 }
 

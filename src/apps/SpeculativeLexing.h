@@ -37,11 +37,17 @@ struct LexRun {
 std::vector<lexgen::Token> sequentialLex(const lexgen::Lexer &L,
                                          std::string_view Text);
 
-/// Lexes \p Text speculatively with \p NumTasks segments and an
-/// \p Overlap-byte predictor.
+/// Lexes \p Text speculatively with \p NumTasks chunked speculation tasks
+/// and an \p Overlap-byte predictor. Each task covers a chunk of
+/// sub-fragments (`kLexChunkSize` per task) iterated sequentially inside
+/// one speculative attempt — segment-granularity speculation on the shared
+/// process-wide executor by default.
 LexRun speculativeLex(const lexgen::Lexer &L, std::string_view Text,
                       int NumTasks, int64_t Overlap,
-                      const rt::Options &Opts = rt::Options());
+                      const rt::SpecConfig &Cfg = rt::SpecConfig());
+
+/// Sub-fragments per speculative lexing chunk.
+inline constexpr int64_t kLexChunkSize = 8;
 
 /// Prediction accuracy of the overlap predictor at \p NumPoints equally
 /// spaced boundaries (the paper's Figure 7 methodology), in percent.

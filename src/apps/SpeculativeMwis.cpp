@@ -17,7 +17,7 @@ using namespace specpar::mwis;
 
 MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
                                        int NumTasks, int64_t Overlap,
-                                       const rt::Options &Opts) {
+                                       const rt::SpecConfig &Cfg) {
   MwisRun Run;
   const int64_t N = static_cast<int64_t>(Weights.size());
   if (N == 0)
@@ -28,44 +28,45 @@ MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
   std::vector<int64_t> D(Weights.size());
   std::vector<uint8_t> Taken(Weights.size());
 
-  // Phase 1: forward d-recurrence over segments.
-  rt::Options RO = Opts;
-  rt::SpeculationStats FStats;
-  RO.Stats = &FStats;
-  rt::Speculation::iterate<int64_t>(
-      0, NumTasks,
+  // Sub-segment granularity: each chunk = one task's worth of
+  // kMwisChunkSize node sub-segments processed sequentially inside one
+  // speculative attempt. Chunk boundaries coincide with the N*t/NumTasks
+  // node boundaries of a task-per-segment split, and both segment
+  // functions compose over adjacent (possibly empty) ranges, so results
+  // are identical.
+  const int64_t NumSub = static_cast<int64_t>(NumTasks) * kMwisChunkSize;
+  auto Bound = [&](int64_t I) { return N * I / NumSub; };
+
+  // Phase 1: forward d-recurrence over sub-segments.
+  rt::SpecResult<int64_t> Fwd = rt::Speculation::iterateChunked<int64_t>(
+      0, NumSub, kMwisChunkSize,
       [&](int64_t I, int64_t DIn) {
-        int64_t From = N * I / NumTasks, To = N * (I + 1) / NumTasks;
-        return forwardSegment(Weights, From, To, DIn, D);
+        return forwardSegment(Weights, Bound(I), Bound(I + 1), DIn, D);
       },
       [&](int64_t I) {
         return I == 0 ? int64_t(0)
-                      : predictForward(Weights, N * I / NumTasks, Overlap);
+                      : predictForward(Weights, Bound(I), Overlap);
       },
-      RO);
-  Run.ForwardStats = FStats;
+      Cfg);
+  Run.ForwardStats = Fwd.Stats;
 
-  // Phase 2: backward membership emission; iteration I handles the
-  // segment counted from the top so the carried bit flows downwards.
-  rt::SpeculationStats BStats;
-  RO.Stats = &BStats;
-  rt::Speculation::iterate<int64_t>(
-      0, NumTasks,
+  // Phase 2: backward membership emission; sub-iteration I handles the
+  // sub-segment counted from the top so the carried bit flows downwards.
+  rt::SpecResult<int64_t> Bwd = rt::Speculation::iterateChunked<int64_t>(
+      0, NumSub, kMwisChunkSize,
       [&](int64_t I, int64_t NextTaken) {
-        int64_t Seg = NumTasks - 1 - I;
-        int64_t From = N * Seg / NumTasks, To = N * (Seg + 1) / NumTasks;
-        return static_cast<int64_t>(
-            backwardSegment(D, From, To, NextTaken != 0, Taken));
+        int64_t Seg = NumSub - 1 - I;
+        return static_cast<int64_t>(backwardSegment(
+            D, Bound(Seg), Bound(Seg + 1), NextTaken != 0, Taken));
       },
       [&](int64_t I) {
         if (I == 0)
           return int64_t(0); // no node above the top segment
-        int64_t Boundary = N * (NumTasks - I) / NumTasks;
         return static_cast<int64_t>(
-            predictBackward(D, Boundary, Overlap, N));
+            predictBackward(D, Bound(NumSub - I), Overlap, N));
       },
-      RO);
-  Run.BackwardStats = BStats;
+      Cfg);
+  Run.BackwardStats = Bwd.Stats;
 
   Run.Weight = weightFromD(D);
   Run.Members = membersFromTaken(Taken);

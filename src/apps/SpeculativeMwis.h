@@ -33,11 +33,16 @@ struct MwisRun {
   rt::SpeculationStats BackwardStats;
 };
 
-/// Solves MWIS speculatively with \p NumTasks segments per phase and an
-/// \p Overlap-node predictor window.
+/// Solves MWIS speculatively with \p NumTasks chunked speculation tasks
+/// per phase (each chunk covers `kMwisChunkSize` node sub-segments,
+/// processed sequentially inside one attempt) and an \p Overlap-node
+/// predictor window.
 MwisRun speculativeMwis(const std::vector<int64_t> &Weights, int NumTasks,
                         int64_t Overlap,
-                        const rt::Options &Opts = rt::Options());
+                        const rt::SpecConfig &Cfg = rt::SpecConfig());
+
+/// Node sub-segments per speculative MWIS chunk.
+inline constexpr int64_t kMwisChunkSize = 8;
 
 /// Phase-1 prediction accuracy at \p NumPoints boundaries, in percent.
 double mwisPredictionAccuracy(const std::vector<int64_t> &Weights,

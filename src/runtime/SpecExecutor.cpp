@@ -1,0 +1,147 @@
+//===- runtime/SpecExecutor.cpp - Work-stealing task executor -------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SpecExecutor.h"
+
+using namespace specpar;
+using namespace specpar::rt;
+
+namespace {
+/// Which executor (if any) the current thread is a worker of, and its
+/// worker index there. Helping from foreign threads treats the index as
+/// "not a worker".
+thread_local SpecExecutor *TLExecutor = nullptr;
+thread_local unsigned TLWorkerIdx = ~0u;
+} // namespace
+
+unsigned SpecExecutor::defaultThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+SpecExecutor &SpecExecutor::process() {
+  static SpecExecutor Shared(0);
+  return Shared;
+}
+
+SpecExecutor::SpecExecutor(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = defaultThreads();
+  Deques.reserve(NumThreads + 1);
+  for (unsigned I = 0; I < NumThreads + 1; ++I)
+    Deques.push_back(std::make_unique<TaskDeque>());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+SpecExecutor::~SpecExecutor() {
+  {
+    std::unique_lock<std::mutex> Lock(ProgressM);
+    ShuttingDown = true;
+    ++Epoch;
+  }
+  ProgressCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+bool SpecExecutor::onWorkerThread() const { return TLExecutor == this; }
+
+void SpecExecutor::submit(std::function<void()> Task) {
+  unsigned DequeIdx = onWorkerThread() ? 1 + TLWorkerIdx : 0;
+  {
+    std::unique_lock<std::mutex> Lock(Deques[DequeIdx]->M);
+    Deques[DequeIdx]->Q.push_back(std::move(Task));
+  }
+  {
+    std::unique_lock<std::mutex> Lock(ProgressM);
+    ++Pending;
+    ++Epoch;
+  }
+  ProgressCV.notify_all();
+}
+
+bool SpecExecutor::popTask(unsigned WorkerIdx, std::function<void()> &Out) {
+  // Own deque, LIFO: chained corrective attempts run depth-first.
+  if (WorkerIdx != ~0u) {
+    TaskDeque &Own = *Deques[1 + WorkerIdx];
+    std::unique_lock<std::mutex> Lock(Own.M);
+    if (!Own.Q.empty()) {
+      Out = std::move(Own.Q.back());
+      Own.Q.pop_back();
+      return true;
+    }
+  }
+  // Injection deque then other workers, FIFO (steal the oldest task —
+  // most likely the root of someone else's pending work).
+  for (size_t I = 0; I < Deques.size(); ++I) {
+    if (WorkerIdx != ~0u && I == 1 + WorkerIdx)
+      continue;
+    TaskDeque &D = *Deques[I];
+    std::unique_lock<std::mutex> Lock(D.M);
+    if (!D.Q.empty()) {
+      Out = std::move(D.Q.front());
+      D.Q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void SpecExecutor::runTask(std::function<void()> &Task) {
+  Task();
+  Task = nullptr; // release captures before signalling completion
+  {
+    std::unique_lock<std::mutex> Lock(ProgressM);
+    --Pending;
+    ++Epoch;
+  }
+  ProgressCV.notify_all();
+}
+
+bool SpecExecutor::tryRunOneTask() {
+  unsigned Idx = onWorkerThread() ? TLWorkerIdx : ~0u;
+  std::function<void()> Task;
+  if (!popTask(Idx, Task))
+    return false;
+  runTask(Task);
+  return true;
+}
+
+void SpecExecutor::waitIdle() {
+  std::unique_lock<std::mutex> Lock(ProgressM);
+  ProgressCV.wait(Lock, [this] { return Pending == 0; });
+}
+
+void SpecExecutor::workerLoop(unsigned WorkerIdx) {
+  TLExecutor = this;
+  TLWorkerIdx = WorkerIdx;
+  for (;;) {
+    // Capture the epoch *before* scanning the deques: a submit that lands
+    // after the scan bumps Epoch past Seen, so the wait below returns
+    // immediately instead of missing it.
+    uint64_t Seen;
+    {
+      std::unique_lock<std::mutex> Lock(ProgressM);
+      // Exit only when shutting down AND nothing is pending: queued tasks
+      // always run, and a still-running task may submit more.
+      if (ShuttingDown && Pending == 0)
+        return;
+      Seen = Epoch;
+    }
+    std::function<void()> Task;
+    if (popTask(WorkerIdx, Task)) {
+      runTask(Task);
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(ProgressM);
+    ProgressCV.wait(Lock, [&] {
+      return Epoch != Seen || (ShuttingDown && Pending == 0);
+    });
+  }
+}

@@ -1,0 +1,131 @@
+//===- runtime/SpecExecutor.h - Work-stealing task executor -----*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent work-stealing task executor, the substrate under the
+/// speculation runtime (the role .NET's Task Parallel Library plays for
+/// the paper's C# library).
+///
+/// Design:
+///  * one deque per worker plus one injection deque for external
+///    submitters; a worker pushes and pops its own deque LIFO (depth-first
+///    locality for chained corrective attempts) and steals FIFO from the
+///    injection deque and from other workers when its own deque is empty;
+///  * **cooperative helping**: any thread — worker or not — can call
+///    `tryRunOneTask()` to execute one queued task inline. The speculation
+///    runtime uses this so a worker that blocks inside a speculative run
+///    (waiting for a consumer, quiescing a slot, draining attempts)
+///    executes queued tasks instead of idling. This is what makes *nested*
+///    speculation on one shared executor deadlock-free: the outer
+///    iteration's body occupies a worker, but while its inner run waits it
+///    keeps draining the inner run's own attempts;
+///  * destruction drains the queues (every submitted task runs) and joins
+///    the workers, matching the old ThreadPool contract.
+///
+/// Each deque is guarded by its own mutex; the owner's push/pop and a
+/// thief's steal contend only on that one lock, never on a global one.
+/// The steal path is exercised concurrently from every thread, so builds
+/// with `-DSPECPAR_SANITIZE=thread` run `runtime_test` under TSan to guard
+/// it (the `sanitize-smoke` CTest label).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_SPECEXECUTOR_H
+#define SPECPAR_RUNTIME_SPECEXECUTOR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specpar {
+namespace rt {
+
+/// A persistent pool of worker threads with per-worker stealing deques.
+///
+/// Tasks must not throw (the speculation runtime catches user exceptions
+/// before they reach the executor).
+class SpecExecutor {
+public:
+  /// Creates an executor with \p NumThreads workers. `0` means "one worker
+  /// per hardware thread" (`std::thread::hardware_concurrency()`, at
+  /// least one).
+  explicit SpecExecutor(unsigned NumThreads = 0);
+
+  /// Drains every queued task, then joins the workers.
+  ~SpecExecutor();
+
+  SpecExecutor(const SpecExecutor &) = delete;
+  SpecExecutor &operator=(const SpecExecutor &) = delete;
+
+  /// Enqueues \p Task; never blocks. Called from a worker of this
+  /// executor, the task goes to that worker's own deque (LIFO); called
+  /// from any other thread it goes to the injection deque (FIFO).
+  void submit(std::function<void()> Task);
+
+  /// Runs one queued task inline on the calling thread, if any is
+  /// available: the calling worker's own deque first, then the injection
+  /// deque, then steals from other workers. Returns false if every deque
+  /// was empty. Safe to call from any thread; this is the helping
+  /// primitive blocked speculative runs use instead of idling.
+  bool tryRunOneTask();
+
+  /// Blocks until every task submitted so far has finished.
+  void waitIdle();
+
+  /// True iff the calling thread is one of *this* executor's workers.
+  bool onWorkerThread() const;
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// The number of workers `NumThreads == 0` resolves to: one per
+  /// hardware thread, at least one.
+  static unsigned defaultThreads();
+
+  /// The shared process-wide executor (created on first use with
+  /// `defaultThreads()` workers). Because nested speculative runs on one
+  /// executor are deadlock-free, a long-lived process can route every
+  /// speculative run through this one instance instead of spawning
+  /// transient pools.
+  static SpecExecutor &process();
+
+private:
+  struct TaskDeque {
+    std::mutex M;
+    std::deque<std::function<void()>> Q;
+  };
+
+  void workerLoop(unsigned WorkerIdx);
+  /// Pops a task for \p WorkerIdx (own LIFO, injection FIFO, steal FIFO);
+  /// ~0u means "not a worker": injection then steal only.
+  bool popTask(unsigned WorkerIdx, std::function<void()> &Out);
+  void runTask(std::function<void()> &Task);
+
+  /// Deques[0] is the injection deque; Deques[1 + w] belongs to worker w.
+  std::vector<std::unique_ptr<TaskDeque>> Deques;
+  std::vector<std::thread> Workers;
+
+  /// Progress accounting: Pending counts submitted-but-unfinished tasks;
+  /// Epoch bumps on every submit and completion so sleepers never miss a
+  /// state change.
+  std::mutex ProgressM;
+  std::condition_variable ProgressCV;
+  uint64_t Epoch = 0;
+  int64_t Pending = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_SPECEXECUTOR_H

@@ -12,7 +12,25 @@
 ///  * `Speculation::apply`    — speculative composition (`spec p g c`)
 ///  * `Speculation::iterate`  — speculative iteration (`specfold f g l u`),
 ///    in the plain form and the local initializer/finalizer form, with
-///    sequential (`Seq`) and parallel (`Par`) validation modes.
+///    sequential (`Seq`) and parallel (`Par`) validation modes;
+///  * `Speculation::iterateChunked` / `iterateChunkedLocal` — segmented
+///    speculative iteration: iterations are grouped into chunks, the
+///    loop-carried value is predicted once per *chunk*, and the chunk's
+///    iterations run sequentially inside one speculative attempt, so the
+///    per-task overhead amortizes over the chunk (the way the paper's
+///    segment experiments assume).
+///
+/// Calls are configured with a fluent `SpecConfig` and return a
+/// `SpecResult<T>` carrying the value and the run's `SpeculationStats`:
+///
+///   auto R = Speculation::iterate<int64_t>(0, N, Body, Predictor,
+///                SpecConfig().threads(8).mode(ValidationMode::Par));
+///   use(R.Value, R.Stats);
+///
+/// By default runs execute on the shared process-wide `SpecExecutor`
+/// (`SpecExecutor::process()`): the executor's cooperative helping makes
+/// *nested* speculation on one shared executor deadlock-free, so a
+/// long-lived process no longer needs transient per-run pools.
 ///
 /// Semantics mirror the paper:
 ///  * the prediction function g is indexed by the iteration and g(Low) is
@@ -32,15 +50,21 @@
 ///    implementation): speculative bodies may poll
 ///    `currentTaskCancelled()` to stop early once invalidated.
 ///
+/// The pre-redesign `Options` + `SpeculationStats*` out-param overloads
+/// remain as deprecated thin wrappers; see docs/runtime-api.md for the
+/// migration table.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPECPAR_RUNTIME_SPECULATION_H
 #define SPECPAR_RUNTIME_SPECULATION_H
 
+#include "runtime/SpecExecutor.h"
 #include "runtime/ThreadPool.h"
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -59,9 +83,11 @@ namespace rt {
 /// the prediction — validation work overlaps with speculation.
 enum class ValidationMode { Seq, Par };
 
-/// Counters reported by a speculative run.
+/// Counters reported by a speculative run. For chunked iteration the
+/// counters are at chunk granularity: one task and (after the first chunk)
+/// one validated prediction per chunk.
 struct SpeculationStats {
-  /// Speculative task executions dispatched to the pool.
+  /// Speculative task executions dispatched to the executor.
   int64_t Tasks = 0;
   /// Validated prediction points (iteration boundaries after the first).
   int64_t Predictions = 0;
@@ -71,6 +97,72 @@ struct SpeculationStats {
   int64_t Reexecutions = 0;
 
   std::string str() const;
+};
+
+/// The result of a speculative run: the computed value plus the run's
+/// statistics.
+template <typename T> struct SpecResult {
+  T Value;
+  SpeculationStats Stats;
+};
+
+/// apply() acts by side effect, so its result is statistics only.
+template <> struct SpecResult<void> { SpeculationStats Stats; };
+
+/// Fluent configuration for a speculative run.
+///
+///   SpecConfig().threads(8).mode(ValidationMode::Par).executor(&Ex)
+///
+/// Executor resolution order:
+///  1. an explicit `executor(&Ex)` wins;
+///  2. otherwise `threads(N)` with N > 0 creates a transient N-worker
+///     executor for this one run;
+///  3. otherwise (the default, equivalently `threads(0)` = "one worker
+///     per hardware thread") the run uses the shared process-wide
+///     `SpecExecutor::process()`, which has exactly
+///     `std::thread::hardware_concurrency()` workers.
+class SpecConfig {
+public:
+  SpecConfig() = default;
+
+  /// Worker threads for a transient executor; `0` (the default) means
+  /// "use std::thread::hardware_concurrency()" via the process-wide
+  /// executor. Ignored when an explicit executor is set.
+  SpecConfig &threads(unsigned N) {
+    NumThreads = N;
+    return *this;
+  }
+  /// Validation mode for iterate()/iterateChunked().
+  SpecConfig &mode(ValidationMode M) {
+    Mode = M;
+    return *this;
+  }
+  /// Runs on \p E instead of a transient or the process-wide executor.
+  /// Sharing one executor between concurrent and *nested* runs is safe:
+  /// a run that blocks inside the executor helps drain queued tasks.
+  SpecConfig &executor(SpecExecutor *E) {
+    Ex = E;
+    return *this;
+  }
+  /// apply() only — the paper's Section 3.3 termination fix: when the
+  /// producer finishes before the predictor has produced a guess, abort
+  /// the speculation (cancel predictor + speculative consumer) and run
+  /// the consumer with the real value instead of waiting.
+  SpecConfig &eagerProducerAbort(bool B = true) {
+    EagerAbort = B;
+    return *this;
+  }
+
+  unsigned threads() const { return NumThreads; }
+  ValidationMode mode() const { return Mode; }
+  SpecExecutor *executor() const { return Ex; }
+  bool eagerProducerAbort() const { return EagerAbort; }
+
+private:
+  unsigned NumThreads = 0;
+  ValidationMode Mode = ValidationMode::Seq;
+  SpecExecutor *Ex = nullptr;
+  bool EagerAbort = false;
 };
 
 /// A shared cancellation flag (cooperative, like .NET's).
@@ -107,27 +199,26 @@ private:
 
 /// True if the speculative task running on this thread has been cancelled
 /// (its prediction was invalidated). Long-running bodies should poll this —
-/// the paper's cooperative-cancellation contract.
+/// the paper's cooperative-cancellation contract. Chunked bodies may poll
+/// it between iterations of a chunk.
 bool currentTaskCancelled();
 
-/// Knobs for a speculative run.
+/// Deprecated knobs for a speculative run; superseded by `SpecConfig`.
+/// Kept so pre-redesign call sites keep compiling (see the deprecated
+/// Speculation overloads below).
 struct Options {
-  /// Worker threads used for speculation. Ignored when \p Pool is set.
+  /// Worker threads used for speculation; `0` means "use
+  /// std::thread::hardware_concurrency()". Ignored when \p Pool is set.
   unsigned NumThreads = 2;
   /// Validation mode for iterate().
   ValidationMode Mode = ValidationMode::Seq;
   /// Output statistics (optional).
   SpeculationStats *Stats = nullptr;
-  /// An existing pool to run on; if null a transient pool is created.
-  /// NOTE: nested speculation (an iterate() inside another iterate()'s
-  /// body) must not share one fixed-size pool — the outer body occupies a
-  /// worker while the inner run waits for workers, which can deadlock.
-  /// Use transient pools (Pool = nullptr) or disjoint pools when nesting.
+  /// An existing pool to run on; if null a transient executor is created.
+  /// Nested speculation on one shared pool is safe on the SpecExecutor
+  /// substrate: blocked runs help drain queued tasks instead of idling.
   ThreadPool *Pool = nullptr;
-  /// apply() only — the paper's Section 3.3 termination fix: when the
-  /// producer finishes before the predictor has produced a guess, abort
-  /// the speculation (cancel predictor + speculative consumer) and run
-  /// the consumer with the real value instead of waiting.
+  /// apply() only — see SpecConfig::eagerProducerAbort().
   bool EagerProducerAbort = false;
 };
 
@@ -161,10 +252,6 @@ template <typename T, typename U> struct IterRun {
     --Outstanding;
     CV.notify_all();
   }
-  void waitAllAttempts() {
-    std::unique_lock<std::mutex> Lock(M);
-    CV.wait(Lock, [&] { return Outstanding == 0; });
-  }
 };
 
 } // namespace detail
@@ -175,19 +262,21 @@ public:
   /// Speculative composition: computes `Consumer(Producer())`, overlapping
   /// the producer with a speculative run of `Consumer(Predictor())`.
   ///
-  /// \returns nothing; the consumer acts by side effect (like the paper's
-  /// `Action<T> consumer`). On misprediction the consumer is simply
-  /// re-executed with the correct value (no rollback). Exceptions: the
-  /// producer's exception propagates; the consumer's exception propagates
-  /// only from the validated run.
+  /// \returns the run's statistics; the consumer acts by side effect (like
+  /// the paper's `Action<T> consumer`). On misprediction the consumer is
+  /// simply re-executed with the correct value (no rollback). Exceptions:
+  /// the producer's exception propagates; the consumer's exception
+  /// propagates only from the validated run.
   template <typename T, typename ProducerFn, typename PredictorFn,
             typename ConsumerFn, typename Eq = std::equal_to<T>>
-  static void apply(ProducerFn &&Producer, PredictorFn &&Predictor,
-                    ConsumerFn &&Consumer, const Options &Opts = Options(),
-                    Eq Equal = Eq()) {
-    std::optional<ThreadPool> Transient;
-    ThreadPool &Pool = resolvePool(Opts, Transient);
-    SpeculationStats Stats;
+  static SpecResult<void> apply(ProducerFn &&Producer, PredictorFn &&Predictor,
+                                ConsumerFn &&Consumer,
+                                const SpecConfig &Cfg = SpecConfig(),
+                                Eq Equal = Eq()) {
+    std::optional<SpecExecutor> Transient;
+    SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
+    SpecResult<void> Result;
+    SpeculationStats &Stats = Result.Stats;
 
     struct SpecState {
       std::mutex M;
@@ -200,7 +289,7 @@ public:
     auto State = std::make_shared<SpecState>();
 
     ++Stats.Tasks;
-    Pool.submit([State, &Predictor, &Consumer] {
+    Ex.submit([State, &Predictor, &Consumer] {
       detail::CancelScope Scope(State->Cancel);
       std::optional<T> G;
       std::exception_ptr Err;
@@ -240,8 +329,7 @@ public:
       // Abort the speculation; nothing it did is observable under
       // rollback freedom, and its exception (if any) is suppressed.
       State->Cancel.cancel();
-      waitConsumer(*State);
-      finishStats(Opts, Stats);
+      waitConsumer(Ex, *State);
       std::rethrow_exception(ProducerErr);
     }
 
@@ -249,46 +337,44 @@ public:
     std::optional<T> Guess;
     {
       std::unique_lock<std::mutex> Lock(State->M);
-      if (Opts.EagerProducerAbort && !State->Guess &&
+      if (Cfg.eagerProducerAbort() && !State->Guess &&
           !State->ConsumerDone) {
         // Section 3.3: the producer beat the predictor — speculation can
         // no longer pay off; abort it and go non-speculative.
         Lock.unlock();
         ++Stats.Reexecutions;
         State->Cancel.cancel();
-        waitConsumer(*State);
-        finishStats(Opts, Stats);
+        waitConsumer(Ex, *State);
         Consumer(*Produced);
-        return;
+        return Result;
       }
-      State->CV.wait(Lock, [&] {
+      specWait(Ex, Lock, State->CV, [&] {
         return State->Guess.has_value() || State->ConsumerDone;
       });
       Guess = State->Guess;
     }
     ++Stats.Predictions;
     if (Guess && Equal(*Produced, *Guess)) {
-      waitConsumer(*State);
-      finishStats(Opts, Stats);
+      waitConsumer(Ex, *State);
       if (State->ConsumerErr)
         std::rethrow_exception(State->ConsumerErr);
-      return;
+      return Result;
     }
     // Misprediction: cancel the speculative consumer and re-execute with
     // the correct value (rule CHECK's `cancel tc; vc xp`).
     ++Stats.Mispredictions;
     ++Stats.Reexecutions;
     State->Cancel.cancel();
-    waitConsumer(*State);
-    finishStats(Opts, Stats);
+    waitConsumer(Ex, *State);
     Consumer(*Produced);
+    return Result;
   }
 
   /// Speculative iteration over [Low, High): computes
   ///
   ///   T Acc = Predictor(Low);
   ///   for (int64_t I = Low; I < High; ++I) Acc = Body(I, Acc);
-  ///   return Acc;
+  ///   return {Acc, Stats};
   ///
   /// with all iterations launched speculatively on predicted inputs
   /// (`Predictor(I)` is the predicted loop-carried value *entering*
@@ -299,9 +385,10 @@ public:
   /// bodies (overlap window << segment size), as in the paper.
   template <typename T, typename BodyFn, typename PredictorFn,
             typename Eq = std::equal_to<T>>
-  static T iterate(int64_t Low, int64_t High, BodyFn &&Body,
-                   PredictorFn &&Predictor, const Options &Opts = Options(),
-                   Eq Equal = Eq()) {
+  static SpecResult<T> iterate(int64_t Low, int64_t High, BodyFn &&Body,
+                               PredictorFn &&Predictor,
+                               const SpecConfig &Cfg = SpecConfig(),
+                               Eq Equal = Eq()) {
     struct NoLocal {};
     return iterateLocal<T, NoLocal>(
         Low, High, [] { return NoLocal{}; },
@@ -309,7 +396,7 @@ public:
           return Body(I, std::move(In));
         },
         std::forward<PredictorFn>(Predictor), [](int64_t, NoLocal &) {},
-        Opts, Equal);
+        Cfg, Equal);
   }
 
   /// The initializer/finalizer variant (paper Figure 3, the second
@@ -322,17 +409,153 @@ public:
   template <typename T, typename U, typename InitFn, typename BodyFn,
             typename PredictorFn, typename FinalFn,
             typename Eq = std::equal_to<T>>
-  static T iterateLocal(int64_t Low, int64_t High, InitFn &&Init,
-                        BodyFn &&Body, PredictorFn &&Predictor,
-                        FinalFn &&Finalize, const Options &Opts = Options(),
-                        Eq Equal = Eq()) {
-    if (High <= Low)
-      return Predictor(Low);
+  static SpecResult<T> iterateLocal(int64_t Low, int64_t High, InitFn &&Init,
+                                    BodyFn &&Body, PredictorFn &&Predictor,
+                                    FinalFn &&Finalize,
+                                    const SpecConfig &Cfg = SpecConfig(),
+                                    Eq Equal = Eq()) {
+    SpecResult<T> Result;
+    if (High <= Low) {
+      Result.Value = Predictor(Low);
+      return Result;
+    }
+    std::optional<SpecExecutor> Transient;
+    SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
+    Result.Value = iterateCore<T, U>(
+        Low, High, Init, Body, Predictor, Finalize, Cfg.mode(), Ex, Equal,
+        Result.Stats);
+    return Result;
+  }
 
-    std::optional<ThreadPool> Transient;
-    ThreadPool &Pool = resolvePool(Opts, Transient);
-    SpeculationStats Stats;
+  /// Chunked speculative iteration: like iterate(), but iterations are
+  /// grouped into chunks of \p ChunkSize consecutive iterations. The
+  /// loop-carried value is predicted once per chunk (`Predictor(I)` at the
+  /// chunk's first iteration I) and each chunk runs its iterations
+  /// sequentially inside a single speculative attempt, so per-task
+  /// dispatch/validation overhead amortizes over ChunkSize iterations —
+  /// the segment-granularity speculation of the paper's evaluation.
+  ///
+  /// Statistics are at chunk granularity (one task per chunk, one
+  /// validated prediction per chunk boundary). Long chunk bodies may poll
+  /// `currentTaskCancelled()` between iterations.
+  template <typename T, typename BodyFn, typename PredictorFn,
+            typename Eq = std::equal_to<T>>
+  static SpecResult<T> iterateChunked(int64_t Low, int64_t High,
+                                      int64_t ChunkSize, BodyFn &&Body,
+                                      PredictorFn &&Predictor,
+                                      const SpecConfig &Cfg = SpecConfig(),
+                                      Eq Equal = Eq()) {
+    struct NoLocal {};
+    return iterateChunkedLocal<T, NoLocal>(
+        Low, High, ChunkSize, [] { return NoLocal{}; },
+        [&Body](int64_t I, NoLocal &, T In) {
+          return Body(I, std::move(In));
+        },
+        std::forward<PredictorFn>(Predictor), [](int64_t, NoLocal &) {},
+        Cfg, Equal);
+  }
 
+  /// The initializer/finalizer form of chunked iteration: \p Init runs
+  /// once per chunk *attempt*, the chunk's iterations fill the local
+  /// state, and \p Finalize publishes it once per chunk, in chunk order,
+  /// on the calling thread, only for validated executions. \p Finalize
+  /// receives the chunk index (chunk c covers iterations
+  /// [Low + c*ChunkSize, min(High, Low + (c+1)*ChunkSize))).
+  template <typename T, typename U, typename InitFn, typename BodyFn,
+            typename PredictorFn, typename FinalFn,
+            typename Eq = std::equal_to<T>>
+  static SpecResult<T>
+  iterateChunkedLocal(int64_t Low, int64_t High, int64_t ChunkSize,
+                      InitFn &&Init, BodyFn &&Body, PredictorFn &&Predictor,
+                      FinalFn &&Finalize, const SpecConfig &Cfg = SpecConfig(),
+                      Eq Equal = Eq()) {
+    assert(ChunkSize > 0 && "chunk size must be positive");
+    if (ChunkSize < 1)
+      ChunkSize = 1;
+    const int64_t NumChunks =
+        High <= Low ? 0 : (High - Low + ChunkSize - 1) / ChunkSize;
+    return iterateLocal<T, U>(
+        0, NumChunks, std::forward<InitFn>(Init),
+        [&Body, Low, High, ChunkSize](int64_t Chunk, U &Local, T In) {
+          T Acc = std::move(In);
+          const int64_t B = Low + Chunk * ChunkSize;
+          const int64_t E = std::min(High, B + ChunkSize);
+          for (int64_t I = B; I < E; ++I)
+            Acc = Body(I, Local, std::move(Acc));
+          return Acc;
+        },
+        [&Predictor, Low, ChunkSize](int64_t Chunk) {
+          return Predictor(Low + Chunk * ChunkSize);
+        },
+        std::forward<FinalFn>(Finalize), Cfg, Equal);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Deprecated Options-based surface (thin wrappers over the SpecConfig
+  // API). Stats requested via Options::Stats are copied out of the
+  // SpecResult; ValidationMode/threads/pool translate field by field.
+  //===--------------------------------------------------------------------===//
+
+  template <typename T, typename ProducerFn, typename PredictorFn,
+            typename ConsumerFn, typename Eq = std::equal_to<T>>
+  [[deprecated("use the SpecConfig overload; stats are returned in "
+               "SpecResult")]] static void
+  apply(ProducerFn &&Producer, PredictorFn &&Predictor, ConsumerFn &&Consumer,
+        const Options &Opts, Eq Equal = Eq()) {
+    SpecResult<void> R;
+    try {
+      R = apply<T>(std::forward<ProducerFn>(Producer),
+                   std::forward<PredictorFn>(Predictor),
+                   std::forward<ConsumerFn>(Consumer), configFromOptions(Opts),
+                   Equal);
+    } catch (...) {
+      throw;
+    }
+    if (Opts.Stats)
+      *Opts.Stats = R.Stats;
+  }
+
+  template <typename T, typename BodyFn, typename PredictorFn,
+            typename Eq = std::equal_to<T>>
+  [[deprecated("use the SpecConfig overload; stats are returned in "
+               "SpecResult")]] static T
+  iterate(int64_t Low, int64_t High, BodyFn &&Body, PredictorFn &&Predictor,
+          const Options &Opts, Eq Equal = Eq()) {
+    SpecResult<T> R = iterate<T>(Low, High, std::forward<BodyFn>(Body),
+                                 std::forward<PredictorFn>(Predictor),
+                                 configFromOptions(Opts), Equal);
+    if (Opts.Stats)
+      *Opts.Stats = R.Stats;
+    return std::move(R.Value);
+  }
+
+  template <typename T, typename U, typename InitFn, typename BodyFn,
+            typename PredictorFn, typename FinalFn,
+            typename Eq = std::equal_to<T>>
+  [[deprecated("use the SpecConfig overload; stats are returned in "
+               "SpecResult")]] static T
+  iterateLocal(int64_t Low, int64_t High, InitFn &&Init, BodyFn &&Body,
+               PredictorFn &&Predictor, FinalFn &&Finalize,
+               const Options &Opts, Eq Equal = Eq()) {
+    SpecResult<T> R = iterateLocal<T, U>(
+        Low, High, std::forward<InitFn>(Init), std::forward<BodyFn>(Body),
+        std::forward<PredictorFn>(Predictor), std::forward<FinalFn>(Finalize),
+        configFromOptions(Opts), Equal);
+    if (Opts.Stats)
+      *Opts.Stats = R.Stats;
+    return std::move(R.Value);
+  }
+
+private:
+  /// The engine under every iterate flavour. Launches one speculative
+  /// attempt per iteration on \p Ex and validates them in order on the
+  /// calling thread. \p Stats is filled in place.
+  template <typename T, typename U, typename InitFn, typename BodyFn,
+            typename PredictorFn, typename FinalFn, typename Eq>
+  static T iterateCore(int64_t Low, int64_t High, InitFn &Init, BodyFn &Body,
+                       PredictorFn &Predictor, FinalFn &Finalize,
+                       ValidationMode Mode, SpecExecutor &Ex, Eq Equal,
+                       SpeculationStats &Stats) {
     const int64_t N = High - Low;
     detail::IterRun<T, U> Run;
     Run.Slots.resize(static_cast<size_t>(N));
@@ -347,9 +570,10 @@ public:
     // the slot's initial attempt to complete, so attempts of one
     // iteration never write the same locations concurrently, and skips
     // its body if it was cancelled meanwhile. (The wait is deadlock-free:
-    // the pool queue is FIFO and all initial attempts are submitted
-    // before any corrective, so by the time a corrective is dequeued its
-    // initial attempt is running or done.)
+    // it is a *helping* wait — if the initial attempt is still queued,
+    // the waiting worker executes queued tasks, eventually including that
+    // attempt itself. Work-stealing order gives no FIFO guarantee, so the
+    // helping wait is what makes the chain safe.)
     std::function<void(int64_t, detail::Attempt<T, U> *,
                        detail::Attempt<T, U> *)>
         RunAttempt = [&](int64_t Index, detail::Attempt<T, U> *A,
@@ -357,7 +581,7 @@ public:
           bool Skip = false;
           if (After) {
             std::unique_lock<std::mutex> Lock(Run.M);
-            Run.CV.wait(Lock, [&] { return After->Done; });
+            specWait(Ex, Lock, Run.CV, [&] { return After->Done; });
             Skip = A->Cancel.isCancelled();
           }
           detail::CancelScope Scope(A->Cancel);
@@ -382,8 +606,8 @@ public:
             A->Err = Err;
             A->Done = true;
             A->FinishStamp = ++Run.FinishCounter;
-            if (Opts.Mode == ValidationMode::Par && A->Out &&
-                Index + 1 < High && !A->Cancel.isCancelled()) {
+            if (Mode == ValidationMode::Par && A->Out && Index + 1 < High &&
+                !A->Cancel.isCancelled()) {
               // Parallel validation: if the next iteration's prediction
               // contradicts our (speculative) output, start a corrective
               // attempt for it now instead of waiting for the validator.
@@ -405,7 +629,7 @@ public:
             Run.CV.notify_all();
           }
           if (Chained) {
-            Pool.submit([&RunAttempt, Index, Chained, ChainAfter, &Run] {
+            Ex.submit([&RunAttempt, Index, Chained, ChainAfter, &Run] {
               RunAttempt(Index + 1, Chained, ChainAfter);
               Run.attemptFinished();
             });
@@ -432,7 +656,7 @@ public:
     }
     for (int64_t I = Low; I < High; ++I) {
       detail::Attempt<T, U> *A = InitialAttempts[static_cast<size_t>(I - Low)];
-      Pool.submit([&RunAttempt, I, A, &Run] {
+      Ex.submit([&RunAttempt, I, A, &Run] {
         RunAttempt(I, A, nullptr);
         Run.attemptFinished();
       });
@@ -463,7 +687,7 @@ public:
         for (const auto &A : Slot)
           if (!Equal(A->In, Correct))
             A->Cancel.cancel();
-        Run.CV.wait(Lock, [&] {
+        specWait(Ex, Lock, Run.CV, [&] {
           for (const auto &A : Slot)
             if (!A->Done)
               return false;
@@ -523,31 +747,67 @@ public:
       for (auto &Slot : Run.Slots)
         for (const auto &A : Slot)
           A->Cancel.cancel();
+      specWait(Ex, Lock, Run.CV, [&] { return Run.Outstanding == 0; });
     }
-    Run.waitAllAttempts();
-    finishStats(Opts, Stats);
     if (FirstValidErr)
       std::rethrow_exception(FirstValidErr);
     return Correct;
   }
 
-private:
-  static ThreadPool &resolvePool(const Options &Opts,
-                                 std::optional<ThreadPool> &Transient) {
+  static SpecExecutor &resolveExecutor(const SpecConfig &Cfg,
+                                       std::optional<SpecExecutor> &Transient) {
+    if (Cfg.executor())
+      return *Cfg.executor();
+    if (Cfg.threads() != 0) {
+      Transient.emplace(Cfg.threads());
+      return *Transient;
+    }
+    return SpecExecutor::process();
+  }
+
+  static SpecConfig configFromOptions(const Options &Opts) {
+    SpecConfig Cfg;
+    Cfg.mode(Opts.Mode).eagerProducerAbort(Opts.EagerProducerAbort);
     if (Opts.Pool)
-      return *Opts.Pool;
-    Transient.emplace(Opts.NumThreads);
-    return *Transient;
+      Cfg.executor(&Opts.Pool->executor());
+    else
+      Cfg.threads(Opts.NumThreads);
+    return Cfg;
   }
 
-  template <typename SpecState> static void waitConsumer(SpecState &State) {
+  /// Waits until \p Pred holds, helping the executor when the calling
+  /// thread is one of its workers: instead of idling it drains queued
+  /// tasks (its own deque, the injection deque, steals) between polls.
+  /// This is what makes waits *inside* speculative tasks — the corrective
+  /// pre-wait, nested runs' quiesce/drain waits — deadlock-free on a
+  /// shared executor: the tasks the wait depends on are either running on
+  /// other threads or queued, and queued tasks get executed right here.
+  /// On non-worker threads (a top-level caller) this is a plain wait; the
+  /// executor's own workers make progress independently.
+  ///
+  /// \p Lock must hold the mutex guarding \p Pred's state; it is released
+  /// while a helped task runs. The 500us timeout is a safety net for task
+  /// submissions that are not covered by a \p CV notification.
+  template <typename PredT>
+  static void specWait(SpecExecutor &Ex, std::unique_lock<std::mutex> &Lock,
+                       std::condition_variable &CV, PredT Pred) {
+    if (!Ex.onWorkerThread()) {
+      CV.wait(Lock, Pred);
+      return;
+    }
+    while (!Pred()) {
+      Lock.unlock();
+      bool Ran = Ex.tryRunOneTask();
+      Lock.lock();
+      if (!Ran)
+        CV.wait_for(Lock, std::chrono::microseconds(500), Pred);
+    }
+  }
+
+  template <typename SpecState>
+  static void waitConsumer(SpecExecutor &Ex, SpecState &State) {
     std::unique_lock<std::mutex> Lock(State.M);
-    State.CV.wait(Lock, [&] { return State.ConsumerDone; });
-  }
-
-  static void finishStats(const Options &Opts, const SpeculationStats &S) {
-    if (Opts.Stats)
-      *Opts.Stats = S;
+    specWait(Ex, Lock, State.CV, [&] { return State.ConsumerDone; });
   }
 };
 

@@ -1,4 +1,4 @@
-//===- runtime/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//===- runtime/ThreadPool.h - Compatibility shim over SpecExecutor -*- C++ -*-===//
 //
 // Part of specpar, a reproduction of "Safe Programmable Speculative
 // Parallelism" (PLDI 2010). MIT license.
@@ -6,59 +6,51 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A fixed-size thread pool, the substrate under the speculation runtime
-/// (the role .NET's Task Parallel Library plays for the paper's C#
-/// library).
+/// The pre-SpecExecutor pool interface, kept as a thin compatibility shim:
+/// a `ThreadPool` now owns a `SpecExecutor` and forwards to it. New code
+/// should use `SpecExecutor` (or just `SpecConfig`) directly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPECPAR_RUNTIME_THREADPOOL_H
 #define SPECPAR_RUNTIME_THREADPOOL_H
 
-#include <condition_variable>
-#include <deque>
+#include "runtime/SpecExecutor.h"
+
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <utility>
 
 namespace specpar {
 namespace rt {
 
-/// A fixed pool of worker threads draining a FIFO task queue.
+/// Thin forwarding wrapper over a `SpecExecutor`.
 ///
 /// Destruction waits for all queued and running tasks to finish. Tasks must
 /// not throw (the speculation runtime catches user exceptions before they
 /// reach the pool).
 class ThreadPool {
 public:
-  /// Creates a pool with \p NumThreads workers (at least one).
-  explicit ThreadPool(unsigned NumThreads);
-  ~ThreadPool();
+  /// Creates a pool with \p NumThreads workers; `0` means "one worker per
+  /// hardware thread" (`std::thread::hardware_concurrency()`, at least
+  /// one).
+  explicit ThreadPool(unsigned NumThreads) : Ex(NumThreads) {}
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
   /// Enqueues \p Task; never blocks.
-  void submit(std::function<void()> Task);
+  void submit(std::function<void()> Task) { Ex.submit(std::move(Task)); }
 
   /// Blocks until every task submitted so far has finished.
-  void waitIdle();
+  void waitIdle() { Ex.waitIdle(); }
 
-  unsigned numThreads() const {
-    return static_cast<unsigned>(Workers.size());
-  }
+  unsigned numThreads() const { return Ex.numThreads(); }
+
+  /// The executor this shim wraps.
+  SpecExecutor &executor() { return Ex; }
 
 private:
-  void workerLoop();
-
-  std::mutex Mutex;
-  std::condition_variable WorkAvailable;
-  std::condition_variable Idle;
-  std::deque<std::function<void()>> Queue;
-  std::vector<std::thread> Workers;
-  unsigned NumRunning = 0;
-  bool ShuttingDown = false;
+  SpecExecutor Ex;
 };
 
 } // namespace rt

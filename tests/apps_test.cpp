@@ -42,10 +42,8 @@ TEST_P(AppSweep, SpeculativeLexingMatchesSequential) {
     Lexer LX = makeLexer(L);
     std::string Text = generateSource(L, 11, 20000);
     std::vector<Token> Seq = sequentialLex(LX, Text);
-    rt::Options Opts;
-    Opts.Mode = C.Mode;
-    Opts.NumThreads = 3;
-    LexRun Run = speculativeLex(LX, Text, C.NumTasks, C.Overlap, Opts);
+    rt::SpecConfig Cfg = rt::SpecConfig().mode(C.Mode).threads(3);
+    LexRun Run = speculativeLex(LX, Text, C.NumTasks, C.Overlap, Cfg);
     EXPECT_EQ(Run.Tokens, Seq)
         << languageName(L) << " tasks=" << C.NumTasks
         << " overlap=" << C.Overlap;
@@ -60,11 +58,9 @@ TEST_P(AppSweep, SpeculativeHuffmanMatchesSequential) {
     Encoded E = encode(Data);
     Decoder D(E.Code);
     BitReader In(E.Bytes, E.NumBits);
-    rt::Options Opts;
-    Opts.Mode = C.Mode;
-    Opts.NumThreads = 3;
+    rt::SpecConfig Cfg = rt::SpecConfig().mode(C.Mode).threads(3);
     HuffmanRun Run =
-        speculativeDecode(D, In, C.NumTasks, C.Overlap * 8, Opts);
+        speculativeDecode(D, In, C.NumTasks, C.Overlap * 8, Cfg);
     EXPECT_EQ(Run.Decoded, Data)
         << huffmanFlavourName(F) << " tasks=" << C.NumTasks
         << " overlap=" << C.Overlap;
@@ -77,10 +73,8 @@ TEST_P(AppSweep, SpeculativeMwisMatchesSequential) {
     std::vector<int64_t> W = generatePathGraph(31, 50000, MaxW);
     std::vector<int32_t> SeqMembers;
     int64_t SeqWeight = mwis::solveSequential(W, &SeqMembers);
-    rt::Options Opts;
-    Opts.Mode = C.Mode;
-    Opts.NumThreads = 3;
-    MwisRun Run = speculativeMwis(W, C.NumTasks, C.Overlap, Opts);
+    rt::SpecConfig Cfg = rt::SpecConfig().mode(C.Mode).threads(3);
+    MwisRun Run = speculativeMwis(W, C.NumTasks, C.Overlap, Cfg);
     EXPECT_EQ(Run.Weight, SeqWeight) << "maxW=" << MaxW;
     EXPECT_EQ(Run.Members, SeqMembers) << "maxW=" << MaxW;
   }
@@ -99,8 +93,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(AppsLexing, ZeroOverlapMispredictsButStaysCorrect) {
   Lexer LX = makeLexer(Language::C);
   std::string Text = generateSource(Language::C, 3, 30000);
-  rt::Options Opts;
-  LexRun Run = speculativeLex(LX, Text, 8, /*Overlap=*/0, Opts);
+  LexRun Run = speculativeLex(LX, Text, 8, /*Overlap=*/0);
   EXPECT_EQ(Run.Tokens, sequentialLex(LX, Text));
   EXPECT_GT(Run.Stats.Mispredictions, 0)
       << "zero overlap cannot predict mid-token states";
@@ -109,7 +102,7 @@ TEST(AppsLexing, ZeroOverlapMispredictsButStaysCorrect) {
 TEST(AppsLexing, LargeOverlapEliminatesMispredictions) {
   Lexer LX = makeLexer(Language::Java);
   std::string Text = generateSource(Language::Java, 3, 30000);
-  LexRun Run = speculativeLex(LX, Text, 8, /*Overlap=*/2048, rt::Options());
+  LexRun Run = speculativeLex(LX, Text, 8, /*Overlap=*/2048);
   EXPECT_EQ(Run.Stats.Mispredictions, 0)
       << "the paper's max-speedup configuration";
 }
@@ -156,13 +149,13 @@ TEST(AppsHuffman, MeasurementProducesSaneInputsForTheSimulator) {
 
 TEST(AppsMwis, SingleTaskIsTheSequentialAlgorithm) {
   std::vector<int64_t> W = generatePathGraph(77, 10000, 50);
-  MwisRun Run = speculativeMwis(W, 1, 0, rt::Options());
+  MwisRun Run = speculativeMwis(W, 1, 0);
   EXPECT_EQ(Run.Weight, mwis::solveSequential(W, nullptr));
   EXPECT_EQ(Run.ForwardStats.Mispredictions, 0);
 }
 
 TEST(AppsMwis, EmptyGraph) {
-  MwisRun Run = speculativeMwis({}, 4, 8, rt::Options());
+  MwisRun Run = speculativeMwis({}, 4, 8);
   EXPECT_EQ(Run.Weight, 0);
   EXPECT_TRUE(Run.Members.empty());
 }

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 using namespace specpar;
 using namespace specpar::rt;
@@ -20,7 +21,93 @@ using namespace specpar::rt;
 namespace {
 
 //===----------------------------------------------------------------------===//
-// ThreadPool
+// SpecExecutor
+//===----------------------------------------------------------------------===//
+
+TEST(Executor, RunsEveryTask) {
+  SpecExecutor Ex(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Ex.submit([&Count] { ++Count; });
+  Ex.waitIdle();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(Executor, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    SpecExecutor Ex(2);
+    for (int I = 0; I < 50; ++I)
+      Ex.submit([&Count] { ++Count; });
+  }
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(Executor, ZeroThreadsMeansHardwareConcurrency) {
+  unsigned HW = std::thread::hardware_concurrency();
+  EXPECT_EQ(SpecExecutor::defaultThreads(), HW == 0 ? 1u : HW);
+  SpecExecutor Ex(0);
+  EXPECT_EQ(Ex.numThreads(), SpecExecutor::defaultThreads());
+  EXPECT_GE(Ex.numThreads(), 1u);
+}
+
+TEST(Executor, ProcessExecutorIsSharedAndHardwareWide) {
+  SpecExecutor &A = SpecExecutor::process();
+  SpecExecutor &B = SpecExecutor::process();
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(A.numThreads(), SpecExecutor::defaultThreads());
+}
+
+TEST(Executor, TasksSubmittedFromWorkersRun) {
+  SpecExecutor Ex(2);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 8; ++I)
+    Ex.submit([&] {
+      ++Count;
+      for (int J = 0; J < 4; ++J)
+        Ex.submit([&Count] { ++Count; });
+    });
+  Ex.waitIdle();
+  EXPECT_EQ(Count.load(), 8 * 5);
+}
+
+TEST(Executor, WorkerHelpingDrainsOwnSubtasks) {
+  // The nested-speculation mechanism in miniature: with a single worker,
+  // a task that blocks until its subtask completes can only make progress
+  // by helping — tryRunOneTask() must execute the subtask inline.
+  SpecExecutor Ex(1);
+  std::atomic<bool> Done{false};
+  Ex.submit([&] {
+    Ex.submit([&Done] { Done = true; });
+    while (!Done.load())
+      Ex.tryRunOneTask();
+  });
+  Ex.waitIdle();
+  EXPECT_TRUE(Done.load());
+}
+
+TEST(Executor, ExternalThreadCanHelp) {
+  SpecExecutor Ex(1);
+  std::atomic<bool> InWorker{false}, Release{false}, Helped{false};
+  // Occupy the single worker, then verify an external thread can steal
+  // and run the next queued task inline.
+  Ex.submit([&] {
+    InWorker = true;
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  while (!InWorker.load())
+    std::this_thread::yield();
+  Ex.submit([&Helped] { Helped = true; });
+  EXPECT_TRUE(Ex.tryRunOneTask());
+  EXPECT_TRUE(Helped.load());
+  EXPECT_FALSE(Ex.onWorkerThread());
+  Release = true;
+  Ex.waitIdle();
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool (compatibility shim)
 //===----------------------------------------------------------------------===//
 
 TEST(ThreadPool, RunsEveryTask) {
@@ -42,9 +129,9 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(Count.load(), 50);
 }
 
-TEST(ThreadPool, ZeroThreadsClampsToOne) {
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
   ThreadPool Pool(0);
-  EXPECT_EQ(Pool.numThreads(), 1u);
+  EXPECT_EQ(Pool.numThreads(), SpecExecutor::defaultThreads());
   std::atomic<bool> Ran{false};
   Pool.submit([&Ran] { Ran = true; });
   Pool.waitIdle();
@@ -58,31 +145,25 @@ TEST(ThreadPool, ZeroThreadsClampsToOne) {
 TEST(Apply, CorrectPredictionRunsConsumerOnce) {
   std::atomic<int> ConsumerRuns{0};
   std::atomic<int> Seen{0};
-  SpeculationStats Stats;
-  Options Opts;
-  Opts.Stats = &Stats;
-  Speculation::apply<int>([] { return 42; }, [] { return 42; },
-                          [&](int V) {
-                            ++ConsumerRuns;
-                            Seen = V;
-                          },
-                          Opts);
+  SpecResult<void> R = Speculation::apply<int>([] { return 42; },
+                                               [] { return 42; },
+                                               [&](int V) {
+                                                 ++ConsumerRuns;
+                                                 Seen = V;
+                                               });
   EXPECT_EQ(ConsumerRuns.load(), 1);
   EXPECT_EQ(Seen.load(), 42);
-  EXPECT_EQ(Stats.Mispredictions, 0);
+  EXPECT_EQ(R.Stats.Mispredictions, 0);
 }
 
 TEST(Apply, MispredictionReexecutesConsumerWithCorrectValue) {
   std::atomic<int> LastSeen{-1};
-  SpeculationStats Stats;
-  Options Opts;
-  Opts.Stats = &Stats;
-  Speculation::apply<int>([] { return 7; }, [] { return 99; },
-                          [&](int V) { LastSeen = V; }, Opts);
+  SpecResult<void> R = Speculation::apply<int>(
+      [] { return 7; }, [] { return 99; }, [&](int V) { LastSeen = V; });
   // The final (validated) consumer execution uses the produced value.
   EXPECT_EQ(LastSeen.load(), 7);
-  EXPECT_EQ(Stats.Mispredictions, 1);
-  EXPECT_EQ(Stats.Reexecutions, 1);
+  EXPECT_EQ(R.Stats.Mispredictions, 1);
+  EXPECT_EQ(R.Stats.Reexecutions, 1);
 }
 
 TEST(Apply, ProducerExceptionPropagates) {
@@ -128,11 +209,7 @@ TEST(Apply, EagerProducerAbortGoesNonSpeculative) {
   // enabled, apply() aborts the speculation instead of waiting for it.
   std::atomic<int> Seen{0};
   std::atomic<bool> PredictorCancelled{false};
-  SpeculationStats Stats;
-  Options Opts;
-  Opts.Stats = &Stats;
-  Opts.EagerProducerAbort = true;
-  Speculation::apply<int>(
+  SpecResult<void> R = Speculation::apply<int>(
       [] { return 7; },
       [&PredictorCancelled]() -> int {
         // Busy predictor that honours cooperative cancellation.
@@ -143,14 +220,50 @@ TEST(Apply, EagerProducerAbortGoesNonSpeculative) {
           }
         return 7;
       },
-      [&Seen](int V) { Seen = V; }, Opts);
+      [&Seen](int V) { Seen = V; }, SpecConfig().eagerProducerAbort());
   EXPECT_EQ(Seen.load(), 7);
   // Either the producer truly beat the predictor (the common case: one
   // re-execution, predictor observed the cancel) or the predictor
   // finished first and normal validation ran; both must be correct.
-  if (Stats.Reexecutions > 0) {
+  if (R.Stats.Reexecutions > 0) {
     EXPECT_TRUE(PredictorCancelled.load());
   }
+}
+
+TEST(Apply, EagerProducerAbortOnSharedExecutor) {
+  // The same Section 3.3 semantics must hold when the run shares a
+  // persistent executor instead of spawning a transient one.
+  SpecExecutor Ex(2);
+  SpecConfig Cfg = SpecConfig().executor(&Ex).eagerProducerAbort();
+  for (int Round = 0; Round < 3; ++Round) {
+    std::atomic<int> Seen{0};
+    std::atomic<bool> PredictorCancelled{false};
+    SpecResult<void> R = Speculation::apply<int>(
+        [] { return 7; },
+        [&PredictorCancelled]() -> int {
+          for (int Spin = 0; Spin < 200000000; ++Spin)
+            if (currentTaskCancelled()) {
+              PredictorCancelled = true;
+              return -1;
+            }
+          return 7;
+        },
+        [&Seen](int V) { Seen = V; }, Cfg);
+    EXPECT_EQ(Seen.load(), 7);
+    if (R.Stats.Reexecutions > 0)
+      EXPECT_TRUE(PredictorCancelled.load());
+  }
+  // Exception semantics are unchanged on a shared executor.
+  EXPECT_THROW(Speculation::apply<int>(
+                   []() -> int { throw std::runtime_error("producer"); },
+                   [] { return 0; }, [](int) {}, Cfg),
+               std::runtime_error);
+  EXPECT_THROW(Speculation::apply<int>([] { return 1; }, [] { return 1; },
+                                       [](int) {
+                                         throw std::runtime_error("consumer");
+                                       },
+                                       Cfg),
+               std::runtime_error);
 }
 
 TEST(Apply, UnitEncodingOfParallelComposition) {
@@ -182,17 +295,18 @@ int64_t sequentialFold(int64_t Low, int64_t High, BodyFn Body, PredFn Pred) {
 }
 
 TEST(Iterate, EmptyRangeReturnsInitialValue) {
-  int64_t R = Speculation::iterate<int64_t>(
+  auto R = Speculation::iterate<int64_t>(
       5, 5, [](int64_t, int64_t A) { return A + 1; },
       [](int64_t) { return int64_t(123); });
-  EXPECT_EQ(R, 123);
+  EXPECT_EQ(R.Value, 123);
+  EXPECT_EQ(R.Stats.Tasks, 0);
 }
 
 TEST(Iterate, SingleIteration) {
-  int64_t R = Speculation::iterate<int64_t>(
+  auto R = Speculation::iterate<int64_t>(
       0, 1, [](int64_t I, int64_t A) { return A + I + 10; },
       [](int64_t) { return int64_t(5); });
-  EXPECT_EQ(R, 15);
+  EXPECT_EQ(R.Value, 15);
 }
 
 struct IterateCase {
@@ -225,17 +339,12 @@ TEST_P(IterateModes, MatchesSequentialFoldUnderAnyPredictor) {
               ? TruthAt[static_cast<size_t>(I)]
               : PredRng.nextInRange(0, 100002);
 
-    Options Opts;
-    Opts.Mode = C.Mode;
-    Opts.NumThreads = C.Threads;
-    SpeculationStats Stats;
-    Opts.Stats = &Stats;
-    int64_t Got = Speculation::iterate<int64_t>(
+    auto Got = Speculation::iterate<int64_t>(
         0, N, Body,
         [&Predicted](int64_t I) { return Predicted[static_cast<size_t>(I)]; },
-        Opts);
-    EXPECT_EQ(Got, Truth) << "N=" << N;
-    EXPECT_EQ(Stats.Predictions, N - 1);
+        SpecConfig().mode(C.Mode).threads(C.Threads));
+    EXPECT_EQ(Got.Value, Truth) << "N=" << N;
+    EXPECT_EQ(Got.Stats.Predictions, N - 1);
   }
 }
 
@@ -253,36 +362,28 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Iterate, PerfectPredictionReportsNoMispredictions) {
   // Truth: acc_i = i(i+1)/2 starting at 0.
   auto Pred = [](int64_t I) { return I * (I - 1) / 2; };
-  SpeculationStats Stats;
-  Options Opts;
-  Opts.Stats = &Stats;
-  Opts.NumThreads = 4;
-  int64_t R = Speculation::iterate<int64_t>(
-      1, 20, [](int64_t I, int64_t A) { return A + I; }, Pred, Opts);
-  EXPECT_EQ(R, 190);
-  EXPECT_EQ(Stats.Mispredictions, 0);
-  EXPECT_EQ(Stats.Reexecutions, 0);
-  EXPECT_EQ(Stats.Tasks, 19);
+  auto R = Speculation::iterate<int64_t>(
+      1, 20, [](int64_t I, int64_t A) { return A + I; }, Pred,
+      SpecConfig().threads(4));
+  EXPECT_EQ(R.Value, 190);
+  EXPECT_EQ(R.Stats.Mispredictions, 0);
+  EXPECT_EQ(R.Stats.Reexecutions, 0);
+  EXPECT_EQ(R.Stats.Tasks, 19);
 }
 
 TEST(Iterate, AllWrongPredictionsStillCorrectAndCountsReexecutions) {
-  SpeculationStats Stats;
-  Options Opts;
-  Opts.Stats = &Stats;
-  int64_t R = Speculation::iterate<int64_t>(
+  auto R = Speculation::iterate<int64_t>(
       0, 10, [](int64_t, int64_t A) { return A + 1; },
-      [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-999); }, Opts);
-  EXPECT_EQ(R, 10);
-  EXPECT_EQ(Stats.Mispredictions, 9);
-  EXPECT_EQ(Stats.Reexecutions, 9);
+      [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-999); });
+  EXPECT_EQ(R.Value, 10);
+  EXPECT_EQ(R.Stats.Mispredictions, 9);
+  EXPECT_EQ(R.Stats.Reexecutions, 9);
 }
 
 TEST(Iterate, SequentialExceptionSemantics) {
   // Iteration 3 (valid) throws; its exception must surface even though
   // later iterations were speculatively executed.
   std::atomic<int> BodiesRun{0};
-  Options Opts;
-  Opts.NumThreads = 4;
   try {
     Speculation::iterate<int64_t>(
         0, 10,
@@ -292,7 +393,7 @@ TEST(Iterate, SequentialExceptionSemantics) {
             throw std::runtime_error("iteration 3");
           return A + 1;
         },
-        [](int64_t I) { return I; }, Opts);
+        [](int64_t I) { return I; }, SpecConfig().threads(4));
     FAIL() << "expected an exception";
   } catch (const std::runtime_error &E) {
     EXPECT_STREQ(E.what(), "iteration 3");
@@ -302,17 +403,16 @@ TEST(Iterate, SequentialExceptionSemantics) {
 TEST(Iterate, MispredictedIterationExceptionSuppressed) {
   // Iteration 2's *speculative* run (wrong input 777) throws; the valid
   // re-execution succeeds, so no exception escapes.
-  Options Opts;
-  Opts.NumThreads = 4;
-  int64_t R = Speculation::iterate<int64_t>(
+  auto R = Speculation::iterate<int64_t>(
       0, 5,
       [](int64_t, int64_t A) {
         if (A == 777)
           throw std::runtime_error("speculative garbage");
         return A + 1;
       },
-      [](int64_t I) { return I == 2 ? int64_t(777) : I; }, Opts);
-  EXPECT_EQ(R, 5);
+      [](int64_t I) { return I == 2 ? int64_t(777) : I; },
+      SpecConfig().threads(4));
+  EXPECT_EQ(R.Value, 5);
 }
 
 TEST(Iterate, CustomEqualityRelaxesValidation) {
@@ -320,22 +420,17 @@ TEST(Iterate, CustomEqualityRelaxesValidation) {
   // the true value are accepted (the paper's relaxed-Equals use case).
   // With a body that only depends on the input mod 10, this is safe.
   auto EqMod10 = [](int64_t A, int64_t B) { return A % 10 == B % 10; };
-  SpeculationStats Stats;
-  Options Opts;
-  Opts.Stats = &Stats;
-  int64_t R = Speculation::iterate<int64_t>(
+  auto R = Speculation::iterate<int64_t>(
       0, 6, [](int64_t, int64_t A) { return (A + 3) % 10; },
-      [](int64_t I) { return (3 * I) % 10 + 10 * I; }, Opts, EqMod10);
-  EXPECT_EQ(R % 10, (6 * 3) % 10);
-  EXPECT_EQ(Stats.Mispredictions, 0) << "all predictions correct modulo 10";
+      [](int64_t I) { return (3 * I) % 10 + 10 * I; }, SpecConfig(), EqMod10);
+  EXPECT_EQ(R.Value % 10, (6 * 3) % 10);
+  EXPECT_EQ(R.Stats.Mispredictions, 0) << "all predictions correct modulo 10";
 }
 
 TEST(Iterate, CooperativeCancellationIsVisibleToBodies) {
   // A mispredicted long-running body observes cancellation and exits
   // early. We assert that cancellation is eventually signalled.
   std::atomic<bool> SawCancel{false};
-  Options Opts;
-  Opts.NumThreads = 2;
   Speculation::iterate<int64_t>(
       0, 3,
       [&SawCancel](int64_t I, int64_t A) {
@@ -351,19 +446,31 @@ TEST(Iterate, CooperativeCancellationIsVisibleToBodies) {
         }
         return A + 1;
       },
-      [](int64_t I) { return I == 2 ? int64_t(555) : I; }, Opts);
+      [](int64_t I) { return I == 2 ? int64_t(555) : I; },
+      SpecConfig().threads(2));
   EXPECT_TRUE(SawCancel.load());
 }
 
-TEST(Iterate, SharedPoolCanBeReused) {
-  ThreadPool Pool(3);
-  Options Opts;
-  Opts.Pool = &Pool;
+TEST(Iterate, SharedExecutorCanBeReused) {
+  SpecExecutor Ex(3);
+  SpecConfig Cfg = SpecConfig().executor(&Ex);
   for (int Round = 0; Round < 5; ++Round) {
-    int64_t R = Speculation::iterate<int64_t>(
+    auto R = Speculation::iterate<int64_t>(
         0, 8, [](int64_t I, int64_t A) { return A + I; },
-        [](int64_t I) { return I * (I - 1) / 2; }, Opts);
-    EXPECT_EQ(R, 28);
+        [](int64_t I) { return I * (I - 1) / 2; }, Cfg);
+    EXPECT_EQ(R.Value, 28);
+  }
+}
+
+TEST(Iterate, SharedPoolShimCanBeReused) {
+  // The ThreadPool compatibility shim still routes runs onto its executor.
+  ThreadPool Pool(3);
+  SpecConfig Cfg = SpecConfig().executor(&Pool.executor());
+  for (int Round = 0; Round < 5; ++Round) {
+    auto R = Speculation::iterate<int64_t>(
+        0, 8, [](int64_t I, int64_t A) { return A + I; },
+        [](int64_t I) { return I * (I - 1) / 2; }, Cfg);
+    EXPECT_EQ(R.Value, 28);
   }
 }
 
@@ -375,9 +482,6 @@ TEST(Iterate, SharedSlotWritesFinalValuesAreValidOnesUnderParMode) {
   for (int Trial = 0; Trial < 10; ++Trial) {
     const int64_t N = 12;
     std::vector<int64_t> Out(static_cast<size_t>(N), -1);
-    Options Opts;
-    Opts.Mode = ValidationMode::Par;
-    Opts.NumThreads = 4;
     uint64_t Salt = R.next() % 1000;
     auto Body = [&Out, Salt](int64_t I, int64_t A) {
       int64_t V = (A * 7 + I + static_cast<int64_t>(Salt)) % 10007;
@@ -389,9 +493,10 @@ TEST(Iterate, SharedSlotWritesFinalValuesAreValidOnesUnderParMode) {
     for (int64_t I = 0; I < N; ++I)
       Pred[static_cast<size_t>(I)] =
           I == 0 ? 1 : PredRng.nextInRange(0, 10006);
-    int64_t Got = Speculation::iterate<int64_t>(
+    auto Got = Speculation::iterate<int64_t>(
         0, N, Body,
-        [&Pred](int64_t I) { return Pred[static_cast<size_t>(I)]; }, Opts);
+        [&Pred](int64_t I) { return Pred[static_cast<size_t>(I)]; },
+        SpecConfig().mode(ValidationMode::Par).threads(4));
     // Sequential reference.
     std::vector<int64_t> Ref(static_cast<size_t>(N));
     int64_t A = 1;
@@ -399,9 +504,208 @@ TEST(Iterate, SharedSlotWritesFinalValuesAreValidOnesUnderParMode) {
       A = (A * 7 + I + static_cast<int64_t>(Salt)) % 10007;
       Ref[static_cast<size_t>(I)] = A;
     }
-    EXPECT_EQ(Got, Ref.back());
+    EXPECT_EQ(Got.Value, Ref.back());
     EXPECT_EQ(Out, Ref) << "slot contents must come from valid executions";
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Nested speculation on a shared executor (the former deadlock)
+//===----------------------------------------------------------------------===//
+
+TEST(Nested, IterateInsideIterateOnOneSharedExecutorCompletes) {
+  // Regression: on the old fixed FIFO pool this deadlocked — the outer
+  // bodies occupied every worker while their inner runs' attempts sat
+  // queued forever. With help-while-waiting the blocked outer bodies
+  // drain the inner attempts themselves.
+  SpecExecutor Ex(2);
+  SpecConfig Cfg = SpecConfig().executor(&Ex);
+  auto R = Speculation::iterate<int64_t>(
+      0, 6,
+      [&](int64_t I, int64_t Acc) {
+        auto Inner = Speculation::iterate<int64_t>(
+            0, 5, [I](int64_t J, int64_t A) { return A + I * J; },
+            [I](int64_t J) { return I * J * (J - 1) / 2; }, Cfg);
+        return Acc + Inner.Value;
+      },
+      [](int64_t I) {
+        // Closed form of the outer accumulator: sum_{k<I} 10k.
+        return 10 * I * (I - 1) / 2;
+      },
+      Cfg);
+  EXPECT_EQ(R.Value, 150);
+}
+
+TEST(Nested, IterateInsideIterateOnSingleWorkerExecutorCompletes) {
+  // The worst case: one worker serves both nesting levels, so every inner
+  // attempt *must* be executed by a helping wait somewhere.
+  SpecExecutor Ex(1);
+  SpecConfig Cfg = SpecConfig().executor(&Ex);
+  auto R = Speculation::iterate<int64_t>(
+      0, 6,
+      [&](int64_t I, int64_t Acc) {
+        auto Inner = Speculation::iterate<int64_t>(
+            0, 5, [I](int64_t J, int64_t A) { return A + I * J; },
+            [I](int64_t J) { return I * J * (J - 1) / 2; }, Cfg);
+        return Acc + Inner.Value;
+      },
+      [](int64_t I) { return 10 * I * (I - 1) / 2; }, Cfg);
+  EXPECT_EQ(R.Value, 150);
+}
+
+TEST(Nested, MispredictedNestedRunsOnSharedExecutorStayCorrect) {
+  // Nesting plus forced mispredictions at both levels and Par-mode
+  // chaining — the stress combination for helping waits.
+  SpecExecutor Ex(2);
+  SpecConfig Cfg =
+      SpecConfig().executor(&Ex).mode(ValidationMode::Par);
+  auto R = Speculation::iterate<int64_t>(
+      0, 5,
+      [&](int64_t I, int64_t Acc) {
+        auto Inner = Speculation::iterate<int64_t>(
+            0, 4, [](int64_t, int64_t A) { return A + 1; },
+            [](int64_t J) { return J == 0 ? int64_t(0) : int64_t(-9); },
+            Cfg);
+        return Acc + Inner.Value; // always +4
+      },
+      [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-7); }, Cfg);
+  EXPECT_EQ(R.Value, 20);
+}
+
+TEST(Nested, NestedRunsOnProcessExecutorByDefault) {
+  // Default-configured runs share SpecExecutor::process(); nesting them
+  // must complete regardless of the machine's core count.
+  auto R = Speculation::iterate<int64_t>(
+      0, 4,
+      [](int64_t I, int64_t Acc) {
+        auto Inner = Speculation::iterate<int64_t>(
+            0, 3, [I](int64_t J, int64_t A) { return A + I + J; },
+            [I](int64_t J) { return I * J + J * (J - 1) / 2; });
+        return Acc + Inner.Value;
+      },
+      [](int64_t I) { return 3 * I * (I - 1) / 2 + 3 * I; });
+  // Inner(I) = 3I + 3; sum over I<4 = 3*6 + 12 = 30... computed: each
+  // inner = sum_{J<3}(I+J) = 3I + 3.
+  EXPECT_EQ(R.Value, 3 * 6 + 4 * 3);
+}
+
+TEST(Nested, ApplyInsideIterateOnSharedExecutorCompletes) {
+  SpecExecutor Ex(2);
+  SpecConfig Cfg = SpecConfig().executor(&Ex);
+  auto R = Speculation::iterate<int64_t>(
+      0, 6,
+      [&](int64_t I, int64_t Acc) {
+        int64_t Got = 0;
+        Speculation::apply<int64_t>(
+            [I] { return I * 2; }, [I] { return I * 2; },
+            [&Got](int64_t V) { Got = V; }, Cfg);
+        return Acc + Got;
+      },
+      [](int64_t I) { return I * (I - 1); }, Cfg);
+  EXPECT_EQ(R.Value, 30);
+}
+
+//===----------------------------------------------------------------------===//
+// Speculation::iterateChunked
+//===----------------------------------------------------------------------===//
+
+TEST(IterateChunked, MatchesSequentialFoldWithPerfectChunkPredictions) {
+  // acc' = acc + i starting at 0: truth entering i is i(i-1)/2.
+  auto Body = [](int64_t I, int64_t A) { return A + I; };
+  auto Pred = [](int64_t I) { return I * (I - 1) / 2; };
+  auto R = Speculation::iterateChunked<int64_t>(0, 40, 8, Body, Pred,
+                                                SpecConfig().threads(4));
+  EXPECT_EQ(R.Value, 40 * 39 / 2);
+  // Chunk-granular stats: 5 chunks, one prediction per boundary.
+  EXPECT_EQ(R.Stats.Tasks, 5);
+  EXPECT_EQ(R.Stats.Predictions, 4);
+  EXPECT_EQ(R.Stats.Mispredictions, 0);
+  EXPECT_EQ(R.Stats.Reexecutions, 0);
+}
+
+TEST(IterateChunked, ForcedMispredictionsStillCorrect) {
+  // Garbage predictions at every chunk boundary: every chunk past the
+  // first re-executes, and the result still matches the sequential fold.
+  auto Body = [](int64_t I, int64_t A) { return (A * 31 + I) % 100003; };
+  auto Pred = [](int64_t I) { return I == 0 ? int64_t(1) : int64_t(-7); };
+  int64_t Truth = sequentialFold(0, 37, Body, Pred);
+  for (ValidationMode Mode : {ValidationMode::Seq, ValidationMode::Par}) {
+    auto R = Speculation::iterateChunked<int64_t>(
+        0, 37, 5, Body, Pred, SpecConfig().threads(4).mode(Mode));
+    EXPECT_EQ(R.Value, Truth);
+    EXPECT_GE(R.Stats.Tasks, 8); // ceil(37/5) = 8 chunks (Par may chain more)
+    EXPECT_EQ(R.Stats.Predictions, 7);
+    EXPECT_EQ(R.Stats.Mispredictions, 7);
+    EXPECT_GE(R.Stats.Reexecutions, Mode == ValidationMode::Seq ? 7 : 0);
+  }
+}
+
+TEST(IterateChunked, ChunkSizeLargerThanRangeIsOneTask) {
+  auto R = Speculation::iterateChunked<int64_t>(
+      3, 9, 100, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t) { return int64_t(0); });
+  EXPECT_EQ(R.Value, 3 + 4 + 5 + 6 + 7 + 8);
+  EXPECT_EQ(R.Stats.Tasks, 1);
+  EXPECT_EQ(R.Stats.Predictions, 0);
+}
+
+TEST(IterateChunked, EmptyRangeReturnsInitialValue) {
+  auto R = Speculation::iterateChunked<int64_t>(
+      5, 5, 4, [](int64_t, int64_t A) { return A + 1; },
+      [](int64_t) { return int64_t(77); });
+  EXPECT_EQ(R.Value, 77);
+  EXPECT_EQ(R.Stats.Tasks, 0);
+}
+
+TEST(IterateChunked, RandomizedAgainstSequentialFold) {
+  Rng R(0xC0FFEE);
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    int64_t N = 1 + static_cast<int64_t>(R.nextBelow(70));
+    int64_t ChunkSize = 1 + static_cast<int64_t>(R.nextBelow(9));
+    uint64_t Salt = R.next() % 997;
+    auto Body = [Salt](int64_t I, int64_t A) {
+      int64_t X = A ^ (I * 2654435761u);
+      X = (X % 2 == 0) ? X / 2 + static_cast<int64_t>(Salt) : 3 * X + 1;
+      return X % 1000003;
+    };
+    auto Pred = [&](int64_t I) {
+      return I == 0 ? int64_t(7) : static_cast<int64_t>((I * Salt) % 1000003);
+    };
+    int64_t Truth = sequentialFold(0, N, Body, Pred);
+    auto Got = Speculation::iterateChunked<int64_t>(
+        0, N, ChunkSize, Body, Pred,
+        SpecConfig()
+            .threads(1 + static_cast<unsigned>(R.nextBelow(4)))
+            .mode(R.nextBool(0.5) ? ValidationMode::Seq
+                                  : ValidationMode::Par));
+    EXPECT_EQ(Got.Value, Truth) << "N=" << N << " ChunkSize=" << ChunkSize;
+  }
+}
+
+TEST(IterateChunkedLocal, FinalizersRunPerChunkInOrder) {
+  // Chunk locals accumulate per-iteration products; finalizers must fire
+  // once per chunk, in chunk order, with the validated local state.
+  std::vector<int64_t> PublishedChunks;
+  std::vector<int64_t> Published;
+  auto R = Speculation::iterateChunkedLocal<int64_t, std::vector<int64_t>>(
+      0, 10, 4, [] { return std::vector<int64_t>(); },
+      [](int64_t I, std::vector<int64_t> &Local, int64_t In) {
+        Local.push_back(I * 100 + In);
+        return In + 1;
+      },
+      [](int64_t I) { return (I % 8 == 4) ? int64_t(-5) : I; },
+      [&](int64_t Chunk, std::vector<int64_t> &Local) {
+        PublishedChunks.push_back(Chunk);
+        for (int64_t V : Local)
+          Published.push_back(V);
+      },
+      SpecConfig().threads(3));
+  EXPECT_EQ(R.Value, 10);
+  EXPECT_EQ(PublishedChunks, (std::vector<int64_t>{0, 1, 2}));
+  ASSERT_EQ(Published.size(), 10u);
+  for (int64_t I = 0; I < 10; ++I)
+    EXPECT_EQ(Published[static_cast<size_t>(I)], I * 100 + I)
+        << "finalized local state must come from the validated execution";
 }
 
 //===----------------------------------------------------------------------===//
@@ -410,11 +714,9 @@ TEST(Iterate, SharedSlotWritesFinalValuesAreValidOnesUnderParMode) {
 
 TEST(IterateLocal, FinalizersRunInOrderExactlyOncePerIteration) {
   std::vector<int64_t> Published;
-  Options Opts;
-  Opts.NumThreads = 4;
   // Each iteration computes locally; only validated locals get published.
   // Predictions for odd iterations are wrong, forcing re-executions.
-  int64_t R = Speculation::iterateLocal<int64_t, std::vector<int64_t>>(
+  auto R = Speculation::iterateLocal<int64_t, std::vector<int64_t>>(
       0, 12, [] { return std::vector<int64_t>(); },
       [](int64_t I, std::vector<int64_t> &Local, int64_t In) {
         Local.push_back(I * 100 + In);
@@ -425,8 +727,8 @@ TEST(IterateLocal, FinalizersRunInOrderExactlyOncePerIteration) {
         for (int64_t V : Local)
           Published.push_back(V);
       },
-      Opts);
-  EXPECT_EQ(R, 12);
+      SpecConfig().threads(4));
+  EXPECT_EQ(R.Value, 12);
   ASSERT_EQ(Published.size(), 12u);
   for (int64_t I = 0; I < 12; ++I)
     EXPECT_EQ(Published[static_cast<size_t>(I)], I * 100 + I)
@@ -434,21 +736,23 @@ TEST(IterateLocal, FinalizersRunInOrderExactlyOncePerIteration) {
 }
 
 TEST(Iterate, NestedSpeculationWithTransientPools) {
-  // Nested iterate: the outer loop's body runs a whole inner speculative
-  // loop. Each level uses its own (transient) pool — see Options::Pool.
-  int64_t R = Speculation::iterate<int64_t>(
+  // Nested iterate with each level on its own transient executor (the
+  // pre-SpecExecutor workaround) must keep working.
+  auto R = Speculation::iterate<int64_t>(
       0, 6,
       [](int64_t I, int64_t Acc) {
-        int64_t Inner = Speculation::iterate<int64_t>(
+        auto Inner = Speculation::iterate<int64_t>(
             0, 5, [I](int64_t J, int64_t A) { return A + I * J; },
-            [I](int64_t J) { return I * J * (J - 1) / 2; });
-        return Acc + Inner;
+            [I](int64_t J) { return I * J * (J - 1) / 2; },
+            SpecConfig().threads(2));
+        return Acc + Inner.Value;
       },
       [](int64_t I) {
         // Closed form of the outer accumulator: sum_{k<I} 10k.
         return 10 * I * (I - 1) / 2;
-      });
-  EXPECT_EQ(R, 150);
+      },
+      SpecConfig().threads(2));
+  EXPECT_EQ(R.Value, 150);
 }
 
 TEST(IterateLocal, FinalizerExceptionPropagates) {
@@ -463,6 +767,50 @@ TEST(IterateLocal, FinalizerExceptionPropagates) {
           })),
       std::runtime_error);
 }
+
+//===----------------------------------------------------------------------===//
+// Deprecated Options-based shims
+//===----------------------------------------------------------------------===//
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedOptions, IterateShimMatchesNewApiAndFillsStats) {
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.NumThreads = 2;
+  Opts.Stats = &Stats;
+  int64_t R = Speculation::iterate<int64_t>(
+      0, 8, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t I) { return I * (I - 1) / 2; }, Opts);
+  EXPECT_EQ(R, 28);
+  EXPECT_EQ(Stats.Tasks, 8);
+  EXPECT_EQ(Stats.Predictions, 7);
+  EXPECT_EQ(Stats.Mispredictions, 0);
+}
+
+TEST(DeprecatedOptions, ApplyShimMatchesNewApiAndFillsStats) {
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.Stats = &Stats;
+  std::atomic<int> Seen{0};
+  Speculation::apply<int>([] { return 7; }, [] { return 99; },
+                          [&](int V) { Seen = V; }, Opts);
+  EXPECT_EQ(Seen.load(), 7);
+  EXPECT_EQ(Stats.Mispredictions, 1);
+}
+
+TEST(DeprecatedOptions, PoolFieldRoutesOntoItsExecutor) {
+  ThreadPool Pool(2);
+  Options Opts;
+  Opts.Pool = &Pool;
+  int64_t R = Speculation::iterate<int64_t>(
+      0, 8, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t I) { return I * (I - 1) / 2; }, Opts);
+  EXPECT_EQ(R, 28);
+}
+
+#pragma GCC diagnostic pop
 
 /// Property sweep across seeds: a fold with data-dependent control flow,
 /// a half-accurate predictor, random thread counts and both modes.
@@ -482,10 +830,12 @@ TEST_P(IterateFuzz, AgreesWithSequentialFold) {
       return I == 0 ? int64_t(7) : static_cast<int64_t>((I * Salt) % 1000003);
     };
     int64_t Truth = sequentialFold(0, N, Body, Pred);
-    Options Opts;
-    Opts.Mode = R.nextBool(0.5) ? ValidationMode::Seq : ValidationMode::Par;
-    Opts.NumThreads = 1 + static_cast<unsigned>(R.nextBelow(6));
-    EXPECT_EQ(Speculation::iterate<int64_t>(0, N, Body, Pred, Opts), Truth);
+    SpecConfig Cfg =
+        SpecConfig()
+            .mode(R.nextBool(0.5) ? ValidationMode::Seq : ValidationMode::Par)
+            .threads(1 + static_cast<unsigned>(R.nextBelow(6)));
+    EXPECT_EQ(Speculation::iterate<int64_t>(0, N, Body, Pred, Cfg).Value,
+              Truth);
   }
 }
 
