@@ -21,7 +21,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/SpeculativeHuffman.h"
+#include "runtime/Telemetry.h"
 #include "simsched/SimSched.h"
+#include "support/CommandLine.h"
 #include "workloads/Datasets.h"
 
 #include <cstdio>
@@ -31,7 +33,15 @@ using namespace specpar::apps;
 using namespace specpar::huffman;
 using namespace specpar::workloads;
 
-int main() {
+int main(int Argc, char **Argv) {
+  ArgParser Args("datasize_scaling",
+                 "dataset-size scaling for Huffman decoding");
+  std::string *TraceOut = Args.strOption(
+      "trace-out", "",
+      "write a Chrome trace_event JSON of the real chunked runs to FILE");
+  if (!Args.parse(Argc, Argv))
+    return Args.helpRequested() ? 0 : 2;
+
   std::printf("=== Dataset-size scaling (Huffman/text, 4 threads, max "
               "overlap) ===\n\n");
   std::printf("%10s %14s %12s %10s  %s\n", "size (MB)", "seq decode (ms)",
@@ -40,8 +50,11 @@ int main() {
   // The real runs share the persistent process-wide executor; the
   // simulated speedup substitutes for the missing cores (DESIGN.md
   // Section 5).
+  rt::Tracer Tr;
   rt::SpecConfig Cfg =
       rt::SpecConfig().executor(&rt::SpecExecutor::process());
+  if (!TraceOut->empty())
+    Cfg.trace(&Tr);
   for (size_t MB : {1, 2, 4, 8}) {
     size_t Bytes = MB * 1000000;
     std::vector<uint8_t> Data =
@@ -67,5 +80,15 @@ int main() {
   }
   std::printf("\n(paper: speedups do not vary significantly with size; a "
               "small drop from memory effects)\n");
+
+  if (!TraceOut->empty()) {
+    if (!Tr.writeChromeTrace(*TraceOut)) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   TraceOut->c_str());
+      return 1;
+    }
+    std::printf("\n%s\nwrote Chrome trace to %s\n", Tr.summary().c_str(),
+                TraceOut->c_str());
+  }
   return 0;
 }

@@ -28,7 +28,9 @@
 #include "apps/SpeculativeLexing.h"
 #include "apps/SpeculativeMwis.h"
 #include "runtime/Speculation.h"
+#include "runtime/Telemetry.h"
 #include "simsched/SimSched.h"
+#include "support/CommandLine.h"
 #include "support/Timer.h"
 #include "workloads/Datasets.h"
 #include "workloads/SourceGen.h"
@@ -49,20 +51,30 @@ namespace {
 /// this machine: a trivial chunked iterate() on the shared process-wide
 /// executor, amortized over the speculative chunk attempts — the same
 /// granularity the apps now dispatch at.
-double measureSpawnOverheadSeconds() {
+double measureSpawnOverheadSeconds(rt::Tracer *Tr) {
   const int64_t N = 2000, ChunkSize = 8;
   Timer T;
   rt::SpecResult<int64_t> R = rt::Speculation::iterateChunked<int64_t>(
       0, N, ChunkSize, [](int64_t, int64_t A) { return A; },
       [](int64_t) { return int64_t(0); },
-      rt::SpecConfig().executor(&rt::SpecExecutor::process()));
+      rt::SpecConfig().executor(&rt::SpecExecutor::process()).trace(Tr));
   return T.elapsedSeconds() / static_cast<double>(R.Stats.Tasks);
 }
 
 } // namespace
 
-int main() {
-  const double SpawnOverhead = measureSpawnOverheadSeconds();
+int main(int Argc, char **Argv) {
+  ArgParser Args("fig6_speedup", "Figure 6: speedup vs threads");
+  std::string *TraceOut = Args.strOption(
+      "trace-out", "",
+      "write a Chrome trace_event JSON of the real runtime calibration "
+      "run to FILE");
+  if (!Args.parse(Argc, Argv))
+    return Args.helpRequested() ? 0 : 2;
+
+  rt::Tracer Tr;
+  const double SpawnOverhead =
+      measureSpawnOverheadSeconds(TraceOut->empty() ? nullptr : &Tr);
   std::printf("=== Figure 6: speedup vs threads (max overlap / min "
               "overlap) ===\n");
   std::printf("measured per-task runtime overhead: %.1f us "
@@ -130,5 +142,15 @@ int main() {
   std::printf("\n(speedups are simulated on P workers from measured "
               "per-segment work and real misprediction patterns; see "
               "DESIGN.md section 5)\n");
+
+  if (!TraceOut->empty()) {
+    if (!Tr.writeChromeTrace(*TraceOut)) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   TraceOut->c_str());
+      return 1;
+    }
+    std::printf("\n%s\nwrote Chrome trace to %s\n", Tr.summary().c_str(),
+                TraceOut->c_str());
+  }
   return 0;
 }

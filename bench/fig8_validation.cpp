@@ -23,7 +23,9 @@
 #include "apps/SpeculativeLexing.h"
 #include "apps/SpeculativeMwis.h"
 #include "runtime/Speculation.h"
+#include "runtime/Telemetry.h"
 #include "simsched/SimSched.h"
+#include "support/CommandLine.h"
 #include "support/Timer.h"
 #include "workloads/Datasets.h"
 #include "workloads/SourceGen.h"
@@ -48,7 +50,42 @@ static double measureSpawnOverheadSeconds() {
   return T.elapsedSeconds() / static_cast<double>(R.Stats.Tasks);
 }
 
-int main() {
+/// Runs the real runtime under both validation modes with the tracer
+/// attached: once with perfect predictions (every chunk validates and is
+/// accepted) and once with every prediction past the first chunk forced
+/// wrong (every such chunk is cancelled/mispredicted and re-executed), so
+/// the trace shows the complete attempt lifecycle — dispatch, start,
+/// finish, validate-accept, mispredict, re-execute, finalize — for every
+/// chunk in both Seq and Par validation.
+static void runTracedValidation(rt::Tracer &Tr) {
+  const int64_t N = 64, ChunkSize = 8;
+  for (rt::ValidationMode Mode :
+       {rt::ValidationMode::Seq, rt::ValidationMode::Par}) {
+    rt::SpecConfig Cfg = rt::SpecConfig()
+                             .executor(&rt::SpecExecutor::process())
+                             .mode(Mode)
+                             .trace(&Tr);
+    for (bool ForceMiss : {false, true}) {
+      rt::Speculation::iterateChunked<int64_t>(
+          0, N, ChunkSize, [](int64_t, int64_t Carry) { return Carry + 1; },
+          [ForceMiss](int64_t I) {
+            return !ForceMiss || I == 0 ? I : int64_t(-1);
+          },
+          Cfg);
+    }
+  }
+}
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("fig8_validation",
+                 "Figure 8: seq vs par validation speedup");
+  std::string *TraceOut = Args.strOption(
+      "trace-out", "",
+      "write a Chrome trace_event JSON of real speculative runs (both "
+      "validation modes, with and without forced mispredictions) to FILE");
+  if (!Args.parse(Argc, Argv))
+    return Args.helpRequested() ? 0 : 2;
+
   const double SpawnOverhead = measureSpawnOverheadSeconds();
   std::printf("=== Figure 8: seq vs par validation (speedup, "
               "seq/par) ===\n");
@@ -116,5 +153,18 @@ int main() {
   std::printf("\n(simulated on P workers from measured inputs; Par mode "
               "models the runtime's corrective-task chaining, including "
               "wasted garbage correctives during cascades)\n");
+
+  if (!TraceOut->empty()) {
+    rt::Tracer Tr;
+    runTracedValidation(Tr);
+    if (!Tr.writeChromeTrace(*TraceOut)) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   TraceOut->c_str());
+      return 1;
+    }
+    std::printf("\n%s\nwrote Chrome trace to %s (load in Perfetto or "
+                "chrome://tracing)\n",
+                Tr.summary().c_str(), TraceOut->c_str());
+  }
   return 0;
 }

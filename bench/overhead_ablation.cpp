@@ -17,6 +17,8 @@
 #include "apps/SpeculativeHuffman.h"
 #include "apps/SpeculativeLexing.h"
 #include "apps/SpeculativeMwis.h"
+#include "runtime/Telemetry.h"
+#include "support/CommandLine.h"
 #include "support/Timer.h"
 #include "workloads/Datasets.h"
 #include "workloads/SourceGen.h"
@@ -47,7 +49,16 @@ double bestOf(int Repeats, const std::function<void()> &Fn) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  ArgParser Args("overhead_ablation",
+                 "library-overhead ablation vs sequential baselines");
+  std::string *TraceOut = Args.strOption(
+      "trace-out", "",
+      "write a Chrome trace_event JSON of the speculative runs to FILE "
+      "(adds tracing overhead to the measured ratios)");
+  if (!Args.parse(Argc, Argv))
+    return Args.helpRequested() ? 0 : 2;
+
   std::printf("=== Library-overhead ablation (real wall clock, 1 vCPU) "
               "===\n\n");
   std::printf("%-18s %14s %16s %10s\n", "benchmark", "sequential (ms)",
@@ -56,8 +67,13 @@ int main() {
   const int Repeats = 5;
   // All speculative runs share the persistent process-wide executor, so
   // the measured overhead excludes transient pool spawns — the deployment
-  // mode a long-lived runtime would use.
-  const rt::SpecConfig Cfg;
+  // mode a long-lived runtime would use. With no --trace-out the trace
+  // sink stays null and the runtime's tracing hooks cost one pointer test
+  // per event site.
+  rt::Tracer Tr;
+  rt::SpecConfig Cfg;
+  if (!TraceOut->empty())
+    Cfg.trace(&Tr);
 
   {
     Lexer LX = makeLexer(Language::Java);
@@ -98,5 +114,15 @@ int main() {
   std::printf("\n(paper: such ratios are 'marginally less than 1' — the "
               "library overhead is negligible; on one vCPU the parallel "
               "upside is necessarily absent)\n");
+
+  if (!TraceOut->empty()) {
+    if (!Tr.writeChromeTrace(*TraceOut)) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   TraceOut->c_str());
+      return 1;
+    }
+    std::printf("\n%s\nwrote Chrome trace to %s\n", Tr.summary().c_str(),
+                TraceOut->c_str());
+  }
   return 0;
 }

@@ -56,7 +56,10 @@ int main(int Argc, char **Argv) {
 
   const int NumTasks = 8;
   for (int64_t OverlapBytes : {2, 4, 8, 16, 64, 512}) {
-    rt::SpecConfig Cfg = rt::SpecConfig().threads(4);
+    // The process-wide executor, so the per-run executor activity
+    // (steals, help-runs, queue pressure) is observable in ExecStats.
+    rt::SpecConfig Cfg =
+        rt::SpecConfig().executor(&rt::SpecExecutor::process());
     T.reset();
     HuffmanRun Run = speculativeDecode(D, In, NumTasks, OverlapBytes * 8,
                                        Cfg);
@@ -64,10 +67,11 @@ int main(int Argc, char **Argv) {
     double Accuracy = huffmanPredictionAccuracy(D, In, OverlapBytes * 8);
     bool Match = Run.Decoded == Data;
     std::printf("overlap %4lld B: accuracy %5.1f%%  %s  output %s  "
-                "(%.3f ms)\n",
+                "(%.3f ms)\n"
+                "              executor: %s\n",
                 static_cast<long long>(OverlapBytes), Accuracy,
                 Run.Stats.str().c_str(), Match ? "match" : "MISMATCH",
-                Seconds * 1e3);
+                Seconds * 1e3, Run.ExecStats.str().c_str());
     if (!Match)
       return 1;
   }

@@ -53,17 +53,21 @@ int main(int Argc, char **Argv) {
 
   const int NumTasks = 8;
   for (int64_t Overlap : {0, 16, 64, 256, 1024}) {
-    rt::SpecConfig Cfg = rt::SpecConfig().threads(4);
+    // The process-wide executor, so the per-run executor activity
+    // (steals, help-runs, queue pressure) is observable in ExecStats.
+    rt::SpecConfig Cfg =
+        rt::SpecConfig().executor(&rt::SpecExecutor::process());
     T.reset();
     LexRun Run = speculativeLex(LX, Text, NumTasks, Overlap, Cfg);
     double Seconds = T.elapsedSeconds();
     double Accuracy = lexPredictionAccuracy(LX, Text, Overlap);
     bool Match = Run.Tokens == Seq;
     std::printf("overlap %5lld: accuracy %5.1f%%  %s  tokens %s  "
-                "(%.3f ms)\n",
+                "(%.3f ms)\n"
+                "              executor: %s\n",
                 static_cast<long long>(Overlap), Accuracy,
                 Run.Stats.str().c_str(), Match ? "match" : "MISMATCH",
-                Seconds * 1e3);
+                Seconds * 1e3, Run.ExecStats.str().c_str());
     if (!Match)
       return 1;
   }

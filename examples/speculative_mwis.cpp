@@ -43,18 +43,23 @@ int main(int Argc, char **Argv) {
 
   const int NumTasks = 8;
   for (int64_t Overlap : {0, 8, 16, 32, 128}) {
-    rt::SpecConfig Cfg = rt::SpecConfig().threads(4);
+    // The process-wide executor, so the per-run executor activity
+    // (steals, help-runs, queue pressure) is observable in ExecStats.
+    rt::SpecConfig Cfg =
+        rt::SpecConfig().executor(&rt::SpecExecutor::process());
     T.reset();
     MwisRun Run = speculativeMwis(W, NumTasks, Overlap, Cfg);
     double Seconds = T.elapsedSeconds();
     double Accuracy = mwisPredictionAccuracy(W, Overlap);
     bool Match = Run.Weight == SeqWeight && Run.Members == SeqMembers;
     std::printf("overlap %4lld: accuracy %5.1f%%  fwd[%s]  bwd[%s]  %s  "
-                "(%.3f ms)\n",
+                "(%.3f ms)\n"
+                "              executor: %s\n",
                 static_cast<long long>(Overlap), Accuracy,
                 Run.ForwardStats.str().c_str(),
                 Run.BackwardStats.str().c_str(),
-                Match ? "match" : "MISMATCH", Seconds * 1e3);
+                Match ? "match" : "MISMATCH", Seconds * 1e3,
+                Run.ExecStats.str().c_str());
     if (!Match)
       return 1;
   }

@@ -33,6 +33,9 @@ HuffmanRun specpar::apps::speculativeDecode(const Decoder &D,
   const int64_t NumSub = static_cast<int64_t>(NumTasks) * kHuffChunkSize;
   auto Bound = [&](int64_t I) { return NumBits * I / NumSub; };
 
+  rt::SpecExecutor *Ex = Cfg.sharedExecutor();
+  rt::ExecutorStats Before = Ex ? Ex->stats() : rt::ExecutorStats{};
+
   rt::SpecResult<int64_t> R =
       rt::Speculation::iterateChunkedLocal<int64_t, std::vector<uint8_t>>(
           0, NumSub, kHuffChunkSize,
@@ -57,6 +60,8 @@ HuffmanRun specpar::apps::speculativeDecode(const Decoder &D,
           Cfg);
 
   Run.Stats = R.Stats;
+  if (Ex)
+    Run.ExecStats = Ex->stats() - Before;
   return Run;
 }
 

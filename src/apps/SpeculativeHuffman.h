@@ -29,6 +29,9 @@ namespace apps {
 struct HuffmanRun {
   std::vector<uint8_t> Decoded;
   rt::SpeculationStats Stats;
+  /// Executor activity attributed to this run (zeros when the run used a
+  /// transient executor that cannot be observed from outside).
+  rt::ExecutorStats ExecStats;
 };
 
 /// Decodes the whole stream speculatively with \p NumTasks chunked

@@ -39,6 +39,9 @@ LexRun specpar::apps::speculativeLex(const Lexer &L, std::string_view Text,
   const int64_t NumSub = static_cast<int64_t>(NumTasks) * kLexChunkSize;
   auto Bound = [&](int64_t I) { return N * I / NumSub; };
 
+  rt::SpecExecutor *Ex = Cfg.sharedExecutor();
+  rt::ExecutorStats Before = Ex ? Ex->stats() : rt::ExecutorStats{};
+
   rt::SpecResult<LexState> R =
       rt::Speculation::iterateChunkedLocal<LexState, std::vector<Token>>(
           0, NumSub, kLexChunkSize,
@@ -62,6 +65,8 @@ LexRun specpar::apps::speculativeLex(const Lexer &L, std::string_view Text,
   // Flush the trailing in-flight token of the final segment.
   L.finishLex(Text, R.Value, &Run.Tokens);
   Run.Stats = R.Stats;
+  if (Ex)
+    Run.ExecStats = Ex->stats() - Before;
   return Run;
 }
 

@@ -31,6 +31,9 @@ namespace apps {
 struct LexRun {
   std::vector<lexgen::Token> Tokens;
   rt::SpeculationStats Stats;
+  /// Executor activity attributed to this run (zeros when the run used a
+  /// transient executor that cannot be observed from outside).
+  rt::ExecutorStats ExecStats;
 };
 
 /// Lexes \p Text sequentially (the baseline).

@@ -37,6 +37,9 @@ MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
   const int64_t NumSub = static_cast<int64_t>(NumTasks) * kMwisChunkSize;
   auto Bound = [&](int64_t I) { return N * I / NumSub; };
 
+  rt::SpecExecutor *Ex = Cfg.sharedExecutor();
+  rt::ExecutorStats Before = Ex ? Ex->stats() : rt::ExecutorStats{};
+
   // Phase 1: forward d-recurrence over sub-segments.
   rt::SpecResult<int64_t> Fwd = rt::Speculation::iterateChunked<int64_t>(
       0, NumSub, kMwisChunkSize,
@@ -70,6 +73,8 @@ MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
 
   Run.Weight = weightFromD(D);
   Run.Members = membersFromTaken(Taken);
+  if (Ex)
+    Run.ExecStats = Ex->stats() - Before;
   return Run;
 }
 

@@ -31,6 +31,9 @@ struct MwisRun {
   std::vector<int32_t> Members;
   rt::SpeculationStats ForwardStats;
   rt::SpeculationStats BackwardStats;
+  /// Executor activity attributed to the whole two-phase run (zeros when
+  /// the run used a transient executor that cannot be observed).
+  rt::ExecutorStats ExecStats;
 };
 
 /// Solves MWIS speculatively with \p NumTasks chunked speculation tasks

@@ -7,8 +7,32 @@
 
 #include "runtime/SpecExecutor.h"
 
+#include "support/StringUtils.h"
+
 using namespace specpar;
 using namespace specpar::rt;
+
+ExecutorStats ExecutorStats::operator-(const ExecutorStats &Base) const {
+  ExecutorStats D;
+  D.Submits = Submits - Base.Submits;
+  D.OwnPops = OwnPops - Base.OwnPops;
+  D.InjectionPops = InjectionPops - Base.InjectionPops;
+  D.Steals = Steals - Base.Steals;
+  D.HelpRuns = HelpRuns - Base.HelpRuns;
+  D.PeakQueueDepth = PeakQueueDepth;
+  return D;
+}
+
+std::string ExecutorStats::str() const {
+  return formatString("submits=%llu own-pops=%llu injection-pops=%llu "
+                      "steals=%llu help-runs=%llu peak-queue=%llu",
+                      static_cast<unsigned long long>(Submits),
+                      static_cast<unsigned long long>(OwnPops),
+                      static_cast<unsigned long long>(InjectionPops),
+                      static_cast<unsigned long long>(Steals),
+                      static_cast<unsigned long long>(HelpRuns),
+                      static_cast<unsigned long long>(PeakQueueDepth));
+}
 
 namespace {
 /// Which executor (if any) the current thread is a worker of, and its
@@ -58,12 +82,28 @@ void SpecExecutor::submit(std::function<void()> Task) {
     std::unique_lock<std::mutex> Lock(Deques[DequeIdx]->M);
     Deques[DequeIdx]->Q.push_back(std::move(Task));
   }
+  SubmitCount.fetch_add(1, std::memory_order_relaxed);
   {
     std::unique_lock<std::mutex> Lock(ProgressM);
     ++Pending;
     ++Epoch;
+    if (static_cast<uint64_t>(Pending) >
+        PeakQueue.load(std::memory_order_relaxed))
+      PeakQueue.store(static_cast<uint64_t>(Pending),
+                      std::memory_order_relaxed);
   }
   ProgressCV.notify_all();
+}
+
+ExecutorStats SpecExecutor::stats() const {
+  ExecutorStats S;
+  S.Submits = SubmitCount.load(std::memory_order_relaxed);
+  S.OwnPops = OwnPopCount.load(std::memory_order_relaxed);
+  S.InjectionPops = InjectionPopCount.load(std::memory_order_relaxed);
+  S.Steals = StealCount.load(std::memory_order_relaxed);
+  S.HelpRuns = HelpRunCount.load(std::memory_order_relaxed);
+  S.PeakQueueDepth = PeakQueue.load(std::memory_order_relaxed);
+  return S;
 }
 
 bool SpecExecutor::popTask(unsigned WorkerIdx, std::function<void()> &Out) {
@@ -74,6 +114,7 @@ bool SpecExecutor::popTask(unsigned WorkerIdx, std::function<void()> &Out) {
     if (!Own.Q.empty()) {
       Out = std::move(Own.Q.back());
       Own.Q.pop_back();
+      OwnPopCount.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -87,6 +128,8 @@ bool SpecExecutor::popTask(unsigned WorkerIdx, std::function<void()> &Out) {
     if (!D.Q.empty()) {
       Out = std::move(D.Q.front());
       D.Q.pop_front();
+      (I == 0 ? InjectionPopCount : StealCount)
+          .fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -109,6 +152,7 @@ bool SpecExecutor::tryRunOneTask() {
   std::function<void()> Task;
   if (!popTask(Idx, Task))
     return false;
+  HelpRunCount.fetch_add(1, std::memory_order_relaxed);
   runTask(Task);
   return true;
 }

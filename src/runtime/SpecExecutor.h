@@ -37,17 +37,45 @@
 #ifndef SPECPAR_RUNTIME_SPECEXECUTOR_H
 #define SPECPAR_RUNTIME_SPECEXECUTOR_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace specpar {
 namespace rt {
+
+/// A point-in-time snapshot of an executor's activity counters
+/// (monotonically increasing since construction, except PeakQueueDepth
+/// which is a high-water mark). Subtract two snapshots to attribute
+/// activity to one span of work.
+struct ExecutorStats {
+  /// Tasks submitted (from workers and external threads alike).
+  uint64_t Submits = 0;
+  /// Tasks a worker popped from its own deque (LIFO fast path).
+  uint64_t OwnPops = 0;
+  /// Tasks popped from the injection deque (external submissions).
+  uint64_t InjectionPops = 0;
+  /// Tasks stolen from another worker's deque.
+  uint64_t Steals = 0;
+  /// Tasks executed inline through `tryRunOneTask()` — the cooperative
+  /// helping blocked speculative runs perform instead of idling.
+  uint64_t HelpRuns = 0;
+  /// The largest number of submitted-but-unfinished tasks observed.
+  uint64_t PeakQueueDepth = 0;
+
+  /// Counter-wise difference (PeakQueueDepth keeps this snapshot's value —
+  /// a high-water mark has no meaningful delta).
+  ExecutorStats operator-(const ExecutorStats &Base) const;
+
+  std::string str() const;
+};
 
 /// A persistent pool of worker threads with per-worker stealing deques.
 ///
@@ -88,6 +116,10 @@ public:
     return static_cast<unsigned>(Workers.size());
   }
 
+  /// A consistent-enough snapshot of the activity counters (each counter
+  /// is read atomically; the set is not fenced against in-flight tasks).
+  ExecutorStats stats() const;
+
   /// The number of workers `NumThreads == 0` resolves to: one per
   /// hardware thread, at least one.
   static unsigned defaultThreads();
@@ -114,6 +146,16 @@ private:
   /// Deques[0] is the injection deque; Deques[1 + w] belongs to worker w.
   std::vector<std::unique_ptr<TaskDeque>> Deques;
   std::vector<std::thread> Workers;
+
+  /// Activity counters behind stats(). Relaxed atomics: they are
+  /// statistics, not synchronization; PeakQueue is only written under
+  /// ProgressM (where Pending changes) so a relaxed store suffices.
+  std::atomic<uint64_t> SubmitCount{0};
+  std::atomic<uint64_t> OwnPopCount{0};
+  std::atomic<uint64_t> InjectionPopCount{0};
+  std::atomic<uint64_t> StealCount{0};
+  std::atomic<uint64_t> HelpRunCount{0};
+  std::atomic<uint64_t> PeakQueue{0};
 
   /// Progress accounting: Pending counts submitted-but-unfinished tasks;
   /// Epoch bumps on every submit and completion so sleepers never miss a

@@ -20,10 +20,13 @@ bool specpar::rt::currentTaskCancelled() {
 }
 
 std::string SpeculationStats::str() const {
-  return formatString("tasks=%lld predictions=%lld mispredictions=%lld "
-                      "reexecutions=%lld",
-                      static_cast<long long>(Tasks),
-                      static_cast<long long>(Predictions),
-                      static_cast<long long>(Mispredictions),
-                      static_cast<long long>(Reexecutions));
+  std::string Out = formatString(
+      "tasks=%lld predictions=%lld mispredictions=%lld reexecutions=%lld",
+      static_cast<long long>(Tasks), static_cast<long long>(Predictions),
+      static_cast<long long>(Mispredictions),
+      static_cast<long long>(Reexecutions));
+  if (FailedPredictions)
+    Out += formatString(" failed-predictions=%lld",
+                        static_cast<long long>(FailedPredictions));
+  return Out;
 }

@@ -50,6 +50,13 @@
 ///    implementation): speculative bodies may poll
 ///    `currentTaskCancelled()` to stop early once invalidated.
 ///
+/// Observability: `SpecConfig::trace(&Tracer)` installs an event sink
+/// (runtime/Telemetry.h) that records the whole attempt lifecycle —
+/// dispatch, start, finish, cancel, Par-mode chaining, validate-accept,
+/// misprediction, re-execution, finalize — exportable as a Chrome
+/// trace_event timeline. With no sink installed every instrumentation
+/// site is a single pointer test.
+///
 /// The pre-redesign `Options` + `SpeculationStats*` out-param overloads
 /// remain as deprecated thin wrappers; see docs/runtime-api.md for the
 /// migration table.
@@ -60,16 +67,17 @@
 #define SPECPAR_RUNTIME_SPECULATION_H
 
 #include "runtime/SpecExecutor.h"
+#include "runtime/Telemetry.h"
 #include "runtime/ThreadPool.h"
 
 #include <atomic>
-#include <cassert>
 #include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -89,10 +97,17 @@ enum class ValidationMode { Seq, Par };
 struct SpeculationStats {
   /// Speculative task executions dispatched to the executor.
   int64_t Tasks = 0;
-  /// Validated prediction points (iteration boundaries after the first).
+  /// Resolved prediction points: iteration boundaries after the first,
+  /// plus every apply() resolution — including eager producer aborts and
+  /// throwing predictors, where no guess was available to compare.
   int64_t Predictions = 0;
   /// Prediction points whose predicted value differed from the true one.
+  /// Only counted when a guess actually existed; see FailedPredictions.
   int64_t Mispredictions = 0;
+  /// Prediction points resolved without a usable guess: the predictor
+  /// threw, or an eager producer abort cancelled it before it produced
+  /// one. Disjoint from Mispredictions (nothing was compared).
+  int64_t FailedPredictions = 0;
   /// Consumer/iteration re-executions performed by the validator itself.
   int64_t Reexecutions = 0;
 
@@ -152,17 +167,38 @@ public:
     EagerAbort = B;
     return *this;
   }
+  /// Installs \p T as the run's event sink: the runtime records the full
+  /// attempt lifecycle (dispatch/start/finish/cancel/chain/validate/
+  /// mispredict/re-execute/finalize) into it. The tracer must outlive the
+  /// run. With no sink (the default) tracing costs one pointer test per
+  /// instrumentation site — nothing is allocated or synchronized.
+  SpecConfig &trace(Tracer *T) {
+    TraceSink = T;
+    return *this;
+  }
 
   unsigned threads() const { return NumThreads; }
   ValidationMode mode() const { return Mode; }
   SpecExecutor *executor() const { return Ex; }
   bool eagerProducerAbort() const { return EagerAbort; }
+  Tracer *trace() const { return TraceSink; }
+
+  /// The persistent executor this config resolves to — the explicit one,
+  /// or the process-wide default — or nullptr when the run will create a
+  /// transient executor (`threads(N > 0)` without `executor()`). Lets
+  /// callers snapshot `SpecExecutor::stats()` around a run.
+  SpecExecutor *sharedExecutor() const {
+    if (Ex)
+      return Ex;
+    return NumThreads == 0 ? &SpecExecutor::process() : nullptr;
+  }
 
 private:
   unsigned NumThreads = 0;
   ValidationMode Mode = ValidationMode::Seq;
   SpecExecutor *Ex = nullptr;
   bool EagerAbort = false;
+  Tracer *TraceSink = nullptr;
 };
 
 /// A shared cancellation flag (cooperative, like .NET's).
@@ -236,6 +272,8 @@ template <typename T, typename U> struct Attempt {
   /// only accepts an attempt that finished *last* in its slot, so that
   /// the accepted execution's writes are the final ones.
   uint64_t FinishStamp = 0;
+  /// Telemetry attempt id (0 when no tracer is installed).
+  uint64_t TraceId = 0;
   CancellationToken Cancel;
 };
 
@@ -273,10 +311,26 @@ public:
                                 ConsumerFn &&Consumer,
                                 const SpecConfig &Cfg = SpecConfig(),
                                 Eq Equal = Eq()) {
+    SpecResult<void> Result;
+    applyImpl<T>(std::forward<ProducerFn>(Producer),
+                 std::forward<PredictorFn>(Predictor),
+                 std::forward<ConsumerFn>(Consumer), Cfg, Equal, Result.Stats);
+    return Result;
+  }
+
+private:
+  /// apply() engine: fills \p Stats in place so callers (notably the
+  /// deprecated Options shim) observe whatever was gathered even when the
+  /// run throws.
+  template <typename T, typename ProducerFn, typename PredictorFn,
+            typename ConsumerFn, typename Eq>
+  static void applyImpl(ProducerFn &&Producer, PredictorFn &&Predictor,
+                        ConsumerFn &&Consumer, const SpecConfig &Cfg,
+                        Eq Equal, SpeculationStats &Stats) {
     std::optional<SpecExecutor> Transient;
     SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
-    SpecResult<void> Result;
-    SpeculationStats &Stats = Result.Stats;
+    Tracer *const Tr = Cfg.trace();
+    const uint64_t AId = Tr ? Tr->newAttemptId() : 0;
 
     struct SpecState {
       std::mutex M;
@@ -289,8 +343,12 @@ public:
     auto State = std::make_shared<SpecState>();
 
     ++Stats.Tasks;
-    Ex.submit([State, &Predictor, &Consumer] {
+    if (Tr)
+      Tr->record(SpecEventKind::Dispatch, 0, AId);
+    Ex.submit([State, &Predictor, &Consumer, Tr, AId] {
       detail::CancelScope Scope(State->Cancel);
+      if (Tr)
+        Tr->record(SpecEventKind::Start, 0, AId);
       std::optional<T> G;
       std::exception_ptr Err;
       try {
@@ -312,10 +370,16 @@ public:
           Err = std::current_exception();
         }
       }
-      std::unique_lock<std::mutex> Lock(State->M);
-      State->ConsumerErr = Err;
-      State->ConsumerDone = true;
-      State->CV.notify_all();
+      // Record before publishing completion: once ConsumerDone is
+      // visible, applyImpl may return and the tracer may die with it.
+      if (Tr)
+        Tr->record(SpecEventKind::Finish, 0, AId);
+      {
+        std::unique_lock<std::mutex> Lock(State->M);
+        State->ConsumerErr = Err;
+        State->ConsumerDone = true;
+        State->CV.notify_all();
+      }
     });
 
     std::optional<T> Produced;
@@ -329,6 +393,8 @@ public:
       // Abort the speculation; nothing it did is observable under
       // rollback freedom, and its exception (if any) is suppressed.
       State->Cancel.cancel();
+      if (Tr)
+        Tr->record(SpecEventKind::Cancel, 0, AId);
       waitConsumer(Ex, *State);
       std::rethrow_exception(ProducerErr);
     }
@@ -340,13 +406,22 @@ public:
       if (Cfg.eagerProducerAbort() && !State->Guess &&
           !State->ConsumerDone) {
         // Section 3.3: the producer beat the predictor — speculation can
-        // no longer pay off; abort it and go non-speculative.
+        // no longer pay off; abort it and go non-speculative. This is
+        // still a resolved prediction point (resolved without a guess).
         Lock.unlock();
+        ++Stats.Predictions;
+        ++Stats.FailedPredictions;
         ++Stats.Reexecutions;
         State->Cancel.cancel();
+        if (Tr) {
+          Tr->record(SpecEventKind::Cancel, 0, AId);
+          Tr->record(SpecEventKind::Reexecute, 0, 0);
+        }
         waitConsumer(Ex, *State);
         Consumer(*Produced);
-        return Result;
+        if (Tr)
+          Tr->record(SpecEventKind::Finalize, 0, 0);
+        return;
       }
       specWait(Ex, Lock, State->CV, [&] {
         return State->Guess.has_value() || State->ConsumerDone;
@@ -355,20 +430,40 @@ public:
     }
     ++Stats.Predictions;
     if (Guess && Equal(*Produced, *Guess)) {
+      if (Tr)
+        Tr->record(SpecEventKind::ValidateAccept, 0, AId);
       waitConsumer(Ex, *State);
       if (State->ConsumerErr)
         std::rethrow_exception(State->ConsumerErr);
-      return Result;
+      if (Tr)
+        Tr->record(SpecEventKind::Finalize, 0, 0);
+      return;
     }
-    // Misprediction: cancel the speculative consumer and re-execute with
-    // the correct value (rule CHECK's `cancel tc; vc xp`).
-    ++Stats.Mispredictions;
+    // Misprediction (or a predictor that produced no guess): cancel the
+    // speculative consumer and re-execute with the correct value (rule
+    // CHECK's `cancel tc; vc xp`). A throwing predictor never produced a
+    // guess, so nothing was compared — that is a failed prediction, not
+    // a misprediction.
+    if (Guess) {
+      ++Stats.Mispredictions;
+      if (Tr)
+        Tr->record(SpecEventKind::Mispredict, 0, AId);
+    } else {
+      ++Stats.FailedPredictions;
+    }
     ++Stats.Reexecutions;
     State->Cancel.cancel();
+    if (Tr) {
+      Tr->record(SpecEventKind::Cancel, 0, AId);
+      Tr->record(SpecEventKind::Reexecute, 0, 0);
+    }
     waitConsumer(Ex, *State);
     Consumer(*Produced);
-    return Result;
+    if (Tr)
+      Tr->record(SpecEventKind::Finalize, 0, 0);
   }
+
+public:
 
   /// Speculative iteration over [Low, High): computes
   ///
@@ -423,7 +518,7 @@ public:
     SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
     Result.Value = iterateCore<T, U>(
         Low, High, Init, Body, Predictor, Finalize, Cfg.mode(), Ex, Equal,
-        Result.Stats);
+        Result.Stats, Cfg.trace());
     return Result;
   }
 
@@ -438,6 +533,9 @@ public:
   /// Statistics are at chunk granularity (one task per chunk, one
   /// validated prediction per chunk boundary). Long chunk bodies may poll
   /// `currentTaskCancelled()` between iterations.
+  ///
+  /// \throws std::invalid_argument when `ChunkSize <= 0`, in every build
+  /// mode (both chunked forms).
   template <typename T, typename BodyFn, typename PredictorFn,
             typename Eq = std::equal_to<T>>
   static SpecResult<T> iterateChunked(int64_t Low, int64_t High,
@@ -469,9 +567,12 @@ public:
                       InitFn &&Init, BodyFn &&Body, PredictorFn &&Predictor,
                       FinalFn &&Finalize, const SpecConfig &Cfg = SpecConfig(),
                       Eq Equal = Eq()) {
-    assert(ChunkSize > 0 && "chunk size must be positive");
-    if (ChunkSize < 1)
-      ChunkSize = 1;
+    // A non-positive chunk size is a contract violation in every build
+    // mode — previously an assert that release builds silently clamped.
+    if (ChunkSize <= 0)
+      throw std::invalid_argument(
+          "Speculation::iterateChunked: ChunkSize must be positive, got " +
+          std::to_string(ChunkSize));
     const int64_t NumChunks =
         High <= Low ? 0 : (High - Low + ChunkSize - 1) / ChunkSize;
     return iterateLocal<T, U>(
@@ -502,17 +603,22 @@ public:
                "SpecResult")]] static void
   apply(ProducerFn &&Producer, PredictorFn &&Predictor, ConsumerFn &&Consumer,
         const Options &Opts, Eq Equal = Eq()) {
-    SpecResult<void> R;
+    // applyImpl fills the stats in place, so whatever was gathered before
+    // a throw still reaches Opts.Stats (the old wrapper silently dropped
+    // them on every exception path).
+    SpeculationStats Gathered;
     try {
-      R = apply<T>(std::forward<ProducerFn>(Producer),
+      applyImpl<T>(std::forward<ProducerFn>(Producer),
                    std::forward<PredictorFn>(Predictor),
                    std::forward<ConsumerFn>(Consumer), configFromOptions(Opts),
-                   Equal);
+                   Equal, Gathered);
     } catch (...) {
+      if (Opts.Stats)
+        *Opts.Stats = Gathered;
       throw;
     }
     if (Opts.Stats)
-      *Opts.Stats = R.Stats;
+      *Opts.Stats = Gathered;
   }
 
   template <typename T, typename BodyFn, typename PredictorFn,
@@ -555,7 +661,7 @@ private:
   static T iterateCore(int64_t Low, int64_t High, InitFn &Init, BodyFn &Body,
                        PredictorFn &Predictor, FinalFn &Finalize,
                        ValidationMode Mode, SpecExecutor &Ex, Eq Equal,
-                       SpeculationStats &Stats) {
+                       SpeculationStats &Stats, Tracer *const Tr = nullptr) {
     const int64_t N = High - Low;
     detail::IterRun<T, U> Run;
     Run.Slots.resize(static_cast<size_t>(N));
@@ -584,6 +690,8 @@ private:
             specWait(Ex, Lock, Run.CV, [&] { return After->Done; });
             Skip = A->Cancel.isCancelled();
           }
+          if (Tr)
+            Tr->record(SpecEventKind::Start, Index, A->TraceId);
           detail::CancelScope Scope(A->Cancel);
           std::optional<T> Out;
           std::optional<U> Local;
@@ -622,13 +730,22 @@ private:
                     std::make_unique<detail::Attempt<T, U>>(*A->Out));
                 Chained = NextSlot.back().get();
                 ChainAfter = NextSlot.front().get();
+                if (Tr)
+                  Chained->TraceId = Tr->newAttemptId();
                 ++Run.Outstanding;
                 ++Stats.Tasks;
               }
             }
             Run.CV.notify_all();
           }
+          if (Tr)
+            Tr->record(SpecEventKind::Finish, Index, A->TraceId);
           if (Chained) {
+            if (Tr) {
+              Tr->record(SpecEventKind::Chain, Index + 1, Chained->TraceId);
+              Tr->record(SpecEventKind::Dispatch, Index + 1,
+                         Chained->TraceId);
+            }
             Ex.submit([&RunAttempt, Index, Chained, ChainAfter, &Run] {
               RunAttempt(Index + 1, Chained, ChainAfter);
               Run.attemptFinished();
@@ -650,12 +767,16 @@ private:
         Slot.push_back(std::make_unique<detail::Attempt<T, U>>(
             InitialPrediction[static_cast<size_t>(I - Low)]));
         InitialAttempts.push_back(Slot.back().get());
+        if (Tr)
+          Slot.back()->TraceId = Tr->newAttemptId();
         ++Run.Outstanding;
         ++Stats.Tasks;
       }
     }
     for (int64_t I = Low; I < High; ++I) {
       detail::Attempt<T, U> *A = InitialAttempts[static_cast<size_t>(I - Low)];
+      if (Tr)
+        Tr->record(SpecEventKind::Dispatch, I, A->TraceId);
       Ex.submit([&RunAttempt, I, A, &Run] {
         RunAttempt(I, A, nullptr);
         Run.attemptFinished();
@@ -670,8 +791,11 @@ private:
       auto &Slot = Run.Slots[static_cast<size_t>(I - Low)];
       if (I > Low) {
         ++Stats.Predictions;
-        if (!Equal(InitialPrediction[static_cast<size_t>(I - Low)], Correct))
+        if (!Equal(InitialPrediction[static_cast<size_t>(I - Low)], Correct)) {
           ++Stats.Mispredictions;
+          if (Tr)
+            Tr->record(SpecEventKind::Mispredict, I, 0);
+        }
       }
       // Quiesce the slot: cancel attempts whose input is already known
       // wrong, then wait for every attempt to finish. (No new attempt can
@@ -685,8 +809,11 @@ private:
       {
         std::unique_lock<std::mutex> Lock(Run.M);
         for (const auto &A : Slot)
-          if (!Equal(A->In, Correct))
+          if (!Equal(A->In, Correct)) {
+            if (Tr && !A->Done && !A->Cancel.isCancelled())
+              Tr->record(SpecEventKind::Cancel, I, A->TraceId);
             A->Cancel.cancel();
+          }
         specWait(Ex, Lock, Run.CV, [&] {
           for (const auto &A : Slot)
             if (!A->Done)
@@ -706,6 +833,8 @@ private:
       }
       std::optional<U> LocalForFinal;
       if (Match) {
+        if (Tr)
+          Tr->record(SpecEventKind::ValidateAccept, I, Match->TraceId);
         if (Match->Err)
           FirstValidErr = Match->Err;
         else {
@@ -718,6 +847,8 @@ private:
         // (rule CHECK's consumer re-execution). The slot is quiescent, so
         // this execution's writes land last.
         ++Stats.Reexecutions;
+        if (Tr)
+          Tr->record(SpecEventKind::Reexecute, I, 0);
         try {
           U L = Init();
           Correct = Body(I, L, std::move(Correct));
@@ -731,6 +862,8 @@ private:
       ValidatedUpTo = I + 1;
       try {
         Finalize(I, *LocalForFinal);
+        if (Tr)
+          Tr->record(SpecEventKind::Finalize, I, 0);
       } catch (...) {
         FirstValidErr = std::current_exception();
         break;
@@ -744,9 +877,15 @@ private:
     // rechecks the cancellation flag under the same lock.
     {
       std::unique_lock<std::mutex> Lock(Run.M);
-      for (auto &Slot : Run.Slots)
-        for (const auto &A : Slot)
+      int64_t DrainIdx = Low;
+      for (auto &Slot : Run.Slots) {
+        for (const auto &A : Slot) {
+          if (Tr && !A->Done && !A->Cancel.isCancelled())
+            Tr->record(SpecEventKind::Cancel, DrainIdx, A->TraceId);
           A->Cancel.cancel();
+        }
+        ++DrainIdx;
+      }
       specWait(Ex, Lock, Run.CV, [&] { return Run.Outstanding == 0; });
     }
     if (FirstValidErr)

@@ -1,0 +1,168 @@
+//===- runtime/Telemetry.h - Speculation event tracing ----------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer of the speculation runtime: a `Tracer` sink
+/// records the full attempt lifecycle of a speculative run — dispatch,
+/// start, finish, cancel, Par-mode corrective chaining, validate-accept,
+/// misprediction, re-execution, finalize — with monotonic timestamps,
+/// iteration/chunk indices, and per-attempt ids.
+///
+/// Design constraints (and how they are met):
+///  * **Zero cost when off.** The runtime holds a plain `Tracer *` from
+///    `SpecConfig::trace()`; with no sink installed every instrumentation
+///    site is a single pointer test. No allocation, no atomics, no locks.
+///  * **Lock-minimal when on.** Each recording thread owns a private
+///    fixed-capacity event ring; `record()` takes only that ring's own
+///    mutex, which is uncontended except while a concurrent `snapshot()`
+///    drains it. The global registry lock is taken once per
+///    (thread, tracer) pair, not per event. TSan-clean by construction
+///    (every ring access is under its mutex).
+///  * **Bounded memory.** Rings overwrite their oldest entries when full;
+///    `droppedEvents()` reports how many were lost.
+///
+/// Exporters: `summary()` renders per-kind counts for humans;
+/// `writeChromeTrace()` emits the Chrome `trace_event` JSON array format,
+/// loadable in `chrome://tracing` and Perfetto, with one timeline row per
+/// recording thread and one duration slice per attempt (start→finish)
+/// plus instant markers for the validator-side events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_TELEMETRY_H
+#define SPECPAR_RUNTIME_TELEMETRY_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace specpar {
+namespace rt {
+
+/// One step of a speculative attempt's (or the validator's) lifecycle.
+enum class SpecEventKind : uint8_t {
+  /// An attempt was created and submitted to the executor.
+  Dispatch,
+  /// An attempt's body began executing on some thread.
+  Start,
+  /// An attempt completed (successfully, with an error, or skipped).
+  Finish,
+  /// A still-running attempt was cancelled (wrong input, or run teardown).
+  Cancel,
+  /// Par-mode corrective chaining: an attempt's speculative output
+  /// contradicted the next slot's prediction, so a corrective attempt for
+  /// that slot was created. The event's Index/AttemptId identify the new
+  /// corrective attempt.
+  Chain,
+  /// The validator accepted an attempt's execution as the valid one.
+  ValidateAccept,
+  /// A validated prediction point whose guess differed from the truth.
+  Mispredict,
+  /// The validator re-executed an iteration/chunk with the correct input.
+  Reexecute,
+  /// A validated finalizer ran for this iteration/chunk.
+  Finalize,
+};
+
+/// Stable lowercase name of \p K (e.g. "validate-accept").
+const char *specEventKindName(SpecEventKind K);
+
+/// One recorded event. `Seq` is a process-wide monotonic sequence number
+/// (total order across threads — two events never share one); `TimeNs` is
+/// nanoseconds since the tracer's construction on the steady clock.
+struct SpecEvent {
+  uint64_t Seq = 0;
+  uint64_t TimeNs = 0;
+  uint64_t AttemptId = 0; ///< 0 for validator-side events with no attempt.
+  int64_t Index = 0;      ///< Iteration or chunk index.
+  uint32_t ThreadId = 0;  ///< Dense per-tracer id of the recording thread.
+  SpecEventKind Kind = SpecEventKind::Dispatch;
+};
+
+/// An event sink for speculative runs. Install one with
+/// `SpecConfig::trace(&T)`; after the run, `snapshot()` / `summary()` /
+/// `writeChromeTrace()` expose what happened. One tracer may observe many
+/// runs (events accumulate); it must outlive every run it is attached to.
+class Tracer {
+public:
+  /// \p RingCapacity is the per-thread ring size in events (clamped to a
+  /// floor of 16); when a thread records more than that between snapshots
+  /// the oldest are overwritten.
+  explicit Tracer(size_t RingCapacity = 1 << 14);
+  ~Tracer();
+
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  /// A fresh nonzero attempt id (process-wide unique per tracer).
+  uint64_t newAttemptId() {
+    return NextAttemptId.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Records one event on the calling thread's ring.
+  void record(SpecEventKind Kind, int64_t Index, uint64_t AttemptId);
+
+  /// All retained events from every thread, in Seq order. Safe to call
+  /// concurrently with record(); events recorded while the snapshot runs
+  /// may or may not be included.
+  std::vector<SpecEvent> snapshot() const;
+
+  /// Events lost to ring overwrite so far.
+  uint64_t droppedEvents() const;
+
+  /// Human-readable per-kind counts plus thread/drop totals.
+  std::string summary() const;
+
+  /// Writes the Chrome trace_event JSON array format (one row per
+  /// recording thread; attempts as duration slices, validator events as
+  /// instants). Loadable in chrome://tracing and Perfetto.
+  void writeChromeTrace(std::ostream &OS) const;
+
+  /// Convenience: writeChromeTrace() into \p Path. False on I/O failure.
+  bool writeChromeTrace(const std::string &Path) const;
+
+private:
+  struct Ring {
+    mutable std::mutex M;
+    std::vector<SpecEvent> Slots; ///< Fixed capacity, overwritten cyclically.
+    uint64_t Recorded = 0;        ///< Total events ever recorded here.
+    std::thread::id Owner;
+    uint32_t ThreadId = 0;
+  };
+
+  /// The calling thread's ring (registered on first use).
+  Ring &myRing();
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  const std::chrono::steady_clock::time_point Epoch;
+  const size_t Capacity;
+  /// Distinguishes this tracer from any other ever constructed, so the
+  /// per-thread ring cache can never resolve to a dead tracer's ring.
+  const uint64_t Serial;
+
+  mutable std::mutex RegistryM;
+  std::vector<std::unique_ptr<Ring>> Rings;
+
+  std::atomic<uint64_t> NextAttemptId{0};
+  std::atomic<uint64_t> NextSeq{0};
+};
+
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_TELEMETRY_H

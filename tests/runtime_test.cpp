@@ -6,12 +6,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Speculation.h"
+#include "runtime/Telemetry.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -204,6 +207,54 @@ TEST(Apply, PredictorExceptionFallsBackToNonSpeculative) {
   EXPECT_EQ(Seen.load(), 5);
 }
 
+TEST(Apply, CorrectPredictionCountsOnePredictionPoint) {
+  SpecResult<void> R = Speculation::apply<int>(
+      [] { return 42; }, [] { return 42; }, [](int) {});
+  EXPECT_EQ(R.Stats.Predictions, 1);
+  EXPECT_EQ(R.Stats.FailedPredictions, 0);
+  EXPECT_EQ(R.Stats.Mispredictions, 0);
+}
+
+TEST(Apply, MispredictionIsNotAFailedPrediction) {
+  // A real guess existed and was compared: that is a misprediction, never
+  // a failed prediction.
+  SpecResult<void> R = Speculation::apply<int>(
+      [] { return 7; }, [] { return 99; }, [](int) {});
+  EXPECT_EQ(R.Stats.Predictions, 1);
+  EXPECT_EQ(R.Stats.Mispredictions, 1);
+  EXPECT_EQ(R.Stats.FailedPredictions, 0);
+}
+
+TEST(Apply, ThrowingPredictorCountsFailedPredictionNotMisprediction) {
+  // The predictor never produced a guess, so nothing was compared: the
+  // prediction point resolved without a guess (failed), and the consumer
+  // ran once non-speculatively (one re-execution).
+  SpecResult<void> R = Speculation::apply<int>(
+      [] { return 5; }, []() -> int { throw std::runtime_error("pred"); },
+      [](int) {});
+  EXPECT_EQ(R.Stats.Predictions, 1);
+  EXPECT_EQ(R.Stats.FailedPredictions, 1);
+  EXPECT_EQ(R.Stats.Mispredictions, 0);
+  EXPECT_EQ(R.Stats.Reexecutions, 1);
+}
+
+TEST(Apply, ProducerExceptionCountsNoPredictionPoint) {
+  // The check step never ran, so no prediction point was resolved.
+  SpeculationStats Stats;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Options Opts;
+  Opts.Stats = &Stats;
+  EXPECT_THROW(Speculation::apply<int>(
+                   []() -> int { throw std::runtime_error("producer"); },
+                   [] { return 0; }, [](int) {}, Opts),
+               std::runtime_error);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(Stats.Tasks, 1);
+  EXPECT_EQ(Stats.Predictions, 0);
+  EXPECT_EQ(Stats.FailedPredictions, 0);
+}
+
 TEST(Apply, EagerProducerAbortGoesNonSpeculative) {
   // A predictor far slower than the producer: with the Section 3.3 fix
   // enabled, apply() aborts the speculation instead of waiting for it.
@@ -222,11 +273,16 @@ TEST(Apply, EagerProducerAbortGoesNonSpeculative) {
       },
       [&Seen](int V) { Seen = V; }, SpecConfig().eagerProducerAbort());
   EXPECT_EQ(Seen.load(), 7);
+  // Every resolution path is a resolved prediction point, including the
+  // eager abort (which resolves without a guess).
+  EXPECT_EQ(R.Stats.Predictions, 1);
   // Either the producer truly beat the predictor (the common case: one
   // re-execution, predictor observed the cancel) or the predictor
   // finished first and normal validation ran; both must be correct.
   if (R.Stats.Reexecutions > 0) {
     EXPECT_TRUE(PredictorCancelled.load());
+    EXPECT_EQ(R.Stats.FailedPredictions, 1);
+    EXPECT_EQ(R.Stats.Mispredictions, 0);
   }
 }
 
@@ -810,7 +866,282 @@ TEST(DeprecatedOptions, PoolFieldRoutesOntoItsExecutor) {
   EXPECT_EQ(R, 28);
 }
 
+TEST(DeprecatedOptions, ApplyShimFillsStatsWhenTheRunThrows) {
+  // A correct prediction whose validated consumer throws: the exception
+  // propagates, but the stats gathered before the throw must still reach
+  // the caller's Options::Stats.
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.Stats = &Stats;
+  EXPECT_THROW(Speculation::apply<int>([] { return 1; }, [] { return 1; },
+                                       [](int) {
+                                         throw std::runtime_error("consumer");
+                                       },
+                                       Opts),
+               std::runtime_error);
+  EXPECT_EQ(Stats.Tasks, 1);
+  EXPECT_EQ(Stats.Predictions, 1);
+  EXPECT_EQ(Stats.Mispredictions, 0);
+  EXPECT_EQ(Stats.FailedPredictions, 0);
+}
+
 #pragma GCC diagnostic pop
+
+//===----------------------------------------------------------------------===//
+// Argument validation
+//===----------------------------------------------------------------------===//
+
+TEST(IterateChunked, NonPositiveChunkSizeThrows) {
+  auto Body = [](int64_t I, int64_t A) { return A + I; };
+  auto Pred = [](int64_t) { return int64_t(0); };
+  for (int64_t Bad : {int64_t(0), int64_t(-1), int64_t(-100)}) {
+    EXPECT_THROW(Speculation::iterateChunked<int64_t>(0, 10, Bad, Body, Pred),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (Speculation::iterateChunkedLocal<int64_t, int>(
+            0, 10, Bad, [] { return 0; },
+            [](int64_t I, int &, int64_t A) { return A + I; }, Pred,
+            [](int64_t, int &) {})),
+        std::invalid_argument);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Executor statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Executor, StatsAccountForEveryTask) {
+  SpecExecutor Ex(2);
+  ExecutorStats Before = Ex.stats();
+  std::atomic<int> Ran{0};
+  const int N = 64;
+  for (int I = 0; I < N; ++I)
+    Ex.submit([&Ran] { ++Ran; });
+  Ex.waitIdle();
+  EXPECT_EQ(Ran.load(), N);
+  ExecutorStats D = Ex.stats() - Before;
+  EXPECT_EQ(D.Submits, static_cast<uint64_t>(N));
+  // Every executed task was popped exactly once, from some deque.
+  EXPECT_EQ(D.OwnPops + D.InjectionPops + D.Steals, static_cast<uint64_t>(N));
+  EXPECT_GE(D.PeakQueueDepth, 1u);
+}
+
+TEST(Executor, StatsCountHelpRuns) {
+  SpecExecutor Ex(1);
+  ExecutorStats Before = Ex.stats();
+  std::atomic<int> Ran{0};
+  // The first task parks until the other eight are done; with a single
+  // worker, whichever thread (worker or this one) picks it up, the
+  // remaining tasks can only drain through tryRunOneTask() on the other.
+  Ex.submit([&Ran] {
+    while (Ran.load() < 8)
+      std::this_thread::yield();
+    ++Ran;
+  });
+  for (int I = 0; I < 8; ++I)
+    Ex.submit([&Ran] { ++Ran; });
+  while (Ran.load() < 9)
+    Ex.tryRunOneTask();
+  Ex.waitIdle();
+  ExecutorStats D = Ex.stats() - Before;
+  EXPECT_EQ(D.Submits, 9u);
+  EXPECT_GE(D.HelpRuns, 1u);
+}
+
+TEST(Executor, StatsStringNamesEveryCounter) {
+  ExecutorStats S;
+  S.Submits = 1;
+  std::string Str = S.str();
+  for (const char *Key : {"submits=", "own-pops=", "injection-pops=",
+                          "steals=", "help-runs=", "peak-queue="})
+    EXPECT_NE(Str.find(Key), std::string::npos) << Key;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+/// Events of \p Kind in \p Events, keyed by attempt id.
+std::map<uint64_t, std::vector<SpecEvent>>
+eventsByAttempt(const std::vector<SpecEvent> &Events) {
+  std::map<uint64_t, std::vector<SpecEvent>> ByAttempt;
+  for (const SpecEvent &E : Events)
+    if (E.AttemptId != 0)
+      ByAttempt[E.AttemptId].push_back(E);
+  return ByAttempt;
+}
+
+uint64_t countKind(const std::vector<SpecEvent> &Events, SpecEventKind Kind,
+                   int64_t Index) {
+  uint64_t N = 0;
+  for (const SpecEvent &E : Events)
+    if (E.Kind == Kind && E.Index == Index)
+      ++N;
+  return N;
+}
+
+TEST(Telemetry, ApplyRecordsTheAttemptLifecycle) {
+  Tracer Tr;
+  Speculation::apply<int>([] { return 7; }, [] { return 99; }, [](int) {},
+                          SpecConfig().trace(&Tr));
+  std::vector<SpecEvent> Ev = Tr.snapshot();
+  EXPECT_EQ(countKind(Ev, SpecEventKind::Dispatch, 0), 1u);
+  EXPECT_EQ(countKind(Ev, SpecEventKind::Mispredict, 0), 1u);
+  EXPECT_EQ(countKind(Ev, SpecEventKind::Reexecute, 0), 1u);
+  EXPECT_EQ(countKind(Ev, SpecEventKind::Finalize, 0), 1u);
+  EXPECT_EQ(countKind(Ev, SpecEventKind::ValidateAccept, 0), 0u);
+}
+
+TEST(Telemetry, EventsOrderDispatchStartFinishPerAttempt) {
+  // Forced mispredictions in both validation modes: every attempt that
+  // started must show dispatch < start < finish in the process-wide
+  // sequence order, and every chunk resolves as exactly one of
+  // validate-accept or re-execute, with exactly one finalize.
+  const int64_t N = 48, ChunkSize = 8, Chunks = N / ChunkSize;
+  auto Body = [](int64_t I, int64_t A) { return A + I; };
+  auto Pred = [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-1); };
+  for (ValidationMode Mode : {ValidationMode::Seq, ValidationMode::Par}) {
+    Tracer Tr;
+    auto R = Speculation::iterateChunked<int64_t>(
+        0, N, ChunkSize, Body, Pred,
+        SpecConfig().threads(3).mode(Mode).trace(&Tr));
+    EXPECT_EQ(R.Value, N * (N - 1) / 2);
+    std::vector<SpecEvent> Ev = Tr.snapshot();
+    EXPECT_EQ(Tr.droppedEvents(), 0u);
+
+    for (const auto &Entry : eventsByAttempt(Ev)) {
+      const std::vector<SpecEvent> &A = Entry.second;
+      uint64_t DispatchSeq = 0, StartSeq = 0, FinishSeq = 0;
+      bool HasDispatch = false, HasStart = false, HasFinish = false;
+      for (const SpecEvent &E : A) {
+        if (E.Kind == SpecEventKind::Dispatch) {
+          DispatchSeq = E.Seq;
+          HasDispatch = true;
+        } else if (E.Kind == SpecEventKind::Start) {
+          StartSeq = E.Seq;
+          HasStart = true;
+        } else if (E.Kind == SpecEventKind::Finish) {
+          FinishSeq = E.Seq;
+          HasFinish = true;
+        }
+      }
+      EXPECT_TRUE(HasDispatch) << "attempt " << Entry.first;
+      if (HasStart) {
+        EXPECT_LT(DispatchSeq, StartSeq) << "attempt " << Entry.first;
+        ASSERT_TRUE(HasFinish) << "attempt " << Entry.first;
+        EXPECT_LT(StartSeq, FinishSeq) << "attempt " << Entry.first;
+      }
+    }
+
+    for (int64_t C = 0; C < Chunks; ++C) {
+      EXPECT_EQ(countKind(Ev, SpecEventKind::ValidateAccept, C) +
+                    countKind(Ev, SpecEventKind::Reexecute, C),
+                1u)
+          << "mode " << int(Mode) << " chunk " << C
+          << ": accept xor re-execute";
+      EXPECT_EQ(countKind(Ev, SpecEventKind::Finalize, C), 1u)
+          << "mode " << int(Mode) << " chunk " << C;
+      EXPECT_GE(countKind(Ev, SpecEventKind::Dispatch, C), 1u)
+          << "mode " << int(Mode) << " chunk " << C;
+    }
+    // Chunk 0's input is the known initial value; every later chunk's
+    // prediction was forced wrong, so the validator flags exactly one
+    // misprediction per chunk. In Seq mode that always re-executes; in
+    // Par mode an accepted corrective chain may resolve it instead (the
+    // accept-xor-re-execute invariant above covers both).
+    EXPECT_EQ(countKind(Ev, SpecEventKind::ValidateAccept, 0), 1u);
+    for (int64_t C = 1; C < Chunks; ++C) {
+      EXPECT_EQ(countKind(Ev, SpecEventKind::Mispredict, C), 1u)
+          << "mode " << int(Mode) << " chunk " << C;
+      if (Mode == ValidationMode::Seq) {
+        EXPECT_EQ(countKind(Ev, SpecEventKind::Reexecute, C), 1u)
+            << "chunk " << C;
+      }
+    }
+  }
+}
+
+TEST(Telemetry, PerfectPredictionsAcceptEveryChunk) {
+  Tracer Tr;
+  auto R = Speculation::iterateChunked<int64_t>(
+      0, 40, 8, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t I) { return I * (I - 1) / 2; },
+      SpecConfig().threads(4).trace(&Tr));
+  EXPECT_EQ(R.Value, 40 * 39 / 2);
+  std::vector<SpecEvent> Ev = Tr.snapshot();
+  for (int64_t C = 0; C < 5; ++C) {
+    EXPECT_EQ(countKind(Ev, SpecEventKind::ValidateAccept, C), 1u);
+    EXPECT_EQ(countKind(Ev, SpecEventKind::Reexecute, C), 0u);
+    EXPECT_EQ(countKind(Ev, SpecEventKind::Mispredict, C), 0u);
+  }
+}
+
+TEST(Telemetry, SnapshotIsTotallyOrderedBySeq) {
+  Tracer Tr;
+  Speculation::iterate<int64_t>(
+      0, 24, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t I) { return I % 3 == 0 ? int64_t(-1) : I * (I - 1) / 2; },
+      SpecConfig().threads(4).trace(&Tr));
+  std::vector<SpecEvent> Ev = Tr.snapshot();
+  ASSERT_FALSE(Ev.empty());
+  for (size_t I = 1; I < Ev.size(); ++I)
+    EXPECT_LT(Ev[I - 1].Seq, Ev[I].Seq);
+}
+
+TEST(Telemetry, TinyRingOverwritesAndReportsDrops) {
+  // 16 is the smallest ring the tracer allows; the calling thread records
+  // at least three events per apply(), so 16 rounds must overflow it.
+  Tracer Tr(/*RingCapacity=*/16);
+  for (int Round = 0; Round < 16; ++Round)
+    Speculation::apply<int>([] { return 1; }, [] { return 1; }, [](int) {},
+                            SpecConfig().trace(&Tr));
+  EXPECT_GT(Tr.droppedEvents(), 0u);
+  std::vector<SpecEvent> Ev = Tr.snapshot();
+  EXPECT_FALSE(Ev.empty());
+  // Each surviving ring retains at most its capacity.
+  std::map<uint32_t, uint64_t> PerThread;
+  for (const SpecEvent &E : Ev)
+    ++PerThread[E.ThreadId];
+  for (const auto &Entry : PerThread)
+    EXPECT_LE(Entry.second, 16u);
+}
+
+TEST(Telemetry, ChromeTraceIsWellFormed) {
+  Tracer Tr;
+  Speculation::iterateChunked<int64_t>(
+      0, 32, 8, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-1); },
+      SpecConfig().threads(2).trace(&Tr));
+  std::ostringstream OS;
+  Tr.writeChromeTrace(OS);
+  std::string Json = OS.str();
+  ASSERT_FALSE(Json.empty());
+  EXPECT_EQ(Json.front(), '[');
+  EXPECT_EQ(Json[Json.find_last_not_of(" \n")], ']');
+  for (const char *Needle :
+       {"\"ph\"", "\"ts\"", "\"pid\"", "\"tid\"", "dispatch",
+        "validate-accept", "re-execute", "mispredict"})
+    EXPECT_NE(Json.find(Needle), std::string::npos) << Needle;
+  // Quick structural sanity: braces balance.
+  int64_t Depth = 0;
+  for (char C : Json) {
+    if (C == '{')
+      ++Depth;
+    else if (C == '}')
+      --Depth;
+    EXPECT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+}
+
+TEST(Telemetry, SummaryNamesEventKinds) {
+  Tracer Tr;
+  Speculation::apply<int>([] { return 7; }, [] { return 99; }, [](int) {},
+                          SpecConfig().trace(&Tr));
+  std::string S = Tr.summary();
+  for (const char *Needle : {"dispatch=", "mispredict=", "re-execute="})
+    EXPECT_NE(S.find(Needle), std::string::npos) << S;
+}
 
 /// Property sweep across seeds: a fold with data-dependent control flow,
 /// a half-accurate predictor, random thread counts and both modes.
