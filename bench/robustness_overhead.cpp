@@ -1,0 +1,283 @@
+//===- bench/robustness_overhead.cpp - Cost of the robustness hooks -------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures what the robustness layer costs when it is *not* in use, and
+/// records the fig6-style speedup baseline next to it so future PRs can
+/// see both in one JSON (`BENCH_robustness.json`).
+///
+/// Two configurations of the same chunked iterate() run:
+///  * off   — no FaultPlan, no deadline, no degrade monitor (the default
+///            configuration every existing caller gets);
+///  * armed — a zero-probability FaultPlan installed, a far-future
+///            deadline armed, and the degrade monitor watching with a
+///            threshold it can never trip.
+/// The off->armed delta is a *conservative upper bound* on the cost the
+/// disabled hooks add to a build without them: disabled hooks are single
+/// pointer tests, while armed-but-idle hooks additionally pay atomic
+/// probe counters, deterministic hashing, and deadline clock checks at
+/// every site. Two granularities are measured, min-of-repeats each:
+///  * an empty body isolates the absolute per-chunk hook cost in
+///    nanoseconds (recorded in the JSON so future PRs can track it);
+///  * a realistic body (~tens of microseconds per chunk, still well
+///    below the per-chunk work of the three paper apps) supplies the
+///    denominator for the relative claim: the harness asserts that the
+///    per-chunk armed-but-idle hook cost — hence a fortiori the
+///    disabled-hook cost — stays under --max-overhead-pct (default 2%)
+///    of a realistic chunk's work. All timings are process CPU time,
+///    min-of-repeats, off/armed interleaved (see cpuSeconds()).
+///
+/// The speedup section reuses the fig6 methodology (measured segment
+/// work + prediction outcomes driving the discrete-event simulator) on
+/// one dataset per app, faults off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/SpeculativeHuffman.h"
+#include "apps/SpeculativeLexing.h"
+#include "apps/SpeculativeMwis.h"
+#include "runtime/FaultPlan.h"
+#include "runtime/Speculation.h"
+#include "simsched/SimSched.h"
+#include "support/CommandLine.h"
+#include "workloads/Datasets.h"
+#include "workloads/SourceGen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace specpar;
+using namespace specpar::apps;
+using namespace specpar::lexgen;
+using namespace specpar::huffman;
+using namespace specpar::workloads;
+
+namespace {
+
+/// Busy-work sink: \p Spin rounds of a SplitMix64-style mix, forced via
+/// a volatile store so the optimizer cannot delete it. The carried value
+/// stays 0 so the trivial predictor is always correct and the run
+/// exercises the accept path, not re-execution.
+volatile uint64_t SpinSink;
+void spinWork(int64_t I, int64_t Spin) {
+  uint64_t Z = static_cast<uint64_t>(I) + 0x9e3779b97f4a7c15ULL;
+  for (int64_t K = 0; K < Spin; ++K) {
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  }
+  SpinSink = Z;
+}
+
+/// Process CPU seconds (all threads). The hook cost is CPU work, and on
+/// small shared hosts (this repo's reference box has one vCPU) wall
+/// clock wobbles with scheduler preemption far above the 2% we want to
+/// resolve; CPU time measures exactly the quantity under test.
+double cpuSeconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec TS;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &TS);
+  return static_cast<double>(TS.tv_sec) + static_cast<double>(TS.tv_nsec) * 1e-9;
+#else
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
+}
+
+/// CPU seconds for one chunked run under \p Cfg (N=2000 iterations in
+/// 250 chunks of 8, \p Spin mix rounds per iteration).
+double runCpuSeconds(const rt::SpecConfig &Cfg, int64_t Spin) {
+  const int64_t N = 2000, ChunkSize = 8;
+  double C0 = cpuSeconds();
+  rt::SpecResult<int64_t> Res = rt::Speculation::iterateChunked<int64_t>(
+      0, N, ChunkSize,
+      [Spin](int64_t I, int64_t A) {
+        if (Spin > 0)
+          spinWork(I, Spin);
+        return A;
+      },
+      [](int64_t) { return int64_t(0); }, Cfg);
+  (void)Res;
+  return cpuSeconds() - C0;
+}
+
+/// Min-of-\p Repeats for both configs, interleaved A/B so slow drift
+/// (frequency scaling, noisy neighbours) cancels between the two.
+void minInterleaved(const rt::SpecConfig &CfgA, const rt::SpecConfig &CfgB,
+                    int64_t Spin, int Repeats, double &BestA, double &BestB) {
+  BestA = BestB = -1;
+  for (int R = 0; R < Repeats; ++R) {
+    double A = runCpuSeconds(CfgA, Spin);
+    double B = runCpuSeconds(CfgB, Spin);
+    if (BestA < 0 || A < BestA)
+      BestA = A;
+    if (BestB < 0 || B < BestB)
+      BestB = B;
+  }
+}
+
+struct SpeedupRow {
+  std::string Name;
+  double Speedup[4]; // 1/2/4/8 procs
+};
+
+SpeedupRow simulateApp(const std::string &Name, double SpawnOverhead,
+                       const std::function<SegmentedMeasurement(int)> &Measure) {
+  SpeedupRow Row;
+  Row.Name = Name;
+  int Idx = 0;
+  for (unsigned Procs : {1u, 2u, 4u, 8u}) {
+    SegmentedMeasurement M = Measure(static_cast<int>(Procs));
+    sim::MachineParams P;
+    P.NumProcs = Procs;
+    P.SpawnOverhead = SpawnOverhead;
+    P.ValidationOverhead = SpawnOverhead / 4;
+    P.PredictorWork = M.PredictorSeconds;
+    Row.Speedup[Idx++] = sim::simulateIteration(M.Tasks, P).Speedup;
+  }
+  return Row;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("robustness_overhead",
+                 "Disabled-hook overhead check + fig6 speedup baseline");
+  int64_t *Repeats = Args.intOption("repeats", 9, "min-of-N repeats");
+  int64_t *MaxPct =
+      Args.intOption("max-overhead-pct", 2, "fail above this overhead");
+  std::string *Out = Args.strOption("out", "BENCH_robustness.json",
+                                    "JSON output path (empty: skip)");
+  if (!Args.parse(Argc, Argv))
+    return Args.helpRequested() ? 0 : 2;
+
+  // --- Hook overhead: off vs armed-but-idle ------------------------------
+  rt::SpecExecutor &Ex = rt::SpecExecutor::process();
+  rt::SpecConfig Off = rt::SpecConfig().executor(&Ex);
+
+  rt::FaultPlan Idle(/*Seed=*/1); // every site at probability 0
+  for (rt::FaultSite S :
+       {rt::FaultSite::PredictorThrow, rt::FaultSite::BodyThrow,
+        rt::FaultSite::ComparatorThrow, rt::FaultSite::ForceMispredict,
+        rt::FaultSite::SpuriousCancel, rt::FaultSite::DelayTaskStart,
+        rt::FaultSite::JitterWakeup})
+    Idle.arm(S, 0.0);
+  rt::SpecConfig Armed = rt::SpecConfig()
+                             .executor(&Ex)
+                             .faults(&Idle)
+                             .deadline(std::chrono::hours(24))
+                             .degrade(/*MaxBadRate=*/1.0, /*Window=*/8);
+
+  const int Reps = static_cast<int>(*Repeats);
+  // ~3000 mix rounds ~= a few tens of microseconds per 8-iteration
+  // chunk; the paper apps' chunks (lexing 10k+ chars, decoding 10k+
+  // bits) are far heavier, so the relative bound below is conservative.
+  const int64_t RealisticSpin = 3000;
+
+  // Warm both paths (thread pool spin-up, first-touch of the plan).
+  runCpuSeconds(Off, 0);
+  runCpuSeconds(Armed, 0);
+  double OffTrivial, ArmedTrivial, OffReal, ArmedReal;
+  minInterleaved(Off, Armed, 0, Reps, OffTrivial, ArmedTrivial);
+  const double HookNsPerChunk = (ArmedTrivial - OffTrivial) / 250.0 * 1e9;
+  minInterleaved(Off, Armed, RealisticSpin, Reps, OffReal, ArmedReal);
+  // The asserted number: per-chunk hook cost (resolved on the empty-body
+  // runs, where it is ~25% of the run and far above scheduler noise)
+  // relative to a realistic chunk's work. A direct A/B at realistic
+  // granularity cannot resolve 2% on a one-vCPU host — the ~0.15% true
+  // delta drowns in schedule-dependent helping/wait CPU — so that pair
+  // is reported for tracking only.
+  const double RealChunkSec = OffReal / 250.0;
+  const double OverheadPct =
+      std::max(0.0, HookNsPerChunk) * 1e-9 / RealChunkSec * 100.0;
+
+  std::printf("=== robustness hook overhead (chunked iterate, 250 "
+              "chunks, CPU time, min of %d) ===\n",
+              Reps);
+  std::printf("empty body:      off %8.1f us  armed-idle %8.1f us  "
+              "(%+.0f ns/chunk absolute hook cost)\n",
+              OffTrivial * 1e6, ArmedTrivial * 1e6, HookNsPerChunk);
+  std::printf("realistic body:  off %8.1f us  armed-idle %8.1f us\n",
+              OffReal * 1e6, ArmedReal * 1e6);
+  std::printf("hook cost vs realistic chunk (%.1f us): %5.2f %% "
+              "(budget %lld%%)\n\n",
+              RealChunkSec * 1e6, OverheadPct,
+              static_cast<long long>(*MaxPct));
+
+  // --- Fig6-style speedups, faults off -----------------------------------
+  const double SpawnOverhead = OffTrivial / 250.0; // 2000/8 = 250 chunk tasks
+  std::vector<SpeedupRow> Rows;
+
+  std::string Text = generateSource(Language::Java, 42, 500000);
+  Lexer LX = makeLexer(Language::Java);
+  Rows.push_back(simulateApp("lex/java", SpawnOverhead, [&](int Tasks) {
+    return measureLexing(LX, Text, Tasks, /*Overlap=*/2048);
+  }));
+
+  std::vector<uint8_t> Data =
+      generateHuffmanData(HuffmanFlavour::Text, 23, 400000);
+  Encoded E = encode(Data);
+  Decoder D(E.Code);
+  BitReader In(E.Bytes, E.NumBits);
+  Rows.push_back(simulateApp("huffman/text", SpawnOverhead, [&](int Tasks) {
+    return measureHuffman(D, In, Tasks, /*OverlapBits=*/2048 * 8);
+  }));
+
+  std::vector<int64_t> W = generatePathGraph(31, 500000, 5000);
+  Rows.push_back(simulateApp("mwis/path", SpawnOverhead, [&](int Tasks) {
+    return measureMwis(W, Tasks, /*Overlap=*/2048);
+  }));
+
+  std::printf("%-14s %7s %7s %7s %7s\n", "benchmark", "1 thr", "2 thr",
+              "4 thr", "8 thr");
+  for (const SpeedupRow &R : Rows)
+    std::printf("%-14s %7.2f %7.2f %7.2f %7.2f\n", R.Name.c_str(),
+                R.Speedup[0], R.Speedup[1], R.Speedup[2], R.Speedup[3]);
+
+  if (!Out->empty()) {
+    std::FILE *F = std::fopen(Out->c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Out->c_str());
+      return 1;
+    }
+    std::fprintf(F, "{\n  \"hook_overhead\": {\n");
+    std::fprintf(F, "    \"empty_body_off_cpu_us\": %.3f,\n",
+                 OffTrivial * 1e6);
+    std::fprintf(F, "    \"empty_body_armed_idle_cpu_us\": %.3f,\n",
+                 ArmedTrivial * 1e6);
+    std::fprintf(F, "    \"armed_idle_hook_ns_per_chunk\": %.1f,\n",
+                 HookNsPerChunk);
+    std::fprintf(F, "    \"realistic_body_off_cpu_us\": %.3f,\n",
+                 OffReal * 1e6);
+    std::fprintf(F, "    \"realistic_body_armed_idle_cpu_us\": %.3f,\n",
+                 ArmedReal * 1e6);
+    std::fprintf(F, "    \"hook_pct_of_realistic_chunk\": %.3f,\n",
+                 OverheadPct);
+    std::fprintf(F, "    \"budget_pct\": %lld\n  },\n",
+                 static_cast<long long>(*MaxPct));
+    std::fprintf(F, "  \"fig6_speedups_faults_off\": {\n");
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(F, "    \"%s\": [%.3f, %.3f, %.3f, %.3f]%s\n",
+                   Rows[I].Name.c_str(), Rows[I].Speedup[0],
+                   Rows[I].Speedup[1], Rows[I].Speedup[2], Rows[I].Speedup[3],
+                   I + 1 == Rows.size() ? "" : ",");
+    std::fprintf(F, "  }\n}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Out->c_str());
+  }
+
+  if (OverheadPct > static_cast<double>(*MaxPct)) {
+    std::fprintf(stderr,
+                 "robustness_overhead: armed-but-idle hook cost is %.2f%% "
+                 "of a realistic chunk (budget %lld%%)\n",
+                 OverheadPct, static_cast<long long>(*MaxPct));
+    return 1;
+  }
+  std::printf("robustness_overhead: PASS\n");
+  return 0;
+}

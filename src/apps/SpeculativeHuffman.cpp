@@ -44,6 +44,10 @@ HuffmanRun specpar::apps::speculativeDecode(const Decoder &D,
           [&](int64_t I, std::vector<uint8_t> &Local, int64_t StartBit) {
             if (StartBit < 0)
               return int64_t(-1); // garbage input from a desynchronized chain
+            // Cooperative cancellation between bit sub-segments; a
+            // cancelled attempt's output is never accepted.
+            if (rt::currentTaskCancelled())
+              return StartBit;
             int64_t SegEnd = I + 1 == NumSub ? NumBits : Bound(I + 1);
             return D.decodeRange(In, StartBit, SegEnd, &Local);
           },

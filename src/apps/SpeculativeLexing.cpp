@@ -48,6 +48,11 @@ LexRun specpar::apps::speculativeLex(const Lexer &L, std::string_view Text,
           /*Init=*/[] { return std::vector<Token>(); },
           /*Body=*/
           [&](int64_t I, std::vector<Token> &Local, LexState In) {
+            // Cooperative cancellation between sub-fragments: an attempt
+            // that observed cancellation is never accepted, so bailing
+            // with the unprocessed state is safe and stops wasted work.
+            if (rt::currentTaskCancelled())
+              return In;
             return L.lexRange(Text, Bound(I), Bound(I + 1), In, &Local);
           },
           /*Predictor=*/

@@ -44,6 +44,10 @@ MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
   rt::SpecResult<int64_t> Fwd = rt::Speculation::iterateChunked<int64_t>(
       0, NumSub, kMwisChunkSize,
       [&](int64_t I, int64_t DIn) {
+        // Cooperative cancellation between node sub-segments; a cancelled
+        // attempt's output is never accepted.
+        if (rt::currentTaskCancelled())
+          return DIn;
         return forwardSegment(Weights, Bound(I), Bound(I + 1), DIn, D);
       },
       [&](int64_t I) {
@@ -58,6 +62,8 @@ MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
   rt::SpecResult<int64_t> Bwd = rt::Speculation::iterateChunked<int64_t>(
       0, NumSub, kMwisChunkSize,
       [&](int64_t I, int64_t NextTaken) {
+        if (rt::currentTaskCancelled())
+          return NextTaken;
         int64_t Seg = NumSub - 1 - I;
         return static_cast<int64_t>(backwardSegment(
             D, Bound(Seg), Bound(Seg + 1), NextTaken != 0, Taken));

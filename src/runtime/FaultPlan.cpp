@@ -1,0 +1,126 @@
+//===- runtime/FaultPlan.cpp - Deterministic fault injection --------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/FaultPlan.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace specpar;
+using namespace specpar::rt;
+
+const char *specpar::rt::faultSiteName(FaultSite S) {
+  switch (S) {
+  case FaultSite::PredictorThrow:
+    return "predictor-throw";
+  case FaultSite::BodyThrow:
+    return "body-throw";
+  case FaultSite::ComparatorThrow:
+    return "comparator-throw";
+  case FaultSite::ForceMispredict:
+    return "force-mispredict";
+  case FaultSite::SpuriousCancel:
+    return "spurious-cancel";
+  case FaultSite::DelayTaskStart:
+    return "delay-task-start";
+  case FaultSite::JitterWakeup:
+    return "jitter-wakeup";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// SplitMix64 finalizer: a high-quality mix of (seed, site, probe) into a
+/// uniform 64-bit value. Pure, so the k-th decision of a site is fully
+/// determined by the plan's seed.
+uint64_t mix(uint64_t Seed, uint64_t Site, uint64_t Probe) {
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ULL * (Site + 1) +
+               0xbf58476d1ce4e5b9ULL * Probe;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+FaultPlan &FaultPlan::arm(FaultSite Site, double Probability) {
+  double P = std::clamp(Probability, 0.0, 1.0);
+  // Probability as a 32-bit fixed-point threshold; 1.0 saturates so a
+  // certainly-armed site fires on every probe.
+  uint64_t T = static_cast<uint64_t>(P * 4294967296.0);
+  Threshold[static_cast<size_t>(Site)].store(
+      static_cast<uint32_t>(std::min<uint64_t>(T, 0xffffffffULL)),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+FaultPlan &FaultPlan::delayRange(std::chrono::microseconds Lo,
+                                 std::chrono::microseconds Hi) {
+  int64_t L = std::max<int64_t>(0, Lo.count());
+  int64_t H = std::max<int64_t>(L, Hi.count());
+  DelayLoUs.store(L, std::memory_order_relaxed);
+  DelayHiUs.store(H, std::memory_order_relaxed);
+  return *this;
+}
+
+bool FaultPlan::shouldFire(FaultSite Site) {
+  size_t I = static_cast<size_t>(Site);
+  uint64_t Probe = Probes[I].fetch_add(1, std::memory_order_relaxed) + 1;
+  uint32_t T = Threshold[I].load(std::memory_order_relaxed);
+  if (T == 0)
+    return false;
+  // Fire iff the mixed probe value falls under the fixed-point threshold;
+  // a saturated threshold (p = 1.0) always fires.
+  bool Fire = T == 0xffffffffu ||
+              static_cast<uint32_t>(mix(Seed, I, Probe)) < T;
+  if (Fire)
+    Fired[I].fetch_add(1, std::memory_order_relaxed);
+  return Fire;
+}
+
+bool FaultPlan::maybeDelay(FaultSite Site) {
+  if (!shouldFire(Site))
+    return false;
+  int64_t Lo = DelayLoUs.load(std::memory_order_relaxed);
+  int64_t Hi = DelayHiUs.load(std::memory_order_relaxed);
+  uint64_t Probe =
+      Probes[static_cast<size_t>(Site)].load(std::memory_order_relaxed);
+  int64_t Us = Lo;
+  if (Hi > Lo)
+    Us += static_cast<int64_t>(mix(Seed ^ 0x5DEECE66DULL,
+                                   static_cast<uint64_t>(Site), Probe) %
+                               static_cast<uint64_t>(Hi - Lo + 1));
+  std::this_thread::sleep_for(std::chrono::microseconds(Us));
+  return true;
+}
+
+uint64_t FaultPlan::totalFired() const {
+  uint64_t Total = 0;
+  for (size_t I = 0; I < NumFaultSites; ++I)
+    Total += Fired[I].load(std::memory_order_relaxed);
+  return Total;
+}
+
+std::string FaultPlan::str() const {
+  std::string Out =
+      formatString("faults(seed=%llu)", static_cast<unsigned long long>(Seed));
+  for (size_t I = 0; I < NumFaultSites; ++I) {
+    uint32_t T = Threshold[I].load(std::memory_order_relaxed);
+    uint64_t P = Probes[I].load(std::memory_order_relaxed);
+    if (T == 0 && P == 0)
+      continue;
+    Out += formatString(
+        " %s=p%.3f:%llu/%llu", faultSiteName(FaultSite(I)),
+        static_cast<double>(T) / 4294967296.0,
+        static_cast<unsigned long long>(Fired[I].load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(P));
+  }
+  return Out;
+}

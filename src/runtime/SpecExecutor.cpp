@@ -7,6 +7,7 @@
 
 #include "runtime/SpecExecutor.h"
 
+#include "runtime/FaultPlan.h"
 #include "support/StringUtils.h"
 
 using namespace specpar;
@@ -82,6 +83,11 @@ void SpecExecutor::submit(std::function<void()> Task) {
     std::unique_lock<std::mutex> Lock(Deques[DequeIdx]->M);
     Deques[DequeIdx]->Q.push_back(std::move(Task));
   }
+  // Injection site: stall between enqueue and wakeup, widening the window
+  // in which sleeping workers could miss this submission (the Epoch
+  // protocol below must absorb it).
+  if (FaultPlan *P = Faults.load(std::memory_order_acquire))
+    P->maybeDelay(FaultSite::JitterWakeup);
   SubmitCount.fetch_add(1, std::memory_order_relaxed);
   {
     std::unique_lock<std::mutex> Lock(ProgressM);
@@ -137,6 +143,10 @@ bool SpecExecutor::popTask(unsigned WorkerIdx, std::function<void()> &Out) {
 }
 
 void SpecExecutor::runTask(std::function<void()> &Task) {
+  // Injection site: a popped task's start is delayed, as a preempted or
+  // descheduled worker would delay it.
+  if (FaultPlan *P = Faults.load(std::memory_order_acquire))
+    P->maybeDelay(FaultSite::DelayTaskStart);
   Task();
   Task = nullptr; // release captures before signalling completion
   {
@@ -183,6 +193,11 @@ void SpecExecutor::workerLoop(unsigned WorkerIdx) {
       runTask(Task);
       continue;
     }
+    // Injection site: dawdle between the empty scan and going to sleep —
+    // a submit can land right here, and only the Seen-epoch re-check
+    // keeps the worker from sleeping through it.
+    if (FaultPlan *P = Faults.load(std::memory_order_acquire))
+      P->maybeDelay(FaultSite::JitterWakeup);
     std::unique_lock<std::mutex> Lock(ProgressM);
     ProgressCV.wait(Lock, [&] {
       return Epoch != Seen || (ShuttingDown && Pending == 0);

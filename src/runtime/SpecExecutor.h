@@ -51,6 +51,8 @@
 namespace specpar {
 namespace rt {
 
+class FaultPlan;
+
 /// A point-in-time snapshot of an executor's activity counters
 /// (monotonically increasing since construction, except PeakQueueDepth
 /// which is a high-water mark). Subtract two snapshots to attribute
@@ -120,6 +122,21 @@ public:
   /// is read atomically; the set is not fenced against in-flight tasks).
   ExecutorStats stats() const;
 
+  /// Installs \p Plan as this executor's fault-injection plan (nullptr to
+  /// remove). Arms the executor-level sites: `DelayTaskStart` sleeps a
+  /// jittered delay before a popped task runs, `JitterWakeup` sleeps
+  /// around the submit/wake paths to widen race windows. The plan must
+  /// outlive every task submitted while it is installed; with none
+  /// installed (the default) each site is a single pointer test. Faults
+  /// never drop work: every submitted task still runs, including through
+  /// destruction's drain.
+  void injectFaults(FaultPlan *Plan) {
+    Faults.store(Plan, std::memory_order_release);
+  }
+  FaultPlan *injectedFaults() const {
+    return Faults.load(std::memory_order_acquire);
+  }
+
   /// The number of workers `NumThreads == 0` resolves to: one per
   /// hardware thread, at least one.
   static unsigned defaultThreads();
@@ -156,6 +173,9 @@ private:
   std::atomic<uint64_t> StealCount{0};
   std::atomic<uint64_t> HelpRunCount{0};
   std::atomic<uint64_t> PeakQueue{0};
+
+  /// Fault-injection plan for the executor-level sites (null = off).
+  std::atomic<FaultPlan *> Faults{nullptr};
 
   /// Progress accounting: Pending counts submitted-but-unfinished tasks;
   /// Epoch bumps on every submit and completion so sleepers never miss a

@@ -13,10 +13,25 @@ using namespace specpar;
 using namespace specpar::rt;
 
 thread_local const std::atomic<bool> *detail::CurrentCancelFlag = nullptr;
+thread_local std::chrono::steady_clock::time_point detail::CurrentDeadline =
+    std::chrono::steady_clock::time_point::max();
+thread_local std::atomic<bool> *detail::CurrentCancelObserved = nullptr;
 
 bool specpar::rt::currentTaskCancelled() {
-  const std::atomic<bool> *Flag = detail::CurrentCancelFlag;
-  return Flag && Flag->load(std::memory_order_relaxed);
+  bool Cancelled = false;
+  if (const std::atomic<bool> *Flag = detail::CurrentCancelFlag)
+    Cancelled = Flag->load(std::memory_order_relaxed);
+  // Deadline expiry is only checked when one is armed: the common path
+  // stays a thread-local load plus an atomic load, no clock read.
+  if (!Cancelled &&
+      detail::CurrentDeadline != std::chrono::steady_clock::time_point::max())
+    Cancelled = std::chrono::steady_clock::now() >= detail::CurrentDeadline;
+  if (Cancelled)
+    // Record that this attempt *observed* cancellation: it may now bail
+    // with a partial value, so the validator must never accept it.
+    if (std::atomic<bool> *Observed = detail::CurrentCancelObserved)
+      Observed->store(true, std::memory_order_relaxed);
+  return Cancelled;
 }
 
 std::string SpeculationStats::str() const {
@@ -28,5 +43,8 @@ std::string SpeculationStats::str() const {
   if (FailedPredictions)
     Out += formatString(" failed-predictions=%lld",
                         static_cast<long long>(FailedPredictions));
+  if (DegradedChunks)
+    Out += formatString(" degraded-chunks=%lld",
+                        static_cast<long long>(DegradedChunks));
   return Out;
 }

@@ -50,12 +50,50 @@
 ///    implementation): speculative bodies may poll
 ///    `currentTaskCancelled()` to stop early once invalidated.
 ///
+/// Exception contracts of the user callbacks:
+///  * a throwing *predictor* at a speculative prediction point is a
+///    *failed prediction* (`SpeculationStats::FailedPredictions`): no
+///    attempt is dispatched for that point and the validator executes it
+///    in order. `Predictor(Low)` — the non-speculative initial value —
+///    propagates;
+///  * a throwing *equality comparator* never propagates from a
+///    speculative validation path: the comparison is treated
+///    pessimistically (prediction failed / inputs differ), the affected
+///    iteration is re-executed with the correct input, and the prediction
+///    point counts under `FailedPredictions`;
+///  * a throwing *body* propagates only from the first valid iteration
+///    (sequential semantics); a throwing *finalizer* propagates after
+///    in-flight attempts are cancelled and drained, and no later
+///    finalizer runs.
+///
+/// Robustness (this header + runtime/FaultPlan.h):
+///  * `SpecConfig::faults(&Plan)` installs a seeded deterministic
+///    `FaultPlan` whose named sites (predictor/body/comparator throws,
+///    forced mispredictions, spurious cancellations) exercise the
+///    contracts above from inside the runtime; with none installed every
+///    site is a single pointer test, mirroring the tracer;
+///  * `SpecConfig::deadline(budget)` arms a cooperative deadline: bodies
+///    observe it through `currentTaskCancelled()`, and the run throws
+///    `SpecTimeoutError` after cancelling and draining every in-flight
+///    attempt — no task is ever leaked. Under rollback freedom the
+///    abandoned partial work is unobservable (validated finalizers that
+///    already ran stay run);
+///  * `SpecConfig::degrade(rate, window)` arms the adaptive sequential
+///    fallback: when the misprediction/failure rate over a sliding window
+///    of prediction points exceeds `rate`, the run stops speculating,
+///    cancels in-flight attempts, and executes the remaining chunks
+///    in-order on the calling thread (`SpeculationStats::DegradedChunks`,
+///    `SpecEventKind::Degrade`) — each remaining chunk executes exactly
+///    once, never speculatively plus again;
+///  * `SpecConfig::statsOut(&S)` publishes the run's statistics even when
+///    the run throws (timeout, user exception, injected fault).
+///
 /// Observability: `SpecConfig::trace(&Tracer)` installs an event sink
 /// (runtime/Telemetry.h) that records the whole attempt lifecycle —
 /// dispatch, start, finish, cancel, Par-mode chaining, validate-accept,
-/// misprediction, re-execution, finalize — exportable as a Chrome
-/// trace_event timeline. With no sink installed every instrumentation
-/// site is a single pointer test.
+/// misprediction, re-execution, finalize, degrade, timeout — exportable
+/// as a Chrome trace_event timeline. With no sink installed every
+/// instrumentation site is a single pointer test.
 ///
 /// The pre-redesign `Options` + `SpeculationStats*` out-param overloads
 /// remain as deprecated thin wrappers; see docs/runtime-api.md for the
@@ -66,10 +104,12 @@
 #ifndef SPECPAR_RUNTIME_SPECULATION_H
 #define SPECPAR_RUNTIME_SPECULATION_H
 
+#include "runtime/FaultPlan.h"
 #include "runtime/SpecExecutor.h"
 #include "runtime/Telemetry.h"
 #include "runtime/ThreadPool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -105,13 +145,38 @@ struct SpeculationStats {
   /// Only counted when a guess actually existed; see FailedPredictions.
   int64_t Mispredictions = 0;
   /// Prediction points resolved without a usable guess: the predictor
-  /// threw, or an eager producer abort cancelled it before it produced
-  /// one. Disjoint from Mispredictions (nothing was compared).
+  /// threw, the equality comparator threw while validating, or an eager
+  /// producer abort cancelled the predictor before it produced one.
+  /// Disjoint from Mispredictions (nothing was reliably compared).
   int64_t FailedPredictions = 0;
   /// Consumer/iteration re-executions performed by the validator itself.
   int64_t Reexecutions = 0;
+  /// Chunks executed in-order by the adaptive sequential fallback after
+  /// the degrade monitor tripped (SpecConfig::degrade()). Disjoint from
+  /// Reexecutions: a degraded chunk runs exactly once, non-speculatively.
+  int64_t DegradedChunks = 0;
 
   std::string str() const;
+};
+
+/// Thrown by a speculative run whose `SpecConfig::deadline()` expired.
+/// By the time it propagates every in-flight attempt has been cancelled
+/// and drained — the run leaks no task. Deadlines are cooperative:
+/// expiration is observed at the runtime's own wait/validation points and
+/// by bodies polling `currentTaskCancelled()`; a body that never polls
+/// can overrun its budget.
+class SpecTimeoutError : public std::runtime_error {
+public:
+  explicit SpecTimeoutError(std::chrono::nanoseconds Budget)
+      : std::runtime_error(
+            "speculative run exceeded its deadline (" +
+            std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                               Budget)
+                               .count()) +
+            " ms budget)"),
+        Budget(Budget) {}
+  /// The configured budget (SpecConfig::deadline()), not the overrun.
+  const std::chrono::nanoseconds Budget;
 };
 
 /// The result of a speculative run: the computed value plus the run's
@@ -169,11 +234,58 @@ public:
   }
   /// Installs \p T as the run's event sink: the runtime records the full
   /// attempt lifecycle (dispatch/start/finish/cancel/chain/validate/
-  /// mispredict/re-execute/finalize) into it. The tracer must outlive the
-  /// run. With no sink (the default) tracing costs one pointer test per
-  /// instrumentation site — nothing is allocated or synchronized.
+  /// mispredict/re-execute/finalize/degrade/timeout) into it. The tracer
+  /// must outlive the run. With no sink (the default) tracing costs one
+  /// pointer test per instrumentation site — nothing is allocated or
+  /// synchronized.
   SpecConfig &trace(Tracer *T) {
     TraceSink = T;
+    return *this;
+  }
+  /// Installs \p P as the run's fault-injection plan for the
+  /// Speculation-level sites (throws, forced mispredictions, spurious
+  /// cancellations — see runtime/FaultPlan.h). The plan must outlive the
+  /// run. When the run creates a *transient* executor (`threads(N > 0)`
+  /// without `executor()`), the plan is also installed on it, arming the
+  /// executor timing sites for exactly this run; a shared or explicit
+  /// executor is left alone — arm it yourself with
+  /// `SpecExecutor::injectFaults()` if desired. With no plan (the
+  /// default) every site is a single pointer test.
+  SpecConfig &faults(FaultPlan *P) {
+    FaultSink = P;
+    return *this;
+  }
+  /// Arms a cooperative deadline: the run may spend at most \p Budget
+  /// from the moment it starts. Speculative bodies observe expiry through
+  /// `currentTaskCancelled()`; the validator observes it at every wait
+  /// and chunk boundary, then cancels and drains all in-flight attempts
+  /// and throws `SpecTimeoutError`. `0` (the default) means no deadline.
+  /// Nested runs inherit the tighter of their own and the enclosing
+  /// attempt's deadline.
+  SpecConfig &deadline(std::chrono::nanoseconds Budget) {
+    Deadline = Budget;
+    return *this;
+  }
+  /// Arms the adaptive sequential fallback: over a sliding window of the
+  /// last \p Window prediction points, if the fraction that resolved
+  /// badly (mispredicted or failed) exceeds \p MaxBadRate, the run stops
+  /// dispatching speculation, cancels what is in flight, and executes the
+  /// remaining iterations/chunks in order on the calling thread. Each
+  /// degraded chunk runs exactly once (counted in
+  /// `SpeculationStats::DegradedChunks`, traced as `Degrade`). A negative
+  /// \p MaxBadRate (the default) disables the monitor; `degrade(0.0)`
+  /// degrades on the first bad window.
+  SpecConfig &degrade(double MaxBadRate, int Window = 8) {
+    DegradeThresh = MaxBadRate;
+    DegradeWin = Window < 1 ? 1 : Window;
+    return *this;
+  }
+  /// Publishes the run's statistics into \p S when the run ends — on
+  /// success *and* on every throwing path (user exception, injected
+  /// fault, SpecTimeoutError), where the SpecResult carrying them never
+  /// materializes. \p S must outlive the run.
+  SpecConfig &statsOut(SpeculationStats *S) {
+    StatsSink = S;
     return *this;
   }
 
@@ -182,6 +294,11 @@ public:
   SpecExecutor *executor() const { return Ex; }
   bool eagerProducerAbort() const { return EagerAbort; }
   Tracer *trace() const { return TraceSink; }
+  FaultPlan *faults() const { return FaultSink; }
+  std::chrono::nanoseconds deadline() const { return Deadline; }
+  double degradeThreshold() const { return DegradeThresh; }
+  int degradeWindow() const { return DegradeWin; }
+  SpeculationStats *statsOut() const { return StatsSink; }
 
   /// The persistent executor this config resolves to — the explicit one,
   /// or the process-wide default — or nullptr when the run will create a
@@ -199,6 +316,11 @@ private:
   SpecExecutor *Ex = nullptr;
   bool EagerAbort = false;
   Tracer *TraceSink = nullptr;
+  FaultPlan *FaultSink = nullptr;
+  std::chrono::nanoseconds Deadline{0};
+  double DegradeThresh = -1.0;
+  int DegradeWin = 8;
+  SpeculationStats *StatsSink = nullptr;
 };
 
 /// A shared cancellation flag (cooperative, like .NET's).
@@ -218,25 +340,52 @@ private:
 namespace detail {
 /// The cancellation flag of the speculative task running on this thread.
 extern thread_local const std::atomic<bool> *CurrentCancelFlag;
+/// The cooperative deadline of the speculative run enclosing this thread
+/// (time_point::max() = none). Nested scopes keep the tighter deadline.
+extern thread_local std::chrono::steady_clock::time_point CurrentDeadline;
+/// Where `currentTaskCancelled()` records that the running attempt
+/// *observed* cancellation (and may therefore have bailed with partial
+/// output). The validator refuses to accept such attempts.
+extern thread_local std::atomic<bool> *CurrentCancelObserved;
 
-/// RAII: marks the current thread as running under \p Token.
+/// RAII: marks the current thread as running under \p Token, optionally
+/// with a deadline and an observation flag for `currentTaskCancelled()`.
 class CancelScope {
 public:
   explicit CancelScope(const CancellationToken &Token)
-      : Saved(CurrentCancelFlag) {
+      : SavedFlag(CurrentCancelFlag), SavedDeadline(CurrentDeadline),
+        SavedObserved(CurrentCancelObserved) {
     CurrentCancelFlag = Token.raw();
+    CurrentCancelObserved = nullptr;
   }
-  ~CancelScope() { CurrentCancelFlag = Saved; }
+  CancelScope(const CancellationToken &Token,
+              std::chrono::steady_clock::time_point Deadline,
+              std::atomic<bool> *Observed)
+      : CancelScope(Token) {
+    // An enclosing run's deadline stays binding inside a nested run.
+    CurrentDeadline = std::min(SavedDeadline, Deadline);
+    CurrentCancelObserved = Observed;
+  }
+  ~CancelScope() {
+    CurrentCancelFlag = SavedFlag;
+    CurrentDeadline = SavedDeadline;
+    CurrentCancelObserved = SavedObserved;
+  }
 
 private:
-  const std::atomic<bool> *Saved;
+  const std::atomic<bool> *SavedFlag;
+  std::chrono::steady_clock::time_point SavedDeadline;
+  std::atomic<bool> *SavedObserved;
 };
 } // namespace detail
 
 /// True if the speculative task running on this thread has been cancelled
-/// (its prediction was invalidated). Long-running bodies should poll this —
+/// (its prediction was invalidated, the run is tearing down, or the run's
+/// cooperative deadline expired). Long-running bodies should poll this —
 /// the paper's cooperative-cancellation contract. Chunked bodies may poll
-/// it between iterations of a chunk.
+/// it between iterations of a chunk. A body that returns early after
+/// observing `true` is never accepted by the validator, so bailing with a
+/// partial value is always safe.
 bool currentTaskCancelled();
 
 /// Deprecated knobs for a speculative run; superseded by `SpecConfig`.
@@ -275,6 +424,10 @@ template <typename T, typename U> struct Attempt {
   /// Telemetry attempt id (0 when no tracer is installed).
   uint64_t TraceId = 0;
   CancellationToken Cancel;
+  /// Set by `currentTaskCancelled()` when the body observed cancellation
+  /// mid-run: its output may be a partial bail-out value and must never
+  /// be accepted.
+  std::atomic<bool> ObservedCancel{false};
 };
 
 /// Shared state of one iterate() run.
@@ -284,11 +437,28 @@ template <typename T, typename U> struct IterRun {
   std::vector<std::vector<std::unique_ptr<Attempt<T, U>>>> Slots;
   int64_t Outstanding = 0;   // attempts queued or running
   uint64_t FinishCounter = 0; // orders attempt completions
+  /// The run is tearing down (final drain, degrade, timeout): an initial
+  /// attempt that is already cancelled when it starts may skip its body
+  /// entirely. Never set while the validator still wants bodies to run —
+  /// cancelled-but-running bodies stay observable (cooperative
+  /// cancellation tests rely on it).
+  std::atomic<bool> Draining{false};
 
   void attemptFinished() {
     std::unique_lock<std::mutex> Lock(M);
     --Outstanding;
     CV.notify_all();
+  }
+};
+
+/// Copies the run's accumulated statistics into SpecConfig::statsOut()
+/// (when set) on every exit path, including throws.
+struct StatsOutGuard {
+  const SpeculationStats &Local;
+  SpeculationStats *Out;
+  ~StatsOutGuard() {
+    if (Out)
+      *Out = Local;
   }
 };
 
@@ -312,6 +482,7 @@ public:
                                 const SpecConfig &Cfg = SpecConfig(),
                                 Eq Equal = Eq()) {
     SpecResult<void> Result;
+    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut()};
     applyImpl<T>(std::forward<ProducerFn>(Producer),
                  std::forward<PredictorFn>(Predictor),
                  std::forward<ConsumerFn>(Consumer), Cfg, Equal, Result.Stats);
@@ -319,9 +490,8 @@ public:
   }
 
 private:
-  /// apply() engine: fills \p Stats in place so callers (notably the
-  /// deprecated Options shim) observe whatever was gathered even when the
-  /// run throws.
+  /// apply() engine: fills \p Stats in place so callers observe whatever
+  /// was gathered even when the run throws.
   template <typename T, typename ProducerFn, typename PredictorFn,
             typename ConsumerFn, typename Eq>
   static void applyImpl(ProducerFn &&Producer, PredictorFn &&Predictor,
@@ -330,6 +500,9 @@ private:
     std::optional<SpecExecutor> Transient;
     SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
     Tracer *const Tr = Cfg.trace();
+    FaultPlan *const FP = Cfg.faults();
+    const std::chrono::steady_clock::time_point Deadline =
+        resolveDeadline(Cfg);
     const uint64_t AId = Tr ? Tr->newAttemptId() : 0;
 
     struct SpecState {
@@ -338,20 +511,31 @@ private:
       std::optional<T> Guess;
       std::exception_ptr ConsumerErr;
       bool ConsumerDone = false;
+      /// The speculative consumer actually ran to completion (it may
+      /// still have thrown); false when it was skipped because the guess
+      /// was missing or the attempt was cancelled before it started.
+      bool ConsumerRan = false;
       CancellationToken Cancel;
+      /// The consumer observed cancellation mid-run (spurious cancel or
+      /// expired deadline): its side effects may be partial, so the
+      /// validated path must re-execute.
+      std::atomic<bool> ObservedCancel{false};
     };
     auto State = std::make_shared<SpecState>();
 
     ++Stats.Tasks;
     if (Tr)
       Tr->record(SpecEventKind::Dispatch, 0, AId);
-    Ex.submit([State, &Predictor, &Consumer, Tr, AId] {
-      detail::CancelScope Scope(State->Cancel);
+    Ex.submit([State, &Predictor, &Consumer, Tr, FP, AId, Deadline] {
+      detail::CancelScope Scope(State->Cancel, Deadline,
+                                &State->ObservedCancel);
       if (Tr)
         Tr->record(SpecEventKind::Start, 0, AId);
       std::optional<T> G;
       std::exception_ptr Err;
       try {
+        if (FP)
+          FP->maybeThrow(FaultSite::PredictorThrow);
         G = Predictor();
       } catch (...) {
         // A failing predictor counts as an unusable guess; the validator
@@ -363,8 +547,17 @@ private:
         State->Guess = G;
         State->CV.notify_all();
       }
+      // Injection site: trip the attempt's cancellation flag for no
+      // reason, right in the window between guess publication and the
+      // consumer's decision to run.
+      if (FP && FP->shouldFire(FaultSite::SpuriousCancel))
+        State->Cancel.cancel();
+      bool Ran = false;
       if (G && !State->Cancel.isCancelled()) {
+        Ran = true;
         try {
+          if (FP)
+            FP->maybeThrow(FaultSite::BodyThrow);
           Consumer(*G);
         } catch (...) {
           Err = std::current_exception();
@@ -377,6 +570,7 @@ private:
       {
         std::unique_lock<std::mutex> Lock(State->M);
         State->ConsumerErr = Err;
+        State->ConsumerRan = Ran;
         State->ConsumerDone = true;
         State->CV.notify_all();
       }
@@ -423,33 +617,86 @@ private:
           Tr->record(SpecEventKind::Finalize, 0, 0);
         return;
       }
-      specWait(Ex, Lock, State->CV, [&] {
-        return State->Guess.has_value() || State->ConsumerDone;
-      });
+      if (!specWaitUntil(Ex, Lock, State->CV,
+                         [&] {
+                           return State->Guess.has_value() ||
+                                  State->ConsumerDone;
+                         },
+                         Deadline)) {
+        // Deadline expired while waiting for the predictor: cancel, drain
+        // (the drain itself is not under the deadline — the task must
+        // retire before its captures die), and report the timeout.
+        Lock.unlock();
+        State->Cancel.cancel();
+        if (Tr)
+          Tr->record(SpecEventKind::Cancel, 0, AId);
+        waitConsumer(Ex, *State);
+        if (Tr)
+          Tr->record(SpecEventKind::Timeout, 0, 0);
+        throw SpecTimeoutError(Cfg.deadline());
+      }
       Guess = State->Guess;
     }
     ++Stats.Predictions;
-    if (Guess && Equal(*Produced, *Guess)) {
+    bool CmpThrew = false;
+    bool GuessCorrect =
+        Guess && guardedEqual(Equal, FP, *Produced, *Guess, CmpThrew);
+    // Injection site: discard a correct guess, forcing the
+    // misprediction/re-execution path.
+    if (GuessCorrect && FP && FP->shouldFire(FaultSite::ForceMispredict))
+      GuessCorrect = false;
+    if (GuessCorrect) {
+      {
+        std::unique_lock<std::mutex> Lock(State->M);
+        if (!specWaitUntil(Ex, Lock, State->CV,
+                           [&] { return State->ConsumerDone; }, Deadline)) {
+          Lock.unlock();
+          State->Cancel.cancel();
+          if (Tr)
+            Tr->record(SpecEventKind::Cancel, 0, AId);
+          waitConsumer(Ex, *State);
+          if (Tr)
+            Tr->record(SpecEventKind::Timeout, 0, 0);
+          throw SpecTimeoutError(Cfg.deadline());
+        }
+      }
+      // Accept only a consumer that ran to completion without being
+      // cancelled and without *observing* cancellation — a spuriously
+      // cancelled or deadline-bailed consumer may have acted partially.
+      const bool Usable =
+          State->ConsumerRan && !State->Cancel.isCancelled() &&
+          !State->ObservedCancel.load(std::memory_order_relaxed);
+      if (Usable) {
+        if (Tr)
+          Tr->record(SpecEventKind::ValidateAccept, 0, AId);
+        if (State->ConsumerErr)
+          std::rethrow_exception(State->ConsumerErr);
+        if (Tr)
+          Tr->record(SpecEventKind::Finalize, 0, 0);
+        return;
+      }
+      // The guess was right but the speculative run was robbed of it:
+      // re-execute with the real value.
+      ++Stats.Reexecutions;
+      State->Cancel.cancel();
       if (Tr)
-        Tr->record(SpecEventKind::ValidateAccept, 0, AId);
-      waitConsumer(Ex, *State);
-      if (State->ConsumerErr)
-        std::rethrow_exception(State->ConsumerErr);
+        Tr->record(SpecEventKind::Reexecute, 0, 0);
+      Consumer(*Produced);
       if (Tr)
         Tr->record(SpecEventKind::Finalize, 0, 0);
       return;
     }
-    // Misprediction (or a predictor that produced no guess): cancel the
-    // speculative consumer and re-execute with the correct value (rule
-    // CHECK's `cancel tc; vc xp`). A throwing predictor never produced a
-    // guess, so nothing was compared — that is a failed prediction, not
-    // a misprediction.
-    if (Guess) {
+    // Misprediction (or a predictor/comparator that produced no usable
+    // comparison): cancel the speculative consumer and re-execute with
+    // the correct value (rule CHECK's `cancel tc; vc xp`). Nothing was
+    // reliably compared when the predictor or comparator threw — that is
+    // a failed prediction, not a misprediction.
+    if (!Guess || CmpThrew) {
+      ++Stats.FailedPredictions;
+    } else {
       ++Stats.Mispredictions;
       if (Tr)
         Tr->record(SpecEventKind::Mispredict, 0, AId);
-    } else {
-      ++Stats.FailedPredictions;
     }
     ++Stats.Reexecutions;
     State->Cancel.cancel();
@@ -500,7 +747,9 @@ public:
   /// Finalizers run exactly once per iteration, in iteration order, on the
   /// calling thread, and only for validated executions — the supported
   /// idiom for iterations whose writes would otherwise violate rollback
-  /// freedom.
+  /// freedom. A throwing finalizer aborts the run: later finalizers never
+  /// run, in-flight attempts are cancelled and drained, then the
+  /// exception propagates (statistics still reach statsOut()).
   template <typename T, typename U, typename InitFn, typename BodyFn,
             typename PredictorFn, typename FinalFn,
             typename Eq = std::equal_to<T>>
@@ -510,15 +759,15 @@ public:
                                     const SpecConfig &Cfg = SpecConfig(),
                                     Eq Equal = Eq()) {
     SpecResult<T> Result;
+    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut()};
     if (High <= Low) {
       Result.Value = Predictor(Low);
       return Result;
     }
     std::optional<SpecExecutor> Transient;
     SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
-    Result.Value = iterateCore<T, U>(
-        Low, High, Init, Body, Predictor, Finalize, Cfg.mode(), Ex, Equal,
-        Result.Stats, Cfg.trace());
+    Result.Value = iterateCore<T, U>(Low, High, Init, Body, Predictor,
+                                     Finalize, Cfg, Ex, Equal, Result.Stats);
     return Result;
   }
 
@@ -593,8 +842,9 @@ public:
 
   //===--------------------------------------------------------------------===//
   // Deprecated Options-based surface (thin wrappers over the SpecConfig
-  // API). Stats requested via Options::Stats are copied out of the
-  // SpecResult; ValidationMode/threads/pool translate field by field.
+  // API). configFromOptions() routes Options::Stats through
+  // SpecConfig::statsOut(), so stats reach the out-param on success and
+  // on every throwing path alike.
   //===--------------------------------------------------------------------===//
 
   template <typename T, typename ProducerFn, typename PredictorFn,
@@ -603,22 +853,10 @@ public:
                "SpecResult")]] static void
   apply(ProducerFn &&Producer, PredictorFn &&Predictor, ConsumerFn &&Consumer,
         const Options &Opts, Eq Equal = Eq()) {
-    // applyImpl fills the stats in place, so whatever was gathered before
-    // a throw still reaches Opts.Stats (the old wrapper silently dropped
-    // them on every exception path).
-    SpeculationStats Gathered;
-    try {
-      applyImpl<T>(std::forward<ProducerFn>(Producer),
-                   std::forward<PredictorFn>(Predictor),
-                   std::forward<ConsumerFn>(Consumer), configFromOptions(Opts),
-                   Equal, Gathered);
-    } catch (...) {
-      if (Opts.Stats)
-        *Opts.Stats = Gathered;
-      throw;
-    }
-    if (Opts.Stats)
-      *Opts.Stats = Gathered;
+    apply<T>(std::forward<ProducerFn>(Producer),
+             std::forward<PredictorFn>(Predictor),
+             std::forward<ConsumerFn>(Consumer), configFromOptions(Opts),
+             Equal);
   }
 
   template <typename T, typename BodyFn, typename PredictorFn,
@@ -630,8 +868,6 @@ public:
     SpecResult<T> R = iterate<T>(Low, High, std::forward<BodyFn>(Body),
                                  std::forward<PredictorFn>(Predictor),
                                  configFromOptions(Opts), Equal);
-    if (Opts.Stats)
-      *Opts.Stats = R.Stats;
     return std::move(R.Value);
   }
 
@@ -647,28 +883,51 @@ public:
         Low, High, std::forward<InitFn>(Init), std::forward<BodyFn>(Body),
         std::forward<PredictorFn>(Predictor), std::forward<FinalFn>(Finalize),
         configFromOptions(Opts), Equal);
-    if (Opts.Stats)
-      *Opts.Stats = R.Stats;
     return std::move(R.Value);
   }
 
 private:
   /// The engine under every iterate flavour. Launches one speculative
   /// attempt per iteration on \p Ex and validates them in order on the
-  /// calling thread. \p Stats is filled in place.
+  /// calling thread. \p Stats is filled in place (it survives throws via
+  /// the caller's StatsOutGuard).
   template <typename T, typename U, typename InitFn, typename BodyFn,
             typename PredictorFn, typename FinalFn, typename Eq>
   static T iterateCore(int64_t Low, int64_t High, InitFn &Init, BodyFn &Body,
                        PredictorFn &Predictor, FinalFn &Finalize,
-                       ValidationMode Mode, SpecExecutor &Ex, Eq Equal,
-                       SpeculationStats &Stats, Tracer *const Tr = nullptr) {
+                       const SpecConfig &Cfg, SpecExecutor &Ex, Eq Equal,
+                       SpeculationStats &Stats) {
+    const ValidationMode Mode = Cfg.mode();
+    Tracer *const Tr = Cfg.trace();
+    FaultPlan *const FP = Cfg.faults();
+    const std::chrono::steady_clock::time_point Deadline =
+        resolveDeadline(Cfg);
+    const bool HasDeadline =
+        Deadline != std::chrono::steady_clock::time_point::max();
+    const double DegradeThresh = Cfg.degradeThreshold();
+    const int DegradeWindow = DegradeThresh >= 0 ? Cfg.degradeWindow() : 0;
+
     const int64_t N = High - Low;
     detail::IterRun<T, U> Run;
     Run.Slots.resize(static_cast<size_t>(N));
-    std::vector<T> InitialPrediction;
+    // A disengaged prediction marks a *failed* prediction point: the
+    // predictor (or an injected PredictorThrow) threw at a speculative
+    // point, so no attempt is dispatched and the validator executes that
+    // iteration in order. Predictor(Low) is the non-speculative initial
+    // value — its exception propagates.
+    std::vector<std::optional<T>> InitialPrediction;
     InitialPrediction.reserve(static_cast<size_t>(N));
-    for (int64_t I = Low; I < High; ++I)
-      InitialPrediction.push_back(Predictor(I));
+    InitialPrediction.emplace_back(Predictor(Low));
+    for (int64_t I = Low + 1; I < High; ++I) {
+      std::optional<T> P;
+      try {
+        if (FP)
+          FP->maybeThrow(FaultSite::PredictorThrow);
+        P.emplace(Predictor(I));
+      } catch (...) {
+      }
+      InitialPrediction.push_back(std::move(P));
+    }
 
     // The recursive speculative task: run one attempt, then (in Par mode)
     // chain a corrective attempt for the next iteration if our output
@@ -689,15 +948,29 @@ private:
             std::unique_lock<std::mutex> Lock(Run.M);
             specWait(Ex, Lock, Run.CV, [&] { return After->Done; });
             Skip = A->Cancel.isCancelled();
+          } else if (Run.Draining.load(std::memory_order_relaxed) &&
+                     A->Cancel.isCancelled()) {
+            // Teardown fast path only: during normal validation a
+            // cancelled body still runs (and may observe the flag) —
+            // required by the cooperative-cancellation contract.
+            Skip = true;
           }
+          // Injection site: trip this attempt's cancellation flag even
+          // though its input may be perfectly valid. The validator's
+          // !isCancelled acceptance check turns this into a re-execution,
+          // never a wrong result.
+          if (!Skip && FP && FP->shouldFire(FaultSite::SpuriousCancel))
+            A->Cancel.cancel();
           if (Tr)
             Tr->record(SpecEventKind::Start, Index, A->TraceId);
-          detail::CancelScope Scope(A->Cancel);
+          detail::CancelScope Scope(A->Cancel, Deadline, &A->ObservedCancel);
           std::optional<T> Out;
           std::optional<U> Local;
           std::exception_ptr Err;
           if (!Skip) {
             try {
+              if (FP)
+                FP->maybeThrow(FaultSite::BodyThrow);
               U L = Init();
               Out = Body(Index, L, A->In);
               Local = std::move(L);
@@ -715,21 +988,34 @@ private:
             A->Done = true;
             A->FinishStamp = ++Run.FinishCounter;
             if (Mode == ValidationMode::Par && A->Out && Index + 1 < High &&
-                !A->Cancel.isCancelled()) {
+                !A->Cancel.isCancelled() &&
+                !A->ObservedCancel.load(std::memory_order_relaxed) &&
+                !Run.Draining.load(std::memory_order_relaxed)) {
               // Parallel validation: if the next iteration's prediction
               // contradicts our (speculative) output, start a corrective
               // attempt for it now instead of waiting for the validator.
               auto &NextSlot = Run.Slots[static_cast<size_t>(Index + 1 - Low)];
+              const std::optional<T> &NextPred =
+                  InitialPrediction[static_cast<size_t>(Index + 1 - Low)];
+              bool CmpThrew = false;
               bool Exists =
-                  Equal(InitialPrediction[static_cast<size_t>(Index + 1 - Low)],
-                        *A->Out);
+                  NextPred &&
+                  guardedEqual(Equal, FP, *NextPred, *A->Out, CmpThrew);
               for (const auto &Other : NextSlot)
-                Exists = Exists || Equal(Other->In, *A->Out);
+                if (!Exists)
+                  Exists = guardedEqual(Equal, FP, Other->In, *A->Out,
+                                        CmpThrew);
+              // Don't chain on an unreliable comparison: a throwing
+              // comparator must never trigger extra speculation.
+              if (CmpThrew)
+                Exists = true;
               if (!Exists && NextSlot.size() < 2) {
+                detail::Attempt<T, U> *Prior =
+                    NextSlot.empty() ? nullptr : NextSlot.front().get();
                 NextSlot.push_back(
                     std::make_unique<detail::Attempt<T, U>>(*A->Out));
                 Chained = NextSlot.back().get();
-                ChainAfter = NextSlot.front().get();
+                ChainAfter = Prior;
                 if (Tr)
                   Chained->TraceId = Tr->newAttemptId();
                 ++Run.Outstanding;
@@ -754,19 +1040,22 @@ private:
           // Our own completion is signalled by the caller wrapper.
         };
 
-    // Launch the initial speculative attempt of every iteration. Attempt
-    // pointers are captured under the lock: once workers start, Par-mode
-    // chaining may push corrective attempts and reallocate the slot
-    // vectors concurrently.
-    std::vector<detail::Attempt<T, U> *> InitialAttempts;
-    InitialAttempts.reserve(static_cast<size_t>(N));
+    // Launch the initial speculative attempt of every iteration that has
+    // a usable prediction. Attempt pointers are captured under the lock:
+    // once workers start, Par-mode chaining may push corrective attempts
+    // and reallocate the slot vectors concurrently.
+    std::vector<detail::Attempt<T, U> *> InitialAttempts(
+        static_cast<size_t>(N), nullptr);
     {
       std::unique_lock<std::mutex> Lock(Run.M);
       for (int64_t I = Low; I < High; ++I) {
+        const std::optional<T> &P =
+            InitialPrediction[static_cast<size_t>(I - Low)];
+        if (!P)
+          continue;
         auto &Slot = Run.Slots[static_cast<size_t>(I - Low)];
-        Slot.push_back(std::make_unique<detail::Attempt<T, U>>(
-            InitialPrediction[static_cast<size_t>(I - Low)]));
-        InitialAttempts.push_back(Slot.back().get());
+        Slot.push_back(std::make_unique<detail::Attempt<T, U>>(*P));
+        InitialAttempts[static_cast<size_t>(I - Low)] = Slot.back().get();
         if (Tr)
           Slot.back()->TraceId = Tr->newAttemptId();
         ++Run.Outstanding;
@@ -775,6 +1064,8 @@ private:
     }
     for (int64_t I = Low; I < High; ++I) {
       detail::Attempt<T, U> *A = InitialAttempts[static_cast<size_t>(I - Low)];
+      if (!A)
+        continue;
       if (Tr)
         Tr->record(SpecEventKind::Dispatch, I, A->TraceId);
       Ex.submit([&RunAttempt, I, A, &Run] {
@@ -784,15 +1075,117 @@ private:
     }
 
     // Validation (the chain of `check` threads in the formal semantics).
-    T Correct = InitialPrediction.front(); // == Predictor(Low)
+    T Correct = *InitialPrediction.front(); // == Predictor(Low)
     std::exception_ptr FirstValidErr;
-    int64_t ValidatedUpTo = Low;
+    bool Degraded = false;
+    bool TimedOut = false;
+    int64_t TimeoutIdx = Low;
+    // Sliding window of prediction-point outcomes feeding the degrade
+    // monitor (1 = mispredicted or failed).
+    std::vector<char> WinBuf(static_cast<size_t>(DegradeWindow), 0);
+    int WinCount = 0, WinPos = 0, WinBad = 0;
     for (int64_t I = Low; I < High; ++I) {
+      if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+        TimedOut = true;
+        TimeoutIdx = I;
+        break;
+      }
       auto &Slot = Run.Slots[static_cast<size_t>(I - Low)];
+      if (!Degraded && DegradeWindow > 0 && WinCount == DegradeWindow &&
+          WinBad > DegradeThresh * DegradeWindow) {
+        // The window is saturated with bad prediction points: speculation
+        // is burning work. Stop dispatching, cancel everything at or past
+        // this chunk, and fall back to in-order execution.
+        Degraded = true;
+        std::unique_lock<std::mutex> Lock(Run.M);
+        Run.Draining.store(true, std::memory_order_relaxed);
+        for (size_t S = static_cast<size_t>(I - Low); S < Run.Slots.size();
+             ++S) {
+          const int64_t CancelIdx = Low + static_cast<int64_t>(S);
+          for (const auto &A : Run.Slots[S]) {
+            if (Tr && !A->Done && !A->Cancel.isCancelled())
+              Tr->record(SpecEventKind::Cancel, CancelIdx, A->TraceId);
+            A->Cancel.cancel();
+          }
+        }
+      }
+      if (Degraded) {
+        // Quiesce the (cancelled) slot so this in-order execution's
+        // writes land last, then run the chunk exactly once.
+        {
+          std::unique_lock<std::mutex> Lock(Run.M);
+          if (!specWaitUntil(Ex, Lock, Run.CV,
+                             [&] {
+                               for (const auto &A : Slot)
+                                 if (!A->Done)
+                                   return false;
+                               return true;
+                             },
+                             Deadline)) {
+            TimedOut = true;
+            TimeoutIdx = I;
+          }
+        }
+        if (TimedOut)
+          break;
+        ++Stats.DegradedChunks;
+        if (Tr)
+          Tr->record(SpecEventKind::Degrade, I, 0);
+        std::optional<U> DegradedLocal;
+        try {
+          if (FP)
+            FP->maybeThrow(FaultSite::BodyThrow);
+          U L = Init();
+          Correct = Body(I, L, std::move(Correct));
+          DegradedLocal = std::move(L);
+        } catch (...) {
+          FirstValidErr = std::current_exception();
+        }
+        if (FirstValidErr)
+          break;
+        try {
+          Finalize(I, *DegradedLocal);
+          if (Tr)
+            Tr->record(SpecEventKind::Finalize, I, 0);
+        } catch (...) {
+          FirstValidErr = std::current_exception();
+        }
+        if (FirstValidErr)
+          break;
+        continue;
+      }
+      bool SlotBad = false;     // mispredicted or failed; feeds the window
+      bool ForceReexec = false; // injected ForceMispredict fired
       if (I > Low) {
         ++Stats.Predictions;
-        if (!Equal(InitialPrediction[static_cast<size_t>(I - Low)], Correct)) {
+        const std::optional<T> &P =
+            InitialPrediction[static_cast<size_t>(I - Low)];
+        bool CmpThrew = false;
+        if (!P) {
+          // The predictor threw at this point: a failed prediction —
+          // nothing was dispatched, the validator executes it below.
+          ++Stats.FailedPredictions;
+          SlotBad = true;
+        } else if (guardedEqual(Equal, FP, *P, Correct, CmpThrew)) {
+          // Injection site: discard a correct prediction, forcing the
+          // full misprediction/re-execution machinery.
+          if (FP && FP->shouldFire(FaultSite::ForceMispredict)) {
+            ++Stats.Mispredictions;
+            SlotBad = true;
+            ForceReexec = true;
+            if (Tr)
+              Tr->record(SpecEventKind::Mispredict, I, 0);
+          }
+        } else if (CmpThrew) {
+          // The comparator threw: the prediction point resolved without
+          // a trustworthy comparison — a failed prediction, and the
+          // pessimistic path below re-executes. The user's exception
+          // never propagates from a speculative validation.
+          ++Stats.FailedPredictions;
+          SlotBad = true;
+        } else {
           ++Stats.Mispredictions;
+          SlotBad = true;
           if (Tr)
             Tr->record(SpecEventKind::Mispredict, I, 0);
         }
@@ -801,35 +1194,61 @@ private:
       // wrong, then wait for every attempt to finish. (No new attempt can
       // join this slot: chains into it originate from the previous slot,
       // which was quiesced before we advanced.) An attempt is acceptable
-      // only if it ran with the correct input AND finished last in its
-      // slot — only then are its writes the final ones; otherwise the
-      // validator re-executes, making its own writes final (condition
+      // only if it ran with the correct input, finished last in its slot
+      // (only then are its writes the final ones), and was neither
+      // cancelled nor *observed* cancellation — a spuriously cancelled or
+      // deadline-bailed body may have returned a partial value. Otherwise
+      // the validator re-executes, making its own writes final (condition
       // (e)'s re-execution).
       detail::Attempt<T, U> *Match = nullptr;
       {
         std::unique_lock<std::mutex> Lock(Run.M);
-        for (const auto &A : Slot)
-          if (!Equal(A->In, Correct)) {
+        for (const auto &A : Slot) {
+          bool InCmpThrew = false;
+          if (ForceReexec ||
+              !guardedEqual(Equal, FP, A->In, Correct, InCmpThrew)) {
             if (Tr && !A->Done && !A->Cancel.isCancelled())
               Tr->record(SpecEventKind::Cancel, I, A->TraceId);
             A->Cancel.cancel();
           }
-        specWait(Ex, Lock, Run.CV, [&] {
+        }
+        if (!specWaitUntil(Ex, Lock, Run.CV,
+                           [&] {
+                             for (const auto &A : Slot)
+                               if (!A->Done)
+                                 return false;
+                             return true;
+                           },
+                           Deadline)) {
+          TimedOut = true;
+          TimeoutIdx = I;
+        } else {
+          // The last attempt that actually executed (skipped correctives
+          // — cancelled during their pre-wait — wrote nothing and don't
+          // count).
+          detail::Attempt<T, U> *LastReal = nullptr;
           for (const auto &A : Slot)
-            if (!A->Done)
-              return false;
-          return true;
-        });
-        // The last attempt that actually executed (skipped correctives —
-        // cancelled during their pre-wait — wrote nothing and don't
-        // count).
-        detail::Attempt<T, U> *LastReal = nullptr;
-        for (const auto &A : Slot)
-          if ((A->Out || A->Err) &&
-              (!LastReal || A->FinishStamp > LastReal->FinishStamp))
-            LastReal = A.get();
-        if (LastReal && Equal(LastReal->In, Correct))
-          Match = LastReal;
+            if ((A->Out || A->Err) &&
+                (!LastReal || A->FinishStamp > LastReal->FinishStamp))
+              LastReal = A.get();
+          if (LastReal && !ForceReexec && !LastReal->Cancel.isCancelled() &&
+              !LastReal->ObservedCancel.load(std::memory_order_relaxed)) {
+            bool MatchCmpThrew = false;
+            if (guardedEqual(Equal, FP, LastReal->In, Correct, MatchCmpThrew))
+              Match = LastReal;
+          }
+        }
+      }
+      if (TimedOut)
+        break;
+      if (DegradeWindow > 0 && I > Low) {
+        if (WinCount == DegradeWindow)
+          WinBad -= WinBuf[static_cast<size_t>(WinPos)];
+        else
+          ++WinCount;
+        WinBuf[static_cast<size_t>(WinPos)] = SlotBad ? 1 : 0;
+        WinBad += SlotBad ? 1 : 0;
+        WinPos = (WinPos + 1) % DegradeWindow;
       }
       std::optional<U> LocalForFinal;
       if (Match) {
@@ -845,11 +1264,21 @@ private:
         // Misprediction (or a stale valid run that was overwritten by a
         // later garbage attempt): re-execute on the validator thread
         // (rule CHECK's consumer re-execution). The slot is quiescent, so
-        // this execution's writes land last.
+        // this execution's writes land last. Deliberately *not* under a
+        // CancelScope of its own: this is authoritative code.
+        if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+          // Don't start an authoritative chunk we already have no budget
+          // for — the timeout path below reports instead.
+          TimedOut = true;
+          TimeoutIdx = I;
+          break;
+        }
         ++Stats.Reexecutions;
         if (Tr)
           Tr->record(SpecEventKind::Reexecute, I, 0);
         try {
+          if (FP)
+            FP->maybeThrow(FaultSite::BodyThrow);
           U L = Init();
           Correct = Body(I, L, std::move(Correct));
           LocalForFinal = std::move(L);
@@ -859,7 +1288,6 @@ private:
       }
       if (FirstValidErr)
         break;
-      ValidatedUpTo = I + 1;
       try {
         Finalize(I, *LocalForFinal);
         if (Tr)
@@ -869,14 +1297,16 @@ private:
         break;
       }
     }
-    (void)ValidatedUpTo;
 
     // Cancel whatever speculation is still in flight, wait for every
     // attempt to retire (they reference this frame), and report. Taking
     // the lock here also fences off new Par-mode chain attempts: chaining
-    // rechecks the cancellation flag under the same lock.
+    // rechecks the cancellation flag under the same lock. This drain is
+    // *not* under the deadline — a timed-out run still retires every
+    // task before throwing, so nothing is ever leaked.
     {
       std::unique_lock<std::mutex> Lock(Run.M);
+      Run.Draining.store(true, std::memory_order_relaxed);
       int64_t DrainIdx = Low;
       for (auto &Slot : Run.Slots) {
         for (const auto &A : Slot) {
@@ -887,6 +1317,11 @@ private:
         ++DrainIdx;
       }
       specWait(Ex, Lock, Run.CV, [&] { return Run.Outstanding == 0; });
+    }
+    if (TimedOut) {
+      if (Tr)
+        Tr->record(SpecEventKind::Timeout, TimeoutIdx, 0);
+      throw SpecTimeoutError(Cfg.deadline());
     }
     if (FirstValidErr)
       std::rethrow_exception(FirstValidErr);
@@ -899,14 +1334,50 @@ private:
       return *Cfg.executor();
     if (Cfg.threads() != 0) {
       Transient.emplace(Cfg.threads());
+      // A transient executor lives exactly as long as the run, so the
+      // run's fault plan can drive its task-timing sites too. The shared
+      // process-wide executor is never armed implicitly: other runs use
+      // it concurrently.
+      if (Cfg.faults())
+        Transient->injectFaults(Cfg.faults());
       return *Transient;
     }
     return SpecExecutor::process();
   }
 
+  /// The absolute deadline of a run starting now (time_point::max() when
+  /// the config has none).
+  static std::chrono::steady_clock::time_point
+  resolveDeadline(const SpecConfig &Cfg) {
+    if (Cfg.deadline() <= std::chrono::nanoseconds::zero())
+      return std::chrono::steady_clock::time_point::max();
+    return std::chrono::steady_clock::now() + Cfg.deadline();
+  }
+
+  /// Calls the user comparator under the ComparatorThrow injection site,
+  /// swallowing any exception: a throwing comparator yields "not equal"
+  /// (the pessimistic answer — the validator then re-executes) and sets
+  /// \p Threw so callers can account the prediction point as failed. User
+  /// comparator exceptions therefore never propagate from a speculative
+  /// validation path.
+  template <typename Eq, typename T>
+  static bool guardedEqual(Eq &Equal, FaultPlan *FP, const T &A, const T &B,
+                           bool &Threw) {
+    try {
+      if (FP)
+        FP->maybeThrow(FaultSite::ComparatorThrow);
+      return Equal(A, B);
+    } catch (...) {
+      Threw = true;
+      return false;
+    }
+  }
+
   static SpecConfig configFromOptions(const Options &Opts) {
     SpecConfig Cfg;
-    Cfg.mode(Opts.Mode).eagerProducerAbort(Opts.EagerProducerAbort);
+    Cfg.mode(Opts.Mode)
+        .eagerProducerAbort(Opts.EagerProducerAbort)
+        .statsOut(Opts.Stats);
     if (Opts.Pool)
       Cfg.executor(&Opts.Pool->executor());
     else
@@ -930,17 +1401,37 @@ private:
   template <typename PredT>
   static void specWait(SpecExecutor &Ex, std::unique_lock<std::mutex> &Lock,
                        std::condition_variable &CV, PredT Pred) {
+    specWaitUntil(Ex, Lock, CV, std::move(Pred),
+                  std::chrono::steady_clock::time_point::max());
+  }
+
+  /// specWait() with a deadline: returns false — with \p Pred still false
+  /// and the lock held — as soon as \p Deadline passes, true when \p Pred
+  /// held. time_point::max() means no deadline (plain specWait).
+  template <typename PredT>
+  static bool specWaitUntil(SpecExecutor &Ex,
+                            std::unique_lock<std::mutex> &Lock,
+                            std::condition_variable &CV, PredT Pred,
+                            std::chrono::steady_clock::time_point Deadline) {
+    const bool HasDeadline =
+        Deadline != std::chrono::steady_clock::time_point::max();
     if (!Ex.onWorkerThread()) {
-      CV.wait(Lock, Pred);
-      return;
+      if (!HasDeadline) {
+        CV.wait(Lock, Pred);
+        return true;
+      }
+      return CV.wait_until(Lock, Deadline, Pred);
     }
     while (!Pred()) {
+      if (HasDeadline && std::chrono::steady_clock::now() >= Deadline)
+        return false;
       Lock.unlock();
       bool Ran = Ex.tryRunOneTask();
       Lock.lock();
       if (!Ran)
         CV.wait_for(Lock, std::chrono::microseconds(500), Pred);
     }
+    return true;
   }
 
   template <typename SpecState>

@@ -37,6 +37,10 @@ const char *specpar::rt::specEventKindName(SpecEventKind K) {
     return "re-execute";
   case SpecEventKind::Finalize:
     return "finalize";
+  case SpecEventKind::Degrade:
+    return "degrade";
+  case SpecEventKind::Timeout:
+    return "timeout";
   }
   return "unknown";
 }
@@ -123,7 +127,7 @@ uint64_t Tracer::droppedEvents() const {
 
 std::string Tracer::summary() const {
   std::vector<SpecEvent> Events = snapshot();
-  std::array<uint64_t, 9> Counts{};
+  std::array<uint64_t, 11> Counts{};
   uint64_t MaxTimeNs = 0;
   uint32_t MaxThread = 0;
   for (const SpecEvent &E : Events) {

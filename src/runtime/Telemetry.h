@@ -72,6 +72,12 @@ enum class SpecEventKind : uint8_t {
   Reexecute,
   /// A validated finalizer ran for this iteration/chunk.
   Finalize,
+  /// The adaptive fallback monitor tripped: the run stopped speculating
+  /// and degraded to in-order sequential execution from this chunk on.
+  Degrade,
+  /// The run's cooperative deadline expired; in-flight attempts were
+  /// cancelled and drained and SpecTimeoutError was thrown.
+  Timeout,
 };
 
 /// Stable lowercase name of \p K (e.g. "validate-accept").

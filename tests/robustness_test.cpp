@@ -1,0 +1,538 @@
+//===- tests/robustness_test.cpp - Fault injection & fallback tests -------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The robustness layer: FaultPlan determinism, the exception contracts of
+// user callbacks (predictor/comparator/finalizer), cooperative deadlines
+// with SpecTimeoutError and the no-leaked-task drain guarantee, spurious
+// cancellation safety, and the adaptive sequential fallback.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/FaultPlan.h"
+#include "runtime/Speculation.h"
+#include "runtime/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace specpar;
+using namespace specpar::rt;
+
+namespace {
+
+/// Sequential oracle for the iterate sum used throughout: Acc starts at 0
+/// and each iteration adds I.
+int64_t sumOracle(int64_t N) { return N * (N - 1) / 2; }
+
+/// Exact predictor for the sum loop (all predictions correct).
+int64_t sumPredict(int64_t I) { return I * (I - 1) / 2; }
+
+int countEvents(const std::vector<SpecEvent> &Events, SpecEventKind K) {
+  int C = 0;
+  for (const SpecEvent &E : Events)
+    C += E.Kind == K;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultPlan
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlan, UnarmedSitesNeverFireButCountProbes) {
+  FaultPlan Plan(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_FALSE(Plan.shouldFire(FaultSite::BodyThrow));
+  EXPECT_EQ(Plan.probes(FaultSite::BodyThrow), 1000u);
+  EXPECT_EQ(Plan.fired(FaultSite::BodyThrow), 0u);
+  EXPECT_EQ(Plan.totalFired(), 0u);
+}
+
+TEST(FaultPlan, DecisionSequenceIsDeterministicPerSeed) {
+  auto Draw = [](uint64_t Seed, int N) {
+    FaultPlan Plan(Seed);
+    Plan.arm(FaultSite::BodyThrow, 0.3);
+    std::vector<bool> Out;
+    for (int I = 0; I < N; ++I)
+      Out.push_back(Plan.shouldFire(FaultSite::BodyThrow));
+    return Out;
+  };
+  EXPECT_EQ(Draw(7, 500), Draw(7, 500));
+  EXPECT_NE(Draw(7, 500), Draw(8, 500));
+}
+
+TEST(FaultPlan, ArmingOneSiteNeverShiftsAnotherSitesSequence) {
+  // Site sequences are independent: probing BodyThrow between the
+  // ComparatorThrow probes, armed or not, must not change what the
+  // ComparatorThrow probes decide.
+  auto DrawCmp = [](bool AlsoArmBody) {
+    FaultPlan Plan(99);
+    Plan.arm(FaultSite::ComparatorThrow, 0.4);
+    if (AlsoArmBody)
+      Plan.arm(FaultSite::BodyThrow, 0.9);
+    std::vector<bool> Out;
+    for (int I = 0; I < 200; ++I) {
+      Plan.shouldFire(FaultSite::BodyThrow); // interleaved probes
+      Out.push_back(Plan.shouldFire(FaultSite::ComparatorThrow));
+    }
+    return Out;
+  };
+  EXPECT_EQ(DrawCmp(false), DrawCmp(true));
+}
+
+TEST(FaultPlan, FiringRateTracksProbability) {
+  FaultPlan Plan(123);
+  Plan.arm(FaultSite::SpuriousCancel, 0.25);
+  const int N = 20000;
+  int Fired = 0;
+  for (int I = 0; I < N; ++I)
+    Fired += Plan.shouldFire(FaultSite::SpuriousCancel);
+  EXPECT_NEAR(static_cast<double>(Fired) / N, 0.25, 0.02);
+  EXPECT_EQ(Plan.fired(FaultSite::SpuriousCancel),
+            static_cast<uint64_t>(Fired));
+}
+
+TEST(FaultPlan, MaybeThrowCarriesSiteAndProbe) {
+  FaultPlan Plan(5);
+  Plan.arm(FaultSite::PredictorThrow, 1.0);
+  try {
+    Plan.maybeThrow(FaultSite::PredictorThrow);
+    FAIL() << "expected SpecFaultError";
+  } catch (const SpecFaultError &E) {
+    EXPECT_EQ(E.Site, FaultSite::PredictorThrow);
+    EXPECT_EQ(E.Probe, 1u);
+    EXPECT_NE(std::string(E.what()).find("predictor-throw"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultPlan, StrNamesSeedAndArmedSites) {
+  FaultPlan Plan(77);
+  Plan.arm(FaultSite::ForceMispredict, 0.5);
+  Plan.shouldFire(FaultSite::ForceMispredict);
+  std::string S = Plan.str();
+  EXPECT_NE(S.find("77"), std::string::npos);
+  EXPECT_NE(S.find("force-mispredict"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Comparator exception contract (satellite: a throwing user equality is a
+// failed prediction, never a propagated error)
+//===----------------------------------------------------------------------===//
+
+TEST(Iterate, ThrowingUserComparatorIsFailedPredictionNotError) {
+  const int64_t N = 12;
+  struct ThrowingEq {
+    bool operator()(int64_t, int64_t) const {
+      throw std::runtime_error("user comparator failure");
+    }
+  };
+  SpeculationStats Stats;
+  int64_t Value = 0;
+  ASSERT_NO_THROW({
+    auto R = Speculation::iterate<int64_t>(
+        0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+        SpecConfig().threads(2), ThrowingEq{});
+    Value = R.Value;
+    Stats = R.Stats;
+  });
+  EXPECT_EQ(Value, sumOracle(N));
+  // Every prediction point after the first resolved without a usable
+  // comparison, and nothing counted as a misprediction.
+  EXPECT_EQ(Stats.Predictions, N - 1);
+  EXPECT_EQ(Stats.FailedPredictions, N - 1);
+  EXPECT_EQ(Stats.Mispredictions, 0);
+  // The pessimistic path re-executes every iteration in order.
+  EXPECT_EQ(Stats.Reexecutions, N);
+}
+
+TEST(Iterate, InjectedComparatorThrowNeverPropagates) {
+  const int64_t N = 16;
+  FaultPlan Plan(2024);
+  Plan.arm(FaultSite::ComparatorThrow, 1.0);
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2).faults(&Plan));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_EQ(R.Stats.FailedPredictions, N - 1);
+  EXPECT_EQ(R.Stats.Mispredictions, 0);
+  EXPECT_GT(Plan.fired(FaultSite::ComparatorThrow), 0u);
+}
+
+TEST(Apply, ThrowingUserComparatorIsFailedPredictionNotError) {
+  struct ThrowingEq {
+    bool operator()(int, int) const { throw std::runtime_error("cmp"); }
+  };
+  std::atomic<int> Consumed{-1};
+  SpecResult<void> R;
+  ASSERT_NO_THROW({
+    R = Speculation::apply<int>(
+        /*Producer=*/[] { return 41; },
+        /*Predictor=*/[] { return 41; },
+        /*Consumer=*/[&Consumed](int V) { Consumed = V; },
+        SpecConfig().threads(2), ThrowingEq{});
+  });
+  // The re-execution delivered the *produced* value.
+  EXPECT_EQ(Consumed.load(), 41);
+  EXPECT_EQ(R.Stats.FailedPredictions, 1);
+  EXPECT_EQ(R.Stats.Mispredictions, 0);
+  EXPECT_EQ(R.Stats.Reexecutions, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Predictor / body fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(Iterate, InjectedPredictorThrowIsFailedPrediction) {
+  const int64_t N = 10;
+  FaultPlan Plan(31);
+  Plan.arm(FaultSite::PredictorThrow, 1.0);
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2).faults(&Plan));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  // Every speculative prediction failed, so only iteration 0 (whose
+  // initial value is non-speculative) dispatched an attempt.
+  EXPECT_EQ(R.Stats.Tasks, 1);
+  EXPECT_EQ(R.Stats.FailedPredictions, N - 1);
+  EXPECT_EQ(R.Stats.Reexecutions, N - 1);
+}
+
+TEST(Iterate, InjectedBodyThrowPropagatesWithStatsOut) {
+  const int64_t N = 8;
+  FaultPlan Plan(7);
+  Plan.arm(FaultSite::BodyThrow, 1.0);
+  SpeculationStats Stats;
+  EXPECT_THROW(
+      Speculation::iterate<int64_t>(
+          0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+          SpecConfig().threads(2).faults(&Plan).statsOut(&Stats)),
+      SpecFaultError);
+  // statsOut() published the partial statistics despite the throw.
+  EXPECT_GE(Stats.Tasks, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Spurious cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(Iterate, SpuriousCancellationNeverCorruptsTheResult) {
+  const int64_t N = 64;
+  for (uint64_t Seed : {1u, 2u, 3u}) {
+    FaultPlan Plan(Seed);
+    Plan.arm(FaultSite::SpuriousCancel, 0.5);
+    auto R = Speculation::iterate<int64_t>(
+        0, N,
+        [](int64_t I, int64_t A) {
+          // Bail with a *garbage* value when cancellation is observed:
+          // the validator must still never accept it.
+          if (currentTaskCancelled())
+            return int64_t(-999999);
+          return A + I;
+        },
+        sumPredict, SpecConfig().threads(4).faults(&Plan));
+    EXPECT_EQ(R.Value, sumOracle(N)) << "seed " << Seed;
+  }
+}
+
+TEST(Apply, SpuriousCancellationReexecutesWithProducedValue) {
+  FaultPlan Plan(11);
+  Plan.arm(FaultSite::SpuriousCancel, 1.0);
+  std::atomic<int> Sum{0};
+  std::atomic<int> Runs{0};
+  auto R = Speculation::apply<int>(
+      /*Producer=*/[] { return 10; },
+      /*Predictor=*/[] { return 10; },
+      /*Consumer=*/
+      [&](int V) {
+        ++Runs;
+        Sum += V;
+      },
+      SpecConfig().threads(2).faults(&Plan));
+  // The speculative consumer was cancelled before it ran; the validated
+  // path re-executed exactly once with the real value.
+  EXPECT_EQ(Runs.load(), 1);
+  EXPECT_EQ(Sum.load(), 10);
+  EXPECT_EQ(R.Stats.Reexecutions, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Cooperative deadlines
+//===----------------------------------------------------------------------===//
+
+TEST(Iterate, DeadlineThrowsSpecTimeoutErrorAndLeaksNoTask) {
+  const int64_t N = 4;
+  SpecExecutor Ex(2);
+  Tracer Tr;
+  SpeculationStats Stats;
+  std::atomic<int> BodiesStarted{0};
+  auto SlowBody = [&BodiesStarted](int64_t I, int64_t A) {
+    ++BodiesStarted;
+    // ~100ms of work unless cancellation (here: the deadline) is
+    // observed.
+    for (int Step = 0; Step < 20; ++Step) {
+      if (currentTaskCancelled())
+        return int64_t(-1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return A + I;
+  };
+  try {
+    Speculation::iterate<int64_t>(
+        0, N, SlowBody, sumPredict,
+        SpecConfig()
+            .executor(&Ex)
+            .deadline(std::chrono::milliseconds(25))
+            .trace(&Tr)
+            .statsOut(&Stats));
+    FAIL() << "expected SpecTimeoutError";
+  } catch (const SpecTimeoutError &E) {
+    EXPECT_EQ(E.Budget, std::chrono::nanoseconds(
+                            std::chrono::milliseconds(25)));
+  }
+  // The drain guarantee: by the time the exception propagated, every
+  // submitted task has retired — the executor is already idle, so
+  // waitIdle() returns immediately and destruction has nothing to join
+  // but the workers.
+  Ex.waitIdle();
+  EXPECT_GT(BodiesStarted.load(), 0);
+  EXPECT_GE(Stats.Tasks, 1); // statsOut survived the throw
+  EXPECT_GE(countEvents(Tr.snapshot(), SpecEventKind::Timeout), 1);
+}
+
+TEST(Iterate, NoDeadlineByDefault) {
+  auto R = Speculation::iterate<int64_t>(
+      0, 16, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2));
+  EXPECT_EQ(R.Value, sumOracle(16));
+}
+
+TEST(Apply, DeadlineThrowsSpecTimeoutError) {
+  SpecExecutor Ex(2);
+  EXPECT_THROW(
+      Speculation::apply<int>(
+          /*Producer=*/[] { return 1; },
+          /*Predictor=*/
+          [] {
+            // A predictor that blows straight through the budget (it has
+            // no cancellation to poll — the run must time out at the
+            // validator's wait instead).
+            std::this_thread::sleep_for(std::chrono::milliseconds(80));
+            return 1;
+          },
+          /*Consumer=*/[](int) {},
+          SpecConfig().executor(&Ex).deadline(std::chrono::milliseconds(10))),
+      SpecTimeoutError);
+  Ex.waitIdle();
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptive sequential fallback (degradation)
+//===----------------------------------------------------------------------===//
+
+TEST(Iterate, ForcedMispredictionStormDegradesWithCorrectResult) {
+  const int64_t N = 32;
+  FaultPlan Plan(555);
+  Plan.arm(FaultSite::ForceMispredict, 1.0);
+  Tracer Tr;
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2).faults(&Plan).degrade(0.5, 4).trace(&Tr));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  // Every boundary before the trip was a forced misprediction; once the
+  // window (4) saturated past rate 0.5 the run degraded and executed the
+  // rest in order, exactly once each.
+  EXPECT_GT(R.Stats.Mispredictions, 0);
+  EXPECT_GT(R.Stats.DegradedChunks, 0);
+  EXPECT_GE(R.Stats.DegradedChunks, N - 8);
+  auto Events = Tr.snapshot();
+  EXPECT_EQ(countEvents(Events, SpecEventKind::Degrade),
+            static_cast<int>(R.Stats.DegradedChunks));
+  // Every slot but the accepted first one resolved as exactly one of
+  // re-execution (pre-trip forced mispredictions) or degraded in-order
+  // execution — a degraded chunk is never also re-executed.
+  EXPECT_EQ(R.Stats.Reexecutions + R.Stats.DegradedChunks, N - 1);
+}
+
+TEST(Iterate, ForcedMispredictionsWithoutDegradeStayCorrect) {
+  const int64_t N = 16;
+  FaultPlan Plan(9);
+  Plan.arm(FaultSite::ForceMispredict, 1.0);
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2).faults(&Plan));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_EQ(R.Stats.Mispredictions, N - 1);
+  EXPECT_EQ(R.Stats.Reexecutions, N - 1);
+  EXPECT_EQ(R.Stats.DegradedChunks, 0);
+}
+
+TEST(Iterate, DegradeIsOffByDefault) {
+  // A maximally mispredicting run without degrade() never degrades.
+  const int64_t N = 24;
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-1); },
+      SpecConfig().threads(2));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_EQ(R.Stats.DegradedChunks, 0);
+  EXPECT_EQ(R.Stats.Mispredictions, N - 1);
+}
+
+TEST(Iterate, DegradeTripsOnRealMispredictionsToo) {
+  // No fault plan at all: a predictor that is simply wrong everywhere
+  // trips the monitor the same way.
+  const int64_t N = 20;
+  Tracer Tr;
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-7); },
+      SpecConfig().threads(2).degrade(0.0, 2).trace(&Tr));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_GT(R.Stats.DegradedChunks, 0);
+  EXPECT_GE(countEvents(Tr.snapshot(), SpecEventKind::Degrade), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Finalizer exception contract (satellite: later finalizers must not run,
+// attempts drained, stats still published)
+//===----------------------------------------------------------------------===//
+
+TEST(Iterate, ThrowingFinalizerSkipsLaterFinalizersAndDrains) {
+  const int64_t N = 8;
+  SpecExecutor Ex(2);
+  SpeculationStats Stats;
+  std::vector<int64_t> Finalized;
+  EXPECT_THROW(
+      (Speculation::iterateLocal<int64_t, int64_t>(
+          0, N, /*Init=*/[] { return int64_t(0); },
+          /*Body=*/
+          [](int64_t I, int64_t &L, int64_t A) {
+            L = I;
+            return A + I;
+          },
+          sumPredict,
+          /*Finalize=*/
+          [&Finalized](int64_t I, int64_t &) {
+            if (I == 2)
+              throw std::runtime_error("finalizer failure at 2");
+            Finalized.push_back(I);
+          },
+          SpecConfig().executor(&Ex).statsOut(&Stats))),
+      std::runtime_error);
+  // Finalizers ran in order up to (not including) the throwing one, and
+  // never after it.
+  EXPECT_EQ(Finalized, (std::vector<int64_t>{0, 1}));
+  // Every attempt was cancelled and drained before the throw propagated.
+  Ex.waitIdle();
+  // Statistics still reached the out-param.
+  EXPECT_GE(Stats.Tasks, N);
+}
+
+TEST(Iterate, ThrowingFinalizerStillFillsDeprecatedOptionsStats) {
+  const int64_t N = 6;
+  SpeculationStats Stats;
+  Options Opts;
+  Opts.NumThreads = 2;
+  Opts.Stats = &Stats;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  EXPECT_THROW(
+      (Speculation::iterateLocal<int64_t, int64_t>(
+          0, N, [] { return int64_t(0); },
+          [](int64_t I, int64_t &L, int64_t A) {
+            L = I;
+            return A + I;
+          },
+          sumPredict,
+          [](int64_t I, int64_t &) {
+            if (I == 1)
+              throw std::runtime_error("finalizer failure");
+          },
+          Opts)),
+      std::runtime_error);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  // The pre-redesign out-param sees the stats even though the run threw.
+  EXPECT_GE(Stats.Tasks, N);
+}
+
+//===----------------------------------------------------------------------===//
+// Executor under fault plans (satellite: destruction drains delayed tasks)
+//===----------------------------------------------------------------------===//
+
+TEST(Executor, DestructionDrainsTasksDelayedByFaultPlan) {
+  FaultPlan Plan(13);
+  Plan.arm(FaultSite::DelayTaskStart, 1.0);
+  Plan.arm(FaultSite::JitterWakeup, 1.0);
+  Plan.delayRange(std::chrono::microseconds(200),
+                  std::chrono::microseconds(2000));
+  std::atomic<int> Count{0};
+  {
+    SpecExecutor Ex(2);
+    Ex.injectFaults(&Plan);
+    for (int I = 0; I < 40; ++I)
+      Ex.submit([&Count] { ++Count; });
+    // Destroy immediately: the drain contract must hold even while every
+    // task start is artificially delayed and wakeups are jittered.
+  }
+  EXPECT_EQ(Count.load(), 40);
+  EXPECT_GT(Plan.fired(FaultSite::DelayTaskStart), 0u);
+}
+
+TEST(Iterate, RunsCorrectlyUnderExecutorTimingFaults) {
+  const int64_t N = 24;
+  FaultPlan Plan(17);
+  Plan.arm(FaultSite::DelayTaskStart, 0.5);
+  Plan.arm(FaultSite::JitterWakeup, 0.5);
+  Plan.delayRange(std::chrono::microseconds(50),
+                  std::chrono::microseconds(500));
+  // threads(2) creates a transient executor; faults() arms its timing
+  // sites for exactly this run.
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2).faults(&Plan).mode(ValidationMode::Par));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_GT(Plan.totalFired(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Combined pressure
+//===----------------------------------------------------------------------===//
+
+TEST(Iterate, ChunkedRunSurvivesMixedScheduleFaults) {
+  // Schedule faults only (no injected throws): the result must be exact.
+  const int64_t N = 200, Chunk = 10;
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    FaultPlan Plan(Seed * 1000);
+    Plan.arm(FaultSite::ForceMispredict, 0.3);
+    Plan.arm(FaultSite::SpuriousCancel, 0.3);
+    Plan.arm(FaultSite::DelayTaskStart, 0.2);
+    Plan.arm(FaultSite::JitterWakeup, 0.2);
+    Plan.delayRange(std::chrono::microseconds(20),
+                    std::chrono::microseconds(200));
+    auto R = Speculation::iterateChunked<int64_t>(
+        0, N, Chunk,
+        [](int64_t I, int64_t A) {
+          if (currentTaskCancelled())
+            return int64_t(-1);
+          return A + I;
+        },
+        sumPredict, SpecConfig().threads(4).faults(&Plan).degrade(0.9, 6));
+    EXPECT_EQ(R.Value, sumOracle(N)) << "seed " << Seed * 1000;
+  }
+}
+
+} // namespace
