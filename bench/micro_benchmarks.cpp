@@ -18,10 +18,14 @@
 #include "apps/SpeculativeMwis.h"
 #include "interp/NonSpecEval.h"
 #include "lang/Parser.h"
+#include "runtime/ChaseLevDeque.h"
 #include "workloads/Datasets.h"
 #include "workloads/SourceGen.h"
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
 
 using namespace specpar;
 using namespace specpar::lexgen;
@@ -116,6 +120,65 @@ void BM_IterateChunkedOverhead(benchmark::State &State) {
   State.SetItemsProcessed(int64_t(State.iterations()) * N);
 }
 BENCHMARK(BM_IterateChunkedOverhead)->Arg(16)->Arg(256);
+
+/// Round-trip latency of one externally-submitted task: submit from a
+/// non-worker thread, have a worker run it, observe completion. This is
+/// the injection-ring + eventcount wakeup path that every speculative
+/// wave's dispatch rides on.
+void BM_TaskDispatchLatency(benchmark::State &State) {
+  rt::SpecExecutor Ex(unsigned(State.range(0)));
+  // Warm the pool: make sure every worker has spun up and parked once.
+  std::atomic<int> Warm{0};
+  for (int I = 0; I < 64; ++I)
+    Ex.submit([&Warm] { Warm.fetch_add(1, std::memory_order_relaxed); });
+  Ex.waitIdle();
+  for (auto _ : State) {
+    std::atomic<bool> Done{false};
+    Ex.submit([&Done] { Done.store(true, std::memory_order_release); });
+    while (!Done.load(std::memory_order_acquire))
+      ;
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()));
+}
+BENCHMARK(BM_TaskDispatchLatency)->Arg(1)->Arg(2)->Arg(4);
+
+/// Raw Chase–Lev steal throughput: one owner pushing into a deque while
+/// thieves drain it. Items/sec is successful steals per second — the
+/// ceiling on how fast idle workers can pick up speculative attempts.
+void BM_StealThroughput(benchmark::State &State) {
+  const int NumThieves = int(State.range(0));
+  rt::ChaseLevDeque<int64_t> D;
+  std::atomic<bool> Stop{false};
+  std::atomic<int64_t> Stolen{0};
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T < NumThieves; ++T)
+    Thieves.emplace_back([&] {
+      int64_t V = 0;
+      while (!Stop.load(std::memory_order_acquire)) {
+        if (D.steal(V))
+          Stolen.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  int64_t Pushed = 0;
+  for (auto _ : State) {
+    // Keep the deque shallow so thieves contend on a hot Top, as they do
+    // when chasing a producing worker.
+    D.push(Pushed++);
+    D.push(Pushed++);
+    int64_t V = 0;
+    if (D.pop(V))
+      benchmark::DoNotOptimize(V);
+  }
+  Stop.store(true, std::memory_order_release);
+  for (auto &T : Thieves)
+    T.join();
+  int64_t V = 0;
+  while (D.pop(V))
+    ;
+  State.SetItemsProcessed(Stolen.load(std::memory_order_relaxed));
+  State.counters["steals"] = double(Stolen.load(std::memory_order_relaxed));
+}
+BENCHMARK(BM_StealThroughput)->Arg(1)->Arg(2)->UseRealTime();
 
 void BM_DfaConstruction(benchmark::State &State) {
   Language L = static_cast<Language>(State.range(0));

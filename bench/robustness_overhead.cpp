@@ -47,6 +47,7 @@
 #include "workloads/SourceGen.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <ctime>
 #include <functional>
@@ -62,17 +63,19 @@ using namespace specpar::workloads;
 namespace {
 
 /// Busy-work sink: \p Spin rounds of a SplitMix64-style mix, forced via
-/// a volatile store so the optimizer cannot delete it. The carried value
-/// stays 0 so the trivial predictor is always correct and the run
-/// exercises the accept path, not re-execution.
-volatile uint64_t SpinSink;
+/// a relaxed atomic store so the optimizer cannot delete it (attempts on
+/// different threads — including the helping validator — store
+/// concurrently). The carried value stays 0 so the trivial predictor is
+/// always correct and the run exercises the accept path, not
+/// re-execution.
+std::atomic<uint64_t> SpinSink;
 void spinWork(int64_t I, int64_t Spin) {
   uint64_t Z = static_cast<uint64_t>(I) + 0x9e3779b97f4a7c15ULL;
   for (int64_t K = 0; K < Spin; ++K) {
     Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
   }
-  SpinSink = Z;
+  SpinSink.store(Z, std::memory_order_relaxed);
 }
 
 /// Process CPU seconds (all threads). The hook cost is CPU work, and on

@@ -43,7 +43,9 @@ HuffmanRun speculativeDecode(const huffman::Decoder &D,
                              int64_t OverlapBits,
                              const rt::SpecConfig &Cfg = rt::SpecConfig());
 
-/// Bit sub-segments per speculative decoding chunk.
+/// Bit sub-segments per speculative decoding chunk — the *initial*
+/// granularity. With `SpecConfig::autotune()` armed the runtime re-sizes
+/// chunks between scheduling waves; without it this is the fixed grid.
 inline constexpr int64_t kHuffChunkSize = 8;
 
 /// Prediction accuracy of the sync-point predictor at \p NumPoints

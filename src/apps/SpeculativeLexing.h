@@ -49,7 +49,9 @@ LexRun speculativeLex(const lexgen::Lexer &L, std::string_view Text,
                       int NumTasks, int64_t Overlap,
                       const rt::SpecConfig &Cfg = rt::SpecConfig());
 
-/// Sub-fragments per speculative lexing chunk.
+/// Sub-fragments per speculative lexing chunk — the *initial*
+/// granularity. With `SpecConfig::autotune()` armed the runtime re-sizes
+/// chunks between scheduling waves; without it this is the fixed grid.
 inline constexpr int64_t kLexChunkSize = 8;
 
 /// Prediction accuracy of the overlap predictor at \p NumPoints equally

@@ -44,7 +44,9 @@ MwisRun speculativeMwis(const std::vector<int64_t> &Weights, int NumTasks,
                         int64_t Overlap,
                         const rt::SpecConfig &Cfg = rt::SpecConfig());
 
-/// Node sub-segments per speculative MWIS chunk.
+/// Node sub-segments per speculative MWIS chunk — the *initial*
+/// granularity. With `SpecConfig::autotune()` armed the runtime re-sizes
+/// chunks between scheduling waves; without it this is the fixed grid.
 inline constexpr int64_t kMwisChunkSize = 8;
 
 /// Phase-1 prediction accuracy at \p NumPoints boundaries, in percent.

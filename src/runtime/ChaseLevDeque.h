@@ -1,0 +1,169 @@
+//===- runtime/ChaseLevDeque.h - Work-stealing deque ------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005; memory
+/// orders after Lê et al., PPoPP 2013) specialised for pointer-sized
+/// trivially-copyable elements. The owning worker pushes and pops at the
+/// bottom (LIFO); thieves steal from the top (FIFO) with a single CAS.
+///
+/// Two deliberate deviations from the literal PPoPP'13 code, both for
+/// ThreadSanitizer:
+///  * the cross-thread Top/Bottom operations use seq_cst instead of
+///    relaxed-plus-standalone-fence — TSan does not model
+///    atomic_thread_fence, and the seq_cst cost is irrelevant next to the
+///    mutex round-trips this replaces;
+///  * ring cells are std::atomic<T> with relaxed access — a thief may read
+///    a cell the owner is concurrently overwriting after a wrap, which is
+///    benign (the thief's CAS on Top then fails and the stale value is
+///    discarded) but must not be a C++ data race.
+///
+/// Growth allocates a ring of twice the capacity and publishes it with a
+/// release store; retired rings are kept until destruction so a lagging
+/// thief holding the old pointer reads valid (if stale) memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_CHASELEVDEQUE_H
+#define SPECPAR_RUNTIME_CHASELEVDEQUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace specpar {
+namespace rt {
+
+template <typename T> class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(void *),
+                "ChaseLevDeque is specialised for pointer-like elements");
+
+public:
+  explicit ChaseLevDeque(std::size_t InitialCapacity = 64) {
+    Rings.push_back(std::make_unique<Ring>(roundUpPow2(InitialCapacity)));
+    Buf.store(Rings.back().get(), std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque &) = delete;
+  ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
+
+  /// Owner only. Pushes at the bottom, growing the ring when full.
+  void push(T Value) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t Tp = Top.load(std::memory_order_acquire);
+    Ring *R = Buf.load(std::memory_order_relaxed);
+    if (B - Tp > static_cast<int64_t>(R->Mask)) {
+      R = grow(R, Tp, B);
+      ++Grows;
+    }
+    R->put(B, Value);
+    Bottom.store(B + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only. Pops the most recently pushed element (LIFO).
+  bool pop(T &Out) {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Ring *R = Buf.load(std::memory_order_relaxed);
+    Bottom.store(B, std::memory_order_seq_cst);
+    int64_t Tp = Top.load(std::memory_order_seq_cst);
+    if (Tp > B) {
+      // Empty: restore the invariant Bottom >= Top.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return false;
+    }
+    Out = R->get(B);
+    if (Tp == B) {
+      // Last element: race the thieves for it via Top.
+      bool Won = Top.compare_exchange_strong(Tp, Tp + 1,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_relaxed);
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return Won;
+    }
+    return true;
+  }
+
+  /// Any thread. Steals the oldest element (FIFO). Returns false when the
+  /// deque looked empty or the steal lost a race — callers loop.
+  bool steal(T &Out) {
+    int64_t Tp = Top.load(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_seq_cst);
+    if (Tp >= B)
+      return false;
+    Ring *R = Buf.load(std::memory_order_acquire);
+    T Value = R->get(Tp);
+    if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return false;
+    Out = Value;
+    return true;
+  }
+
+  /// Racy size estimate; exact only when quiesced.
+  std::size_t sizeRelaxed() const {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t Tp = Top.load(std::memory_order_relaxed);
+    return B > Tp ? static_cast<std::size_t>(B - Tp) : 0;
+  }
+
+  /// Number of ring growths (for stats and the wraparound tests).
+  uint64_t grows() const { return Grows; }
+
+  std::size_t capacity() const {
+    return Buf.load(std::memory_order_relaxed)->Mask + 1;
+  }
+
+private:
+  struct Ring {
+    explicit Ring(std::size_t Capacity)
+        : Mask(Capacity - 1), Cells(Capacity) {}
+    std::size_t Mask;
+    std::vector<std::atomic<T>> Cells;
+
+    T get(int64_t I) const {
+      return Cells[static_cast<std::size_t>(I) & Mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(int64_t I, T V) {
+      Cells[static_cast<std::size_t>(I) & Mask].store(
+          V, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t roundUpPow2(std::size_t N) {
+    std::size_t P = 2;
+    while (P < N)
+      P <<= 1;
+    return P;
+  }
+
+  Ring *grow(Ring *Old, int64_t Tp, int64_t B) {
+    auto New = std::make_unique<Ring>((Old->Mask + 1) * 2);
+    for (int64_t I = Tp; I < B; ++I)
+      New->put(I, Old->get(I));
+    Ring *Raw = New.get();
+    Rings.push_back(std::move(New));
+    Buf.store(Raw, std::memory_order_release);
+    return Raw;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Ring *> Buf{nullptr};
+  /// All rings ever allocated, retired ones included: lagging thieves may
+  /// still read a stale ring, so nothing is freed until destruction.
+  std::vector<std::unique_ptr<Ring>> Rings;
+  uint64_t Grows = 0;
+};
+
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_CHASELEVDEQUE_H

@@ -1,0 +1,111 @@
+//===- runtime/EventCount.h - Park/notify with atomic fast path -*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Dekker-style eventcount: the waiting side registers (`prepareWait`),
+/// re-checks its predicate, then blocks; the notifying side makes its
+/// state change visible and calls `notifyOne`/`notifyAll`, which is a
+/// single seq_cst load when nobody is waiting — the hot-path property the
+/// executor and the speculation validator rely on (the old protocol paid
+/// a mutex plus `notify_all` on *every* submit and completion).
+///
+/// Correctness (SC argument): every operation the protocol depends on is
+/// seq_cst, so there is one total order over (a) the waiter's `Waiters`
+/// increment and its predicate re-check, and (b) the notifier's state
+/// write and its `Waiters` load. If the waiter's re-check misses the
+/// state write, the increment precedes the notifier's load in that
+/// order, so the notifier observes a waiter and bumps the epoch — and the
+/// epoch the waiter captured (before its re-check) is stale, so its wait
+/// returns immediately. The epoch is bumped under the internal mutex, so
+/// a waiter that reached the condition variable cannot miss the bump.
+///
+/// Callers must make the state writes the predicate reads seq_cst (or
+/// otherwise ordered before notify) for the argument to hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_EVENTCOUNT_H
+#define SPECPAR_RUNTIME_EVENTCOUNT_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace specpar {
+namespace rt {
+
+class EventCount {
+public:
+  /// Registers the calling thread as a waiter and returns the ticket to
+  /// pass to wait(). After this the caller MUST re-check its predicate
+  /// and either wait(ticket) or cancelWait().
+  uint64_t prepareWait() {
+    Waiters.fetch_add(1, std::memory_order_seq_cst);
+    return Epoch.load(std::memory_order_seq_cst);
+  }
+
+  /// Deregisters without blocking (the re-checked predicate held).
+  void cancelWait() { Waiters.fetch_sub(1, std::memory_order_release); }
+
+  /// Blocks until a notify that happened after the matching
+  /// prepareWait() (i.e. until the epoch moves past \p Ticket).
+  void wait(uint64_t Ticket) {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] {
+      return Epoch.load(std::memory_order_relaxed) != Ticket;
+    });
+    Lock.unlock();
+    Waiters.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// wait() with a timeout; returns false when it timed out with the
+  /// epoch still unmoved. Callers use short timeouts as a liveness
+  /// safety net around external state they cannot fence perfectly.
+  template <typename Rep, typename Period>
+  bool waitFor(uint64_t Ticket,
+               const std::chrono::duration<Rep, Period> &Timeout) {
+    std::unique_lock<std::mutex> Lock(M);
+    bool Signalled = CV.wait_for(Lock, Timeout, [&] {
+      return Epoch.load(std::memory_order_relaxed) != Ticket;
+    });
+    Lock.unlock();
+    Waiters.fetch_sub(1, std::memory_order_release);
+    return Signalled;
+  }
+
+  /// Wakes one waiter (if any). A single seq_cst load when none.
+  void notifyOne() { notify(false); }
+
+  /// Wakes every waiter (if any). A single seq_cst load when none.
+  void notifyAll() { notify(true); }
+
+private:
+  void notify(bool All) {
+    if (Waiters.load(std::memory_order_seq_cst) == 0)
+      return;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Epoch.fetch_add(1, std::memory_order_seq_cst);
+    }
+    if (All)
+      CV.notify_all();
+    else
+      CV.notify_one();
+  }
+
+  std::atomic<uint64_t> Epoch{0};
+  std::atomic<uint32_t> Waiters{0};
+  std::mutex M;
+  std::condition_variable CV;
+};
+
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_EVENTCOUNT_H

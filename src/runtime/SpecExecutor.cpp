@@ -10,8 +10,29 @@
 #include "runtime/FaultPlan.h"
 #include "support/StringUtils.h"
 
+#include <chrono>
+
 using namespace specpar;
 using namespace specpar::rt;
+
+namespace {
+
+/// Slot-pool batching: per-worker caches exchange slots with the global
+/// pool in batches so the pool mutex is off the per-task path.
+constexpr std::size_t kSlotBatch = 32;
+constexpr std::size_t kSlotCacheMax = 2 * kSlotBatch;
+constexpr std::size_t kSlotSlab = 64;
+
+/// Injection ring capacity; overflow (a wave far wider than this) falls
+/// back to a deque, still under the same single mutex.
+constexpr std::size_t kInjectionCapacity = 1024;
+
+/// Timed-park cap for idle workers: the eventcount protocol alone should
+/// never lose a wakeup, but the executor's liveness must not hinge on
+/// that proof holding under every FaultPlan jitter schedule.
+constexpr std::chrono::milliseconds kWorkerParkCap(50);
+
+} // namespace
 
 ExecutorStats ExecutorStats::operator-(const ExecutorStats &Base) const {
   ExecutorStats D;
@@ -21,18 +42,23 @@ ExecutorStats ExecutorStats::operator-(const ExecutorStats &Base) const {
   D.Steals = Steals - Base.Steals;
   D.HelpRuns = HelpRuns - Base.HelpRuns;
   D.PeakQueueDepth = PeakQueueDepth;
+  D.EventcountParks = EventcountParks - Base.EventcountParks;
+  D.SlotPoolRefills = SlotPoolRefills - Base.SlotPoolRefills;
   return D;
 }
 
 std::string ExecutorStats::str() const {
   return formatString("submits=%llu own-pops=%llu injection-pops=%llu "
-                      "steals=%llu help-runs=%llu peak-queue=%llu",
+                      "steals=%llu help-runs=%llu peak-queue=%llu "
+                      "parks=%llu pool-refills=%llu",
                       static_cast<unsigned long long>(Submits),
                       static_cast<unsigned long long>(OwnPops),
                       static_cast<unsigned long long>(InjectionPops),
                       static_cast<unsigned long long>(Steals),
                       static_cast<unsigned long long>(HelpRuns),
-                      static_cast<unsigned long long>(PeakQueueDepth));
+                      static_cast<unsigned long long>(PeakQueueDepth),
+                      static_cast<unsigned long long>(EventcountParks),
+                      static_cast<unsigned long long>(SlotPoolRefills));
 }
 
 namespace {
@@ -41,6 +67,10 @@ namespace {
 /// "not a worker".
 thread_local SpecExecutor *TLExecutor = nullptr;
 thread_local unsigned TLWorkerIdx = ~0u;
+
+/// Rotates the first victim non-worker helpers try, so concurrent
+/// helpers don't all hammer worker 0's deque.
+std::atomic<unsigned> StealCursor{0};
 } // namespace
 
 unsigned SpecExecutor::defaultThreads() {
@@ -56,49 +86,101 @@ SpecExecutor &SpecExecutor::process() {
 SpecExecutor::SpecExecutor(unsigned NumThreads) {
   if (NumThreads == 0)
     NumThreads = defaultThreads();
-  Deques.reserve(NumThreads + 1);
-  for (unsigned I = 0; I < NumThreads + 1; ++I)
-    Deques.push_back(std::make_unique<TaskDeque>());
+  Injection.Ring.resize(kInjectionCapacity);
+  WorkerStates.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I) {
+    WorkerStates.push_back(std::make_unique<Worker>());
+    WorkerStates.back()->SlotCache.reserve(kSlotCacheMax + kSlotBatch);
+  }
   Workers.reserve(NumThreads);
   for (unsigned I = 0; I < NumThreads; ++I)
     Workers.emplace_back([this, I] { workerLoop(I); });
 }
 
 SpecExecutor::~SpecExecutor() {
-  {
-    std::unique_lock<std::mutex> Lock(ProgressM);
-    ShuttingDown = true;
-    ++Epoch;
-  }
-  ProgressCV.notify_all();
+  Stop.store(true, std::memory_order_seq_cst);
+  WorkEC.notifyAll();
   for (std::thread &W : Workers)
     W.join();
+  // Slab storage (and with it every slot) is reclaimed by Pool's members.
 }
 
 bool SpecExecutor::onWorkerThread() const { return TLExecutor == this; }
 
-void SpecExecutor::submit(std::function<void()> Task) {
-  unsigned DequeIdx = onWorkerThread() ? 1 + TLWorkerIdx : 0;
-  {
-    std::unique_lock<std::mutex> Lock(Deques[DequeIdx]->M);
-    Deques[DequeIdx]->Q.push_back(std::move(Task));
+SpecExecutor::TaskSlot *SpecExecutor::acquireSlot(unsigned WorkerIdx) {
+  Worker &W = *WorkerStates[WorkerIdx];
+  if (!W.SlotCache.empty()) {
+    TaskSlot *S = W.SlotCache.back();
+    W.SlotCache.pop_back();
+    return S;
   }
-  // Injection site: stall between enqueue and wakeup, widening the window
-  // in which sleeping workers could miss this submission (the Epoch
-  // protocol below must absorb it).
-  if (FaultPlan *P = Faults.load(std::memory_order_acquire))
-    P->maybeDelay(FaultSite::JitterWakeup);
+  std::lock_guard<std::mutex> Lock(Pool.M);
+  if (Pool.Free.size() < kSlotBatch) {
+    Pool.Slabs.push_back(std::make_unique<TaskSlot[]>(kSlotSlab));
+    TaskSlot *Slab = Pool.Slabs.back().get();
+    for (std::size_t I = 0; I < kSlotSlab; ++I)
+      Pool.Free.push_back(&Slab[I]);
+  }
+  for (std::size_t I = 0; I + 1 < kSlotBatch; ++I) {
+    W.SlotCache.push_back(Pool.Free.back());
+    Pool.Free.pop_back();
+  }
+  RefillCount.fetch_add(1, std::memory_order_relaxed);
+  TaskSlot *S = Pool.Free.back();
+  Pool.Free.pop_back();
+  return S;
+}
+
+void SpecExecutor::releaseSlot(TaskSlot *Slot) {
+  if (onWorkerThread()) {
+    Worker &W = *WorkerStates[TLWorkerIdx];
+    W.SlotCache.push_back(Slot);
+    if (W.SlotCache.size() > kSlotCacheMax) {
+      std::lock_guard<std::mutex> Lock(Pool.M);
+      for (std::size_t I = 0; I < kSlotBatch; ++I) {
+        Pool.Free.push_back(W.SlotCache.back());
+        W.SlotCache.pop_back();
+      }
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> Lock(Pool.M);
+  Pool.Free.push_back(Slot);
+}
+
+void SpecExecutor::submitRef(TaskRef Task) {
+  // Count the task as pending *before* it becomes poppable, so waitIdle
+  // and worker-exit never observe an enqueued-but-uncounted task.
+  int64_t P = Pending.fetch_add(1, std::memory_order_seq_cst) + 1;
+  uint64_t Depth = static_cast<uint64_t>(P);
+  uint64_t Cur = PeakQueue.load(std::memory_order_relaxed);
+  while (Depth > Cur &&
+         !PeakQueue.compare_exchange_weak(Cur, Depth,
+                                          std::memory_order_relaxed))
+    ;
+
+  if (onWorkerThread()) {
+    TaskSlot *S = acquireSlot(TLWorkerIdx);
+    S->Task = std::move(Task);
+    WorkerStates[TLWorkerIdx]->Deque.push(S);
+  } else {
+    std::lock_guard<std::mutex> Lock(Injection.M);
+    if (Injection.Count < Injection.Ring.size()) {
+      Injection.Ring[(Injection.Head + Injection.Count) %
+                     Injection.Ring.size()] = std::move(Task);
+      ++Injection.Count;
+    } else {
+      Injection.Overflow.push_back(std::move(Task));
+    }
+  }
   SubmitCount.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::unique_lock<std::mutex> Lock(ProgressM);
-    ++Pending;
-    ++Epoch;
-    if (static_cast<uint64_t>(Pending) >
-        PeakQueue.load(std::memory_order_relaxed))
-      PeakQueue.store(static_cast<uint64_t>(Pending),
-                      std::memory_order_relaxed);
-  }
-  ProgressCV.notify_all();
+
+  // Injection site: stall between enqueue and wakeup, widening the window
+  // in which sleeping workers could miss this submission (the eventcount
+  // re-check protocol plus the timed park must absorb it).
+  if (FaultPlan *Plan = Faults.load(std::memory_order_acquire))
+    Plan->maybeDelay(FaultSite::JitterWakeup);
+  WorkEC.notifyOne();
 }
 
 ExecutorStats SpecExecutor::stats() const {
@@ -109,57 +191,81 @@ ExecutorStats SpecExecutor::stats() const {
   S.Steals = StealCount.load(std::memory_order_relaxed);
   S.HelpRuns = HelpRunCount.load(std::memory_order_relaxed);
   S.PeakQueueDepth = PeakQueue.load(std::memory_order_relaxed);
+  S.EventcountParks = ParkCount.load(std::memory_order_relaxed);
+  S.SlotPoolRefills = RefillCount.load(std::memory_order_relaxed);
   return S;
 }
 
-bool SpecExecutor::popTask(unsigned WorkerIdx, std::function<void()> &Out) {
+bool SpecExecutor::tryPopInjection(TaskRef &Out) {
+  std::lock_guard<std::mutex> Lock(Injection.M);
+  if (Injection.Count == 0)
+    return false;
+  Out = std::move(Injection.Ring[Injection.Head]);
+  Injection.Head = (Injection.Head + 1) % Injection.Ring.size();
+  --Injection.Count;
+  if (!Injection.Overflow.empty()) {
+    Injection.Ring[(Injection.Head + Injection.Count) %
+                   Injection.Ring.size()] =
+        std::move(Injection.Overflow.front());
+    Injection.Overflow.pop_front();
+    ++Injection.Count;
+  }
+  return true;
+}
+
+bool SpecExecutor::popTask(unsigned WorkerIdx, TaskRef &Out) {
   // Own deque, LIFO: chained corrective attempts run depth-first.
   if (WorkerIdx != ~0u) {
-    TaskDeque &Own = *Deques[1 + WorkerIdx];
-    std::unique_lock<std::mutex> Lock(Own.M);
-    if (!Own.Q.empty()) {
-      Out = std::move(Own.Q.back());
-      Own.Q.pop_back();
+    TaskSlot *S = nullptr;
+    if (WorkerStates[WorkerIdx]->Deque.pop(S)) {
+      Out = std::move(S->Task);
+      releaseSlot(S);
       OwnPopCount.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
-  // Injection deque then other workers, FIFO (steal the oldest task —
-  // most likely the root of someone else's pending work).
-  for (size_t I = 0; I < Deques.size(); ++I) {
-    if (WorkerIdx != ~0u && I == 1 + WorkerIdx)
+  // Injection ring: external submissions, FIFO.
+  if (tryPopInjection(Out)) {
+    InjectionPopCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Steal from the other workers, FIFO (the oldest task is most likely
+  // the root of someone else's pending work).
+  unsigned N = static_cast<unsigned>(WorkerStates.size());
+  unsigned Start = WorkerIdx != ~0u
+                       ? WorkerIdx + 1
+                       : StealCursor.fetch_add(1, std::memory_order_relaxed);
+  for (unsigned K = 0; K < N; ++K) {
+    unsigned V = (Start + K) % N;
+    if (V == WorkerIdx)
       continue;
-    TaskDeque &D = *Deques[I];
-    std::unique_lock<std::mutex> Lock(D.M);
-    if (!D.Q.empty()) {
-      Out = std::move(D.Q.front());
-      D.Q.pop_front();
-      (I == 0 ? InjectionPopCount : StealCount)
-          .fetch_add(1, std::memory_order_relaxed);
+    TaskSlot *S = nullptr;
+    if (WorkerStates[V]->Deque.steal(S)) {
+      Out = std::move(S->Task);
+      releaseSlot(S);
+      StealCount.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
   return false;
 }
 
-void SpecExecutor::runTask(std::function<void()> &Task) {
+void SpecExecutor::runTask(TaskRef &Task) {
   // Injection site: a popped task's start is delayed, as a preempted or
   // descheduled worker would delay it.
-  if (FaultPlan *P = Faults.load(std::memory_order_acquire))
-    P->maybeDelay(FaultSite::DelayTaskStart);
-  Task();
-  Task = nullptr; // release captures before signalling completion
-  {
-    std::unique_lock<std::mutex> Lock(ProgressM);
-    --Pending;
-    ++Epoch;
+  if (FaultPlan *Plan = Faults.load(std::memory_order_acquire))
+    Plan->maybeDelay(FaultSite::DelayTaskStart);
+  Task.run();
+  Task = TaskRef(); // release captures before signalling completion
+  if (Pending.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    IdleEC.notifyAll();
+    WorkEC.notifyAll(); // shutting-down workers re-check Pending == 0
   }
-  ProgressCV.notify_all();
 }
 
 bool SpecExecutor::tryRunOneTask() {
   unsigned Idx = onWorkerThread() ? TLWorkerIdx : ~0u;
-  std::function<void()> Task;
+  TaskRef Task;
   if (!popTask(Idx, Task))
     return false;
   HelpRunCount.fetch_add(1, std::memory_order_relaxed);
@@ -168,39 +274,53 @@ bool SpecExecutor::tryRunOneTask() {
 }
 
 void SpecExecutor::waitIdle() {
-  std::unique_lock<std::mutex> Lock(ProgressM);
-  ProgressCV.wait(Lock, [this] { return Pending == 0; });
+  for (;;) {
+    if (Pending.load(std::memory_order_seq_cst) == 0)
+      return;
+    // Helping keeps waitIdle deadlock-free from worker threads and
+    // shortens the wait from any thread.
+    if (tryRunOneTask())
+      continue;
+    uint64_t Ticket = IdleEC.prepareWait();
+    if (Pending.load(std::memory_order_seq_cst) == 0) {
+      IdleEC.cancelWait();
+      return;
+    }
+    IdleEC.waitFor(Ticket, std::chrono::milliseconds(1));
+  }
 }
 
 void SpecExecutor::workerLoop(unsigned WorkerIdx) {
   TLExecutor = this;
   TLWorkerIdx = WorkerIdx;
   for (;;) {
-    // Capture the epoch *before* scanning the deques: a submit that lands
-    // after the scan bumps Epoch past Seen, so the wait below returns
-    // immediately instead of missing it.
-    uint64_t Seen;
-    {
-      std::unique_lock<std::mutex> Lock(ProgressM);
-      // Exit only when shutting down AND nothing is pending: queued tasks
-      // always run, and a still-running task may submit more.
-      if (ShuttingDown && Pending == 0)
-        return;
-      Seen = Epoch;
-    }
-    std::function<void()> Task;
+    TaskRef Task;
     if (popTask(WorkerIdx, Task)) {
       runTask(Task);
       continue;
     }
+    // Exit only when shutting down AND nothing is pending: queued tasks
+    // always run, and a still-running task may submit more.
+    if (Stop.load(std::memory_order_seq_cst) &&
+        Pending.load(std::memory_order_seq_cst) == 0)
+      return;
     // Injection site: dawdle between the empty scan and going to sleep —
-    // a submit can land right here, and only the Seen-epoch re-check
-    // keeps the worker from sleeping through it.
-    if (FaultPlan *P = Faults.load(std::memory_order_acquire))
-      P->maybeDelay(FaultSite::JitterWakeup);
-    std::unique_lock<std::mutex> Lock(ProgressM);
-    ProgressCV.wait(Lock, [&] {
-      return Epoch != Seen || (ShuttingDown && Pending == 0);
-    });
+    // a submit can land right here, and the registered-waiter re-check
+    // below is what keeps the worker from sleeping through it.
+    if (FaultPlan *Plan = Faults.load(std::memory_order_acquire))
+      Plan->maybeDelay(FaultSite::JitterWakeup);
+    uint64_t Ticket = WorkEC.prepareWait();
+    if (popTask(WorkerIdx, Task)) {
+      WorkEC.cancelWait();
+      runTask(Task);
+      continue;
+    }
+    if (Stop.load(std::memory_order_seq_cst) &&
+        Pending.load(std::memory_order_seq_cst) == 0) {
+      WorkEC.cancelWait();
+      return;
+    }
+    ParkCount.fetch_add(1, std::memory_order_relaxed);
+    WorkEC.waitFor(Ticket, kWorkerParkCap);
   }
 }

@@ -11,34 +11,49 @@
 /// the paper's C# library).
 ///
 /// Design:
-///  * one deque per worker plus one injection deque for external
-///    submitters; a worker pushes and pops its own deque LIFO (depth-first
-///    locality for chained corrective attempts) and steals FIFO from the
-///    injection deque and from other workers when its own deque is empty;
+///  * one Chase–Lev lock-free deque per worker: the owning worker pushes
+///    and pops LIFO (depth-first locality for chained corrective
+///    attempts) with no atomic RMW on the fast path; other threads steal
+///    FIFO with one CAS. Deques hold pointers to pooled `TaskSlot`s so a
+///    worker-side submit is slot-from-cache + two plain stores + one
+///    seq_cst store — no lock, no heap allocation;
+///  * external submitters (typically the speculation validator) enqueue
+///    into a fixed-capacity injection ring of `TaskRef` by value under a
+///    single uncontended mutex — preallocated, so no steady-state
+///    allocation there either; a deque absorbs the (rare) overflow;
+///  * tasks are `TaskRef` (move-only, 48-byte inline storage): the
+///    runtime's attempt thunks capture two pointers and never touch the
+///    heap; oversized captures fall back to one allocation inside
+///    TaskRef;
+///  * idle workers park on an `EventCount`, so submit's wake-up is a
+///    single seq_cst load when every worker is busy — the old protocol
+///    took a second mutex and `notify_all` on every submit *and* every
+///    completion;
 ///  * **cooperative helping**: any thread — worker or not — can call
 ///    `tryRunOneTask()` to execute one queued task inline. The speculation
 ///    runtime uses this so a worker that blocks inside a speculative run
 ///    (waiting for a consumer, quiescing a slot, draining attempts)
 ///    executes queued tasks instead of idling. This is what makes *nested*
-///    speculation on one shared executor deadlock-free: the outer
-///    iteration's body occupies a worker, but while its inner run waits it
-///    keeps draining the inner run's own attempts;
+///    speculation on one shared executor deadlock-free;
 ///  * destruction drains the queues (every submitted task runs) and joins
 ///    the workers, matching the old ThreadPool contract.
 ///
-/// Each deque is guarded by its own mutex; the owner's push/pop and a
-/// thief's steal contend only on that one lock, never on a global one.
-/// The steal path is exercised concurrently from every thread, so builds
-/// with `-DSPECPAR_SANITIZE=thread` run `runtime_test` under TSan to guard
-/// it (the `sanitize-smoke` CTest label).
+/// The lock-free paths are exercised concurrently from every thread, so
+/// builds with `-DSPECPAR_SANITIZE=thread` run `runtime_test` and the
+/// steal-storm stress tests under TSan (the `sanitize-smoke` CTest
+/// label); the Chase–Lev memory orders are chosen to be TSan-provable
+/// (see ChaseLevDeque.h).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPECPAR_RUNTIME_SPECEXECUTOR_H
 #define SPECPAR_RUNTIME_SPECEXECUTOR_H
 
+#include "runtime/ChaseLevDeque.h"
+#include "runtime/EventCount.h"
+#include "runtime/TaskRef.h"
+
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -62,7 +77,7 @@ struct ExecutorStats {
   uint64_t Submits = 0;
   /// Tasks a worker popped from its own deque (LIFO fast path).
   uint64_t OwnPops = 0;
-  /// Tasks popped from the injection deque (external submissions).
+  /// Tasks popped from the injection ring (external submissions).
   uint64_t InjectionPops = 0;
   /// Tasks stolen from another worker's deque.
   uint64_t Steals = 0;
@@ -71,6 +86,12 @@ struct ExecutorStats {
   uint64_t HelpRuns = 0;
   /// The largest number of submitted-but-unfinished tasks observed.
   uint64_t PeakQueueDepth = 0;
+  /// Times a worker actually parked on the eventcount (a low count on a
+  /// busy run means the wake-free submit fast path is doing its job).
+  uint64_t EventcountParks = 0;
+  /// Batched refills of a worker's local task-slot cache from the global
+  /// pool (steady state: zero — slots recirculate through the caches).
+  uint64_t SlotPoolRefills = 0;
 
   /// Counter-wise difference (PeakQueueDepth keeps this snapshot's value —
   /// a high-water mark has no meaningful delta).
@@ -97,18 +118,31 @@ public:
   SpecExecutor &operator=(const SpecExecutor &) = delete;
 
   /// Enqueues \p Task; never blocks. Called from a worker of this
-  /// executor, the task goes to that worker's own deque (LIFO); called
-  /// from any other thread it goes to the injection deque (FIFO).
-  void submit(std::function<void()> Task);
+  /// executor, the task goes to that worker's own lock-free deque (LIFO);
+  /// called from any other thread it goes to the injection ring (FIFO).
+  /// The callable must be passed as an rvalue — the submission path is
+  /// move-only end-to-end (see TaskRef).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, std::function<void()>>>>
+  void submit(F &&Task) {
+    submitRef(TaskRef(std::forward<F>(Task)));
+  }
+
+  /// Compatibility overload: accepts a std::function by value (one move
+  /// from an rvalue argument; lvalues pay the unavoidable copy at this
+  /// API boundary and nothing further downstream).
+  void submit(std::function<void()> Task) { submitRef(TaskRef(std::move(Task))); }
 
   /// Runs one queued task inline on the calling thread, if any is
   /// available: the calling worker's own deque first, then the injection
-  /// deque, then steals from other workers. Returns false if every deque
+  /// ring, then steals from other workers. Returns false if every queue
   /// was empty. Safe to call from any thread; this is the helping
   /// primitive blocked speculative runs use instead of idling.
   bool tryRunOneTask();
 
-  /// Blocks until every task submitted so far has finished.
+  /// Blocks until every task submitted so far has finished. Helps (runs
+  /// queued tasks inline) while waiting.
   void waitIdle();
 
   /// True iff the calling thread is one of *this* executor's workers.
@@ -125,11 +159,11 @@ public:
   /// Installs \p Plan as this executor's fault-injection plan (nullptr to
   /// remove). Arms the executor-level sites: `DelayTaskStart` sleeps a
   /// jittered delay before a popped task runs, `JitterWakeup` sleeps
-  /// around the submit/wake paths to widen race windows. The plan must
-  /// outlive every task submitted while it is installed; with none
-  /// installed (the default) each site is a single pointer test. Faults
-  /// never drop work: every submitted task still runs, including through
-  /// destruction's drain.
+  /// around the submit/wake and pre-park paths to widen race windows. The
+  /// plan must outlive every task submitted while it is installed; with
+  /// none installed (the default) each site is a single pointer test.
+  /// Faults never drop work: every submitted task still runs, including
+  /// through destruction's drain.
   void injectFaults(FaultPlan *Plan) {
     Faults.store(Plan, std::memory_order_release);
   }
@@ -149,42 +183,80 @@ public:
   static SpecExecutor &process();
 
 private:
-  struct TaskDeque {
-    std::mutex M;
-    std::deque<std::function<void()>> Q;
+  /// A pooled task container: deques carry `TaskSlot*`, so a cell is
+  /// pointer-sized (what Chase–Lev wants) while the TaskRef payload lives
+  /// in recycled, stable storage.
+  struct TaskSlot {
+    TaskRef Task;
   };
 
+  /// Per-worker state, cache-line separated: the lock-free deque plus an
+  /// owner-only cache of free slots (refilled/flushed in batches against
+  /// the global pool so the mutex is off the per-task path).
+  struct alignas(64) Worker {
+    ChaseLevDeque<TaskSlot *> Deque;
+    std::vector<TaskSlot *> SlotCache;
+  };
+
+  void submitRef(TaskRef Task);
   void workerLoop(unsigned WorkerIdx);
   /// Pops a task for \p WorkerIdx (own LIFO, injection FIFO, steal FIFO);
   /// ~0u means "not a worker": injection then steal only.
-  bool popTask(unsigned WorkerIdx, std::function<void()> &Out);
-  void runTask(std::function<void()> &Task);
+  bool popTask(unsigned WorkerIdx, TaskRef &Out);
+  void runTask(TaskRef &Task);
 
-  /// Deques[0] is the injection deque; Deques[1 + w] belongs to worker w.
-  std::vector<std::unique_ptr<TaskDeque>> Deques;
+  TaskSlot *acquireSlot(unsigned WorkerIdx);
+  void releaseSlot(TaskSlot *Slot);
+
+  std::vector<std::unique_ptr<Worker>> WorkerStates;
   std::vector<std::thread> Workers;
 
+  /// Global slot pool: slabs own the memory; Free holds recyclable slots.
+  /// Touched only for batched cache refills/flushes and by non-worker
+  /// helpers returning a stolen slot.
+  struct SlotPool {
+    std::mutex M;
+    std::vector<TaskSlot *> Free;
+    std::vector<std::unique_ptr<TaskSlot[]>> Slabs;
+  };
+  SlotPool Pool;
+
+  /// External submissions: a preallocated ring of TaskRef under one
+  /// mutex (uncontended in the common one-validator case), with a deque
+  /// absorbing overflow so submit never blocks.
+  struct InjectionQueue {
+    std::mutex M;
+    std::vector<TaskRef> Ring;
+    std::size_t Head = 0;
+    std::size_t Count = 0;
+    std::deque<TaskRef> Overflow;
+  };
+  InjectionQueue Injection;
+  bool tryPopInjection(TaskRef &Out);
+
   /// Activity counters behind stats(). Relaxed atomics: they are
-  /// statistics, not synchronization; PeakQueue is only written under
-  /// ProgressM (where Pending changes) so a relaxed store suffices.
+  /// statistics, not synchronization.
   std::atomic<uint64_t> SubmitCount{0};
   std::atomic<uint64_t> OwnPopCount{0};
   std::atomic<uint64_t> InjectionPopCount{0};
   std::atomic<uint64_t> StealCount{0};
   std::atomic<uint64_t> HelpRunCount{0};
   std::atomic<uint64_t> PeakQueue{0};
+  std::atomic<uint64_t> ParkCount{0};
+  std::atomic<uint64_t> RefillCount{0};
 
   /// Fault-injection plan for the executor-level sites (null = off).
   std::atomic<FaultPlan *> Faults{nullptr};
 
-  /// Progress accounting: Pending counts submitted-but-unfinished tasks;
-  /// Epoch bumps on every submit and completion so sleepers never miss a
-  /// state change.
-  std::mutex ProgressM;
-  std::condition_variable ProgressCV;
-  uint64_t Epoch = 0;
-  int64_t Pending = 0;
-  bool ShuttingDown = false;
+  /// Submitted-but-unfinished tasks. seq_cst: participates in the
+  /// eventcount Dekker protocols (worker exit, waitIdle).
+  std::atomic<int64_t> Pending{0};
+  std::atomic<bool> Stop{false};
+
+  /// Workers park here when every queue is empty…
+  EventCount WorkEC;
+  /// …and waitIdle() parks here until Pending reaches zero.
+  EventCount IdleEC;
 };
 
 } // namespace rt

@@ -12,24 +12,25 @@
 using namespace specpar;
 using namespace specpar::rt;
 
-thread_local const std::atomic<bool> *detail::CurrentCancelFlag = nullptr;
-thread_local std::chrono::steady_clock::time_point detail::CurrentDeadline =
-    std::chrono::steady_clock::time_point::max();
-thread_local std::atomic<bool> *detail::CurrentCancelObserved = nullptr;
+detail::CancelContext &detail::cancelContext() {
+  static thread_local CancelContext Context;
+  return Context;
+}
 
 bool specpar::rt::currentTaskCancelled() {
+  detail::CancelContext &C = detail::cancelContext();
   bool Cancelled = false;
-  if (const std::atomic<bool> *Flag = detail::CurrentCancelFlag)
+  if (const std::atomic<bool> *Flag = C.Flag)
     Cancelled = Flag->load(std::memory_order_relaxed);
   // Deadline expiry is only checked when one is armed: the common path
   // stays a thread-local load plus an atomic load, no clock read.
   if (!Cancelled &&
-      detail::CurrentDeadline != std::chrono::steady_clock::time_point::max())
-    Cancelled = std::chrono::steady_clock::now() >= detail::CurrentDeadline;
+      C.Deadline != std::chrono::steady_clock::time_point::max())
+    Cancelled = std::chrono::steady_clock::now() >= C.Deadline;
   if (Cancelled)
     // Record that this attempt *observed* cancellation: it may now bail
     // with a partial value, so the validator must never accept it.
-    if (std::atomic<bool> *Observed = detail::CurrentCancelObserved)
+    if (std::atomic<bool> *Observed = C.Observed)
       Observed->store(true, std::memory_order_relaxed);
   return Cancelled;
 }

@@ -104,6 +104,7 @@
 #ifndef SPECPAR_RUNTIME_SPECULATION_H
 #define SPECPAR_RUNTIME_SPECULATION_H
 
+#include "runtime/EventCount.h"
 #include "runtime/FaultPlan.h"
 #include "runtime/SpecExecutor.h"
 #include "runtime/Telemetry.h"
@@ -112,13 +113,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace specpar {
@@ -288,6 +292,26 @@ public:
     StatsSink = S;
     return *this;
   }
+  /// Arms the adaptive chunk autotuner for the *chunked* iteration forms:
+  /// ChunkSize becomes the initial granularity and the runtime re-sizes
+  /// chunks between scheduling waves, aiming at chunk bodies of roughly
+  /// \p TargetChunkMicros each — it doubles the chunk when bodies run
+  /// much shorter than the target (dispatch overhead dominating), halves
+  /// it when they run much longer (lost parallelism / stale predictions)
+  /// or when more than half of a wave's prediction points resolve badly
+  /// (smaller chunks re-validate sooner). Resizes are traced as
+  /// `SpecEventKind::Autotune` with the new chunk size as the index.
+  /// `0` (the default) disables the autotuner: chunk boundaries are then
+  /// exactly the fixed `[Low + c*ChunkSize, ...)` grid, and per-chunk
+  /// statistics keep their fixed-grid meaning. With autotuning on, chunk
+  /// ordinals (finalizer indices, telemetry indices, stats granularity)
+  /// follow the *dynamic* segmentation. Plain (unchunked) iterate() is
+  /// never autotuned — its per-iteration init/finalize contract fixes the
+  /// granularity.
+  SpecConfig &autotune(int64_t TargetChunkMicros) {
+    AutotuneUs = TargetChunkMicros < 0 ? 0 : TargetChunkMicros;
+    return *this;
+  }
 
   unsigned threads() const { return NumThreads; }
   ValidationMode mode() const { return Mode; }
@@ -299,6 +323,7 @@ public:
   double degradeThreshold() const { return DegradeThresh; }
   int degradeWindow() const { return DegradeWin; }
   SpeculationStats *statsOut() const { return StatsSink; }
+  int64_t autotuneTargetMicros() const { return AutotuneUs; }
 
   /// The persistent executor this config resolves to — the explicit one,
   /// or the process-wide default — or nullptr when the run will create a
@@ -321,6 +346,7 @@ private:
   double DegradeThresh = -1.0;
   int DegradeWin = 8;
   SpeculationStats *StatsSink = nullptr;
+  int64_t AutotuneUs = 0;
 };
 
 /// A shared cancellation flag (cooperative, like .NET's).
@@ -338,44 +364,61 @@ private:
 };
 
 namespace detail {
-/// The cancellation flag of the speculative task running on this thread.
-extern thread_local const std::atomic<bool> *CurrentCancelFlag;
-/// The cooperative deadline of the speculative run enclosing this thread
-/// (time_point::max() = none). Nested scopes keep the tighter deadline.
-extern thread_local std::chrono::steady_clock::time_point CurrentDeadline;
-/// Where `currentTaskCancelled()` records that the running attempt
+/// The cancellation context of the speculative task running on this
+/// thread: its cancel flag, the enclosing run's cooperative deadline
+/// (time_point::max() = none; nested scopes keep the tighter one), and
+/// where `currentTaskCancelled()` records that the running attempt
 /// *observed* cancellation (and may therefore have bailed with partial
-/// output). The validator refuses to accept such attempts.
-extern thread_local std::atomic<bool> *CurrentCancelObserved;
+/// output — the validator refuses to accept such attempts).
+struct CancelContext {
+  const std::atomic<bool> *Flag = nullptr;
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::atomic<bool> *Observed = nullptr;
+};
+
+/// The calling thread's cancellation context. Out-of-line over a
+/// function-local `thread_local` rather than an extern TLS variable:
+/// GCC's UBSan mis-instruments the cross-TU TLS wrapper of the latter
+/// (bogus null-pointer reports on every access from inlined header
+/// code), and the accessor keeps the hot sites to one call.
+CancelContext &cancelContext();
 
 /// RAII: marks the current thread as running under \p Token, optionally
 /// with a deadline and an observation flag for `currentTaskCancelled()`.
 class CancelScope {
 public:
   explicit CancelScope(const CancellationToken &Token)
-      : SavedFlag(CurrentCancelFlag), SavedDeadline(CurrentDeadline),
-        SavedObserved(CurrentCancelObserved) {
-    CurrentCancelFlag = Token.raw();
-    CurrentCancelObserved = nullptr;
+      : Saved(cancelContext()) {
+    CancelContext &C = cancelContext();
+    C.Flag = Token.raw();
+    C.Observed = nullptr;
   }
   CancelScope(const CancellationToken &Token,
               std::chrono::steady_clock::time_point Deadline,
               std::atomic<bool> *Observed)
       : CancelScope(Token) {
+    CancelContext &C = cancelContext();
     // An enclosing run's deadline stays binding inside a nested run.
-    CurrentDeadline = std::min(SavedDeadline, Deadline);
-    CurrentCancelObserved = Observed;
+    C.Deadline = std::min(Saved.Deadline, Deadline);
+    C.Observed = Observed;
   }
-  ~CancelScope() {
-    CurrentCancelFlag = SavedFlag;
-    CurrentDeadline = SavedDeadline;
-    CurrentCancelObserved = SavedObserved;
+  /// Raw-flag form for the pooled attempt lifecycle: the flag lives in
+  /// recycled attempt storage, so there is no token to share ownership
+  /// with — the run guarantees the attempt outlives the scope.
+  CancelScope(const std::atomic<bool> *Flag,
+              std::chrono::steady_clock::time_point Deadline,
+              std::atomic<bool> *Observed)
+      : Saved(cancelContext()) {
+    CancelContext &C = cancelContext();
+    C.Flag = Flag;
+    C.Deadline = std::min(Saved.Deadline, Deadline);
+    C.Observed = Observed;
   }
+  ~CancelScope() { cancelContext() = Saved; }
 
 private:
-  const std::atomic<bool> *SavedFlag;
-  std::chrono::steady_clock::time_point SavedDeadline;
-  std::atomic<bool> *SavedObserved;
+  CancelContext Saved;
 };
 } // namespace detail
 
@@ -409,45 +452,103 @@ struct Options {
 
 namespace detail {
 
-/// A single speculative execution of one iteration with a given input.
-template <typename T, typename U> struct Attempt {
-  explicit Attempt(T In) : In(std::move(In)) {}
-  T In;
+/// One pooled speculative execution of a segment [B, E) with a given
+/// input. Attempts are preallocated per run, reset in place, and
+/// recycled wave after wave — the steady-state attempt lifecycle does
+/// not touch the heap. `Done` is the publication point: every plain
+/// field is written before the seq_cst store of `Done` and read by the
+/// validator only after it loads `Done == true`.
+template <typename T, typename U> struct SegAttempt {
+  std::optional<T> In;
   std::optional<T> Out;
   std::optional<U> Local;
   std::exception_ptr Err;
-  bool Done = false;
   /// Completion order within the run (0 = not finished). The validator
   /// only accepts an attempt that finished *last* in its slot, so that
   /// the accepted execution's writes are the final ones.
   uint64_t FinishStamp = 0;
   /// Telemetry attempt id (0 when no tracer is installed).
   uint64_t TraceId = 0;
-  CancellationToken Cancel;
+  /// The iteration range this attempt executes.
+  int64_t B = 0, E = 0;
+  /// Wave-local slot this attempt belongs to.
+  int64_t SlotIdx = 0;
+  /// The index reported to telemetry and finalizers (iteration index for
+  /// plain iterate, segment ordinal for the chunked forms).
+  int64_t UserIdx = 0;
+  /// Corrective attempts wait for their slot's prior attempt before
+  /// running, so attempts of one segment never run concurrently.
+  SegAttempt *After = nullptr;
+  /// Body wall time in ns, measured only when the autotuner is armed.
+  int64_t BodyNs = 0;
+  /// Which freelist the attempt returns to at wave end.
+  bool FromChainPool = false;
+  /// Cooperative cancellation flag (plain atomic — no shared_ptr token
+  /// on the hot path).
+  std::atomic<bool> CancelFlag{false};
   /// Set by `currentTaskCancelled()` when the body observed cancellation
   /// mid-run: its output may be a partial bail-out value and must never
   /// be accepted.
   std::atomic<bool> ObservedCancel{false};
+  /// Set when a thread claims the attempt and enters runAttempt. Drives
+  /// the validator's help-vs-park choice: helping only makes progress on
+  /// attempts still sitting in an executor queue — once every pending
+  /// attempt of a slot is running on some thread, draining unrelated
+  /// queued work would only delay the validate/finalize pipeline behind
+  /// arbitrary later attempts.
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Done{false};
 };
 
-/// Shared state of one iterate() run.
-template <typename T, typename U> struct IterRun {
-  std::mutex M;
-  std::condition_variable CV;
-  std::vector<std::vector<std::unique_ptr<Attempt<T, U>>>> Slots;
-  int64_t Outstanding = 0;   // attempts queued or running
-  uint64_t FinishCounter = 0; // orders attempt completions
+/// A wave slot: the initial attempt plus at most one Par-mode corrective,
+/// appended lock-free. `Count` is reserve-then-publish — a chainer CASes
+/// Count up, then release-stores the item pointer — so readers tolerate a
+/// transiently null cell by re-polling (the publisher is a handful of
+/// instructions away).
+template <typename T, typename U> struct SegSlot {
+  std::atomic<int> Count{0};
+  std::atomic<SegAttempt<T, U> *> Items[2] = {};
+};
+
+/// Lock-free synchronisation of one iterate() run. `attemptFinished()`
+/// is one atomic decrement plus a conditional wake through the
+/// eventcount (the old IterRun took a mutex and `notify_all`ed *while
+/// holding it* on every completion, so woken waiters immediately blocked
+/// on the held lock).
+struct SegRunSync {
+  EventCount EC;
+  /// Attempts queued or running. seq_cst: participates in the eventcount
+  /// Dekker protocol with waiters' prepareWait/re-check.
+  std::atomic<int64_t> Outstanding{0};
+  /// Orders attempt completions (FinishStamp = fetch_add + 1).
+  std::atomic<uint64_t> FinishCounter{0};
   /// The run is tearing down (final drain, degrade, timeout): an initial
   /// attempt that is already cancelled when it starts may skip its body
   /// entirely. Never set while the validator still wants bodies to run —
   /// cancelled-but-running bodies stay observable (cooperative
   /// cancellation tests rely on it).
   std::atomic<bool> Draining{false};
+  /// Tasks dispatched by Par-mode chainers. Workers must not touch the
+  /// run's (non-atomic) SpeculationStats, so they count here and the
+  /// validator merges before the run returns.
+  std::atomic<int64_t> ChainedTasks{0};
+  /// Workers inside the decrement-then-notify window below. The run's
+  /// final drain waits for this to reach zero after Outstanding does:
+  /// otherwise the validator could observe Outstanding == 0 and destroy
+  /// this struct while the last worker is still touching EC.
+  std::atomic<int32_t> Exiting{0};
+  /// The validating thread, recorded at run start. runAttempt() sets
+  /// ForeignClaim when any *other* thread claims one of the current
+  /// wave's attempts; the validator's help-vs-park policy keys off it
+  /// (see quiesceSlot). Reset each wave.
+  std::thread::id ValidatorId;
+  std::atomic<bool> ForeignClaim{false};
 
   void attemptFinished() {
-    std::unique_lock<std::mutex> Lock(M);
-    --Outstanding;
-    CV.notify_all();
+    Exiting.fetch_add(1, std::memory_order_seq_cst);
+    Outstanding.fetch_sub(1, std::memory_order_seq_cst);
+    EC.notifyAll();
+    Exiting.fetch_sub(1, std::memory_order_seq_cst);
   }
 };
 
@@ -545,8 +646,10 @@ private:
       {
         std::unique_lock<std::mutex> Lock(State->M);
         State->Guess = G;
-        State->CV.notify_all();
       }
+      // Notify with the lock released: a waiter woken while the notifier
+      // still holds the mutex just blocks again on it.
+      State->CV.notify_all();
       // Injection site: trip the attempt's cancellation flag for no
       // reason, right in the window between guess publication and the
       // consumer's decision to run.
@@ -572,8 +675,10 @@ private:
         State->ConsumerErr = Err;
         State->ConsumerRan = Ran;
         State->ConsumerDone = true;
-        State->CV.notify_all();
       }
+      // Same hand-off discipline as the guess publication above: publish
+      // under the lock, wake after releasing it.
+      State->CV.notify_all();
     });
 
     std::optional<T> Produced;
@@ -766,8 +871,14 @@ public:
     }
     std::optional<SpecExecutor> Transient;
     SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
-    Result.Value = iterateCore<T, U>(Low, High, Init, Body, Predictor,
-                                     Finalize, Cfg, Ex, Equal, Result.Stats);
+    // Plain iteration is chunk-size-1 segmented iteration with per-
+    // iteration indices; the init/finalize-per-iteration contract pins
+    // the granularity, so the autotuner never applies here.
+    SegEngine<T, U, InitFn, BodyFn, PredictorFn, FinalFn, Eq> Engine(
+        Low, High, /*ChunkInit=*/1, /*OrdinalIndices=*/false,
+        /*AutotuneTargetNs=*/0, Init, Body, Predictor, Finalize, Cfg, Ex,
+        Equal, Result.Stats);
+    Result.Value = Engine.run();
     return Result;
   }
 
@@ -822,22 +933,24 @@ public:
       throw std::invalid_argument(
           "Speculation::iterateChunked: ChunkSize must be positive, got " +
           std::to_string(ChunkSize));
-    const int64_t NumChunks =
-        High <= Low ? 0 : (High - Low + ChunkSize - 1) / ChunkSize;
-    return iterateLocal<T, U>(
-        0, NumChunks, std::forward<InitFn>(Init),
-        [&Body, Low, High, ChunkSize](int64_t Chunk, U &Local, T In) {
-          T Acc = std::move(In);
-          const int64_t B = Low + Chunk * ChunkSize;
-          const int64_t E = std::min(High, B + ChunkSize);
-          for (int64_t I = B; I < E; ++I)
-            Acc = Body(I, Local, std::move(Acc));
-          return Acc;
-        },
-        [&Predictor, Low, ChunkSize](int64_t Chunk) {
-          return Predictor(Low + Chunk * ChunkSize);
-        },
-        std::forward<FinalFn>(Finalize), Cfg, Equal);
+    SpecResult<T> Result;
+    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut()};
+    if (High <= Low) {
+      Result.Value = Predictor(Low);
+      return Result;
+    }
+    std::optional<SpecExecutor> Transient;
+    SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
+    // The engine segments [Low, High) itself: with the autotuner off the
+    // segment grid is exactly the fixed [Low + c*ChunkSize, ...) chunks;
+    // with it on, ChunkSize is the initial granularity. Indices reported
+    // to finalizers/predictions/telemetry are segment ordinals.
+    SegEngine<T, U, InitFn, BodyFn, PredictorFn, FinalFn, Eq> Engine(
+        Low, High, /*ChunkInit=*/ChunkSize, /*OrdinalIndices=*/true,
+        /*AutotuneTargetNs=*/Cfg.autotuneTargetMicros() * 1000, Init, Body,
+        Predictor, Finalize, Cfg, Ex, Equal, Result.Stats);
+    Result.Value = Engine.run();
+    return Result;
   }
 
   //===--------------------------------------------------------------------===//
@@ -887,446 +1000,942 @@ public:
   }
 
 private:
-  /// The engine under every iterate flavour. Launches one speculative
-  /// attempt per iteration on \p Ex and validates them in order on the
-  /// calling thread. \p Stats is filled in place (it survives throws via
-  /// the caller's StatsOutGuard).
+  /// The engine under every iterate flavour: *wave-based* speculative
+  /// iteration over segments of [Low, High).
+  ///
+  /// The iteration space is consumed in waves of up to
+  /// `W = max(8, 4 * workers)` segments. Per wave the validator (the
+  /// calling thread) plans the segment boundaries, computes the
+  /// predictions (on the calling thread, in segment order, so FaultPlan
+  /// probe sequences stay deterministic), dispatches one pooled attempt
+  /// per usable prediction, validates the wave's segments strictly in
+  /// order, then recycles every attempt for the next wave. Attempts and
+  /// slots are preallocated (3W attempts: W for initial dispatches, 2W
+  /// for Par-mode chainers), reset in place, and recycled — together
+  /// with the executor's TaskRef/slot pooling the steady-state cost of a
+  /// segment is zero heap allocations.
+  ///
+  /// Synchronisation is lock-free on the hot path: an attempt publishes
+  /// its results with one seq_cst store of `Done`, completion is an
+  /// atomic decrement plus a conditional eventcount wake, and the
+  /// validator spins-briefly-then-parks, helping the executor drain
+  /// queued tasks while it waits (deadlock-freedom for nested runs).
+  /// Par-mode chaining appends to the next slot with a reserve-then-
+  /// publish CAS on the slot's Count.
+  ///
+  /// The wave bound also caps in-flight speculation: a 10^5-segment run
+  /// no longer materialises 10^5 attempts and tasks up front. And waves
+  /// are what the autotuner hooks into — between waves the validator may
+  /// re-size `CurChunk` (chunked forms only) using the measured body
+  /// times and the wave's misprediction rate.
+  ///
+  /// \p Stats is filled in place (it survives throws via the caller's
+  /// StatsOutGuard). Only the validator touches it; workers count
+  /// chained dispatches in SegRunSync::ChainedTasks, merged before run()
+  /// returns.
   template <typename T, typename U, typename InitFn, typename BodyFn,
             typename PredictorFn, typename FinalFn, typename Eq>
-  static T iterateCore(int64_t Low, int64_t High, InitFn &Init, BodyFn &Body,
-                       PredictorFn &Predictor, FinalFn &Finalize,
-                       const SpecConfig &Cfg, SpecExecutor &Ex, Eq Equal,
-                       SpeculationStats &Stats) {
-    const ValidationMode Mode = Cfg.mode();
-    Tracer *const Tr = Cfg.trace();
-    FaultPlan *const FP = Cfg.faults();
-    const std::chrono::steady_clock::time_point Deadline =
-        resolveDeadline(Cfg);
-    const bool HasDeadline =
-        Deadline != std::chrono::steady_clock::time_point::max();
-    const double DegradeThresh = Cfg.degradeThreshold();
-    const int DegradeWindow = DegradeThresh >= 0 ? Cfg.degradeWindow() : 0;
+  class SegEngine {
+    using Attempt = detail::SegAttempt<T, U>;
+    using Slot = detail::SegSlot<T, U>;
+    using Clock = std::chrono::steady_clock;
 
-    const int64_t N = High - Low;
-    detail::IterRun<T, U> Run;
-    Run.Slots.resize(static_cast<size_t>(N));
-    // A disengaged prediction marks a *failed* prediction point: the
-    // predictor (or an injected PredictorThrow) threw at a speculative
-    // point, so no attempt is dispatched and the validator executes that
-    // iteration in order. Predictor(Low) is the non-speculative initial
-    // value — its exception propagates.
-    std::vector<std::optional<T>> InitialPrediction;
-    InitialPrediction.reserve(static_cast<size_t>(N));
-    InitialPrediction.emplace_back(Predictor(Low));
-    for (int64_t I = Low + 1; I < High; ++I) {
-      std::optional<T> P;
-      try {
-        if (FP)
-          FP->maybeThrow(FaultSite::PredictorThrow);
-        P.emplace(Predictor(I));
-      } catch (...) {
+  public:
+    SegEngine(int64_t Low, int64_t High, int64_t ChunkInit,
+              bool OrdinalIndices, int64_t AutotuneTargetNs, InitFn &Init,
+              BodyFn &Body, PredictorFn &Predictor, FinalFn &Finalize,
+              const SpecConfig &Cfg, SpecExecutor &Ex, Eq &Equal,
+              SpeculationStats &Stats)
+        : Low(Low), High(High), CurChunk(ChunkInit),
+          OrdinalIndices(OrdinalIndices), AutoTargetNs(AutotuneTargetNs),
+          Init(Init), Body(Body), Predictor(Predictor), Finalize(Finalize),
+          Ex(Ex), Equal(Equal), Stats(Stats), Mode(Cfg.mode()),
+          Tr(Cfg.trace()), FP(Cfg.faults()), CfgDeadline(Cfg.deadline()),
+          Deadline(resolveDeadline(Cfg)),
+          HasDeadline(Deadline != Clock::time_point::max()),
+          DegradeThresh(Cfg.degradeThreshold()),
+          DegradeWindow(Cfg.degradeThreshold() >= 0 ? Cfg.degradeWindow()
+                                                    : 0),
+          W(std::max<int64_t>(8, 4 * static_cast<int64_t>(Ex.numThreads()))),
+          AttemptStore(static_cast<size_t>(3 * W)),
+          Slots(static_cast<size_t>(W)), WavePred(static_cast<size_t>(W)),
+          WaveB(static_cast<size_t>(W)), WaveE(static_cast<size_t>(W)),
+          WaveUser(static_cast<size_t>(W)) {
+      FreeLocal.reserve(static_cast<size_t>(W));
+      ChainPool.reserve(static_cast<size_t>(2 * W));
+      for (int64_t I = 0; I < W; ++I)
+        FreeLocal.push_back(&AttemptStore[static_cast<size_t>(I)]);
+      for (int64_t I = W; I < 3 * W; ++I) {
+        AttemptStore[static_cast<size_t>(I)].FromChainPool = true;
+        ChainPool.push_back(&AttemptStore[static_cast<size_t>(I)]);
       }
-      InitialPrediction.push_back(std::move(P));
+      // Autotune ceiling: never grow a chunk past the size that would
+      // leave fewer than two segments per worker (no overlap left to
+      // speculate with), and never below the caller's initial size as a
+      // ceiling.
+      MaxChunk = std::max<int64_t>(
+          CurChunk,
+          (High - Low) /
+              std::max<int64_t>(1, 2 * static_cast<int64_t>(Ex.numThreads())));
+      if (MaxChunk < 1)
+        MaxChunk = 1;
     }
 
-    // The recursive speculative task: run one attempt, then (in Par mode)
-    // chain a corrective attempt for the next iteration if our output
-    // contradicts its prediction. A corrective attempt first waits for
-    // the slot's initial attempt to complete, so attempts of one
-    // iteration never write the same locations concurrently, and skips
-    // its body if it was cancelled meanwhile. (The wait is deadlock-free:
-    // it is a *helping* wait — if the initial attempt is still queued,
-    // the waiting worker executes queued tasks, eventually including that
-    // attempt itself. Work-stealing order gives no FIFO guarantee, so the
-    // helping wait is what makes the chain safe.)
-    std::function<void(int64_t, detail::Attempt<T, U> *,
-                       detail::Attempt<T, U> *)>
-        RunAttempt = [&](int64_t Index, detail::Attempt<T, U> *A,
-                         detail::Attempt<T, U> *After) {
-          bool Skip = false;
-          if (After) {
-            std::unique_lock<std::mutex> Lock(Run.M);
-            specWait(Ex, Lock, Run.CV, [&] { return After->Done; });
-            Skip = A->Cancel.isCancelled();
-          } else if (Run.Draining.load(std::memory_order_relaxed) &&
-                     A->Cancel.isCancelled()) {
-            // Teardown fast path only: during normal validation a
-            // cancelled body still runs (and may observe the flag) —
-            // required by the cooperative-cancellation contract.
-            Skip = true;
+    SegEngine(const SegEngine &) = delete;
+    SegEngine &operator=(const SegEngine &) = delete;
+
+    T run() {
+      Run.ValidatorId = std::this_thread::get_id();
+      // The non-speculative initial value of the loop-carried state; its
+      // exception propagates (speculative prediction points swallow
+      // theirs into "failed prediction" instead — see planWave).
+      T Correct = Predictor(Low);
+      // Sliding window of prediction-point outcomes feeding the degrade
+      // monitor (1 = mispredicted or failed).
+      std::vector<char> WinBuf(static_cast<size_t>(DegradeWindow), 0);
+      int WinCount = 0, WinPos = 0, WinBad = 0;
+      int64_t NextB = Low;  // first iteration not yet planned
+      int64_t NextOrd = 0;  // its segment ordinal
+      bool FirstSegment = true;
+
+      while (NextB < High && !TimedOut && !FirstValidErr) {
+        if (Degraded) {
+          // Adaptive sequential fallback: the remaining segments run
+          // in order on this thread, exactly once, never dispatched.
+          const int64_t B = NextB;
+          const int64_t E = std::min(High, B + CurChunk);
+          const int64_t UI = OrdinalIndices ? NextOrd : B;
+          NextB = E;
+          ++NextOrd;
+          if (HasDeadline && Clock::now() >= Deadline) {
+            TimedOut = true;
+            TimeoutIdx = UI;
+            break;
           }
-          // Injection site: trip this attempt's cancellation flag even
-          // though its input may be perfectly valid. The validator's
-          // !isCancelled acceptance check turns this into a re-execution,
-          // never a wrong result.
-          if (!Skip && FP && FP->shouldFire(FaultSite::SpuriousCancel))
-            A->Cancel.cancel();
-          if (Tr)
-            Tr->record(SpecEventKind::Start, Index, A->TraceId);
-          detail::CancelScope Scope(A->Cancel, Deadline, &A->ObservedCancel);
-          std::optional<T> Out;
-          std::optional<U> Local;
-          std::exception_ptr Err;
-          if (!Skip) {
+          if (!degradedSegment(B, E, UI, Correct))
+            break;
+          continue;
+        }
+
+        planWave(NextB, NextOrd, FirstSegment, Correct);
+        dispatchWave();
+
+        // Validate the wave's segments strictly in order (the chain of
+        // `check` threads in the formal semantics).
+        for (int64_t K = 0; K < WaveCount && !TimedOut && !FirstValidErr;
+             ++K) {
+          const int64_t UI = WaveUser[static_cast<size_t>(K)];
+          if (HasDeadline && Clock::now() >= Deadline) {
+            TimedOut = true;
+            TimeoutIdx = UI;
+            break;
+          }
+          if (!Degraded && DegradeWindow > 0 && WinCount == DegradeWindow &&
+              WinBad > DegradeThresh * DegradeWindow) {
+            // The window is saturated with bad prediction points:
+            // speculation is burning work. Cancel this wave's remaining
+            // attempts and fall back to in-order execution. Segments
+            // beyond the wave were never dispatched — nothing to cancel
+            // there.
+            Degraded = true;
+            Run.Draining.store(true, std::memory_order_seq_cst);
+            for (int64_t KK = K; KK < WaveCount; ++KK)
+              cancelSlot(KK, WaveUser[static_cast<size_t>(KK)]);
+          }
+          if (Degraded) {
+            // Quiesce the (cancelled) slot so this in-order execution's
+            // writes land last, then run the segment exactly once.
+            if (!quiesceSlot(K)) {
+              TimedOut = true;
+              TimeoutIdx = UI;
+              break;
+            }
+            if (!degradedSegment(WaveB[static_cast<size_t>(K)],
+                                 WaveE[static_cast<size_t>(K)], UI, Correct))
+              break;
+            continue;
+          }
+
+          const int64_t GlobalOrd = WaveOrd0 + K;
+          bool SlotBad = false;     // mispredicted or failed
+          bool ForceReexec = false; // injected ForceMispredict fired
+          if (GlobalOrd > 0) {
+            ++Stats.Predictions;
+            const std::optional<T> &P = WavePred[static_cast<size_t>(K)];
+            bool CmpThrew = false;
+            if (!P) {
+              // The predictor threw at this point: a failed prediction —
+              // nothing was dispatched, the validator executes it below.
+              ++Stats.FailedPredictions;
+              SlotBad = true;
+            } else if (guardedEqual(Equal, FP, *P, Correct, CmpThrew)) {
+              // Injection site: discard a correct prediction, forcing
+              // the full misprediction/re-execution machinery.
+              if (FP && FP->shouldFire(FaultSite::ForceMispredict)) {
+                ++Stats.Mispredictions;
+                SlotBad = true;
+                ForceReexec = true;
+                if (Tr)
+                  Tr->record(SpecEventKind::Mispredict, UI, 0);
+              }
+            } else if (CmpThrew) {
+              // The comparator threw: the prediction point resolved
+              // without a trustworthy comparison — a failed prediction,
+              // and the pessimistic path below re-executes. The user's
+              // exception never propagates from a speculative
+              // validation.
+              ++Stats.FailedPredictions;
+              SlotBad = true;
+            } else {
+              ++Stats.Mispredictions;
+              SlotBad = true;
+              if (Tr)
+                Tr->record(SpecEventKind::Mispredict, UI, 0);
+            }
+          }
+
+          // Cancel attempts whose input is already known wrong, then
+          // quiesce the slot. (Membership is final: chains into this
+          // slot originate from the previous slot, which was quiesced
+          // before we advanced, and their append happens-before that
+          // quiesce observed them done.) An attempt is acceptable only
+          // if it ran with the correct input, finished last in its slot
+          // (only then are its writes the final ones), and was neither
+          // cancelled nor *observed* cancellation — a spuriously
+          // cancelled or deadline-bailed body may have returned a
+          // partial value. Otherwise the validator re-executes, making
+          // its own writes final (condition (e)'s re-execution).
+          sweepSlot(K, UI, ForceReexec, Correct);
+          if (!quiesceSlot(K)) {
+            TimedOut = true;
+            TimeoutIdx = UI;
+            break;
+          }
+          if (DegradeWindow > 0 && GlobalOrd > 0) {
+            if (WinCount == DegradeWindow)
+              WinBad -= WinBuf[static_cast<size_t>(WinPos)];
+            else
+              ++WinCount;
+            WinBuf[static_cast<size_t>(WinPos)] = SlotBad ? 1 : 0;
+            WinBad += SlotBad ? 1 : 0;
+            WinPos = (WinPos + 1) % DegradeWindow;
+          }
+
+          Attempt *Match = acceptableAttempt(K, ForceReexec, Correct);
+          std::optional<U> LocalForFinal;
+          int64_t SegNs = 0;
+          if (Match) {
+            if (Tr)
+              Tr->record(SpecEventKind::ValidateAccept, UI, Match->TraceId);
+            if (Match->Err)
+              FirstValidErr = Match->Err;
+            else {
+              Correct = *Match->Out;
+              LocalForFinal = std::move(Match->Local);
+              SegNs = Match->BodyNs;
+            }
+          } else {
+            // Misprediction (or a stale valid run that was overwritten
+            // by a later garbage attempt): re-execute on the validator
+            // thread (rule CHECK's consumer re-execution). The slot is
+            // quiescent, so this execution's writes land last.
+            // Deliberately *not* under a CancelScope of its own: this is
+            // authoritative code.
+            if (HasDeadline && Clock::now() >= Deadline) {
+              // Don't start an authoritative chunk we already have no
+              // budget for — the timeout path below reports instead.
+              TimedOut = true;
+              TimeoutIdx = UI;
+              break;
+            }
+            ++Stats.Reexecutions;
+            if (Tr)
+              Tr->record(SpecEventKind::Reexecute, UI, 0);
             try {
               if (FP)
                 FP->maybeThrow(FaultSite::BodyThrow);
               U L = Init();
-              Out = Body(Index, L, A->In);
-              Local = std::move(L);
+              Clock::time_point T0;
+              if (AutoTargetNs > 0)
+                T0 = Clock::now();
+              T Acc = std::move(Correct);
+              for (int64_t I = WaveB[static_cast<size_t>(K)];
+                   I < WaveE[static_cast<size_t>(K)]; ++I)
+                Acc = Body(I, L, std::move(Acc));
+              if (AutoTargetNs > 0)
+                SegNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now() - T0)
+                            .count();
+              Correct = std::move(Acc);
+              LocalForFinal = std::move(L);
             } catch (...) {
-              Err = std::current_exception();
+              FirstValidErr = std::current_exception();
             }
           }
-          detail::Attempt<T, U> *Chained = nullptr;
-          detail::Attempt<T, U> *ChainAfter = nullptr;
-          {
-            std::unique_lock<std::mutex> Lock(Run.M);
-            A->Out = std::move(Out);
-            A->Local = std::move(Local);
-            A->Err = Err;
-            A->Done = true;
-            A->FinishStamp = ++Run.FinishCounter;
-            if (Mode == ValidationMode::Par && A->Out && Index + 1 < High &&
-                !A->Cancel.isCancelled() &&
-                !A->ObservedCancel.load(std::memory_order_relaxed) &&
-                !Run.Draining.load(std::memory_order_relaxed)) {
-              // Parallel validation: if the next iteration's prediction
-              // contradicts our (speculative) output, start a corrective
-              // attempt for it now instead of waiting for the validator.
-              auto &NextSlot = Run.Slots[static_cast<size_t>(Index + 1 - Low)];
-              const std::optional<T> &NextPred =
-                  InitialPrediction[static_cast<size_t>(Index + 1 - Low)];
-              bool CmpThrew = false;
-              bool Exists =
-                  NextPred &&
-                  guardedEqual(Equal, FP, *NextPred, *A->Out, CmpThrew);
-              for (const auto &Other : NextSlot)
-                if (!Exists)
-                  Exists = guardedEqual(Equal, FP, Other->In, *A->Out,
-                                        CmpThrew);
-              // Don't chain on an unreliable comparison: a throwing
-              // comparator must never trigger extra speculation.
-              if (CmpThrew)
-                Exists = true;
-              if (!Exists && NextSlot.size() < 2) {
-                detail::Attempt<T, U> *Prior =
-                    NextSlot.empty() ? nullptr : NextSlot.front().get();
-                NextSlot.push_back(
-                    std::make_unique<detail::Attempt<T, U>>(*A->Out));
-                Chained = NextSlot.back().get();
-                ChainAfter = Prior;
-                if (Tr)
-                  Chained->TraceId = Tr->newAttemptId();
-                ++Run.Outstanding;
-                ++Stats.Tasks;
-              }
-            }
-            Run.CV.notify_all();
-          }
-          if (Tr)
-            Tr->record(SpecEventKind::Finish, Index, A->TraceId);
-          if (Chained) {
-            if (Tr) {
-              Tr->record(SpecEventKind::Chain, Index + 1, Chained->TraceId);
-              Tr->record(SpecEventKind::Dispatch, Index + 1,
-                         Chained->TraceId);
-            }
-            Ex.submit([&RunAttempt, Index, Chained, ChainAfter, &Run] {
-              RunAttempt(Index + 1, Chained, ChainAfter);
-              Run.attemptFinished();
-            });
-          }
-          // Our own completion is signalled by the caller wrapper.
-        };
-
-    // Launch the initial speculative attempt of every iteration that has
-    // a usable prediction. Attempt pointers are captured under the lock:
-    // once workers start, Par-mode chaining may push corrective attempts
-    // and reallocate the slot vectors concurrently.
-    std::vector<detail::Attempt<T, U> *> InitialAttempts(
-        static_cast<size_t>(N), nullptr);
-    {
-      std::unique_lock<std::mutex> Lock(Run.M);
-      for (int64_t I = Low; I < High; ++I) {
-        const std::optional<T> &P =
-            InitialPrediction[static_cast<size_t>(I - Low)];
-        if (!P)
-          continue;
-        auto &Slot = Run.Slots[static_cast<size_t>(I - Low)];
-        Slot.push_back(std::make_unique<detail::Attempt<T, U>>(*P));
-        InitialAttempts[static_cast<size_t>(I - Low)] = Slot.back().get();
-        if (Tr)
-          Slot.back()->TraceId = Tr->newAttemptId();
-        ++Run.Outstanding;
-        ++Stats.Tasks;
-      }
-    }
-    for (int64_t I = Low; I < High; ++I) {
-      detail::Attempt<T, U> *A = InitialAttempts[static_cast<size_t>(I - Low)];
-      if (!A)
-        continue;
-      if (Tr)
-        Tr->record(SpecEventKind::Dispatch, I, A->TraceId);
-      Ex.submit([&RunAttempt, I, A, &Run] {
-        RunAttempt(I, A, nullptr);
-        Run.attemptFinished();
-      });
-    }
-
-    // Validation (the chain of `check` threads in the formal semantics).
-    T Correct = *InitialPrediction.front(); // == Predictor(Low)
-    std::exception_ptr FirstValidErr;
-    bool Degraded = false;
-    bool TimedOut = false;
-    int64_t TimeoutIdx = Low;
-    // Sliding window of prediction-point outcomes feeding the degrade
-    // monitor (1 = mispredicted or failed).
-    std::vector<char> WinBuf(static_cast<size_t>(DegradeWindow), 0);
-    int WinCount = 0, WinPos = 0, WinBad = 0;
-    for (int64_t I = Low; I < High; ++I) {
-      if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
-        TimedOut = true;
-        TimeoutIdx = I;
-        break;
-      }
-      auto &Slot = Run.Slots[static_cast<size_t>(I - Low)];
-      if (!Degraded && DegradeWindow > 0 && WinCount == DegradeWindow &&
-          WinBad > DegradeThresh * DegradeWindow) {
-        // The window is saturated with bad prediction points: speculation
-        // is burning work. Stop dispatching, cancel everything at or past
-        // this chunk, and fall back to in-order execution.
-        Degraded = true;
-        std::unique_lock<std::mutex> Lock(Run.M);
-        Run.Draining.store(true, std::memory_order_relaxed);
-        for (size_t S = static_cast<size_t>(I - Low); S < Run.Slots.size();
-             ++S) {
-          const int64_t CancelIdx = Low + static_cast<int64_t>(S);
-          for (const auto &A : Run.Slots[S]) {
-            if (Tr && !A->Done && !A->Cancel.isCancelled())
-              Tr->record(SpecEventKind::Cancel, CancelIdx, A->TraceId);
-            A->Cancel.cancel();
-          }
-        }
-      }
-      if (Degraded) {
-        // Quiesce the (cancelled) slot so this in-order execution's
-        // writes land last, then run the chunk exactly once.
-        {
-          std::unique_lock<std::mutex> Lock(Run.M);
-          if (!specWaitUntil(Ex, Lock, Run.CV,
-                             [&] {
-                               for (const auto &A : Slot)
-                                 if (!A->Done)
-                                   return false;
-                               return true;
-                             },
-                             Deadline)) {
-            TimedOut = true;
-            TimeoutIdx = I;
-          }
-        }
-        if (TimedOut)
-          break;
-        ++Stats.DegradedChunks;
-        if (Tr)
-          Tr->record(SpecEventKind::Degrade, I, 0);
-        std::optional<U> DegradedLocal;
-        try {
-          if (FP)
-            FP->maybeThrow(FaultSite::BodyThrow);
-          U L = Init();
-          Correct = Body(I, L, std::move(Correct));
-          DegradedLocal = std::move(L);
-        } catch (...) {
-          FirstValidErr = std::current_exception();
-        }
-        if (FirstValidErr)
-          break;
-        try {
-          Finalize(I, *DegradedLocal);
-          if (Tr)
-            Tr->record(SpecEventKind::Finalize, I, 0);
-        } catch (...) {
-          FirstValidErr = std::current_exception();
-        }
-        if (FirstValidErr)
-          break;
-        continue;
-      }
-      bool SlotBad = false;     // mispredicted or failed; feeds the window
-      bool ForceReexec = false; // injected ForceMispredict fired
-      if (I > Low) {
-        ++Stats.Predictions;
-        const std::optional<T> &P =
-            InitialPrediction[static_cast<size_t>(I - Low)];
-        bool CmpThrew = false;
-        if (!P) {
-          // The predictor threw at this point: a failed prediction —
-          // nothing was dispatched, the validator executes it below.
-          ++Stats.FailedPredictions;
-          SlotBad = true;
-        } else if (guardedEqual(Equal, FP, *P, Correct, CmpThrew)) {
-          // Injection site: discard a correct prediction, forcing the
-          // full misprediction/re-execution machinery.
-          if (FP && FP->shouldFire(FaultSite::ForceMispredict)) {
-            ++Stats.Mispredictions;
-            SlotBad = true;
-            ForceReexec = true;
+          if (FirstValidErr)
+            break;
+          try {
+            Finalize(UI, *LocalForFinal);
             if (Tr)
-              Tr->record(SpecEventKind::Mispredict, I, 0);
+              Tr->record(SpecEventKind::Finalize, UI, 0);
+          } catch (...) {
+            FirstValidErr = std::current_exception();
+            break;
           }
-        } else if (CmpThrew) {
-          // The comparator threw: the prediction point resolved without
-          // a trustworthy comparison — a failed prediction, and the
-          // pessimistic path below re-executes. The user's exception
-          // never propagates from a speculative validation.
-          ++Stats.FailedPredictions;
-          SlotBad = true;
-        } else {
-          ++Stats.Mispredictions;
-          SlotBad = true;
-          if (Tr)
-            Tr->record(SpecEventKind::Mispredict, I, 0);
-        }
-      }
-      // Quiesce the slot: cancel attempts whose input is already known
-      // wrong, then wait for every attempt to finish. (No new attempt can
-      // join this slot: chains into it originate from the previous slot,
-      // which was quiesced before we advanced.) An attempt is acceptable
-      // only if it ran with the correct input, finished last in its slot
-      // (only then are its writes the final ones), and was neither
-      // cancelled nor *observed* cancellation — a spuriously cancelled or
-      // deadline-bailed body may have returned a partial value. Otherwise
-      // the validator re-executes, making its own writes final (condition
-      // (e)'s re-execution).
-      detail::Attempt<T, U> *Match = nullptr;
-      {
-        std::unique_lock<std::mutex> Lock(Run.M);
-        for (const auto &A : Slot) {
-          bool InCmpThrew = false;
-          if (ForceReexec ||
-              !guardedEqual(Equal, FP, A->In, Correct, InCmpThrew)) {
-            if (Tr && !A->Done && !A->Cancel.isCancelled())
-              Tr->record(SpecEventKind::Cancel, I, A->TraceId);
-            A->Cancel.cancel();
+          if (AutoTargetNs > 0) {
+            WaveNs += SegNs;
+            ++WaveMeasured;
+            if (GlobalOrd > 0) {
+              ++WaveBoundaries;
+              WaveBad += SlotBad ? 1 : 0;
+            }
           }
         }
-        if (!specWaitUntil(Ex, Lock, Run.CV,
-                           [&] {
-                             for (const auto &A : Slot)
-                               if (!A->Done)
-                                 return false;
-                             return true;
-                           },
-                           Deadline)) {
-          TimedOut = true;
-          TimeoutIdx = I;
-        } else {
-          // The last attempt that actually executed (skipped correctives
-          // — cancelled during their pre-wait — wrote nothing and don't
-          // count).
-          detail::Attempt<T, U> *LastReal = nullptr;
-          for (const auto &A : Slot)
-            if ((A->Out || A->Err) &&
-                (!LastReal || A->FinishStamp > LastReal->FinishStamp))
-              LastReal = A.get();
-          if (LastReal && !ForceReexec && !LastReal->Cancel.isCancelled() &&
-              !LastReal->ObservedCancel.load(std::memory_order_relaxed)) {
-            bool MatchCmpThrew = false;
-            if (guardedEqual(Equal, FP, LastReal->In, Correct, MatchCmpThrew))
-              Match = LastReal;
-          }
-        }
+
+        if (TimedOut || FirstValidErr)
+          break; // the drain below retires whatever is still in flight
+        if (!Degraded)
+          autotuneAdjust(NextB);
+        recycleWave();
       }
-      if (TimedOut)
-        break;
-      if (DegradeWindow > 0 && I > Low) {
-        if (WinCount == DegradeWindow)
-          WinBad -= WinBuf[static_cast<size_t>(WinPos)];
-        else
-          ++WinCount;
-        WinBuf[static_cast<size_t>(WinPos)] = SlotBad ? 1 : 0;
-        WinBad += SlotBad ? 1 : 0;
-        WinPos = (WinPos + 1) % DegradeWindow;
-      }
-      std::optional<U> LocalForFinal;
-      if (Match) {
-        if (Tr)
-          Tr->record(SpecEventKind::ValidateAccept, I, Match->TraceId);
-        if (Match->Err)
-          FirstValidErr = Match->Err;
-        else {
-          Correct = *Match->Out;
-          LocalForFinal = std::move(Match->Local);
-        }
-      } else {
-        // Misprediction (or a stale valid run that was overwritten by a
-        // later garbage attempt): re-execute on the validator thread
-        // (rule CHECK's consumer re-execution). The slot is quiescent, so
-        // this execution's writes land last. Deliberately *not* under a
-        // CancelScope of its own: this is authoritative code.
-        if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
-          // Don't start an authoritative chunk we already have no budget
-          // for — the timeout path below reports instead.
-          TimedOut = true;
-          TimeoutIdx = I;
+
+      // Cancel whatever speculation is still in flight and wait for
+      // every attempt to retire (their tasks reference this engine).
+      // This drain is *not* under the deadline — a timed-out run still
+      // retires every task before throwing, so nothing is ever leaked.
+      Run.Draining.store(true, std::memory_order_seq_cst);
+      for (int64_t K = 0; K < WaveCount; ++K)
+        cancelSlot(K, WaveUser[static_cast<size_t>(K)]);
+      while (Run.Outstanding.load(std::memory_order_seq_cst) != 0) {
+        if (Ex.tryRunOneTask())
+          continue;
+        const uint64_t Ticket = Run.EC.prepareWait();
+        if (Run.Outstanding.load(std::memory_order_seq_cst) == 0) {
+          Run.EC.cancelWait();
           break;
         }
-        ++Stats.Reexecutions;
+        Run.EC.waitFor(Ticket, std::chrono::microseconds(500));
+      }
+      // Outstanding is zero, but the last finisher may still be inside
+      // its decrement-then-notify window, touching Run.EC. Bounded spin:
+      // the window is a handful of instructions.
+      while (Run.Exiting.load(std::memory_order_seq_cst) != 0)
+        std::this_thread::yield();
+      Stats.Tasks += Run.ChainedTasks.load(std::memory_order_relaxed);
+      if (TimedOut) {
         if (Tr)
-          Tr->record(SpecEventKind::Reexecute, I, 0);
-        try {
-          if (FP)
-            FP->maybeThrow(FaultSite::BodyThrow);
-          U L = Init();
-          Correct = Body(I, L, std::move(Correct));
-          LocalForFinal = std::move(L);
-        } catch (...) {
-          FirstValidErr = std::current_exception();
-        }
+          Tr->record(SpecEventKind::Timeout, TimeoutIdx, 0);
+        throw SpecTimeoutError(CfgDeadline);
       }
       if (FirstValidErr)
-        break;
-      try {
-        Finalize(I, *LocalForFinal);
+        std::rethrow_exception(FirstValidErr);
+      return Correct;
+    }
+
+  private:
+    //===---------------- wave planning and dispatch --------------------===//
+
+    /// Plans up to W segments starting at \p NextB: boundaries, user
+    /// indices, and predictions. Predictions are computed here on the
+    /// calling thread, in segment order — a throwing predictor (or an
+    /// injected PredictorThrow) leaves the prediction disengaged, a
+    /// *failed* prediction point with no attempt dispatched.
+    void planWave(int64_t &NextB, int64_t &NextOrd, bool &FirstSegment,
+                  const T &Correct) {
+      WaveOrd0 = NextOrd;
+      WaveCount = 0;
+      int64_t B = NextB;
+      while (WaveCount < W && B < High) {
+        const size_t K = static_cast<size_t>(WaveCount);
+        const int64_t E = std::min(High, B + CurChunk);
+        WaveB[K] = B;
+        WaveE[K] = E;
+        WaveUser[K] = OrdinalIndices ? NextOrd : B;
+        if (FirstSegment) {
+          // The run's first segment consumes the non-speculative initial
+          // value — no speculation about its input, no prediction point.
+          WavePred[K].emplace(Correct);
+          FirstSegment = false;
+        } else {
+          WavePred[K].reset();
+          try {
+            if (FP)
+              FP->maybeThrow(FaultSite::PredictorThrow);
+            WavePred[K].emplace(Predictor(B));
+          } catch (...) {
+          }
+        }
+        ++NextOrd;
+        ++WaveCount;
+        B = E;
+      }
+      NextB = B;
+    }
+
+    /// Installs one pooled attempt per usable prediction into the wave's
+    /// slots, then submits their tasks. Two passes: every slot must be
+    /// fully initialised before the first task runs, because an early
+    /// finisher may immediately chain into a later slot.
+    void dispatchWave() {
+      // No attempts are outstanding between waves, so this reset cannot
+      // race a worker's claim; the wave starts in the validator's eager
+      // helping mode (see quiesceSlot).
+      Run.ForeignClaim.store(false, std::memory_order_relaxed);
+      for (int64_t K = 0; K < WaveCount; ++K) {
+        Slot &S = Slots[static_cast<size_t>(K)];
+        S.Items[0].store(nullptr, std::memory_order_relaxed);
+        S.Items[1].store(nullptr, std::memory_order_relaxed);
+        S.Count.store(0, std::memory_order_relaxed);
+      }
+      for (int64_t K = 0; K < WaveCount; ++K) {
+        if (!WavePred[static_cast<size_t>(K)])
+          continue;
+        Attempt *A = FreeLocal.back();
+        FreeLocal.pop_back();
+        resetAttempt(A, K, *WavePred[static_cast<size_t>(K)], nullptr);
+        Slots[static_cast<size_t>(K)].Items[0].store(
+            A, std::memory_order_relaxed);
+        Slots[static_cast<size_t>(K)].Count.store(1,
+                                                  std::memory_order_relaxed);
+        Run.Outstanding.fetch_add(1, std::memory_order_seq_cst);
+        ++Stats.Tasks;
+      }
+      for (int64_t K = 0; K < WaveCount; ++K) {
+        // Guard on the prediction, not the slot: an already-running
+        // early dispatch may chain into a *failed-prediction* slot's
+        // Items[0] concurrently, and that corrective is submitted by
+        // its chainer, not here.
+        if (!WavePred[static_cast<size_t>(K)])
+          continue;
+        Attempt *A = Slots[static_cast<size_t>(K)].Items[0].load(
+            std::memory_order_relaxed);
         if (Tr)
-          Tr->record(SpecEventKind::Finalize, I, 0);
-      } catch (...) {
-        FirstValidErr = std::current_exception();
-        break;
+          Tr->record(SpecEventKind::Dispatch, A->UserIdx, A->TraceId);
+        // The thunk captures two pointers — it fits TaskRef's inline
+        // storage, so a steady-state dispatch never allocates.
+        Ex.submit([this, A] { attemptTask(A); });
       }
     }
 
-    // Cancel whatever speculation is still in flight, wait for every
-    // attempt to retire (they reference this frame), and report. Taking
-    // the lock here also fences off new Par-mode chain attempts: chaining
-    // rechecks the cancellation flag under the same lock. This drain is
-    // *not* under the deadline — a timed-out run still retires every
-    // task before throwing, so nothing is ever leaked.
-    {
-      std::unique_lock<std::mutex> Lock(Run.M);
-      Run.Draining.store(true, std::memory_order_relaxed);
-      int64_t DrainIdx = Low;
-      for (auto &Slot : Run.Slots) {
-        for (const auto &A : Slot) {
-          if (Tr && !A->Done && !A->Cancel.isCancelled())
-            Tr->record(SpecEventKind::Cancel, DrainIdx, A->TraceId);
-          A->Cancel.cancel();
-        }
-        ++DrainIdx;
+    void resetAttempt(Attempt *A, int64_t K, const T &In, Attempt *After) {
+      A->In.emplace(In);
+      A->Out.reset();
+      A->Local.reset();
+      A->Err = nullptr;
+      A->FinishStamp = 0;
+      A->B = WaveB[static_cast<size_t>(K)];
+      A->E = WaveE[static_cast<size_t>(K)];
+      A->SlotIdx = K;
+      A->UserIdx = WaveUser[static_cast<size_t>(K)];
+      A->After = After;
+      A->BodyNs = 0;
+      A->CancelFlag.store(false, std::memory_order_relaxed);
+      A->ObservedCancel.store(false, std::memory_order_relaxed);
+      A->Started.store(false, std::memory_order_relaxed);
+      A->Done.store(false, std::memory_order_relaxed);
+      A->TraceId = Tr ? Tr->newAttemptId() : 0;
+    }
+
+    //===---------------- the worker-side attempt ------------------------===//
+
+    void attemptTask(Attempt *A) {
+      runAttempt(A);
+      Run.attemptFinished();
+    }
+
+    /// Runs one attempt, then (in Par mode) chains a corrective attempt
+    /// for the next slot if our output contradicts its prediction. A
+    /// corrective attempt first waits for the slot's prior attempt to
+    /// complete, so attempts of one segment never write the same
+    /// locations concurrently, and skips its body if it was cancelled
+    /// meanwhile. (The wait is deadlock-free: it is a *helping* wait —
+    /// if the awaited attempt is still queued, the waiting worker
+    /// executes queued tasks, eventually including that attempt itself.)
+    void runAttempt(Attempt *A) {
+      // Claimed before the corrective's predecessor wait: the attempt is
+      // now driven by this thread, so the validator no longer needs to
+      // help on its behalf.
+      A->Started.store(true, std::memory_order_seq_cst);
+      if (std::this_thread::get_id() != Run.ValidatorId)
+        Run.ForeignClaim.store(true, std::memory_order_relaxed);
+      bool Skip = false;
+      if (A->After) {
+        waitAttemptDone(A->After);
+        Skip = A->CancelFlag.load(std::memory_order_seq_cst);
+      } else if (Run.Draining.load(std::memory_order_relaxed) &&
+                 A->CancelFlag.load(std::memory_order_seq_cst)) {
+        // Teardown fast path only: during normal validation a cancelled
+        // body still runs (and may observe the flag) — required by the
+        // cooperative-cancellation contract.
+        Skip = true;
       }
-      specWait(Ex, Lock, Run.CV, [&] { return Run.Outstanding == 0; });
-    }
-    if (TimedOut) {
+      // Injection site: trip this attempt's cancellation flag even
+      // though its input may be perfectly valid. The validator's
+      // not-cancelled acceptance check turns this into a re-execution,
+      // never a wrong result.
+      if (!Skip && FP && FP->shouldFire(FaultSite::SpuriousCancel))
+        A->CancelFlag.store(true, std::memory_order_seq_cst);
       if (Tr)
-        Tr->record(SpecEventKind::Timeout, TimeoutIdx, 0);
-      throw SpecTimeoutError(Cfg.deadline());
+        Tr->record(SpecEventKind::Start, A->UserIdx, A->TraceId);
+      detail::CancelScope Scope(&A->CancelFlag, Deadline,
+                                &A->ObservedCancel);
+      std::optional<T> Out;
+      std::optional<U> Local;
+      std::exception_ptr Err;
+      if (!Skip) {
+        try {
+          if (FP)
+            FP->maybeThrow(FaultSite::BodyThrow);
+          U L = Init();
+          Clock::time_point T0;
+          if (AutoTargetNs > 0)
+            T0 = Clock::now();
+          T Acc = *A->In; // copy: In stays for the validator's comparisons
+          for (int64_t I = A->B; I < A->E; ++I)
+            Acc = Body(I, L, std::move(Acc));
+          if (AutoTargetNs > 0)
+            A->BodyNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now() - T0)
+                            .count();
+          Out.emplace(std::move(Acc));
+          Local.emplace(std::move(L));
+        } catch (...) {
+          Err = std::current_exception();
+        }
+      }
+      // Parallel validation: if the next slot's prediction contradicts
+      // our (speculative) output, append a corrective attempt for it
+      // before publishing our own completion — the validator's quiesce
+      // of our slot then happens-after the append, so it always sees
+      // final slot membership.
+      Attempt *Chained = nullptr;
+      if (Mode == ValidationMode::Par && Out && A->SlotIdx + 1 < WaveCount &&
+          !A->CancelFlag.load(std::memory_order_seq_cst) &&
+          !A->ObservedCancel.load(std::memory_order_relaxed) &&
+          !Run.Draining.load(std::memory_order_relaxed))
+        Chained = tryChain(A->SlotIdx + 1, *Out);
+      // Publish: every plain field first, then the seq_cst Done store.
+      // Copy what the Finish event needs *before* the store — once Done
+      // is visible the validator may accept and recycle this attempt.
+      const uint64_t MyTrace = A->TraceId;
+      const int64_t MyUser = A->UserIdx;
+      A->Out = std::move(Out);
+      A->Local = std::move(Local);
+      A->Err = Err;
+      A->FinishStamp =
+          Run.FinishCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+      A->Done.store(true, std::memory_order_seq_cst);
+      if (Tr)
+        Tr->record(SpecEventKind::Finish, MyUser, MyTrace);
+      if (Chained) {
+        if (Tr) {
+          Tr->record(SpecEventKind::Chain, Chained->UserIdx,
+                     Chained->TraceId);
+          Tr->record(SpecEventKind::Dispatch, Chained->UserIdx,
+                     Chained->TraceId);
+        }
+        Attempt *CA = Chained;
+        Ex.submit([this, CA] { attemptTask(CA); });
+      }
+      // Our own completion is signalled by the attemptTask wrapper.
     }
-    if (FirstValidErr)
-      std::rethrow_exception(FirstValidErr);
-    return Correct;
-  }
+
+    /// Appends a corrective attempt with input \p OutVal to slot \p NK if
+    /// no equivalent attempt (or prediction) exists there. Lock-free:
+    /// reserve an item index by CASing Count, then publish with a
+    /// release store.
+    Attempt *tryChain(int64_t NK, const T &OutVal) {
+      Slot &S = Slots[static_cast<size_t>(NK)];
+      bool CmpThrew = false;
+      bool Exists =
+          WavePred[static_cast<size_t>(NK)] &&
+          guardedEqual(Equal, FP, *WavePred[static_cast<size_t>(NK)], OutVal,
+                       CmpThrew);
+      const int C = S.Count.load(std::memory_order_acquire);
+      for (int I = 0; I < C && !Exists; ++I) {
+        Attempt *Other = S.Items[I].load(std::memory_order_acquire);
+        if (!Other) {
+          // Another chainer is mid-publish; treat as existing rather
+          // than risk a duplicate.
+          Exists = true;
+          break;
+        }
+        Exists = guardedEqual(Equal, FP, *Other->In, OutVal, CmpThrew);
+      }
+      // Don't chain on an unreliable comparison: a throwing comparator
+      // must never trigger extra speculation.
+      if (CmpThrew)
+        Exists = true;
+      if (Exists)
+        return nullptr;
+      int Cur = S.Count.load(std::memory_order_acquire);
+      while (Cur < 2 &&
+             !S.Count.compare_exchange_weak(Cur, Cur + 1,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_acquire)) {
+      }
+      if (Cur >= 2)
+        return nullptr;
+      Attempt *NA = chainPoolPop();
+      if (!NA) {
+        // Pool exhausted (cannot happen with the 2W sizing; belt only):
+        // release the reservation and skip the optimisation.
+        S.Count.fetch_sub(1, std::memory_order_seq_cst);
+        return nullptr;
+      }
+      Attempt *After = nullptr;
+      if (Cur > 0) {
+        // The prior item may be mid-publish; its publisher is a few
+        // instructions away.
+        do {
+          After = S.Items[Cur - 1].load(std::memory_order_acquire);
+          if (!After)
+            std::this_thread::yield();
+        } while (!After);
+      }
+      resetAttempt(NA, NK, OutVal, After);
+      Run.Outstanding.fetch_add(1, std::memory_order_seq_cst);
+      Run.ChainedTasks.fetch_add(1, std::memory_order_relaxed);
+      S.Items[Cur].store(NA, std::memory_order_release);
+      return NA;
+    }
+
+    Attempt *chainPoolPop() {
+      std::lock_guard<std::mutex> Lock(ChainPoolM);
+      if (ChainPool.empty())
+        return nullptr;
+      Attempt *A = ChainPool.back();
+      ChainPool.pop_back();
+      return A;
+    }
+
+    //===---------------- validator-side helpers -------------------------===//
+
+    /// Loads slot item \p I, riding out a chainer's reserve-to-publish
+    /// window. Returns nullptr only if the reservation was released.
+    Attempt *slotItem(Slot &S, int I) {
+      Attempt *A = S.Items[I].load(std::memory_order_acquire);
+      while (!A) {
+        if (S.Count.load(std::memory_order_acquire) <= I)
+          return nullptr;
+        std::this_thread::yield();
+        A = S.Items[I].load(std::memory_order_acquire);
+      }
+      return A;
+    }
+
+    /// Cancels every attempt in slot \p K (telemetry: a Cancel event per
+    /// attempt that was neither done nor already cancelled).
+    void cancelSlot(int64_t K, int64_t UI) {
+      Slot &S = Slots[static_cast<size_t>(K)];
+      const int C = S.Count.load(std::memory_order_acquire);
+      for (int I = 0; I < C; ++I) {
+        Attempt *A = slotItem(S, I);
+        if (!A)
+          continue;
+        if (Tr && !A->Done.load(std::memory_order_acquire) &&
+            !A->CancelFlag.load(std::memory_order_acquire))
+          Tr->record(SpecEventKind::Cancel, UI, A->TraceId);
+        A->CancelFlag.store(true, std::memory_order_seq_cst);
+      }
+    }
+
+    /// Cancels slot \p K's attempts whose input is already known wrong.
+    void sweepSlot(int64_t K, int64_t UI, bool ForceReexec,
+                   const T &Correct) {
+      Slot &S = Slots[static_cast<size_t>(K)];
+      const int C = S.Count.load(std::memory_order_acquire);
+      for (int I = 0; I < C; ++I) {
+        Attempt *A = slotItem(S, I);
+        if (!A)
+          continue;
+        bool InCmpThrew = false;
+        if (ForceReexec ||
+            !guardedEqual(Equal, FP, *A->In, Correct, InCmpThrew)) {
+          if (Tr && !A->Done.load(std::memory_order_acquire) &&
+              !A->CancelFlag.load(std::memory_order_acquire))
+            Tr->record(SpecEventKind::Cancel, UI, A->TraceId);
+          A->CancelFlag.store(true, std::memory_order_seq_cst);
+        }
+      }
+    }
+
+    bool slotAllDone(int64_t K) {
+      Slot &S = Slots[static_cast<size_t>(K)];
+      const int C = S.Count.load(std::memory_order_acquire);
+      for (int I = 0; I < C; ++I) {
+        Attempt *A = S.Items[I].load(std::memory_order_acquire);
+        if (!A || !A->Done.load(std::memory_order_seq_cst))
+          return false;
+      }
+      return true;
+    }
+
+    /// True if some attempt of slot \p K is still sitting in an executor
+    /// queue — published (or mid-publish) but not yet claimed by any
+    /// thread. Only those attempts can be advanced by helping.
+    bool slotHasUnstarted(int64_t K) {
+      Slot &S = Slots[static_cast<size_t>(K)];
+      const int C = S.Count.load(std::memory_order_acquire);
+      for (int I = 0; I < C; ++I) {
+        Attempt *A = S.Items[I].load(std::memory_order_acquire);
+        // A reserved-but-unpublished item (null) is about to be
+        // submitted; treat it as unstarted so we never park on it.
+        if (!A || !A->Started.load(std::memory_order_seq_cst))
+          return true;
+      }
+      return false;
+    }
+
+    /// Waits until every attempt in slot \p K is done, choosing between
+    /// helping the executor drain tasks and parking on the run's
+    /// eventcount. Returns false if the deadline expired first.
+    ///
+    /// Help-vs-park policy. Helping only makes progress on attempts
+    /// still sitting in an executor queue, and it is mandatory for
+    /// deadlock freedom when no worker will ever claim them (nested runs
+    /// occupying every worker, or all workers blocked in their own
+    /// waits). But helping also has a cost: a validator pinned inside an
+    /// arbitrary popped task cannot accept/finalize the segments it is
+    /// actually waiting for, and a body it runs allocates on *this*
+    /// thread's malloc arena — alternating bodies between the validator
+    /// and a worker makes their multi-megabyte scratch buffers bounce
+    /// between arenas, and glibc then returns them to the OS and
+    /// page-faults them back in every run. So:
+    ///
+    ///  - On a worker thread (a nested run), help immediately: the
+    ///    nested attempts live in this thread's own deque and running
+    ///    them inline is both the fast path and the liveness argument.
+    ///  - On the run's validator thread, help eagerly only while no
+    ///    other thread has claimed any of the wave's attempts — the
+    ///    workers are still waking up (or the executor is saturated by
+    ///    other runs), and inline execution beats a park/wake round
+    ///    trip per wave.
+    ///  - Once a worker is actively claiming attempts, park, and help
+    ///    only after a full grace timeout finds the slot unchanged: a
+    ///    parked validator never races an awake worker for a queued
+    ///    attempt, so bodies stay on worker threads and the validator
+    ///    accepts each segment the moment it completes.
+    bool quiesceSlot(int64_t K) {
+      const bool OnWorker = Ex.onWorkerThread();
+      bool GracePassed = false;
+      for (;;) {
+        if (slotAllDone(K))
+          return true;
+        if (HasDeadline && Clock::now() >= Deadline)
+          return false;
+        const bool Eager =
+            OnWorker || !Run.ForeignClaim.load(std::memory_order_relaxed);
+        if ((Eager || GracePassed) && slotHasUnstarted(K) &&
+            Ex.tryRunOneTask()) {
+          GracePassed = false;
+          continue;
+        }
+        const uint64_t Ticket = Run.EC.prepareWait();
+        if (slotAllDone(K)) {
+          Run.EC.cancelWait();
+          return true;
+        }
+        if (Eager && slotHasUnstarted(K)) {
+          // A queued attempt appeared between the failed pop and the
+          // ticket — go back to helping instead of parking on it.
+          Run.EC.cancelWait();
+          continue;
+        }
+        if (!Run.EC.waitFor(Ticket, std::chrono::microseconds(500)))
+          GracePassed = true;
+      }
+    }
+
+    /// Worker-side helping wait for a corrective attempt's predecessor.
+    void waitAttemptDone(Attempt *Dep) {
+      while (!Dep->Done.load(std::memory_order_seq_cst)) {
+        if (Ex.tryRunOneTask())
+          continue;
+        const uint64_t Ticket = Run.EC.prepareWait();
+        if (Dep->Done.load(std::memory_order_seq_cst)) {
+          Run.EC.cancelWait();
+          return;
+        }
+        Run.EC.waitFor(Ticket, std::chrono::microseconds(500));
+      }
+    }
+
+    /// The attempt the validator may accept for slot \p K, or nullptr:
+    /// the last attempt that actually executed (skipped correctives —
+    /// cancelled during their pre-wait — wrote nothing and don't count),
+    /// provided it ran with the correct input and was neither cancelled
+    /// nor observed cancellation. The slot is quiesced when called.
+    Attempt *acceptableAttempt(int64_t K, bool ForceReexec,
+                               const T &Correct) {
+      Slot &S = Slots[static_cast<size_t>(K)];
+      const int C = S.Count.load(std::memory_order_acquire);
+      Attempt *LastReal = nullptr;
+      for (int I = 0; I < C; ++I) {
+        Attempt *A = S.Items[I].load(std::memory_order_acquire);
+        if (!A)
+          continue;
+        if ((A->Out || A->Err) &&
+            (!LastReal || A->FinishStamp > LastReal->FinishStamp))
+          LastReal = A;
+      }
+      if (!LastReal || ForceReexec ||
+          LastReal->CancelFlag.load(std::memory_order_seq_cst) ||
+          LastReal->ObservedCancel.load(std::memory_order_relaxed))
+        return nullptr;
+      bool MatchCmpThrew = false;
+      if (!guardedEqual(Equal, FP, *LastReal->In, Correct, MatchCmpThrew))
+        return nullptr;
+      return LastReal;
+    }
+
+    /// Runs segment [B, E) in order on the calling thread (degraded
+    /// mode). Returns false when a body or finalizer exception aborts
+    /// the run (recorded in FirstValidErr).
+    bool degradedSegment(int64_t B, int64_t E, int64_t UI, T &Correct) {
+      ++Stats.DegradedChunks;
+      if (Tr)
+        Tr->record(SpecEventKind::Degrade, UI, 0);
+      std::optional<U> DegradedLocal;
+      try {
+        if (FP)
+          FP->maybeThrow(FaultSite::BodyThrow);
+        U L = Init();
+        T Acc = std::move(Correct);
+        for (int64_t I = B; I < E; ++I)
+          Acc = Body(I, L, std::move(Acc));
+        Correct = std::move(Acc);
+        DegradedLocal = std::move(L);
+      } catch (...) {
+        FirstValidErr = std::current_exception();
+        return false;
+      }
+      try {
+        Finalize(UI, *DegradedLocal);
+        if (Tr)
+          Tr->record(SpecEventKind::Finalize, UI, 0);
+      } catch (...) {
+        FirstValidErr = std::current_exception();
+        return false;
+      }
+      return true;
+    }
+
+    //===---------------- wave teardown / autotune -----------------------===//
+
+    /// Returns every attempt of the (fully validated, quiesced) wave to
+    /// its freelist and clears the slots.
+    void recycleWave() {
+      for (int64_t K = 0; K < WaveCount; ++K) {
+        Slot &S = Slots[static_cast<size_t>(K)];
+        const int C = S.Count.load(std::memory_order_acquire);
+        for (int I = 0; I < C; ++I) {
+          Attempt *A = S.Items[I].load(std::memory_order_acquire);
+          if (!A)
+            continue;
+          if (A->FromChainPool) {
+            std::lock_guard<std::mutex> Lock(ChainPoolM);
+            ChainPool.push_back(A);
+          } else {
+            FreeLocal.push_back(A);
+          }
+        }
+        S.Items[0].store(nullptr, std::memory_order_relaxed);
+        S.Items[1].store(nullptr, std::memory_order_relaxed);
+        S.Count.store(0, std::memory_order_relaxed);
+      }
+      WaveCount = 0;
+    }
+
+    /// The adaptive chunk controller, run between waves: halve the chunk
+    /// when the wave mispredicted badly (smaller chunks re-validate
+    /// sooner) or when bodies overshoot the target (lost parallelism);
+    /// double it when bodies run far under the target (per-attempt
+    /// overhead dominating).
+    void autotuneAdjust(int64_t NextB) {
+      if (AutoTargetNs <= 0 || WaveMeasured == 0)
+        return;
+      const double AvgNs = static_cast<double>(WaveNs) / WaveMeasured;
+      const double BadRate =
+          WaveBoundaries > 0
+              ? static_cast<double>(WaveBad) / WaveBoundaries
+              : 0.0;
+      int64_t NewChunk = CurChunk;
+      if (BadRate > 0.5)
+        NewChunk = CurChunk / 2;
+      else if (AvgNs < static_cast<double>(AutoTargetNs) / 2)
+        NewChunk = CurChunk * 2;
+      else if (AvgNs > static_cast<double>(AutoTargetNs) * 2)
+        NewChunk = CurChunk / 2;
+      NewChunk = std::max<int64_t>(1, std::min(NewChunk, MaxChunk));
+      if (NewChunk != CurChunk) {
+        CurChunk = NewChunk;
+        // Telemetry: the event's index is the *new* chunk size, so a
+        // trace shows the size trajectory. 0 attempt id: this is a
+        // run-level decision, not tied to an attempt. NextB unused
+        // beyond documentation value for debuggers.
+        (void)NextB;
+        if (Tr)
+          Tr->record(SpecEventKind::Autotune, CurChunk, 0);
+      }
+      WaveNs = 0;
+      WaveMeasured = 0;
+      WaveBad = 0;
+      WaveBoundaries = 0;
+    }
+
+    //===---------------- state ------------------------------------------===//
+
+    const int64_t Low, High;
+    int64_t CurChunk;
+    const bool OrdinalIndices;
+    const int64_t AutoTargetNs;
+    InitFn &Init;
+    BodyFn &Body;
+    PredictorFn &Predictor;
+    FinalFn &Finalize;
+    SpecExecutor &Ex;
+    Eq &Equal;
+    SpeculationStats &Stats;
+    const ValidationMode Mode;
+    Tracer *const Tr;
+    FaultPlan *const FP;
+    const std::chrono::nanoseconds CfgDeadline;
+    const Clock::time_point Deadline;
+    const bool HasDeadline;
+    const double DegradeThresh;
+    const int DegradeWindow;
+    const int64_t W;
+    int64_t MaxChunk = 1;
+
+    detail::SegRunSync Run;
+    /// 3W pooled attempts: [0, W) seed the validator's freelist, the
+    /// rest the chainers' shared pool.
+    std::vector<Attempt> AttemptStore;
+    std::vector<Attempt *> FreeLocal; // validator-owned
+    std::mutex ChainPoolM;            // guards ChainPool (chainers race)
+    std::vector<Attempt *> ChainPool;
+    std::vector<Slot> Slots;
+
+    /// Current wave plan (validator-written before dispatch, read-only
+    /// for workers during the wave).
+    std::vector<std::optional<T>> WavePred;
+    std::vector<int64_t> WaveB, WaveE, WaveUser;
+    int64_t WaveCount = 0;
+    int64_t WaveOrd0 = 0;
+
+    /// Autotune accumulators (current wave).
+    int64_t WaveNs = 0;
+    int64_t WaveMeasured = 0;
+    int64_t WaveBad = 0;
+    int64_t WaveBoundaries = 0;
+
+    /// Run outcome flags (validator only).
+    bool Degraded = false;
+    bool TimedOut = false;
+    int64_t TimeoutIdx = 0;
+    std::exception_ptr FirstValidErr;
+  };
 
   static SpecExecutor &resolveExecutor(const SpecConfig &Cfg,
                                        std::optional<SpecExecutor> &Transient) {

@@ -1,0 +1,133 @@
+//===- runtime/TaskRef.h - Move-only SBO callable for executor tasks ------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executor's task representation. `std::function<void()>` copies its
+/// target through every hand-off and heap-allocates for captures past a
+/// couple of pointers; the speculation runtime submits one thunk per
+/// attempt, so both costs land on the hot path. TaskRef is move-only,
+/// holds callables up to 48 bytes inline (the runtime's attempt thunks
+/// capture two pointers), and falls back to a single heap allocation for
+/// oversized captures. Construction from an lvalue is a compile error —
+/// the static_assert below is the guard against accidental copies
+/// sneaking back into the submission path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_TASKREF_H
+#define SPECPAR_RUNTIME_TASKREF_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace specpar {
+namespace rt {
+
+class TaskRef {
+public:
+  static constexpr std::size_t InlineSize = 48;
+
+  TaskRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, TaskRef>>>
+  TaskRef(F &&Fn) {
+    static_assert(!std::is_lvalue_reference_v<F>,
+                  "TaskRef takes ownership: pass the callable as an rvalue "
+                  "(std::move it) so the submission path never copies");
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, D &>,
+                  "TaskRef requires a nullary void() callable");
+    if constexpr (sizeof(D) <= InlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void *>(Buf)) D(std::move(Fn));
+      O = &inlineOps<D>();
+    } else {
+      Heap = new D(std::move(Fn));
+      O = &heapOps<D>();
+    }
+  }
+
+  TaskRef(TaskRef &&Other) noexcept { moveFrom(Other); }
+
+  TaskRef &operator=(TaskRef &&Other) noexcept {
+    if (this != &Other) {
+      destroy();
+      moveFrom(Other);
+    }
+    return *this;
+  }
+
+  TaskRef(const TaskRef &) = delete;
+  TaskRef &operator=(const TaskRef &) = delete;
+
+  ~TaskRef() { destroy(); }
+
+  explicit operator bool() const { return O != nullptr; }
+
+  /// Invokes the callable. The TaskRef stays engaged afterwards; callers
+  /// typically run a local moved-from-the-queue instance and let its
+  /// destructor reclaim the capture.
+  void run() { O->Invoke(storage()); }
+
+private:
+  struct Ops {
+    void (*Invoke)(void *);
+    void (*Move)(void *Src, void *Dst); // inline storage relocation
+    void (*Destroy)(void *);
+  };
+
+  template <typename D> static const Ops &inlineOps() {
+    static constexpr Ops O = {
+        [](void *P) { (*static_cast<D *>(P))(); },
+        [](void *Src, void *Dst) {
+          ::new (Dst) D(std::move(*static_cast<D *>(Src)));
+          static_cast<D *>(Src)->~D();
+        },
+        [](void *P) { static_cast<D *>(P)->~D(); }};
+    return O;
+  }
+
+  template <typename D> static const Ops &heapOps() {
+    static constexpr Ops O = {
+        [](void *P) { (*static_cast<D *>(P))(); },
+        nullptr, // heap callables move by pointer swap
+        [](void *P) { delete static_cast<D *>(P); }};
+    return O;
+  }
+
+  void *storage() { return Heap ? Heap : static_cast<void *>(Buf); }
+
+  void moveFrom(TaskRef &Other) noexcept {
+    O = Other.O;
+    Heap = Other.Heap;
+    if (O && !Heap)
+      O->Move(Other.Buf, Buf);
+    Other.O = nullptr;
+    Other.Heap = nullptr;
+  }
+
+  void destroy() {
+    if (O)
+      O->Destroy(storage());
+    O = nullptr;
+    Heap = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char Buf[InlineSize];
+  void *Heap = nullptr;
+  const Ops *O = nullptr;
+};
+
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_TASKREF_H

@@ -41,6 +41,8 @@ const char *specpar::rt::specEventKindName(SpecEventKind K) {
     return "degrade";
   case SpecEventKind::Timeout:
     return "timeout";
+  case SpecEventKind::Autotune:
+    return "autotune";
   }
   return "unknown";
 }
@@ -127,7 +129,7 @@ uint64_t Tracer::droppedEvents() const {
 
 std::string Tracer::summary() const {
   std::vector<SpecEvent> Events = snapshot();
-  std::array<uint64_t, 11> Counts{};
+  std::array<uint64_t, 12> Counts{};
   uint64_t MaxTimeNs = 0;
   uint32_t MaxThread = 0;
   for (const SpecEvent &E : Events) {

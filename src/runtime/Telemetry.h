@@ -78,6 +78,10 @@ enum class SpecEventKind : uint8_t {
   /// The run's cooperative deadline expired; in-flight attempts were
   /// cancelled and drained and SpecTimeoutError was thrown.
   Timeout,
+  /// The adaptive chunk autotuner re-sized the effective chunk between
+  /// scheduling waves (SpecConfig::autotune()). Index carries the *new*
+  /// chunk size; AttemptId is 0 — a run-level decision.
+  Autotune,
 };
 
 /// Stable lowercase name of \p K (e.g. "validate-accept").
