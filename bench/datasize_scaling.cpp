@@ -47,12 +47,11 @@ int main(int Argc, char **Argv) {
   std::printf("%10s %14s %12s %10s  %s\n", "size (MB)", "seq decode (ms)",
               "ns per byte", "speedup", "real chunked run");
 
-  // The real runs share the persistent process-wide executor; the
-  // simulated speedup substitutes for the missing cores (DESIGN.md
-  // Section 5).
+  // The real runs share the persistent default shard; the simulated
+  // speedup substitutes for the missing cores (DESIGN.md Section 5).
   rt::Tracer Tr;
   rt::SpecConfig Cfg =
-      rt::SpecConfig().executor(&rt::SpecExecutor::process());
+      rt::SpecConfig().executor(rt::SpecExecutor::defaultShard());
   if (!TraceOut->empty())
     Cfg.trace(&Tr);
   for (size_t MB : {1, 2, 4, 8}) {
@@ -74,7 +73,7 @@ int main(int Argc, char **Argv) {
                 M.SequentialSeconds * 1e3,
                 M.SequentialSeconds * 1e9 / double(Bytes), R.Speedup,
                 Run.Decoded == Data ? "ok" : "MISMATCH",
-                Run.Stats.str().c_str());
+                Run.Stats.Spec.str().c_str());
     if (Run.Decoded != Data)
       return 1;
   }

@@ -48,8 +48,8 @@ using namespace specpar::workloads;
 namespace {
 
 /// Measures the real per-task overhead of the speculation runtime on
-/// this machine: a trivial chunked iterate() on the shared process-wide
-/// executor, amortized over the speculative chunk attempts — the same
+/// this machine: a trivial chunked iterate() on the shared default
+/// shard, amortized over the speculative chunk attempts — the same
 /// granularity the apps now dispatch at.
 double measureSpawnOverheadSeconds(rt::Tracer *Tr) {
   const int64_t N = 2000, ChunkSize = 8;
@@ -57,7 +57,7 @@ double measureSpawnOverheadSeconds(rt::Tracer *Tr) {
   rt::SpecResult<int64_t> R = rt::Speculation::iterateChunked<int64_t>(
       0, N, ChunkSize, [](int64_t, int64_t A) { return A; },
       [](int64_t) { return int64_t(0); },
-      rt::SpecConfig().executor(&rt::SpecExecutor::process()).trace(Tr));
+      rt::SpecConfig().executor(rt::SpecExecutor::defaultShard()).trace(Tr));
   return T.elapsedSeconds() / static_cast<double>(R.Stats.Tasks);
 }
 

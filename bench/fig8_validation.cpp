@@ -46,7 +46,7 @@ static double measureSpawnOverheadSeconds() {
   rt::SpecResult<int64_t> R = rt::Speculation::iterateChunked<int64_t>(
       0, N, ChunkSize, [](int64_t, int64_t A) { return A; },
       [](int64_t) { return int64_t(0); },
-      rt::SpecConfig().executor(&rt::SpecExecutor::process()));
+      rt::SpecConfig().executor(rt::SpecExecutor::defaultShard()));
   return T.elapsedSeconds() / static_cast<double>(R.Stats.Tasks);
 }
 
@@ -62,7 +62,7 @@ static void runTracedValidation(rt::Tracer &Tr) {
   for (rt::ValidationMode Mode :
        {rt::ValidationMode::Seq, rt::ValidationMode::Par}) {
     rt::SpecConfig Cfg = rt::SpecConfig()
-                             .executor(&rt::SpecExecutor::process())
+                             .executor(rt::SpecExecutor::defaultShard())
                              .mode(Mode)
                              .trace(&Tr);
     for (bool ForceMiss : {false, true}) {

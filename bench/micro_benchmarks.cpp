@@ -95,7 +95,7 @@ BENCHMARK(BM_MwisForward)->Unit(benchmark::kMillisecond);
 
 void BM_IterateOverhead(benchmark::State &State) {
   rt::SpecExecutor Ex(2);
-  rt::SpecConfig Cfg = rt::SpecConfig().executor(&Ex);
+  rt::SpecConfig Cfg = rt::SpecConfig().executor(Ex);
   const int64_t N = State.range(0);
   for (auto _ : State) {
     auto R = rt::Speculation::iterate<int64_t>(
@@ -109,7 +109,7 @@ BENCHMARK(BM_IterateOverhead)->Arg(16)->Arg(256);
 
 void BM_IterateChunkedOverhead(benchmark::State &State) {
   rt::SpecExecutor Ex(2);
-  rt::SpecConfig Cfg = rt::SpecConfig().executor(&Ex);
+  rt::SpecConfig Cfg = rt::SpecConfig().executor(Ex);
   const int64_t N = State.range(0);
   for (auto _ : State) {
     auto R = rt::Speculation::iterateChunked<int64_t>(

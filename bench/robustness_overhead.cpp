@@ -160,8 +160,8 @@ int main(int Argc, char **Argv) {
     return Args.helpRequested() ? 0 : 2;
 
   // --- Hook overhead: off vs armed-but-idle ------------------------------
-  rt::SpecExecutor &Ex = rt::SpecExecutor::process();
-  rt::SpecConfig Off = rt::SpecConfig().executor(&Ex);
+  std::shared_ptr<rt::SpecExecutor> Ex = rt::SpecExecutor::defaultShard();
+  rt::SpecConfig Off = rt::SpecConfig().executor(Ex);
 
   rt::FaultPlan Idle(/*Seed=*/1); // every site at probability 0
   for (rt::FaultSite S :
@@ -171,7 +171,7 @@ int main(int Argc, char **Argv) {
         rt::FaultSite::JitterWakeup})
     Idle.arm(S, 0.0);
   rt::SpecConfig Armed = rt::SpecConfig()
-                             .executor(&Ex)
+                             .executor(Ex)
                              .faults(&Idle)
                              .deadline(std::chrono::hours(24))
                              .degrade(/*MaxBadRate=*/1.0, /*Window=*/8);

@@ -55,7 +55,7 @@ double wallSeconds() {
 /// always-correct predictor (carried value stays 0), so the run exercises
 /// the dispatch -> execute -> accept fast path only.
 double runOnce(rt::SpecExecutor &Ex, int64_t NumChunks, int64_t ChunkSize) {
-  rt::SpecConfig Cfg = rt::SpecConfig().executor(&Ex);
+  rt::SpecConfig Cfg = rt::SpecConfig().executor(Ex);
   const int64_t N = NumChunks * ChunkSize;
   double T0 = wallSeconds();
   auto R = rt::Speculation::iterateChunked<int64_t>(

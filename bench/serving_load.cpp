@@ -1,0 +1,200 @@
+//===- bench/serving_load.cpp - specd latency/throughput load bench -------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Load generator and latency benchmark for the specd serving layer.
+/// For each shard count in the sweep it builds a fresh `ServerContext`,
+/// drives it with concurrent client threads submitting a mixed
+/// lex/decode/mwis workload, and reports per-job latency percentiles
+/// (p50/p95/p99, enqueue-to-completion) plus sustained throughput.
+///
+/// Output: BENCH_serving.json with one entry per (shards, clients)
+/// configuration. `--smoke` shrinks the sweep and job count to a CI
+/// sanity gate; numbers from shared CI boxes are informational.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serving/ServerContext.h"
+#include "support/CommandLine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace specpar;
+using namespace specpar::serving;
+
+namespace {
+
+struct LoadRow {
+  unsigned Shards = 0;
+  unsigned Clients = 0;
+  int64_t Jobs = 0;
+  int64_t Ok = 0;
+  int64_t Rejected = 0;
+  double Seconds = 0;
+  double P50Ms = 0, P95Ms = 0, P99Ms = 0;
+  double JobsPerSec = 0;
+};
+
+double percentileMs(std::vector<double> &SortedMs, double P) {
+  if (SortedMs.empty())
+    return 0;
+  size_t I = static_cast<size_t>(P * static_cast<double>(SortedMs.size() - 1));
+  return SortedMs[I];
+}
+
+/// One load point: \p Clients threads each submit \p JobsPerClient jobs
+/// (cycling lex/decode/mwis), waiting for each future so in-flight depth
+/// per client is one — the measured latency is queueing + service.
+LoadRow runLoad(unsigned Shards, unsigned Clients, int64_t JobsPerClient,
+                int64_t Scale) {
+  ServerOptions Opts;
+  Opts.NumShards = Shards;
+  Opts.ThreadsPerShard = 0; // divide hardware evenly
+  Opts.QueueCapacity = 4096;
+  Opts.Admission = AdmissionPolicy::LeastLoaded;
+  Opts.WorkloadScale = Scale;
+  ServerContext Ctx(Opts);
+
+  TenantPolicy P;
+  P.Name = "load";
+  P.NumTasks = 8;
+  Ctx.registerTenant(P);
+
+  std::vector<std::vector<double>> PerClientMs(Clients);
+  std::atomic<int64_t> Ok{0}, Rejected{0};
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back([&, C] {
+      const JobKind Kinds[] = {JobKind::Lex, JobKind::Decode, JobKind::Mwis};
+      PerClientMs[C].reserve(static_cast<size_t>(JobsPerClient));
+      for (int64_t I = 0; I < JobsPerClient; ++I) {
+        Job J;
+        J.Kind = Kinds[(C + I) % 3];
+        JobResult R = Ctx.submit("load", std::move(J)).get();
+        if (R.Outcome == JobOutcome::Ok)
+          Ok.fetch_add(1, std::memory_order_relaxed);
+        else if (R.Outcome == JobOutcome::Rejected)
+          Rejected.fetch_add(1, std::memory_order_relaxed);
+        PerClientMs[C].push_back(
+            std::chrono::duration<double, std::milli>(R.Latency).count());
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  auto T1 = std::chrono::steady_clock::now();
+  Ctx.shutdown();
+
+  std::vector<double> AllMs;
+  for (auto &V : PerClientMs)
+    AllMs.insert(AllMs.end(), V.begin(), V.end());
+  std::sort(AllMs.begin(), AllMs.end());
+
+  LoadRow Row;
+  Row.Shards = Shards;
+  Row.Clients = Clients;
+  Row.Jobs = static_cast<int64_t>(AllMs.size());
+  Row.Ok = Ok.load();
+  Row.Rejected = Rejected.load();
+  Row.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  Row.P50Ms = percentileMs(AllMs, 0.50);
+  Row.P95Ms = percentileMs(AllMs, 0.95);
+  Row.P99Ms = percentileMs(AllMs, 0.99);
+  Row.JobsPerSec =
+      Row.Seconds > 0 ? static_cast<double>(Row.Jobs) / Row.Seconds : 0;
+  return Row;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("serving_load",
+                 "specd latency/throughput across shard counts");
+  bool *Smoke = Args.flag("smoke", "reduced sweep for CI smoke runs");
+  int64_t *JobsPerClient =
+      Args.intOption("jobs-per-client", 40, "jobs each client submits");
+  int64_t *Scale =
+      Args.intOption("scale", 1 << 16, "workload catalog scale (bytes)");
+  std::string *Out = Args.strOption("out", "BENCH_serving.json",
+                                    "JSON output path (empty: skip)");
+  if (!Args.parse(Argc, Argv))
+    return Args.helpRequested() ? 0 : 2;
+
+  std::vector<unsigned> ShardSweep = {1, 2, 4};
+  std::vector<unsigned> ClientSweep = {4, 8};
+  int64_t Jobs = *JobsPerClient;
+  int64_t CatalogScale = *Scale;
+  if (*Smoke) {
+    ShardSweep = {1, 2};
+    ClientSweep = {4};
+    Jobs = std::min<int64_t>(Jobs, 10);
+    CatalogScale = std::min<int64_t>(CatalogScale, 32768);
+  }
+
+  std::vector<LoadRow> Rows;
+  std::printf("=== specd load: %lld jobs/client, catalog %lld bytes ===\n",
+              static_cast<long long>(Jobs),
+              static_cast<long long>(CatalogScale));
+  std::printf("%7s %8s %7s %9s %9s %9s %11s\n", "shards", "clients", "jobs",
+              "p50(ms)", "p95(ms)", "p99(ms)", "jobs/sec");
+  for (unsigned S : ShardSweep)
+    for (unsigned C : ClientSweep) {
+      LoadRow R = runLoad(S, C, Jobs, CatalogScale);
+      Rows.push_back(R);
+      std::printf("%7u %8u %7lld %9.2f %9.2f %9.2f %11.1f\n", R.Shards,
+                  R.Clients, static_cast<long long>(R.Jobs), R.P50Ms, R.P95Ms,
+                  R.P99Ms, R.JobsPerSec);
+      if (R.Ok + R.Rejected != R.Jobs || R.Ok == 0) {
+        std::fprintf(stderr,
+                     "serving_load: unexpected outcomes (ok=%lld rej=%lld "
+                     "of %lld)\n",
+                     static_cast<long long>(R.Ok),
+                     static_cast<long long>(R.Rejected),
+                     static_cast<long long>(R.Jobs));
+        return 1;
+      }
+    }
+
+  if (!Out->empty()) {
+    std::FILE *F = std::fopen(Out->c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Out->c_str());
+      return 1;
+    }
+    std::fprintf(F,
+                 "{\n  \"config\": {\"jobs_per_client\": %lld, \"scale\": "
+                 "%lld, \"smoke\": %s},\n  \"load\": [\n",
+                 static_cast<long long>(Jobs),
+                 static_cast<long long>(CatalogScale),
+                 *Smoke ? "true" : "false");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const LoadRow &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"shards\": %u, \"clients\": %u, \"jobs\": %lld, "
+                   "\"ok\": %lld, \"rejected\": %lld, \"seconds\": %.3f, "
+                   "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                   "\"jobs_per_sec\": %.1f}%s\n",
+                   R.Shards, R.Clients, static_cast<long long>(R.Jobs),
+                   static_cast<long long>(R.Ok),
+                   static_cast<long long>(R.Rejected), R.Seconds, R.P50Ms,
+                   R.P95Ms, R.P99Ms, R.JobsPerSec,
+                   I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Out->c_str());
+  }
+  std::printf("serving_load: PASS\n");
+  return 0;
+}

@@ -163,13 +163,13 @@ int main(int Argc, char **Argv) {
     int64_t DegradedBefore = 0;
     runOne(P, "lex", T, Failures, [&] {
       LexRun Run = speculativeLex(LX, Text, NumTasks, /*Overlap=*/64, Cfg);
-      DegradedBefore += Run.Stats.DegradedChunks;
+      DegradedBefore += Run.Stats.Spec.DegradedChunks;
       return Run.Tokens == LexOracle;
     });
     runOne(P, "huffman", T, Failures, [&] {
       HuffmanRun Run =
           speculativeDecode(Dec, Bits, NumTasks, /*OverlapBits=*/64 * 8, Cfg);
-      DegradedBefore += Run.Stats.DegradedChunks;
+      DegradedBefore += Run.Stats.Spec.DegradedChunks;
       return Run.Decoded == HuffData;
     });
     runOne(P, "mwis", T, Failures, [&] {

@@ -16,9 +16,11 @@
 ///     predict once per chunk, amortizing task overhead.
 ///
 /// Calls take a fluent `SpecConfig` and return a `SpecResult` carrying the
-/// value plus `SpeculationStats`. By default runs execute on the shared
-/// process-wide executor (`SpecExecutor::process()`); nested speculative
-/// runs on one shared executor are deadlock-free.
+/// value plus `SpeculationStats`. By default runs execute on the process's
+/// default executor shard (`SpecExecutor::defaultShard()`); name an
+/// executor explicitly with `SpecConfig::executor(SpecExecutor::create(N))`
+/// when placement or lifetime matters. Nested speculative runs on one
+/// shared executor are deadlock-free.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,7 +71,7 @@ int main() {
   // iteration — so every iteration runs in parallel and validation never
   // re-executes anything. SpecConfig() picks the run's mode, thread
   // count, or executor; threads(0) — the default — means "one worker per
-  // hardware thread" via the shared process-wide executor.
+  // hardware thread" via the process's default shard.
   // ------------------------------------------------------------------
   auto SumOfSquaresBelow = [](int64_t I) {
     // sum_{k=1}^{I-1} k^2

@@ -55,11 +55,11 @@ int main(int Argc, char **Argv) {
               T.elapsedMillis(), Seq == Data ? "ok" : "BROKEN");
 
   const int NumTasks = 8;
+  // Name the default shard explicitly: the run's executor activity
+  // (steals, help-runs, queue pressure) lands in Run.Stats.Exec.
+  std::shared_ptr<rt::SpecExecutor> Shard = rt::SpecExecutor::defaultShard();
   for (int64_t OverlapBytes : {2, 4, 8, 16, 64, 512}) {
-    // The process-wide executor, so the per-run executor activity
-    // (steals, help-runs, queue pressure) is observable in ExecStats.
-    rt::SpecConfig Cfg =
-        rt::SpecConfig().executor(&rt::SpecExecutor::process());
+    rt::SpecConfig Cfg = rt::SpecConfig().executor(Shard);
     T.reset();
     HuffmanRun Run = speculativeDecode(D, In, NumTasks, OverlapBytes * 8,
                                        Cfg);
@@ -70,8 +70,8 @@ int main(int Argc, char **Argv) {
                 "(%.3f ms)\n"
                 "              executor: %s\n",
                 static_cast<long long>(OverlapBytes), Accuracy,
-                Run.Stats.str().c_str(), Match ? "match" : "MISMATCH",
-                Seconds * 1e3, Run.ExecStats.str().c_str());
+                Run.Stats.Spec.str().c_str(), Match ? "match" : "MISMATCH",
+                Seconds * 1e3, Run.Stats.Exec.str().c_str());
     if (!Match)
       return 1;
   }

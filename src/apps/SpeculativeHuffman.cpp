@@ -33,11 +33,12 @@ HuffmanRun specpar::apps::speculativeDecode(const Decoder &D,
   const int64_t NumSub = static_cast<int64_t>(NumTasks) * kHuffChunkSize;
   auto Bound = [&](int64_t I) { return NumBits * I / NumSub; };
 
-  rt::SpecExecutor *Ex = Cfg.sharedExecutor();
-  rt::ExecutorStats Before = Ex ? Ex->stats() : rt::ExecutorStats{};
+  // The snapshot sink fills Run.Stats.Spec and attributes the resolved
+  // executor's activity delta to Run.Stats.Exec.
+  rt::SpecConfig RunCfg = Cfg;
+  RunCfg.statsOut(&Run.Stats);
 
-  rt::SpecResult<int64_t> R =
-      rt::Speculation::iterateChunkedLocal<int64_t, std::vector<uint8_t>>(
+  rt::Speculation::iterateChunkedLocal<int64_t, std::vector<uint8_t>>(
           0, NumSub, kHuffChunkSize,
           /*Init=*/[] { return std::vector<uint8_t>(); },
           /*Body=*/
@@ -61,11 +62,8 @@ HuffmanRun specpar::apps::speculativeDecode(const Decoder &D,
           [&Run](int64_t, std::vector<uint8_t> &Local) {
             Run.Decoded.insert(Run.Decoded.end(), Local.begin(), Local.end());
           },
-          Cfg);
+          RunCfg);
 
-  Run.Stats = R.Stats;
-  if (Ex)
-    Run.ExecStats = Ex->stats() - Before;
   return Run;
 }
 

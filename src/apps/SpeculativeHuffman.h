@@ -28,10 +28,10 @@ namespace apps {
 /// Output of a (speculative) decode run.
 struct HuffmanRun {
   std::vector<uint8_t> Decoded;
-  rt::SpeculationStats Stats;
-  /// Executor activity attributed to this run (zeros when the run used a
-  /// transient executor that cannot be observed from outside).
-  rt::ExecutorStats ExecStats;
+  /// The run's unified statistics: `Stats.Spec` is the speculation
+  /// counters, `Stats.Exec` the executor activity attributed to exactly
+  /// this run (a delta even for transient executors).
+  rt::stats::Snapshot Stats;
 };
 
 /// Decodes the whole stream speculatively with \p NumTasks chunked

@@ -39,8 +39,11 @@ LexRun specpar::apps::speculativeLex(const Lexer &L, std::string_view Text,
   const int64_t NumSub = static_cast<int64_t>(NumTasks) * kLexChunkSize;
   auto Bound = [&](int64_t I) { return N * I / NumSub; };
 
-  rt::SpecExecutor *Ex = Cfg.sharedExecutor();
-  rt::ExecutorStats Before = Ex ? Ex->stats() : rt::ExecutorStats{};
+  // The snapshot sink fills Run.Stats.Spec and attributes the resolved
+  // executor's activity delta to Run.Stats.Exec — including transient
+  // executors the old sharedExecutor() snapshotting could not observe.
+  rt::SpecConfig RunCfg = Cfg;
+  RunCfg.statsOut(&Run.Stats);
 
   rt::SpecResult<LexState> R =
       rt::Speculation::iterateChunkedLocal<LexState, std::vector<Token>>(
@@ -65,13 +68,10 @@ LexRun specpar::apps::speculativeLex(const Lexer &L, std::string_view Text,
           [&Run](int64_t, std::vector<Token> &Local) {
             Run.Tokens.insert(Run.Tokens.end(), Local.begin(), Local.end());
           },
-          Cfg);
+          RunCfg);
 
   // Flush the trailing in-flight token of the final segment.
   L.finishLex(Text, R.Value, &Run.Tokens);
-  Run.Stats = R.Stats;
-  if (Ex)
-    Run.ExecStats = Ex->stats() - Before;
   return Run;
 }
 

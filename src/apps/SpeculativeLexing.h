@@ -30,10 +30,10 @@ namespace apps {
 /// Output of a (speculative) lexing run.
 struct LexRun {
   std::vector<lexgen::Token> Tokens;
-  rt::SpeculationStats Stats;
-  /// Executor activity attributed to this run (zeros when the run used a
-  /// transient executor that cannot be observed from outside).
-  rt::ExecutorStats ExecStats;
+  /// The run's unified statistics: `Stats.Spec` is the speculation
+  /// counters, `Stats.Exec` the executor activity attributed to exactly
+  /// this run (a delta even for transient executors).
+  rt::stats::Snapshot Stats;
 };
 
 /// Lexes \p Text sequentially (the baseline).
@@ -43,8 +43,9 @@ std::vector<lexgen::Token> sequentialLex(const lexgen::Lexer &L,
 /// Lexes \p Text speculatively with \p NumTasks chunked speculation tasks
 /// and an \p Overlap-byte predictor. Each task covers a chunk of
 /// sub-fragments (`kLexChunkSize` per task) iterated sequentially inside
-/// one speculative attempt — segment-granularity speculation on the shared
-/// process-wide executor by default.
+/// one speculative attempt — segment-granularity speculation on the
+/// executor \p Cfg resolves to (the process's default shard unless the
+/// caller names one with `SpecConfig::executor()`).
 LexRun speculativeLex(const lexgen::Lexer &L, std::string_view Text,
                       int NumTasks, int64_t Overlap,
                       const rt::SpecConfig &Cfg = rt::SpecConfig());

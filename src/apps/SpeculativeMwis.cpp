@@ -37,8 +37,13 @@ MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
   const int64_t NumSub = static_cast<int64_t>(NumTasks) * kMwisChunkSize;
   auto Bound = [&](int64_t I) { return N * I / NumSub; };
 
-  rt::SpecExecutor *Ex = Cfg.sharedExecutor();
-  rt::ExecutorStats Before = Ex ? Ex->stats() : rt::ExecutorStats{};
+  // One snapshot per phase; their sum (counters plus per-phase executor
+  // deltas) is the run's unified statistics.
+  rt::stats::Snapshot FwdSnap, BwdSnap;
+  rt::SpecConfig FwdCfg = Cfg;
+  FwdCfg.statsOut(&FwdSnap);
+  rt::SpecConfig BwdCfg = Cfg;
+  BwdCfg.statsOut(&BwdSnap);
 
   // Phase 1: forward d-recurrence over sub-segments.
   rt::SpecResult<int64_t> Fwd = rt::Speculation::iterateChunked<int64_t>(
@@ -54,7 +59,7 @@ MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
         return I == 0 ? int64_t(0)
                       : predictForward(Weights, Bound(I), Overlap);
       },
-      Cfg);
+      FwdCfg);
   Run.ForwardStats = Fwd.Stats;
 
   // Phase 2: backward membership emission; sub-iteration I handles the
@@ -74,13 +79,13 @@ MwisRun specpar::apps::speculativeMwis(const std::vector<int64_t> &Weights,
         return static_cast<int64_t>(
             predictBackward(D, Bound(NumSub - I), Overlap, N));
       },
-      Cfg);
+      BwdCfg);
   Run.BackwardStats = Bwd.Stats;
 
   Run.Weight = weightFromD(D);
   Run.Members = membersFromTaken(Taken);
-  if (Ex)
-    Run.ExecStats = Ex->stats() - Before;
+  Run.Stats = FwdSnap;
+  Run.Stats += BwdSnap;
   return Run;
 }
 

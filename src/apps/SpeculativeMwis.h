@@ -29,11 +29,14 @@ namespace apps {
 struct MwisRun {
   int64_t Weight = 0;
   std::vector<int32_t> Members;
+  /// Per-phase speculation counters.
   rt::SpeculationStats ForwardStats;
   rt::SpeculationStats BackwardStats;
-  /// Executor activity attributed to the whole two-phase run (zeros when
-  /// the run used a transient executor that cannot be observed).
-  rt::ExecutorStats ExecStats;
+  /// The whole two-phase run's unified statistics: `Stats.Spec` is the
+  /// two phases' counters summed, `Stats.Exec` the executor activity
+  /// attributed to exactly this run (a delta even for transient
+  /// executors).
+  rt::stats::Snapshot Stats;
 };
 
 /// Solves MWIS speculatively with \p NumTasks chunked speculation tasks

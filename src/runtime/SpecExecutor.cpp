@@ -78,10 +78,20 @@ unsigned SpecExecutor::defaultThreads() {
   return N == 0 ? 1 : N;
 }
 
-SpecExecutor &SpecExecutor::process() {
-  static SpecExecutor Shared(0);
-  return Shared;
+std::shared_ptr<SpecExecutor> SpecExecutor::create(unsigned NumThreads) {
+  return std::make_shared<SpecExecutor>(NumThreads);
 }
+
+const std::shared_ptr<SpecExecutor> &SpecExecutor::defaultShard() {
+  // A function-local static shared_ptr: the shard is created on first
+  // use and kept alive through static destruction for any late holders
+  // of a copied handle.
+  static const std::shared_ptr<SpecExecutor> Shard =
+      std::make_shared<SpecExecutor>(0);
+  return Shard;
+}
+
+SpecExecutor &SpecExecutor::process() { return *defaultShard(); }
 
 SpecExecutor::SpecExecutor(unsigned NumThreads) {
   if (NumThreads == 0)

@@ -97,6 +97,23 @@ struct ExecutorStats {
   /// a high-water mark has no meaningful delta).
   ExecutorStats operator-(const ExecutorStats &Base) const;
 
+  /// Counter-wise accumulation of another span's delta into this one
+  /// (PeakQueueDepth keeps the max of the two high-water marks). This is
+  /// how per-run `stats::Snapshot`s aggregate into per-shard/per-tenant
+  /// totals.
+  ExecutorStats &operator+=(const ExecutorStats &O) {
+    Submits += O.Submits;
+    OwnPops += O.OwnPops;
+    InjectionPops += O.InjectionPops;
+    Steals += O.Steals;
+    HelpRuns += O.HelpRuns;
+    PeakQueueDepth = PeakQueueDepth > O.PeakQueueDepth ? PeakQueueDepth
+                                                       : O.PeakQueueDepth;
+    EventcountParks += O.EventcountParks;
+    SlotPoolRefills += O.SlotPoolRefills;
+    return *this;
+  }
+
   std::string str() const;
 };
 
@@ -175,11 +192,29 @@ public:
   /// hardware thread, at least one.
   static unsigned defaultThreads();
 
-  /// The shared process-wide executor (created on first use with
-  /// `defaultThreads()` workers). Because nested speculative runs on one
-  /// executor are deadlock-free, a long-lived process can route every
-  /// speculative run through this one instance instead of spawning
-  /// transient pools.
+  /// Creates a reference-counted executor shard with \p NumThreads
+  /// workers (`0` = `defaultThreads()`). The handle *is* the ownership:
+  /// anything that must outlive its runs — a `SpecConfig`, a serving
+  /// shard, a bench — holds a copy, and the executor drains and joins
+  /// when the last copy drops. This is the explicit-ownership
+  /// counterpart of the old implicit `process()` singleton.
+  static std::shared_ptr<SpecExecutor> create(unsigned NumThreads = 0);
+
+  /// The process's default shard: a lazily created, reference-counted
+  /// executor with `defaultThreads()` workers. `SpecConfig` resolves to
+  /// it when neither an explicit executor nor `threads(N > 0)` is set,
+  /// so one-off runs still share a single hardware-wide pool — but the
+  /// ownership is now nameable: callers that care hold the handle.
+  /// Because nested speculative runs on one executor are deadlock-free,
+  /// a long-lived process can route every speculative run through this
+  /// one shard instead of spawning transient pools.
+  static const std::shared_ptr<SpecExecutor> &defaultShard();
+
+  /// Deprecated alias for `*defaultShard()` — the pre-redesign implicit
+  /// process-wide executor. Kept for one release; the reference it
+  /// returns conveys no ownership.
+  [[deprecated("hold SpecExecutor::defaultShard() (or create() your own "
+               "shard) and pass the handle to SpecConfig::executor()")]]
   static SpecExecutor &process();
 
 private:

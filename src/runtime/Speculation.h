@@ -27,10 +27,13 @@
 ///                SpecConfig().threads(8).mode(ValidationMode::Par));
 ///   use(R.Value, R.Stats);
 ///
-/// By default runs execute on the shared process-wide `SpecExecutor`
-/// (`SpecExecutor::process()`): the executor's cooperative helping makes
-/// *nested* speculation on one shared executor deadlock-free, so a
-/// long-lived process no longer needs transient per-run pools.
+/// By default runs execute on the process's default executor shard
+/// (`SpecExecutor::defaultShard()`): the executor's cooperative helping
+/// makes *nested* speculation on one shared executor deadlock-free, so a
+/// long-lived process no longer needs transient per-run pools. Callers
+/// that care about placement or lifetime name their executor explicitly
+/// — `SpecConfig::executor(SpecExecutor::create(N))` — and the config
+/// shares ownership of the handle.
 ///
 /// Semantics mirror the paper:
 ///  * the prediction function g is indexed by the iteration and g(Low) is
@@ -85,8 +88,10 @@
 ///    in-order on the calling thread (`SpeculationStats::DegradedChunks`,
 ///    `SpecEventKind::Degrade`) — each remaining chunk executes exactly
 ///    once, never speculatively plus again;
-///  * `SpecConfig::statsOut(&S)` publishes the run's statistics even when
-///    the run throws (timeout, user exception, injected fault).
+///  * `SpecConfig::statsOut(&Snap)` publishes the run's statistics — a
+///    `stats::Snapshot` pairing the speculation counters with the
+///    resolved executor's activity delta — even when the run throws
+///    (timeout, user exception, injected fault).
 ///
 /// Observability: `SpecConfig::trace(&Tracer)` installs an event sink
 /// (runtime/Telemetry.h) that records the whole attempt lifecycle —
@@ -95,9 +100,14 @@
 /// as a Chrome trace_event timeline. With no sink installed every
 /// instrumentation site is a single pointer test.
 ///
-/// The pre-redesign `Options` + `SpeculationStats*` out-param overloads
-/// remain as deprecated thin wrappers; see docs/runtime-api.md for the
-/// migration table.
+/// Executor ownership is explicit: `SpecConfig::executor()` takes a
+/// reference-counted `std::shared_ptr<SpecExecutor>` (or a borrowed
+/// reference the caller guarantees outlives the run); with none set, the
+/// run resolves to a transient executor (`threads(N > 0)`) or the
+/// process's default shard, `SpecExecutor::defaultShard()`. The
+/// pre-redesign `Options` overloads are gone; `sharedExecutor()` and the
+/// `SpeculationStats*` stats sink remain as deprecated forwards for one
+/// release — see docs/runtime-api.md for the migration table.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -107,8 +117,8 @@
 #include "runtime/EventCount.h"
 #include "runtime/FaultPlan.h"
 #include "runtime/SpecExecutor.h"
+#include "runtime/Stats.h"
 #include "runtime/Telemetry.h"
-#include "runtime/ThreadPool.h"
 
 #include <algorithm>
 #include <atomic>
@@ -134,34 +144,6 @@ namespace rt {
 /// re-dispatched with i-1's speculative output if that output contradicts
 /// the prediction — validation work overlaps with speculation.
 enum class ValidationMode { Seq, Par };
-
-/// Counters reported by a speculative run. For chunked iteration the
-/// counters are at chunk granularity: one task and (after the first chunk)
-/// one validated prediction per chunk.
-struct SpeculationStats {
-  /// Speculative task executions dispatched to the executor.
-  int64_t Tasks = 0;
-  /// Resolved prediction points: iteration boundaries after the first,
-  /// plus every apply() resolution — including eager producer aborts and
-  /// throwing predictors, where no guess was available to compare.
-  int64_t Predictions = 0;
-  /// Prediction points whose predicted value differed from the true one.
-  /// Only counted when a guess actually existed; see FailedPredictions.
-  int64_t Mispredictions = 0;
-  /// Prediction points resolved without a usable guess: the predictor
-  /// threw, the equality comparator threw while validating, or an eager
-  /// producer abort cancelled the predictor before it produced one.
-  /// Disjoint from Mispredictions (nothing was reliably compared).
-  int64_t FailedPredictions = 0;
-  /// Consumer/iteration re-executions performed by the validator itself.
-  int64_t Reexecutions = 0;
-  /// Chunks executed in-order by the adaptive sequential fallback after
-  /// the degrade monitor tripped (SpecConfig::degrade()). Disjoint from
-  /// Reexecutions: a degraded chunk runs exactly once, non-speculatively.
-  int64_t DegradedChunks = 0;
-
-  std::string str() const;
-};
 
 /// Thrown by a speculative run whose `SpecConfig::deadline()` expired.
 /// By the time it propagates every in-flight attempt has been cancelled
@@ -195,23 +177,26 @@ template <> struct SpecResult<void> { SpeculationStats Stats; };
 
 /// Fluent configuration for a speculative run.
 ///
-///   SpecConfig().threads(8).mode(ValidationMode::Par).executor(&Ex)
+///   SpecConfig().threads(8).mode(ValidationMode::Par).executor(Shard)
 ///
 /// Executor resolution order:
-///  1. an explicit `executor(&Ex)` wins;
+///  1. an explicit `executor(...)` wins — either an owning
+///     `std::shared_ptr<SpecExecutor>` handle (the config shares
+///     ownership, so the executor outlives every run configured with it)
+///     or a borrowed `SpecExecutor &` the caller keeps alive;
 ///  2. otherwise `threads(N)` with N > 0 creates a transient N-worker
 ///     executor for this one run;
 ///  3. otherwise (the default, equivalently `threads(0)` = "one worker
-///     per hardware thread") the run uses the shared process-wide
-///     `SpecExecutor::process()`, which has exactly
+///     per hardware thread") the run uses the process's default shard,
+///     `SpecExecutor::defaultShard()`, which has exactly
 ///     `std::thread::hardware_concurrency()` workers.
 class SpecConfig {
 public:
   SpecConfig() = default;
 
   /// Worker threads for a transient executor; `0` (the default) means
-  /// "use std::thread::hardware_concurrency()" via the process-wide
-  /// executor. Ignored when an explicit executor is set.
+  /// "use std::thread::hardware_concurrency()" via the process's default
+  /// shard. Ignored when an explicit executor is set.
   SpecConfig &threads(unsigned N) {
     NumThreads = N;
     return *this;
@@ -221,11 +206,23 @@ public:
     Mode = M;
     return *this;
   }
-  /// Runs on \p E instead of a transient or the process-wide executor.
-  /// Sharing one executor between concurrent and *nested* runs is safe:
-  /// a run that blocks inside the executor helps drain queued tasks.
-  SpecConfig &executor(SpecExecutor *E) {
-    Ex = E;
+  /// Runs on \p E instead of a transient or the default-shard executor.
+  /// The config shares ownership of the handle: the executor cannot be
+  /// destroyed out from under a run (or a queued job holding a copy of
+  /// this config). Sharing one executor between concurrent and *nested*
+  /// runs is safe: a run that blocks inside the executor helps drain
+  /// queued tasks.
+  SpecConfig &executor(std::shared_ptr<SpecExecutor> E) {
+    Ex = std::move(E);
+    return *this;
+  }
+  /// Borrowing overload: runs on \p E without taking ownership. The
+  /// caller guarantees \p E outlives every run configured with this
+  /// config (the typical case: a stack-owned executor in a test or
+  /// bench).
+  SpecConfig &executor(SpecExecutor &E) {
+    // Aliasing handle: shares no control block, never deletes.
+    Ex = std::shared_ptr<SpecExecutor>(std::shared_ptr<void>(), &E);
     return *this;
   }
   /// apply() only — the paper's Section 3.3 termination fix: when the
@@ -287,7 +284,18 @@ public:
   /// Publishes the run's statistics into \p S when the run ends — on
   /// success *and* on every throwing path (user exception, injected
   /// fault, SpecTimeoutError), where the SpecResult carrying them never
-  /// materializes. \p S must outlive the run.
+  /// materializes. The snapshot's `Spec` half is the run's speculation
+  /// counters; its `Exec` half is the resolved executor's activity delta
+  /// across exactly this run. \p S must outlive the run.
+  SpecConfig &statsOut(stats::Snapshot *S) {
+    SnapSink = S;
+    return *this;
+  }
+  /// Deprecated speculation-counters-only sink; superseded by the
+  /// `stats::Snapshot` overload, which also attributes executor
+  /// activity. Kept as a thin forward for one release.
+  [[deprecated("pass a stats::Snapshot*; the SpeculationStats half is "
+               "Snapshot::Spec")]]
   SpecConfig &statsOut(SpeculationStats *S) {
     StatsSink = S;
     return *this;
@@ -315,7 +323,12 @@ public:
 
   unsigned threads() const { return NumThreads; }
   ValidationMode mode() const { return Mode; }
-  SpecExecutor *executor() const { return Ex; }
+  /// The explicitly configured executor (nullptr when none was set).
+  SpecExecutor *executor() const { return Ex.get(); }
+  /// The explicitly configured ownership handle (empty when none was
+  /// set; non-owning when the borrowing `executor(SpecExecutor &)`
+  /// overload was used).
+  const std::shared_ptr<SpecExecutor> &executorHandle() const { return Ex; }
   bool eagerProducerAbort() const { return EagerAbort; }
   Tracer *trace() const { return TraceSink; }
   FaultPlan *faults() const { return FaultSink; }
@@ -323,22 +336,32 @@ public:
   double degradeThreshold() const { return DegradeThresh; }
   int degradeWindow() const { return DegradeWin; }
   SpeculationStats *statsOut() const { return StatsSink; }
+  stats::Snapshot *statsSnapshotOut() const { return SnapSink; }
   int64_t autotuneTargetMicros() const { return AutotuneUs; }
 
   /// The persistent executor this config resolves to — the explicit one,
-  /// or the process-wide default — or nullptr when the run will create a
-  /// transient executor (`threads(N > 0)` without `executor()`). Lets
-  /// callers snapshot `SpecExecutor::stats()` around a run.
-  SpecExecutor *sharedExecutor() const {
+  /// or the process's default shard — or an empty handle when the run
+  /// will create a transient executor (`threads(N > 0)` without
+  /// `executor()`). The returned handle shares ownership, so it stays
+  /// valid for as long as the caller holds it.
+  std::shared_ptr<SpecExecutor> resolvedExecutor() const {
     if (Ex)
       return Ex;
-    return NumThreads == 0 ? &SpecExecutor::process() : nullptr;
+    return NumThreads == 0 ? SpecExecutor::defaultShard() : nullptr;
+  }
+
+  /// Deprecated raw-pointer form of resolvedExecutor(): conveys no
+  /// ownership. Kept as a thin forward for one release.
+  [[deprecated("use resolvedExecutor(); the shared_ptr it returns names "
+               "the ownership a raw pointer cannot")]]
+  SpecExecutor *sharedExecutor() const {
+    return resolvedExecutor().get();
   }
 
 private:
   unsigned NumThreads = 0;
   ValidationMode Mode = ValidationMode::Seq;
-  SpecExecutor *Ex = nullptr;
+  std::shared_ptr<SpecExecutor> Ex;
   bool EagerAbort = false;
   Tracer *TraceSink = nullptr;
   FaultPlan *FaultSink = nullptr;
@@ -346,6 +369,7 @@ private:
   double DegradeThresh = -1.0;
   int DegradeWin = 8;
   SpeculationStats *StatsSink = nullptr;
+  stats::Snapshot *SnapSink = nullptr;
   int64_t AutotuneUs = 0;
 };
 
@@ -430,25 +454,6 @@ private:
 /// observing `true` is never accepted by the validator, so bailing with a
 /// partial value is always safe.
 bool currentTaskCancelled();
-
-/// Deprecated knobs for a speculative run; superseded by `SpecConfig`.
-/// Kept so pre-redesign call sites keep compiling (see the deprecated
-/// Speculation overloads below).
-struct Options {
-  /// Worker threads used for speculation; `0` means "use
-  /// std::thread::hardware_concurrency()". Ignored when \p Pool is set.
-  unsigned NumThreads = 2;
-  /// Validation mode for iterate().
-  ValidationMode Mode = ValidationMode::Seq;
-  /// Output statistics (optional).
-  SpeculationStats *Stats = nullptr;
-  /// An existing pool to run on; if null a transient executor is created.
-  /// Nested speculation on one shared pool is safe on the SpecExecutor
-  /// substrate: blocked runs help drain queued tasks instead of idling.
-  ThreadPool *Pool = nullptr;
-  /// apply() only — see SpecConfig::eagerProducerAbort().
-  bool EagerProducerAbort = false;
-};
 
 namespace detail {
 
@@ -552,14 +557,41 @@ struct SegRunSync {
   }
 };
 
-/// Copies the run's accumulated statistics into SpecConfig::statsOut()
-/// (when set) on every exit path, including throws.
+/// Copies the run's accumulated statistics into the config's stats sinks
+/// (when set) on every exit path, including throws: the deprecated
+/// `SpeculationStats*` sink gets the counters, a `stats::Snapshot` sink
+/// gets them as its `Spec` half (its `Exec` half is filled by
+/// ExecDeltaGuard, which lives closer to the resolved executor).
 struct StatsOutGuard {
   const SpeculationStats &Local;
   SpeculationStats *Out;
+  stats::Snapshot *Snap = nullptr;
   ~StatsOutGuard() {
     if (Out)
       *Out = Local;
+    if (Snap)
+      Snap->Spec = Local;
+  }
+};
+
+/// Fills a `stats::Snapshot` sink's `Exec` half with the resolved
+/// executor's activity delta across the run. Constructed immediately
+/// after executor resolution — and therefore destroyed *before* a
+/// transient executor is, so the final read never touches a dead
+/// executor. By then the engine has validated or drained every attempt,
+/// so the delta covers the run's work.
+struct ExecDeltaGuard {
+  stats::Snapshot *Snap;
+  SpecExecutor *Ex;
+  ExecutorStats Before{};
+  ExecDeltaGuard(stats::Snapshot *Snap, SpecExecutor &Ex)
+      : Snap(Snap), Ex(&Ex) {
+    if (Snap)
+      Before = Ex.stats();
+  }
+  ~ExecDeltaGuard() {
+    if (Snap)
+      Snap->Exec = Ex->stats() - Before;
   }
 };
 
@@ -583,7 +615,8 @@ public:
                                 const SpecConfig &Cfg = SpecConfig(),
                                 Eq Equal = Eq()) {
     SpecResult<void> Result;
-    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut()};
+    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut(),
+                                Cfg.statsSnapshotOut()};
     applyImpl<T>(std::forward<ProducerFn>(Producer),
                  std::forward<PredictorFn>(Predictor),
                  std::forward<ConsumerFn>(Consumer), Cfg, Equal, Result.Stats);
@@ -600,6 +633,7 @@ private:
                         Eq Equal, SpeculationStats &Stats) {
     std::optional<SpecExecutor> Transient;
     SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
+    detail::ExecDeltaGuard ExecGuard{Cfg.statsSnapshotOut(), Ex};
     Tracer *const Tr = Cfg.trace();
     FaultPlan *const FP = Cfg.faults();
     const std::chrono::steady_clock::time_point Deadline =
@@ -864,13 +898,15 @@ public:
                                     const SpecConfig &Cfg = SpecConfig(),
                                     Eq Equal = Eq()) {
     SpecResult<T> Result;
-    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut()};
+    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut(),
+                                Cfg.statsSnapshotOut()};
     if (High <= Low) {
       Result.Value = Predictor(Low);
       return Result;
     }
     std::optional<SpecExecutor> Transient;
     SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
+    detail::ExecDeltaGuard ExecGuard{Cfg.statsSnapshotOut(), Ex};
     // Plain iteration is chunk-size-1 segmented iteration with per-
     // iteration indices; the init/finalize-per-iteration contract pins
     // the granularity, so the autotuner never applies here.
@@ -934,13 +970,15 @@ public:
           "Speculation::iterateChunked: ChunkSize must be positive, got " +
           std::to_string(ChunkSize));
     SpecResult<T> Result;
-    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut()};
+    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut(),
+                                Cfg.statsSnapshotOut()};
     if (High <= Low) {
       Result.Value = Predictor(Low);
       return Result;
     }
     std::optional<SpecExecutor> Transient;
     SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
+    detail::ExecDeltaGuard ExecGuard{Cfg.statsSnapshotOut(), Ex};
     // The engine segments [Low, High) itself: with the autotuner off the
     // segment grid is exactly the fixed [Low + c*ChunkSize, ...) chunks;
     // with it on, ChunkSize is the initial granularity. Indices reported
@@ -951,52 +989,6 @@ public:
         Predictor, Finalize, Cfg, Ex, Equal, Result.Stats);
     Result.Value = Engine.run();
     return Result;
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Deprecated Options-based surface (thin wrappers over the SpecConfig
-  // API). configFromOptions() routes Options::Stats through
-  // SpecConfig::statsOut(), so stats reach the out-param on success and
-  // on every throwing path alike.
-  //===--------------------------------------------------------------------===//
-
-  template <typename T, typename ProducerFn, typename PredictorFn,
-            typename ConsumerFn, typename Eq = std::equal_to<T>>
-  [[deprecated("use the SpecConfig overload; stats are returned in "
-               "SpecResult")]] static void
-  apply(ProducerFn &&Producer, PredictorFn &&Predictor, ConsumerFn &&Consumer,
-        const Options &Opts, Eq Equal = Eq()) {
-    apply<T>(std::forward<ProducerFn>(Producer),
-             std::forward<PredictorFn>(Predictor),
-             std::forward<ConsumerFn>(Consumer), configFromOptions(Opts),
-             Equal);
-  }
-
-  template <typename T, typename BodyFn, typename PredictorFn,
-            typename Eq = std::equal_to<T>>
-  [[deprecated("use the SpecConfig overload; stats are returned in "
-               "SpecResult")]] static T
-  iterate(int64_t Low, int64_t High, BodyFn &&Body, PredictorFn &&Predictor,
-          const Options &Opts, Eq Equal = Eq()) {
-    SpecResult<T> R = iterate<T>(Low, High, std::forward<BodyFn>(Body),
-                                 std::forward<PredictorFn>(Predictor),
-                                 configFromOptions(Opts), Equal);
-    return std::move(R.Value);
-  }
-
-  template <typename T, typename U, typename InitFn, typename BodyFn,
-            typename PredictorFn, typename FinalFn,
-            typename Eq = std::equal_to<T>>
-  [[deprecated("use the SpecConfig overload; stats are returned in "
-               "SpecResult")]] static T
-  iterateLocal(int64_t Low, int64_t High, InitFn &&Init, BodyFn &&Body,
-               PredictorFn &&Predictor, FinalFn &&Finalize,
-               const Options &Opts, Eq Equal = Eq()) {
-    SpecResult<T> R = iterateLocal<T, U>(
-        Low, High, std::forward<InitFn>(Init), std::forward<BodyFn>(Body),
-        std::forward<PredictorFn>(Predictor), std::forward<FinalFn>(Finalize),
-        configFromOptions(Opts), Equal);
-    return std::move(R.Value);
   }
 
 private:
@@ -1951,7 +1943,7 @@ private:
         Transient->injectFaults(Cfg.faults());
       return *Transient;
     }
-    return SpecExecutor::process();
+    return *SpecExecutor::defaultShard();
   }
 
   /// The absolute deadline of a run starting now (time_point::max() when
@@ -1980,18 +1972,6 @@ private:
       Threw = true;
       return false;
     }
-  }
-
-  static SpecConfig configFromOptions(const Options &Opts) {
-    SpecConfig Cfg;
-    Cfg.mode(Opts.Mode)
-        .eagerProducerAbort(Opts.EagerProducerAbort)
-        .statsOut(Opts.Stats);
-    if (Opts.Pool)
-      Cfg.executor(&Opts.Pool->executor());
-    else
-      Cfg.threads(Opts.NumThreads);
-    return Cfg;
   }
 
   /// Waits until \p Pred holds, helping the executor when the calling

@@ -1,0 +1,102 @@
+//===- runtime/Stats.h - Unified run-statistics surface ---------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified statistics surface for speculative runs:
+///
+///  * `SpeculationStats` — the speculation layer's counters (tasks,
+///    predictions, mispredictions, re-executions, degraded chunks), at
+///    iteration or chunk granularity depending on the entry point;
+///  * `ExecutorStats` (runtime/SpecExecutor.h) — the executor substrate's
+///    activity counters (submits, pops, steals, help-runs, parks);
+///  * `stats::Snapshot` — the two paired for one span of work.
+///
+/// `SpecConfig::statsOut(stats::Snapshot *)` fills one snapshot per run:
+/// the `Spec` half on every exit path (success and throws alike), the
+/// `Exec` half as a delta of the resolved executor's counters across the
+/// run. Snapshots accumulate with `+=`, which is how per-run statistics
+/// aggregate into the per-shard and per-tenant totals the serving layer's
+/// metrics endpoint renders (src/serving/Metrics.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_STATS_H
+#define SPECPAR_RUNTIME_STATS_H
+
+#include "runtime/SpecExecutor.h"
+
+#include <cstdint>
+#include <string>
+
+namespace specpar {
+namespace rt {
+
+/// Counters reported by a speculative run. For chunked iteration the
+/// counters are at chunk granularity: one task and (after the first chunk)
+/// one validated prediction per chunk.
+struct SpeculationStats {
+  /// Speculative task executions dispatched to the executor.
+  int64_t Tasks = 0;
+  /// Resolved prediction points: iteration boundaries after the first,
+  /// plus every apply() resolution — including eager producer aborts and
+  /// throwing predictors, where no guess was available to compare.
+  int64_t Predictions = 0;
+  /// Prediction points whose predicted value differed from the true one.
+  /// Only counted when a guess actually existed; see FailedPredictions.
+  int64_t Mispredictions = 0;
+  /// Prediction points resolved without a usable guess: the predictor
+  /// threw, the equality comparator threw while validating, or an eager
+  /// producer abort cancelled the predictor before it produced one.
+  /// Disjoint from Mispredictions (nothing was reliably compared).
+  int64_t FailedPredictions = 0;
+  /// Consumer/iteration re-executions performed by the validator itself.
+  int64_t Reexecutions = 0;
+  /// Chunks executed in-order by the adaptive sequential fallback after
+  /// the degrade monitor tripped (SpecConfig::degrade()). Disjoint from
+  /// Reexecutions: a degraded chunk runs exactly once, non-speculatively.
+  int64_t DegradedChunks = 0;
+
+  /// Counter-wise accumulation (all six counters are monotone totals).
+  SpeculationStats &operator+=(const SpeculationStats &O) {
+    Tasks += O.Tasks;
+    Predictions += O.Predictions;
+    Mispredictions += O.Mispredictions;
+    FailedPredictions += O.FailedPredictions;
+    Reexecutions += O.Reexecutions;
+    DegradedChunks += O.DegradedChunks;
+    return *this;
+  }
+
+  std::string str() const;
+};
+
+namespace stats {
+
+/// One span's worth of statistics: what the speculation layer did and
+/// what executor activity it drove. `Exec` is a *delta* (the resolved
+/// executor's counters across exactly this span), so snapshots from runs
+/// sharing one executor attribute activity without double counting.
+struct Snapshot {
+  SpeculationStats Spec;
+  ExecutorStats Exec;
+
+  /// Accumulates another span into this one (counter-wise; the Exec
+  /// high-water mark keeps the max).
+  Snapshot &operator+=(const Snapshot &O) {
+    Spec += O.Spec;
+    Exec += O.Exec;
+    return *this;
+  }
+
+  std::string str() const { return Spec.str() + " | " + Exec.str(); }
+};
+
+} // namespace stats
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_STATS_H

@@ -6,9 +6,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The pre-SpecExecutor pool interface, kept as a thin compatibility shim:
-/// a `ThreadPool` now owns a `SpecExecutor` and forwards to it. New code
-/// should use `SpecExecutor` (or just `SpecConfig`) directly.
+/// The pre-SpecExecutor pool interface, kept as a deprecated thin
+/// compatibility shim: a `ThreadPool` owns a `SpecExecutor` and forwards
+/// to it. Nothing in-tree uses it any more — new code names its executor
+/// explicitly with `SpecExecutor::create()` and
+/// `SpecConfig::executor(handle)`, which expresses the ownership this
+/// shim only implied. Scheduled for removal one release after the
+/// executor-ownership redesign.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,7 +32,9 @@ namespace rt {
 /// Destruction waits for all queued and running tasks to finish. Tasks must
 /// not throw (the speculation runtime catches user exceptions before they
 /// reach the pool).
-class ThreadPool {
+class [[deprecated("own the executor directly: SpecExecutor::create(N) "
+                   "returns a shared_ptr handle SpecConfig::executor() "
+                   "accepts")]] ThreadPool {
 public:
   /// Creates a pool with \p NumThreads workers; `0` means "one worker per
   /// hardware thread" (`std::thread::hardware_concurrency()`, at least

@@ -1,0 +1,151 @@
+//===- serving/HttpMetricsServer.cpp - /metrics over HTTP -----------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/HttpMetricsServer.h"
+
+#include "serving/ServerContext.h"
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace specpar {
+namespace serving {
+
+namespace {
+
+/// Writes all of \p Data to \p Fd (best effort; the peer may close).
+void writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return;
+    Off += static_cast<size_t>(N);
+  }
+}
+
+/// Reads until the header terminator (one request per connection, no
+/// body expected on GET). Bounded to keep a misbehaving client cheap.
+std::string readRequest(int Fd) {
+  std::string Req;
+  char Buf[2048];
+  while (Req.size() < 16 * 1024 &&
+         Req.find("\r\n\r\n") == std::string::npos) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Req.append(Buf, static_cast<size_t>(N));
+  }
+  return Req;
+}
+
+} // namespace
+
+HttpMetricsServer::HttpMetricsServer(ServerContext &Ctx, uint16_t Port)
+    : Ctx(Ctx) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    throw std::runtime_error("metrics endpoint: socket() failed");
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 16) < 0) {
+    ::close(Fd);
+    throw std::runtime_error("metrics endpoint: bind/listen failed");
+  }
+  socklen_t Len = sizeof(Addr);
+  ::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len);
+  BoundPort = ntohs(Addr.sin_port);
+  ListenFd.store(Fd, std::memory_order_release);
+  Loop = std::thread([this] { acceptLoop(); });
+}
+
+HttpMetricsServer::~HttpMetricsServer() { stop(); }
+
+void HttpMetricsServer::stop() {
+  // Publish -1 first; the loop re-reads between polls and exits, so the
+  // close below can never race an accept() on a live fd.
+  int Fd = ListenFd.exchange(-1, std::memory_order_acq_rel);
+  if (Fd < 0)
+    return;
+  if (Loop.joinable())
+    Loop.join();
+  ::close(Fd);
+}
+
+void HttpMetricsServer::acceptLoop() {
+  const int Fd = ListenFd.load(std::memory_order_acquire);
+  for (;;) {
+    // Poll with a short timeout so stop() (which clears ListenFd) is
+    // observed without needing to race close() against accept().
+    pollfd P{Fd, POLLIN, 0};
+    int Ready = ::poll(&P, 1, 50);
+    if (ListenFd.load(std::memory_order_acquire) < 0)
+      return;
+    if (Ready <= 0 || !(P.revents & POLLIN))
+      continue;
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    std::string Req = readRequest(Client);
+    std::string Body, Status = "200 OK",
+                       ContentType = "text/plain; version=0.0.4";
+    if (Req.rfind("GET /metrics", 0) == 0) {
+      Body = Ctx.metricsText();
+    } else if (Req.rfind("GET /healthz", 0) == 0) {
+      Body = "ok\n";
+      ContentType = "text/plain";
+    } else {
+      Status = "404 Not Found";
+      Body = "not found\n";
+      ContentType = "text/plain";
+    }
+    std::string Resp = "HTTP/1.1 " + Status +
+                       "\r\nContent-Type: " + ContentType +
+                       "\r\nContent-Length: " + std::to_string(Body.size()) +
+                       "\r\nConnection: close\r\n\r\n" + Body;
+    writeAll(Client, Resp);
+    ::close(Client);
+  }
+}
+
+std::string HttpMetricsServer::get(uint16_t Port, const std::string &Path) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Req = "GET " + Path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                    "Connection: close\r\n\r\n";
+  writeAll(Fd, Req);
+  std::string Resp;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+    Resp.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  return Resp;
+}
+
+} // namespace serving
+} // namespace specpar

@@ -1,0 +1,68 @@
+//===- serving/HttpMetricsServer.h - /metrics over HTTP ---------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately tiny HTTP/1.1 endpoint for the specd metrics: one
+/// accept-loop thread on a loopback POSIX socket, `GET /metrics`
+/// answered with `ServerContext::metricsText()` as
+/// `text/plain; version=0.0.4`, anything else with 404. One request per
+/// connection (`Connection: close`), no TLS, no keep-alive, no
+/// dependencies — it exists so a Prometheus scraper (or curl in the
+/// smoke test) can watch a running specd, not to be a web server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SERVING_HTTPMETRICSSERVER_H
+#define SPECPAR_SERVING_HTTPMETRICSSERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace specpar {
+namespace serving {
+
+class ServerContext;
+
+class HttpMetricsServer {
+public:
+  /// Binds 127.0.0.1:\p Port (0 picks an ephemeral port) and starts the
+  /// accept loop. Throws std::runtime_error when the bind fails.
+  HttpMetricsServer(ServerContext &Ctx, uint16_t Port);
+
+  /// Stops accepting and joins the loop.
+  ~HttpMetricsServer();
+
+  HttpMetricsServer(const HttpMetricsServer &) = delete;
+  HttpMetricsServer &operator=(const HttpMetricsServer &) = delete;
+
+  /// The actually bound port (resolves Port==0).
+  uint16_t port() const { return BoundPort; }
+
+  void stop();
+
+  /// Blocking loopback scrape of `GET \p Path` from \p Port; returns the
+  /// whole response (headers + body), or an empty string on connect
+  /// failure. A test/CLI convenience, not a general HTTP client.
+  static std::string get(uint16_t Port, const std::string &Path);
+
+private:
+  void acceptLoop();
+
+  ServerContext &Ctx;
+  /// The listening socket; stop() publishes -1 so the accept loop (which
+  /// re-reads it between polls) exits without racing a close().
+  std::atomic<int> ListenFd{-1};
+  uint16_t BoundPort = 0;
+  std::thread Loop;
+};
+
+} // namespace serving
+} // namespace specpar
+
+#endif // SPECPAR_SERVING_HTTPMETRICSSERVER_H

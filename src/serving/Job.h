@@ -1,0 +1,125 @@
+//===- serving/Job.h - specd job and result types ---------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of work `specd` serves. A job names one of the paper's three
+/// applications (lexing, Huffman decoding, MWIS) to run against the
+/// server's preloaded workload catalog, or carries an arbitrary callable
+/// that receives the shard-bound `rt::SpecConfig` and runs its own
+/// speculative computation on it.
+///
+/// Results are value + unified `rt::stats::Snapshot` + latency, with the
+/// outcome classified the way the runtime classifies aborts: a deadline
+/// expiry is `TimedOut`, an injected/user fault is `Faulted`, a full
+/// admission queue is `Rejected` (the job never ran).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SERVING_JOB_H
+#define SPECPAR_SERVING_JOB_H
+
+#include "huffman/Huffman.h"
+#include "lexgen/Lexer.h"
+#include "runtime/Stats.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace specpar {
+namespace rt {
+class SpecConfig;
+} // namespace rt
+namespace serving {
+
+/// What a job asks the server to run.
+enum class JobKind : uint8_t {
+  Lex,      ///< Speculative lexing over the catalog's source text.
+  Decode,   ///< Speculative Huffman decoding of the catalog's bit stream.
+  Mwis,     ///< Two-phase speculative MWIS over the catalog's path graph.
+  Callable, ///< A caller-supplied function run under the tenant's config.
+};
+
+const char *jobKindName(JobKind K);
+
+struct Job {
+  JobKind Kind = JobKind::Lex;
+  /// For `Callable`: the work itself. Receives the fully lowered config
+  /// (tenant policy bound to the admitting shard's executor) and returns
+  /// an application-defined value surfaced as `JobResult::Value`.
+  std::function<int64_t(const rt::SpecConfig &)> Fn;
+
+  static Job lex() { return {JobKind::Lex, nullptr}; }
+  static Job decode() { return {JobKind::Decode, nullptr}; }
+  static Job mwis() { return {JobKind::Mwis, nullptr}; }
+  static Job callable(std::function<int64_t(const rt::SpecConfig &)> F) {
+    return {JobKind::Callable, std::move(F)};
+  }
+};
+
+/// Terminal state of a served job.
+enum class JobOutcome : uint8_t {
+  Ok,       ///< Completed; output verified against the catalog oracle.
+  TimedOut, ///< The tenant's deadline expired (rt::SpecTimeoutError).
+  Faulted,  ///< The run threw (rt::SpecFaultError or a user exception).
+  Rejected, ///< Admission refused the job (queue full / unknown tenant /
+            ///< server draining); it never reached an executor.
+};
+
+const char *jobOutcomeName(JobOutcome O);
+
+struct JobResult {
+  JobOutcome Outcome = JobOutcome::Rejected;
+  /// Application value: token count (Lex), decoded bytes (Decode), total
+  /// weight (Mwis), or the callable's return.
+  int64_t Value = 0;
+  /// The run's unified speculation + executor-delta statistics.
+  rt::stats::Snapshot Stats;
+  /// Enqueue-to-completion wall time (queueing included).
+  std::chrono::nanoseconds Latency{0};
+  /// Index of the shard that executed (or rejected) the job.
+  unsigned Shard = 0;
+  /// For Faulted/Rejected: what went wrong.
+  std::string Error;
+};
+
+/// The datasets every app job runs against, built once at server start
+/// so request handling never regenerates inputs. Oracles are the
+/// sequential results; every speculative run is checked against them
+/// (a mismatch is a server bug, reported as Faulted).
+///
+/// Non-copyable and non-movable: `Bits` aliases `Enc.Bytes`, so the
+/// catalog is pinned where it was constructed.
+class WorkloadCatalog {
+public:
+  /// Builds the catalog at roughly \p Scale bytes/symbols/nodes per
+  /// dataset (clamped to a small floor so tiny smoke scales still
+  /// exercise every app).
+  explicit WorkloadCatalog(int64_t Scale, uint64_t Seed = 17);
+
+  WorkloadCatalog(const WorkloadCatalog &) = delete;
+  WorkloadCatalog &operator=(const WorkloadCatalog &) = delete;
+
+  lexgen::Lexer Lex;
+  std::string Text;
+  int64_t LexOracleTokens = 0;
+
+  huffman::Encoded Enc;
+  huffman::Decoder Dec;
+  huffman::BitReader Bits;
+  std::vector<uint8_t> HuffOracle;
+
+  std::vector<int64_t> Weights;
+  int64_t MwisOracleWeight = 0;
+};
+
+} // namespace serving
+} // namespace specpar
+
+#endif // SPECPAR_SERVING_JOB_H

@@ -1,0 +1,99 @@
+//===- serving/Metrics.cpp - Prometheus text exposition -------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/Metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace specpar {
+namespace serving {
+
+std::string escapeLabelValue(const std::string &V) {
+  std::string Out;
+  Out.reserve(V.size());
+  for (char C : V) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+void PrometheusWriter::family(const std::string &Name, const std::string &Help,
+                              const char *Type) {
+  Out += "# HELP " + Name + " " + Help + "\n";
+  Out += "# TYPE " + Name + " ";
+  Out += Type;
+  Out += "\n";
+}
+
+void PrometheusWriter::appendLabels(const Labels &L) {
+  if (L.empty())
+    return;
+  Out += "{";
+  for (size_t I = 0; I < L.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += L[I].first + "=\"" + escapeLabelValue(L[I].second) + "\"";
+  }
+  Out += "}";
+}
+
+void PrometheusWriter::sample(const std::string &Name, const Labels &L,
+                              double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", Value);
+  Out += Name;
+  appendLabels(L);
+  Out += " ";
+  Out += Buf;
+  Out += "\n";
+}
+
+void PrometheusWriter::sample(const std::string &Name, const Labels &L,
+                              uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Value);
+  Out += Name;
+  appendLabels(L);
+  Out += " ";
+  Out += Buf;
+  Out += "\n";
+}
+
+void PrometheusWriter::histogram(const std::string &Name, const Labels &L,
+                                 const LatencyHistogram &H) {
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < LatencyHistogram::Bounds.size(); ++I) {
+    Cum += H.counts()[I];
+    Labels BL = L;
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", LatencyHistogram::Bounds[I]);
+    BL.emplace_back("le", Buf);
+    sample(Name + "_bucket", BL, Cum);
+  }
+  Cum += H.counts()[LatencyHistogram::Bounds.size()];
+  Labels InfL = L;
+  InfL.emplace_back("le", "+Inf");
+  sample(Name + "_bucket", InfL, Cum);
+  sample(Name + "_sum", L, H.sum());
+  sample(Name + "_count", L, H.count());
+}
+
+} // namespace serving
+} // namespace specpar

@@ -1,0 +1,101 @@
+//===- serving/Metrics.h - Prometheus text exposition -----------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal Prometheus text-format (version 0.0.4) rendering for the
+/// specd metrics endpoint: `# HELP` / `# TYPE` headers emitted once per
+/// family, samples with sorted label sets, histograms in the cumulative
+/// `_bucket`/`_sum`/`_count` encoding. No dependency beyond the standard
+/// library — the format is plain text by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SERVING_METRICS_H
+#define SPECPAR_SERVING_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace specpar {
+namespace serving {
+
+/// A fixed-bound latency histogram. Counts are kept per-bucket (the
+/// writer cumulates when rendering, as the exposition format's `le`
+/// buckets require); the last slot counts observations above every
+/// bound (the `+Inf` bucket).
+class LatencyHistogram {
+public:
+  /// Bucket upper bounds in seconds: 100us .. 10s, roughly 1-2.5-5 per
+  /// decade — wide enough for queueing delay under overload.
+  static constexpr std::array<double, 12> Bounds = {
+      1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+      1e-2, 2.5e-2, 5e-2, 1e-1, 1.0,    10.0};
+
+  void observe(double Seconds) {
+    size_t I = 0;
+    while (I < Bounds.size() && Seconds > Bounds[I])
+      ++I;
+    ++Counts[I];
+    Sum += Seconds;
+    ++Count;
+  }
+
+  const std::array<uint64_t, Bounds.size() + 1> &counts() const {
+    return Counts;
+  }
+  double sum() const { return Sum; }
+  uint64_t count() const { return Count; }
+
+private:
+  std::array<uint64_t, Bounds.size() + 1> Counts{};
+  double Sum = 0;
+  uint64_t Count = 0;
+};
+
+/// Streams one exposition document. Families must be opened (help/type
+/// emitted) before their samples; the writer enforces nothing beyond
+/// escaping, so callers emit families in one contiguous block each, as
+/// the format requires.
+class PrometheusWriter {
+public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Opens a family: `# HELP name help` + `# TYPE name type`.
+  void family(const std::string &Name, const std::string &Help,
+              const char *Type);
+
+  /// One sample of the most recently opened family (or of \p Name
+  /// histogram series, which share the family prefix).
+  void sample(const std::string &Name, const Labels &L, double Value);
+  void sample(const std::string &Name, const Labels &L, uint64_t Value);
+
+  /// Renders \p H as `Name_bucket{...,le="..."}` series plus `_sum` and
+  /// `_count`, with \p L prepended to every label set. The caller opens
+  /// the family (type `histogram`) once, then renders one label set per
+  /// call — the format allows one header per family only.
+  void histogram(const std::string &Name, const Labels &L,
+                 const LatencyHistogram &H);
+
+  std::string str() && { return std::move(Out); }
+  const std::string &str() const & { return Out; }
+
+private:
+  void appendLabels(const Labels &L);
+  std::string Out;
+};
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+std::string escapeLabelValue(const std::string &V);
+
+} // namespace serving
+} // namespace specpar
+
+#endif // SPECPAR_SERVING_METRICS_H

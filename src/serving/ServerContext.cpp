@@ -1,0 +1,247 @@
+//===- serving/ServerContext.cpp - The specd multi-tenant server ----------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/ServerContext.h"
+
+#include "runtime/Telemetry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace specpar {
+namespace serving {
+
+ServerContext::ServerContext(const ServerOptions &O)
+    : Opts(O), Catalog(O.WorkloadScale) {
+  const unsigned NumShards = std::max(1u, O.NumShards);
+  unsigned PerShard = O.ThreadsPerShard;
+  if (PerShard == 0)
+    PerShard = std::max(1u, std::thread::hardware_concurrency() / NumShards);
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(
+        std::make_unique<Shard>(I, PerShard, O.QueueCapacity, Catalog));
+}
+
+ServerContext::~ServerContext() { shutdown(); }
+
+void ServerContext::registerTenant(TenantPolicy P) {
+  std::lock_guard<std::mutex> Lock(TenantsM);
+  std::string Name = P.Name;
+  Tenants[Name] = std::make_unique<TenantState>(std::move(P));
+}
+
+TenantState *ServerContext::tenant(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(TenantsM);
+  auto It = Tenants.find(Name);
+  return It == Tenants.end() ? nullptr : It->second.get();
+}
+
+Shard &ServerContext::pickShard() {
+  if (Opts.Admission == AdmissionPolicy::RoundRobin)
+    return *Shards[NextShard.fetch_add(1, std::memory_order_relaxed) %
+                   Shards.size()];
+  Shard *Best = Shards.front().get();
+  uint64_t BestLoad = Best->load();
+  for (auto &S : Shards) {
+    uint64_t L = S->load();
+    if (L < BestLoad) {
+      Best = S.get();
+      BestLoad = L;
+    }
+  }
+  return *Best;
+}
+
+std::future<JobResult> ServerContext::submit(const std::string &Tenant,
+                                             Job Work) {
+  TenantState *TS = tenant(Tenant);
+  auto RejectNow = [&](const char *Why) {
+    std::promise<JobResult> P;
+    JobResult R;
+    R.Outcome = JobOutcome::Rejected;
+    R.Error = Why;
+    if (TS)
+      TS->record(R);
+    P.set_value(std::move(R));
+    return P.get_future();
+  };
+  if (!TS)
+    return RejectNow("unknown tenant");
+  if (Down.load(std::memory_order_acquire))
+    return RejectNow("server shut down");
+
+  Ticket T;
+  T.Work = std::move(Work);
+  T.Tenant = TS;
+  T.Enqueued = std::chrono::steady_clock::now();
+  std::future<JobResult> F = T.Promise.get_future();
+  Shard &S = pickShard();
+  if (!S.enqueue(std::move(T)))
+    return RejectNow("shard queue full");
+  return F;
+}
+
+void ServerContext::drain() {
+  for (auto &S : Shards)
+    S->drain();
+}
+
+void ServerContext::shutdown() {
+  if (Down.exchange(true, std::memory_order_acq_rel))
+    return;
+  for (auto &S : Shards)
+    S->drain();
+  for (auto &S : Shards)
+    S->stop();
+}
+
+std::string ServerContext::metricsText() const {
+  PrometheusWriter W;
+
+  W.family("specd_shards", "Executor shards this server runs.", "gauge");
+  W.sample("specd_shards", {}, static_cast<uint64_t>(Shards.size()));
+
+  W.family("specd_queue_depth", "Jobs waiting in a shard's admission queue.",
+           "gauge");
+  for (auto &S : Shards)
+    W.sample("specd_queue_depth",
+             {{"shard", std::to_string(S->index())}},
+             static_cast<uint64_t>(S->queueDepth()));
+
+  W.family("specd_jobs_completed_total",
+           "Jobs a shard has finished (any outcome).", "counter");
+  for (auto &S : Shards)
+    W.sample("specd_jobs_completed_total",
+             {{"shard", std::to_string(S->index())}}, S->completedJobs());
+
+  // Shard executor substrate counters, straight from ExecutorStats.
+  struct ExecField {
+    const char *Name;
+    const char *Help;
+    uint64_t rt::ExecutorStats::*Member;
+  };
+  static const ExecField ExecFields[] = {
+      {"specd_executor_submits_total", "Tasks submitted to the executor.",
+       &rt::ExecutorStats::Submits},
+      {"specd_executor_own_pops_total", "LIFO own-deque pops.",
+       &rt::ExecutorStats::OwnPops},
+      {"specd_executor_injection_pops_total", "Injection-ring pops.",
+       &rt::ExecutorStats::InjectionPops},
+      {"specd_executor_steals_total", "Tasks stolen between workers.",
+       &rt::ExecutorStats::Steals},
+      {"specd_executor_help_runs_total",
+       "Tasks run inline by blocked speculative runs.",
+       &rt::ExecutorStats::HelpRuns},
+      {"specd_executor_eventcount_parks_total", "Worker park operations.",
+       &rt::ExecutorStats::EventcountParks},
+      {"specd_executor_slot_pool_refills_total",
+       "Task-slot cache refills from the global pool.",
+       &rt::ExecutorStats::SlotPoolRefills},
+  };
+  for (const ExecField &F : ExecFields) {
+    W.family(F.Name, F.Help, "counter");
+    for (auto &S : Shards)
+      W.sample(F.Name, {{"shard", std::to_string(S->index())}},
+               S->executorStats().*F.Member);
+  }
+  W.family("specd_executor_peak_queue_depth",
+           "High-water mark of submitted-but-unfinished executor tasks.",
+           "gauge");
+  for (auto &S : Shards)
+    W.sample("specd_executor_peak_queue_depth",
+             {{"shard", std::to_string(S->index())}},
+             S->executorStats().PeakQueueDepth);
+
+  // Per-tenant aggregates. Snapshot the registry under its lock, then
+  // render from the node-stable states without it.
+  std::vector<TenantState *> States;
+  {
+    std::lock_guard<std::mutex> Lock(TenantsM);
+    for (auto &KV : Tenants)
+      States.push_back(KV.second.get());
+  }
+
+  W.family("specd_jobs_total", "Jobs per tenant and terminal outcome.",
+           "counter");
+  for (TenantState *TS : States) {
+    auto Outcomes = TS->outcomes();
+    for (size_t O = 0; O < Outcomes.size(); ++O)
+      W.sample("specd_jobs_total",
+               {{"tenant", TS->Policy.Name},
+                {"outcome", jobOutcomeName(static_cast<JobOutcome>(O))}},
+               Outcomes[O]);
+  }
+
+  struct SpecField {
+    const char *Name;
+    const char *Help;
+    int64_t rt::SpeculationStats::*Member;
+  };
+  static const SpecField SpecFields[] = {
+      {"specd_spec_tasks_total", "Speculative task executions.",
+       &rt::SpeculationStats::Tasks},
+      {"specd_spec_predictions_total", "Resolved prediction points.",
+       &rt::SpeculationStats::Predictions},
+      {"specd_spec_mispredictions_total", "Wrong predicted values.",
+       &rt::SpeculationStats::Mispredictions},
+      {"specd_spec_failed_predictions_total",
+       "Prediction points resolved without a usable guess.",
+       &rt::SpeculationStats::FailedPredictions},
+      {"specd_spec_reexecutions_total", "Validator re-executions.",
+       &rt::SpeculationStats::Reexecutions},
+      {"specd_spec_degraded_chunks_total",
+       "Chunks run sequentially by the adaptive fallback.",
+       &rt::SpeculationStats::DegradedChunks},
+  };
+  for (const SpecField &F : SpecFields) {
+    W.family(F.Name, F.Help, "counter");
+    for (TenantState *TS : States)
+      W.sample(F.Name, {{"tenant", TS->Policy.Name}},
+               static_cast<uint64_t>(
+                   std::max<int64_t>(0, TS->totals().Spec.*F.Member)));
+  }
+
+  W.family("specd_tenant_executor_submits_total",
+           "Executor submits attributed to a tenant's runs (per-run "
+           "deltas summed).",
+           "counter");
+  for (TenantState *TS : States)
+    W.sample("specd_tenant_executor_submits_total",
+             {{"tenant", TS->Policy.Name}}, TS->totals().Exec.Submits);
+
+  W.family("specd_request_latency_seconds",
+           "Enqueue-to-completion job latency.", "histogram");
+  for (TenantState *TS : States)
+    W.histogram("specd_request_latency_seconds",
+                {{"tenant", TS->Policy.Name}}, TS->latency());
+
+  // Trace summaries for tenants that asked for tracing: per-kind event
+  // counts from the tenant's tracer rings.
+  bool AnyTrace = false;
+  for (TenantState *TS : States)
+    AnyTrace = AnyTrace || TS->Trace != nullptr;
+  if (AnyTrace) {
+    W.family("specd_trace_events_total",
+             "Spec-trace events retained per tenant and kind.", "counter");
+    for (TenantState *TS : States) {
+      if (!TS->Trace)
+        continue;
+      std::map<const char *, uint64_t> ByKind;
+      for (const rt::SpecEvent &E : TS->Trace->snapshot())
+        ++ByKind[rt::specEventKindName(E.Kind)];
+      for (auto &KV : ByKind)
+        W.sample("specd_trace_events_total",
+                 {{"tenant", TS->Policy.Name}, {"kind", KV.first}}, KV.second);
+    }
+  }
+
+  return std::move(W).str();
+}
+
+} // namespace serving
+} // namespace specpar

@@ -1,0 +1,116 @@
+//===- serving/ServerContext.h - The specd multi-tenant server --*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving front end over the speculation runtime: a
+/// `ServerContext` owns N isolated executor shards (one `SpecExecutor`
+/// per core group, held through the explicit-ownership
+/// `SpecExecutor::create()` API), a tenant registry mapping names to
+/// `TenantPolicy`s, and an admission policy that places each submitted
+/// job on a shard. Results come back as futures; aggregates are
+/// rendered on demand in Prometheus text format by `metricsText()`
+/// (served over HTTP by serving/HttpMetricsServer.h).
+///
+/// Admission:
+///  * RoundRobin    — shard (n++ % N); fair under uniform job cost.
+///  * LeastLoaded   — the shard with the fewest queued+running jobs;
+///                    better under heterogeneous tenants.
+/// A full shard queue rejects the job (the future resolves immediately
+/// with `JobOutcome::Rejected`) — backpressure is explicit, never a
+/// blocked submit().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SERVING_SERVERCONTEXT_H
+#define SPECPAR_SERVING_SERVERCONTEXT_H
+
+#include "serving/Shard.h"
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specpar {
+namespace serving {
+
+enum class AdmissionPolicy : uint8_t { RoundRobin, LeastLoaded };
+
+struct ServerOptions {
+  /// Executor shards. Each owns `ThreadsPerShard` workers.
+  unsigned NumShards = 2;
+  /// Workers per shard; 0 divides the hardware concurrency evenly
+  /// across shards (floor 1).
+  unsigned ThreadsPerShard = 0;
+  /// Bounded per-shard admission queue.
+  size_t QueueCapacity = 64;
+  AdmissionPolicy Admission = AdmissionPolicy::LeastLoaded;
+  /// Catalog dataset scale (bytes/symbols/nodes).
+  int64_t WorkloadScale = 1 << 16;
+};
+
+class ServerContext {
+public:
+  explicit ServerContext(const ServerOptions &Opts);
+
+  /// Graceful: drains every shard, then stops them.
+  ~ServerContext();
+
+  ServerContext(const ServerContext &) = delete;
+  ServerContext &operator=(const ServerContext &) = delete;
+
+  /// Registers (or replaces) \p P under its name. Call before the
+  /// tenant submits; replacement requires no job of the old policy in
+  /// flight.
+  void registerTenant(TenantPolicy P);
+
+  /// Submits \p Work for \p Tenant. Always returns a valid future: an
+  /// unknown tenant, a full shard queue, or a draining server resolve
+  /// it immediately with `JobOutcome::Rejected`.
+  std::future<JobResult> submit(const std::string &Tenant, Job Work);
+
+  /// Blocks until every shard's queue is empty and idle.
+  void drain();
+
+  /// Drains, then stops every shard. Idempotent; the destructor calls
+  /// it. After shutdown every submit() rejects.
+  void shutdown();
+
+  /// The whole server's state in Prometheus text exposition format
+  /// (version 0.0.4).
+  std::string metricsText() const;
+
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+  Shard &shard(unsigned I) { return *Shards[I]; }
+  const Shard &shard(unsigned I) const { return *Shards[I]; }
+  const WorkloadCatalog &catalog() const { return Catalog; }
+
+  /// The registered tenant's server-side state (null if unknown).
+  /// Stable for the server's lifetime once registered.
+  TenantState *tenant(const std::string &Name);
+
+private:
+  Shard &pickShard();
+
+  const ServerOptions Opts;
+  const WorkloadCatalog Catalog;
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  mutable std::mutex TenantsM;
+  /// node-stable map: TenantState addresses outlive rehashing.
+  std::map<std::string, std::unique_ptr<TenantState>> Tenants;
+
+  std::atomic<uint64_t> NextShard{0}; ///< RoundRobin cursor.
+  std::atomic<bool> Down{false};
+};
+
+} // namespace serving
+} // namespace specpar
+
+#endif // SPECPAR_SERVING_SERVERCONTEXT_H

@@ -1,0 +1,200 @@
+//===- serving/Shard.cpp - One executor shard of specd --------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/Shard.h"
+
+#include "apps/SpeculativeHuffman.h"
+#include "apps/SpeculativeLexing.h"
+#include "apps/SpeculativeMwis.h"
+
+#include <stdexcept>
+
+namespace specpar {
+namespace serving {
+
+const char *jobKindName(JobKind K) {
+  switch (K) {
+  case JobKind::Lex:
+    return "lex";
+  case JobKind::Decode:
+    return "decode";
+  case JobKind::Mwis:
+    return "mwis";
+  case JobKind::Callable:
+    return "callable";
+  }
+  return "?";
+}
+
+const char *jobOutcomeName(JobOutcome O) {
+  switch (O) {
+  case JobOutcome::Ok:
+    return "ok";
+  case JobOutcome::TimedOut:
+    return "timed_out";
+  case JobOutcome::Faulted:
+    return "faulted";
+  case JobOutcome::Rejected:
+    return "rejected";
+  }
+  return "?";
+}
+
+Shard::Shard(unsigned Index, unsigned NumThreads, size_t QueueCapacity,
+             const WorkloadCatalog &Catalog)
+    : Index(Index), QueueCapacity(QueueCapacity), Catalog(Catalog),
+      Ex(rt::SpecExecutor::create(NumThreads)),
+      Dispatcher([this] { dispatchLoop(); }) {}
+
+Shard::~Shard() {
+  stop();
+  if (Dispatcher.joinable())
+    Dispatcher.join();
+}
+
+bool Shard::enqueue(Ticket T) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping || Queue.size() >= QueueCapacity)
+      return false;
+    Queue.push_back(std::move(T));
+  }
+  QueueCV.notify_one();
+  return true;
+}
+
+uint64_t Shard::load() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Queue.size() + (Busy ? 1 : 0);
+}
+
+size_t Shard::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Queue.size();
+}
+
+uint64_t Shard::completedJobs() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Completed;
+}
+
+void Shard::drain() {
+  std::unique_lock<std::mutex> Lock(M);
+  IdleCV.wait(Lock, [this] { return Queue.empty() && !Busy; });
+}
+
+void Shard::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  QueueCV.notify_all();
+}
+
+void Shard::dispatchLoop() {
+  for (;;) {
+    Ticket T;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      QueueCV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) {
+        // Stopping with nothing queued: loop is done.
+        IdleCV.notify_all();
+        return;
+      }
+      T = std::move(Queue.front());
+      Queue.pop_front();
+      if (Stopping) {
+        // Reject without running — shutdown finishes the in-flight job
+        // but does not start new ones.
+        JobResult R;
+        R.Outcome = JobOutcome::Rejected;
+        R.Shard = Index;
+        R.Error = "server shutting down";
+        R.Latency = std::chrono::steady_clock::now() - T.Enqueued;
+        ++Completed;
+        Lock.unlock();
+        T.Tenant->record(R);
+        T.Promise.set_value(std::move(R));
+        continue;
+      }
+      Busy = true;
+    }
+
+    JobResult R = runJob(T.Work, *T.Tenant);
+    R.Shard = Index;
+    R.Latency = std::chrono::steady_clock::now() - T.Enqueued;
+    T.Tenant->record(R);
+
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Busy = false;
+      ++Completed;
+    }
+    IdleCV.notify_all();
+    // Fulfil after the bookkeeping so a drain() returning implies the
+    // aggregates already include this job.
+    T.Promise.set_value(std::move(R));
+  }
+}
+
+JobResult Shard::runJob(const Job &Work, TenantState &Tenant) {
+  JobResult R;
+  rt::SpecConfig Cfg = Tenant.Policy.toConfig(Ex, Tenant.Trace.get());
+  const int NumTasks = Tenant.Policy.NumTasks;
+  try {
+    switch (Work.Kind) {
+    case JobKind::Lex: {
+      apps::LexRun Run =
+          apps::speculativeLex(Catalog.Lex, Catalog.Text, NumTasks,
+                               /*Overlap=*/64, Cfg);
+      R.Stats = Run.Stats;
+      R.Value = static_cast<int64_t>(Run.Tokens.size());
+      if (R.Value != Catalog.LexOracleTokens)
+        throw std::runtime_error("lex output mismatch vs oracle");
+      break;
+    }
+    case JobKind::Decode: {
+      apps::HuffmanRun Run =
+          apps::speculativeDecode(Catalog.Dec, Catalog.Bits, NumTasks,
+                                  /*OverlapBits=*/64 * 8, Cfg);
+      R.Stats = Run.Stats;
+      R.Value = static_cast<int64_t>(Run.Decoded.size());
+      if (Run.Decoded != Catalog.HuffOracle)
+        throw std::runtime_error("decode output mismatch vs oracle");
+      break;
+    }
+    case JobKind::Mwis: {
+      apps::MwisRun Run = apps::speculativeMwis(Catalog.Weights, NumTasks,
+                                                /*Overlap=*/32, Cfg);
+      R.Stats = Run.Stats;
+      R.Value = Run.Weight;
+      if (Run.Weight != Catalog.MwisOracleWeight)
+        throw std::runtime_error("mwis weight mismatch vs oracle");
+      break;
+    }
+    case JobKind::Callable: {
+      // The callable drives the runtime itself; the snapshot sink
+      // catches whatever it runs under this config (it may override).
+      Cfg.statsOut(&R.Stats);
+      R.Value = Work.Fn ? Work.Fn(Cfg) : 0;
+      break;
+    }
+    }
+    R.Outcome = JobOutcome::Ok;
+  } catch (const rt::SpecTimeoutError &E) {
+    R.Outcome = JobOutcome::TimedOut;
+    R.Error = E.what();
+  } catch (const std::exception &E) {
+    R.Outcome = JobOutcome::Faulted;
+    R.Error = E.what();
+  }
+  return R;
+}
+
+} // namespace serving
+} // namespace specpar

@@ -1,0 +1,148 @@
+//===- serving/Shard.h - One executor shard of specd ------------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shard of the specd serving layer: an owned `rt::SpecExecutor`
+/// (one core group), a bounded admission queue, and a dispatch thread
+/// that turns queued jobs into chunked speculative runs on that
+/// executor. Shards are fully isolated from each other — each owns its
+/// executor handle via the explicit `SpecExecutor::create()` API, so
+/// stats, fault plans, and queue backlog never bleed across shards (the
+/// property tests/serving_test.cpp pins down).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SERVING_SHARD_H
+#define SPECPAR_SERVING_SHARD_H
+
+#include "runtime/Speculation.h"
+#include "serving/Job.h"
+#include "serving/Metrics.h"
+#include "serving/TenantPolicy.h"
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace specpar {
+namespace serving {
+
+/// Server-side state of one registered tenant: its policy, its tracer
+/// (when tracing is on), and the aggregates the metrics endpoint
+/// renders. Shared by every shard a tenant's jobs land on; `record()`
+/// serializes updates.
+struct TenantState {
+  explicit TenantState(TenantPolicy P)
+      : Policy(std::move(P)),
+        Trace(Policy.Trace ? std::make_unique<rt::Tracer>() : nullptr) {}
+
+  const TenantPolicy Policy;
+  const std::unique_ptr<rt::Tracer> Trace;
+
+  /// Folds one finished (or rejected) job into the aggregates.
+  void record(const JobResult &R) {
+    std::lock_guard<std::mutex> Lock(M);
+    Totals += R.Stats;
+    ++Outcomes[static_cast<size_t>(R.Outcome)];
+    Latency.observe(std::chrono::duration<double>(R.Latency).count());
+  }
+
+  /// Thread-safe copies for the metrics renderer.
+  rt::stats::Snapshot totals() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Totals;
+  }
+  std::array<uint64_t, 4> outcomes() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Outcomes;
+  }
+  LatencyHistogram latency() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Latency;
+  }
+
+private:
+  mutable std::mutex M;
+  rt::stats::Snapshot Totals;
+  std::array<uint64_t, 4> Outcomes{}; ///< Indexed by JobOutcome.
+  LatencyHistogram Latency;
+};
+
+/// An admitted job waiting on (or running on) a shard.
+struct Ticket {
+  Job Work;
+  TenantState *Tenant = nullptr;
+  std::promise<JobResult> Promise;
+  std::chrono::steady_clock::time_point Enqueued;
+};
+
+class Shard {
+public:
+  /// \p NumThreads workers back this shard's executor; \p QueueCapacity
+  /// bounds the admission queue (enqueue() refuses beyond it).
+  Shard(unsigned Index, unsigned NumThreads, size_t QueueCapacity,
+        const WorkloadCatalog &Catalog);
+
+  /// Stops the dispatch thread; queued-but-unstarted tickets are
+  /// resolved as Rejected so no future is ever broken.
+  ~Shard();
+
+  Shard(const Shard &) = delete;
+  Shard &operator=(const Shard &) = delete;
+
+  /// Admits \p T (false when the queue is full or the shard is
+  /// stopping; the caller then rejects the ticket itself).
+  bool enqueue(Ticket T);
+
+  /// Queued + running jobs — the admission policy's load signal.
+  uint64_t load() const;
+
+  /// Jobs currently waiting in the queue.
+  size_t queueDepth() const;
+
+  /// Jobs this shard has finished (any outcome).
+  uint64_t completedJobs() const;
+
+  /// Blocks until the queue is empty and no job is running.
+  void drain();
+
+  /// Stops accepting work, finishes the job in flight, rejects the rest.
+  void stop();
+
+  unsigned index() const { return Index; }
+  const std::shared_ptr<rt::SpecExecutor> &executor() const { return Ex; }
+  rt::ExecutorStats executorStats() const { return Ex->stats(); }
+
+private:
+  void dispatchLoop();
+  JobResult runJob(const Job &Work, TenantState &Tenant);
+
+  const unsigned Index;
+  const size_t QueueCapacity;
+  const WorkloadCatalog &Catalog;
+  const std::shared_ptr<rt::SpecExecutor> Ex;
+
+  mutable std::mutex M;
+  std::condition_variable QueueCV; ///< Signals the dispatch thread.
+  std::condition_variable IdleCV;  ///< Signals drain() waiters.
+  std::deque<Ticket> Queue;
+  bool Busy = false;     ///< A job is between pop and promise-fulfil.
+  bool Stopping = false; ///< No further admissions; loop exits when idle.
+  uint64_t Completed = 0;
+
+  std::thread Dispatcher; ///< Last member: joins before state dies.
+};
+
+} // namespace serving
+} // namespace specpar
+
+#endif // SPECPAR_SERVING_SHARD_H

@@ -1,0 +1,84 @@
+//===- serving/TenantPolicy.h - Per-tenant speculation policy ---*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-tenant knobs of the `specd` serving layer. A tenant is a named
+/// client of the server; its policy says how much speculation its jobs
+/// may use, how long they may run, and whether the runtime's adaptive
+/// and observability machinery is armed for them. The policy is the only
+/// thing a tenant controls — which shard executes a job and which
+/// executor backs that shard are the server's decisions.
+///
+/// `toConfig()` lowers a policy onto a concrete shard: it produces the
+/// `rt::SpecConfig` a dispatch thread passes into the speculation
+/// runtime, binding the shard's owned executor handle explicitly (the
+/// serving layer never relies on the process-wide default shard).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SERVING_TENANTPOLICY_H
+#define SPECPAR_SERVING_TENANTPOLICY_H
+
+#include "runtime/Speculation.h"
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+namespace specpar {
+namespace serving {
+
+/// Admission-time and run-time policy for one tenant.
+struct TenantPolicy {
+  /// Tenant id; becomes the `tenant` label on every metric family.
+  std::string Name = "default";
+
+  /// Speculation tasks per job (the segment fan-out of each run).
+  int NumTasks = 8;
+
+  /// Validation mode for the tenant's runs.
+  rt::ValidationMode Mode = rt::ValidationMode::Seq;
+
+  /// Per-job wall-clock budget; zero means no deadline. Expiry surfaces
+  /// as `JobOutcome::TimedOut`, never as a broken future.
+  std::chrono::nanoseconds Deadline{0};
+
+  /// Adaptive sequential fallback: when >= 0, the misprediction rate
+  /// over `DegradeWindow` chunks above which the run degrades to
+  /// sequential execution. Negative disables the monitor.
+  double DegradeMaxBadRate = -1.0;
+  int DegradeWindow = 8;
+
+  /// Chunk autotuner target, microseconds per chunk; zero disables.
+  int64_t AutotuneTargetMicros = 0;
+
+  /// When true the server owns a `rt::Tracer` for this tenant and
+  /// attaches it to every run; per-kind event counts are exported on the
+  /// metrics endpoint as `specd_trace_events_total{tenant,kind}`.
+  bool Trace = false;
+
+  /// Lowers this policy onto \p Shard's executor. \p Tr is the tenant's
+  /// tracer (null when tracing is off).
+  rt::SpecConfig toConfig(std::shared_ptr<rt::SpecExecutor> Shard,
+                          rt::Tracer *Tr) const {
+    rt::SpecConfig Cfg = rt::SpecConfig().executor(std::move(Shard)).mode(Mode);
+    if (Deadline.count() > 0)
+      Cfg.deadline(Deadline);
+    if (DegradeMaxBadRate >= 0)
+      Cfg.degrade(DegradeMaxBadRate, DegradeWindow);
+    if (AutotuneTargetMicros > 0)
+      Cfg.autotune(AutotuneTargetMicros);
+    if (Tr)
+      Cfg.trace(Tr);
+    return Cfg;
+  }
+};
+
+} // namespace serving
+} // namespace specpar
+
+#endif // SPECPAR_SERVING_TENANTPOLICY_H

@@ -1,0 +1,37 @@
+//===- serving/WorkloadCatalog.cpp - specd's preloaded datasets -----------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/Job.h"
+
+#include "lexgen/Languages.h"
+#include "mwis/Mwis.h"
+#include "workloads/Datasets.h"
+#include "workloads/SourceGen.h"
+
+#include <algorithm>
+
+namespace specpar {
+namespace serving {
+
+WorkloadCatalog::WorkloadCatalog(int64_t Scale, uint64_t Seed)
+    : Lex(lexgen::makeLexer(lexgen::Language::Java)),
+      Text(workloads::generateSource(lexgen::Language::Java, Seed,
+                                     std::max<int64_t>(Scale, 4096))),
+      Enc(huffman::encode(workloads::generateHuffmanData(
+          workloads::HuffmanFlavour::Text, Seed + 1,
+          std::max<int64_t>(Scale, 4096)))),
+      Dec(Enc.Code), Bits(Enc.Bytes, Enc.NumBits),
+      Weights(workloads::generatePathGraph(
+          Seed + 2, static_cast<size_t>(std::max<int64_t>(Scale / 2, 2048)),
+          1000)) {
+  LexOracleTokens = static_cast<int64_t>(Lex.lexAll(Text).size());
+  HuffOracle = Dec.decodeAll(Bits, Enc.NumSymbols);
+  MwisOracleWeight = mwis::solveSequential(Weights, nullptr);
+}
+
+} // namespace serving
+} // namespace specpar

@@ -47,7 +47,7 @@ TEST_P(AppSweep, SpeculativeLexingMatchesSequential) {
     EXPECT_EQ(Run.Tokens, Seq)
         << languageName(L) << " tasks=" << C.NumTasks
         << " overlap=" << C.Overlap;
-    EXPECT_EQ(Run.Stats.Predictions, C.NumTasks - 1);
+    EXPECT_EQ(Run.Stats.Spec.Predictions, C.NumTasks - 1);
   }
 }
 
@@ -95,7 +95,7 @@ TEST(AppsLexing, ZeroOverlapMispredictsButStaysCorrect) {
   std::string Text = generateSource(Language::C, 3, 30000);
   LexRun Run = speculativeLex(LX, Text, 8, /*Overlap=*/0);
   EXPECT_EQ(Run.Tokens, sequentialLex(LX, Text));
-  EXPECT_GT(Run.Stats.Mispredictions, 0)
+  EXPECT_GT(Run.Stats.Spec.Mispredictions, 0)
       << "zero overlap cannot predict mid-token states";
 }
 
@@ -103,7 +103,7 @@ TEST(AppsLexing, LargeOverlapEliminatesMispredictions) {
   Lexer LX = makeLexer(Language::Java);
   std::string Text = generateSource(Language::Java, 3, 30000);
   LexRun Run = speculativeLex(LX, Text, 8, /*Overlap=*/2048);
-  EXPECT_EQ(Run.Stats.Mispredictions, 0)
+  EXPECT_EQ(Run.Stats.Spec.Mispredictions, 0)
       << "the paper's max-speedup configuration";
 }
 

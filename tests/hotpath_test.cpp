@@ -291,7 +291,7 @@ TEST(ZeroAlloc, SteadyStateChunkIterationDoesNotTouchTheHeap) {
         0, N, /*ChunkSize=*/4,
         [](int64_t I, int64_t Acc) { return Acc + I; },
         [](int64_t I) { return I * (I - 1) / 2; },
-        SpecConfig().executor(&Ex));
+        SpecConfig().executor(Ex));
   };
   // Warm-up run: slab allocations, ring growth, lazy libc init.
   const SpecResult<int64_t> Warm = RunOnce();
@@ -310,7 +310,7 @@ TEST(ZeroAlloc, SteadyStateChunkIterationDoesNotTouchTheHeap) {
           GCountAllocs.store(false, std::memory_order_relaxed);
         return Acc + I;
       },
-      [](int64_t I) { return I * (I - 1) / 2; }, SpecConfig().executor(&Ex));
+      [](int64_t I) { return I * (I - 1) / 2; }, SpecConfig().executor(Ex));
   GCountAllocs.store(false, std::memory_order_relaxed);
   EXPECT_EQ(R.Value, N * (N - 1) / 2);
   EXPECT_EQ(R.Stats.Tasks, N / 4);

@@ -211,14 +211,14 @@ TEST(Iterate, InjectedBodyThrowPropagatesWithStatsOut) {
   const int64_t N = 8;
   FaultPlan Plan(7);
   Plan.arm(FaultSite::BodyThrow, 1.0);
-  SpeculationStats Stats;
+  stats::Snapshot Snap;
   EXPECT_THROW(
       Speculation::iterate<int64_t>(
           0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
-          SpecConfig().threads(2).faults(&Plan).statsOut(&Stats)),
+          SpecConfig().threads(2).faults(&Plan).statsOut(&Snap)),
       SpecFaultError);
   // statsOut() published the partial statistics despite the throw.
-  EXPECT_GE(Stats.Tasks, 1);
+  EXPECT_GE(Snap.Spec.Tasks, 1);
 }
 
 //===----------------------------------------------------------------------===//
@@ -273,7 +273,7 @@ TEST(Iterate, DeadlineThrowsSpecTimeoutErrorAndLeaksNoTask) {
   const int64_t N = 4;
   SpecExecutor Ex(2);
   Tracer Tr;
-  SpeculationStats Stats;
+  stats::Snapshot Snap;
   std::atomic<int> BodiesStarted{0};
   auto SlowBody = [&BodiesStarted](int64_t I, int64_t A) {
     ++BodiesStarted;
@@ -290,10 +290,10 @@ TEST(Iterate, DeadlineThrowsSpecTimeoutErrorAndLeaksNoTask) {
     Speculation::iterate<int64_t>(
         0, N, SlowBody, sumPredict,
         SpecConfig()
-            .executor(&Ex)
+            .executor(Ex)
             .deadline(std::chrono::milliseconds(25))
             .trace(&Tr)
-            .statsOut(&Stats));
+            .statsOut(&Snap));
     FAIL() << "expected SpecTimeoutError";
   } catch (const SpecTimeoutError &E) {
     EXPECT_EQ(E.Budget, std::chrono::nanoseconds(
@@ -305,7 +305,7 @@ TEST(Iterate, DeadlineThrowsSpecTimeoutErrorAndLeaksNoTask) {
   // but the workers.
   Ex.waitIdle();
   EXPECT_GT(BodiesStarted.load(), 0);
-  EXPECT_GE(Stats.Tasks, 1); // statsOut survived the throw
+  EXPECT_GE(Snap.Spec.Tasks, 1); // statsOut survived the throw
   EXPECT_GE(countEvents(Tr.snapshot(), SpecEventKind::Timeout), 1);
 }
 
@@ -330,7 +330,7 @@ TEST(Apply, DeadlineThrowsSpecTimeoutError) {
             return 1;
           },
           /*Consumer=*/[](int) {},
-          SpecConfig().executor(&Ex).deadline(std::chrono::milliseconds(10))),
+          SpecConfig().executor(Ex).deadline(std::chrono::milliseconds(10))),
       SpecTimeoutError);
   Ex.waitIdle();
 }
@@ -410,7 +410,7 @@ TEST(Iterate, DegradeTripsOnRealMispredictionsToo) {
 TEST(Iterate, ThrowingFinalizerSkipsLaterFinalizersAndDrains) {
   const int64_t N = 8;
   SpecExecutor Ex(2);
-  SpeculationStats Stats;
+  stats::Snapshot Snap;
   std::vector<int64_t> Finalized;
   EXPECT_THROW(
       (Speculation::iterateLocal<int64_t, int64_t>(
@@ -427,7 +427,7 @@ TEST(Iterate, ThrowingFinalizerSkipsLaterFinalizersAndDrains) {
               throw std::runtime_error("finalizer failure at 2");
             Finalized.push_back(I);
           },
-          SpecConfig().executor(&Ex).statsOut(&Stats))),
+          SpecConfig().executor(Ex).statsOut(&Snap))),
       std::runtime_error);
   // Finalizers ran in order up to (not including) the throwing one, and
   // never after it.
@@ -435,18 +435,20 @@ TEST(Iterate, ThrowingFinalizerSkipsLaterFinalizersAndDrains) {
   // Every attempt was cancelled and drained before the throw propagated.
   Ex.waitIdle();
   // Statistics still reached the out-param.
-  EXPECT_GE(Stats.Tasks, N);
+  EXPECT_GE(Snap.Spec.Tasks, N);
 }
 
-TEST(Iterate, ThrowingFinalizerStillFillsDeprecatedOptionsStats) {
+TEST(Iterate, ThrowingFinalizerStillFillsDeprecatedStatsSink) {
   const int64_t N = 6;
   SpeculationStats Stats;
-  Options Opts;
-  Opts.NumThreads = 2;
-  Opts.Stats = &Stats;
+  SpecConfig Cfg = SpecConfig().threads(2);
 #if defined(__GNUC__) || defined(__clang__)
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  Cfg.statsOut(&Stats);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
 #endif
   EXPECT_THROW(
       (Speculation::iterateLocal<int64_t, int64_t>(
@@ -460,11 +462,8 @@ TEST(Iterate, ThrowingFinalizerStillFillsDeprecatedOptionsStats) {
             if (I == 1)
               throw std::runtime_error("finalizer failure");
           },
-          Opts)),
+          Cfg)),
       std::runtime_error);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
   // The pre-redesign out-param sees the stats even though the run threw.
   EXPECT_GE(Stats.Tasks, N);
 }

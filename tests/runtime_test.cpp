@@ -54,11 +54,35 @@ TEST(Executor, ZeroThreadsMeansHardwareConcurrency) {
   EXPECT_GE(Ex.numThreads(), 1u);
 }
 
-TEST(Executor, ProcessExecutorIsSharedAndHardwareWide) {
-  SpecExecutor &A = SpecExecutor::process();
-  SpecExecutor &B = SpecExecutor::process();
-  EXPECT_EQ(&A, &B);
-  EXPECT_EQ(A.numThreads(), SpecExecutor::defaultThreads());
+TEST(Executor, DefaultShardIsSharedAndHardwareWide) {
+  const std::shared_ptr<SpecExecutor> &A = SpecExecutor::defaultShard();
+  const std::shared_ptr<SpecExecutor> &B = SpecExecutor::defaultShard();
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_EQ(A->numThreads(), SpecExecutor::defaultThreads());
+  // Default-configured runs resolve to exactly this shard.
+  EXPECT_EQ(SpecConfig().resolvedExecutor().get(), A.get());
+}
+
+TEST(Executor, CreateReturnsOwningHandle) {
+  std::shared_ptr<SpecExecutor> Ex = SpecExecutor::create(2);
+  ASSERT_TRUE(Ex);
+  EXPECT_EQ(Ex->numThreads(), 2u);
+  EXPECT_NE(Ex.get(), SpecExecutor::defaultShard().get());
+  // The config shares ownership: the executor survives the caller
+  // dropping its handle as long as a config (or queued job holding one)
+  // still names it.
+  SpecConfig Cfg = SpecConfig().executor(Ex);
+  std::weak_ptr<SpecExecutor> Watch = Ex;
+  Ex.reset();
+  EXPECT_FALSE(Watch.expired());
+  EXPECT_EQ(Cfg.resolvedExecutor().get(), Watch.lock().get());
+  Cfg = SpecConfig();
+  EXPECT_TRUE(Watch.expired());
+}
+
+TEST(Executor, TransientConfigResolvesToNoPersistentExecutor) {
+  EXPECT_EQ(SpecConfig().threads(3).resolvedExecutor(), nullptr);
 }
 
 TEST(Executor, TasksSubmittedFromWorkersRun) {
@@ -110,35 +134,80 @@ TEST(Executor, ExternalThreadCanHelp) {
 }
 
 //===----------------------------------------------------------------------===//
-// ThreadPool (compatibility shim)
+// Executor isolation: shards must not bleed statistics or fault plans
+// into each other — the invariant the multi-tenant serving layer's
+// per-shard accounting rests on.
 //===----------------------------------------------------------------------===//
 
-TEST(ThreadPool, RunsEveryTask) {
-  ThreadPool Pool(4);
-  std::atomic<int> Count{0};
-  for (int I = 0; I < 100; ++I)
-    Pool.submit([&Count] { ++Count; });
-  Pool.waitIdle();
-  EXPECT_EQ(Count.load(), 100);
+TEST(ExecutorIsolation, ConcurrentRunsDoNotBleedStats) {
+  std::shared_ptr<SpecExecutor> A = SpecExecutor::create(2);
+  std::shared_ptr<SpecExecutor> B = SpecExecutor::create(2);
+  const ExecutorStats ABefore = A->stats();
+  const ExecutorStats BBefore = B->stats();
+
+  // Shard A runs with perfect predictions, shard B with every prediction
+  // past the first forced wrong — concurrently, from two driver threads.
+  stats::Snapshot SnapA, SnapB;
+  std::thread DriveA([&] {
+    Speculation::iterate<int64_t>(
+        0, 64, [](int64_t, int64_t Acc) { return Acc + 1; },
+        [](int64_t I) { return I; },
+        SpecConfig().executor(A).statsOut(&SnapA));
+  });
+  std::thread DriveB([&] {
+    Speculation::iterate<int64_t>(
+        0, 64, [](int64_t, int64_t Acc) { return Acc + 1; },
+        [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-1); },
+        SpecConfig().executor(B).statsOut(&SnapB));
+  });
+  DriveA.join();
+  DriveB.join();
+
+  // Speculation counters stay per-run: A saw no mispredictions, B
+  // mispredicted every boundary.
+  EXPECT_EQ(SnapA.Spec.Mispredictions, 0);
+  EXPECT_EQ(SnapB.Spec.Mispredictions, 63);
+
+  // Executor activity stays per-shard: each shard's submit delta is its
+  // own run's task count — nothing leaked across.
+  const ExecutorStats ADelta = A->stats() - ABefore;
+  const ExecutorStats BDelta = B->stats() - BBefore;
+  EXPECT_EQ(ADelta.Submits, static_cast<uint64_t>(SnapA.Spec.Tasks));
+  EXPECT_EQ(BDelta.Submits, static_cast<uint64_t>(SnapB.Spec.Tasks));
+  EXPECT_EQ(ADelta.Submits, static_cast<uint64_t>(SnapA.Exec.Submits));
+  EXPECT_EQ(BDelta.Submits, static_cast<uint64_t>(SnapB.Exec.Submits));
 }
 
-TEST(ThreadPool, DestructorDrainsQueue) {
-  std::atomic<int> Count{0};
-  {
-    ThreadPool Pool(2);
-    for (int I = 0; I < 50; ++I)
-      Pool.submit([&Count] { ++Count; });
-  }
-  EXPECT_EQ(Count.load(), 50);
+TEST(ExecutorIsolation, FaultPlansStayOnTheirShard) {
+  std::shared_ptr<SpecExecutor> A = SpecExecutor::create(2);
+  std::shared_ptr<SpecExecutor> B = SpecExecutor::create(2);
+  FaultPlan Plan(/*Seed=*/7);
+  Plan.arm(FaultSite::ForceMispredict, 1.0);
+  A->injectFaults(&Plan);
+  EXPECT_EQ(A->injectedFaults(), &Plan);
+  // Arming shard A must not arm shard B…
+  EXPECT_EQ(B->injectedFaults(), nullptr);
+  // …and a run on B with a perfect predictor stays fault-free.
+  stats::Snapshot Snap;
+  auto R = Speculation::iterate<int64_t>(
+      0, 32, [](int64_t, int64_t Acc) { return Acc + 1; },
+      [](int64_t I) { return I; }, SpecConfig().executor(B).statsOut(&Snap));
+  EXPECT_EQ(R.Value, 32);
+  EXPECT_EQ(Snap.Spec.Mispredictions, 0);
+  EXPECT_EQ(Snap.Spec.FailedPredictions, 0);
+  A->injectFaults(nullptr);
 }
 
-TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
-  ThreadPool Pool(0);
-  EXPECT_EQ(Pool.numThreads(), SpecExecutor::defaultThreads());
-  std::atomic<bool> Ran{false};
-  Pool.submit([&Ran] { Ran = true; });
-  Pool.waitIdle();
-  EXPECT_TRUE(Ran.load());
+TEST(ExecutorIsolation, SnapshotSinkAttributesTransientExecutorActivity) {
+  // threads(N > 0) without executor(): the run creates a transient
+  // executor; the snapshot's Exec half still reports its activity.
+  stats::Snapshot Snap;
+  auto R = Speculation::iterate<int64_t>(
+      0, 16, [](int64_t, int64_t Acc) { return Acc + 1; },
+      [](int64_t I) { return I; }, SpecConfig().threads(2).statsOut(&Snap));
+  EXPECT_EQ(R.Value, 16);
+  EXPECT_EQ(Snap.Spec.Tasks, 16);
+  EXPECT_EQ(Snap.Exec.Submits, static_cast<uint64_t>(Snap.Spec.Tasks));
 }
 
 //===----------------------------------------------------------------------===//
@@ -239,20 +308,17 @@ TEST(Apply, ThrowingPredictorCountsFailedPredictionNotMisprediction) {
 }
 
 TEST(Apply, ProducerExceptionCountsNoPredictionPoint) {
-  // The check step never ran, so no prediction point was resolved.
-  SpeculationStats Stats;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Options Opts;
-  Opts.Stats = &Stats;
+  // The check step never ran, so no prediction point was resolved; the
+  // snapshot sink still publishes what was gathered before the throw.
+  stats::Snapshot Snap;
   EXPECT_THROW(Speculation::apply<int>(
                    []() -> int { throw std::runtime_error("producer"); },
-                   [] { return 0; }, [](int) {}, Opts),
+                   [] { return 0; }, [](int) {},
+                   SpecConfig().threads(2).statsOut(&Snap)),
                std::runtime_error);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(Stats.Tasks, 1);
-  EXPECT_EQ(Stats.Predictions, 0);
-  EXPECT_EQ(Stats.FailedPredictions, 0);
+  EXPECT_EQ(Snap.Spec.Tasks, 1);
+  EXPECT_EQ(Snap.Spec.Predictions, 0);
+  EXPECT_EQ(Snap.Spec.FailedPredictions, 0);
 }
 
 TEST(Apply, EagerProducerAbortGoesNonSpeculative) {
@@ -290,7 +356,7 @@ TEST(Apply, EagerProducerAbortOnSharedExecutor) {
   // The same Section 3.3 semantics must hold when the run shares a
   // persistent executor instead of spawning a transient one.
   SpecExecutor Ex(2);
-  SpecConfig Cfg = SpecConfig().executor(&Ex).eagerProducerAbort();
+  SpecConfig Cfg = SpecConfig().executor(Ex).eagerProducerAbort();
   for (int Round = 0; Round < 3; ++Round) {
     std::atomic<int> Seen{0};
     std::atomic<bool> PredictorCancelled{false};
@@ -509,7 +575,7 @@ TEST(Iterate, CooperativeCancellationIsVisibleToBodies) {
 
 TEST(Iterate, SharedExecutorCanBeReused) {
   SpecExecutor Ex(3);
-  SpecConfig Cfg = SpecConfig().executor(&Ex);
+  SpecConfig Cfg = SpecConfig().executor(Ex);
   for (int Round = 0; Round < 5; ++Round) {
     auto R = Speculation::iterate<int64_t>(
         0, 8, [](int64_t I, int64_t A) { return A + I; },
@@ -518,10 +584,11 @@ TEST(Iterate, SharedExecutorCanBeReused) {
   }
 }
 
-TEST(Iterate, SharedPoolShimCanBeReused) {
-  // The ThreadPool compatibility shim still routes runs onto its executor.
-  ThreadPool Pool(3);
-  SpecConfig Cfg = SpecConfig().executor(&Pool.executor());
+TEST(Iterate, OwnedExecutorHandleCanBeReused) {
+  // An owned shard handle serves any number of runs without rebuilding
+  // workers between them.
+  std::shared_ptr<SpecExecutor> Ex = SpecExecutor::create(3);
+  SpecConfig Cfg = SpecConfig().executor(Ex);
   for (int Round = 0; Round < 5; ++Round) {
     auto R = Speculation::iterate<int64_t>(
         0, 8, [](int64_t I, int64_t A) { return A + I; },
@@ -575,7 +642,7 @@ TEST(Nested, IterateInsideIterateOnOneSharedExecutorCompletes) {
   // queued forever. With help-while-waiting the blocked outer bodies
   // drain the inner attempts themselves.
   SpecExecutor Ex(2);
-  SpecConfig Cfg = SpecConfig().executor(&Ex);
+  SpecConfig Cfg = SpecConfig().executor(Ex);
   auto R = Speculation::iterate<int64_t>(
       0, 6,
       [&](int64_t I, int64_t Acc) {
@@ -596,7 +663,7 @@ TEST(Nested, IterateInsideIterateOnSingleWorkerExecutorCompletes) {
   // The worst case: one worker serves both nesting levels, so every inner
   // attempt *must* be executed by a helping wait somewhere.
   SpecExecutor Ex(1);
-  SpecConfig Cfg = SpecConfig().executor(&Ex);
+  SpecConfig Cfg = SpecConfig().executor(Ex);
   auto R = Speculation::iterate<int64_t>(
       0, 6,
       [&](int64_t I, int64_t Acc) {
@@ -614,7 +681,7 @@ TEST(Nested, MispredictedNestedRunsOnSharedExecutorStayCorrect) {
   // chaining — the stress combination for helping waits.
   SpecExecutor Ex(2);
   SpecConfig Cfg =
-      SpecConfig().executor(&Ex).mode(ValidationMode::Par);
+      SpecConfig().executor(Ex).mode(ValidationMode::Par);
   auto R = Speculation::iterate<int64_t>(
       0, 5,
       [&](int64_t I, int64_t Acc) {
@@ -628,9 +695,9 @@ TEST(Nested, MispredictedNestedRunsOnSharedExecutorStayCorrect) {
   EXPECT_EQ(R.Value, 20);
 }
 
-TEST(Nested, NestedRunsOnProcessExecutorByDefault) {
-  // Default-configured runs share SpecExecutor::process(); nesting them
-  // must complete regardless of the machine's core count.
+TEST(Nested, NestedRunsOnDefaultShardByDefault) {
+  // Default-configured runs share SpecExecutor::defaultShard(); nesting
+  // them must complete regardless of the machine's core count.
   auto R = Speculation::iterate<int64_t>(
       0, 4,
       [](int64_t I, int64_t Acc) {
@@ -647,7 +714,7 @@ TEST(Nested, NestedRunsOnProcessExecutorByDefault) {
 
 TEST(Nested, ApplyInsideIterateOnSharedExecutorCompletes) {
   SpecExecutor Ex(2);
-  SpecConfig Cfg = SpecConfig().executor(&Ex);
+  SpecConfig Cfg = SpecConfig().executor(Ex);
   auto R = Speculation::iterate<int64_t>(
       0, 6,
       [&](int64_t I, int64_t Acc) {
@@ -825,64 +892,64 @@ TEST(IterateLocal, FinalizerExceptionPropagates) {
 }
 
 //===----------------------------------------------------------------------===//
-// Deprecated Options-based shims
+// Deprecated forwards (kept for one release after the ownership
+// redesign): sharedExecutor() and the SpeculationStats* stats sink must
+// keep behaving like their replacements until they are removed.
 //===----------------------------------------------------------------------===//
 
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
-TEST(DeprecatedOptions, IterateShimMatchesNewApiAndFillsStats) {
+TEST(DeprecatedForwards, SharedExecutorMatchesResolvedExecutor) {
+  EXPECT_EQ(SpecConfig().sharedExecutor(),
+            SpecExecutor::defaultShard().get());
+  EXPECT_EQ(SpecConfig().threads(3).sharedExecutor(), nullptr);
+  std::shared_ptr<SpecExecutor> Ex = SpecExecutor::create(2);
+  EXPECT_EQ(SpecConfig().executor(Ex).sharedExecutor(), Ex.get());
+}
+
+TEST(DeprecatedForwards, SpeculationStatsSinkStillFillsOnSuccess) {
   SpeculationStats Stats;
-  Options Opts;
-  Opts.NumThreads = 2;
-  Opts.Stats = &Stats;
-  int64_t R = Speculation::iterate<int64_t>(
+  auto R = Speculation::iterate<int64_t>(
       0, 8, [](int64_t I, int64_t A) { return A + I; },
-      [](int64_t I) { return I * (I - 1) / 2; }, Opts);
-  EXPECT_EQ(R, 28);
+      [](int64_t I) { return I * (I - 1) / 2; },
+      SpecConfig().threads(2).statsOut(&Stats));
+  EXPECT_EQ(R.Value, 28);
   EXPECT_EQ(Stats.Tasks, 8);
   EXPECT_EQ(Stats.Predictions, 7);
   EXPECT_EQ(Stats.Mispredictions, 0);
 }
 
-TEST(DeprecatedOptions, ApplyShimMatchesNewApiAndFillsStats) {
-  SpeculationStats Stats;
-  Options Opts;
-  Opts.Stats = &Stats;
-  std::atomic<int> Seen{0};
-  Speculation::apply<int>([] { return 7; }, [] { return 99; },
-                          [&](int V) { Seen = V; }, Opts);
-  EXPECT_EQ(Seen.load(), 7);
-  EXPECT_EQ(Stats.Mispredictions, 1);
-}
-
-TEST(DeprecatedOptions, PoolFieldRoutesOntoItsExecutor) {
-  ThreadPool Pool(2);
-  Options Opts;
-  Opts.Pool = &Pool;
-  int64_t R = Speculation::iterate<int64_t>(
-      0, 8, [](int64_t I, int64_t A) { return A + I; },
-      [](int64_t I) { return I * (I - 1) / 2; }, Opts);
-  EXPECT_EQ(R, 28);
-}
-
-TEST(DeprecatedOptions, ApplyShimFillsStatsWhenTheRunThrows) {
+TEST(DeprecatedForwards, SpeculationStatsSinkStillFillsOnThrow) {
   // A correct prediction whose validated consumer throws: the exception
   // propagates, but the stats gathered before the throw must still reach
-  // the caller's Options::Stats.
+  // the deprecated sink.
   SpeculationStats Stats;
-  Options Opts;
-  Opts.Stats = &Stats;
+  SpecConfig Cfg;
+  Cfg.statsOut(&Stats);
   EXPECT_THROW(Speculation::apply<int>([] { return 1; }, [] { return 1; },
                                        [](int) {
                                          throw std::runtime_error("consumer");
                                        },
-                                       Opts),
+                                       Cfg),
                std::runtime_error);
   EXPECT_EQ(Stats.Tasks, 1);
   EXPECT_EQ(Stats.Predictions, 1);
   EXPECT_EQ(Stats.Mispredictions, 0);
   EXPECT_EQ(Stats.FailedPredictions, 0);
+}
+
+TEST(DeprecatedForwards, BothSinksCanCoexist) {
+  SpeculationStats Stats;
+  stats::Snapshot Snap;
+  SpecConfig Cfg = SpecConfig().threads(2).statsOut(&Snap);
+  Cfg.statsOut(&Stats);
+  auto R = Speculation::iterate<int64_t>(
+      0, 8, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t I) { return I * (I - 1) / 2; }, Cfg);
+  EXPECT_EQ(R.Value, 28);
+  EXPECT_EQ(Stats.Tasks, Snap.Spec.Tasks);
+  EXPECT_EQ(Stats.Predictions, Snap.Spec.Predictions);
 }
 
 #pragma GCC diagnostic pop

@@ -1,0 +1,388 @@
+//===- tests/serving_test.cpp - specd serving-layer tests -----------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for the speculation-as-a-service layer: admission placement,
+/// per-tenant policy enforcement (deadlines), executor-shard isolation,
+/// Prometheus exposition-format validity of the metrics endpoint (with a
+/// real HTTP scrape), and shutdown resolving every future.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serving/HttpMetricsServer.h"
+#include "serving/ServerContext.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <future>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace specpar;
+using namespace specpar::serving;
+
+namespace {
+
+/// A tiny server for tests: small catalog so construction stays fast.
+ServerOptions testOptions(unsigned Shards,
+                          AdmissionPolicy A = AdmissionPolicy::RoundRobin) {
+  ServerOptions O;
+  O.NumShards = Shards;
+  O.ThreadsPerShard = 2;
+  O.QueueCapacity = 64;
+  O.Admission = A;
+  O.WorkloadScale = 16384;
+  return O;
+}
+
+TenantPolicy basicTenant(const std::string &Name) {
+  TenantPolicy P;
+  P.Name = Name;
+  P.NumTasks = 4;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Admission
+//===----------------------------------------------------------------------===//
+
+TEST(Admission, RoundRobinSpreadsJobsAcrossShards) {
+  ServerContext Ctx(testOptions(2, AdmissionPolicy::RoundRobin));
+  Ctx.registerTenant(basicTenant("t"));
+  std::vector<std::future<JobResult>> Fs;
+  for (int I = 0; I < 8; ++I)
+    Fs.push_back(Ctx.submit("t", Job::lex()));
+  std::set<unsigned> ShardsSeen;
+  for (auto &F : Fs) {
+    JobResult R = F.get();
+    EXPECT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+    ShardsSeen.insert(R.Shard);
+  }
+  // Strict alternation: both shards executed jobs.
+  EXPECT_EQ(ShardsSeen.size(), 2u);
+  EXPECT_EQ(Ctx.shard(0).completedJobs() + Ctx.shard(1).completedJobs(), 8u);
+}
+
+TEST(Admission, UnknownTenantIsRejectedImmediately) {
+  ServerContext Ctx(testOptions(1));
+  JobResult R = Ctx.submit("nobody", Job::lex()).get();
+  EXPECT_EQ(R.Outcome, JobOutcome::Rejected);
+  EXPECT_EQ(R.Error, "unknown tenant");
+}
+
+TEST(Admission, FullQueueRejectsInsteadOfBlocking) {
+  ServerOptions O = testOptions(1);
+  O.QueueCapacity = 2;
+  ServerContext Ctx(O);
+  Ctx.registerTenant(basicTenant("t"));
+
+  // Occupy the dispatch thread with a slow callable, then overfill the
+  // (capacity-2) queue: at least one later submission must bounce.
+  std::promise<void> Release;
+  std::shared_future<void> Gate = Release.get_future().share();
+  auto Slow = Ctx.submit("t", Job::callable([Gate](const rt::SpecConfig &) {
+    Gate.wait();
+    return int64_t(1);
+  }));
+  std::vector<std::future<JobResult>> Rest;
+  for (int I = 0; I < 6; ++I)
+    Rest.push_back(Ctx.submit("t", Job::lex()));
+  Release.set_value();
+
+  int Rejected = 0;
+  for (auto &F : Rest)
+    if (F.get().Outcome == JobOutcome::Rejected)
+      ++Rejected;
+  EXPECT_GE(Rejected, 1);
+  EXPECT_EQ(Slow.get().Value, 1);
+}
+
+TEST(Admission, LeastLoadedAvoidsTheBusyShard) {
+  ServerContext Ctx(testOptions(2, AdmissionPolicy::LeastLoaded));
+  Ctx.registerTenant(basicTenant("t"));
+
+  // Pin shard of first job by blocking it; subsequent jobs must land on
+  // the other shard while the first is busy.
+  std::promise<void> Release;
+  std::shared_future<void> Gate = Release.get_future().share();
+  auto Blocked = Ctx.submit("t", Job::callable([Gate](const rt::SpecConfig &) {
+    Gate.wait();
+    return int64_t(0);
+  }));
+  // Give the dispatch thread a moment to pick the blocker up so its
+  // shard reports load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // One at a time, completing each before the next: at every submit the
+  // blocked shard has load 1 and the other is idle, so least-loaded must
+  // always choose the idle one (no tie to fall back on).
+  std::set<unsigned> ShardsSeen;
+  for (int I = 0; I < 4; ++I)
+    ShardsSeen.insert(Ctx.submit("t", Job::lex()).get().Shard);
+  Release.set_value();
+  unsigned BlockedShard = Blocked.get().Shard;
+
+  EXPECT_EQ(ShardsSeen.size(), 1u);
+  EXPECT_NE(*ShardsSeen.begin(), BlockedShard);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-tenant policy enforcement
+//===----------------------------------------------------------------------===//
+
+TEST(Policy, DeadlineTenantTimesOutSlowJobs) {
+  ServerContext Ctx(testOptions(1));
+  TenantPolicy P = basicTenant("impatient");
+  P.Deadline = std::chrono::milliseconds(20);
+  Ctx.registerTenant(P);
+
+  JobResult R =
+      Ctx.submit("impatient", Job::callable([](const rt::SpecConfig &Cfg) {
+        // A run whose bodies poll cancellation but need ~1s of sleep:
+        // must abort via the tenant's deadline long before that.
+        auto Out = rt::Speculation::iterate<int64_t>(
+            0, 8,
+            [](int64_t I, int64_t A) {
+              for (int S = 0; S < 20; ++S) {
+                if (rt::currentTaskCancelled())
+                  return int64_t(-1);
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+              }
+              return A + I;
+            },
+            [](int64_t I) { return I * (I - 1) / 2; }, Cfg);
+        return Out.Value;
+      })).get();
+  EXPECT_EQ(R.Outcome, JobOutcome::TimedOut);
+
+  // The same job under a tenant with no deadline completes.
+  Ctx.registerTenant(basicTenant("patient"));
+  JobResult R2 = Ctx.submit("patient", Job::lex()).get();
+  EXPECT_EQ(R2.Outcome, JobOutcome::Ok) << R2.Error;
+}
+
+TEST(Policy, TracedTenantAccumulatesEvents) {
+  ServerContext Ctx(testOptions(1));
+  TenantPolicy P = basicTenant("traced");
+  P.Trace = true;
+  Ctx.registerTenant(P);
+  EXPECT_EQ(Ctx.submit("traced", Job::decode()).get().Outcome, JobOutcome::Ok);
+  TenantState *TS = Ctx.tenant("traced");
+  ASSERT_NE(TS, nullptr);
+  ASSERT_NE(TS->Trace, nullptr);
+  EXPECT_FALSE(TS->Trace->snapshot().empty());
+}
+
+TEST(Policy, StatsAggregateAcrossJobs) {
+  ServerContext Ctx(testOptions(1));
+  Ctx.registerTenant(basicTenant("t"));
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Ctx.submit("t", Job::mwis()).get().Outcome, JobOutcome::Ok);
+  TenantState *TS = Ctx.tenant("t");
+  ASSERT_NE(TS, nullptr);
+  rt::stats::Snapshot Totals = TS->totals();
+  EXPECT_GT(Totals.Spec.Tasks, 0);
+  EXPECT_GT(Totals.Exec.Submits, 0u);
+  auto Outcomes = TS->outcomes();
+  EXPECT_EQ(Outcomes[static_cast<size_t>(JobOutcome::Ok)], 3u);
+  EXPECT_EQ(TS->latency().count(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Executor-shard isolation
+//===----------------------------------------------------------------------===//
+
+TEST(Isolation, ShardsOwnDistinctExecutorsAndStatsDoNotBleed) {
+  ServerContext Ctx(testOptions(2, AdmissionPolicy::RoundRobin));
+  Ctx.registerTenant(basicTenant("t"));
+  ASSERT_NE(Ctx.shard(0).executor().get(), Ctx.shard(1).executor().get());
+  // Neither shard executor is the process default shard.
+  EXPECT_NE(Ctx.shard(0).executor().get(),
+            rt::SpecExecutor::defaultShard().get());
+
+  rt::ExecutorStats Before0 = Ctx.shard(0).executorStats();
+  rt::ExecutorStats Before1 = Ctx.shard(1).executorStats();
+
+  // Round-robin: job 0 -> shard 0, job 1 -> shard 1, job 2 -> shard 0...
+  // Run one job and check only its shard's executor moved.
+  JobResult R = Ctx.submit("t", Job::lex()).get();
+  ASSERT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+  Ctx.drain();
+
+  rt::ExecutorStats D0 = Ctx.shard(0).executorStats() - Before0;
+  rt::ExecutorStats D1 = Ctx.shard(1).executorStats() - Before1;
+  rt::ExecutorStats &Ran = R.Shard == 0 ? D0 : D1;
+  rt::ExecutorStats &Idle = R.Shard == 0 ? D1 : D0;
+  EXPECT_GT(Ran.Submits, 0u);
+  EXPECT_EQ(Idle.Submits, 0u);
+  // The per-run snapshot attributed exactly the running shard's delta.
+  EXPECT_EQ(R.Stats.Exec.Submits, Ran.Submits);
+}
+
+TEST(Isolation, FaultPlanOnForeignExecutorDoesNotReachShards) {
+  // Arm a fault plan on an unrelated executor: jobs served by the
+  // context must never observe it.
+  ServerContext Ctx(testOptions(1));
+  Ctx.registerTenant(basicTenant("t"));
+  std::shared_ptr<rt::SpecExecutor> Foreign = rt::SpecExecutor::create(2);
+  rt::FaultPlan Plan(99);
+  Plan.arm(rt::FaultSite::BodyThrow, 1.0);
+  Foreign->injectFaults(&Plan);
+  EXPECT_EQ(Ctx.shard(0).executor()->injectedFaults(), nullptr);
+  EXPECT_EQ(Ctx.submit("t", Job::lex()).get().Outcome, JobOutcome::Ok);
+  Foreign->injectFaults(nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition format
+//===----------------------------------------------------------------------===//
+
+/// A strict-enough parser for the exposition text format: every
+/// non-empty line is `# HELP`, `# TYPE`, or a sample
+/// `name{labels} value`; TYPE lines name a valid type and appear at
+/// most once per family; every sample's family has a preceding TYPE.
+void verifyPrometheusText(const std::string &Text) {
+  std::set<std::string> TypedFamilies;
+  std::istringstream In(Text);
+  std::string Line;
+  int Samples = 0;
+  auto FamilyOf = [](const std::string &Metric) {
+    // _bucket/_sum/_count series belong to their histogram family.
+    for (const char *Suffix : {"_bucket", "_sum", "_count"}) {
+      size_t L = std::string(Suffix).size();
+      if (Metric.size() > L &&
+          Metric.compare(Metric.size() - L, L, Suffix) == 0)
+        return Metric.substr(0, Metric.size() - L);
+    }
+    return Metric;
+  };
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    if (Line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream LS(Line.substr(7));
+      std::string Name, Type;
+      LS >> Name >> Type;
+      EXPECT_TRUE(Type == "counter" || Type == "gauge" ||
+                  Type == "histogram" || Type == "summary")
+          << Line;
+      EXPECT_TRUE(TypedFamilies.insert(Name).second)
+          << "duplicate TYPE for " << Name;
+      continue;
+    }
+    if (Line.rfind("# HELP ", 0) == 0 || Line[0] == '#')
+      continue;
+    // Sample line: metric name [{labels}] SP value.
+    size_t NameEnd = Line.find_first_of("{ ");
+    ASSERT_NE(NameEnd, std::string::npos) << Line;
+    std::string Metric = Line.substr(0, NameEnd);
+    for (char C : Metric)
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+                  C == ':')
+          << Line;
+    EXPECT_TRUE(TypedFamilies.count(FamilyOf(Metric)))
+        << "sample before TYPE: " << Line;
+    if (Line[NameEnd] == '{') {
+      size_t Close = Line.find('}', NameEnd);
+      ASSERT_NE(Close, std::string::npos) << Line;
+      // Labels: k="v" pairs, comma-separated, quotes balanced.
+      std::string L = Line.substr(NameEnd + 1, Close - NameEnd - 1);
+      EXPECT_EQ(std::count(L.begin(), L.end(), '"') % 2, 0) << Line;
+      NameEnd = Close + 1;
+    }
+    ASSERT_EQ(Line[NameEnd], ' ') << Line;
+    std::string Value = Line.substr(NameEnd + 1);
+    ASSERT_FALSE(Value.empty()) << Line;
+    size_t Pos = 0;
+    (void)std::stod(Value, &Pos); // throws on a malformed number
+    EXPECT_EQ(Pos, Value.size()) << Line;
+    ++Samples;
+  }
+  EXPECT_GT(Samples, 0);
+}
+
+TEST(Metrics, ExpositionTextParses) {
+  ServerContext Ctx(testOptions(2));
+  Ctx.registerTenant(basicTenant("alpha"));
+  TenantPolicy Traced = basicTenant("beta");
+  Traced.Trace = true;
+  Ctx.registerTenant(Traced);
+  std::vector<std::future<JobResult>> Fs;
+  for (int I = 0; I < 4; ++I) {
+    Fs.push_back(Ctx.submit("alpha", Job::lex()));
+    Fs.push_back(Ctx.submit("beta", Job::decode()));
+  }
+  for (auto &F : Fs)
+    EXPECT_EQ(F.get().Outcome, JobOutcome::Ok);
+  Ctx.drain();
+
+  std::string Text = Ctx.metricsText();
+  verifyPrometheusText(Text);
+
+  // Golden spot-checks on content, not just format.
+  EXPECT_NE(Text.find("specd_shards 2"), std::string::npos);
+  EXPECT_NE(
+      Text.find("specd_jobs_total{tenant=\"alpha\",outcome=\"ok\"} 4"),
+      std::string::npos);
+  EXPECT_NE(Text.find("specd_trace_events_total{tenant=\"beta\""),
+            std::string::npos);
+  EXPECT_NE(Text.find("specd_request_latency_seconds_bucket{tenant=\"alpha\""
+                      ",le=\"+Inf\"} 4"),
+            std::string::npos);
+  // Per-tenant executor attribution is present and positive.
+  EXPECT_NE(Text.find("specd_tenant_executor_submits_total{tenant=\"alpha\"}"),
+            std::string::npos);
+}
+
+TEST(Metrics, HttpEndpointServesMetricsAnd404s) {
+  ServerContext Ctx(testOptions(1));
+  Ctx.registerTenant(basicTenant("t"));
+  EXPECT_EQ(Ctx.submit("t", Job::mwis()).get().Outcome, JobOutcome::Ok);
+  HttpMetricsServer Http(Ctx, /*Port=*/0);
+  ASSERT_GT(Http.port(), 0);
+
+  std::string Resp = HttpMetricsServer::get(Http.port(), "/metrics");
+  ASSERT_TRUE(Resp.rfind("HTTP/1.1 200", 0) == 0) << Resp.substr(0, 80);
+  EXPECT_NE(Resp.find("text/plain; version=0.0.4"), std::string::npos);
+  size_t BodyAt = Resp.find("\r\n\r\n");
+  ASSERT_NE(BodyAt, std::string::npos);
+  verifyPrometheusText(Resp.substr(BodyAt + 4));
+
+  std::string Missing = HttpMetricsServer::get(Http.port(), "/nope");
+  EXPECT_TRUE(Missing.rfind("HTTP/1.1 404", 0) == 0);
+  Http.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Shutdown
+//===----------------------------------------------------------------------===//
+
+TEST(Shutdown, EveryFutureResolves) {
+  std::vector<std::future<JobResult>> Fs;
+  {
+    ServerContext Ctx(testOptions(2));
+    Ctx.registerTenant(basicTenant("t"));
+    for (int I = 0; I < 12; ++I)
+      Fs.push_back(Ctx.submit("t", Job::lex()));
+    Ctx.shutdown();
+    // Post-shutdown submissions reject rather than hang.
+    JobResult Late = Ctx.submit("t", Job::lex()).get();
+    EXPECT_EQ(Late.Outcome, JobOutcome::Rejected);
+  } // destructor: second shutdown is a no-op
+  for (auto &F : Fs) {
+    ASSERT_EQ(F.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    JobResult R = F.get();
+    // Graceful shutdown drains first: everything admitted completes.
+    EXPECT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+  }
+}
+
+} // namespace
