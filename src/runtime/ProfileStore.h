@@ -1,0 +1,153 @@
+//===- runtime/ProfileStore.h - Persistent per-site run profiles -*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent half of profile-guided prediction: a `ProfileStore`
+/// aggregates, per user-named call site, what every speculative run
+/// learned the hard way — which predictor candidate hit, how often the
+/// degrade monitor tripped, and the chunk size the autotuner converged
+/// to — and survives process restarts through a versioned JSON file.
+///
+/// A site is any stable string the caller picks (`"lex.main"`,
+/// `"tenantA/mwis"`); the runtime attaches to one via
+/// `SpecConfig::profile(&Store).profileSite("lex.main")`. On a *warm*
+/// site the engine seeds its initial chunk size from the converged value
+/// (skipping the cold autotune ramp) and starts with the historically
+/// best predictor candidate; within a run the same per-candidate
+/// accounting lets the degrade monitor *switch* predictors before
+/// surrendering to sequential execution.
+///
+/// Persistence contract:
+///  * `save()` writes the whole store to a temp file in the target's
+///    directory and publishes it with one atomic `rename()` — readers
+///    never observe a torn file, and concurrent savers last-write-win
+///    a complete snapshot;
+///  * `load()` *merges nothing and never throws*: a missing, truncated,
+///    corrupt, or version-mismatched file simply leaves the store cold
+///    (returns false). Profiles are a cache of hints, not state the run
+///    depends on for correctness.
+///
+/// Thread safety: every member is safe to call concurrently; the store
+/// is one mutex around a site map. It is touched once per *run* (seed at
+/// start, record at end), never per wave or per attempt, so the lock is
+/// nowhere near the speculation hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_RUNTIME_PROFILESTORE_H
+#define SPECPAR_RUNTIME_PROFILESTORE_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace specpar {
+namespace rt {
+
+/// Cross-run tally of one predictor candidate at one site.
+struct PredictorProfile {
+  int64_t Hits = 0;
+  int64_t Misses = 0;
+  int64_t samples() const { return Hits + Misses; }
+  double hitRate() const {
+    return samples() > 0 ? static_cast<double>(Hits) / samples() : 0.0;
+  }
+};
+
+/// Everything the store knows about one call site.
+struct SiteProfile {
+  /// Runs recorded against this site.
+  int64_t Runs = 0;
+  /// The chunk size the most recent autotuned run ended on (0 = never
+  /// observed; plain iterate and autotune-off runs record 0).
+  int64_t ChunkSize = 0;
+  /// Degrade-monitor trips across all runs (a trip that was absorbed by
+  /// a predictor switch still counts — it is a signal the site is hard).
+  int64_t DegradeTrips = 0;
+  /// Online predictor switches across all runs.
+  int64_t PredictorSwitches = 0;
+  /// Resolved prediction points / how many resolved badly, across runs.
+  int64_t Predictions = 0;
+  int64_t BadPredictions = 0;
+  /// Per-candidate hit/miss tallies ("user", "last", "stride", ...).
+  std::map<std::string, PredictorProfile> Predictors;
+};
+
+/// Persistent per-call-site profile store. See the file comment for the
+/// seeding and persistence contracts.
+class ProfileStore {
+public:
+  /// Bumped whenever the on-disk JSON layout changes; files written by a
+  /// different version load as cold.
+  static constexpr int64_t kFormatVersion = 1;
+
+  /// What one run reports into the store when it ends (success, degrade,
+  /// and throwing exits alike — by then the counters are final).
+  struct RunObservation {
+    int64_t FinalChunk = 0;
+    int64_t DegradeTrips = 0;
+    int64_t PredictorSwitches = 0;
+    int64_t Predictions = 0;
+    int64_t BadPredictions = 0;
+    std::vector<std::pair<std::string, PredictorProfile>> Predictors;
+  };
+
+  ProfileStore() = default;
+  ProfileStore(const ProfileStore &) = delete;
+  ProfileStore &operator=(const ProfileStore &) = delete;
+
+  /// Folds one finished run into \p Site's profile.
+  void recordRun(const std::string &Site, const RunObservation &Obs);
+
+  /// The chunk size to seed a warm run with, or 0 when the site is cold
+  /// (unknown, or never ran with the autotuner armed).
+  int64_t seedChunk(const std::string &Site) const;
+
+  /// The historically best predictor candidate at \p Site by hit rate,
+  /// or "" when the site is cold or no candidate has at least
+  /// \p MinSamples resolved prediction points (too little evidence to
+  /// overrule the caller's own predictor).
+  std::string bestPredictor(const std::string &Site,
+                            int64_t MinSamples = 8) const;
+
+  /// A copy of \p Site's profile (`Runs == 0` when unknown).
+  SiteProfile site(const std::string &Site) const;
+
+  /// All known site names, sorted.
+  std::vector<std::string> sites() const;
+
+  /// Number of known sites.
+  size_t size() const;
+
+  /// Drops every site.
+  void clear();
+
+  /// Replaces the store's contents with the file at \p Path. Returns
+  /// false — leaving the store untouched — when the file is missing,
+  /// unreadable, truncated, not valid JSON, or written by a different
+  /// format version. Never throws.
+  bool load(const std::string &Path);
+
+  /// Atomically publishes the store to \p Path: the snapshot is written
+  /// to a unique temp file next to the target and `rename()`d over it,
+  /// so a concurrent `load()` (or a crash mid-save) sees either the old
+  /// complete file or the new complete file, never a prefix. Returns
+  /// false when the temp file cannot be written or the rename fails.
+  bool save(const std::string &Path) const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, SiteProfile> Sites;
+};
+
+} // namespace rt
+} // namespace specpar
+
+#endif // SPECPAR_RUNTIME_PROFILESTORE_H

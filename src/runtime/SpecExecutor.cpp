@@ -91,7 +91,6 @@ const std::shared_ptr<SpecExecutor> &SpecExecutor::defaultShard() {
   return Shard;
 }
 
-SpecExecutor &SpecExecutor::process() { return *defaultShard(); }
 
 SpecExecutor::SpecExecutor(unsigned NumThreads) {
   if (NumThreads == 0)

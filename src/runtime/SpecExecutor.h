@@ -36,7 +36,7 @@
 ///    executes queued tasks instead of idling. This is what makes *nested*
 ///    speculation on one shared executor deadlock-free;
 ///  * destruction drains the queues (every submitted task runs) and joins
-///    the workers, matching the old ThreadPool contract.
+///    the workers.
 ///
 /// The lock-free paths are exercised concurrently from every thread, so
 /// builds with `-DSPECPAR_SANITIZE=thread` run `runtime_test` and the
@@ -209,13 +209,6 @@ public:
   /// a long-lived process can route every speculative run through this
   /// one shard instead of spawning transient pools.
   static const std::shared_ptr<SpecExecutor> &defaultShard();
-
-  /// Deprecated alias for `*defaultShard()` — the pre-redesign implicit
-  /// process-wide executor. Kept for one release; the reference it
-  /// returns conveys no ownership.
-  [[deprecated("hold SpecExecutor::defaultShard() (or create() your own "
-               "shard) and pass the handle to SpecConfig::executor()")]]
-  static SpecExecutor &process();
 
 private:
   /// A pooled task container: deques carry `TaskSlot*`, so a cell is

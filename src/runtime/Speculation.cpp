@@ -47,5 +47,14 @@ std::string SpeculationStats::str() const {
   if (DegradedChunks)
     Out += formatString(" degraded-chunks=%lld",
                         static_cast<long long>(DegradedChunks));
+  if (ProfileSeeds)
+    Out += formatString(" profile-seeds=%lld",
+                        static_cast<long long>(ProfileSeeds));
+  if (PredictorSwitches)
+    Out += formatString(" predictor-switches=%lld",
+                        static_cast<long long>(PredictorSwitches));
+  if (FinalChunk)
+    Out += formatString(" final-chunk=%lld",
+                        static_cast<long long>(FinalChunk));
   return Out;
 }

@@ -84,10 +84,13 @@
 ///  * `SpecConfig::degrade(rate, window)` arms the adaptive sequential
 ///    fallback: when the misprediction/failure rate over a sliding window
 ///    of prediction points exceeds `rate`, the run stops speculating,
-///    cancels in-flight attempts, and executes the remaining chunks
+///    cancels in-flight attempts, and executes the remaining segments
 ///    in-order on the calling thread (`SpeculationStats::DegradedChunks`,
-///    `SpecEventKind::Degrade`) — each remaining chunk executes exactly
-///    once, never speculatively plus again;
+///    `SpecEventKind::Degrade`) — each remaining segment executes exactly
+///    once, never speculatively plus again. With profile-guided
+///    prediction armed, a trip first tries to *switch predictor
+///    candidates* (see below) and only degrades when no better candidate
+///    exists;
 ///  * `SpecConfig::statsOut(&Snap)` publishes the run's statistics — a
 ///    `stats::Snapshot` pairing the speculation counters with the
 ///    resolved executor's activity delta — even when the run throws
@@ -100,14 +103,28 @@
 /// as a Chrome trace_event timeline. With no sink installed every
 /// instrumentation site is a single pointer test.
 ///
+/// Profile-guided prediction (runtime/ProfileStore.h):
+/// `SpecConfig::profile(&Store).profileSite("lex.main")` attaches the run
+/// to a persistent per-call-site profile. A *warm* site seeds the
+/// autotuner's initial chunk size from the previously converged value and
+/// starts with the historically best predictor candidate — the caller's
+/// predictor, last-value, or (for arithmetic T) stride — traced as
+/// `SpecEventKind::ProfileSeed` and counted in
+/// `SpeculationStats::ProfileSeeds`. During the run all candidates are
+/// shadow-tallied at each validated prediction point, and a degrade-
+/// monitor trip switches to a better candidate online
+/// (`SpecEventKind::PredictorSwitch`) before surrendering to sequential
+/// execution. At run end the observations fold back into the store; the
+/// caller persists it with `ProfileStore::save()`.
+///
 /// Executor ownership is explicit: `SpecConfig::executor()` takes a
 /// reference-counted `std::shared_ptr<SpecExecutor>` (or a borrowed
 /// reference the caller guarantees outlives the run); with none set, the
 /// run resolves to a transient executor (`threads(N > 0)`) or the
 /// process's default shard, `SpecExecutor::defaultShard()`. The
-/// pre-redesign `Options` overloads are gone; `sharedExecutor()` and the
-/// `SpeculationStats*` stats sink remain as deprecated forwards for one
-/// release — see docs/runtime-api.md for the migration table.
+/// pre-redesign `Options` overloads and the one-release deprecated
+/// forwards (`sharedExecutor()`, the `SpeculationStats*` stats sink) are
+/// gone — see docs/runtime-api.md for the migration table.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -116,11 +133,13 @@
 
 #include "runtime/EventCount.h"
 #include "runtime/FaultPlan.h"
+#include "runtime/ProfileStore.h"
 #include "runtime/SpecExecutor.h"
 #include "runtime/Stats.h"
 #include "runtime/Telemetry.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -133,6 +152,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace specpar {
@@ -272,10 +292,14 @@ public:
   /// badly (mispredicted or failed) exceeds \p MaxBadRate, the run stops
   /// dispatching speculation, cancels what is in flight, and executes the
   /// remaining iterations/chunks in order on the calling thread. Each
-  /// degraded chunk runs exactly once (counted in
-  /// `SpeculationStats::DegradedChunks`, traced as `Degrade`). A negative
+  /// degraded segment runs exactly once (counted in
+  /// `SpeculationStats::DegradedChunks`, traced as `Degrade`; with the
+  /// autotuner armed these are segments of the *dynamic* grid in use at
+  /// the trip, FinalChunk wide). A negative
   /// \p MaxBadRate (the default) disables the monitor; `degrade(0.0)`
-  /// degrades on the first bad window.
+  /// degrades on the first bad window. With profile-guided prediction
+  /// armed (profile()/profileSite()), a trip switches to a better
+  /// predictor candidate when one exists instead of degrading.
   SpecConfig &degrade(double MaxBadRate, int Window = 8) {
     DegradeThresh = MaxBadRate;
     DegradeWin = Window < 1 ? 1 : Window;
@@ -291,13 +315,22 @@ public:
     SnapSink = S;
     return *this;
   }
-  /// Deprecated speculation-counters-only sink; superseded by the
-  /// `stats::Snapshot` overload, which also attributes executor
-  /// activity. Kept as a thin forward for one release.
-  [[deprecated("pass a stats::Snapshot*; the SpeculationStats half is "
-               "Snapshot::Spec")]]
-  SpecConfig &statsOut(SpeculationStats *S) {
-    StatsSink = S;
+  /// Attaches the run to \p P, the persistent profile-guided prediction
+  /// store (runtime/ProfileStore.h). Takes effect only together with a
+  /// non-empty `profileSite()`: the pair (store, site) is what seeds the
+  /// initial chunk size and predictor candidate on a warm site, enables
+  /// online predictor switching at degrade trips, and receives the run's
+  /// observations when it ends. \p P must outlive the run; it is touched
+  /// once at run start and once at run end, never per wave.
+  SpecConfig &profile(ProfileStore *P) {
+    Prof = P;
+    return *this;
+  }
+  /// Names the call site in the profile store — any stable string the
+  /// caller picks ("lex.main", "tenantA/mwis"). Runs configured with the
+  /// same site share one learning curve.
+  SpecConfig &profileSite(std::string S) {
+    Site = std::move(S);
     return *this;
   }
   /// Arms the adaptive chunk autotuner for the *chunked* iteration forms:
@@ -313,9 +346,14 @@ public:
   /// exactly the fixed `[Low + c*ChunkSize, ...)` grid, and per-chunk
   /// statistics keep their fixed-grid meaning. With autotuning on, chunk
   /// ordinals (finalizer indices, telemetry indices, stats granularity)
-  /// follow the *dynamic* segmentation. Plain (unchunked) iterate() is
-  /// never autotuned — its per-iteration init/finalize contract fixes the
-  /// granularity.
+  /// follow the *dynamic* segmentation — in particular
+  /// `SpeculationStats::DegradedChunks` counts the dynamic segments the
+  /// sequential fallback actually executed (each matching one `Degrade`
+  /// trace event), and `SpeculationStats::FinalChunk` reports the chunk
+  /// size those segments were cut at (the last `Autotune` resize, or the
+  /// initial/seeded size when none fired). Plain (unchunked) iterate()
+  /// is never autotuned — its per-iteration init/finalize contract fixes
+  /// the granularity.
   SpecConfig &autotune(int64_t TargetChunkMicros) {
     AutotuneUs = TargetChunkMicros < 0 ? 0 : TargetChunkMicros;
     return *this;
@@ -335,9 +373,10 @@ public:
   std::chrono::nanoseconds deadline() const { return Deadline; }
   double degradeThreshold() const { return DegradeThresh; }
   int degradeWindow() const { return DegradeWin; }
-  SpeculationStats *statsOut() const { return StatsSink; }
   stats::Snapshot *statsSnapshotOut() const { return SnapSink; }
   int64_t autotuneTargetMicros() const { return AutotuneUs; }
+  ProfileStore *profile() const { return Prof; }
+  const std::string &profileSite() const { return Site; }
 
   /// The persistent executor this config resolves to — the explicit one,
   /// or the process's default shard — or an empty handle when the run
@@ -350,14 +389,6 @@ public:
     return NumThreads == 0 ? SpecExecutor::defaultShard() : nullptr;
   }
 
-  /// Deprecated raw-pointer form of resolvedExecutor(): conveys no
-  /// ownership. Kept as a thin forward for one release.
-  [[deprecated("use resolvedExecutor(); the shared_ptr it returns names "
-               "the ownership a raw pointer cannot")]]
-  SpecExecutor *sharedExecutor() const {
-    return resolvedExecutor().get();
-  }
-
 private:
   unsigned NumThreads = 0;
   ValidationMode Mode = ValidationMode::Seq;
@@ -368,9 +399,10 @@ private:
   std::chrono::nanoseconds Deadline{0};
   double DegradeThresh = -1.0;
   int DegradeWin = 8;
-  SpeculationStats *StatsSink = nullptr;
   stats::Snapshot *SnapSink = nullptr;
   int64_t AutotuneUs = 0;
+  ProfileStore *Prof = nullptr;
+  std::string Site;
 };
 
 /// A shared cancellation flag (cooperative, like .NET's).
@@ -557,22 +589,56 @@ struct SegRunSync {
   }
 };
 
-/// Copies the run's accumulated statistics into the config's stats sinks
-/// (when set) on every exit path, including throws: the deprecated
-/// `SpeculationStats*` sink gets the counters, a `stats::Snapshot` sink
-/// gets them as its `Spec` half (its `Exec` half is filled by
-/// ExecDeltaGuard, which lives closer to the resolved executor).
+/// Copies the run's accumulated statistics into the config's
+/// `stats::Snapshot` sink (when set) on every exit path, including
+/// throws: the sink gets them as its `Spec` half (its `Exec` half is
+/// filled by ExecDeltaGuard, which lives closer to the resolved
+/// executor).
 struct StatsOutGuard {
   const SpeculationStats &Local;
-  SpeculationStats *Out;
   stats::Snapshot *Snap = nullptr;
   ~StatsOutGuard() {
-    if (Out)
-      *Out = Local;
     if (Snap)
       Snap->Spec = Local;
   }
 };
+
+/// Predictor candidate ids for profile-guided prediction. `User` is the
+/// caller's own predictor; `Last` predicts the most recently validated
+/// loop-carried value; `Stride` linearly extrapolates the last two
+/// validated values (arithmetic T only). The ids are what ProfileSeed /
+/// PredictorSwitch trace events and the ProfileStore's candidate names
+/// refer to.
+enum PredictorCandidate : int {
+  CandUser = 0,
+  CandLast = 1,
+  CandStride = 2,
+  NumCandidates = 3,
+};
+
+/// The stable ProfileStore key of candidate \p C.
+inline const char *candidateName(int C) {
+  switch (C) {
+  case CandLast:
+    return "last";
+  case CandStride:
+    return "stride";
+  default:
+    return "user";
+  }
+}
+
+/// Inverse of candidateName(); -1 for unknown names (a cold site or a
+/// profile written by a build with different candidates).
+inline int candidateId(const std::string &Name) {
+  if (Name == "user")
+    return CandUser;
+  if (Name == "last")
+    return CandLast;
+  if (Name == "stride")
+    return CandStride;
+  return -1;
+}
 
 /// Fills a `stats::Snapshot` sink's `Exec` half with the resolved
 /// executor's activity delta across the run. Constructed immediately
@@ -615,8 +681,7 @@ public:
                                 const SpecConfig &Cfg = SpecConfig(),
                                 Eq Equal = Eq()) {
     SpecResult<void> Result;
-    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut(),
-                                Cfg.statsSnapshotOut()};
+    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsSnapshotOut()};
     applyImpl<T>(std::forward<ProducerFn>(Producer),
                  std::forward<PredictorFn>(Predictor),
                  std::forward<ConsumerFn>(Consumer), Cfg, Equal, Result.Stats);
@@ -898,8 +963,7 @@ public:
                                     const SpecConfig &Cfg = SpecConfig(),
                                     Eq Equal = Eq()) {
     SpecResult<T> Result;
-    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut(),
-                                Cfg.statsSnapshotOut()};
+    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsSnapshotOut()};
     if (High <= Low) {
       Result.Value = Predictor(Low);
       return Result;
@@ -970,8 +1034,7 @@ public:
           "Speculation::iterateChunked: ChunkSize must be positive, got " +
           std::to_string(ChunkSize));
     SpecResult<T> Result;
-    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsOut(),
-                                Cfg.statsSnapshotOut()};
+    detail::StatsOutGuard Guard{Result.Stats, Cfg.statsSnapshotOut()};
     if (High <= Low) {
       Result.Value = Predictor(Low);
       return Result;
@@ -1048,11 +1111,14 @@ private:
           DegradeThresh(Cfg.degradeThreshold()),
           DegradeWindow(Cfg.degradeThreshold() >= 0 ? Cfg.degradeWindow()
                                                     : 0),
+          Prof(Cfg.profile()), SiteName(&Cfg.profileSite()),
+          ProfOn(Prof != nullptr && !SiteName->empty()),
           W(std::max<int64_t>(8, 4 * static_cast<int64_t>(Ex.numThreads()))),
           AttemptStore(static_cast<size_t>(3 * W)),
           Slots(static_cast<size_t>(W)), WavePred(static_cast<size_t>(W)),
           WaveB(static_cast<size_t>(W)), WaveE(static_cast<size_t>(W)),
-          WaveUser(static_cast<size_t>(W)) {
+          WaveUser(static_cast<size_t>(W)),
+          WaveCand(ProfOn ? static_cast<size_t>(W) : 0) {
       FreeLocal.reserve(static_cast<size_t>(W));
       ChainPool.reserve(static_cast<size_t>(2 * W));
       for (int64_t I = 0; I < W; ++I)
@@ -1078,6 +1144,8 @@ private:
 
     T run() {
       Run.ValidatorId = std::this_thread::get_id();
+      if (ProfOn)
+        profileSeed();
       // The non-speculative initial value of the loop-carried state; its
       // exception propagates (speculative prediction points swallow
       // theirs into "failed prediction" instead — see planWave).
@@ -1125,14 +1193,34 @@ private:
           if (!Degraded && DegradeWindow > 0 && WinCount == DegradeWindow &&
               WinBad > DegradeThresh * DegradeWindow) {
             // The window is saturated with bad prediction points:
-            // speculation is burning work. Cancel this wave's remaining
-            // attempts and fall back to in-order execution. Segments
-            // beyond the wave were never dispatched — nothing to cancel
-            // there.
-            Degraded = true;
-            Run.Draining.store(true, std::memory_order_seq_cst);
-            for (int64_t KK = K; KK < WaveCount; ++KK)
-              cancelSlot(KK, WaveUser[static_cast<size_t>(KK)]);
+            // speculation is burning work. With a profile attached, first
+            // try to switch to a candidate predictor that has been
+            // hitting where the active one misses — the "deoptimize to a
+            // better guess" move; each candidate gets at most one shot
+            // per run, so a hopeless site still converges to sequential.
+            ++RunDegradeTrips;
+            const int Next = ProfOn ? pickSwitchCandidate() : -1;
+            if (Next >= 0) {
+              ActiveCand = Next;
+              CandTried[static_cast<size_t>(Next)] = true;
+              ++Stats.PredictorSwitches;
+              if (Tr)
+                Tr->record(SpecEventKind::PredictorSwitch, Next, 0);
+              // Fresh window: the new candidate drives the *next* wave's
+              // predictions, and it deserves a full window before the
+              // monitor may trip again.
+              std::fill(WinBuf.begin(), WinBuf.end(), 0);
+              WinCount = WinPos = WinBad = 0;
+            } else {
+              // No better candidate: cancel this wave's remaining
+              // attempts and fall back to in-order execution. Segments
+              // beyond the wave were never dispatched — nothing to
+              // cancel there.
+              Degraded = true;
+              Run.Draining.store(true, std::memory_order_seq_cst);
+              for (int64_t KK = K; KK < WaveCount; ++KK)
+                cancelSlot(KK, WaveUser[static_cast<size_t>(KK)]);
+            }
           }
           if (Degraded) {
             // Quiesce the (cancelled) slot so this in-order execution's
@@ -1151,6 +1239,27 @@ private:
           const int64_t GlobalOrd = WaveOrd0 + K;
           bool SlotBad = false;     // mispredicted or failed
           bool ForceReexec = false; // injected ForceMispredict fired
+          if (ProfOn) {
+            // `Correct` here is the true value *entering* this segment:
+            // shadow-score every candidate's prediction against it
+            // (internal accounting — no fault-plan probes, and a
+            // throwing comparator just skips the sample), then feed the
+            // observation to the stride extrapolator.
+            if (GlobalOrd > 0) {
+              const auto &CP = WaveCand[static_cast<size_t>(K)];
+              for (int C = 0; C < detail::NumCandidates; ++C) {
+                if (!CP[static_cast<size_t>(C)])
+                  continue;
+                bool Th = false;
+                if (guardedEqual(Equal, nullptr, *CP[static_cast<size_t>(C)],
+                                 Correct, Th))
+                  ++CandHits[static_cast<size_t>(C)];
+                else if (!Th)
+                  ++CandMiss[static_cast<size_t>(C)];
+              }
+            }
+            observe(WaveB[static_cast<size_t>(K)], Correct);
+          }
           if (GlobalOrd > 0) {
             ++Stats.Predictions;
             const std::optional<T> &P = WavePred[static_cast<size_t>(K)];
@@ -1314,6 +1423,13 @@ private:
       while (Run.Exiting.load(std::memory_order_seq_cst) != 0)
         std::this_thread::yield();
       Stats.Tasks += Run.ChainedTasks.load(std::memory_order_relaxed);
+      // The segmentation the run actually ended on — after any autotune
+      // resizes and regardless of how the run exits. DegradedChunks (and
+      // chunk ordinals generally) count segments of *this* dynamic grid,
+      // not the configured fixed grid.
+      Stats.FinalChunk = CurChunk;
+      if (ProfOn)
+        profileRecord();
       if (TimedOut) {
         if (Tr)
           Tr->record(SpecEventKind::Timeout, TimeoutIdx, 0);
@@ -1347,8 +1463,11 @@ private:
           // The run's first segment consumes the non-speculative initial
           // value — no speculation about its input, no prediction point.
           WavePred[K].emplace(Correct);
+          if (ProfOn)
+            for (auto &CP : WaveCand[K])
+              CP.reset();
           FirstSegment = false;
-        } else {
+        } else if (!ProfOn) {
           WavePred[K].reset();
           try {
             if (FP)
@@ -1356,6 +1475,25 @@ private:
             WavePred[K].emplace(Predictor(B));
           } catch (...) {
           }
+        } else {
+          // Profile-guided: compute *every* candidate's prediction (the
+          // user predictor is assumed cheap relative to bodies — it was
+          // already called here per segment), dispatch on the active
+          // one, shadow-score the rest at validation. `Correct` is the
+          // last validated value — exactly what the last-value
+          // candidate predicts for every segment of this wave.
+          auto &CP = WaveCand[K];
+          for (auto &C : CP)
+            C.reset();
+          try {
+            if (FP)
+              FP->maybeThrow(FaultSite::PredictorThrow);
+            CP[detail::CandUser].emplace(Predictor(B));
+          } catch (...) {
+          }
+          CP[detail::CandLast].emplace(Correct);
+          stridePredict(B, CP[detail::CandStride]);
+          WavePred[K] = CP[static_cast<size_t>(ActiveCand)];
         }
         ++NextOrd;
         ++WaveCount;
@@ -1876,6 +2014,117 @@ private:
       WaveBoundaries = 0;
     }
 
+    //===---------------- profile-guided prediction ----------------------===//
+
+    /// Warm-start from the profile store, called once at run start:
+    /// seeds the initial chunk size from the site's converged value
+    /// (autotuned chunked runs only) and the starting predictor
+    /// candidate from historical hit rates. One ProfileSeed trace event
+    /// and one ProfileSeeds count per warm run.
+    void profileSeed() {
+      int64_t SeededChunk = 0;
+      if (OrdinalIndices && AutoTargetNs > 0) {
+        const int64_t SC = Prof->seedChunk(*SiteName);
+        if (SC > 0) {
+          CurChunk = std::min(std::max<int64_t>(1, SC), MaxChunk);
+          SeededChunk = CurChunk;
+        }
+      }
+      int BestId = detail::candidateId(Prof->bestPredictor(*SiteName));
+      // A stride recommendation is only honourable when T supports it.
+      if (BestId == detail::CandStride && !std::is_arithmetic_v<T>)
+        BestId = -1;
+      if (BestId >= 0)
+        ActiveCand = BestId;
+      CandTried[static_cast<size_t>(ActiveCand)] = true;
+      if (SeededChunk > 0 || BestId >= 0) {
+        ++Stats.ProfileSeeds;
+        if (Tr)
+          Tr->record(SpecEventKind::ProfileSeed, SeededChunk,
+                     static_cast<uint64_t>(ActiveCand));
+      }
+    }
+
+    /// Feeds one validated (iteration index, loop-carried value)
+    /// observation to the stride extrapolator (arithmetic T only).
+    void observe(int64_t Idx, const T &Val) {
+      if constexpr (std::is_arithmetic_v<T>) {
+        ObsIdx0 = ObsIdx1;
+        ObsVal0 = ObsVal1;
+        HaveTwoObs = HaveObs;
+        ObsIdx1 = Idx;
+        ObsVal1 = Val;
+        HaveObs = true;
+      } else {
+        (void)Idx;
+        (void)Val;
+      }
+    }
+
+    /// The stride candidate's prediction for a segment starting at
+    /// iteration \p B: linear extrapolation through the last two
+    /// validated observations. Left disengaged until two observations at
+    /// distinct indices exist (or always, for non-arithmetic T).
+    void stridePredict(int64_t B, std::optional<T> &Out) {
+      if constexpr (std::is_arithmetic_v<T>) {
+        if (!HaveTwoObs || ObsIdx1 == ObsIdx0)
+          return;
+        const double Slope =
+            (static_cast<double>(ObsVal1) - static_cast<double>(ObsVal0)) /
+            static_cast<double>(ObsIdx1 - ObsIdx0);
+        Out.emplace(static_cast<T>(
+            static_cast<double>(ObsVal1) +
+            Slope * static_cast<double>(B - ObsIdx1)));
+      } else {
+        (void)B;
+        (void)Out;
+      }
+    }
+
+    /// The candidate to switch to at a degrade trip, or -1 to degrade:
+    /// the untried candidate with the best hit rate *this run*, provided
+    /// it has enough samples to mean anything and is hitting a majority
+    /// — switching to a coin flip would only defer the fallback.
+    int pickSwitchCandidate() const {
+      int Best = -1;
+      double BestRate = 0.5;
+      for (int C = 0; C < detail::NumCandidates; ++C) {
+        if (CandTried[static_cast<size_t>(C)])
+          continue;
+        const int64_t N = CandHits[static_cast<size_t>(C)] +
+                          CandMiss[static_cast<size_t>(C)];
+        if (N < 4)
+          continue;
+        const double Rate =
+            static_cast<double>(CandHits[static_cast<size_t>(C)]) / N;
+        if (Rate > BestRate) {
+          BestRate = Rate;
+          Best = C;
+        }
+      }
+      return Best;
+    }
+
+    /// Folds the run's observations back into the store, called once at
+    /// run end on every exit path (by then the counters are final).
+    void profileRecord() {
+      ProfileStore::RunObservation Obs;
+      Obs.FinalChunk =
+          (OrdinalIndices && AutoTargetNs > 0) ? CurChunk : 0;
+      Obs.DegradeTrips = RunDegradeTrips;
+      Obs.PredictorSwitches = Stats.PredictorSwitches;
+      Obs.Predictions = Stats.Predictions;
+      Obs.BadPredictions = Stats.Mispredictions + Stats.FailedPredictions;
+      for (int C = 0; C < detail::NumCandidates; ++C) {
+        const int64_t H = CandHits[static_cast<size_t>(C)];
+        const int64_t Ms = CandMiss[static_cast<size_t>(C)];
+        if (H + Ms > 0)
+          Obs.Predictors.emplace_back(detail::candidateName(C),
+                                      PredictorProfile{H, Ms});
+      }
+      Prof->recordRun(*SiteName, Obs);
+    }
+
     //===---------------- state ------------------------------------------===//
 
     const int64_t Low, High;
@@ -1897,6 +2146,11 @@ private:
     const bool HasDeadline;
     const double DegradeThresh;
     const int DegradeWindow;
+    /// Profile-guided prediction (armed iff a store *and* a site name
+    /// are configured; everything below is untouched otherwise).
+    ProfileStore *const Prof;
+    const std::string *const SiteName;
+    const bool ProfOn;
     const int64_t W;
     int64_t MaxChunk = 1;
 
@@ -1913,8 +2167,25 @@ private:
     /// for workers during the wave).
     std::vector<std::optional<T>> WavePred;
     std::vector<int64_t> WaveB, WaveE, WaveUser;
+    /// Per-segment candidate predictions (profile-guided runs only;
+    /// validator-only — workers never read the shadow candidates).
+    std::vector<std::array<std::optional<T>, detail::NumCandidates>>
+        WaveCand;
     int64_t WaveCount = 0;
     int64_t WaveOrd0 = 0;
+
+    /// Candidate accounting for this run (validator only). The stride
+    /// extrapolator's observation storage collapses to a char when T is
+    /// not arithmetic (the candidate is then never engaged).
+    int ActiveCand = detail::CandUser;
+    std::array<bool, detail::NumCandidates> CandTried{};
+    std::array<int64_t, detail::NumCandidates> CandHits{};
+    std::array<int64_t, detail::NumCandidates> CandMiss{};
+    int64_t RunDegradeTrips = 0;
+    bool HaveObs = false, HaveTwoObs = false;
+    int64_t ObsIdx1 = 0, ObsIdx0 = 0;
+    std::conditional_t<std::is_arithmetic_v<T>, T, char> ObsVal1{},
+        ObsVal0{};
 
     /// Autotune accumulators (current wave).
     int64_t WaveNs = 0;

@@ -55,12 +55,32 @@ struct SpeculationStats {
   int64_t FailedPredictions = 0;
   /// Consumer/iteration re-executions performed by the validator itself.
   int64_t Reexecutions = 0;
-  /// Chunks executed in-order by the adaptive sequential fallback after
+  /// Segments executed in-order by the adaptive sequential fallback after
   /// the degrade monitor tripped (SpecConfig::degrade()). Disjoint from
-  /// Reexecutions: a degraded chunk runs exactly once, non-speculatively.
+  /// Reexecutions: a degraded segment runs exactly once, non-speculatively.
+  /// With the autotuner armed these are *dynamic* segments — the
+  /// boundaries the run was actually using when it degraded (FinalChunk
+  /// wide, except a possibly-short tail), not fixed `ChunkSize` grid
+  /// cells. Each one matches exactly one `SpecEventKind::Degrade` trace
+  /// event.
   int64_t DegradedChunks = 0;
+  /// Runs whose initial chunk size and/or predictor choice was seeded
+  /// from a warm `ProfileStore` site (SpecConfig::profile()).
+  int64_t ProfileSeeds = 0;
+  /// Online predictor-candidate switches performed when the degrade
+  /// monitor tripped but a better candidate was available
+  /// (`SpecEventKind::PredictorSwitch`).
+  int64_t PredictorSwitches = 0;
+  /// The chunk size the run ended on — the segmentation actually in use
+  /// after any autotune resizes (equal to the configured ChunkSize when
+  /// the autotuner is off; 1 for plain iterate; 0 for apply() and runs
+  /// that never reached the engine). Unlike every other field this is a
+  /// *last-value*, not a monotone total: `+=` keeps the most recent
+  /// nonzero value rather than summing.
+  int64_t FinalChunk = 0;
 
-  /// Counter-wise accumulation (all six counters are monotone totals).
+  /// Counter-wise accumulation (monotone totals, except FinalChunk which
+  /// keeps the most recent nonzero observation).
   SpeculationStats &operator+=(const SpeculationStats &O) {
     Tasks += O.Tasks;
     Predictions += O.Predictions;
@@ -68,6 +88,10 @@ struct SpeculationStats {
     FailedPredictions += O.FailedPredictions;
     Reexecutions += O.Reexecutions;
     DegradedChunks += O.DegradedChunks;
+    ProfileSeeds += O.ProfileSeeds;
+    PredictorSwitches += O.PredictorSwitches;
+    if (O.FinalChunk)
+      FinalChunk = O.FinalChunk;
     return *this;
   }
 

@@ -43,6 +43,10 @@ const char *specpar::rt::specEventKindName(SpecEventKind K) {
     return "timeout";
   case SpecEventKind::Autotune:
     return "autotune";
+  case SpecEventKind::ProfileSeed:
+    return "profile-seed";
+  case SpecEventKind::PredictorSwitch:
+    return "predictor-switch";
   }
   return "unknown";
 }
@@ -129,7 +133,7 @@ uint64_t Tracer::droppedEvents() const {
 
 std::string Tracer::summary() const {
   std::vector<SpecEvent> Events = snapshot();
-  std::array<uint64_t, 12> Counts{};
+  std::array<uint64_t, 14> Counts{};
   uint64_t MaxTimeNs = 0;
   uint32_t MaxThread = 0;
   for (const SpecEvent &E : Events) {

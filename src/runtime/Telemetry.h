@@ -82,6 +82,15 @@ enum class SpecEventKind : uint8_t {
   /// scheduling waves (SpecConfig::autotune()). Index carries the *new*
   /// chunk size; AttemptId is 0 — a run-level decision.
   Autotune,
+  /// A warm `ProfileStore` seeded the run (SpecConfig::profile()). Index
+  /// carries the seeded initial chunk size (0 when only the predictor
+  /// choice was seeded); AttemptId carries the starting predictor
+  /// candidate (0 = user, 1 = last-value, 2 = stride).
+  ProfileSeed,
+  /// The degrade monitor tripped but a better predictor candidate was
+  /// available, so the run switched predictors online instead of falling
+  /// back to sequential execution. Index carries the new candidate id.
+  PredictorSwitch,
 };
 
 /// Stable lowercase name of \p K (e.g. "validate-accept").

@@ -11,6 +11,7 @@
 
 #include <arpa/inet.h>
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
 #include <poll.h>
@@ -23,11 +24,17 @@ namespace serving {
 
 namespace {
 
-/// Writes all of \p Data to \p Fd (best effort; the peer may close).
+/// Writes all of \p Data to \p Fd, resuming after short writes and
+/// EINTR (best effort beyond that; the peer may close). A large
+/// /metrics body routinely exceeds the socket send buffer, so send()
+/// returning less than requested — or -1/EINTR under a signal — is the
+/// normal case, not an error.
 void writeAll(int Fd, const std::string &Data) {
   size_t Off = 0;
   while (Off < Data.size()) {
     ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N < 0 && errno == EINTR)
+      continue;
     if (N <= 0)
       return;
     Off += static_cast<size_t>(N);
@@ -35,13 +42,16 @@ void writeAll(int Fd, const std::string &Data) {
 }
 
 /// Reads until the header terminator (one request per connection, no
-/// body expected on GET). Bounded to keep a misbehaving client cheap.
+/// body expected on GET). Retries EINTR; bounded to keep a misbehaving
+/// client cheap.
 std::string readRequest(int Fd) {
   std::string Req;
   char Buf[2048];
   while (Req.size() < 16 * 1024 &&
          Req.find("\r\n\r\n") == std::string::npos) {
     ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
     if (N <= 0)
       break;
     Req.append(Buf, static_cast<size_t>(N));
@@ -140,9 +150,14 @@ std::string HttpMetricsServer::get(uint16_t Port, const std::string &Path) {
   writeAll(Fd, Req);
   std::string Resp;
   char Buf[4096];
-  ssize_t N;
-  while ((N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
     Resp.append(Buf, static_cast<size_t>(N));
+  }
   ::close(Fd);
   return Resp;
 }

@@ -8,10 +8,35 @@
 #include "serving/Metrics.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <locale>
+#include <sstream>
 
 namespace specpar {
 namespace serving {
+
+namespace {
+
+/// Renders a double for the exposition format. snprintf("%g") honours the
+/// global C locale, so a host application calling setlocale(LC_NUMERIC,
+/// "de_DE") would turn every float sample into `0,5` and break scrapers;
+/// an ostringstream imbued with the classic locale is immune. One
+/// formatter serves both sample values and histogram `le` bounds so the
+/// two can never drift apart in precision again.
+std::string formatDouble(double Value) {
+  if (std::isnan(Value))
+    return "NaN";
+  if (std::isinf(Value))
+    return Value > 0 ? "+Inf" : "-Inf";
+  std::ostringstream OS;
+  OS.imbue(std::locale::classic());
+  OS.precision(9); // shortest-of-%.9g equivalent; round-trips float counters
+  OS << Value;
+  return OS.str();
+}
+
+} // namespace
 
 std::string escapeLabelValue(const std::string &V) {
   std::string Out;
@@ -56,12 +81,10 @@ void PrometheusWriter::appendLabels(const Labels &L) {
 
 void PrometheusWriter::sample(const std::string &Name, const Labels &L,
                               double Value) {
-  char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "%.9g", Value);
   Out += Name;
   appendLabels(L);
   Out += " ";
-  Out += Buf;
+  Out += formatDouble(Value);
   Out += "\n";
 }
 
@@ -82,9 +105,7 @@ void PrometheusWriter::histogram(const std::string &Name, const Labels &L,
   for (size_t I = 0; I < LatencyHistogram::Bounds.size(); ++I) {
     Cum += H.counts()[I];
     Labels BL = L;
-    char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), "%g", LatencyHistogram::Bounds[I]);
-    BL.emplace_back("le", Buf);
+    BL.emplace_back("le", formatDouble(LatencyHistogram::Bounds[I]));
     sample(Name + "_bucket", BL, Cum);
   }
   Cum += H.counts()[LatencyHistogram::Bounds.size()];

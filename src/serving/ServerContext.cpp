@@ -195,8 +195,14 @@ std::string ServerContext::metricsText() const {
       {"specd_spec_reexecutions_total", "Validator re-executions.",
        &rt::SpeculationStats::Reexecutions},
       {"specd_spec_degraded_chunks_total",
-       "Chunks run sequentially by the adaptive fallback.",
+       "Dynamic segments run sequentially by the adaptive fallback.",
        &rt::SpeculationStats::DegradedChunks},
+      {"specd_spec_profile_seeds_total",
+       "Runs that started warm from a per-site profile.",
+       &rt::SpeculationStats::ProfileSeeds},
+      {"specd_spec_predictor_switches_total",
+       "Online predictor switches after degrade-monitor trips.",
+       &rt::SpeculationStats::PredictorSwitches},
   };
   for (const SpecField &F : SpecFields) {
     W.family(F.Name, F.Help, "counter");
@@ -204,6 +210,22 @@ std::string ServerContext::metricsText() const {
       W.sample(F.Name, {{"tenant", TS->Policy.Name}},
                static_cast<uint64_t>(
                    std::max<int64_t>(0, TS->totals().Spec.*F.Member)));
+  }
+
+  // Profile-store coverage for tenants running profile-guided: how many
+  // distinct sites (tenant/kind pairs) have accumulated history.
+  bool AnyProfile = false;
+  for (TenantState *TS : States)
+    AnyProfile = AnyProfile || TS->Profile != nullptr;
+  if (AnyProfile) {
+    W.family("specd_profile_sites",
+             "Call sites with recorded profile history per tenant.", "gauge");
+    for (TenantState *TS : States) {
+      if (!TS->Profile)
+        continue;
+      W.sample("specd_profile_sites", {{"tenant", TS->Policy.Name}},
+               static_cast<uint64_t>(TS->Profile->size()));
+    }
   }
 
   W.family("specd_tenant_executor_submits_total",

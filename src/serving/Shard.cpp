@@ -145,6 +145,11 @@ void Shard::dispatchLoop() {
 JobResult Shard::runJob(const Job &Work, TenantState &Tenant) {
   JobResult R;
   rt::SpecConfig Cfg = Tenant.Policy.toConfig(Ex, Tenant.Trace.get());
+  if (Tenant.Profile)
+    // Key the profile per job kind: lex and decode converge to very
+    // different chunk sizes, so they must not share a site.
+    Cfg.profile(Tenant.Profile.get())
+        .profileSite(Tenant.Policy.Name + "/" + jobKindName(Work.Kind));
   const int NumTasks = Tenant.Policy.NumTasks;
   try {
     switch (Work.Kind) {

@@ -19,6 +19,7 @@
 #ifndef SPECPAR_SERVING_SHARD_H
 #define SPECPAR_SERVING_SHARD_H
 
+#include "runtime/ProfileStore.h"
 #include "runtime/Speculation.h"
 #include "serving/Job.h"
 #include "serving/Metrics.h"
@@ -43,10 +44,26 @@ namespace serving {
 struct TenantState {
   explicit TenantState(TenantPolicy P)
       : Policy(std::move(P)),
-        Trace(Policy.Trace ? std::make_unique<rt::Tracer>() : nullptr) {}
+        Trace(Policy.Trace ? std::make_unique<rt::Tracer>() : nullptr),
+        Profile(Policy.ProfileGuided ? std::make_unique<rt::ProfileStore>()
+                                     : nullptr) {
+    // Warm from disk when persistence is configured; a missing or
+    // corrupt file loads as cold, never as a registration failure.
+    if (Profile && !Policy.ProfilePath.empty())
+      Profile->load(Policy.ProfilePath);
+  }
+
+  ~TenantState() {
+    if (Profile && !Policy.ProfilePath.empty())
+      Profile->save(Policy.ProfilePath);
+  }
 
   const TenantPolicy Policy;
   const std::unique_ptr<rt::Tracer> Trace;
+  /// The tenant's profile store (null unless `Policy.ProfileGuided`).
+  /// Shared by every shard the tenant's jobs land on — the store is
+  /// internally synchronized.
+  const std::unique_ptr<rt::ProfileStore> Profile;
 
   /// Folds one finished (or rejected) job into the aggregates.
   void record(const JobResult &R) {

@@ -61,6 +61,22 @@ struct TenantPolicy {
   /// metrics endpoint as `specd_trace_events_total{tenant,kind}`.
   bool Trace = false;
 
+  /// When true the server owns a `rt::ProfileStore` for this tenant and
+  /// arms profile-guided prediction on every run, keyed per job kind
+  /// (`<tenant>/<kind>`): later runs of the same kind start with the
+  /// converged chunk size and the historically best predictor, and a
+  /// degrade trip first tries switching predictors before giving up on
+  /// speculation. Seeds and switches are exported as
+  /// `specd_spec_profile_seeds_total` / `specd_spec_predictor_switches_total`.
+  bool ProfileGuided = false;
+
+  /// Optional persistence for the tenant's profile store: loaded (best
+  /// effort — a missing or corrupt file starts cold) when the tenant is
+  /// registered, saved when the server context is destroyed. Empty keeps
+  /// the profile in-memory only, warming runs within one server
+  /// lifetime. Meaningful only with `ProfileGuided`.
+  std::string ProfilePath;
+
   /// Lowers this policy onto \p Shard's executor. \p Tr is the tenant's
   /// tracer (null when tracing is off).
   rt::SpecConfig toConfig(std::shared_ptr<rt::SpecExecutor> Shard,

@@ -388,6 +388,41 @@ TEST(Iterate, DegradeIsOffByDefault) {
   EXPECT_EQ(R.Stats.Mispredictions, N - 1);
 }
 
+TEST(IterateChunked, DegradeAfterAutotuneResizeReconcilesWithTrace) {
+  // Autotune and degrade interact: the all-bad first wave makes the
+  // autotuner halve the chunk, then the widened degrade window trips
+  // *after* the resize — so the degraded tail runs on the dynamic grid,
+  // not the configured one. The accounting contract under test:
+  // DegradedChunks counts dynamic segments, 1:1 with Degrade trace
+  // events, and FinalChunk reports the segmentation the run ended on
+  // (the last Autotune event's size — resizes stop at the trip).
+  const int64_t N = 600, Chunk = 16;
+  Tracer Tr;
+  auto R = Speculation::iterateChunked<int64_t>(
+      0, N, Chunk, [](int64_t I, int64_t A) { return A + I; },
+      [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-7); },
+      SpecConfig()
+          .threads(2)
+          .autotune(/*TargetMicros=*/1000)
+          .degrade(/*MaxBadRate=*/0.5, /*Window=*/24)
+          .trace(&Tr));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  auto Events = Tr.snapshot();
+  // The window (24) outlasts one 8-segment wave, so at least one
+  // autotune adjustment lands before the trip.
+  ASSERT_GE(countEvents(Events, SpecEventKind::Autotune), 1);
+  EXPECT_GT(R.Stats.DegradedChunks, 0);
+  EXPECT_EQ(countEvents(Events, SpecEventKind::Degrade),
+            static_cast<int>(R.Stats.DegradedChunks));
+  // FinalChunk is the dynamic chunk size, i.e. the last resize's value.
+  int64_t LastResize = Chunk;
+  for (const SpecEvent &E : Events)
+    if (E.Kind == SpecEventKind::Autotune)
+      LastResize = E.Index;
+  EXPECT_EQ(R.Stats.FinalChunk, LastResize);
+  EXPECT_LT(R.Stats.FinalChunk, Chunk); // the all-bad wave halved it
+}
+
 TEST(Iterate, DegradeTripsOnRealMispredictionsToo) {
   // No fault plan at all: a predictor that is simply wrong everywhere
   // trips the monitor the same way.
@@ -438,18 +473,13 @@ TEST(Iterate, ThrowingFinalizerSkipsLaterFinalizersAndDrains) {
   EXPECT_GE(Snap.Spec.Tasks, N);
 }
 
-TEST(Iterate, ThrowingFinalizerStillFillsDeprecatedStatsSink) {
+TEST(Iterate, ThrowingFinalizerStillFillsSnapshotSink) {
+  // Throw-safe stats publication on a transient executor (the deprecated
+  // SpeculationStats* sink is gone; the Snapshot sink owns this
+  // contract on every executor-resolution path).
   const int64_t N = 6;
-  SpeculationStats Stats;
-  SpecConfig Cfg = SpecConfig().threads(2);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  Cfg.statsOut(&Stats);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+  stats::Snapshot Snap;
+  SpecConfig Cfg = SpecConfig().threads(2).statsOut(&Snap);
   EXPECT_THROW(
       (Speculation::iterateLocal<int64_t, int64_t>(
           0, N, [] { return int64_t(0); },
@@ -464,8 +494,8 @@ TEST(Iterate, ThrowingFinalizerStillFillsDeprecatedStatsSink) {
           },
           Cfg)),
       std::runtime_error);
-  // The pre-redesign out-param sees the stats even though the run threw.
-  EXPECT_GE(Stats.Tasks, N);
+  // The out-param sees the stats even though the run threw.
+  EXPECT_GE(Snap.Spec.Tasks, N);
 }
 
 //===----------------------------------------------------------------------===//

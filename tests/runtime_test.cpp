@@ -372,8 +372,9 @@ TEST(Apply, EagerProducerAbortOnSharedExecutor) {
         },
         [&Seen](int V) { Seen = V; }, Cfg);
     EXPECT_EQ(Seen.load(), 7);
-    if (R.Stats.Reexecutions > 0)
+    if (R.Stats.Reexecutions > 0) {
       EXPECT_TRUE(PredictorCancelled.load());
+    }
   }
   // Exception semantics are unchanged on a shared executor.
   EXPECT_THROW(Speculation::apply<int>(
@@ -684,7 +685,7 @@ TEST(Nested, MispredictedNestedRunsOnSharedExecutorStayCorrect) {
       SpecConfig().executor(Ex).mode(ValidationMode::Par);
   auto R = Speculation::iterate<int64_t>(
       0, 5,
-      [&](int64_t I, int64_t Acc) {
+      [&](int64_t, int64_t Acc) {
         auto Inner = Speculation::iterate<int64_t>(
             0, 4, [](int64_t, int64_t A) { return A + 1; },
             [](int64_t J) { return J == 0 ? int64_t(0) : int64_t(-9); },
@@ -892,67 +893,58 @@ TEST(IterateLocal, FinalizerExceptionPropagates) {
 }
 
 //===----------------------------------------------------------------------===//
-// Deprecated forwards (kept for one release after the ownership
-// redesign): sharedExecutor() and the SpeculationStats* stats sink must
-// keep behaving like their replacements until they are removed.
+// Removal tests: the one-release deprecated forwards (sharedExecutor(),
+// the SpeculationStats* stats sink, SpecExecutor::process(), the
+// ThreadPool shim) are gone. The replacements must cover everything the
+// forwards did — ownership-conveying executor resolution and throw-safe
+// stats publication through stats::Snapshot.
 //===----------------------------------------------------------------------===//
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedForwards, SharedExecutorMatchesResolvedExecutor) {
-  EXPECT_EQ(SpecConfig().sharedExecutor(),
-            SpecExecutor::defaultShard().get());
-  EXPECT_EQ(SpecConfig().threads(3).sharedExecutor(), nullptr);
+TEST(RemovedForwards, ResolvedExecutorConveysOwnership) {
+  // resolvedExecutor() replaced sharedExecutor(): same resolution order,
+  // but the handle names the ownership a raw pointer could not.
+  EXPECT_EQ(SpecConfig().resolvedExecutor(), SpecExecutor::defaultShard());
+  EXPECT_EQ(SpecConfig().threads(3).resolvedExecutor(), nullptr);
   std::shared_ptr<SpecExecutor> Ex = SpecExecutor::create(2);
-  EXPECT_EQ(SpecConfig().executor(Ex).sharedExecutor(), Ex.get());
+  EXPECT_EQ(SpecConfig().executor(Ex).resolvedExecutor(), Ex);
+  // The returned handle keeps the executor alive on its own.
+  std::shared_ptr<SpecExecutor> Held =
+      SpecConfig().executor(Ex).resolvedExecutor();
+  Ex.reset();
+  EXPECT_GE(Held->numThreads(), 1u);
 }
 
-TEST(DeprecatedForwards, SpeculationStatsSinkStillFillsOnSuccess) {
-  SpeculationStats Stats;
+TEST(RemovedForwards, SnapshotSinkFillsOnSuccess) {
+  stats::Snapshot Snap;
   auto R = Speculation::iterate<int64_t>(
       0, 8, [](int64_t I, int64_t A) { return A + I; },
       [](int64_t I) { return I * (I - 1) / 2; },
-      SpecConfig().threads(2).statsOut(&Stats));
+      SpecConfig().threads(2).statsOut(&Snap));
   EXPECT_EQ(R.Value, 28);
-  EXPECT_EQ(Stats.Tasks, 8);
-  EXPECT_EQ(Stats.Predictions, 7);
-  EXPECT_EQ(Stats.Mispredictions, 0);
+  EXPECT_EQ(Snap.Spec.Tasks, 8);
+  EXPECT_EQ(Snap.Spec.Predictions, 7);
+  EXPECT_EQ(Snap.Spec.Mispredictions, 0);
 }
 
-TEST(DeprecatedForwards, SpeculationStatsSinkStillFillsOnThrow) {
+TEST(RemovedForwards, SnapshotSinkFillsOnThrow) {
   // A correct prediction whose validated consumer throws: the exception
   // propagates, but the stats gathered before the throw must still reach
-  // the deprecated sink.
-  SpeculationStats Stats;
+  // the snapshot sink — the throw-safety the removed SpeculationStats*
+  // sink used to provide.
+  stats::Snapshot Snap;
   SpecConfig Cfg;
-  Cfg.statsOut(&Stats);
+  Cfg.statsOut(&Snap);
   EXPECT_THROW(Speculation::apply<int>([] { return 1; }, [] { return 1; },
                                        [](int) {
                                          throw std::runtime_error("consumer");
                                        },
                                        Cfg),
                std::runtime_error);
-  EXPECT_EQ(Stats.Tasks, 1);
-  EXPECT_EQ(Stats.Predictions, 1);
-  EXPECT_EQ(Stats.Mispredictions, 0);
-  EXPECT_EQ(Stats.FailedPredictions, 0);
+  EXPECT_EQ(Snap.Spec.Tasks, 1);
+  EXPECT_EQ(Snap.Spec.Predictions, 1);
+  EXPECT_EQ(Snap.Spec.Mispredictions, 0);
+  EXPECT_EQ(Snap.Spec.FailedPredictions, 0);
 }
-
-TEST(DeprecatedForwards, BothSinksCanCoexist) {
-  SpeculationStats Stats;
-  stats::Snapshot Snap;
-  SpecConfig Cfg = SpecConfig().threads(2).statsOut(&Snap);
-  Cfg.statsOut(&Stats);
-  auto R = Speculation::iterate<int64_t>(
-      0, 8, [](int64_t I, int64_t A) { return A + I; },
-      [](int64_t I) { return I * (I - 1) / 2; }, Cfg);
-  EXPECT_EQ(R.Value, 28);
-  EXPECT_EQ(Stats.Tasks, Snap.Spec.Tasks);
-  EXPECT_EQ(Stats.Predictions, Snap.Spec.Predictions);
-}
-
-#pragma GCC diagnostic pop
 
 //===----------------------------------------------------------------------===//
 // Argument validation

@@ -20,9 +20,12 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <future>
+#include <map>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -245,15 +248,23 @@ TEST(Isolation, FaultPlanOnForeignExecutorDoesNotReachShards) {
 // Prometheus exposition format
 //===----------------------------------------------------------------------===//
 
-/// A strict-enough parser for the exposition text format: every
-/// non-empty line is `# HELP`, `# TYPE`, or a sample
-/// `name{labels} value`; TYPE lines name a valid type and appear at
-/// most once per family; every sample's family has a preceding TYPE.
+/// A strict parser for the exposition text format: every non-empty line
+/// is `# HELP`, `# TYPE`, or a sample `name{labels} value`; TYPE lines
+/// name a valid type and appear at most once per family; every sample's
+/// family has a preceding TYPE. Histogram series are checked
+/// semantically: per label set, `le` bounds strictly increase, the
+/// cumulative bucket values are monotone non-decreasing, the series ends
+/// at `le="+Inf"`, and that bucket equals the `_count` sample exactly.
 void verifyPrometheusText(const std::string &Text) {
   std::set<std::string> TypedFamilies;
   std::istringstream In(Text);
   std::string Line;
   int Samples = 0;
+  struct BucketSeries {
+    std::vector<std::pair<std::string, double>> Buckets; ///< (le, value)
+  };
+  std::map<std::string, BucketSeries> Series; ///< family|labels-sans-le
+  std::map<std::string, double> Counts;       ///< family|labels
   auto FamilyOf = [](const std::string &Metric) {
     // _bucket/_sum/_count series belong to their histogram family.
     for (const char *Suffix : {"_bucket", "_sum", "_count"}) {
@@ -263,6 +274,10 @@ void verifyPrometheusText(const std::string &Text) {
         return Metric.substr(0, Metric.size() - L);
     }
     return Metric;
+  };
+  auto EndsWith = [](const std::string &S, const std::string &Suffix) {
+    return S.size() >= Suffix.size() &&
+           S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
   };
   while (std::getline(In, Line)) {
     if (Line.empty())
@@ -290,23 +305,65 @@ void verifyPrometheusText(const std::string &Text) {
           << Line;
     EXPECT_TRUE(TypedFamilies.count(FamilyOf(Metric)))
         << "sample before TYPE: " << Line;
+    std::string LabelText;
     if (Line[NameEnd] == '{') {
       size_t Close = Line.find('}', NameEnd);
       ASSERT_NE(Close, std::string::npos) << Line;
       // Labels: k="v" pairs, comma-separated, quotes balanced.
-      std::string L = Line.substr(NameEnd + 1, Close - NameEnd - 1);
-      EXPECT_EQ(std::count(L.begin(), L.end(), '"') % 2, 0) << Line;
+      LabelText = Line.substr(NameEnd + 1, Close - NameEnd - 1);
+      EXPECT_EQ(std::count(LabelText.begin(), LabelText.end(), '"') % 2, 0)
+          << Line;
       NameEnd = Close + 1;
     }
     ASSERT_EQ(Line[NameEnd], ' ') << Line;
     std::string Value = Line.substr(NameEnd + 1);
     ASSERT_FALSE(Value.empty()) << Line;
     size_t Pos = 0;
-    (void)std::stod(Value, &Pos); // throws on a malformed number
+    double V = std::stod(Value, &Pos); // throws on a malformed number
     EXPECT_EQ(Pos, Value.size()) << Line;
+    if (EndsWith(Metric, "_bucket")) {
+      // Peel the `le` label (the writer appends it last) so buckets of
+      // one series share a key.
+      size_t LeAt = LabelText.find("le=\"");
+      ASSERT_NE(LeAt, std::string::npos) << Line;
+      size_t LeEnd = LabelText.find('"', LeAt + 4);
+      ASSERT_NE(LeEnd, std::string::npos) << Line;
+      std::string Le = LabelText.substr(LeAt + 4, LeEnd - LeAt - 4);
+      std::string Rest = LabelText.substr(0, LeAt);
+      if (!Rest.empty() && Rest.back() == ',')
+        Rest.pop_back();
+      Series[FamilyOf(Metric) + "|" + Rest].Buckets.emplace_back(Le, V);
+    } else if (EndsWith(Metric, "_count")) {
+      Counts[FamilyOf(Metric) + "|" + LabelText] = V;
+    }
     ++Samples;
   }
   EXPECT_GT(Samples, 0);
+  // Histogram semantics, per series.
+  for (const auto &KV : Series) {
+    const auto &B = KV.second.Buckets;
+    ASSERT_FALSE(B.empty()) << KV.first;
+    EXPECT_EQ(B.back().first, "+Inf") << KV.first;
+    double PrevBound = -1, PrevValue = -1;
+    for (size_t I = 0; I < B.size(); ++I) {
+      if (B[I].first != "+Inf") {
+        size_t Pos = 0;
+        double Bound = std::stod(B[I].first, &Pos);
+        EXPECT_EQ(Pos, B[I].first.size()) << "unparsable le: " << B[I].first;
+        EXPECT_GT(Bound, PrevBound) << "le bounds not increasing: " << KV.first;
+        PrevBound = Bound;
+      } else {
+        EXPECT_EQ(I, B.size() - 1) << "+Inf not last: " << KV.first;
+      }
+      EXPECT_GE(B[I].second, PrevValue)
+          << "cumulative buckets decreased: " << KV.first;
+      PrevValue = B[I].second;
+    }
+    // The +Inf bucket IS the count, exactly.
+    auto CountIt = Counts.find(KV.first);
+    ASSERT_NE(CountIt, Counts.end()) << "no _count for " << KV.first;
+    EXPECT_EQ(B.back().second, CountIt->second) << KV.first;
+  }
 }
 
 TEST(Metrics, ExpositionTextParses) {
@@ -359,6 +416,110 @@ TEST(Metrics, HttpEndpointServesMetricsAnd404s) {
   std::string Missing = HttpMetricsServer::get(Http.port(), "/nope");
   EXPECT_TRUE(Missing.rfind("HTTP/1.1 404", 0) == 0);
   Http.stop();
+}
+
+TEST(Metrics, LargeBodyScrapesIntactOverRealSocket) {
+  // A fleet of tenants inflates /metrics far past the socket send
+  // buffer: the server's writeAll must survive short writes, or the
+  // scrape arrives truncated. (This is the regression test for the
+  // send()-short-write bug.)
+  ServerContext Ctx(testOptions(1));
+  for (int I = 0; I < 150; ++I)
+    Ctx.registerTenant(basicTenant(
+        "tenant-with-a-deliberately-long-metric-label-" + std::to_string(I)));
+  EXPECT_EQ(Ctx.submit("tenant-with-a-deliberately-long-metric-label-0",
+                       Job::lex())
+                .get()
+                .Outcome,
+            JobOutcome::Ok);
+  ASSERT_GT(Ctx.metricsText().size(), 64u * 1024u);
+
+  HttpMetricsServer Http(Ctx, /*Port=*/0);
+  std::string Resp = HttpMetricsServer::get(Http.port(), "/metrics");
+  ASSERT_TRUE(Resp.rfind("HTTP/1.1 200", 0) == 0) << Resp.substr(0, 80);
+  size_t BodyAt = Resp.find("\r\n\r\n");
+  ASSERT_NE(BodyAt, std::string::npos);
+  std::string Body = Resp.substr(BodyAt + 4);
+  EXPECT_GT(Body.size(), 64u * 1024u);
+
+  // The declared Content-Length matches what actually arrived.
+  size_t ClAt = Resp.find("Content-Length: ");
+  ASSERT_NE(ClAt, std::string::npos);
+  size_t ClEnd = Resp.find("\r\n", ClAt);
+  EXPECT_EQ(std::stoull(Resp.substr(ClAt + 16, ClEnd - ClAt - 16)),
+            Body.size());
+  verifyPrometheusText(Body);
+  Http.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Profile-guided tenants
+//===----------------------------------------------------------------------===//
+
+TEST(Policy, ProfileGuidedTenantWarmsAcrossJobs) {
+  ServerContext Ctx(testOptions(1));
+  TenantPolicy P = basicTenant("warm");
+  P.NumTasks = 16;
+  P.ProfileGuided = true;
+  P.AutotuneTargetMicros = 500;
+  Ctx.registerTenant(P);
+
+  // Job 1 is cold; jobs 2+ seed from what it recorded.
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Ctx.submit("warm", Job::lex()).get().Outcome, JobOutcome::Ok);
+  TenantState *TS = Ctx.tenant("warm");
+  ASSERT_NE(TS, nullptr);
+  ASSERT_NE(TS->Profile, nullptr);
+  EXPECT_EQ(TS->Profile->site("warm/lex").Runs, 3);
+  EXPECT_GT(TS->Profile->seedChunk("warm/lex"), 0);
+  EXPECT_GE(TS->totals().Spec.ProfileSeeds, 1);
+
+  // Sites are keyed per job kind: a decode job must not inherit lex's
+  // converged chunk.
+  EXPECT_EQ(Ctx.submit("warm", Job::decode()).get().Outcome, JobOutcome::Ok);
+  EXPECT_EQ(TS->Profile->site("warm/decode").Runs, 1);
+  EXPECT_EQ(TS->Profile->size(), 2u);
+
+  // Both the seed counter and the coverage gauge are exported.
+  std::string Text = Ctx.metricsText();
+  verifyPrometheusText(Text);
+  EXPECT_NE(Text.find("specd_spec_profile_seeds_total{tenant=\"warm\"}"),
+            std::string::npos);
+  EXPECT_NE(Text.find("specd_profile_sites{tenant=\"warm\"} 2"),
+            std::string::npos);
+}
+
+TEST(Policy, ProfilePersistsAcrossServerRestarts) {
+  const std::string Path = testing::TempDir() + "specd_profile_test_" +
+                           std::to_string(::getpid()) + ".json";
+  std::remove(Path.c_str());
+  TenantPolicy P = basicTenant("durable");
+  P.NumTasks = 16;
+  P.ProfileGuided = true;
+  P.AutotuneTargetMicros = 500;
+  P.ProfilePath = Path;
+
+  int64_t RecordedRuns = 0;
+  {
+    ServerContext Ctx(testOptions(1));
+    Ctx.registerTenant(P);
+    EXPECT_EQ(Ctx.submit("durable", Job::mwis()).get().Outcome, JobOutcome::Ok);
+    RecordedRuns = Ctx.tenant("durable")->Profile->site("durable/mwis").Runs;
+    EXPECT_GE(RecordedRuns, 1);
+  } // ~TenantState saves the profile
+
+  {
+    ServerContext Ctx(testOptions(1));
+    Ctx.registerTenant(P); // loads the saved profile
+    TenantState *TS = Ctx.tenant("durable");
+    ASSERT_NE(TS, nullptr);
+    ASSERT_NE(TS->Profile, nullptr);
+    EXPECT_EQ(TS->Profile->site("durable/mwis").Runs, RecordedRuns);
+    // The very first job of the new process starts warm.
+    EXPECT_EQ(Ctx.submit("durable", Job::mwis()).get().Outcome, JobOutcome::Ok);
+    EXPECT_GE(TS->totals().Spec.ProfileSeeds, 1);
+  }
+  std::remove(Path.c_str());
 }
 
 //===----------------------------------------------------------------------===//
