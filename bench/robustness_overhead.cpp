@@ -13,8 +13,10 @@
 ///  * off   — no FaultPlan, no deadline, no degrade monitor (the default
 ///            configuration every existing caller gets);
 ///  * armed — a zero-probability FaultPlan installed, a far-future
-///            deadline armed, and the degrade monitor watching with a
-///            threshold it can never trip.
+///            deadline armed, the degrade monitor watching with a
+///            threshold it can never trip, and the signal shield +
+///            attempt-budget watchdog armed around every attempt with a
+///            budget that never expires.
 /// The off->armed delta is a *conservative upper bound* on the cost the
 /// disabled hooks add to a build without them: disabled hooks are single
 /// pointer tests, while armed-but-idle hooks additionally pay atomic
@@ -168,13 +170,19 @@ int main(int Argc, char **Argv) {
        {rt::FaultSite::PredictorThrow, rt::FaultSite::BodyThrow,
         rt::FaultSite::ComparatorThrow, rt::FaultSite::ForceMispredict,
         rt::FaultSite::SpuriousCancel, rt::FaultSite::DelayTaskStart,
-        rt::FaultSite::JitterWakeup})
+        rt::FaultSite::JitterWakeup, rt::FaultSite::CrashInBody,
+        rt::FaultSite::RunawayBody})
     Idle.arm(S, 0.0);
+  // The shield arms per attempt (a sigsetjmp plus a handful of relaxed
+  // stores) and the attempt-budget watchdog is live but its 24 h budget
+  // never expires — both idle, both inside the measured delta.
   rt::SpecConfig Armed = rt::SpecConfig()
                              .executor(Ex)
                              .faults(&Idle)
                              .deadline(std::chrono::hours(24))
-                             .degrade(/*MaxBadRate=*/1.0, /*Window=*/8);
+                             .degrade(/*MaxBadRate=*/1.0, /*Window=*/8)
+                             .shield()
+                             .attemptBudget(std::chrono::hours(24));
 
   const int Reps = static_cast<int>(*Repeats);
   // ~3000 mix rounds ~= a few tens of microseconds per 8-iteration

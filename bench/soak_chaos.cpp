@@ -39,6 +39,7 @@
 #include "workloads/Datasets.h"
 #include "workloads/SourceGen.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -115,6 +116,7 @@ int main(int Argc, char **Argv) {
   Tally T;
   std::vector<Failure> Failures;
   uint64_t TotalInjected = 0;
+  int64_t Contained = 0, Runaways = 0;
 
   for (int64_t P = 0; P < *Plans; ++P) {
     Rng R = Master.split();
@@ -145,6 +147,15 @@ int main(int Argc, char **Argv) {
                              .mode(Mode)
                              .threads(Threads)
                              .faults(&Plan);
+    // Half the plans run shielded, and only then arm the hardware-fault
+    // and runaway sites: a crash with no shield kills the process — by
+    // design — so unshielded plans must not probe them.
+    if (R.nextBool(0.5)) {
+      Cfg.shield().attemptBudget(std::chrono::milliseconds(5));
+      Plan.arm(rt::FaultSite::CrashInBody, R.nextDouble() * 0.03)
+          .arm(rt::FaultSite::RunawayBody, R.nextDouble() * 0.02)
+          .runawayCap(std::chrono::milliseconds(20));
+    }
     // Short enough that some deadlines really expire mid-run on these
     // ~1ms datasets (the timeout path is an acceptable abort below).
     if (R.nextBool(0.25))
@@ -164,18 +175,24 @@ int main(int Argc, char **Argv) {
     runOne(P, "lex", T, Failures, [&] {
       LexRun Run = speculativeLex(LX, Text, NumTasks, /*Overlap=*/64, Cfg);
       DegradedBefore += Run.Stats.Spec.DegradedChunks;
+      Contained += Run.Stats.Spec.ContainedCrashes;
+      Runaways += Run.Stats.Spec.RunawayCancels;
       return Run.Tokens == LexOracle;
     });
     runOne(P, "huffman", T, Failures, [&] {
       HuffmanRun Run =
           speculativeDecode(Dec, Bits, NumTasks, /*OverlapBits=*/64 * 8, Cfg);
       DegradedBefore += Run.Stats.Spec.DegradedChunks;
+      Contained += Run.Stats.Spec.ContainedCrashes;
+      Runaways += Run.Stats.Spec.RunawayCancels;
       return Run.Decoded == HuffData;
     });
     runOne(P, "mwis", T, Failures, [&] {
       MwisRun Run = speculativeMwis(Weights, NumTasks, /*Overlap=*/32, Cfg);
       DegradedBefore +=
           Run.ForwardStats.DegradedChunks + Run.BackwardStats.DegradedChunks;
+      Contained += Run.Stats.Spec.ContainedCrashes;
+      Runaways += Run.Stats.Spec.RunawayCancels;
       return Run.Weight == MwisWeight && Run.Members == MwisMembers;
     });
     if (DegradedBefore > 0)
@@ -183,14 +200,62 @@ int main(int Argc, char **Argv) {
     TotalInjected += Plan.totalFired();
   }
 
-  std::printf("=== soak_chaos: %lld plans x 3 apps ===\n",
-              static_cast<long long>(*Plans));
+  // --- Crash-containment soak: a fixed CrashInBody p=0.05, shielded. ----
+  // No throw sites and no deadline, so EVERY run must complete and match
+  // the sequential oracle: each injected hardware fault is contained and
+  // its attempt re-executed. One escaped SIGSEGV kills the process — the
+  // soak cannot even report the failure, which is the point.
+  const int64_t CrashPlans = std::max<int64_t>(1, *Plans / 5);
+  int64_t CrashOk = 0;
+  for (int64_t P = 0; P < CrashPlans; ++P) {
+    Rng R = Master.split();
+    rt::FaultPlan Plan(R.next());
+    Plan.arm(rt::FaultSite::CrashInBody, 0.05);
+    const int NumTasks = static_cast<int>(R.nextInRange(2, 8));
+    rt::SpecConfig Cfg =
+        rt::SpecConfig()
+            .threads(static_cast<int>(R.nextInRange(1, 4)))
+            .faults(&Plan)
+            .shield();
+    Tally CT; // crash-section runs land in their own tally
+    runOne(-1 - P, "lex(crash)", CT, Failures, [&] {
+      LexRun Run = speculativeLex(LX, Text, NumTasks, /*Overlap=*/64, Cfg);
+      Contained += Run.Stats.Spec.ContainedCrashes;
+      return Run.Tokens == LexOracle;
+    });
+    runOne(-1 - P, "huffman(crash)", CT, Failures, [&] {
+      HuffmanRun Run =
+          speculativeDecode(Dec, Bits, NumTasks, /*OverlapBits=*/64 * 8, Cfg);
+      Contained += Run.Stats.Spec.ContainedCrashes;
+      return Run.Decoded == HuffData;
+    });
+    runOne(-1 - P, "mwis(crash)", CT, Failures, [&] {
+      MwisRun Run = speculativeMwis(Weights, NumTasks, /*Overlap=*/32, Cfg);
+      Contained += Run.Stats.Spec.ContainedCrashes;
+      return Run.Weight == MwisWeight && Run.Members == MwisMembers;
+    });
+    if (CT.Faults + CT.Timeouts > 0)
+      Failures.push_back({-1 - P, "crash-section",
+                          "abort escaped a plan arming only crash sites"});
+    CrashOk += CT.Ok;
+    TotalInjected += Plan.totalFired();
+  }
+  if (CrashOk != CrashPlans * 3)
+    Failures.push_back(
+        {-1, "crash-section", "not every shielded crash run completed"});
+
+  std::printf("=== soak_chaos: %lld plans x 3 apps (+%lld crash plans) ===\n",
+              static_cast<long long>(*Plans),
+              static_cast<long long>(CrashPlans));
   std::printf("ok=%lld fault-aborts=%lld timeouts=%lld "
-              "plans-with-degrade=%lld injected-faults=%llu\n",
+              "plans-with-degrade=%lld injected-faults=%llu "
+              "contained-crashes=%lld runaway-cancels=%lld\n",
               static_cast<long long>(T.Ok), static_cast<long long>(T.Faults),
               static_cast<long long>(T.Timeouts),
               static_cast<long long>(T.Degraded),
-              static_cast<unsigned long long>(TotalInjected));
+              static_cast<unsigned long long>(TotalInjected),
+              static_cast<long long>(Contained),
+              static_cast<long long>(Runaways));
 
   for (const Failure &F : Failures)
     std::fprintf(stderr, "FAIL plan=%lld app=%s: %s\n",

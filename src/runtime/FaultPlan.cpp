@@ -10,6 +10,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <csignal>
 #include <thread>
 
 using namespace specpar;
@@ -31,6 +32,10 @@ const char *specpar::rt::faultSiteName(FaultSite S) {
     return "delay-task-start";
   case FaultSite::JitterWakeup:
     return "jitter-wakeup";
+  case FaultSite::CrashInBody:
+    return "crash-in-body";
+  case FaultSite::RunawayBody:
+    return "runaway-body";
   }
   return "unknown";
 }
@@ -99,6 +104,51 @@ bool FaultPlan::maybeDelay(FaultSite Site) {
                                static_cast<uint64_t>(Hi - Lo + 1));
   std::this_thread::sleep_for(std::chrono::microseconds(Us));
   return true;
+}
+
+namespace {
+/// Opaque null target for the injected crash below. The double volatile
+/// keeps both the load of the pointer and the store through it in the
+/// emitted code, so neither the optimizer nor -Wnull-dereference can
+/// see through it.
+volatile int64_t *volatile CrashTarget = nullptr;
+} // namespace
+
+// Sanitizer instrumentation is disabled for this one function: the
+// injected fault must reach the hardware as a genuine SIGSEGV for the
+// shield to contain. An instrumented null store would instead be
+// reported by ASan/UBSan as the bug it normally is, and a raise()-style
+// software signal is *deferred* by TSan (async delivery), landing long
+// after the shielded region exited.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((no_sanitize("address", "thread", "undefined")))
+#endif
+void FaultPlan::maybeCrash(FaultSite Site) {
+  if (!shouldFire(Site))
+    return;
+  *CrashTarget = 0x5bad; // genuine SIGSEGV, synchronously delivered
+}
+
+bool FaultPlan::maybeRunaway(FaultSite Site) {
+  if (!shouldFire(Site))
+    return false;
+  const auto End = std::chrono::steady_clock::now() +
+                   std::chrono::nanoseconds(
+                       RunawayCapNs.load(std::memory_order_relaxed));
+  // Busy-spin without ever touching the cooperative cancel flag — the
+  // point is to be the body that never polls. The volatile sink keeps
+  // the loop from being optimized into a timed wait.
+  volatile uint64_t Sink = 0;
+  while (std::chrono::steady_clock::now() < End)
+    Sink = Sink + 1;
+  return true;
+}
+
+FaultPlan &FaultPlan::runawayCap(std::chrono::milliseconds Cap) {
+  RunawayCapNs.store(
+      std::max<int64_t>(0, Cap.count()) * 1000 * 1000,
+      std::memory_order_relaxed);
+  return *this;
 }
 
 uint64_t FaultPlan::totalFired() const {

@@ -72,8 +72,16 @@ enum class FaultSite : uint8_t {
   /// Jittered sleeps around executor submit/wake paths, widening the
   /// windows in which wakeups can be missed or reordered.
   JitterWakeup,
+  /// Raise SIGSEGV from inside a *shielded* speculative body, exercising
+  /// the signal-shield containment path (never probed unshielded: an
+  /// uncontained crash would kill the process).
+  CrashInBody,
+  /// Spin inside a shielded speculative body without ever polling
+  /// cancellation, exercising the runaway watchdog's cooperative-then-
+  /// forced escalation. Capped by runawayCap() as a backstop.
+  RunawayBody,
 };
-inline constexpr size_t NumFaultSites = 7;
+inline constexpr size_t NumFaultSites = 9;
 
 /// Stable lowercase name of \p S (e.g. "comparator-throw").
 const char *faultSiteName(FaultSite S);
@@ -133,6 +141,23 @@ public:
   /// configured range. Returns true iff it slept.
   bool maybeDelay(FaultSite Site);
 
+  /// Probes \p Site; if it fires, dereferences null — a genuine
+  /// hardware SIGSEGV, not raise(), so the kernel delivers it exactly
+  /// like a real wild access (sanitizer runtimes defer raise()d
+  /// signals; the store is uninstrumented so they see the plain
+  /// signal). Only ever call from inside a shielded region.
+  void maybeCrash(FaultSite Site);
+
+  /// Probes \p Site; if it fires, spins without polling cancellation
+  /// until the runawayCap() wall-clock backstop expires. Returns true
+  /// iff it spun. Only ever call from inside a shielded region; the
+  /// watchdog is expected to abandon the spin long before the cap.
+  bool maybeRunaway(FaultSite Site);
+
+  /// Wall-clock backstop for maybeRunaway() spins (default 2 s): even
+  /// with no watchdog armed, an injected runaway terminates.
+  FaultPlan &runawayCap(std::chrono::milliseconds Cap);
+
   /// Total probes of \p Site so far.
   uint64_t probes(FaultSite Site) const {
     return Probes[static_cast<size_t>(Site)].load(std::memory_order_relaxed);
@@ -155,6 +180,7 @@ private:
   std::array<std::atomic<uint64_t>, NumFaultSites> Fired{};
   std::atomic<int64_t> DelayLoUs{50};
   std::atomic<int64_t> DelayHiUs{500};
+  std::atomic<int64_t> RunawayCapNs{2000 * 1000 * 1000LL};
 };
 
 } // namespace rt

@@ -1,0 +1,188 @@
+//===- runtime/SignalShield.cpp - Crash containment for attempts ----------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SignalShield.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace specpar;
+using namespace specpar::rt;
+using namespace specpar::rt::detail;
+
+const char *specpar::rt::containedFaultName(ContainedFault F) {
+  switch (F) {
+  case ContainedFault::None:
+    return "none";
+  case ContainedFault::Segv:
+    return "segv";
+  case ContainedFault::Bus:
+    return "bus";
+  case ContainedFault::Fpe:
+    return "fpe";
+  case ContainedFault::Runaway:
+    return "runaway";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Previously installed dispositions, restored when an *unshielded*
+/// crash arrives so sanitizer/core-dump reporting still works.
+struct PrevActions {
+  struct sigaction Segv, Bus, Fpe;
+};
+PrevActions PrevSig;
+
+/// Registry of every thread's shield slot. Leaked on purpose: the
+/// detached watchdog thread may outlive static destruction, and slots
+/// must stay readable until process exit. LSan treats both as still
+/// reachable.
+struct Registry {
+  std::mutex M;
+  std::vector<ShieldSlot *> Slots;
+};
+Registry *shieldRegistry() {
+  static Registry *R = new Registry;
+  return R;
+}
+
+/// The slot pointer must be reachable from the signal handler without
+/// taking locks. A function-local thread_local accessed through a
+/// helper avoids the cross-TU TLS-wrapper issue some GCC sanitizer
+/// configurations have with namespace-scope thread_locals.
+ShieldSlot *&tlSlotRef() {
+  thread_local ShieldSlot *P = nullptr;
+  return P;
+}
+
+/// Grace between the watchdog first observing an expired budget (the
+/// cooperative window: the body's own cancellation polls see the same
+/// deadline) and the forced abandonment signal, plus the watchdog's
+/// polling period.
+constexpr int64_t EscalationGraceNs = 5 * 1000 * 1000; // 5 ms
+constexpr auto WatchdogPeriod = std::chrono::milliseconds(1);
+
+void shieldHandler(int Sig, siginfo_t *, void *) {
+  ShieldSlot *S = tlSlotRef();
+  if (S && S->Armed.load(std::memory_order_acquire)) {
+    if (Sig == SIGURG) {
+      // Forced abandonment is only valid for the generation the
+      // watchdog targeted; a stale SIGURG that raced a re-arm must not
+      // abandon the new attempt. The watchdog will re-escalate if the
+      // new attempt overruns too.
+      if (S->AbandonGen.load(std::memory_order_relaxed) !=
+          S->ArmGen.load(std::memory_order_relaxed))
+        return;
+    }
+    S->Armed.store(0, std::memory_order_release);
+    S->Sig.store(Sig, std::memory_order_relaxed);
+    siglongjmp(S->Jmp, 1);
+  }
+
+  if (Sig == SIGURG)
+    // Stray abandonment signal on a thread that already finished its
+    // attempt: SIGURG's default disposition is ignore, so just return.
+    return;
+
+  // Unshielded crash: this is a real bug. Restore whatever was
+  // installed before us (sanitizer reporters, default core dump) and
+  // re-raise so the process dies with proper reporting.
+  const struct sigaction *Prev =
+      Sig == SIGSEGV ? &PrevSig.Segv : Sig == SIGBUS ? &PrevSig.Bus
+                                                     : &PrevSig.Fpe;
+  sigaction(Sig, Prev, nullptr);
+  raise(Sig);
+}
+
+void watchdogLoop() {
+  Registry *R = shieldRegistry();
+  for (;;) {
+    std::this_thread::sleep_for(WatchdogPeriod);
+    const int64_t Now = shieldNowNs();
+    std::lock_guard<std::mutex> Lock(R->M);
+    for (ShieldSlot *S : R->Slots) {
+      if (!S->Armed.load(std::memory_order_acquire))
+        continue;
+      const int64_t Deadline = S->DeadlineNs.load(std::memory_order_relaxed);
+      if (Deadline == 0 || Now < Deadline)
+        continue;
+      const int64_t CancelAt = S->CancelAtNs.load(std::memory_order_relaxed);
+      if (CancelAt == 0) {
+        // First observation of the expired budget. The attempt's own
+        // cancellation deadline (same budget, folded in by the engine)
+        // lets polling bodies bail cooperatively; we only start the
+        // grace clock here.
+        S->CancelAtNs.store(Now, std::memory_order_relaxed);
+        continue;
+      }
+      if (Now - CancelAt < EscalationGraceNs)
+        continue;
+      // Still armed a grace period after the budget expired: the body
+      // never polls. Force abandonment. Record the generation so the
+      // handler ignores the signal if the attempt finishes and the
+      // thread re-arms before delivery.
+      S->AbandonGen.store(S->ArmGen.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      S->CancelAtNs.store(Now, std::memory_order_relaxed); // re-kill throttle
+      pthread_kill(S->Thread, SIGURG);
+    }
+  }
+}
+
+} // namespace
+
+void specpar::rt::installSignalShield() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_sigaction = shieldHandler;
+    sigemptyset(&SA.sa_mask);
+    // SA_NODEFER: the handler longjmps out, so the signal must not be
+    // auto-blocked on entry (nothing would ever unblock it).
+    SA.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigaction(SIGSEGV, &SA, &PrevSig.Segv);
+    sigaction(SIGBUS, &SA, &PrevSig.Bus);
+    sigaction(SIGFPE, &SA, &PrevSig.Fpe);
+    sigaction(SIGURG, &SA, nullptr);
+  });
+}
+
+ShieldSlot *specpar::rt::detail::myShieldSlot() {
+  ShieldSlot *&P = tlSlotRef();
+  if (!P) {
+    P = new ShieldSlot; // owned (and leaked) by the registry
+    P->Thread = pthread_self();
+    Registry *R = shieldRegistry();
+    std::lock_guard<std::mutex> Lock(R->M);
+    R->Slots.push_back(P);
+  }
+  return P;
+}
+
+ShieldSlot *specpar::rt::detail::peekShieldSlot() { return tlSlotRef(); }
+
+void specpar::rt::detail::unblockShieldSignals() {
+  sigset_t Unblock;
+  sigemptyset(&Unblock);
+  sigaddset(&Unblock, SIGSEGV);
+  sigaddset(&Unblock, SIGBUS);
+  sigaddset(&Unblock, SIGFPE);
+  sigaddset(&Unblock, SIGURG);
+  pthread_sigmask(SIG_UNBLOCK, &Unblock, nullptr);
+}
+
+void specpar::rt::detail::ensureWatchdog() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    std::thread T(watchdogLoop);
+    T.detach();
+  });
+}

@@ -53,6 +53,12 @@ std::string SpeculationStats::str() const {
   if (PredictorSwitches)
     Out += formatString(" predictor-switches=%lld",
                         static_cast<long long>(PredictorSwitches));
+  if (ContainedCrashes)
+    Out += formatString(" contained-crashes=%lld",
+                        static_cast<long long>(ContainedCrashes));
+  if (RunawayCancels)
+    Out += formatString(" runaway-cancels=%lld",
+                        static_cast<long long>(RunawayCancels));
   if (FinalChunk)
     Out += formatString(" final-chunk=%lld",
                         static_cast<long long>(FinalChunk));

@@ -134,6 +134,7 @@
 #include "runtime/EventCount.h"
 #include "runtime/FaultPlan.h"
 #include "runtime/ProfileStore.h"
+#include "runtime/SignalShield.h"
 #include "runtime/SpecExecutor.h"
 #include "runtime/Stats.h"
 #include "runtime/Telemetry.h"
@@ -358,6 +359,41 @@ public:
     AutotuneUs = TargetChunkMicros < 0 ? 0 : TargetChunkMicros;
     return *this;
   }
+  /// Arms the per-thread signal shield around *speculative* attempt
+  /// bodies: a SIGSEGV/SIGBUS/SIGFPE raised while a speculative attempt
+  /// runs is contained (`siglongjmp` out of the body), the attempt is
+  /// discarded like a misprediction, and the chunk re-executes
+  /// non-speculatively (`SpeculationStats::ContainedCrashes`,
+  /// `SpecEventKind::CrashContained`). The authoritative re-execution
+  /// and degraded sequential paths keep default crash semantics — a
+  /// crash there is a real bug. Destructors of locals in the crashed
+  /// body's skipped frames do not run; bodies that own resources across
+  /// a crash-prone region should not opt in. Implied by attemptBudget()
+  /// and attemptBudgetAuto().
+  SpecConfig &shield(bool B = true) {
+    ShieldOn = B;
+    return *this;
+  }
+  /// Time-boxes each speculative attempt to \p Budget: past it, the
+  /// runaway watchdog first sets the attempt's cooperative cancel flag
+  /// (bodies polling `currentTaskCancelled()` bail normally), then — if
+  /// the body is still running a grace period later — forces
+  /// abandonment via the shield (`SpecEventKind::RunawayCancel`,
+  /// `SpeculationStats::RunawayCancels`). Implies shield(). `0` (the
+  /// default) disarms the watchdog.
+  SpecConfig &attemptBudget(std::chrono::nanoseconds Budget) {
+    BudgetNs = Budget.count() < 0 ? 0 : Budget.count();
+    return *this;
+  }
+  /// Derives the per-attempt budget adaptively: \p Mult times the
+  /// exponentially-weighted average of observed chunk-body latencies
+  /// (floored at 1 ms, so startup jitter never trips it). An explicit
+  /// attemptBudget() takes precedence. Implies shield(). `0` disables
+  /// (the default); the suggested multiplier is 8.
+  SpecConfig &attemptBudgetAuto(double Mult = 8.0) {
+    BudgetAutoMult = Mult < 0 ? 0 : Mult;
+    return *this;
+  }
 
   unsigned threads() const { return NumThreads; }
   ValidationMode mode() const { return Mode; }
@@ -377,6 +413,15 @@ public:
   int64_t autotuneTargetMicros() const { return AutotuneUs; }
   ProfileStore *profile() const { return Prof; }
   const std::string &profileSite() const { return Site; }
+  /// True when the signal shield is armed — explicitly, or implied by a
+  /// per-attempt budget (the watchdog's forced abandonment needs it).
+  bool shield() const {
+    return ShieldOn || BudgetNs > 0 || BudgetAutoMult > 0;
+  }
+  std::chrono::nanoseconds attemptBudget() const {
+    return std::chrono::nanoseconds(BudgetNs);
+  }
+  double attemptBudgetAutoMult() const { return BudgetAutoMult; }
 
   /// The persistent executor this config resolves to — the explicit one,
   /// or the process's default shard — or an empty handle when the run
@@ -403,6 +448,9 @@ private:
   int64_t AutotuneUs = 0;
   ProfileStore *Prof = nullptr;
   std::string Site;
+  bool ShieldOn = false;
+  int64_t BudgetNs = 0;
+  double BudgetAutoMult = 0;
 };
 
 /// A shared cancellation flag (cooperative, like .NET's).
@@ -520,6 +568,13 @@ template <typename T, typename U> struct SegAttempt {
   int64_t BodyNs = 0;
   /// Which freelist the attempt returns to at wave end.
   bool FromChainPool = false;
+  /// The signal shield contained a crash (or forced runaway abandonment)
+  /// in this attempt's body. Published like the other plain fields
+  /// (before the Done store). A crashed attempt is never acceptable, but
+  /// it *does* participate in last-finisher selection: if it finished
+  /// last, its partial writes landed last, so the validator must
+  /// re-execute the segment to make the authoritative writes final.
+  bool Crashed = false;
   /// Cooperative cancellation flag (plain atomic — no shared_ptr token
   /// on the hot path).
   std::atomic<bool> CancelFlag{false};
@@ -569,6 +624,11 @@ struct SegRunSync {
   /// run's (non-atomic) SpeculationStats, so they count here and the
   /// validator merges before the run returns.
   std::atomic<int64_t> ChainedTasks{0};
+  /// Shield containments and watchdog escalations, counted by workers
+  /// (same rule as ChainedTasks: never the non-atomic stats) and merged
+  /// by the validator before the run returns.
+  std::atomic<int64_t> ContainedCrashes{0};
+  std::atomic<int64_t> RunawayCancels{0};
   /// Workers inside the decrement-then-notify window below. The run's
   /// final drain waits for this to reach zero after Outstanding does:
   /// otherwise the validator could observe Outstanding == 0 and destroy
@@ -696,6 +756,10 @@ private:
   static void applyImpl(ProducerFn &&Producer, PredictorFn &&Predictor,
                         ConsumerFn &&Consumer, const SpecConfig &Cfg,
                         Eq Equal, SpeculationStats &Stats) {
+    // Nested speculation inside a shielded body: this coordination code
+    // is authoritative, so a crash here must not be contained (it would
+    // longjmp past a live run other threads still reference).
+    ShieldPause PauseOuter;
     std::optional<SpecExecutor> Transient;
     SpecExecutor &Ex = resolveExecutor(Cfg, Transient);
     detail::ExecDeltaGuard ExecGuard{Cfg.statsSnapshotOut(), Ex};
@@ -720,13 +784,36 @@ private:
       /// expired deadline): its side effects may be partial, so the
       /// validated path must re-execute.
       std::atomic<bool> ObservedCancel{false};
+      /// Shield containments / watchdog escalations in the speculative
+      /// consumer, written by the worker (which must never touch the
+      /// non-atomic SpeculationStats) and merged by the caller.
+      std::atomic<int64_t> Contained{0};
+      std::atomic<int64_t> Runaways{0};
     };
     auto State = std::make_shared<SpecState>();
+
+    const bool Shield = Cfg.shield();
+    const int64_t BudgetNs = Cfg.attemptBudget().count();
+    if (Shield)
+      installSignalShield();
+    // Merge the worker's containment counters on every exit path; each
+    // path first waits for the consumer's completion publication, which
+    // the worker orders after its final counter stores.
+    struct CrashMergeGuard {
+      SpeculationStats &Stats;
+      SpecState &S;
+      ~CrashMergeGuard() {
+        Stats.ContainedCrashes +=
+            S.Contained.load(std::memory_order_relaxed);
+        Stats.RunawayCancels += S.Runaways.load(std::memory_order_relaxed);
+      }
+    } CrashMerge{Stats, *State};
 
     ++Stats.Tasks;
     if (Tr)
       Tr->record(SpecEventKind::Dispatch, 0, AId);
-    Ex.submit([State, &Predictor, &Consumer, Tr, FP, AId, Deadline] {
+    Ex.submit([State, &Predictor, &Consumer, Tr, FP, AId, Deadline, Shield,
+               BudgetNs] {
       detail::CancelScope Scope(State->Cancel, Deadline,
                                 &State->ObservedCancel);
       if (Tr)
@@ -760,7 +847,50 @@ private:
         try {
           if (FP)
             FP->maybeThrow(FaultSite::BodyThrow);
-          Consumer(*G);
+          if (Shield) {
+            // The consumer runs under the signal shield: crashes and
+            // forced runaway abandonments become a discarded attempt
+            // (Ran = false forces the validated re-execution), never a
+            // dead process. Crash/runaway probes fire only here —
+            // inside the shield, before any consumer locals exist. The
+            // budget is folded into the cooperative deadline so polling
+            // consumers bail on their own; the watchdog only handles
+            // the never-polls case.
+            detail::CancelContext SavedCC = detail::cancelContext();
+            ShieldOutcome SO = shieldedCall(BudgetNs, [&] {
+              if (FP) {
+                FP->maybeCrash(FaultSite::CrashInBody);
+                FP->maybeRunaway(FaultSite::RunawayBody);
+              }
+              if (BudgetNs > 0) {
+                detail::CancelScope Budget(
+                    State->Cancel.raw(),
+                    std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(BudgetNs),
+                    &State->ObservedCancel);
+                Consumer(*G);
+              } else {
+                Consumer(*G);
+              }
+            });
+            if (SO.Fault != ContainedFault::None) {
+              // The longjmp skipped the frames between the fault and
+              // here, including any CancelScope destructors; restore
+              // the thread's context by hand.
+              detail::cancelContext() = SavedCC;
+              Ran = false;
+              State->Contained.fetch_add(1, std::memory_order_relaxed);
+              if (Tr)
+                Tr->record(SpecEventKind::CrashContained, 0, AId);
+            }
+            if (SO.Fault == ContainedFault::Runaway || SO.WatchdogCancelled) {
+              State->Runaways.fetch_add(1, std::memory_order_relaxed);
+              if (Tr)
+                Tr->record(SpecEventKind::RunawayCancel, 0, AId);
+            }
+          } else {
+            Consumer(*G);
+          }
         } catch (...) {
           Err = std::current_exception();
         }
@@ -1114,11 +1244,17 @@ private:
           Prof(Cfg.profile()), SiteName(&Cfg.profileSite()),
           ProfOn(Prof != nullptr && !SiteName->empty()),
           W(std::max<int64_t>(8, 4 * static_cast<int64_t>(Ex.numThreads()))),
+          Shield(Cfg.shield()), BudgetNsCfg(Cfg.attemptBudget().count()),
+          BudgetAutoMult(BudgetNsCfg > 0 ? 0.0
+                                         : Cfg.attemptBudgetAutoMult()),
+          MeasureBody(AutotuneTargetNs > 0 ||
+                      Cfg.attemptBudgetAutoMult() > 0),
           AttemptStore(static_cast<size_t>(3 * W)),
           Slots(static_cast<size_t>(W)), WavePred(static_cast<size_t>(W)),
           WaveB(static_cast<size_t>(W)), WaveE(static_cast<size_t>(W)),
           WaveUser(static_cast<size_t>(W)),
           WaveCand(ProfOn ? static_cast<size_t>(W) : 0) {
+      CurBudgetNs.store(BudgetNsCfg, std::memory_order_relaxed);
       FreeLocal.reserve(static_cast<size_t>(W));
       ChainPool.reserve(static_cast<size_t>(2 * W));
       for (int64_t I = 0; I < W; ++I)
@@ -1143,6 +1279,14 @@ private:
     SegEngine &operator=(const SegEngine &) = delete;
 
     T run() {
+      // Nested run inside a shielded body: the validator loop here is
+      // authoritative coordination — a crash in it must not be contained
+      // by the *outer* attempt's shield (the longjmp would skip past
+      // this live engine while workers still reference it). Attempts
+      // this run dispatches re-arm their own shields in runAttempt.
+      ShieldPause PauseOuter;
+      if (Shield)
+        installSignalShield();
       Run.ValidatorId = std::this_thread::get_id();
       if (ProfOn)
         profileSeed();
@@ -1357,13 +1501,13 @@ private:
                 FP->maybeThrow(FaultSite::BodyThrow);
               U L = Init();
               Clock::time_point T0;
-              if (AutoTargetNs > 0)
+              if (MeasureBody)
                 T0 = Clock::now();
               T Acc = std::move(Correct);
               for (int64_t I = WaveB[static_cast<size_t>(K)];
                    I < WaveE[static_cast<size_t>(K)]; ++I)
                 Acc = Body(I, L, std::move(Acc));
-              if (AutoTargetNs > 0)
+              if (MeasureBody)
                 SegNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
                             Clock::now() - T0)
                             .count();
@@ -1383,7 +1527,7 @@ private:
             FirstValidErr = std::current_exception();
             break;
           }
-          if (AutoTargetNs > 0) {
+          if (MeasureBody) {
             WaveNs += SegNs;
             ++WaveMeasured;
             if (GlobalOrd > 0) {
@@ -1423,6 +1567,10 @@ private:
       while (Run.Exiting.load(std::memory_order_seq_cst) != 0)
         std::this_thread::yield();
       Stats.Tasks += Run.ChainedTasks.load(std::memory_order_relaxed);
+      Stats.ContainedCrashes +=
+          Run.ContainedCrashes.load(std::memory_order_relaxed);
+      Stats.RunawayCancels +=
+          Run.RunawayCancels.load(std::memory_order_relaxed);
       // The segmentation the run actually ended on — after any autotune
       // resizes and regardless of how the run exits. DegradedChunks (and
       // chunk ordinals generally) count segments of *this* dynamic grid,
@@ -1559,6 +1707,7 @@ private:
       A->UserIdx = WaveUser[static_cast<size_t>(K)];
       A->After = After;
       A->BodyNs = 0;
+      A->Crashed = false;
       A->CancelFlag.store(false, std::memory_order_relaxed);
       A->ObservedCancel.store(false, std::memory_order_relaxed);
       A->Started.store(false, std::memory_order_relaxed);
@@ -1612,23 +1761,81 @@ private:
       std::optional<T> Out;
       std::optional<U> Local;
       std::exception_ptr Err;
+      bool Crashed = false;
       if (!Skip) {
         try {
           if (FP)
             FP->maybeThrow(FaultSite::BodyThrow);
-          U L = Init();
-          Clock::time_point T0;
-          if (AutoTargetNs > 0)
-            T0 = Clock::now();
-          T Acc = *A->In; // copy: In stays for the validator's comparisons
-          for (int64_t I = A->B; I < A->E; ++I)
-            Acc = Body(I, L, std::move(Acc));
-          if (AutoTargetNs > 0)
-            A->BodyNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            Clock::now() - T0)
-                            .count();
-          Out.emplace(std::move(Acc));
-          Local.emplace(std::move(L));
+          auto RunBody = [&] {
+            U L = Init();
+            Clock::time_point T0;
+            if (MeasureBody)
+              T0 = Clock::now();
+            T Acc = *A->In; // copy: In stays for the validator's comparisons
+            for (int64_t I = A->B; I < A->E; ++I)
+              Acc = Body(I, L, std::move(Acc));
+            if (MeasureBody)
+              A->BodyNs =
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - T0)
+                      .count();
+            Out.emplace(std::move(Acc));
+            Local.emplace(std::move(L));
+          };
+          if (!Shield) {
+            RunBody();
+          } else {
+            const int64_t Budget =
+                CurBudgetNs.load(std::memory_order_relaxed);
+            Clock::time_point BudgetDeadline = Clock::time_point::max();
+            if (Budget > 0)
+              BudgetDeadline =
+                  Clock::now() + std::chrono::nanoseconds(Budget);
+            // Fold the budget into the cooperative deadline so polling
+            // bodies bail on their own once it expires; the watchdog
+            // only ever has to force-abandon bodies that never poll.
+            detail::CancelScope BudgetScope(&A->CancelFlag, BudgetDeadline,
+                                            &A->ObservedCancel);
+            detail::CancelContext SavedCC = detail::cancelContext();
+            // Crash/runaway probes fire only here — inside the shield,
+            // before Init() runs, so an injected fault's longjmp skips
+            // no constructed locals.
+            ShieldOutcome SO = shieldedCall(Budget, [&] {
+              if (FP) {
+                FP->maybeCrash(FaultSite::CrashInBody);
+                FP->maybeRunaway(FaultSite::RunawayBody);
+              }
+              RunBody();
+            });
+            if (SO.Fault != ContainedFault::None) {
+              // The longjmp skipped every frame between the fault and
+              // the shield (no destructors ran there); drop whatever
+              // partial state escaped and restore the thread's cancel
+              // context, which a skipped nested scope may have left
+              // stale.
+              detail::cancelContext() = SavedCC;
+              Out.reset();
+              Local.reset();
+              Err = nullptr;
+              Crashed = true;
+              A->CancelFlag.store(true, std::memory_order_seq_cst);
+              Run.ContainedCrashes.fetch_add(1, std::memory_order_relaxed);
+              if (Tr)
+                Tr->record(SpecEventKind::CrashContained, A->UserIdx,
+                           A->TraceId);
+            }
+            const bool BudgetExpired =
+                Budget > 0 && Clock::now() >= BudgetDeadline;
+            if (SO.Fault == ContainedFault::Runaway ||
+                (BudgetExpired &&
+                 (SO.WatchdogCancelled ||
+                  A->ObservedCancel.load(std::memory_order_relaxed)))) {
+              Run.RunawayCancels.fetch_add(1, std::memory_order_relaxed);
+              if (Tr)
+                Tr->record(SpecEventKind::RunawayCancel, A->UserIdx,
+                           A->TraceId);
+            }
+          }
         } catch (...) {
           Err = std::current_exception();
         }
@@ -1652,6 +1859,7 @@ private:
       A->Out = std::move(Out);
       A->Local = std::move(Local);
       A->Err = Err;
+      A->Crashed = Crashed;
       A->FinishStamp =
           Run.FinishCounter.fetch_add(1, std::memory_order_relaxed) + 1;
       A->Done.store(true, std::memory_order_seq_cst);
@@ -1905,11 +2113,14 @@ private:
         Attempt *A = S.Items[I].load(std::memory_order_acquire);
         if (!A)
           continue;
-        if ((A->Out || A->Err) &&
+        // Crashed attempts compete for the last-finisher position (their
+        // partial writes may have landed last, so the slot needs a
+        // re-execution) but are never themselves acceptable.
+        if ((A->Out || A->Err || A->Crashed) &&
             (!LastReal || A->FinishStamp > LastReal->FinishStamp))
           LastReal = A;
       }
-      if (!LastReal || ForceReexec ||
+      if (!LastReal || ForceReexec || LastReal->Crashed ||
           LastReal->CancelFlag.load(std::memory_order_seq_cst) ||
           LastReal->ObservedCancel.load(std::memory_order_relaxed))
         return nullptr;
@@ -1983,30 +2194,48 @@ private:
     /// double it when bodies run far under the target (per-attempt
     /// overhead dominating).
     void autotuneAdjust(int64_t NextB) {
-      if (AutoTargetNs <= 0 || WaveMeasured == 0)
+      if (WaveMeasured == 0)
         return;
       const double AvgNs = static_cast<double>(WaveNs) / WaveMeasured;
-      const double BadRate =
-          WaveBoundaries > 0
-              ? static_cast<double>(WaveBad) / WaveBoundaries
-              : 0.0;
-      int64_t NewChunk = CurChunk;
-      if (BadRate > 0.5)
-        NewChunk = CurChunk / 2;
-      else if (AvgNs < static_cast<double>(AutoTargetNs) / 2)
-        NewChunk = CurChunk * 2;
-      else if (AvgNs > static_cast<double>(AutoTargetNs) * 2)
-        NewChunk = CurChunk / 2;
-      NewChunk = std::max<int64_t>(1, std::min(NewChunk, MaxChunk));
-      if (NewChunk != CurChunk) {
-        CurChunk = NewChunk;
-        // Telemetry: the event's index is the *new* chunk size, so a
-        // trace shows the size trajectory. 0 attempt id: this is a
-        // run-level decision, not tied to an attempt. NextB unused
-        // beyond documentation value for debuggers.
-        (void)NextB;
-        if (Tr)
-          Tr->record(SpecEventKind::Autotune, CurChunk, 0);
+      // The auto attempt budget rides the same measurements: an EWMA of
+      // per-segment latency, scaled by the configured multiplier, with a
+      // 1 ms floor so scheduling noise on tiny chunks can never trip
+      // the watchdog.
+      if (BudgetAutoMult > 0) {
+        BudgetEwmaNs =
+            BudgetEwmaNs == 0
+                ? static_cast<int64_t>(AvgNs)
+                : (3 * BudgetEwmaNs + static_cast<int64_t>(AvgNs)) / 4;
+        CurBudgetNs.store(
+            std::max<int64_t>(1000 * 1000,
+                              static_cast<int64_t>(
+                                  BudgetAutoMult *
+                                  static_cast<double>(BudgetEwmaNs))),
+            std::memory_order_relaxed);
+      }
+      if (AutoTargetNs > 0) {
+        const double BadRate =
+            WaveBoundaries > 0
+                ? static_cast<double>(WaveBad) / WaveBoundaries
+                : 0.0;
+        int64_t NewChunk = CurChunk;
+        if (BadRate > 0.5)
+          NewChunk = CurChunk / 2;
+        else if (AvgNs < static_cast<double>(AutoTargetNs) / 2)
+          NewChunk = CurChunk * 2;
+        else if (AvgNs > static_cast<double>(AutoTargetNs) * 2)
+          NewChunk = CurChunk / 2;
+        NewChunk = std::max<int64_t>(1, std::min(NewChunk, MaxChunk));
+        if (NewChunk != CurChunk) {
+          CurChunk = NewChunk;
+          // Telemetry: the event's index is the *new* chunk size, so a
+          // trace shows the size trajectory. 0 attempt id: this is a
+          // run-level decision, not tied to an attempt. NextB unused
+          // beyond documentation value for debuggers.
+          (void)NextB;
+          if (Tr)
+            Tr->record(SpecEventKind::Autotune, CurChunk, 0);
+        }
       }
       WaveNs = 0;
       WaveMeasured = 0;
@@ -2152,6 +2381,19 @@ private:
     const std::string *const SiteName;
     const bool ProfOn;
     const int64_t W;
+    /// Crash containment (SpecConfig::shield() / attemptBudget()). The
+    /// effective per-attempt budget workers read is CurBudgetNs: the
+    /// explicit budget when one is configured, else the auto budget the
+    /// validator derives from the observed chunk-latency EWMA (0 until
+    /// the first measured wave lands).
+    const bool Shield;
+    const int64_t BudgetNsCfg;
+    const double BudgetAutoMult; ///< 0 when an explicit budget wins.
+    /// Body timing feeds the chunk autotuner and/or the auto budget;
+    /// either consumer turns the measurements on.
+    const bool MeasureBody;
+    std::atomic<int64_t> CurBudgetNs{0};
+    int64_t BudgetEwmaNs = 0; ///< Validator-only latency EWMA.
     int64_t MaxChunk = 1;
 
     detail::SegRunSync Run;

@@ -71,6 +71,18 @@ struct SpeculationStats {
   /// monitor tripped but a better candidate was available
   /// (`SpecEventKind::PredictorSwitch`).
   int64_t PredictorSwitches = 0;
+  /// Speculative attempts whose body crashed (SIGSEGV/SIGBUS/SIGFPE) or
+  /// was force-abandoned by the runaway watchdog, contained by the
+  /// signal shield (SpecConfig::shield()) and recovered by discarding
+  /// the attempt and re-executing non-speculatively
+  /// (`SpecEventKind::CrashContained`).
+  int64_t ContainedCrashes = 0;
+  /// Speculative attempts the runaway watchdog had to escalate past
+  /// their per-attempt budget (SpecConfig::attemptBudget()): cooperative
+  /// cancels that the body honoured plus forced abandonments
+  /// (`SpecEventKind::RunawayCancel`; forced ones also count into
+  /// ContainedCrashes).
+  int64_t RunawayCancels = 0;
   /// The chunk size the run ended on — the segmentation actually in use
   /// after any autotune resizes (equal to the configured ChunkSize when
   /// the autotuner is off; 1 for plain iterate; 0 for apply() and runs
@@ -90,6 +102,8 @@ struct SpeculationStats {
     DegradedChunks += O.DegradedChunks;
     ProfileSeeds += O.ProfileSeeds;
     PredictorSwitches += O.PredictorSwitches;
+    ContainedCrashes += O.ContainedCrashes;
+    RunawayCancels += O.RunawayCancels;
     if (O.FinalChunk)
       FinalChunk = O.FinalChunk;
     return *this;

@@ -47,6 +47,10 @@ const char *specpar::rt::specEventKindName(SpecEventKind K) {
     return "profile-seed";
   case SpecEventKind::PredictorSwitch:
     return "predictor-switch";
+  case SpecEventKind::CrashContained:
+    return "crash-contained";
+  case SpecEventKind::RunawayCancel:
+    return "runaway-cancel";
   }
   return "unknown";
 }
@@ -133,7 +137,7 @@ uint64_t Tracer::droppedEvents() const {
 
 std::string Tracer::summary() const {
   std::vector<SpecEvent> Events = snapshot();
-  std::array<uint64_t, 14> Counts{};
+  std::array<uint64_t, 16> Counts{};
   uint64_t MaxTimeNs = 0;
   uint32_t MaxThread = 0;
   for (const SpecEvent &E : Events) {

@@ -91,6 +91,16 @@ enum class SpecEventKind : uint8_t {
   /// available, so the run switched predictors online instead of falling
   /// back to sequential execution. Index carries the new candidate id.
   PredictorSwitch,
+  /// The signal shield contained a hardware fault (or a forced runaway
+  /// abandonment) inside a speculative attempt's body; the attempt was
+  /// discarded and the chunk re-executed non-speculatively. AttemptId
+  /// identifies the crashed attempt; Index is its chunk index.
+  CrashContained,
+  /// The runaway watchdog escalated an attempt past its per-attempt
+  /// budget (SpecConfig::attemptBudget()): cooperative cancel, or — if
+  /// the body never polled — forced abandonment (which additionally
+  /// records a CrashContained event).
+  RunawayCancel,
 };
 
 /// Stable lowercase name of \p K (e.g. "validate-accept").

@@ -117,7 +117,12 @@ void HttpMetricsServer::acceptLoop() {
     if (Req.rfind("GET /metrics", 0) == 0) {
       Body = Ctx.metricsText();
     } else if (Req.rfind("GET /healthz", 0) == 0) {
-      Body = "ok\n";
+      // Real state, not a constant: a scraper must see a quarantined
+      // shard (degraded, 503) and a shutting-down server (draining).
+      const ServerHealth H = Ctx.health();
+      Body = std::string(serverHealthName(H)) + "\n";
+      if (H == ServerHealth::Degraded)
+        Status = "503 Service Unavailable";
       ContentType = "text/plain";
     } else {
       Status = "404 Not Found";

@@ -87,6 +87,16 @@ struct JobResult {
   unsigned Shard = 0;
   /// For Faulted/Rejected: what went wrong.
   std::string Error;
+  /// Executions this result took: 1 for a first-attempt resolution, up
+  /// to 1 + TenantPolicy::MaxRetries when retries ran. 0 when the job
+  /// was rejected at admission and never reached an executor.
+  int Attempts = 0;
+  /// When the failure came from an injected `rt::SpecFaultError`: the
+  /// firing site's stable name (e.g. "body-throw") and 1-based probe
+  /// index, so a chaos-soak failure is reproducible from the serving
+  /// log alone. Empty / 0 otherwise.
+  std::string FaultSiteName;
+  uint64_t FaultProbe = 0;
 };
 
 /// The datasets every app job runs against, built once at server start

@@ -15,8 +15,21 @@
 namespace specpar {
 namespace serving {
 
+const char *serverHealthName(ServerHealth H) {
+  switch (H) {
+  case ServerHealth::Ok:
+    return "ok";
+  case ServerHealth::Draining:
+    return "draining";
+  case ServerHealth::Degraded:
+    return "degraded";
+  }
+  return "?";
+}
+
 ServerContext::ServerContext(const ServerOptions &O)
-    : Opts(O), Catalog(O.WorkloadScale) {
+    : Opts(O), Catalog(O.WorkloadScale),
+      Quarantines(std::max(1u, O.NumShards)) {
   const unsigned NumShards = std::max(1u, O.NumShards);
   unsigned PerShard = O.ThreadsPerShard;
   if (PerShard == 0)
@@ -25,6 +38,13 @@ ServerContext::ServerContext(const ServerOptions &O)
   for (unsigned I = 0; I < NumShards; ++I)
     Shards.push_back(
         std::make_unique<Shard>(I, PerShard, O.QueueCapacity, Catalog));
+  for (auto &S : Shards)
+    S->onComplete([this](Ticket &&T, JobResult &&R) {
+      onJobFinished(std::move(T), std::move(R));
+    });
+  RetryThread = std::thread([this] { retryLoop(); });
+  if (Opts.HealthWatchdog)
+    HealthThread = std::thread([this] { healthLoop(); });
 }
 
 ServerContext::~ServerContext() { shutdown(); }
@@ -32,7 +52,9 @@ ServerContext::~ServerContext() { shutdown(); }
 void ServerContext::registerTenant(TenantPolicy P) {
   std::lock_guard<std::mutex> Lock(TenantsM);
   std::string Name = P.Name;
-  Tenants[Name] = std::make_unique<TenantState>(std::move(P));
+  auto TS = std::make_unique<TenantState>(std::move(P));
+  TS->Breakers.resize(Shards.size());
+  Tenants[Name] = std::move(TS);
 }
 
 TenantState *ServerContext::tenant(const std::string &Name) {
@@ -41,20 +63,74 @@ TenantState *ServerContext::tenant(const std::string &Name) {
   return It == Tenants.end() ? nullptr : It->second.get();
 }
 
-Shard &ServerContext::pickShard() {
-  if (Opts.Admission == AdmissionPolicy::RoundRobin)
-    return *Shards[NextShard.fetch_add(1, std::memory_order_relaxed) %
-                   Shards.size()];
-  Shard *Best = Shards.front().get();
-  uint64_t BestLoad = Best->load();
+bool ServerContext::breakerAllows(TenantState *TS, unsigned ShardIdx) {
+  if (TS->Policy.BreakerThreshold <= 0)
+    return true;
+  std::lock_guard<std::mutex> Lock(TS->BreakerM);
+  if (ShardIdx >= TS->Breakers.size())
+    return true;
+  TenantState::Breaker &B = TS->Breakers[ShardIdx];
+  if (B.State != 1)
+    return true;
+  if (std::chrono::steady_clock::now() - B.OpenedAt >=
+      TS->Policy.BreakerResetAfter) {
+    // Reset timer elapsed: half-open. The next job probes the shard;
+    // success closes the breaker, failure re-opens it immediately.
+    B.State = 2;
+    return true;
+  }
+  return false;
+}
+
+void ServerContext::breakerRecord(TenantState *TS, unsigned ShardIdx,
+                                  bool Success) {
+  if (TS->Policy.BreakerThreshold <= 0)
+    return;
+  std::lock_guard<std::mutex> Lock(TS->BreakerM);
+  if (ShardIdx >= TS->Breakers.size())
+    return;
+  TenantState::Breaker &B = TS->Breakers[ShardIdx];
+  if (Success) {
+    B.Consecutive = 0;
+    B.State = 0;
+    return;
+  }
+  ++B.Consecutive;
+  if (B.State == 2 || B.Consecutive >= TS->Policy.BreakerThreshold) {
+    if (B.State != 1)
+      ++B.Trips;
+    B.State = 1;
+    B.OpenedAt = std::chrono::steady_clock::now();
+    B.Consecutive = 0;
+  }
+}
+
+Shard *ServerContext::pickShardFor(TenantState *TS, const Shard *Exclude) {
+  Shard *Admissible[64];
+  size_t N = 0;
   for (auto &S : Shards) {
-    uint64_t L = S->load();
+    if (N == 64)
+      break;
+    if (S.get() == Exclude || S->quarantined())
+      continue;
+    if (!breakerAllows(TS, S->index()))
+      continue;
+    Admissible[N++] = S.get();
+  }
+  if (N == 0)
+    return nullptr;
+  if (Opts.Admission == AdmissionPolicy::RoundRobin)
+    return Admissible[NextShard.fetch_add(1, std::memory_order_relaxed) % N];
+  Shard *Best = Admissible[0];
+  uint64_t BestLoad = Best->load();
+  for (size_t I = 1; I < N; ++I) {
+    uint64_t L = Admissible[I]->load();
     if (L < BestLoad) {
-      Best = S.get();
+      Best = Admissible[I];
       BestLoad = L;
     }
   }
-  return *Best;
+  return Best;
 }
 
 std::future<JobResult> ServerContext::submit(const std::string &Tenant,
@@ -79,21 +155,198 @@ std::future<JobResult> ServerContext::submit(const std::string &Tenant,
   T.Work = std::move(Work);
   T.Tenant = TS;
   T.Enqueued = std::chrono::steady_clock::now();
+  if (TS->Policy.Deadline.count() > 0)
+    T.AbsDeadline = T.Enqueued + TS->Policy.Deadline;
   std::future<JobResult> F = T.Promise.get_future();
-  Shard &S = pickShard();
-  if (!S.enqueue(std::move(T)))
+  Shard *S = pickShardFor(TS);
+  if (!S)
+    return RejectNow("no admissible shard (quarantined or circuit open)");
+  // Count the job in flight before the enqueue: the completion path
+  // may run (and decrement) before this thread resumes.
+  InFlight.fetch_add(1, std::memory_order_relaxed);
+  if (!S->enqueue(std::move(T))) {
+    {
+      std::lock_guard<std::mutex> Lock(RetryM);
+      InFlight.fetch_sub(1, std::memory_order_relaxed);
+    }
+    RetryCV.notify_all();
     return RejectNow("shard queue full");
+  }
   return F;
 }
 
-void ServerContext::drain() {
+void ServerContext::onJobFinished(Ticket &&T, JobResult &&R) {
+  TenantState *TS = T.Tenant;
+  const bool Failure = R.Outcome == JobOutcome::TimedOut ||
+                       R.Outcome == JobOutcome::Faulted;
+  if (R.Attempts > 0)
+    // The attempt actually ran on R.Shard — feed the breaker. Shutdown
+    // rejects (Attempts rolled back) say nothing about shard health.
+    breakerRecord(TS, R.Shard, !Failure);
+  if (Failure && T.Attempt <= TS->Policy.MaxRetries &&
+      !Down.load(std::memory_order_acquire)) {
+    // Exponential backoff, capped, plus up to 25% jitter so synchronized
+    // failures don't re-converge on the same instant.
+    const int64_t Base = std::max<int64_t>(0, TS->Policy.RetryBackoff.count());
+    const int64_t Cap =
+        std::max<int64_t>(Base, TS->Policy.RetryBackoffMax.count());
+    int64_t Backoff = Base;
+    for (int I = 1; I < T.Attempt && Backoff < Cap; ++I)
+      Backoff *= 2;
+    Backoff = std::min(Backoff, Cap);
+    std::unique_lock<std::mutex> Lock(RetryM);
+    if (Backoff > 0)
+      Backoff += static_cast<int64_t>(
+          JitterRng() % (static_cast<uint64_t>(Backoff) / 4 + 1));
+    const auto NotBefore =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(Backoff);
+    // Retry only while the backoff still leaves budget to run in; a
+    // deadline-less job always qualifies.
+    if (T.AbsDeadline == std::chrono::steady_clock::time_point{} ||
+        NotBefore < T.AbsDeadline) {
+      ++T.Attempt;
+      TS->Retries.fetch_add(1, std::memory_order_relaxed);
+      RetryQueue.push_back({std::move(T), std::move(R), NotBefore});
+      Lock.unlock();
+      RetryCV.notify_all();
+      return;
+    }
+    Lock.unlock();
+  }
+  resolveTerminal(std::move(T), std::move(R));
+}
+
+void ServerContext::resolveTerminal(Ticket &&T, JobResult &&R) {
+  // Record before releasing the in-flight slot so drain() returning
+  // implies the aggregates already include this job.
+  T.Tenant->record(R);
+  {
+    std::lock_guard<std::mutex> Lock(RetryM);
+    InFlight.fetch_sub(1, std::memory_order_relaxed);
+  }
+  RetryCV.notify_all();
+  T.Promise.set_value(std::move(R));
+}
+
+void ServerContext::retryLoop() {
+  std::unique_lock<std::mutex> Lock(RetryM);
+  for (;;) {
+    if (RetryQueue.empty()) {
+      if (RetryStop)
+        return;
+      RetryCV.wait(Lock);
+      continue;
+    }
+    size_t Best = 0;
+    for (size_t I = 1; I < RetryQueue.size(); ++I)
+      if (RetryQueue[I].NotBefore < RetryQueue[Best].NotBefore)
+        Best = I;
+    // Shutdown flushes pending backoffs immediately: the job resolves
+    // with its last real failure rather than sleeping out the backoff.
+    const bool Flush =
+        RetryStop || Down.load(std::memory_order_acquire);
+    // Copy the deadline out of the vector before waiting: wait_until
+    // re-reads its time_point argument after dropping the lock, and a
+    // concurrent push_back may have reallocated the queue under it.
+    const std::chrono::steady_clock::time_point Until =
+        RetryQueue[Best].NotBefore;
+    if (!Flush && Until > std::chrono::steady_clock::now()) {
+      RetryCV.wait_until(Lock, Until);
+      continue;
+    }
+    RetryEntry E = std::move(RetryQueue[Best]);
+    RetryQueue.erase(RetryQueue.begin() +
+                     static_cast<std::ptrdiff_t>(Best));
+    Lock.unlock();
+    Shard *S = Flush ? nullptr : pickShardFor(E.T.Tenant);
+    if (!S || !S->enqueue(std::move(E.T)))
+      // No admissible shard (or it filled up between pick and enqueue):
+      // terminal, with the last attempt's real result.
+      resolveTerminal(std::move(E.T), std::move(E.LastResult));
+    Lock.lock();
+  }
+}
+
+void ServerContext::healthLoop() {
+  while (!HealthStop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(Opts.HealthPeriod);
+    const int64_t Now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    size_t Healthy = 0;
+    for (auto &S : Shards)
+      Healthy += S->quarantined() ? 0 : 1;
+    for (size_t I = 0; I < Shards.size(); ++I) {
+      Shard &S = *Shards[I];
+      const int64_t BusySince = S.busySinceNs();
+      if (!S.quarantined()) {
+        if (BusySince != 0 && Now - BusySince > Opts.StuckAfter.count() &&
+            Healthy > 1) {
+          // Dispatcher stuck inside one job past the threshold:
+          // quarantine the shard and re-dispatch its backlog so queued
+          // jobs don't starve behind the stuck one. The LAST healthy
+          // shard is never quarantined — the watchdog cannot tell
+          // stuck from slow, and shedding every shard turns a slow
+          // server into a dead one.
+          --Healthy;
+          S.setQuarantined(true);
+          Quarantines[I].fetch_add(1, std::memory_order_relaxed);
+          for (Ticket &T : S.takeQueued()) {
+            Shard *Target = pickShardFor(T.Tenant, &S);
+            if (Target && Target->enqueue(std::move(T)))
+              continue;
+            JobResult R;
+            R.Outcome = JobOutcome::Rejected;
+            R.Shard = S.index();
+            R.Error = "shard quarantined; no healthy shard available";
+            R.Attempts = T.Attempt - 1;
+            R.Latency = std::chrono::steady_clock::now() - T.Enqueued;
+            resolveTerminal(std::move(T), std::move(R));
+          }
+        }
+      } else if (BusySince == 0) {
+        // The stuck job finished — the dispatcher is live again, so the
+        // shard rejoins the admissible set.
+        S.setQuarantined(false);
+      }
+    }
+  }
+}
+
+ServerHealth ServerContext::health() const {
+  if (Down.load(std::memory_order_acquire))
+    return ServerHealth::Draining;
   for (auto &S : Shards)
-    S->drain();
+    if (S->quarantined())
+      return ServerHealth::Degraded;
+  return ServerHealth::Ok;
+}
+
+void ServerContext::drain() {
+  std::unique_lock<std::mutex> Lock(RetryM);
+  RetryCV.wait(Lock, [this] {
+    return InFlight.load(std::memory_order_relaxed) == 0;
+  });
 }
 
 void ServerContext::shutdown() {
   if (Down.exchange(true, std::memory_order_acq_rel))
     return;
+  // Wake the retry thread so pending backoffs flush instead of
+  // sleeping; then wait out everything in flight.
+  RetryCV.notify_all();
+  drain();
+  {
+    std::lock_guard<std::mutex> Lock(RetryM);
+    RetryStop = true;
+  }
+  RetryCV.notify_all();
+  HealthStop.store(true, std::memory_order_release);
+  if (RetryThread.joinable())
+    RetryThread.join();
+  if (HealthThread.joinable())
+    HealthThread.join();
   for (auto &S : Shards)
     S->drain();
   for (auto &S : Shards)
@@ -203,6 +456,14 @@ std::string ServerContext::metricsText() const {
       {"specd_spec_predictor_switches_total",
        "Online predictor switches after degrade-monitor trips.",
        &rt::SpeculationStats::PredictorSwitches},
+      {"specd_spec_contained_crashes_total",
+       "Speculative attempts whose hardware fault (SIGSEGV/SIGBUS/"
+       "SIGFPE) the signal shield contained.",
+       &rt::SpeculationStats::ContainedCrashes},
+      {"specd_spec_runaway_cancels_total",
+       "Over-budget attempts cancelled or forcibly abandoned by the "
+       "runaway watchdog.",
+       &rt::SpeculationStats::RunawayCancels},
   };
   for (const SpecField &F : SpecFields) {
     W.family(F.Name, F.Help, "counter");
@@ -211,6 +472,60 @@ std::string ServerContext::metricsText() const {
                static_cast<uint64_t>(
                    std::max<int64_t>(0, TS->totals().Spec.*F.Member)));
   }
+
+  // Resilience: retries, circuit breakers, and shard health.
+  W.family("specd_retries_total",
+           "Retry attempts scheduled for failed jobs per tenant.",
+           "counter");
+  for (TenantState *TS : States)
+    W.sample("specd_retries_total", {{"tenant", TS->Policy.Name}},
+             TS->Retries.load(std::memory_order_relaxed));
+
+  bool AnyBreaker = false;
+  for (TenantState *TS : States)
+    AnyBreaker = AnyBreaker || TS->Policy.BreakerThreshold > 0;
+  if (AnyBreaker) {
+    W.family("specd_breaker_state",
+             "Circuit state per tenant and shard: 0 closed, 1 open, "
+             "2 half-open.",
+             "gauge");
+    for (TenantState *TS : States) {
+      if (TS->Policy.BreakerThreshold <= 0)
+        continue;
+      std::lock_guard<std::mutex> Lock(TS->BreakerM);
+      for (size_t I = 0; I < TS->Breakers.size(); ++I)
+        W.sample("specd_breaker_state",
+                 {{"tenant", TS->Policy.Name}, {"shard", std::to_string(I)}},
+                 static_cast<uint64_t>(TS->Breakers[I].State));
+    }
+    W.family("specd_breaker_trips_total",
+             "Times a tenant's breaker opened against a shard.",
+             "counter");
+    for (TenantState *TS : States) {
+      if (TS->Policy.BreakerThreshold <= 0)
+        continue;
+      std::lock_guard<std::mutex> Lock(TS->BreakerM);
+      for (size_t I = 0; I < TS->Breakers.size(); ++I)
+        W.sample("specd_breaker_trips_total",
+                 {{"tenant", TS->Policy.Name}, {"shard", std::to_string(I)}},
+                 TS->Breakers[I].Trips);
+    }
+  }
+
+  W.family("specd_shard_quarantines_total",
+           "Times the health watchdog quarantined a shard for a stuck "
+           "dispatcher.",
+           "counter");
+  for (auto &S : Shards)
+    W.sample("specd_shard_quarantines_total",
+             {{"shard", std::to_string(S->index())}},
+             Quarantines[S->index()].load(std::memory_order_relaxed));
+  W.family("specd_shard_healthy",
+           "1 while the shard accepts work, 0 while quarantined.",
+           "gauge");
+  for (auto &S : Shards)
+    W.sample("specd_shard_healthy", {{"shard", std::to_string(S->index())}},
+             static_cast<uint64_t>(S->quarantined() ? 0 : 1));
 
   // Profile-store coverage for tenants running profile-guided: how many
   // distinct sites (tenant/kind pairs) have accumulated history.

@@ -31,9 +31,11 @@
 #include "serving/Shard.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,15 @@ namespace specpar {
 namespace serving {
 
 enum class AdmissionPolicy : uint8_t { RoundRobin, LeastLoaded };
+
+/// What /healthz reports (see `ServerContext::health()`).
+enum class ServerHealth : uint8_t {
+  Ok,       ///< Every shard healthy, accepting work.
+  Draining, ///< Shutdown in progress; no new admissions.
+  Degraded, ///< At least one shard quarantined (503 on /healthz).
+};
+
+const char *serverHealthName(ServerHealth H);
 
 struct ServerOptions {
   /// Executor shards. Each owns `ThreadsPerShard` workers.
@@ -53,6 +64,13 @@ struct ServerOptions {
   AdmissionPolicy Admission = AdmissionPolicy::LeastLoaded;
   /// Catalog dataset scale (bytes/symbols/nodes).
   int64_t WorkloadScale = 1 << 16;
+  /// Shard-health watchdog: a dispatcher that has been inside one job
+  /// longer than `StuckAfter` is quarantined — admission stops, its
+  /// queued jobs are re-dispatched to healthy shards — and reinstated
+  /// once it makes progress again. `HealthPeriod` is the poll cadence.
+  bool HealthWatchdog = true;
+  std::chrono::nanoseconds StuckAfter{std::chrono::milliseconds(500)};
+  std::chrono::nanoseconds HealthPeriod{std::chrono::milliseconds(20)};
 };
 
 class ServerContext {
@@ -95,8 +113,32 @@ public:
   /// Stable for the server's lifetime once registered.
   TenantState *tenant(const std::string &Name);
 
+  /// Liveness summary for /healthz: Draining once shutdown started,
+  /// Degraded while any shard is quarantined, Ok otherwise.
+  ServerHealth health() const;
+
+  /// Times shard \p I was quarantined by the health watchdog.
+  uint64_t shardQuarantines(unsigned I) const {
+    return Quarantines[I].load(std::memory_order_relaxed);
+  }
+
 private:
-  Shard &pickShard();
+  /// Picks an admissible shard for \p TS — not quarantined, circuit
+  /// breaker not open, not \p Exclude — or null when no shard
+  /// qualifies. Applies the configured admission policy among the
+  /// admissible ones.
+  Shard *pickShardFor(TenantState *TS, const Shard *Exclude = nullptr);
+
+  /// Shard completion hook: decides retry vs terminal resolution.
+  void onJobFinished(Ticket &&T, JobResult &&R);
+  /// Records, releases the in-flight slot, and fulfils the promise.
+  void resolveTerminal(Ticket &&T, JobResult &&R);
+
+  bool breakerAllows(TenantState *TS, unsigned ShardIdx);
+  void breakerRecord(TenantState *TS, unsigned ShardIdx, bool Success);
+
+  void retryLoop();
+  void healthLoop();
 
   const ServerOptions Opts;
   const WorkloadCatalog Catalog;
@@ -108,6 +150,26 @@ private:
 
   std::atomic<uint64_t> NextShard{0}; ///< RoundRobin cursor.
   std::atomic<bool> Down{false};
+
+  /// A failed job waiting out its backoff before re-admission.
+  struct RetryEntry {
+    Ticket T;
+    JobResult LastResult; ///< Resolves the job if the retry can't run.
+    std::chrono::steady_clock::time_point NotBefore;
+  };
+  mutable std::mutex RetryM;
+  std::condition_variable RetryCV;
+  std::vector<RetryEntry> RetryQueue;
+  bool RetryStop = false;
+  std::mt19937_64 JitterRng{0x5bd1e995u}; ///< Guarded by RetryM.
+  /// Tickets admitted but not yet terminally resolved (queued, running,
+  /// or awaiting retry). drain() waits for zero.
+  std::atomic<int64_t> InFlight{0};
+
+  std::vector<std::atomic<uint64_t>> Quarantines; ///< Per shard.
+  std::atomic<bool> HealthStop{false};
+
+  std::thread RetryThread, HealthThread;
 };
 
 } // namespace serving

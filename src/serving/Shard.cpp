@@ -56,15 +56,31 @@ Shard::~Shard() {
     Dispatcher.join();
 }
 
-bool Shard::enqueue(Ticket T) {
+void Shard::onComplete(CompletionFn F) {
+  std::lock_guard<std::mutex> Lock(M);
+  Completion = std::move(F);
+}
+
+bool Shard::enqueue(Ticket &&T) {
   {
     std::lock_guard<std::mutex> Lock(M);
-    if (Stopping || Queue.size() >= QueueCapacity)
+    if (Stopping || quarantined() || Queue.size() >= QueueCapacity)
       return false;
     Queue.push_back(std::move(T));
   }
   QueueCV.notify_one();
   return true;
+}
+
+std::vector<Ticket> Shard::takeQueued() {
+  std::vector<Ticket> Out;
+  std::lock_guard<std::mutex> Lock(M);
+  Out.reserve(Queue.size());
+  while (!Queue.empty()) {
+    Out.push_back(std::move(Queue.front()));
+    Queue.pop_front();
+  }
+  return Out;
 }
 
 uint64_t Shard::load() const {
@@ -115,21 +131,26 @@ void Shard::dispatchLoop() {
         R.Outcome = JobOutcome::Rejected;
         R.Shard = Index;
         R.Error = "server shutting down";
+        R.Attempts = T.Attempt - 1; // this attempt never ran
         R.Latency = std::chrono::steady_clock::now() - T.Enqueued;
         ++Completed;
         Lock.unlock();
-        T.Tenant->record(R);
-        T.Promise.set_value(std::move(R));
+        finish(std::move(T), std::move(R));
         continue;
       }
       Busy = true;
     }
+    BusySinceNs.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count(),
+                      std::memory_order_release);
 
-    JobResult R = runJob(T.Work, *T.Tenant);
+    JobResult R = runJob(T.Work, *T.Tenant, T.AbsDeadline);
     R.Shard = Index;
+    R.Attempts = T.Attempt;
     R.Latency = std::chrono::steady_clock::now() - T.Enqueued;
-    T.Tenant->record(R);
 
+    BusySinceNs.store(0, std::memory_order_release);
     {
       std::lock_guard<std::mutex> Lock(M);
       Busy = false;
@@ -137,12 +158,29 @@ void Shard::dispatchLoop() {
     }
     IdleCV.notify_all();
     // Fulfil after the bookkeeping so a drain() returning implies the
-    // aggregates already include this job.
-    T.Promise.set_value(std::move(R));
+    // shard counters already include this job.
+    finish(std::move(T), std::move(R));
   }
 }
 
-JobResult Shard::runJob(const Job &Work, TenantState &Tenant) {
+void Shard::finish(Ticket &&T, JobResult &&R) {
+  CompletionFn Fn;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Fn = Completion;
+  }
+  if (Fn) {
+    // The server layer owns recording and promise resolution — it may
+    // schedule a retry instead of resolving.
+    Fn(std::move(T), std::move(R));
+    return;
+  }
+  T.Tenant->record(R);
+  T.Promise.set_value(std::move(R));
+}
+
+JobResult Shard::runJob(const Job &Work, TenantState &Tenant,
+                        std::chrono::steady_clock::time_point AbsDeadline) {
   JobResult R;
   rt::SpecConfig Cfg = Tenant.Policy.toConfig(Ex, Tenant.Trace.get());
   if (Tenant.Profile)
@@ -150,6 +188,20 @@ JobResult Shard::runJob(const Job &Work, TenantState &Tenant) {
     // different chunk sizes, so they must not share a site.
     Cfg.profile(Tenant.Profile.get())
         .profileSite(Tenant.Policy.Name + "/" + jobKindName(Work.Kind));
+  if (AbsDeadline != std::chrono::steady_clock::time_point{}) {
+    // Every attempt runs under the job's *remaining* budget — queueing,
+    // earlier attempts, and retry backoff all consume it. A fresh full
+    // deadline per retry would let a flapping job hold its shard for
+    // MaxRetries times the tenant's promise.
+    const auto Remaining = AbsDeadline - std::chrono::steady_clock::now();
+    if (Remaining <= std::chrono::nanoseconds::zero()) {
+      R.Outcome = JobOutcome::TimedOut;
+      R.Error = "deadline budget exhausted before dispatch";
+      return R;
+    }
+    Cfg.deadline(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Remaining));
+  }
   const int NumTasks = Tenant.Policy.NumTasks;
   try {
     switch (Work.Kind) {
@@ -194,6 +246,14 @@ JobResult Shard::runJob(const Job &Work, TenantState &Tenant) {
   } catch (const rt::SpecTimeoutError &E) {
     R.Outcome = JobOutcome::TimedOut;
     R.Error = E.what();
+  } catch (const rt::SpecFaultError &E) {
+    // Injected fault: surface the site and probe index so the failure
+    // is reproducible from the serving log alone (same seed, same
+    // site, same probe).
+    R.Outcome = JobOutcome::Faulted;
+    R.Error = E.what();
+    R.FaultSiteName = rt::faultSiteName(E.Site);
+    R.FaultProbe = E.Probe;
   } catch (const std::exception &E) {
     R.Outcome = JobOutcome::Faulted;
     R.Error = E.what();

@@ -87,6 +87,21 @@ struct TenantState {
     return Latency;
   }
 
+  /// Retries the server has scheduled for this tenant's jobs.
+  std::atomic<uint64_t> Retries{0};
+
+  /// One circuit breaker per shard for this tenant (see
+  /// `TenantPolicy::BreakerThreshold`). Sized by the server at
+  /// registration; guarded by `BreakerM`.
+  struct Breaker {
+    int Consecutive = 0;   ///< Failed attempts since the last success.
+    uint8_t State = 0;     ///< 0 closed, 1 open, 2 half-open.
+    std::chrono::steady_clock::time_point OpenedAt{};
+    uint64_t Trips = 0;    ///< Closed/half-open -> open transitions.
+  };
+  mutable std::mutex BreakerM;
+  std::vector<Breaker> Breakers;
+
 private:
   mutable std::mutex M;
   rt::stats::Snapshot Totals;
@@ -100,10 +115,23 @@ struct Ticket {
   TenantState *Tenant = nullptr;
   std::promise<JobResult> Promise;
   std::chrono::steady_clock::time_point Enqueued;
+  /// 1-based execution attempt this ticket represents; retries
+  /// re-admit the same ticket with the next attempt number.
+  int Attempt = 1;
+  /// Absolute expiry of the job's *total* deadline budget (epoch-zero
+  /// when the tenant has no deadline). Every attempt — first or retry —
+  /// runs under whatever remains, never a fresh full deadline.
+  std::chrono::steady_clock::time_point AbsDeadline{};
 };
 
 class Shard {
 public:
+  /// Called with each finished ticket + result instead of the shard
+  /// resolving the promise itself; lets the server layer decide retry
+  /// vs terminal resolution. When unset the shard records and resolves
+  /// directly (standalone use).
+  using CompletionFn = std::function<void(Ticket &&, JobResult &&)>;
+
   /// \p NumThreads workers back this shard's executor; \p QueueCapacity
   /// bounds the admission queue (enqueue() refuses beyond it).
   Shard(unsigned Index, unsigned NumThreads, size_t QueueCapacity,
@@ -116,9 +144,13 @@ public:
   Shard(const Shard &) = delete;
   Shard &operator=(const Shard &) = delete;
 
-  /// Admits \p T (false when the queue is full or the shard is
-  /// stopping; the caller then rejects the ticket itself).
-  bool enqueue(Ticket T);
+  /// Installs the completion hook. Call before the first enqueue.
+  void onComplete(CompletionFn F);
+
+  /// Admits \p T (false when the queue is full, the shard is stopping,
+  /// or the shard is quarantined; \p T is left intact so the caller can
+  /// reject or re-route it).
+  bool enqueue(Ticket &&T);
 
   /// Queued + running jobs — the admission policy's load signal.
   uint64_t load() const;
@@ -135,13 +167,36 @@ public:
   /// Stops accepting work, finishes the job in flight, rejects the rest.
   void stop();
 
+  /// Health watchdog surface. `busySinceNs()` is the steady-clock
+  /// timestamp (ns) at which the currently running job started, 0 when
+  /// the dispatcher is idle — a large, non-zero age means the
+  /// dispatcher is stuck inside one job. The quarantine flag gates
+  /// admission (enqueue refuses) and shard selection; the server's
+  /// health watchdog sets it and drains the backlog via takeQueued().
+  int64_t busySinceNs() const {
+    return BusySinceNs.load(std::memory_order_acquire);
+  }
+  bool quarantined() const {
+    return Quarantined.load(std::memory_order_acquire);
+  }
+  void setQuarantined(bool Q) {
+    Quarantined.store(Q, std::memory_order_release);
+  }
+
+  /// Removes and returns every queued-but-unstarted ticket (the job in
+  /// flight, if any, is not touched). Used to re-dispatch a quarantined
+  /// shard's backlog to healthy shards.
+  std::vector<Ticket> takeQueued();
+
   unsigned index() const { return Index; }
   const std::shared_ptr<rt::SpecExecutor> &executor() const { return Ex; }
   rt::ExecutorStats executorStats() const { return Ex->stats(); }
 
 private:
   void dispatchLoop();
-  JobResult runJob(const Job &Work, TenantState &Tenant);
+  void finish(Ticket &&T, JobResult &&R);
+  JobResult runJob(const Job &Work, TenantState &Tenant,
+                   std::chrono::steady_clock::time_point AbsDeadline);
 
   const unsigned Index;
   const size_t QueueCapacity;
@@ -155,6 +210,10 @@ private:
   bool Busy = false;     ///< A job is between pop and promise-fulfil.
   bool Stopping = false; ///< No further admissions; loop exits when idle.
   uint64_t Completed = 0;
+  CompletionFn Completion; ///< Set once before first enqueue.
+
+  std::atomic<int64_t> BusySinceNs{0}; ///< Progress heartbeat.
+  std::atomic<bool> Quarantined{false};
 
   std::thread Dispatcher; ///< Last member: joins before state dies.
 };

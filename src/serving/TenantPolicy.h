@@ -23,6 +23,7 @@
 #ifndef SPECPAR_SERVING_TENANTPOLICY_H
 #define SPECPAR_SERVING_TENANTPOLICY_H
 
+#include "runtime/FaultPlan.h"
 #include "runtime/Speculation.h"
 
 #include <chrono>
@@ -77,6 +78,48 @@ struct TenantPolicy {
   /// lifetime. Meaningful only with `ProfileGuided`.
   std::string ProfilePath;
 
+  /// Arms the runtime's per-thread signal shield for this tenant's runs:
+  /// a SIGSEGV/SIGBUS/SIGFPE in a *speculative* attempt body is
+  /// contained and re-executed instead of killing the process (and every
+  /// other tenant on it). On by default — a multi-tenant server should
+  /// not die to one tenant's mispredicted pointer chase.
+  bool Shield = true;
+
+  /// Explicit per-attempt wall-clock budget; overrun attempts are
+  /// cooperatively cancelled, then forcibly abandoned by the runaway
+  /// watchdog. Zero leaves attempts unbudgeted (unless
+  /// `AttemptBudgetAutoMult` is set). Implies the shield.
+  std::chrono::nanoseconds AttemptBudget{0};
+
+  /// Auto-derived attempt budget: multiple of the observed per-chunk
+  /// latency EWMA (see `rt::SpecConfig::attemptBudgetAuto`). Zero
+  /// disables; `AttemptBudget` takes precedence.
+  double AttemptBudgetAutoMult = 0;
+
+  /// Retries for `Faulted`/`TimedOut` jobs: up to `MaxRetries`
+  /// additional attempts, re-admitted after an exponential backoff with
+  /// jitter (`RetryBackoff * 2^(attempt-1)`, capped at
+  /// `RetryBackoffMax`). A job with a `Deadline` retries only while
+  /// backoff + dispatch still fit the *remaining* budget — each attempt
+  /// runs under what is left, never a fresh full deadline. Zero (the
+  /// default) resolves the first failure as terminal.
+  int MaxRetries = 0;
+  std::chrono::nanoseconds RetryBackoff{std::chrono::milliseconds(10)};
+  std::chrono::nanoseconds RetryBackoffMax{std::chrono::seconds(1)};
+
+  /// Circuit breaker per tenant×shard: after `BreakerThreshold`
+  /// *consecutive* failed attempts on one shard, that shard is shed for
+  /// this tenant (submits fall through to other shards; if every shard
+  /// is open the job is Rejected). The breaker half-opens
+  /// `BreakerResetAfter` later: the next job probes the shard, success
+  /// closes the breaker, failure re-opens it. Zero disables.
+  int BreakerThreshold = 0;
+  std::chrono::nanoseconds BreakerResetAfter{std::chrono::milliseconds(500)};
+
+  /// Optional fault-injection plan lowered into every run of this
+  /// tenant (chaos testing; must outlive the tenant's jobs).
+  rt::FaultPlan *Faults = nullptr;
+
   /// Lowers this policy onto \p Shard's executor. \p Tr is the tenant's
   /// tracer (null when tracing is off).
   rt::SpecConfig toConfig(std::shared_ptr<rt::SpecExecutor> Shard,
@@ -88,6 +131,14 @@ struct TenantPolicy {
       Cfg.degrade(DegradeMaxBadRate, DegradeWindow);
     if (AutotuneTargetMicros > 0)
       Cfg.autotune(AutotuneTargetMicros);
+    if (Shield)
+      Cfg.shield();
+    if (AttemptBudget.count() > 0)
+      Cfg.attemptBudget(AttemptBudget);
+    else if (AttemptBudgetAutoMult > 0)
+      Cfg.attemptBudgetAuto(AttemptBudgetAutoMult);
+    if (Faults)
+      Cfg.faults(Faults);
     if (Tr)
       Cfg.trace(Tr);
     return Cfg;

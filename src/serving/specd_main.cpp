@@ -10,14 +10,21 @@
 /// the requested shard layout, registers tenants, and serves metrics on
 /// a loopback HTTP port.
 ///
-/// Two modes:
+/// Three modes:
 ///  * default — start, print the metrics URL, serve until stdin closes
 ///    (EOF) so the process is script- and supervisor-friendly;
 ///  * `--smoke` — the self-contained CI exercise: start, register three
 ///    tenants (one with a deadline, one tracing), submit a burst of
 ///    app + callable jobs, scrape /metrics over the real socket, verify
 ///    outcomes and exposition-format sanity, shut down cleanly, print
-///    PASS/FAIL. The `serving-smoke` ctest label runs exactly this.
+///    PASS/FAIL. The `serving-smoke` ctest label runs exactly this;
+///  * `--chaos-smoke` — the same shape under injected chaos: one tenant
+///    crashes speculative attempts (shield contains them), one throws
+///    and retries, and a wedged job gets its shard quarantined by the
+///    health watchdog. PASS requires every admitted job to resolve
+///    (Ok/TimedOut/Faulted — never lost, never rejected), /healthz to
+///    report degraded while the shard is out, and /metrics to show
+///    nonzero contained crashes, retries, and quarantines.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,9 +32,11 @@
 #include "serving/ServerContext.h"
 #include "support/CommandLine.h"
 
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace specpar;
@@ -103,6 +112,110 @@ int runSmoke(ServerContext &Ctx, HttpMetricsServer &Http, int JobsPerTenant) {
   return 0;
 }
 
+/// The --chaos-smoke exercise. The tenants and fault plans are set up
+/// by main(); this drives the traffic and verdicts.
+int runChaosSmoke(ServerContext &Ctx, HttpMetricsServer &Http,
+                  int JobsPerTenant) {
+  // Wedge one shard: a job that sleeps far past the watchdog's
+  // StuckAfter. The health loop must quarantine the shard, re-dispatch
+  // its backlog, and reinstate it once the sleep ends.
+  auto Blocked =
+      Ctx.submit("blocker", Job::callable([](const rt::SpecConfig &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(800));
+        return int64_t(1);
+      }));
+  for (int Spin = 0; Spin < 500; ++Spin) {
+    bool AnyBusy = false;
+    for (unsigned I = 0; I < Ctx.numShards(); ++I)
+      AnyBusy = AnyBusy || Ctx.shard(I).busySinceNs() != 0;
+    if (AnyBusy)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The burst: crashing and flaky tenants, all three app kinds. Round
+  // robin queues half of it behind the wedged job.
+  const JobKind Kinds[] = {JobKind::Lex, JobKind::Decode, JobKind::Mwis};
+  std::vector<std::future<JobResult>> Futures;
+  for (const char *Tenant : {"crashy", "flaky"})
+    for (int I = 0; I < JobsPerTenant; ++I) {
+      Job J;
+      J.Kind = Kinds[I % 3];
+      Futures.push_back(Ctx.submit(Tenant, std::move(J)));
+    }
+  const size_t Submitted = Futures.size() + 1; // + the blocker
+
+  // While the blocker holds its shard, /healthz must go degraded (503).
+  bool SawDegraded = false;
+  for (int Spin = 0; Spin < 300 && !SawDegraded; ++Spin) {
+    std::string Resp = HttpMetricsServer::get(Http.port(), "/healthz");
+    SawDegraded = Resp.rfind("HTTP/1.1 503", 0) == 0 &&
+                  Resp.find("degraded") != std::string::npos;
+    if (!SawDegraded)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Every admitted job must resolve — lost futures hang right here.
+  int Ok = 0, TimedOut = 0, Faulted = 0, Rejected = 0;
+  auto Tally = [&](JobResult R) {
+    switch (R.Outcome) {
+    case JobOutcome::Ok:
+      ++Ok;
+      break;
+    case JobOutcome::TimedOut:
+      ++TimedOut;
+      break;
+    case JobOutcome::Faulted:
+      ++Faulted;
+      break;
+    case JobOutcome::Rejected:
+      ++Rejected;
+      std::fprintf(stderr, "specd --chaos-smoke: rejected job: %s\n",
+                   R.Error.c_str());
+      break;
+    }
+  };
+  for (auto &F : Futures)
+    Tally(F.get());
+  Tally(Blocked.get());
+  std::printf("specd --chaos-smoke: submitted=%zu ok=%d timed_out=%d "
+              "faulted=%d rejected=%d\n",
+              Submitted, Ok, TimedOut, Faulted, Rejected);
+
+  std::string Resp = HttpMetricsServer::get(Http.port(), "/metrics");
+  bool HttpOk = Resp.rfind("HTTP/1.1 200", 0) == 0;
+  auto Nonzero = [&Resp](const std::string &Family) {
+    // Any sample of the family with a value other than a bare 0.
+    size_t At = 0;
+    while ((At = Resp.find(Family, At)) != std::string::npos) {
+      size_t Eol = Resp.find('\n', At);
+      std::string Line = Resp.substr(At, Eol - At);
+      At = Eol;
+      if (Line.rfind("# ", 0) == 0)
+        continue;
+      size_t Sp = Line.rfind(' ');
+      if (Sp != std::string::npos && Line.substr(Sp + 1) != "0")
+        return true;
+    }
+    return false;
+  };
+  const bool HasCrashes = Nonzero("specd_spec_contained_crashes_total");
+  const bool HasRetries = Nonzero("specd_retries_total");
+  const bool HasQuarantines = Nonzero("specd_shard_quarantines_total");
+  std::printf("specd --chaos-smoke: scrape http=%d contained_crashes=%d "
+              "retries=%d quarantines=%d degraded_healthz=%d\n",
+              HttpOk, HasCrashes, HasRetries, HasQuarantines, SawDegraded);
+
+  if (static_cast<size_t>(Ok + TimedOut + Faulted + Rejected) != Submitted ||
+      Rejected > 0 || !HttpOk || !HasCrashes || !HasRetries ||
+      !HasQuarantines || !SawDegraded) {
+    std::printf("specd --chaos-smoke: FAIL\n");
+    return 1;
+  }
+  std::printf("specd --chaos-smoke: PASS\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -119,6 +232,8 @@ int main(int Argc, char **Argv) {
   bool *RoundRobin =
       Args.flag("round-robin", "round-robin admission (default: least-loaded)");
   bool *Smoke = Args.flag("smoke", "run the self-contained smoke exercise");
+  bool *ChaosSmoke = Args.flag(
+      "chaos-smoke", "run the smoke exercise under injected faults");
   int64_t *SmokeJobs =
       Args.intOption("smoke-jobs", 9, "jobs per tenant in --smoke");
   if (!Args.parse(Argc, Argv))
@@ -131,6 +246,22 @@ int main(int Argc, char **Argv) {
   Opts.Admission = *RoundRobin ? AdmissionPolicy::RoundRobin
                                : AdmissionPolicy::LeastLoaded;
   Opts.WorkloadScale = *Scale;
+  if (*ChaosSmoke) {
+    // Chaos wants the watchdog to catch the wedged job well inside the
+    // exercise, and round-robin so some burst jobs queue behind it.
+    Opts.Admission = AdmissionPolicy::RoundRobin;
+    Opts.StuckAfter = std::chrono::milliseconds(80);
+    Opts.HealthPeriod = std::chrono::milliseconds(10);
+  }
+
+  // Fault plans for --chaos-smoke; declared before the context so they
+  // outlive every job that probes them.
+  rt::FaultPlan CrashPlan(0x5eed);
+  CrashPlan.arm(rt::FaultSite::CrashInBody, 0.3)
+      .arm(rt::FaultSite::RunawayBody, 0.05)
+      .runawayCap(std::chrono::milliseconds(200));
+  rt::FaultPlan ThrowPlan(0xfee1);
+  ThrowPlan.arm(rt::FaultSite::BodyThrow, 0.4);
 
   ServerContext Ctx(Opts);
 
@@ -154,13 +285,43 @@ int main(int Argc, char **Argv) {
   Traced.Trace = true;
   Ctx.registerTenant(Traced);
 
+  if (*ChaosSmoke) {
+    // Crashing speculative attempts: the per-thread shield contains
+    // them and the attempt re-executes; the watchdog time-boxes runaway
+    // bodies under a fixed attempt budget.
+    TenantPolicy Crashy;
+    Crashy.Name = "crashy";
+    Crashy.NumTasks = 8;
+    Crashy.Faults = &CrashPlan;
+    Crashy.AttemptBudget = std::chrono::milliseconds(20);
+    Crashy.MaxRetries = 2;
+    Crashy.RetryBackoff = std::chrono::milliseconds(2);
+    Ctx.registerTenant(Crashy);
+
+    // Thrown injected faults surface as Faulted jobs and go through
+    // the retry path (backoff, remaining-deadline budget).
+    TenantPolicy Flaky;
+    Flaky.Name = "flaky";
+    Flaky.NumTasks = 4;
+    Flaky.Faults = &ThrowPlan;
+    Flaky.MaxRetries = 3;
+    Flaky.RetryBackoff = std::chrono::milliseconds(2);
+    Ctx.registerTenant(Flaky);
+
+    TenantPolicy Blocker;
+    Blocker.Name = "blocker";
+    Ctx.registerTenant(Blocker);
+  }
+
   HttpMetricsServer Http(Ctx, static_cast<uint16_t>(*Port));
   std::printf("specd: %lld shard(s), metrics on "
               "http://127.0.0.1:%u/metrics\n",
               static_cast<long long>(*Shards), Http.port());
 
-  if (*Smoke) {
-    int Rc = runSmoke(Ctx, Http, static_cast<int>(*SmokeJobs));
+  if (*Smoke || *ChaosSmoke) {
+    int Rc = *ChaosSmoke
+                 ? runChaosSmoke(Ctx, Http, static_cast<int>(*SmokeJobs))
+                 : runSmoke(Ctx, Http, static_cast<int>(*SmokeJobs));
     Ctx.shutdown();
     return Rc;
   }

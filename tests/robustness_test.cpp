@@ -541,6 +541,179 @@ TEST(Iterate, RunsCorrectlyUnderExecutorTimingFaults) {
 // Combined pressure
 //===----------------------------------------------------------------------===//
 
+//===----------------------------------------------------------------------===//
+// Crash containment (signal shield + runaway watchdog)
+//===----------------------------------------------------------------------===//
+
+TEST(Shield, InjectedCrashIsContainedAndReexecuted) {
+  const int64_t N = 64, Chunk = 8;
+  FaultPlan Plan(404);
+  Plan.arm(FaultSite::CrashInBody, 1.0);
+  Tracer Tr;
+  auto R = Speculation::iterateChunked<int64_t>(
+      0, N, Chunk, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2).faults(&Plan).shield().trace(&Tr));
+  // Every speculative attempt crashed; every chunk was re-executed
+  // authoritatively and the result is still exact.
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_GT(R.Stats.ContainedCrashes, 0);
+  EXPECT_EQ(R.Stats.Reexecutions, N / Chunk);
+  EXPECT_EQ(countEvents(Tr.snapshot(), SpecEventKind::CrashContained),
+            static_cast<int>(R.Stats.ContainedCrashes));
+  EXPECT_NE(R.Stats.str().find("contained-crashes="), std::string::npos);
+  EXPECT_GT(Plan.fired(FaultSite::CrashInBody), 0u);
+}
+
+#if !defined(SPECPAR_SANITIZED)
+TEST(Shield, RealNullDereferenceIsContained) {
+  // Not an injected fault: the body really dereferences a null pointer
+  // whenever it runs on a mispredicted (negative) input. The shield must
+  // turn the hardware fault into a discarded attempt. Sanitizer builds
+  // skip this: UBSan/ASan intercept the bad load before it ever becomes
+  // a SIGSEGV (the injected-crash tests still run there — they raise()
+  // the signal directly).
+  const int64_t N = 24;
+  std::atomic<int64_t> Sink{0};
+  auto R = Speculation::iterate<int64_t>(
+      0, N,
+      [&Sink](int64_t I, int64_t A) {
+        const int64_t *P = A < 0 ? nullptr : &I;
+        Sink += *P; // crashes on garbage input
+        return A + I;
+      },
+      // Mispredict everywhere (except the non-speculative start) with a
+      // value that sends the body through the null pointer.
+      [](int64_t I) { return I == 0 ? int64_t(0) : int64_t(-1); },
+      SpecConfig().threads(2).shield());
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_GT(R.Stats.ContainedCrashes, 0);
+}
+#endif // !SPECPAR_SANITIZED
+
+TEST(Shield, OffByDefaultNeverProbesCrashSites) {
+  const int64_t N = 16;
+  FaultPlan Plan(7);
+  Plan.arm(FaultSite::CrashInBody, 1.0);
+  Plan.arm(FaultSite::RunawayBody, 1.0);
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2).faults(&Plan));
+  // Without shield()/attemptBudget() the crash sites are never even
+  // probed: unshielded code must not raise signals at itself.
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_EQ(Plan.probes(FaultSite::CrashInBody), 0u);
+  EXPECT_EQ(Plan.probes(FaultSite::RunawayBody), 0u);
+  EXPECT_EQ(R.Stats.ContainedCrashes, 0);
+}
+
+TEST(Shield, ArmedButIdleShieldChangesNothing) {
+  const int64_t N = 48;
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2).shield());
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_EQ(R.Stats.ContainedCrashes, 0);
+  EXPECT_EQ(R.Stats.RunawayCancels, 0);
+  EXPECT_EQ(R.Stats.Mispredictions, 0);
+}
+
+TEST(Shield, RunawayBodyIsForciblyAbandoned) {
+  // The injected runaway spins without ever polling cancellation; only
+  // the watchdog's forced abandonment (SIGURG + longjmp) can reclaim
+  // the worker. The 500ms cap is a safety net so a broken watchdog
+  // still lets the test finish (and fail on the counters).
+  const int64_t N = 8;
+  FaultPlan Plan(21);
+  Plan.arm(FaultSite::RunawayBody, 1.0);
+  Plan.runawayCap(std::chrono::milliseconds(500));
+  Tracer Tr;
+  auto R = Speculation::iterate<int64_t>(
+      0, N, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig()
+          .threads(2)
+          .faults(&Plan)
+          .attemptBudget(std::chrono::milliseconds(10))
+          .trace(&Tr));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_GT(R.Stats.RunawayCancels, 0);
+  // Forced abandonment is also a containment (the attempt was discarded
+  // via the shield's longjmp).
+  EXPECT_GT(R.Stats.ContainedCrashes, 0);
+  EXPECT_GE(countEvents(Tr.snapshot(), SpecEventKind::RunawayCancel), 1);
+}
+
+TEST(Shield, PollingBodyOverBudgetBailsCooperatively) {
+  // A body that *does* poll sees the attempt budget through the same
+  // cooperative deadline as everything else and bails long before the
+  // watchdog would escalate to SIGURG — no containment, just a
+  // discarded attempt and an authoritative re-execution.
+  const int64_t N = 4;
+  std::atomic<int> Bailed{0};
+  auto R = Speculation::iterate<int64_t>(
+      0, N,
+      [&Bailed](int64_t I, int64_t A) {
+        for (int Step = 0; Step < 40; ++Step) {
+          if (currentTaskCancelled()) {
+            ++Bailed;
+            return int64_t(-1); // garbage; must never be accepted
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        return A + I;
+      },
+      sumPredict,
+      SpecConfig().threads(2).attemptBudget(std::chrono::milliseconds(10)));
+  EXPECT_EQ(R.Value, sumOracle(N));
+  EXPECT_GT(Bailed.load(), 0);
+  EXPECT_GT(R.Stats.RunawayCancels, 0);
+  EXPECT_EQ(R.Stats.ContainedCrashes, 0);
+}
+
+TEST(Shield, ApplyContainsConsumerCrash) {
+  FaultPlan Plan(88);
+  Plan.arm(FaultSite::CrashInBody, 1.0);
+  std::atomic<int> Runs{0};
+  std::atomic<int> Sum{0};
+  auto R = Speculation::apply<int>(
+      /*Producer=*/[] { return 5; },
+      /*Predictor=*/[] { return 5; },
+      /*Consumer=*/
+      [&](int V) {
+        ++Runs;
+        Sum += V;
+      },
+      SpecConfig().threads(2).faults(&Plan).shield());
+  // The injected crash fired before the speculative consumer's body, so
+  // only the validated re-execution's side effects landed.
+  EXPECT_EQ(Runs.load(), 1);
+  EXPECT_EQ(Sum.load(), 5);
+  EXPECT_EQ(R.Stats.ContainedCrashes, 1);
+  EXPECT_EQ(R.Stats.Reexecutions, 1);
+}
+
+TEST(Shield, ContainedCrashesSurviveMixedChaos) {
+  // Crash containment composed with every other fault class: the result
+  // must stay exact whatever the interleaving.
+  const int64_t N = 120, Chunk = 8;
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    FaultPlan Plan(Seed * 77);
+    Plan.arm(FaultSite::CrashInBody, 0.2);
+    Plan.arm(FaultSite::ForceMispredict, 0.3);
+    Plan.arm(FaultSite::SpuriousCancel, 0.3);
+    Plan.arm(FaultSite::ComparatorThrow, 0.1);
+    auto R = Speculation::iterateChunked<int64_t>(
+        0, N, Chunk,
+        [](int64_t I, int64_t A) {
+          if (currentTaskCancelled())
+            return int64_t(-1);
+          return A + I;
+        },
+        sumPredict,
+        SpecConfig().threads(4).faults(&Plan).shield().degrade(0.9, 6));
+    EXPECT_EQ(R.Value, sumOracle(N)) << "seed " << Seed * 77;
+  }
+}
+
 TEST(Iterate, ChunkedRunSurvivesMixedScheduleFaults) {
   // Schedule faults only (no injected throws): the result must be exact.
   const int64_t N = 200, Chunk = 10;

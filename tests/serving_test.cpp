@@ -523,6 +523,273 @@ TEST(Policy, ProfilePersistsAcrossServerRestarts) {
 }
 
 //===----------------------------------------------------------------------===//
+// Resilience: retries, breakers, quarantine, crash containment
+//===----------------------------------------------------------------------===//
+
+TEST(Resilience, FailedJobRetriesWithBackoffUntilSuccess) {
+  ServerContext Ctx(testOptions(1));
+  TenantPolicy P = basicTenant("flaky");
+  P.MaxRetries = 3;
+  P.RetryBackoff = std::chrono::milliseconds(2);
+  Ctx.registerTenant(P);
+
+  auto Calls = std::make_shared<std::atomic<int>>(0);
+  JobResult R =
+      Ctx.submit("flaky", Job::callable([Calls](const rt::SpecConfig &) {
+        if (Calls->fetch_add(1) < 2)
+          throw std::runtime_error("transient");
+        return int64_t(42);
+      })).get();
+  EXPECT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.Value, 42);
+  EXPECT_EQ(R.Attempts, 3);
+  EXPECT_EQ(Calls->load(), 3);
+  TenantState *TS = Ctx.tenant("flaky");
+  ASSERT_NE(TS, nullptr);
+  EXPECT_EQ(TS->Retries.load(), 2u);
+  // Only the terminal outcome lands in the per-tenant job aggregates.
+  EXPECT_EQ(TS->outcomes()[static_cast<size_t>(JobOutcome::Ok)], 1u);
+  EXPECT_EQ(TS->outcomes()[static_cast<size_t>(JobOutcome::Faulted)], 0u);
+
+  std::string Text = Ctx.metricsText();
+  verifyPrometheusText(Text);
+  EXPECT_NE(Text.find("specd_retries_total{tenant=\"flaky\"} 2"),
+            std::string::npos);
+
+  // A job that exhausts every retry resolves with its real last failure.
+  JobResult Dead =
+      Ctx.submit("flaky", Job::callable([](const rt::SpecConfig &) -> int64_t {
+        throw std::runtime_error("permanent");
+      })).get();
+  EXPECT_EQ(Dead.Outcome, JobOutcome::Faulted);
+  EXPECT_EQ(Dead.Attempts, 1 + P.MaxRetries);
+  EXPECT_EQ(Dead.Error, "permanent");
+}
+
+TEST(Resilience, RetryRunsUnderRemainingDeadlineNotAFreshOne) {
+  // The deadline × degrade × retry interaction: the first attempt times
+  // out, the retry must run under what is LEFT of the job's budget —
+  // queueing, the failed attempt, and the backoff all consumed it — not
+  // a fresh full deadline.
+  ServerContext Ctx(testOptions(1));
+  TenantPolicy P = basicTenant("budgeted");
+  P.Deadline = std::chrono::milliseconds(300);
+  P.DegradeMaxBadRate = 0.5; // degrade armed alongside the deadline
+  P.MaxRetries = 2;
+  P.RetryBackoff = std::chrono::milliseconds(5);
+  Ctx.registerTenant(P);
+
+  auto SeenDeadlines =
+      std::make_shared<std::vector<std::chrono::nanoseconds>>();
+  auto Mx = std::make_shared<std::mutex>();
+  JobResult R = Ctx.submit(
+      "budgeted", Job::callable([SeenDeadlines, Mx](const rt::SpecConfig &Cfg) {
+        {
+          std::lock_guard<std::mutex> Lock(*Mx);
+          SeenDeadlines->push_back(Cfg.deadline());
+        }
+        if (SeenDeadlines->size() == 1) {
+          // First attempt: burn 60 ms of budget, then time out.
+          std::this_thread::sleep_for(std::chrono::milliseconds(60));
+          throw rt::SpecTimeoutError(Cfg.deadline());
+        }
+        return int64_t(7);
+      })).get();
+
+  ASSERT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.Attempts, 2);
+  ASSERT_EQ(SeenDeadlines->size(), 2u);
+  const auto First = (*SeenDeadlines)[0];
+  const auto Second = (*SeenDeadlines)[1];
+  // First attempt: essentially the whole budget (only queueing shaved).
+  EXPECT_GT(First, std::chrono::milliseconds(200));
+  EXPECT_LE(First, std::chrono::milliseconds(300));
+  // Retry: the 60 ms sleep and the 5 ms backoff are gone from it.
+  EXPECT_LT(Second, First - std::chrono::milliseconds(50));
+  EXPECT_GT(Second, std::chrono::nanoseconds::zero());
+
+  // A budget that can't fit another attempt stops retrying: terminal
+  // TimedOut, not MaxRetries timeouts back to back.
+  TenantPolicy Tight = basicTenant("tight");
+  Tight.Deadline = std::chrono::milliseconds(50);
+  Tight.MaxRetries = 5;
+  Tight.RetryBackoff = std::chrono::milliseconds(30);
+  Ctx.registerTenant(Tight);
+  JobResult T =
+      Ctx.submit("tight", Job::callable([](const rt::SpecConfig &Cfg) -> int64_t {
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        throw rt::SpecTimeoutError(Cfg.deadline());
+      })).get();
+  EXPECT_EQ(T.Outcome, JobOutcome::TimedOut);
+  EXPECT_LE(T.Attempts, 2);
+}
+
+TEST(Resilience, BreakerOpensShedsAndHalfOpenRecloses) {
+  ServerContext Ctx(testOptions(1));
+  TenantPolicy P = basicTenant("breaker");
+  P.BreakerThreshold = 2;
+  P.BreakerResetAfter = std::chrono::milliseconds(100);
+  Ctx.registerTenant(P);
+
+  auto Fail = [] {
+    return Job::callable([](const rt::SpecConfig &) -> int64_t {
+      throw std::runtime_error("boom");
+    });
+  };
+  // Two consecutive failures trip the (threshold-2) breaker.
+  EXPECT_EQ(Ctx.submit("breaker", Fail()).get().Outcome, JobOutcome::Faulted);
+  EXPECT_EQ(Ctx.submit("breaker", Fail()).get().Outcome, JobOutcome::Faulted);
+
+  // Open: the only shard is shed, so submission is rejected outright.
+  JobResult Shed = Ctx.submit("breaker", Job::lex()).get();
+  EXPECT_EQ(Shed.Outcome, JobOutcome::Rejected);
+  EXPECT_NE(Shed.Error.find("circuit"), std::string::npos) << Shed.Error;
+
+  std::string Text = Ctx.metricsText();
+  verifyPrometheusText(Text);
+  EXPECT_NE(
+      Text.find("specd_breaker_state{tenant=\"breaker\",shard=\"0\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      Text.find("specd_breaker_trips_total{tenant=\"breaker\",shard=\"0\"} 1"),
+      std::string::npos);
+
+  // After the reset window the breaker half-opens; a succeeding probe
+  // closes it and traffic flows again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(Ctx.submit("breaker", Job::lex()).get().Outcome, JobOutcome::Ok);
+  EXPECT_EQ(Ctx.submit("breaker", Job::lex()).get().Outcome, JobOutcome::Ok);
+  EXPECT_NE(Ctx.metricsText().find(
+                "specd_breaker_state{tenant=\"breaker\",shard=\"0\"} 0"),
+            std::string::npos);
+
+  // Other tenants never shared the pain: breakers are per tenant.
+  Ctx.registerTenant(basicTenant("bystander"));
+  EXPECT_EQ(Ctx.submit("bystander", Job::lex()).get().Outcome, JobOutcome::Ok);
+}
+
+TEST(Resilience, StuckShardIsQuarantinedAndBacklogRedispatched) {
+  ServerOptions O = testOptions(2, AdmissionPolicy::RoundRobin);
+  O.StuckAfter = std::chrono::milliseconds(50);
+  O.HealthPeriod = std::chrono::milliseconds(10);
+  ServerContext Ctx(O);
+  Ctx.registerTenant(basicTenant("t"));
+
+  // Wedge one dispatcher inside a job that never finishes on its own.
+  std::promise<void> Release;
+  std::shared_future<void> Gate = Release.get_future().share();
+  auto Blocked = Ctx.submit("t", Job::callable([Gate](const rt::SpecConfig &) {
+    Gate.wait();
+    return int64_t(1);
+  }));
+  // Wait until a dispatcher actually picked the blocker up.
+  unsigned Stuck = Ctx.numShards();
+  for (int Spin = 0; Spin < 200 && Stuck == Ctx.numShards(); ++Spin) {
+    for (unsigned I = 0; I < Ctx.numShards(); ++I)
+      if (Ctx.shard(I).busySinceNs() != 0)
+        Stuck = I;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_LT(Stuck, Ctx.numShards());
+
+  // Round-robin admission queues half of these behind the stuck job.
+  std::vector<std::future<JobResult>> Fs;
+  for (int I = 0; I < 8; ++I)
+    Fs.push_back(Ctx.submit("t", Job::lex()));
+
+  // Every queued job completes on the healthy shard — the watchdog
+  // quarantined the stuck one and re-dispatched its backlog — while the
+  // blocker is still wedged.
+  for (auto &F : Fs) {
+    JobResult R = F.get();
+    EXPECT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+    EXPECT_NE(R.Shard, Stuck);
+  }
+  EXPECT_GE(Ctx.shardQuarantines(Stuck), 1u);
+  EXPECT_EQ(Ctx.health(), ServerHealth::Degraded);
+  std::string Text = Ctx.metricsText();
+  verifyPrometheusText(Text);
+  EXPECT_NE(Text.find("specd_shard_quarantines_total{shard=\"" +
+                      std::to_string(Stuck) + "\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("specd_shard_healthy{shard=\"" +
+                      std::to_string(Stuck) + "\"} 0"),
+            std::string::npos);
+
+  // Unwedge: the blocked job still completes (nothing was lost), and
+  // the shard is reinstated once its dispatcher makes progress.
+  Release.set_value();
+  EXPECT_EQ(Blocked.get().Outcome, JobOutcome::Ok);
+  for (int Spin = 0; Spin < 500 && Ctx.health() != ServerHealth::Ok; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(Ctx.health(), ServerHealth::Ok);
+}
+
+TEST(Resilience, InjectedFaultErrorCarriesSiteAndProbe) {
+  rt::FaultPlan Plan(7); // outlives the context below
+  Plan.arm(rt::FaultSite::BodyThrow, 1.0);
+  ServerContext Ctx(testOptions(1));
+  TenantPolicy P = basicTenant("chaos");
+  P.Faults = &Plan;
+  Ctx.registerTenant(P);
+
+  JobResult R = Ctx.submit("chaos", Job::lex()).get();
+  EXPECT_EQ(R.Outcome, JobOutcome::Faulted);
+  EXPECT_EQ(R.FaultSiteName, "body-throw");
+  EXPECT_GE(R.FaultProbe, 1u);
+  // The human-readable error alone reproduces the failure.
+  EXPECT_NE(R.Error.find("body-throw"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("probe"), std::string::npos) << R.Error;
+}
+
+TEST(Resilience, ShieldContainsCrashingTenantJobs) {
+  rt::FaultPlan Plan(11);
+  Plan.arm(rt::FaultSite::CrashInBody, 0.5);
+  ServerContext Ctx(testOptions(1));
+  TenantPolicy P = basicTenant("crashy"); // Shield defaults on
+  P.Faults = &Plan;
+  Ctx.registerTenant(P);
+
+  // Crashing speculative attempts are contained and re-executed; the
+  // job still produces the oracle-checked answer and the process (and
+  // every other tenant) survives.
+  JobResult R = Ctx.submit("crashy", Job::lex()).get();
+  EXPECT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+  EXPECT_GT(R.Stats.Spec.ContainedCrashes, 0);
+
+  std::string Text = Ctx.metricsText();
+  verifyPrometheusText(Text);
+  EXPECT_NE(Text.find("specd_spec_contained_crashes_total{tenant=\"crashy\"}"),
+            std::string::npos);
+  EXPECT_EQ(Text.find("specd_spec_contained_crashes_total{tenant=\"crashy\"} 0"),
+            std::string::npos);
+}
+
+TEST(Health, HealthzReportsOkDegradedAndDraining) {
+  ServerContext Ctx(testOptions(2));
+  Ctx.registerTenant(basicTenant("t"));
+  HttpMetricsServer Http(Ctx, /*Port=*/0);
+
+  std::string Resp = HttpMetricsServer::get(Http.port(), "/healthz");
+  EXPECT_TRUE(Resp.rfind("HTTP/1.1 200", 0) == 0) << Resp.substr(0, 80);
+  EXPECT_NE(Resp.find("ok\n"), std::string::npos);
+
+  // A quarantined shard degrades the server: 503 so load balancers
+  // route away, body says why.
+  Ctx.shard(1).setQuarantined(true);
+  Resp = HttpMetricsServer::get(Http.port(), "/healthz");
+  EXPECT_TRUE(Resp.rfind("HTTP/1.1 503", 0) == 0) << Resp.substr(0, 80);
+  EXPECT_NE(Resp.find("degraded\n"), std::string::npos);
+  Ctx.shard(1).setQuarantined(false);
+
+  Ctx.shutdown();
+  Resp = HttpMetricsServer::get(Http.port(), "/healthz");
+  EXPECT_TRUE(Resp.rfind("HTTP/1.1 200", 0) == 0) << Resp.substr(0, 80);
+  EXPECT_NE(Resp.find("draining\n"), std::string::npos);
+  Http.stop();
+}
+
+//===----------------------------------------------------------------------===//
 // Shutdown
 //===----------------------------------------------------------------------===//
 
