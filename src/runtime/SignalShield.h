@@ -160,7 +160,17 @@ inline void restoreFrame(ShieldSlot *S, const ShieldFrame &F) {
   std::memcpy(&S->Jmp, &F.Jmp, sizeof(sigjmp_buf));
   S->DeadlineNs.store(F.DeadlineNs, std::memory_order_relaxed);
   S->CancelAtNs.store(F.CancelAtNs, std::memory_order_relaxed);
-  S->Armed.store(F.Armed, std::memory_order_release);
+  if (F.Armed) {
+    // Re-arming the outer frame takes a FRESH generation rather than
+    // keeping (or restoring) the inner one: a delayed SIGURG the
+    // watchdog aimed at the just-finished inner attempt must fail the
+    // AbandonGen == ArmGen check instead of abandoning the outer
+    // attempt, and restoring the outer generation would let the next
+    // nested arm recompute the very value a stale AbandonGen still
+    // holds. Monotonically bumping can collide with neither.
+    S->ArmGen.fetch_add(1, std::memory_order_relaxed);
+    S->Armed.store(1, std::memory_order_release);
+  }
 }
 
 inline int64_t shieldNowNs() {
@@ -203,7 +213,8 @@ private:
 /// have folded the same budget into the attempt's cooperative-cancel
 /// deadline) and a grace period elapses with the body still running,
 /// the watchdog forces abandonment via SIGURG. Exceptions from \p F
-/// propagate normally (the shield only intercepts signals). Must not
+/// propagate normally — the shield only intercepts signals, and it
+/// disarms and restores the outer frame before rethrowing. Must not
 /// be called from a signal handler; ordinary nesting (attempt body ->
 /// help-while-waiting -> nested attempt) is supported via frame
 /// save/restore.
@@ -253,7 +264,18 @@ ShieldOutcome shieldedCall(int64_t BudgetNs, Fn &&F) {
   S->ArmGen.store(Gen, std::memory_order_relaxed);
   S->Armed.store(1, std::memory_order_release);
 
-  F();
+  try {
+    F();
+  } catch (...) {
+    // A throwing body unwinds straight through the armed region (the
+    // engine supports throwing bodies and catches outside this call).
+    // Disarm and restore the saved frame before the exception escapes:
+    // otherwise the slot stays Armed with a jmp_buf into this dead
+    // frame — and, when a budget was set, a live deadline the watchdog
+    // would escalate into a siglongjmp onto a destroyed stack.
+    detail::restoreFrame(S, Saved);
+    throw;
+  }
 
   S->Armed.store(0, std::memory_order_release);
   Out.WatchdogCancelled = S->CancelAtNs.load(std::memory_order_relaxed) != 0;

@@ -88,9 +88,16 @@ struct JobResult {
   /// For Faulted/Rejected: what went wrong.
   std::string Error;
   /// Executions this result took: 1 for a first-attempt resolution, up
-  /// to 1 + TenantPolicy::MaxRetries when retries ran. 0 when the job
-  /// was rejected at admission and never reached an executor.
+  /// to 1 + TenantPolicy::MaxRetries when retries ran. 0 when no
+  /// attempt body ever ran — rejected at admission, or the deadline
+  /// budget was exhausted before the first dispatch.
   int Attempts = 0;
+  /// True when an attempt body actually ran on `Shard` to produce this
+  /// result. False for admission/shutdown rejects and for jobs whose
+  /// total deadline was exhausted while queued or in retry backoff —
+  /// those say nothing about the shard's health, so the serving layer
+  /// must not feed them to the per-tenant×shard circuit breaker.
+  bool Executed = false;
   /// When the failure came from an injected `rt::SpecFaultError`: the
   /// firing site's stable name (e.g. "body-throw") and 1-based probe
   /// index, so a chaos-soak failure is reproducible from the serving

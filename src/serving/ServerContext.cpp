@@ -106,24 +106,23 @@ void ServerContext::breakerRecord(TenantState *TS, unsigned ShardIdx,
 }
 
 Shard *ServerContext::pickShardFor(TenantState *TS, const Shard *Exclude) {
-  Shard *Admissible[64];
-  size_t N = 0;
+  std::vector<Shard *> Admissible;
+  Admissible.reserve(Shards.size());
   for (auto &S : Shards) {
-    if (N == 64)
-      break;
     if (S.get() == Exclude || S->quarantined())
       continue;
     if (!breakerAllows(TS, S->index()))
       continue;
-    Admissible[N++] = S.get();
+    Admissible.push_back(S.get());
   }
-  if (N == 0)
+  if (Admissible.empty())
     return nullptr;
   if (Opts.Admission == AdmissionPolicy::RoundRobin)
-    return Admissible[NextShard.fetch_add(1, std::memory_order_relaxed) % N];
+    return Admissible[NextShard.fetch_add(1, std::memory_order_relaxed) %
+                      Admissible.size()];
   Shard *Best = Admissible[0];
   uint64_t BestLoad = Best->load();
-  for (size_t I = 1; I < N; ++I) {
+  for (size_t I = 1; I < Admissible.size(); ++I) {
     uint64_t L = Admissible[I]->load();
     if (L < BestLoad) {
       Best = Admissible[I];
@@ -179,9 +178,11 @@ void ServerContext::onJobFinished(Ticket &&T, JobResult &&R) {
   TenantState *TS = T.Tenant;
   const bool Failure = R.Outcome == JobOutcome::TimedOut ||
                        R.Outcome == JobOutcome::Faulted;
-  if (R.Attempts > 0)
-    // The attempt actually ran on R.Shard — feed the breaker. Shutdown
-    // rejects (Attempts rolled back) say nothing about shard health.
+  if (R.Executed)
+    // The attempt actually ran on R.Shard — feed the breaker. Results
+    // produced without running a body (shutdown rejects, a deadline
+    // that was exhausted while the job sat queued or in backoff) say
+    // nothing about shard health and must not trip its breaker.
     breakerRecord(TS, R.Shard, !Failure);
   if (Failure && T.Attempt <= TS->Policy.MaxRetries &&
       !Down.load(std::memory_order_acquire)) {

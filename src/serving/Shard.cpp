@@ -147,7 +147,9 @@ void Shard::dispatchLoop() {
 
     JobResult R = runJob(T.Work, *T.Tenant, T.AbsDeadline);
     R.Shard = Index;
-    R.Attempts = T.Attempt;
+    // Attempts counts executions that actually ran a body; a job whose
+    // budget expired before dispatch didn't use this attempt.
+    R.Attempts = R.Executed ? T.Attempt : T.Attempt - 1;
     R.Latency = std::chrono::steady_clock::now() - T.Enqueued;
 
     BusySinceNs.store(0, std::memory_order_release);
@@ -195,6 +197,12 @@ JobResult Shard::runJob(const Job &Work, TenantState &Tenant,
     // MaxRetries times the tenant's promise.
     const auto Remaining = AbsDeadline - std::chrono::steady_clock::now();
     if (Remaining <= std::chrono::nanoseconds::zero()) {
+      // The budget ran out while the job sat in the queue (or in retry
+      // backoff) — nothing executed, so this says nothing about the
+      // shard's health. Executed stays false: the server layer must
+      // not feed this result to the shard's circuit breaker, else a
+      // tight-deadline tenant under queueing pressure trips breakers
+      // against perfectly healthy shards.
       R.Outcome = JobOutcome::TimedOut;
       R.Error = "deadline budget exhausted before dispatch";
       return R;
@@ -203,6 +211,7 @@ JobResult Shard::runJob(const Job &Work, TenantState &Tenant,
         Remaining));
   }
   const int NumTasks = Tenant.Policy.NumTasks;
+  R.Executed = true;
   try {
     switch (Work.Kind) {
     case JobKind::Lex: {

@@ -714,6 +714,76 @@ TEST(Shield, ContainedCrashesSurviveMixedChaos) {
   }
 }
 
+TEST(Shield, ThrowingBodyDisarmsShieldOnUnwind) {
+  installSignalShield();
+  // With an armed budget, a body that throws unwinds straight through
+  // the armed region. The shield must disarm and drop the deadline on
+  // that path: a slot left Armed=1 keeps a jmp_buf into the destroyed
+  // shieldedCall frame, and the watchdog would siglongjmp into it at
+  // budget + grace.
+  bool Threw = false;
+  try {
+    shieldedCall(/*BudgetNs=*/2 * 1000 * 1000, [] {
+      throw std::runtime_error("body threw");
+    });
+  } catch (const std::runtime_error &E) {
+    Threw = std::string(E.what()) == "body threw";
+  }
+  EXPECT_TRUE(Threw);
+  detail::ShieldSlot *S = detail::peekShieldSlot();
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Armed.load(), 0u);
+  EXPECT_EQ(S->DeadlineNs.load(), 0);
+  // Outlive budget + escalation grace: a stale armed slot would receive
+  // the watchdog's SIGURG about now and corrupt the stack.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The shield still contains the next attempt on this thread.
+  ShieldOutcome SO = shieldedCall(0, [] { raise(SIGFPE); });
+  EXPECT_EQ(SO.Fault, ContainedFault::Fpe);
+}
+
+TEST(Shield, StaleInnerGenerationSigurgDoesNotAbandonOuter) {
+  installSignalShield();
+  uint64_t InnerGen = 0;
+  ShieldOutcome Outer = shieldedCall(0, [&] {
+    detail::ShieldSlot *S = detail::myShieldSlot();
+    shieldedCall(0, [&] {
+      InnerGen = S->ArmGen.load(std::memory_order_relaxed);
+    });
+    // Simulate the watchdog's forced abandonment of the (already
+    // finished) nested attempt arriving late, after the outer frame
+    // re-armed. Re-arming takes a fresh generation, so the stale
+    // SIGURG must fail the AbandonGen == ArmGen check and be ignored
+    // instead of abandoning the outer attempt.
+    S->AbandonGen.store(InnerGen, std::memory_order_relaxed);
+    raise(SIGURG);
+  });
+  EXPECT_EQ(Outer.Fault, ContainedFault::None);
+}
+
+TEST(Shield, UserBodyThrowUnderShieldAndBudgetStaysSafe) {
+  // End-to-end through the engine: a user body that throws inside a
+  // shielded, budgeted attempt must surface normally at the join, and
+  // the unwound worker slot must not stay armed for the watchdog — the
+  // process has to survive well past budget + grace and later shielded
+  // runs must still work.
+  EXPECT_THROW(
+      Speculation::iterateChunked<int64_t>(
+          0, 16, 8,
+          [](int64_t, int64_t) -> int64_t {
+            throw std::runtime_error("user body failure");
+          },
+          sumPredict,
+          SpecConfig().threads(2).shield().attemptBudget(
+              std::chrono::milliseconds(5))),
+      std::runtime_error);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto R = Speculation::iterateChunked<int64_t>(
+      0, 64, 8, [](int64_t I, int64_t A) { return A + I; }, sumPredict,
+      SpecConfig().threads(2).shield());
+  EXPECT_EQ(R.Value, sumOracle(64));
+}
+
 TEST(Iterate, ChunkedRunSurvivesMixedScheduleFaults) {
   // Schedule faults only (no injected throws): the result must be exact.
   const int64_t N = 200, Chunk = 10;

@@ -668,6 +668,51 @@ TEST(Resilience, BreakerOpensShedsAndHalfOpenRecloses) {
   EXPECT_EQ(Ctx.submit("bystander", Job::lex()).get().Outcome, JobOutcome::Ok);
 }
 
+TEST(Resilience, QueueExpiredDeadlineDoesNotTripBreaker) {
+  // A job whose total deadline runs out while it sits in the queue never
+  // executed on the shard — the resulting TimedOut says nothing about
+  // shard health and must not feed the circuit breaker, else a
+  // tight-deadline tenant under queueing pressure sheds perfectly
+  // healthy shards.
+  ServerContext Ctx(testOptions(1));
+  Ctx.registerTenant(basicTenant("blocker"));
+  TenantPolicy P = basicTenant("tightq");
+  P.Deadline = std::chrono::milliseconds(20);
+  P.BreakerThreshold = 1;                        // any counted failure trips
+  P.BreakerResetAfter = std::chrono::minutes(1); // and stays open
+  Ctx.registerTenant(P);
+
+  // Hold the only dispatcher long enough for the tight deadline to
+  // expire in the queue behind this job.
+  auto Running = std::make_shared<std::promise<void>>();
+  std::future<void> Started = Running->get_future();
+  auto Blocker =
+      Ctx.submit("blocker", Job::callable([Running](const rt::SpecConfig &) {
+        Running->set_value();
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        return int64_t(1);
+      }));
+  Started.wait();
+
+  JobResult Expired = Ctx.submit("tightq", Job::mwis()).get();
+  EXPECT_EQ(Expired.Outcome, JobOutcome::TimedOut);
+  EXPECT_FALSE(Expired.Executed);
+  EXPECT_EQ(Expired.Attempts, 0); // no attempt body ever ran
+  EXPECT_EQ(Blocker.get().Outcome, JobOutcome::Ok);
+
+  // The shard never misbehaved, so the tenant must still be admitted.
+  JobResult After =
+      Ctx.submit("tightq", Job::callable([](const rt::SpecConfig &) {
+        return int64_t(5);
+      })).get();
+  EXPECT_EQ(After.Outcome, JobOutcome::Ok) << After.Error;
+  EXPECT_EQ(After.Value, 5);
+  std::string Text = Ctx.metricsText();
+  verifyPrometheusText(Text);
+  EXPECT_NE(Text.find("specd_breaker_state{tenant=\"tightq\",shard=\"0\"} 0"),
+            std::string::npos);
+}
+
 TEST(Resilience, StuckShardIsQuarantinedAndBacklogRedispatched) {
   ServerOptions O = testOptions(2, AdmissionPolicy::RoundRobin);
   O.StuckAfter = std::chrono::milliseconds(50);
