@@ -77,11 +77,12 @@ LoadRow runLoad(unsigned Shards, unsigned Clients, int64_t JobsPerClient,
   std::vector<std::thread> Threads;
   for (unsigned C = 0; C < Clients; ++C)
     Threads.emplace_back([&, C] {
-      const JobKind Kinds[] = {JobKind::Lex, JobKind::Decode, JobKind::Mwis};
+      const JobKind Kinds[] = {JobKind::Lex, JobKind::Decode, JobKind::Mwis,
+                               JobKind::Spec};
       PerClientMs[C].reserve(static_cast<size_t>(JobsPerClient));
       for (int64_t I = 0; I < JobsPerClient; ++I) {
         Job J;
-        J.Kind = Kinds[(C + I) % 3];
+        J.Kind = Kinds[(C + I) % 4];
         JobResult R = Ctx.submit("load", std::move(J)).get();
         if (R.Outcome == JobOutcome::Ok)
           Ok.fetch_add(1, std::memory_order_relaxed);

@@ -8,16 +8,20 @@
 /// Runs a .spec program through the entire Section 2-5 pipeline:
 ///
 ///   speculate_repl <file.spec> [--seed N] [--sched random|rr|prio]
-///                  [--trace] [--no-spec]
+///                  [--trace] [--no-spec] [--compile]
 ///
 /// It parses and resolves the program, runs the rollback-freedom checker,
 /// executes the non-speculative semantics, executes the speculative
 /// semantics, and reports result agreement and final-state/dependence
-/// equivalence.
+/// equivalence. With --compile it additionally runs the program through
+/// the native compiler's admission gate (src/compile/), prints the full
+/// per-node lowering report, and times the compiled execution against
+/// the interpreted one.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/RollbackChecker.h"
+#include "compile/RunSpeculate.h"
 #include "interp/NonSpecEval.h"
 #include "interp/SpecMachine.h"
 #include "lang/Parser.h"
@@ -48,6 +52,11 @@ int main(int Argc, char **Argv) {
       Args.flag("state", "print the final heap state of each run");
   bool *NoSpecPtr = Args.flag("no-spec",
                               "stop after the non-speculative run");
+  bool *CompilePtr = Args.flag(
+      "compile", "run the native compiler's admission gate, print the "
+                 "lowering report, and time compiled vs interpreted");
+  int64_t *Threads =
+      Args.intOption("threads", 4, "compiled-path executor threads");
   if (!Args.parse(Argc, Argv))
     return Args.helpRequested() ? 0 : 2;
   bool ShowTrace = *ShowTracePtr;
@@ -101,6 +110,58 @@ int main(int Argc, char **Argv) {
     std::printf("%s", N.Trace.str().c_str());
   if (*ShowStatePtr)
     std::printf("%s", N.Final.str().c_str());
+
+  // The native compiler: admission verdict, per-node lowering report,
+  // and an interpreted-vs-compiled timing comparison.
+  if (*CompilePtr) {
+    std::printf("--- native compilation (src/compile) ---\n");
+    Timer CompileTimer;
+    compile::AdmissionReport Rep;
+    auto Compiled = compile::compileProgram(P, compile::CompileOptions(),
+                                            &Rep);
+    std::printf("%s(compiled in %.3f ms)\n", Rep.str().c_str(),
+                CompileTimer.elapsedMillis());
+    if (Compiled) {
+      // Interpreted timing: one reference SpecMachine run.
+      interp::MachineOptions MO;
+      MO.Seed = static_cast<uint64_t>(*Seed);
+      MO.Sched = Sched;
+      Timer InterpTimer;
+      interp::SpecRunOutcome SI = interp::runSpeculative(P, MO);
+      double InterpMs = InterpTimer.elapsedMillis();
+      // Compiled timing: same program on the native runtime.
+      compile::CompiledProgram::RunOptions RO;
+      RO.Config.threads(static_cast<unsigned>(*Threads));
+      Timer RunTimer;
+      compile::CompiledProgram::Outcome O = (*Compiled)->run(RO);
+      double CompiledMs = RunTimer.elapsedMillis();
+      if (!O.Run.ok()) {
+        std::printf("compiled run: %s: %s\n", O.Run.statusStr().c_str(),
+                    O.Run.Error.Message.c_str());
+        return 1;
+      }
+      std::printf("compiled result = %s (%s the non-speculative result)\n",
+                  O.Run.Result.str().c_str(),
+                  O.Run.Result.isInt() && N.Result.isInt() &&
+                          O.Run.Result.asInt() == N.Result.asInt()
+                      ? "matches"
+                      : "DOES NOT MATCH");
+      std::printf("compiled: %.3f ms (~%llu steps), %lld tasks, %lld "
+                  "predictions, %lld mispredictions, %lld re-executions\n",
+                  CompiledMs,
+                  static_cast<unsigned long long>(O.Run.Steps),
+                  static_cast<long long>(O.Stats.Tasks),
+                  static_cast<long long>(O.Stats.Predictions),
+                  static_cast<long long>(O.Stats.Mispredictions),
+                  static_cast<long long>(O.Stats.Reexecutions));
+      std::printf("interpreted: %.3f ms (%llu steps)  ->  speedup %.1fx\n",
+                  InterpMs, static_cast<unsigned long long>(SI.Steps),
+                  CompiledMs > 0 ? InterpMs / CompiledMs : 0.0);
+    } else {
+      std::printf("falling back to the interpreter: %s\n",
+                  Compiled.error().c_str());
+    }
+  }
 
   if (!RunSpec)
     return 0;

@@ -1,0 +1,62 @@
+//===- compile/RunSpeculate.cpp - One facade over both engines ------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compile/RunSpeculate.h"
+
+#include <utility>
+
+using namespace specpar;
+using namespace specpar::compile;
+
+namespace {
+
+void runInterpreted(const lang::Program &P, const SpeculatePlan &Plan,
+                    SpeculateRun &Out) {
+  Out.PathTaken = SpeculateRun::Path::Interpreter;
+  Out.Outcome = interp::runSpeculative(P, Plan.Machine);
+}
+
+} // namespace
+
+SpeculateRun specpar::compile::runSpeculate(const lang::Program &P,
+                                            const SpeculatePlan &Plan) {
+  SpeculateRun Out;
+  if (Plan.ForceInterpreter) {
+    Out.WhyNotCompiled = "interpreter forced by the caller";
+    runInterpreted(P, Plan, Out);
+    return Out;
+  }
+
+  Result<std::shared_ptr<CompiledProgram>> Compiled =
+      compileProgram(P, Plan.Compile, &Out.Admission);
+  if (!Compiled) {
+    Out.WhyNotCompiled = Compiled.error();
+    runInterpreted(P, Plan, Out);
+    return Out;
+  }
+
+  CompiledProgram::Outcome R = (*Compiled)->run(Plan.Run);
+  if (!R.ResultLowered) {
+    // The program's final value is a closure/function/reference; only
+    // the interpreter can render those faithfully.
+    Out.WhyNotCompiled =
+        "compiled result is not a primitive value; re-run interpreted";
+    runInterpreted(P, Plan, Out);
+    return Out;
+  }
+
+  Out.PathTaken = SpeculateRun::Path::Compiled;
+  Out.NativeStats = R.Stats;
+  Out.SpecSiteRuns = R.SpecSiteRuns;
+  static_cast<interp::RunOutcome &>(Out.Outcome) = std::move(R.Run);
+  Out.Outcome.ThreadsSpawned = R.Stats.Tasks;
+  Out.Outcome.Predictions = R.Stats.Predictions;
+  Out.Outcome.Mispredictions =
+      R.Stats.Mispredictions + R.Stats.FailedPredictions;
+  Out.Outcome.Cancellations = R.Stats.Reexecutions;
+  return Out;
+}

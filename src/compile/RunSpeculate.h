@@ -1,0 +1,72 @@
+//===- compile/RunSpeculate.h - One facade over both engines ----*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `runSpeculate`: the one entry point callers use when they want a
+/// Speculate program *executed* and don't care which engine does it.
+/// Programs the admission gate accepts (compile/Compiler.h) run compiled
+/// on the native runtime; checker-rejected or otherwise inadmissible
+/// programs fall back to the reference SpecMachine, and the result
+/// records the path taken plus the full admission report explaining why.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_COMPILE_RUNSPECULATE_H
+#define SPECPAR_COMPILE_RUNSPECULATE_H
+
+#include "compile/Compiler.h"
+#include "interp/SpecMachine.h"
+
+#include <string>
+
+namespace specpar {
+namespace compile {
+
+/// Everything a facade run needs for both possible paths.
+struct SpeculatePlan {
+  /// Admission/lowering knobs for the compiled path.
+  CompileOptions Compile;
+  /// Runtime configuration of the compiled path.
+  CompiledProgram::RunOptions Run;
+  /// Configuration of the interpreter fallback.
+  interp::MachineOptions Machine;
+  /// Skip compilation entirely (reference runs, debugging).
+  bool ForceInterpreter = false;
+};
+
+/// What ran and how it went. `Outcome` is always filled; the speculation
+/// counters are the interpreter's own on the Interpreter path and mapped
+/// from native SpeculationStats on the Compiled path (ThreadsSpawned :=
+/// tasks, Mispredictions := mispredictions + failed predictions,
+/// Cancellations := re-executions).
+struct SpeculateRun {
+  enum class Path { Compiled, Interpreter };
+  Path PathTaken = Path::Interpreter;
+  interp::SpecRunOutcome Outcome;
+
+  /// The admission verdict (also filled when compilation was refused).
+  AdmissionReport Admission;
+  /// Empty on the Compiled path; otherwise the one-line reason the
+  /// program ran interpreted.
+  std::string WhyNotCompiled;
+
+  /// Compiled path only: the raw native counters and spec-site runs.
+  rt::SpeculationStats NativeStats;
+  uint64_t SpecSiteRuns = 0;
+};
+
+/// Runs \p P through the admission gate and the matching engine. Only
+/// environmental exceptions escape (rt::SpecTimeoutError,
+/// rt::SpecFaultError, std::invalid_argument on a bad ChunkSize);
+/// Speculate-level errors come back inside `Outcome`.
+SpeculateRun runSpeculate(const lang::Program &P,
+                          const SpeculatePlan &Plan = SpeculatePlan());
+
+} // namespace compile
+} // namespace specpar
+
+#endif // SPECPAR_COMPILE_RUNSPECULATE_H

@@ -18,6 +18,7 @@
 #define SPECPAR_INTERP_NONSPECEVAL_H
 
 #include "interp/Heap.h"
+#include "interp/RunOutcome.h"
 #include "interp/Value.h"
 #include "lang/Ast.h"
 
@@ -26,19 +27,6 @@
 
 namespace specpar {
 namespace interp {
-
-/// Outcome of a complete run (shared with the speculative machine).
-struct RunOutcome {
-  enum class Status { Done, Error, StepLimit, Deadlock } St = Status::Done;
-  Value Result;             // valid when Done
-  RtError Error;            // valid when Error
-  uint64_t Steps = 0;       // evaluation steps taken
-  tr::Trace Trace;          // interesting transitions
-  tr::FinalState Final;     // snapshot at the end (valid when Done)
-
-  bool ok() const { return St == Status::Done; }
-  std::string statusStr() const;
-};
 
 /// Evaluation knobs.
 struct EvalOptions {

@@ -1,0 +1,47 @@
+//===- interp/RunOutcome.h - Shared run-outcome surface ---------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The outcome surface every Speculate execution path reports through:
+/// the non-speculative reference evaluator (interp/NonSpecEval.h), the
+/// speculative machine (interp/SpecMachine.h, which extends it with
+/// speculation counters), and the native-runtime compiled path
+/// (compile/Compiler.h). Callers that only care about "what did the
+/// program evaluate to, and did it finish" consume this one type and
+/// never learn which engine ran.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_INTERP_RUNOUTCOME_H
+#define SPECPAR_INTERP_RUNOUTCOME_H
+
+#include "interp/Value.h"
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <string>
+
+namespace specpar {
+namespace interp {
+
+/// Outcome of a complete run (shared by every execution path).
+struct RunOutcome {
+  enum class Status { Done, Error, StepLimit, Deadlock } St = Status::Done;
+  Value Result;             // valid when Done
+  RtError Error;            // valid when Error
+  uint64_t Steps = 0;       // evaluation steps taken
+  tr::Trace Trace;          // interesting transitions
+  tr::FinalState Final;     // snapshot at the end (valid when Done)
+
+  bool ok() const { return St == Status::Done; }
+  std::string statusStr() const;
+};
+
+} // namespace interp
+} // namespace specpar
+
+#endif // SPECPAR_INTERP_RUNOUTCOME_H

@@ -44,6 +44,18 @@ struct SourceLoc {
 struct Binding {
   std::string Name;
   uint32_t Id = 0; // unique within a Program
+
+  /// Sentinel for an unassigned frame slot.
+  static constexpr uint32_t NoSlot = ~0u;
+
+  /// Index of this binder's value in its owning activation frame,
+  /// assigned by the resolver (lang/Resolver.cpp). Slots are allocated
+  /// monotonically within a frame — sibling scopes never share a slot —
+  /// so two bindings alive in one activation always occupy distinct
+  /// addresses even when different threads evaluate their binding sites
+  /// (the compiled `spec` producer and predictor share the enclosing
+  /// frame). NoSlot until the program is resolved.
+  uint32_t Slot = NoSlot;
 };
 
 struct FunDef;
@@ -123,6 +135,25 @@ private:
   const FunDef *Fun = nullptr;
 };
 
+/// How the resolver decided a lambda should be framed, consumed by the
+/// compiler (src/compile/). The default is a closure with its own
+/// activation frame; literal lambdas in `fold` / `specfold` function
+/// position get cheaper framings (see Resolver.cpp).
+enum class LambdaForm : uint8_t {
+  /// Ordinary closure: own code object, arity 1, fresh frame per call.
+  Closure,
+  /// Literal `\i. \acc. e` in `fold` fn position: both parameters live
+  /// in the *enclosing* frame and the body compiles as an in-place loop
+  /// (no closure, no per-iteration call).
+  Inlined,
+  /// Outer half of a literal `\i. \acc. e` in `specfold` fn position:
+  /// one fused arity-2 code object so the runtime's chunk body is a
+  /// single call, not a curried pair.
+  FusedOuter,
+  /// Inner half of a fused pair; owns no code object of its own.
+  FusedInner,
+};
+
 /// A single-parameter lambda `\x. body` (the parser desugars multi-
 /// parameter lambdas into nests).
 class Lambda : public Expr {
@@ -131,11 +162,21 @@ public:
       : Expr(Kind::Lambda, Loc), Param(Param), Body(Body) {}
   const Binding *param() const { return Param; }
   Expr *body() const { return Body; }
+
+  /// Framing decision and (for Closure/FusedOuter) the total slot count
+  /// of the frame rooted at this lambda. Set by the resolver.
+  LambdaForm form() const { return Form; }
+  uint32_t frameSlots() const { return FrameSlots; }
+  void setForm(LambdaForm F) { Form = F; }
+  void setFrameSlots(uint32_t N) { FrameSlots = N; }
+
   static bool classof(const Expr *E) { return E->kind() == Kind::Lambda; }
 
 private:
   Binding *Param;
   Expr *Body;
+  LambdaForm Form = LambdaForm::Closure;
+  uint32_t FrameSlots = 0;
 };
 
 /// N-ary application `f(a1, ..., an)`, evaluated callee-first then
@@ -383,6 +424,9 @@ struct FunDef {
   std::vector<Binding *> Params;
   Expr *Body = nullptr;
   SourceLoc Loc;
+  /// Total activation-frame slots (parameters plus every let and
+  /// inlined-fold binder in the body). Set by the resolver.
+  uint32_t FrameSlots = 0;
 };
 
 /// Arena ownership for expressions and bindings.
@@ -424,6 +468,9 @@ struct Program {
   std::unique_ptr<AstContext> Context;
   std::vector<FunDef *> Funs;
   Expr *Main = nullptr;
+  /// Activation-frame slots of the main expression (its lets and
+  /// inlined-fold binders). Set by the resolver.
+  uint32_t MainFrameSlots = 0;
 
   /// Finds a function by name, or null.
   const FunDef *findFun(const std::string &Name) const {

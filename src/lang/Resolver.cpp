@@ -38,14 +38,22 @@ public:
         Params.emplace(B->Name, B);
       }
       Scope.clear();
-      for (Binding *B : F->Params)
+      Frames.assign(1, 0);
+      for (Binding *B : F->Params) {
+        allocSlot(B);
         Scope.push_back(B);
+      }
       if (!resolve(F->Body))
         return false;
+      F->FrameSlots = Frames.back();
       FunsByName.emplace(F->Name, F);
     }
     Scope.clear();
-    return resolve(P.Main);
+    Frames.assign(1, 0);
+    if (!resolve(P.Main))
+      return false;
+    P.MainFrameSlots = Frames.back();
+    return true;
   }
 
   std::string takeError() { return Error; }
@@ -62,6 +70,22 @@ private:
     for (size_t I = Scope.size(); I-- > 0;)
       if (Scope[I]->Name == Name)
         return Scope[I];
+    return nullptr;
+  }
+
+  /// Assigns \p B the next slot of the innermost frame. Allocation is
+  /// monotone — slots are never reused when a scope closes — so every
+  /// binding alive in one activation has a distinct address; the
+  /// compiled runtime relies on this when a `spec` producer and
+  /// predictor evaluate concurrently over a shared enclosing frame.
+  void allocSlot(Binding *B) { B->Slot = Frames.back()++; }
+
+  /// A literal `\i. \acc. e` in fold/specfold function position, eligible
+  /// for the inlined / fused framings.
+  static Lambda *twoLevelLiteral(Expr *Fn) {
+    auto *Outer = dyn_cast<Lambda>(Fn);
+    if (Outer && isa<Lambda>(Outer->body()))
+      return Outer;
     return nullptr;
   }
 
@@ -86,9 +110,14 @@ private:
     }
     case Expr::Kind::Lambda: {
       auto *L = cast<Lambda>(E);
+      L->setForm(LambdaForm::Closure);
+      Frames.push_back(0);
+      allocSlot(const_cast<Binding *>(L->param()));
       Scope.push_back(const_cast<Binding *>(L->param()));
       bool Ok = resolve(L->body());
       Scope.pop_back();
+      L->setFrameSlots(Frames.back());
+      Frames.pop_back();
       return Ok;
     }
     case Expr::Kind::Call: {
@@ -151,6 +180,7 @@ private:
       auto *L = cast<Let>(E);
       if (!resolve(L->init()))
         return false;
+      allocSlot(const_cast<Binding *>(L->var()));
       Scope.push_back(const_cast<Binding *>(L->var()));
       bool Ok = resolve(L->body());
       Scope.pop_back();
@@ -158,8 +188,26 @@ private:
     }
     case Expr::Kind::Fold: {
       auto *F = cast<Fold>(E);
-      return resolve(F->fn()) && resolve(F->init()) && resolve(F->lo()) &&
-             resolve(F->hi());
+      // A literal `\i. \acc. e` body inlines into the enclosing frame:
+      // both binders get slots here and the compiler lowers the fold to
+      // an in-place loop with no closure allocation or call.
+      if (Lambda *Outer = twoLevelLiteral(F->fn())) {
+        auto *Inner = cast<Lambda>(Outer->body());
+        Outer->setForm(LambdaForm::Inlined);
+        Inner->setForm(LambdaForm::Inlined);
+        allocSlot(const_cast<Binding *>(Outer->param()));
+        allocSlot(const_cast<Binding *>(Inner->param()));
+        Scope.push_back(const_cast<Binding *>(Outer->param()));
+        Scope.push_back(const_cast<Binding *>(Inner->param()));
+        bool Ok = resolve(Inner->body());
+        Scope.pop_back();
+        Scope.pop_back();
+        if (!Ok)
+          return false;
+      } else if (!resolve(F->fn())) {
+        return false;
+      }
+      return resolve(F->init()) && resolve(F->lo()) && resolve(F->hi());
     }
     case Expr::Kind::Spec: {
       auto *S = cast<Spec>(E);
@@ -168,8 +216,29 @@ private:
     }
     case Expr::Kind::SpecFold: {
       auto *S = cast<SpecFold>(E);
-      return resolve(S->fn()) && resolve(S->guess()) && resolve(S->lo()) &&
-             resolve(S->hi());
+      // A literal `\i. \acc. e` body fuses into one arity-2 code object
+      // (fresh frame per invocation — chunk bodies run concurrently, so
+      // unlike fold the binders must NOT live in the enclosing frame).
+      if (Lambda *Outer = twoLevelLiteral(S->fn())) {
+        auto *Inner = cast<Lambda>(Outer->body());
+        Outer->setForm(LambdaForm::FusedOuter);
+        Inner->setForm(LambdaForm::FusedInner);
+        Frames.push_back(0);
+        allocSlot(const_cast<Binding *>(Outer->param()));
+        allocSlot(const_cast<Binding *>(Inner->param()));
+        Scope.push_back(const_cast<Binding *>(Outer->param()));
+        Scope.push_back(const_cast<Binding *>(Inner->param()));
+        bool Ok = resolve(Inner->body());
+        Scope.pop_back();
+        Scope.pop_back();
+        Outer->setFrameSlots(Frames.back());
+        Frames.pop_back();
+        if (!Ok)
+          return false;
+      } else if (!resolve(S->fn())) {
+        return false;
+      }
+      return resolve(S->guess()) && resolve(S->lo()) && resolve(S->hi());
     }
     }
     sp_unreachable("unknown expression kind");
@@ -178,6 +247,9 @@ private:
   Program &P;
   std::map<std::string, const FunDef *> FunsByName;
   std::vector<Binding *> Scope;
+  /// Next-slot counter per open activation frame (function body, main,
+  /// closure lambda, fused specfold body). Innermost last.
+  std::vector<uint32_t> Frames;
   std::string Error;
 };
 

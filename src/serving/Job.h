@@ -8,9 +8,10 @@
 /// \file
 /// The unit of work `specd` serves. A job names one of the paper's three
 /// applications (lexing, Huffman decoding, MWIS) to run against the
-/// server's preloaded workload catalog, or carries an arbitrary callable
-/// that receives the shard-bound `rt::SpecConfig` and runs its own
-/// speculative computation on it.
+/// server's preloaded workload catalog, the catalog's Speculate program
+/// (compiled onto the native runtime by src/compile/ at server start),
+/// or carries an arbitrary callable that receives the shard-bound
+/// `rt::SpecConfig` and runs its own speculative computation on it.
 ///
 /// Results are value + unified `rt::stats::Snapshot` + latency, with the
 /// outcome classified the way the runtime classifies aborts: a deadline
@@ -29,6 +30,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,9 @@ namespace specpar {
 namespace rt {
 class SpecConfig;
 } // namespace rt
+namespace compile {
+class CompiledProgram;
+} // namespace compile
 namespace serving {
 
 /// What a job asks the server to run.
@@ -43,6 +48,7 @@ enum class JobKind : uint8_t {
   Lex,      ///< Speculative lexing over the catalog's source text.
   Decode,   ///< Speculative Huffman decoding of the catalog's bit stream.
   Mwis,     ///< Two-phase speculative MWIS over the catalog's path graph.
+  Spec,     ///< The catalog's Speculate program via the native compiler.
   Callable, ///< A caller-supplied function run under the tenant's config.
 };
 
@@ -58,6 +64,7 @@ struct Job {
   static Job lex() { return {JobKind::Lex, nullptr}; }
   static Job decode() { return {JobKind::Decode, nullptr}; }
   static Job mwis() { return {JobKind::Mwis, nullptr}; }
+  static Job spec() { return {JobKind::Spec, nullptr}; }
   static Job callable(std::function<int64_t(const rt::SpecConfig &)> F) {
     return {JobKind::Callable, std::move(F)};
   }
@@ -134,6 +141,17 @@ public:
 
   std::vector<int64_t> Weights;
   int64_t MwisOracleWeight = 0;
+
+  /// The Speculate program `JobKind::Spec` serves: a scale-sized
+  /// sum-of-squares specfold with a closed-form predictor, compiled
+  /// once at catalog build through src/compile/ so every Spec job runs
+  /// on the native runtime under the tenant's config. The oracle is the
+  /// reference interpreter's non-speculative result, cross-checked at
+  /// construction against the closed form — a later speculative
+  /// mismatch is therefore a server bug, reported as Faulted.
+  std::string SpecSource;
+  std::shared_ptr<const compile::CompiledProgram> SpecProgram;
+  int64_t SpecOracle = 0;
 };
 
 } // namespace serving

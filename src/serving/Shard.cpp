@@ -10,6 +10,7 @@
 #include "apps/SpeculativeHuffman.h"
 #include "apps/SpeculativeLexing.h"
 #include "apps/SpeculativeMwis.h"
+#include "compile/Compiler.h"
 
 #include <stdexcept>
 
@@ -24,6 +25,8 @@ const char *jobKindName(JobKind K) {
     return "decode";
   case JobKind::Mwis:
     return "mwis";
+  case JobKind::Spec:
+    return "spec";
   case JobKind::Callable:
     return "callable";
   }
@@ -241,6 +244,25 @@ JobResult Shard::runJob(const Job &Work, TenantState &Tenant,
       R.Value = Run.Weight;
       if (Run.Weight != Catalog.MwisOracleWeight)
         throw std::runtime_error("mwis weight mismatch vs oracle");
+      break;
+    }
+    case JobKind::Spec: {
+      // The catalog's Speculate program, compiled once at server start
+      // onto the native runtime. The tenant's lowered config carries
+      // straight through — executor, deadline, tracer, profile — so a
+      // compiled-language job is governed and measured exactly like the
+      // hand-written apps (shield/attemptBudget are stripped by the
+      // compiled path by design; see compile/Compiler.h).
+      compile::CompiledProgram::RunOptions RO;
+      RO.Config = Cfg;
+      RO.Config.statsOut(&R.Stats);
+      compile::CompiledProgram::Outcome Run = Catalog.SpecProgram->run(RO);
+      if (!Run.Run.ok())
+        throw std::runtime_error("spec program run failed: " +
+                                 Run.Run.statusStr());
+      R.Value = Run.Run.Result.asInt();
+      if (R.Value != Catalog.SpecOracle)
+        throw std::runtime_error("spec program result mismatch vs oracle");
       break;
     }
     case JobKind::Callable: {

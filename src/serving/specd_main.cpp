@@ -47,12 +47,15 @@ namespace {
 /// The --smoke burst: submit \p JobsPerTenant jobs for every registered
 /// tenant, wait for all futures, and tally outcomes.
 int runSmoke(ServerContext &Ctx, HttpMetricsServer &Http, int JobsPerTenant) {
-  const JobKind Kinds[] = {JobKind::Lex, JobKind::Decode, JobKind::Mwis};
+  // All four catalog kinds, including the compiled Speculate program,
+  // so the smoke's metrics scrape covers the native-compile path too.
+  const JobKind Kinds[] = {JobKind::Lex, JobKind::Decode, JobKind::Mwis,
+                           JobKind::Spec};
   std::vector<std::future<JobResult>> Futures;
   for (const char *Tenant : {"batch", "latency", "traced"})
     for (int I = 0; I < JobsPerTenant; ++I) {
       Job J;
-      J.Kind = Kinds[I % 3];
+      J.Kind = Kinds[I % 4];
       Futures.push_back(Ctx.submit(Tenant, std::move(J)));
     }
   // A callable job: user code driving the runtime through the served

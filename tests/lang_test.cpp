@@ -241,4 +241,77 @@ TEST(Printer, CountNodesCountsEverything) {
   EXPECT_EQ(countNodes(Q->Main), 3);
 }
 
+//===----------------------------------------------------------------------===//
+// Resolver frame layout (slots and lambda forms, consumed by sp_compile)
+//===----------------------------------------------------------------------===//
+
+TEST(LangResolver, LetSlotsAreMonotoneWithinMain) {
+  auto R = parseProgram("main = let x = 1 in let y = 2 in x + y");
+  ASSERT_TRUE(bool(R)) << R.error();
+  const Program &P = **R;
+  EXPECT_EQ(P.MainFrameSlots, 2u);
+  const auto *Outer = cast<Let>(P.Main);
+  EXPECT_EQ(Outer->var()->Slot, 0u);
+  const auto *Inner = cast<Let>(Outer->body());
+  EXPECT_EQ(Inner->var()->Slot, 1u);
+}
+
+TEST(LangResolver, SiblingScopesNeverShareASlot) {
+  // Monotone allocation: even though y and z are never live together,
+  // they get distinct slots — the compiled spec producer and predictor
+  // share the enclosing frame across threads, so reuse would race.
+  auto R = parseProgram(
+      "main = let x = 1 in (let y = 2 in y) + (let z = 3 in z)");
+  ASSERT_TRUE(bool(R)) << R.error();
+  EXPECT_EQ((*R)->MainFrameSlots, 3u);
+}
+
+TEST(LangResolver, FoldLiteralLambdaIsInlined) {
+  auto R = parseProgram("main = fold(\\i acc. acc + i, 0, 1, 3)");
+  ASSERT_TRUE(bool(R)) << R.error();
+  const Program &P = **R;
+  const auto *F = cast<Fold>(P.Main);
+  const auto *OuterL = cast<Lambda>(F->fn());
+  EXPECT_EQ(OuterL->form(), LambdaForm::Inlined);
+  // Both loop binders live in the enclosing (main) frame.
+  EXPECT_EQ(P.MainFrameSlots, 2u);
+  EXPECT_NE(OuterL->param()->Slot, Binding::NoSlot);
+}
+
+TEST(LangResolver, SpecfoldLiteralLambdaIsFused) {
+  auto R = parseProgram("main = specfold(\\i acc. acc + i, \\i. 0, 1, 3)");
+  ASSERT_TRUE(bool(R)) << R.error();
+  const Program &P = **R;
+  const auto *SF = cast<SpecFold>(P.Main);
+  const auto *OuterL = cast<Lambda>(SF->fn());
+  EXPECT_EQ(OuterL->form(), LambdaForm::FusedOuter);
+  // One fused arity-2 frame holding both parameters; nothing spills
+  // into main's frame.
+  EXPECT_EQ(OuterL->frameSlots(), 2u);
+  EXPECT_EQ(P.MainFrameSlots, 0u);
+  const auto *GuessL = cast<Lambda>(SF->guess());
+  EXPECT_EQ(GuessL->form(), LambdaForm::Closure);
+  EXPECT_EQ(GuessL->frameSlots(), 1u);
+}
+
+TEST(LangResolver, ClosureOwnsItsFrame) {
+  auto R = parseProgram("main = \\x. let y = x in y");
+  ASSERT_TRUE(bool(R)) << R.error();
+  const auto *L = cast<Lambda>((*R)->Main);
+  EXPECT_EQ(L->form(), LambdaForm::Closure);
+  EXPECT_EQ(L->frameSlots(), 2u);
+  EXPECT_EQ(L->param()->Slot, 0u);
+}
+
+TEST(LangResolver, FunDefFrameCountsParamsAndLets) {
+  auto R = parseProgram("fun f(a, b) = let c = a in c + b\nmain = f(1, 2)");
+  ASSERT_TRUE(bool(R)) << R.error();
+  const FunDef *F = (*R)->findFun("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->FrameSlots, 3u);
+  ASSERT_EQ(F->Params.size(), 2u);
+  EXPECT_EQ(F->Params[0]->Slot, 0u);
+  EXPECT_EQ(F->Params[1]->Slot, 1u);
+}
+
 } // namespace

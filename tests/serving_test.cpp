@@ -199,6 +199,32 @@ TEST(Policy, StatsAggregateAcrossJobs) {
   EXPECT_EQ(TS->latency().count(), 3u);
 }
 
+TEST(Policy, SpecJobRunsTheCompiledProgramAgainstTheOracle) {
+  ServerContext Ctx(testOptions(1));
+  Ctx.registerTenant(basicTenant("t"));
+
+  // The catalog compiled its Speculate program once at construction.
+  ASSERT_NE(Ctx.catalog().SpecProgram, nullptr);
+  EXPECT_FALSE(Ctx.catalog().SpecSource.empty());
+
+  JobResult R = Ctx.submit("t", Job::spec()).get();
+  ASSERT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.Value, Ctx.catalog().SpecOracle);
+  // The job really went through the native speculation runtime on the
+  // shard's executor: speculative tasks ran, and the closed-form
+  // predictor means every prediction validated.
+  EXPECT_GT(R.Stats.Spec.Tasks, 0);
+  EXPECT_GT(R.Stats.Spec.Predictions, 0);
+  EXPECT_EQ(R.Stats.Spec.Mispredictions, 0);
+  EXPECT_GT(R.Stats.Exec.Submits, 0u);
+
+  // And it folds into the tenant aggregates like every other kind.
+  TenantState *TS = Ctx.tenant("t");
+  ASSERT_NE(TS, nullptr);
+  EXPECT_GT(TS->totals().Spec.Predictions, 0);
+  EXPECT_EQ(TS->outcomes()[static_cast<size_t>(JobOutcome::Ok)], 1u);
+}
+
 //===----------------------------------------------------------------------===//
 // Executor-shard isolation
 //===----------------------------------------------------------------------===//
