@@ -14,9 +14,11 @@
 ///            configuration every existing caller gets);
 ///  * armed — a zero-probability FaultPlan installed, a far-future
 ///            deadline armed, the degrade monitor watching with a
-///            threshold it can never trip, and the signal shield +
+///            threshold it can never trip, the signal shield +
 ///            attempt-budget watchdog armed around every attempt with a
-///            budget that never expires.
+///            budget that never expires, and an idle flight recorder's
+///            tracer installed (every event pays its ring append; no
+///            anomaly, so no dump I/O) — the specd serving posture.
 /// The off->armed delta is a *conservative upper bound* on the cost the
 /// disabled hooks add to a build without them: disabled hooks are single
 /// pointer tests, while armed-but-idle hooks additionally pay atomic
@@ -42,6 +44,7 @@
 #include "apps/SpeculativeLexing.h"
 #include "apps/SpeculativeMwis.h"
 #include "runtime/FaultPlan.h"
+#include "runtime/FlightRecorder.h"
 #include "runtime/Speculation.h"
 #include "simsched/SimSched.h"
 #include "support/CommandLine.h"
@@ -175,14 +178,20 @@ int main(int Argc, char **Argv) {
     Idle.arm(S, 0.0);
   // The shield arms per attempt (a sigsetjmp plus a handful of relaxed
   // stores) and the attempt-budget watchdog is live but its 24 h budget
-  // never expires — both idle, both inside the measured delta.
+  // never expires — both idle, both inside the measured delta. The
+  // flight recorder is armed-but-idle the same way specd runs it: its
+  // tracer records every lifecycle event into the per-thread rings, but
+  // no anomaly fires, so no dump I/O happens. Its per-event ring append
+  // is the single largest armed-idle cost and must fit the same gate.
+  rt::FlightRecorder Flight;
   rt::SpecConfig Armed = rt::SpecConfig()
                              .executor(Ex)
                              .faults(&Idle)
                              .deadline(std::chrono::hours(24))
                              .degrade(/*MaxBadRate=*/1.0, /*Window=*/8)
                              .shield()
-                             .attemptBudget(std::chrono::hours(24));
+                             .attemptBudget(std::chrono::hours(24))
+                             .trace(&Flight.tracer());
 
   const int Reps = static_cast<int>(*Repeats);
   // ~3000 mix rounds ~= a few tens of microseconds per 8-iteration

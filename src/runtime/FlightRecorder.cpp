@@ -1,0 +1,149 @@
+//===- runtime/FlightRecorder.cpp - Always-on post-mortem tracing ---------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/FlightRecorder.h"
+
+#include "support/StringUtils.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace specpar;
+using namespace specpar::rt;
+
+namespace {
+
+std::atomic<uint64_t> TmpCounter{0};
+
+/// Publishes \p Body at \p Path via unique temp file + rename() (the
+/// ProfileStore::save discipline): readers see the old file or the whole
+/// new one, never a prefix. False on any I/O failure.
+bool writeFileAtomic(const std::string &Path, const std::string &Body) {
+  const uint64_t N = TmpCounter.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream TmpName;
+  TmpName << Path << ".tmp." << ::getpid() << "." << N;
+  const std::string Tmp = TmpName.str();
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(Body.data(), static_cast<std::streamsize>(Body.size()));
+    Out.flush();
+    if (!Out) {
+      Out.close();
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Filenames carry the anomaly reason; keep them shell- and URL-safe.
+std::string slugify(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+            C == '_')
+               ? C
+               : '-';
+  return Out.empty() ? std::string("anomaly") : Out;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::FlightRecorder(Options O)
+    : Opts(std::move(O)), T(Opts.RingCapacity, Opts.AttemptIdBase) {}
+
+std::vector<SpecEvent> FlightRecorder::recentEvents() const {
+  const uint64_t Now = T.elapsedNs();
+  const uint64_t Window = static_cast<uint64_t>(Opts.Retain.count());
+  const uint64_t Cutoff = Now > Window ? Now - Window : 0;
+  std::vector<SpecEvent> Events = T.snapshot();
+  std::erase_if(Events,
+                [Cutoff](const SpecEvent &E) { return E.TimeNs < Cutoff; });
+  return Events;
+}
+
+FlightRecorder::DumpResult FlightRecorder::dump(const std::string &Reason,
+                                                const std::string &Detail) {
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  DumpResult R;
+  if (Opts.DumpDir.empty())
+    return R;
+
+  std::lock_guard<std::mutex> Lock(DumpM);
+  const uint64_t Now = T.elapsedNs();
+  if (LastDumpNs != 0 &&
+      Now - LastDumpNs < static_cast<uint64_t>(Opts.MinDumpGap.count()))
+    return R; // Burst of anomalies; first dump already has the window.
+
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.DumpDir, EC);
+  // A pre-existing directory is fine; any other failure surfaces below
+  // as a write failure.
+
+  const std::vector<SpecEvent> Events = recentEvents();
+  const std::string Stem =
+      formatString("%s/flight-%s-%04llu-%s", Opts.DumpDir.c_str(),
+                   Opts.Label.c_str(),
+                   static_cast<unsigned long long>(DumpSeq),
+                   slugify(Reason).c_str());
+
+  std::ostringstream Trace;
+  writeChromeTraceEvents(Trace, Events);
+
+  std::ostringstream Sum;
+  Sum << "flight dump " << Opts.Label << " #" << DumpSeq
+      << " reason=" << Reason << "\n";
+  if (!Detail.empty())
+    Sum << "detail: " << Detail << "\n";
+  Sum << "retained: " << Events.size() << " events, window "
+      << Opts.Retain.count() / 1000000 << " ms, now " << Now << " ns\n";
+  Sum << T.summary() << "\n";
+  const size_t Tail = Events.size() > 64 ? Events.size() - 64 : 0;
+  if (Tail)
+    Sum << "... (" << Tail << " earlier events in the trace file)\n";
+  for (size_t I = Tail; I < Events.size(); ++I) {
+    const SpecEvent &E = Events[I];
+    Sum << formatString("  t=%10.3fus th=%u %-16s attempt=%llu idx=%lld",
+                        static_cast<double>(E.TimeNs) / 1e3, E.ThreadId,
+                        specEventKindName(E.Kind),
+                        static_cast<unsigned long long>(E.AttemptId),
+                        static_cast<long long>(E.Index));
+    if (E.JobId)
+      Sum << formatString(" job=%llu span=%u",
+                          static_cast<unsigned long long>(E.JobId), E.SpanId);
+    Sum << "\n";
+  }
+
+  const std::string TracePath = Stem + ".trace.json";
+  const std::string SummaryPath = Stem + ".txt";
+  if (!writeFileAtomic(TracePath, Trace.str()))
+    return R;
+  if (!writeFileAtomic(SummaryPath, Sum.str()))
+    return R;
+
+  LastDumpNs = Now;
+  ++DumpSeq;
+  Written.fetch_add(1, std::memory_order_relaxed);
+  R.Written = true;
+  R.TracePath = TracePath;
+  R.SummaryPath = SummaryPath;
+  return R;
+}

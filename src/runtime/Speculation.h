@@ -394,6 +394,14 @@ public:
     BudgetAutoMult = Mult < 0 ? 0 : Mult;
     return *this;
   }
+  /// Stamps every trace event this run records with \p Ctx (see
+  /// `rt::TraceContext`): the serving layer mints one per admitted job so
+  /// the job's attempts remain reassemblable — across retries and shards
+  /// — from the retained rings. The default zero context stamps nothing.
+  SpecConfig &traceContext(TraceContext Ctx) {
+    TraceCtx = Ctx;
+    return *this;
+  }
 
   unsigned threads() const { return NumThreads; }
   ValidationMode mode() const { return Mode; }
@@ -422,6 +430,7 @@ public:
     return std::chrono::nanoseconds(BudgetNs);
   }
   double attemptBudgetAutoMult() const { return BudgetAutoMult; }
+  TraceContext traceContext() const { return TraceCtx; }
 
   /// The persistent executor this config resolves to — the explicit one,
   /// or the process's default shard — or an empty handle when the run
@@ -451,6 +460,7 @@ private:
   bool ShieldOn = false;
   int64_t BudgetNs = 0;
   double BudgetAutoMult = 0;
+  TraceContext TraceCtx;
 };
 
 /// A shared cancellation flag (cooperative, like .NET's).
@@ -765,6 +775,7 @@ private:
     detail::ExecDeltaGuard ExecGuard{Cfg.statsSnapshotOut(), Ex};
     Tracer *const Tr = Cfg.trace();
     FaultPlan *const FP = Cfg.faults();
+    const TraceContext JobCtx = Cfg.traceContext();
     const std::chrono::steady_clock::time_point Deadline =
         resolveDeadline(Cfg);
     const uint64_t AId = Tr ? Tr->newAttemptId() : 0;
@@ -811,13 +822,13 @@ private:
 
     ++Stats.Tasks;
     if (Tr)
-      Tr->record(SpecEventKind::Dispatch, 0, AId);
+      Tr->record(SpecEventKind::Dispatch, 0, AId, JobCtx);
     Ex.submit([State, &Predictor, &Consumer, Tr, FP, AId, Deadline, Shield,
-               BudgetNs] {
+               BudgetNs, JobCtx] {
       detail::CancelScope Scope(State->Cancel, Deadline,
                                 &State->ObservedCancel);
       if (Tr)
-        Tr->record(SpecEventKind::Start, 0, AId);
+        Tr->record(SpecEventKind::Start, 0, AId, JobCtx);
       std::optional<T> G;
       std::exception_ptr Err;
       try {
@@ -881,12 +892,12 @@ private:
               Ran = false;
               State->Contained.fetch_add(1, std::memory_order_relaxed);
               if (Tr)
-                Tr->record(SpecEventKind::CrashContained, 0, AId);
+                Tr->record(SpecEventKind::CrashContained, 0, AId, JobCtx);
             }
             if (SO.Fault == ContainedFault::Runaway || SO.WatchdogCancelled) {
               State->Runaways.fetch_add(1, std::memory_order_relaxed);
               if (Tr)
-                Tr->record(SpecEventKind::RunawayCancel, 0, AId);
+                Tr->record(SpecEventKind::RunawayCancel, 0, AId, JobCtx);
             }
           } else {
             Consumer(*G);
@@ -898,7 +909,7 @@ private:
       // Record before publishing completion: once ConsumerDone is
       // visible, applyImpl may return and the tracer may die with it.
       if (Tr)
-        Tr->record(SpecEventKind::Finish, 0, AId);
+        Tr->record(SpecEventKind::Finish, 0, AId, JobCtx);
       {
         std::unique_lock<std::mutex> Lock(State->M);
         State->ConsumerErr = Err;
@@ -922,7 +933,7 @@ private:
       // rollback freedom, and its exception (if any) is suppressed.
       State->Cancel.cancel();
       if (Tr)
-        Tr->record(SpecEventKind::Cancel, 0, AId);
+        Tr->record(SpecEventKind::Cancel, 0, AId, JobCtx);
       waitConsumer(Ex, *State);
       std::rethrow_exception(ProducerErr);
     }
@@ -942,13 +953,13 @@ private:
         ++Stats.Reexecutions;
         State->Cancel.cancel();
         if (Tr) {
-          Tr->record(SpecEventKind::Cancel, 0, AId);
-          Tr->record(SpecEventKind::Reexecute, 0, 0);
+          Tr->record(SpecEventKind::Cancel, 0, AId, JobCtx);
+          Tr->record(SpecEventKind::Reexecute, 0, 0, JobCtx);
         }
         waitConsumer(Ex, *State);
         Consumer(*Produced);
         if (Tr)
-          Tr->record(SpecEventKind::Finalize, 0, 0);
+          Tr->record(SpecEventKind::Finalize, 0, 0, JobCtx);
         return;
       }
       if (!specWaitUntil(Ex, Lock, State->CV,
@@ -963,10 +974,10 @@ private:
         Lock.unlock();
         State->Cancel.cancel();
         if (Tr)
-          Tr->record(SpecEventKind::Cancel, 0, AId);
+          Tr->record(SpecEventKind::Cancel, 0, AId, JobCtx);
         waitConsumer(Ex, *State);
         if (Tr)
-          Tr->record(SpecEventKind::Timeout, 0, 0);
+          Tr->record(SpecEventKind::Timeout, 0, 0, JobCtx);
         throw SpecTimeoutError(Cfg.deadline());
       }
       Guess = State->Guess;
@@ -987,10 +998,10 @@ private:
           Lock.unlock();
           State->Cancel.cancel();
           if (Tr)
-            Tr->record(SpecEventKind::Cancel, 0, AId);
+            Tr->record(SpecEventKind::Cancel, 0, AId, JobCtx);
           waitConsumer(Ex, *State);
           if (Tr)
-            Tr->record(SpecEventKind::Timeout, 0, 0);
+            Tr->record(SpecEventKind::Timeout, 0, 0, JobCtx);
           throw SpecTimeoutError(Cfg.deadline());
         }
       }
@@ -1002,11 +1013,11 @@ private:
           !State->ObservedCancel.load(std::memory_order_relaxed);
       if (Usable) {
         if (Tr)
-          Tr->record(SpecEventKind::ValidateAccept, 0, AId);
+          Tr->record(SpecEventKind::ValidateAccept, 0, AId, JobCtx);
         if (State->ConsumerErr)
           std::rethrow_exception(State->ConsumerErr);
         if (Tr)
-          Tr->record(SpecEventKind::Finalize, 0, 0);
+          Tr->record(SpecEventKind::Finalize, 0, 0, JobCtx);
         return;
       }
       // The guess was right but the speculative run was robbed of it:
@@ -1014,10 +1025,10 @@ private:
       ++Stats.Reexecutions;
       State->Cancel.cancel();
       if (Tr)
-        Tr->record(SpecEventKind::Reexecute, 0, 0);
+        Tr->record(SpecEventKind::Reexecute, 0, 0, JobCtx);
       Consumer(*Produced);
       if (Tr)
-        Tr->record(SpecEventKind::Finalize, 0, 0);
+        Tr->record(SpecEventKind::Finalize, 0, 0, JobCtx);
       return;
     }
     // Misprediction (or a predictor/comparator that produced no usable
@@ -1030,18 +1041,18 @@ private:
     } else {
       ++Stats.Mispredictions;
       if (Tr)
-        Tr->record(SpecEventKind::Mispredict, 0, AId);
+        Tr->record(SpecEventKind::Mispredict, 0, AId, JobCtx);
     }
     ++Stats.Reexecutions;
     State->Cancel.cancel();
     if (Tr) {
-      Tr->record(SpecEventKind::Cancel, 0, AId);
-      Tr->record(SpecEventKind::Reexecute, 0, 0);
+      Tr->record(SpecEventKind::Cancel, 0, AId, JobCtx);
+      Tr->record(SpecEventKind::Reexecute, 0, 0, JobCtx);
     }
     waitConsumer(Ex, *State);
     Consumer(*Produced);
     if (Tr)
-      Tr->record(SpecEventKind::Finalize, 0, 0);
+      Tr->record(SpecEventKind::Finalize, 0, 0, JobCtx);
   }
 
 public:
@@ -1235,7 +1246,8 @@ private:
           OrdinalIndices(OrdinalIndices), AutoTargetNs(AutotuneTargetNs),
           Init(Init), Body(Body), Predictor(Predictor), Finalize(Finalize),
           Ex(Ex), Equal(Equal), Stats(Stats), Mode(Cfg.mode()),
-          Tr(Cfg.trace()), FP(Cfg.faults()), CfgDeadline(Cfg.deadline()),
+          Tr(Cfg.trace()), JobCtx(Cfg.traceContext()), FP(Cfg.faults()),
+          CfgDeadline(Cfg.deadline()),
           Deadline(resolveDeadline(Cfg)),
           HasDeadline(Deadline != Clock::time_point::max()),
           DegradeThresh(Cfg.degradeThreshold()),
@@ -1349,7 +1361,7 @@ private:
               CandTried[static_cast<size_t>(Next)] = true;
               ++Stats.PredictorSwitches;
               if (Tr)
-                Tr->record(SpecEventKind::PredictorSwitch, Next, 0);
+                Tr->record(SpecEventKind::PredictorSwitch, Next, 0, JobCtx);
               // Fresh window: the new candidate drives the *next* wave's
               // predictions, and it deserves a full window before the
               // monitor may trip again.
@@ -1421,7 +1433,7 @@ private:
                 SlotBad = true;
                 ForceReexec = true;
                 if (Tr)
-                  Tr->record(SpecEventKind::Mispredict, UI, 0);
+                  Tr->record(SpecEventKind::Mispredict, UI, 0, JobCtx);
               }
             } else if (CmpThrew) {
               // The comparator threw: the prediction point resolved
@@ -1435,7 +1447,7 @@ private:
               ++Stats.Mispredictions;
               SlotBad = true;
               if (Tr)
-                Tr->record(SpecEventKind::Mispredict, UI, 0);
+                Tr->record(SpecEventKind::Mispredict, UI, 0, JobCtx);
             }
           }
 
@@ -1471,7 +1483,8 @@ private:
           int64_t SegNs = 0;
           if (Match) {
             if (Tr)
-              Tr->record(SpecEventKind::ValidateAccept, UI, Match->TraceId);
+              Tr->record(SpecEventKind::ValidateAccept, UI, Match->TraceId,
+                         JobCtx);
             if (Match->Err)
               FirstValidErr = Match->Err;
             else {
@@ -1495,7 +1508,7 @@ private:
             }
             ++Stats.Reexecutions;
             if (Tr)
-              Tr->record(SpecEventKind::Reexecute, UI, 0);
+              Tr->record(SpecEventKind::Reexecute, UI, 0, JobCtx);
             try {
               if (FP)
                 FP->maybeThrow(FaultSite::BodyThrow);
@@ -1522,7 +1535,7 @@ private:
           try {
             Finalize(UI, *LocalForFinal);
             if (Tr)
-              Tr->record(SpecEventKind::Finalize, UI, 0);
+              Tr->record(SpecEventKind::Finalize, UI, 0, JobCtx);
           } catch (...) {
             FirstValidErr = std::current_exception();
             break;
@@ -1580,7 +1593,7 @@ private:
         profileRecord();
       if (TimedOut) {
         if (Tr)
-          Tr->record(SpecEventKind::Timeout, TimeoutIdx, 0);
+          Tr->record(SpecEventKind::Timeout, TimeoutIdx, 0, JobCtx);
         throw SpecTimeoutError(CfgDeadline);
       }
       if (FirstValidErr)
@@ -1688,7 +1701,7 @@ private:
         Attempt *A = Slots[static_cast<size_t>(K)].Items[0].load(
             std::memory_order_relaxed);
         if (Tr)
-          Tr->record(SpecEventKind::Dispatch, A->UserIdx, A->TraceId);
+          Tr->record(SpecEventKind::Dispatch, A->UserIdx, A->TraceId, JobCtx);
         // The thunk captures two pointers — it fits TaskRef's inline
         // storage, so a steady-state dispatch never allocates.
         Ex.submit([this, A] { attemptTask(A); });
@@ -1755,7 +1768,7 @@ private:
       if (!Skip && FP && FP->shouldFire(FaultSite::SpuriousCancel))
         A->CancelFlag.store(true, std::memory_order_seq_cst);
       if (Tr)
-        Tr->record(SpecEventKind::Start, A->UserIdx, A->TraceId);
+        Tr->record(SpecEventKind::Start, A->UserIdx, A->TraceId, JobCtx);
       detail::CancelScope Scope(&A->CancelFlag, Deadline,
                                 &A->ObservedCancel);
       std::optional<T> Out;
@@ -1822,7 +1835,7 @@ private:
               Run.ContainedCrashes.fetch_add(1, std::memory_order_relaxed);
               if (Tr)
                 Tr->record(SpecEventKind::CrashContained, A->UserIdx,
-                           A->TraceId);
+                           A->TraceId, JobCtx);
             }
             const bool BudgetExpired =
                 Budget > 0 && Clock::now() >= BudgetDeadline;
@@ -1833,7 +1846,7 @@ private:
               Run.RunawayCancels.fetch_add(1, std::memory_order_relaxed);
               if (Tr)
                 Tr->record(SpecEventKind::RunawayCancel, A->UserIdx,
-                           A->TraceId);
+                           A->TraceId, JobCtx);
             }
           }
         } catch (...) {
@@ -1864,13 +1877,13 @@ private:
           Run.FinishCounter.fetch_add(1, std::memory_order_relaxed) + 1;
       A->Done.store(true, std::memory_order_seq_cst);
       if (Tr)
-        Tr->record(SpecEventKind::Finish, MyUser, MyTrace);
+        Tr->record(SpecEventKind::Finish, MyUser, MyTrace, JobCtx);
       if (Chained) {
         if (Tr) {
           Tr->record(SpecEventKind::Chain, Chained->UserIdx,
-                     Chained->TraceId);
+                     Chained->TraceId, JobCtx);
           Tr->record(SpecEventKind::Dispatch, Chained->UserIdx,
-                     Chained->TraceId);
+                     Chained->TraceId, JobCtx);
         }
         Attempt *CA = Chained;
         Ex.submit([this, CA] { attemptTask(CA); });
@@ -1973,7 +1986,7 @@ private:
           continue;
         if (Tr && !A->Done.load(std::memory_order_acquire) &&
             !A->CancelFlag.load(std::memory_order_acquire))
-          Tr->record(SpecEventKind::Cancel, UI, A->TraceId);
+          Tr->record(SpecEventKind::Cancel, UI, A->TraceId, JobCtx);
         A->CancelFlag.store(true, std::memory_order_seq_cst);
       }
     }
@@ -1992,7 +2005,7 @@ private:
             !guardedEqual(Equal, FP, *A->In, Correct, InCmpThrew)) {
           if (Tr && !A->Done.load(std::memory_order_acquire) &&
               !A->CancelFlag.load(std::memory_order_acquire))
-            Tr->record(SpecEventKind::Cancel, UI, A->TraceId);
+            Tr->record(SpecEventKind::Cancel, UI, A->TraceId, JobCtx);
           A->CancelFlag.store(true, std::memory_order_seq_cst);
         }
       }
@@ -2136,7 +2149,7 @@ private:
     bool degradedSegment(int64_t B, int64_t E, int64_t UI, T &Correct) {
       ++Stats.DegradedChunks;
       if (Tr)
-        Tr->record(SpecEventKind::Degrade, UI, 0);
+        Tr->record(SpecEventKind::Degrade, UI, 0, JobCtx);
       std::optional<U> DegradedLocal;
       try {
         if (FP)
@@ -2154,7 +2167,7 @@ private:
       try {
         Finalize(UI, *DegradedLocal);
         if (Tr)
-          Tr->record(SpecEventKind::Finalize, UI, 0);
+          Tr->record(SpecEventKind::Finalize, UI, 0, JobCtx);
       } catch (...) {
         FirstValidErr = std::current_exception();
         return false;
@@ -2234,7 +2247,7 @@ private:
           // beyond documentation value for debuggers.
           (void)NextB;
           if (Tr)
-            Tr->record(SpecEventKind::Autotune, CurChunk, 0);
+            Tr->record(SpecEventKind::Autotune, CurChunk, 0, JobCtx);
         }
       }
       WaveNs = 0;
@@ -2270,7 +2283,7 @@ private:
         ++Stats.ProfileSeeds;
         if (Tr)
           Tr->record(SpecEventKind::ProfileSeed, SeededChunk,
-                     static_cast<uint64_t>(ActiveCand));
+                     static_cast<uint64_t>(ActiveCand), JobCtx);
       }
     }
 
@@ -2369,6 +2382,9 @@ private:
     SpeculationStats &Stats;
     const ValidationMode Mode;
     Tracer *const Tr;
+    /// The serving-layer job context stamped onto every event this run
+    /// records (zero outside specd — see SpecConfig::traceContext()).
+    const TraceContext JobCtx;
     FaultPlan *const FP;
     const std::chrono::nanoseconds CfgDeadline;
     const Clock::time_point Deadline;

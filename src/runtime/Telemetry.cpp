@@ -70,9 +70,10 @@ thread_local RingCache TLRingCache;
 
 } // namespace
 
-Tracer::Tracer(size_t RingCapacity)
+Tracer::Tracer(size_t RingCapacity, uint64_t AttemptIdBase)
     : Epoch(std::chrono::steady_clock::now()),
       Capacity(RingCapacity < 16 ? 16 : RingCapacity),
+      AttemptBase(AttemptIdBase),
       Serial(NextTracerSerial.fetch_add(1, std::memory_order_relaxed)) {}
 
 Tracer::~Tracer() = default;
@@ -96,18 +97,27 @@ Tracer::Ring &Tracer::myRing() {
   return R;
 }
 
-void Tracer::record(SpecEventKind Kind, int64_t Index, uint64_t AttemptId) {
+void Tracer::record(SpecEventKind Kind, int64_t Index, uint64_t AttemptId,
+                    TraceContext Ctx) {
   Ring &R = myRing();
   SpecEvent E;
   E.Seq = NextSeq.fetch_add(1, std::memory_order_relaxed) + 1;
   E.TimeNs = nowNs();
   E.AttemptId = AttemptId;
+  E.JobId = Ctx.TraceId;
   E.Index = Index;
+  E.SpanId = Ctx.SpanId;
   E.ThreadId = R.ThreadId;
   E.Kind = Kind;
-  std::lock_guard<std::mutex> Lock(R.M);
-  R.Slots[R.Recorded % Capacity] = E;
-  ++R.Recorded;
+  {
+    std::lock_guard<std::mutex> Lock(R.M);
+    if (R.Recorded >= Capacity)
+      ++R.Dropped; // The slot being reused still held an unread event.
+    R.Slots[R.Recorded % Capacity] = E;
+    ++R.Recorded;
+  }
+  if (Tracer *Sink = Forward.load(std::memory_order_acquire))
+    Sink->record(Kind, Index, AttemptId, Ctx);
 }
 
 std::vector<SpecEvent> Tracer::snapshot() const {
@@ -129,10 +139,19 @@ uint64_t Tracer::droppedEvents() const {
   std::lock_guard<std::mutex> Registry(RegistryM);
   for (const auto &R : Rings) {
     std::lock_guard<std::mutex> Lock(R->M);
-    if (R->Recorded > Capacity)
-      Dropped += R->Recorded - Capacity;
+    Dropped += R->Dropped;
   }
   return Dropped;
+}
+
+uint64_t Tracer::recordedEvents() const {
+  uint64_t Recorded = 0;
+  std::lock_guard<std::mutex> Registry(RegistryM);
+  for (const auto &R : Rings) {
+    std::lock_guard<std::mutex> Lock(R->M);
+    Recorded += R->Recorded;
+  }
+  return Recorded;
 }
 
 std::string Tracer::summary() const {
@@ -153,15 +172,31 @@ std::string Tracer::summary() const {
     if (Counts[K])
       Out += formatString(" %s=%llu", specEventKindName(SpecEventKind(K)),
                           static_cast<unsigned long long>(Counts[K]));
-  uint64_t Dropped = droppedEvents();
-  if (Dropped)
-    Out += formatString(" dropped=%llu",
-                        static_cast<unsigned long long>(Dropped));
+  // Per-ring drop breakdown: overwrite loss is per recording thread, so
+  // one hot thread's churn should be attributable.
+  {
+    std::lock_guard<std::mutex> Registry(RegistryM);
+    uint64_t Total = 0;
+    std::string Detail;
+    for (const auto &R : Rings) {
+      std::lock_guard<std::mutex> Lock(R->M);
+      if (!R->Dropped)
+        continue;
+      Total += R->Dropped;
+      Detail += formatString("%st%u=%llu", Detail.empty() ? "" : ",",
+                             R->ThreadId,
+                             static_cast<unsigned long long>(R->Dropped));
+    }
+    if (Total)
+      Out += formatString(" dropped=%llu (%s)",
+                          static_cast<unsigned long long>(Total),
+                          Detail.c_str());
+  }
   return Out;
 }
 
-void Tracer::writeChromeTrace(std::ostream &OS) const {
-  std::vector<SpecEvent> Events = snapshot();
+void specpar::rt::writeChromeTraceEvents(std::ostream &OS,
+                                         const std::vector<SpecEvent> &Events) {
   // Attempts become duration slices (start -> finish) on their executing
   // thread's row; everything else becomes an instant event. The JSON array
   // format needs no envelope and loads in chrome://tracing and Perfetto.
@@ -170,6 +205,8 @@ void Tracer::writeChromeTrace(std::ostream &OS) const {
     bool HasStart = false;
     int64_t Index = 0;
     uint32_t ThreadId = 0;
+    uint64_t JobId = 0;
+    uint32_t SpanId = 0;
   };
   std::map<uint64_t, Span> OpenSpans;
   bool First = true;
@@ -185,6 +222,8 @@ void Tracer::writeChromeTrace(std::ostream &OS) const {
       S.HasStart = true;
       S.Index = E.Index;
       S.ThreadId = E.ThreadId;
+      S.JobId = E.JobId;
+      S.SpanId = E.SpanId;
       continue;
     }
     if (E.Kind == SpecEventKind::Finish) {
@@ -194,12 +233,14 @@ void Tracer::writeChromeTrace(std::ostream &OS) const {
         Emit(formatString(
             "{\"name\":\"attempt %llu (idx %lld)\",\"cat\":\"attempt\","
             "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
-            "\"args\":{\"attempt\":%llu,\"index\":%lld}}",
+            "\"args\":{\"attempt\":%llu,\"index\":%lld,\"job\":%llu,"
+            "\"span\":%u}}",
             static_cast<unsigned long long>(E.AttemptId),
             static_cast<long long>(S.Index), MicrosOf(S.StartNs),
             MicrosOf(E.TimeNs - S.StartNs), S.ThreadId,
             static_cast<unsigned long long>(E.AttemptId),
-            static_cast<long long>(S.Index)));
+            static_cast<long long>(S.Index),
+            static_cast<unsigned long long>(E.JobId), E.SpanId));
         OpenSpans.erase(It);
         continue;
       }
@@ -209,13 +250,37 @@ void Tracer::writeChromeTrace(std::ostream &OS) const {
     Emit(formatString(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
         "\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
-        "\"args\":{\"attempt\":%llu,\"index\":%lld}}",
+        "\"args\":{\"attempt\":%llu,\"index\":%lld,\"job\":%llu,\"span\":%u}}",
         specEventKindName(E.Kind), specEventKindName(E.Kind),
         MicrosOf(E.TimeNs), E.ThreadId,
         static_cast<unsigned long long>(E.AttemptId),
-        static_cast<long long>(E.Index)));
+        static_cast<long long>(E.Index),
+        static_cast<unsigned long long>(E.JobId), E.SpanId));
+  }
+  // Attempts whose finish hasn't happened (or was overwritten) by the
+  // time the window was captured — e.g. the wedged job a quarantine
+  // post-mortem is about — are the events such a dump exists to show.
+  // Emit them as duration-begin events: viewers render an open slice.
+  for (const auto &KV : OpenSpans) {
+    const Span &S = KV.second;
+    if (!S.HasStart)
+      continue;
+    Emit(formatString(
+        "{\"name\":\"attempt %llu (idx %lld, unfinished)\","
+        "\"cat\":\"attempt\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"attempt\":%llu,\"index\":%lld,\"job\":%llu,"
+        "\"span\":%u}}",
+        static_cast<unsigned long long>(KV.first),
+        static_cast<long long>(S.Index), MicrosOf(S.StartNs), S.ThreadId,
+        static_cast<unsigned long long>(KV.first),
+        static_cast<long long>(S.Index),
+        static_cast<unsigned long long>(S.JobId), S.SpanId));
   }
   OS << (First ? "[\n]\n" : "\n]\n");
+}
+
+void Tracer::writeChromeTrace(std::ostream &OS) const {
+  writeChromeTraceEvents(OS, snapshot());
 }
 
 bool Tracer::writeChromeTrace(const std::string &Path) const {

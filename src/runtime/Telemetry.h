@@ -23,13 +23,29 @@
 ///    (thread, tracer) pair, not per event. TSan-clean by construction
 ///    (every ring access is under its mutex).
 ///  * **Bounded memory.** Rings overwrite their oldest entries when full;
-///    `droppedEvents()` reports how many were lost.
+///    each overwrite bumps that ring's explicit drop counter, so the loss
+///    is never silent: `droppedEvents()` totals it and `summary()` breaks
+///    it down per ring.
+///
+/// Causal correlation: serving-layer jobs mint a `TraceContext`
+/// (TraceId + SpanId) at admission; the runtime stamps it onto every
+/// event it records for that run (`SpecEvent::JobId`/`SpecEvent::SpanId`),
+/// so one job's full story — every speculative attempt, validation,
+/// re-execution, across retries on different shards — can be reassembled
+/// from the retained rings afterwards.
+///
+/// A tracer can also *tee*: `forwardTo()` installs a secondary sink that
+/// receives a copy of every recorded event. The serving layer uses this
+/// to keep its always-on per-shard flight recorder the primary sink while
+/// still feeding an optional per-tenant tracer.
 ///
 /// Exporters: `summary()` renders per-kind counts for humans;
 /// `writeChromeTrace()` emits the Chrome `trace_event` JSON array format,
 /// loadable in `chrome://tracing` and Perfetto, with one timeline row per
 /// recording thread and one duration slice per attempt (start→finish)
-/// plus instant markers for the validator-side events.
+/// plus instant markers for the validator-side events. The same exporter
+/// is available as the free function `writeChromeTraceEvents()` for any
+/// externally filtered event set (the flight recorder's retained window).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -106,6 +122,18 @@ enum class SpecEventKind : uint8_t {
 /// Stable lowercase name of \p K (e.g. "validate-accept").
 const char *specEventKindName(SpecEventKind K);
 
+/// Causal correlation for one serving-layer job execution. `TraceId`
+/// identifies the job across its whole life (minted once at admission and
+/// returned in `JobResult`); `SpanId` identifies one execution attempt of
+/// that job (1 for the first dispatch, 2 for the first retry, ...), so a
+/// retried job's runs on different shards remain distinguishable under
+/// the one TraceId. A zero TraceId means "no job context" — direct
+/// runtime users that never set one record plain events.
+struct TraceContext {
+  uint64_t TraceId = 0;
+  uint32_t SpanId = 0;
+};
+
 /// One recorded event. `Seq` is a process-wide monotonic sequence number
 /// (total order across threads — two events never share one); `TimeNs` is
 /// nanoseconds since the tracer's construction on the steady clock.
@@ -113,10 +141,20 @@ struct SpecEvent {
   uint64_t Seq = 0;
   uint64_t TimeNs = 0;
   uint64_t AttemptId = 0; ///< 0 for validator-side events with no attempt.
+  uint64_t JobId = 0;     ///< TraceContext::TraceId (0 = no job context).
   int64_t Index = 0;      ///< Iteration or chunk index.
+  uint32_t SpanId = 0;    ///< TraceContext::SpanId (execution attempt #).
   uint32_t ThreadId = 0;  ///< Dense per-tracer id of the recording thread.
   SpecEventKind Kind = SpecEventKind::Dispatch;
 };
+
+/// Writes \p Events in the Chrome trace_event JSON array format (one row
+/// per recording thread; attempt start→finish pairs as duration slices,
+/// everything else as instants). Loadable in chrome://tracing and
+/// Perfetto. \p Events must be in Seq order (as `Tracer::snapshot()`
+/// returns them).
+void writeChromeTraceEvents(std::ostream &OS,
+                            const std::vector<SpecEvent> &Events);
 
 /// An event sink for speculative runs. Install one with
 /// `SpecConfig::trace(&T)`; after the run, `snapshot()` / `summary()` /
@@ -126,28 +164,53 @@ class Tracer {
 public:
   /// \p RingCapacity is the per-thread ring size in events (clamped to a
   /// floor of 16); when a thread records more than that between snapshots
-  /// the oldest are overwritten.
-  explicit Tracer(size_t RingCapacity = 1 << 14);
+  /// the oldest are overwritten. \p AttemptIdBase offsets every id this
+  /// tracer mints — give each tracer that forwards into a shared sink a
+  /// distinct high-bits base so attempt ids never collide downstream.
+  explicit Tracer(size_t RingCapacity = 1 << 14, uint64_t AttemptIdBase = 0);
   ~Tracer();
 
   Tracer(const Tracer &) = delete;
   Tracer &operator=(const Tracer &) = delete;
 
-  /// A fresh nonzero attempt id (process-wide unique per tracer).
+  /// A fresh nonzero attempt id (process-wide unique per tracer, and
+  /// unique across tracers with disjoint AttemptIdBase namespaces).
   uint64_t newAttemptId() {
-    return NextAttemptId.fetch_add(1, std::memory_order_relaxed) + 1;
+    return AttemptBase + NextAttemptId.fetch_add(1, std::memory_order_relaxed) +
+           1;
   }
 
-  /// Records one event on the calling thread's ring.
-  void record(SpecEventKind Kind, int64_t Index, uint64_t AttemptId);
+  /// Records one event on the calling thread's ring, stamped with \p Ctx
+  /// (the defaulted empty context leaves JobId/SpanId zero). If a forward
+  /// sink is installed (`forwardTo()`), the sink records a copy too.
+  void record(SpecEventKind Kind, int64_t Index, uint64_t AttemptId,
+              TraceContext Ctx = {});
+
+  /// Installs (or with nullptr removes) a secondary sink that receives a
+  /// copy of every event recorded here from now on. The sink must outlive
+  /// the forwarding window; it records on its own rings under its own
+  /// locks, keeping its own Seq/time domain. Forwarded events run the
+  /// sink's full record() — including its own forward pointer — so chains
+  /// work but must stay acyclic.
+  void forwardTo(Tracer *Sink) {
+    Forward.store(Sink, std::memory_order_release);
+  }
 
   /// All retained events from every thread, in Seq order. Safe to call
   /// concurrently with record(); events recorded while the snapshot runs
   /// may or may not be included.
   std::vector<SpecEvent> snapshot() const;
 
-  /// Events lost to ring overwrite so far.
+  /// Events lost to ring overwrite so far (sum of the per-ring explicit
+  /// drop counters).
   uint64_t droppedEvents() const;
+
+  /// Total events ever recorded (including ones since overwritten).
+  uint64_t recordedEvents() const;
+
+  /// Nanoseconds elapsed since this tracer's construction — the clock
+  /// `SpecEvent::TimeNs` is measured on, so callers can age events.
+  uint64_t elapsedNs() const { return nowNs(); }
 
   /// Human-readable per-kind counts plus thread/drop totals.
   std::string summary() const;
@@ -165,6 +228,7 @@ private:
     mutable std::mutex M;
     std::vector<SpecEvent> Slots; ///< Fixed capacity, overwritten cyclically.
     uint64_t Recorded = 0;        ///< Total events ever recorded here.
+    uint64_t Dropped = 0;         ///< Events overwritten before a snapshot.
     std::thread::id Owner;
     uint32_t ThreadId = 0;
   };
@@ -180,6 +244,7 @@ private:
 
   const std::chrono::steady_clock::time_point Epoch;
   const size_t Capacity;
+  const uint64_t AttemptBase;
   /// Distinguishes this tracer from any other ever constructed, so the
   /// per-thread ring cache can never resolve to a dead tracer's ring.
   const uint64_t Serial;
@@ -189,6 +254,7 @@ private:
 
   std::atomic<uint64_t> NextAttemptId{0};
   std::atomic<uint64_t> NextSeq{0};
+  std::atomic<Tracer *> Forward{nullptr};
 };
 
 } // namespace rt

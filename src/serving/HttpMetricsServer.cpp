@@ -11,6 +11,7 @@
 
 #include <arpa/inet.h>
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
@@ -57,6 +58,36 @@ std::string readRequest(int Fd) {
     Req.append(Buf, static_cast<size_t>(N));
   }
   return Req;
+}
+
+/// Pulls the decimal `id` query parameter out of a
+/// `GET /debug/trace?id=<n> HTTP/1.1` request line. False when the
+/// parameter is missing, empty, non-numeric, or overflows.
+bool parseTraceId(const std::string &Req, uint64_t &Id) {
+  const size_t LineEnd = Req.find("\r\n");
+  const std::string Line =
+      Req.substr(0, LineEnd == std::string::npos ? Req.size() : LineEnd);
+  const size_t Query = Line.find("?id=");
+  if (Query == std::string::npos)
+    return false;
+  size_t Pos = Query + 4;
+  if (Pos >= Line.size() || !std::isdigit(static_cast<unsigned char>(Line[Pos])))
+    return false;
+  uint64_t V = 0;
+  for (; Pos < Line.size() &&
+         std::isdigit(static_cast<unsigned char>(Line[Pos]));
+       ++Pos) {
+    const uint64_t Digit = static_cast<uint64_t>(Line[Pos] - '0');
+    if (V > (UINT64_MAX - Digit) / 10)
+      return false;
+    V = V * 10 + Digit;
+  }
+  // The id must end the parameter: `?id=12x` or `?id=12&` with trailing
+  // junk other than whitespace/& is rejected rather than half-parsed.
+  if (Pos < Line.size() && Line[Pos] != ' ' && Line[Pos] != '&')
+    return false;
+  Id = V;
+  return true;
 }
 
 } // namespace
@@ -116,6 +147,26 @@ void HttpMetricsServer::acceptLoop() {
                        ContentType = "text/plain; version=0.0.4";
     if (Req.rfind("GET /metrics", 0) == 0) {
       Body = Ctx.metricsText();
+    } else if (Req.rfind("GET /statusz", 0) == 0) {
+      Body = Ctx.statusJson();
+      ContentType = "application/json";
+    } else if (Req.rfind("GET /debug/trace", 0) == 0) {
+      uint64_t Id = 0;
+      if (parseTraceId(Req, Id)) {
+        if (Ctx.traceJson(Id, Body)) {
+          ContentType = "application/json";
+        } else {
+          Status = "404 Not Found";
+          Body = "trace " + std::to_string(Id) +
+                 " not found (evicted from the flight recorders' retained "
+                 "window, or never admitted)\n";
+          ContentType = "text/plain";
+        }
+      } else {
+        Status = "400 Bad Request";
+        Body = "usage: /debug/trace?id=<TraceId>\n";
+        ContentType = "text/plain";
+      }
     } else if (Req.rfind("GET /healthz", 0) == 0) {
       // Real state, not a constant: a scraper must see a quarantined
       // shard (degraded, 503) and a shutting-down server (draining).

@@ -6,13 +6,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A deliberately tiny HTTP/1.1 endpoint for the specd metrics: one
-/// accept-loop thread on a loopback POSIX socket, `GET /metrics`
-/// answered with `ServerContext::metricsText()` as
-/// `text/plain; version=0.0.4`, anything else with 404. One request per
-/// connection (`Connection: close`), no TLS, no keep-alive, no
-/// dependencies — it exists so a Prometheus scraper (or curl in the
-/// smoke test) can watch a running specd, not to be a web server.
+/// A deliberately tiny HTTP/1.1 endpoint for specd introspection: one
+/// accept-loop thread on a loopback POSIX socket serving
+///   * `GET /metrics`          — `ServerContext::metricsText()` as
+///                               `text/plain; version=0.0.4`,
+///   * `GET /statusz`          — `ServerContext::statusJson()` (live
+///                               shard/tenant/in-flight state, JSON),
+///   * `GET /debug/trace?id=N` — `ServerContext::traceJson()` span tree
+///                               (404 once evicted, 400 on a bad id),
+///   * `GET /healthz`          — ok/draining/degraded (503 on degraded),
+/// anything else with 404. One request per connection
+/// (`Connection: close`), no TLS, no keep-alive, no dependencies — it
+/// exists so a Prometheus scraper (or curl in the smoke test) can watch
+/// a running specd, not to be a web server.
 ///
 //===----------------------------------------------------------------------===//
 

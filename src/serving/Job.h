@@ -111,6 +111,13 @@ struct JobResult {
   /// log alone. Empty / 0 otherwise.
   std::string FaultSiteName;
   uint64_t FaultProbe = 0;
+  /// The causal trace id minted for this job at admission. Every
+  /// runtime event of every execution attempt (across retries and
+  /// shards) carries it, so the job's full story is retrievable from
+  /// `GET /debug/trace?id=<TraceId>` while it remains in the flight
+  /// recorders' retained window. 0 only for unknown-tenant rejects
+  /// (nothing was admitted, nothing can be traced).
+  uint64_t TraceId = 0;
 };
 
 /// The datasets every app job runs against, built once at server start

@@ -8,6 +8,8 @@
 #include "serving/ServerContext.h"
 
 #include "runtime/Telemetry.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <thread>
@@ -34,10 +36,15 @@ ServerContext::ServerContext(const ServerOptions &O)
   unsigned PerShard = O.ThreadsPerShard;
   if (PerShard == 0)
     PerShard = std::max(1u, std::thread::hardware_concurrency() / NumShards);
+  rt::FlightRecorder::Options FlightOpts;
+  FlightOpts.DumpDir = O.FlightDir;
+  FlightOpts.Retain = O.FlightRetain;
+  FlightOpts.RingCapacity = O.FlightRingCapacity;
+  FlightOpts.MinDumpGap = O.FlightMinDumpGap;
   Shards.reserve(NumShards);
   for (unsigned I = 0; I < NumShards; ++I)
-    Shards.push_back(
-        std::make_unique<Shard>(I, PerShard, O.QueueCapacity, Catalog));
+    Shards.push_back(std::make_unique<Shard>(I, PerShard, O.QueueCapacity,
+                                             Catalog, FlightOpts));
   for (auto &S : Shards)
     S->onComplete([this](Ticket &&T, JobResult &&R) {
       onJobFinished(std::move(T), std::move(R));
@@ -82,27 +89,36 @@ bool ServerContext::breakerAllows(TenantState *TS, unsigned ShardIdx) {
   return false;
 }
 
-void ServerContext::breakerRecord(TenantState *TS, unsigned ShardIdx,
+bool ServerContext::breakerRecord(TenantState *TS, unsigned ShardIdx,
                                   bool Success) {
   if (TS->Policy.BreakerThreshold <= 0)
-    return;
+    return false;
   std::lock_guard<std::mutex> Lock(TS->BreakerM);
   if (ShardIdx >= TS->Breakers.size())
-    return;
+    return false;
   TenantState::Breaker &B = TS->Breakers[ShardIdx];
   if (Success) {
     B.Consecutive = 0;
     B.State = 0;
-    return;
+    return false;
   }
   ++B.Consecutive;
   if (B.State == 2 || B.Consecutive >= TS->Policy.BreakerThreshold) {
-    if (B.State != 1)
+    bool Opened = B.State != 1;
+    if (Opened)
       ++B.Trips;
     B.State = 1;
     B.OpenedAt = std::chrono::steady_clock::now();
     B.Consecutive = 0;
+    return Opened;
   }
+  return false;
+}
+
+void ServerContext::flightDump(unsigned ShardIdx, const std::string &Reason,
+                               const std::string &Detail) {
+  if (ShardIdx < Shards.size())
+    Shards[ShardIdx]->flight().dump(Reason, Detail);
 }
 
 Shard *ServerContext::pickShardFor(TenantState *TS, const Shard *Exclude) {
@@ -135,11 +151,13 @@ Shard *ServerContext::pickShardFor(TenantState *TS, const Shard *Exclude) {
 std::future<JobResult> ServerContext::submit(const std::string &Tenant,
                                              Job Work) {
   TenantState *TS = tenant(Tenant);
+  uint64_t MintedTraceId = 0;
   auto RejectNow = [&](const char *Why) {
     std::promise<JobResult> P;
     JobResult R;
     R.Outcome = JobOutcome::Rejected;
     R.Error = Why;
+    R.TraceId = MintedTraceId;
     if (TS)
       TS->record(R);
     P.set_value(std::move(R));
@@ -156,12 +174,23 @@ std::future<JobResult> ServerContext::submit(const std::string &Tenant,
   T.Enqueued = std::chrono::steady_clock::now();
   if (TS->Policy.Deadline.count() > 0)
     T.AbsDeadline = T.Enqueued + TS->Policy.Deadline;
+  // Mint the job's causal identity at admission: one TraceId for its
+  // whole life, SpanId 1 for this first execution attempt.
+  MintedTraceId = NextTraceId.fetch_add(1, std::memory_order_relaxed) + 1;
+  T.Ctx = {MintedTraceId, 1};
   std::future<JobResult> F = T.Promise.get_future();
   Shard *S = pickShardFor(TS);
   if (!S)
     return RejectNow("no admissible shard (quarantined or circuit open)");
   // Count the job in flight before the enqueue: the completion path
-  // may run (and decrement) before this thread resumes.
+  // may run (and decrement) before this thread resumes. The /statusz
+  // registry entry follows the same rule — registered before enqueue,
+  // erased by resolveTerminal (possibly before this thread resumes).
+  {
+    std::lock_guard<std::mutex> Lock(JobsM);
+    InFlightJobs[MintedTraceId] = {TS->Policy.Name, T.Work.Kind, T.Enqueued,
+                                   T.Attempt};
+  }
   InFlight.fetch_add(1, std::memory_order_relaxed);
   if (!S->enqueue(std::move(T))) {
     {
@@ -169,6 +198,10 @@ std::future<JobResult> ServerContext::submit(const std::string &Tenant,
       InFlight.fetch_sub(1, std::memory_order_relaxed);
     }
     RetryCV.notify_all();
+    {
+      std::lock_guard<std::mutex> Lock(JobsM);
+      InFlightJobs.erase(MintedTraceId);
+    }
     return RejectNow("shard queue full");
   }
   return F;
@@ -178,12 +211,33 @@ void ServerContext::onJobFinished(Ticket &&T, JobResult &&R) {
   TenantState *TS = T.Tenant;
   const bool Failure = R.Outcome == JobOutcome::TimedOut ||
                        R.Outcome == JobOutcome::Faulted;
-  if (R.Executed)
+  if (R.Executed) {
     // The attempt actually ran on R.Shard — feed the breaker. Results
     // produced without running a body (shutdown rejects, a deadline
     // that was exhausted while the job sat queued or in backoff) say
     // nothing about shard health and must not trip its breaker.
-    breakerRecord(TS, R.Shard, !Failure);
+    const bool BreakerOpened = breakerRecord(TS, R.Shard, !Failure);
+    // Anomalies snapshot the executing shard's flight recorder while
+    // the interesting window is still in its rings. Rate-limited per
+    // shard, so a burst costs one dump.
+    if (BreakerOpened)
+      flightDump(R.Shard, "breaker-open",
+                 "tenant " + TS->Policy.Name + " opened its breaker, trace " +
+                     std::to_string(T.Ctx.TraceId));
+    else if (R.Stats.Spec.ContainedCrashes > 0)
+      flightDump(R.Shard, "contained-crash",
+                 "job trace " + std::to_string(T.Ctx.TraceId) + " contained " +
+                     std::to_string(R.Stats.Spec.ContainedCrashes) +
+                     " crash(es)");
+    else if (R.Stats.Spec.RunawayCancels > 0)
+      flightDump(R.Shard, "runaway",
+                 "job trace " + std::to_string(T.Ctx.TraceId) +
+                     " abandoned runaway attempt(s)");
+    else if (R.Outcome == JobOutcome::TimedOut)
+      flightDump(R.Shard, "job-timeout",
+                 "job trace " + std::to_string(T.Ctx.TraceId) +
+                     " expired its deadline");
+  }
   if (Failure && T.Attempt <= TS->Policy.MaxRetries &&
       !Down.load(std::memory_order_acquire)) {
     // Exponential backoff, capped, plus up to 25% jitter so synchronized
@@ -206,6 +260,15 @@ void ServerContext::onJobFinished(Ticket &&T, JobResult &&R) {
     if (T.AbsDeadline == std::chrono::steady_clock::time_point{} ||
         NotBefore < T.AbsDeadline) {
       ++T.Attempt;
+      // Same TraceId, next span: the retry's events stay correlated to
+      // the job but distinguishable from the failed attempt's.
+      T.Ctx.SpanId = static_cast<uint32_t>(T.Attempt);
+      {
+        std::lock_guard<std::mutex> JobsLock(JobsM);
+        auto It = InFlightJobs.find(T.Ctx.TraceId);
+        if (It != InFlightJobs.end())
+          It->second.Attempt = T.Attempt;
+      }
       TS->Retries.fetch_add(1, std::memory_order_relaxed);
       RetryQueue.push_back({std::move(T), std::move(R), NotBefore});
       Lock.unlock();
@@ -220,7 +283,12 @@ void ServerContext::onJobFinished(Ticket &&T, JobResult &&R) {
 void ServerContext::resolveTerminal(Ticket &&T, JobResult &&R) {
   // Record before releasing the in-flight slot so drain() returning
   // implies the aggregates already include this job.
+  R.TraceId = T.Ctx.TraceId;
   T.Tenant->record(R);
+  {
+    std::lock_guard<std::mutex> Lock(JobsM);
+    InFlightJobs.erase(T.Ctx.TraceId);
+  }
   {
     std::lock_guard<std::mutex> Lock(RetryM);
     InFlight.fetch_sub(1, std::memory_order_relaxed);
@@ -293,6 +361,11 @@ void ServerContext::healthLoop() {
           --Healthy;
           S.setQuarantined(true);
           Quarantines[I].fetch_add(1, std::memory_order_relaxed);
+          // Post-mortem while the stuck window is still in the rings:
+          // what was the shard doing in the run-up to the quarantine?
+          flightDump(static_cast<unsigned>(I), "quarantine",
+                     "dispatcher stuck for " +
+                         std::to_string((Now - BusySince) / 1000000) + " ms");
           for (Ticket &T : S.takeQueued()) {
             Shard *Target = pickShardFor(T.Tenant, &S);
             if (Target && Target->enqueue(std::move(T)))
@@ -578,7 +651,237 @@ std::string ServerContext::metricsText() const {
     }
   }
 
+  // Ring-overwrite loss is a first-class signal: a nonzero rate means
+  // the retained window is shorter than the rings advertise. One family
+  // covers both sink populations — shard flight recorders ({shard}) and
+  // tenant tracers ({tenant}).
+  W.family("specd_trace_dropped_events_total",
+           "Trace events lost to ring overwrite, per shard flight "
+           "recorder and per tenant tracer.",
+           "counter");
+  for (auto &S : Shards)
+    W.sample("specd_trace_dropped_events_total",
+             {{"shard", std::to_string(S->index())}},
+             S->flight().tracer().droppedEvents());
+  for (TenantState *TS : States)
+    if (TS->Trace)
+      W.sample("specd_trace_dropped_events_total",
+               {{"tenant", TS->Policy.Name}}, TS->Trace->droppedEvents());
+
+  W.family("specd_flight_dump_requests_total",
+           "Anomaly dump requests per shard flight recorder (written + "
+           "rate-limited/suppressed).",
+           "counter");
+  for (auto &S : Shards)
+    W.sample("specd_flight_dump_requests_total",
+             {{"shard", std::to_string(S->index())}},
+             S->flight().dumpRequests());
+  W.family("specd_flight_dumps_written_total",
+           "Post-mortem flight dumps written per shard.", "counter");
+  for (auto &S : Shards)
+    W.sample("specd_flight_dumps_written_total",
+             {{"shard", std::to_string(S->index())}},
+             S->flight().dumpsWritten());
+
   return std::move(W).str();
+}
+
+std::string ServerContext::statusJson() const {
+  const auto Now = std::chrono::steady_clock::now();
+  const int64_t NowNs =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Now.time_since_epoch())
+          .count();
+  std::string J = "{\"health\":";
+  appendJsonString(J, serverHealthName(health()));
+
+  J += ",\"shards\":[";
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    const Shard &S = *Shards[I];
+    const int64_t BusySince = S.busySinceNs();
+    const rt::FlightRecorder &FR = S.flight();
+    if (I)
+      J += ",";
+    J += formatString(
+        "{\"index\":%u,\"healthy\":%s,\"queue_depth\":%zu,\"load\":%llu,"
+        "\"completed\":%llu,\"quarantines\":%llu,\"busy_ms\":%.1f,"
+        "\"flight\":{\"recorded\":%llu,\"dropped\":%llu,"
+        "\"dump_requests\":%llu,\"dumps_written\":%llu}}",
+        S.index(), S.quarantined() ? "false" : "true", S.queueDepth(),
+        static_cast<unsigned long long>(S.load()),
+        static_cast<unsigned long long>(S.completedJobs()),
+        static_cast<unsigned long long>(shardQuarantines(S.index())),
+        BusySince ? static_cast<double>(NowNs - BusySince) / 1e6 : 0.0,
+        static_cast<unsigned long long>(FR.tracer().recordedEvents()),
+        static_cast<unsigned long long>(FR.tracer().droppedEvents()),
+        static_cast<unsigned long long>(FR.dumpRequests()),
+        static_cast<unsigned long long>(FR.dumpsWritten()));
+  }
+  J += "]";
+
+  std::vector<TenantState *> States;
+  {
+    std::lock_guard<std::mutex> Lock(TenantsM);
+    for (auto &KV : Tenants)
+      States.push_back(KV.second.get());
+  }
+  J += ",\"tenants\":[";
+  for (size_t I = 0; I < States.size(); ++I) {
+    TenantState *TS = States[I];
+    if (I)
+      J += ",";
+    J += "{\"name\":";
+    appendJsonString(J, TS->Policy.Name);
+    auto Outcomes = TS->outcomes();
+    J += ",\"outcomes\":{";
+    for (size_t O = 0; O < Outcomes.size(); ++O)
+      J += formatString(
+          "%s\"%s\":%llu", O ? "," : "",
+          jobOutcomeName(static_cast<JobOutcome>(O)),
+          static_cast<unsigned long long>(Outcomes[O]));
+    J += formatString("},\"retries\":%llu",
+                      static_cast<unsigned long long>(
+                          TS->Retries.load(std::memory_order_relaxed)));
+    if (TS->Trace)
+      J += formatString(",\"trace_dropped\":%llu",
+                        static_cast<unsigned long long>(
+                            TS->Trace->droppedEvents()));
+    if (TS->Policy.BreakerThreshold > 0) {
+      J += ",\"breakers\":[";
+      std::lock_guard<std::mutex> Lock(TS->BreakerM);
+      for (size_t B = 0; B < TS->Breakers.size(); ++B)
+        J += formatString(
+            "%s{\"shard\":%zu,\"state\":%u,\"trips\":%llu}", B ? "," : "", B,
+            static_cast<unsigned>(TS->Breakers[B].State),
+            static_cast<unsigned long long>(TS->Breakers[B].Trips));
+      J += "]";
+    }
+    if (TS->Profile) {
+      J += ",\"profile_sites\":[";
+      std::vector<std::string> Sites = TS->Profile->sites();
+      for (size_t P = 0; P < Sites.size(); ++P) {
+        rt::SiteProfile SP = TS->Profile->site(Sites[P]);
+        if (P)
+          J += ",";
+        J += "{\"site\":";
+        appendJsonString(J, Sites[P]);
+        J += formatString(
+            ",\"runs\":%lld,\"chunk\":%lld,\"degrade_trips\":%lld,"
+            "\"predictor_switches\":%lld}",
+            static_cast<long long>(SP.Runs),
+            static_cast<long long>(SP.ChunkSize),
+            static_cast<long long>(SP.DegradeTrips),
+            static_cast<long long>(SP.PredictorSwitches));
+      }
+      J += "]";
+    }
+    J += "}";
+  }
+  J += "]";
+
+  J += ",\"in_flight\":[";
+  {
+    std::lock_guard<std::mutex> Lock(JobsM);
+    bool First = true;
+    for (const auto &KV : InFlightJobs) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += formatString("{\"trace_id\":%llu,\"tenant\":",
+                        static_cast<unsigned long long>(KV.first));
+      appendJsonString(J, KV.second.Tenant);
+      J += formatString(
+          ",\"kind\":\"%s\",\"attempt\":%d,\"age_ms\":%.1f}",
+          jobKindName(KV.second.Kind), KV.second.Attempt,
+          std::chrono::duration<double, std::milli>(Now - KV.second.Enqueued)
+              .count());
+    }
+  }
+  J += "]}";
+  return J;
+}
+
+bool ServerContext::traceJson(uint64_t TraceId, std::string &Out) const {
+  // One span per execution attempt; the shard whose recorder retained
+  // the span's events is the shard that ran it. Timestamps are each
+  // recorder's own clock (ns since that recorder's construction) —
+  // comparable within a span, not across shards.
+  struct SpanAcc {
+    unsigned ShardIdx = 0;
+    std::vector<rt::SpecEvent> Events;
+  };
+  std::map<uint32_t, SpanAcc> Spans;
+  for (const auto &S : Shards)
+    for (const rt::SpecEvent &E : S->flight().recentEvents()) {
+      if (E.JobId != TraceId)
+        continue;
+      SpanAcc &A = Spans[E.SpanId];
+      if (A.Events.empty())
+        A.ShardIdx = S->index();
+      A.Events.push_back(E);
+    }
+  if (Spans.empty())
+    return false;
+
+  auto EventJson = [](const rt::SpecEvent &E) {
+    return formatString(
+        "{\"ts_us\":%.3f,\"kind\":\"%s\",\"index\":%lld,\"thread\":%u}",
+        static_cast<double>(E.TimeNs) / 1e3, rt::specEventKindName(E.Kind),
+        static_cast<long long>(E.Index), E.ThreadId);
+  };
+
+  std::string J = formatString("{\"trace_id\":%llu,\"spans\":[",
+                               static_cast<unsigned long long>(TraceId));
+  bool FirstSpan = true;
+  for (const auto &KV : Spans) {
+    const SpanAcc &A = KV.second;
+    if (!FirstSpan)
+      J += ",";
+    FirstSpan = false;
+    J += formatString(
+        "{\"span\":%u,\"shard\":%u,\"events\":%zu,\"first_ts_us\":%.3f,"
+        "\"last_ts_us\":%.3f",
+        KV.first, A.ShardIdx, A.Events.size(),
+        static_cast<double>(A.Events.front().TimeNs) / 1e3,
+        static_cast<double>(A.Events.back().TimeNs) / 1e3);
+    // Attempt sub-spans (AttemptId 0 = run-level events: degrade,
+    // autotune, timeout...). Ordered map keeps dispatch order — attempt
+    // ids are minted monotonically per shard recorder.
+    std::map<uint64_t, std::vector<const rt::SpecEvent *>> ByAttempt;
+    for (const rt::SpecEvent &E : A.Events)
+      ByAttempt[E.AttemptId].push_back(&E);
+    J += ",\"run_events\":[";
+    bool First = true;
+    for (const rt::SpecEvent *E : ByAttempt[0]) {
+      if (!First)
+        J += ",";
+      First = false;
+      J += EventJson(*E);
+    }
+    J += "],\"attempts\":[";
+    bool FirstAttempt = true;
+    for (const auto &AKV : ByAttempt) {
+      if (AKV.first == 0)
+        continue;
+      if (!FirstAttempt)
+        J += ",";
+      FirstAttempt = false;
+      J += formatString("{\"attempt\":%llu,\"events\":[",
+                        static_cast<unsigned long long>(AKV.first));
+      bool FirstEv = true;
+      for (const rt::SpecEvent *E : AKV.second) {
+        if (!FirstEv)
+          J += ",";
+        FirstEv = false;
+        J += EventJson(*E);
+      }
+      J += "]}";
+    }
+    J += "]}";
+  }
+  J += "]}";
+  Out = std::move(J);
+  return true;
 }
 
 } // namespace serving

@@ -71,6 +71,14 @@ struct ServerOptions {
   bool HealthWatchdog = true;
   std::chrono::nanoseconds StuckAfter{std::chrono::milliseconds(500)};
   std::chrono::nanoseconds HealthPeriod{std::chrono::milliseconds(20)};
+  /// Flight recorder (one per shard, always armed): where anomaly dumps
+  /// go (empty = keep events in memory but write no dumps), how far back
+  /// the retained window reaches, the per-thread ring capacity, and the
+  /// per-shard minimum spacing between written dumps.
+  std::string FlightDir;
+  std::chrono::nanoseconds FlightRetain{std::chrono::seconds(30)};
+  size_t FlightRingCapacity = 1 << 12;
+  std::chrono::nanoseconds FlightMinDumpGap{std::chrono::seconds(2)};
 };
 
 class ServerContext {
@@ -104,6 +112,18 @@ public:
   /// (version 0.0.4).
   std::string metricsText() const;
 
+  /// Live-introspection JSON for `GET /statusz`: per-shard health /
+  /// backlog / flight-recorder state, per-tenant outcome tallies and
+  /// breaker states, profile-store site summaries, and every in-flight
+  /// job with its age, attempt, and TraceId.
+  std::string statusJson() const;
+
+  /// Reassembles the span tree of job \p TraceId from the shards'
+  /// flight-recorder windows into \p Out (JSON). False when no retained
+  /// event carries that id — evicted, never admitted, or unknown — in
+  /// which case `/debug/trace` answers 404.
+  bool traceJson(uint64_t TraceId, std::string &Out) const;
+
   unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
   Shard &shard(unsigned I) { return *Shards[I]; }
   const Shard &shard(unsigned I) const { return *Shards[I]; }
@@ -135,7 +155,16 @@ private:
   void resolveTerminal(Ticket &&T, JobResult &&R);
 
   bool breakerAllows(TenantState *TS, unsigned ShardIdx);
-  void breakerRecord(TenantState *TS, unsigned ShardIdx, bool Success);
+  /// Returns true when this record *opened* the breaker (a closed or
+  /// half-open breaker transitioned to open) — an anomaly worth a
+  /// flight dump.
+  bool breakerRecord(TenantState *TS, unsigned ShardIdx, bool Success);
+
+  /// Requests a post-mortem dump from shard \p ShardIdx's flight
+  /// recorder (no-op unless `ServerOptions::FlightDir` is set;
+  /// rate-limited per shard).
+  void flightDump(unsigned ShardIdx, const std::string &Reason,
+                  const std::string &Detail);
 
   void retryLoop();
   void healthLoop();
@@ -149,7 +178,20 @@ private:
   std::map<std::string, std::unique_ptr<TenantState>> Tenants;
 
   std::atomic<uint64_t> NextShard{0}; ///< RoundRobin cursor.
+  std::atomic<uint64_t> NextTraceId{0}; ///< Causal trace ids, from 1.
   std::atomic<bool> Down{false};
+
+  /// What /statusz reports about a job that was admitted but has not
+  /// terminally resolved (queued, running, or waiting out retry
+  /// backoff). Keyed by TraceId in `InFlightJobs`.
+  struct InFlightJob {
+    std::string Tenant;
+    JobKind Kind = JobKind::Lex;
+    std::chrono::steady_clock::time_point Enqueued;
+    int Attempt = 1;
+  };
+  mutable std::mutex JobsM;
+  std::map<uint64_t, InFlightJob> InFlightJobs;
 
   /// A failed job waiting out its backoff before re-admission.
   struct RetryEntry {

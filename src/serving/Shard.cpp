@@ -47,10 +47,25 @@ const char *jobOutcomeName(JobOutcome O) {
   return "?";
 }
 
+namespace {
+/// Per-shard identity for the flight recorder: its own dump-file label
+/// and a disjoint attempt-id namespace (shard index in the high bits),
+/// so two shards' recorders tee'ing into one shared tenant tracer can
+/// never collide on an attempt id.
+rt::FlightRecorder::Options
+shardFlightOptions(unsigned Index, rt::FlightRecorder::Options O) {
+  O.Label = "shard" + std::to_string(Index);
+  O.AttemptIdBase = (static_cast<uint64_t>(Index) + 1) << 48;
+  return O;
+}
+} // namespace
+
 Shard::Shard(unsigned Index, unsigned NumThreads, size_t QueueCapacity,
-             const WorkloadCatalog &Catalog)
+             const WorkloadCatalog &Catalog,
+             rt::FlightRecorder::Options FlightOpts)
     : Index(Index), QueueCapacity(QueueCapacity), Catalog(Catalog),
       Ex(rt::SpecExecutor::create(NumThreads)),
+      Flight(shardFlightOptions(Index, std::move(FlightOpts))),
       Dispatcher([this] { dispatchLoop(); }) {}
 
 Shard::~Shard() {
@@ -148,7 +163,7 @@ void Shard::dispatchLoop() {
                           .count(),
                       std::memory_order_release);
 
-    JobResult R = runJob(T.Work, *T.Tenant, T.AbsDeadline);
+    JobResult R = runJob(T.Work, *T.Tenant, T.AbsDeadline, T.Ctx);
     R.Shard = Index;
     // Attempts counts executions that actually ran a body; a job whose
     // budget expired before dispatch didn't use this attempt.
@@ -169,6 +184,9 @@ void Shard::dispatchLoop() {
 }
 
 void Shard::finish(Ticket &&T, JobResult &&R) {
+  // Every result answers "which TraceId was this?" — including the
+  // stopping-reject path that never reached runJob.
+  R.TraceId = T.Ctx.TraceId;
   CompletionFn Fn;
   {
     std::lock_guard<std::mutex> Lock(M);
@@ -185,9 +203,36 @@ void Shard::finish(Ticket &&T, JobResult &&R) {
 }
 
 JobResult Shard::runJob(const Job &Work, TenantState &Tenant,
-                        std::chrono::steady_clock::time_point AbsDeadline) {
+                        std::chrono::steady_clock::time_point AbsDeadline,
+                        rt::TraceContext Ctx) {
   JobResult R;
-  rt::SpecConfig Cfg = Tenant.Policy.toConfig(Ex, Tenant.Trace.get());
+  // The shard's flight recorder is the run's primary sink — always on,
+  // so post-mortems exist even for untraced tenants — and tees into the
+  // tenant's own tracer when one is configured. The tee is installed
+  // only for this job's duration; the dispatcher runs one job at a
+  // time, so no other run can observe the wrong tenant sink.
+  rt::Tracer &FlightTr = Flight.tracer();
+  struct TeeGuard {
+    rt::Tracer &Tr;
+    ~TeeGuard() { Tr.forwardTo(nullptr); }
+  } Tee{FlightTr};
+  FlightTr.forwardTo(Tenant.Trace.get());
+  // Bracket the whole job with a Start/Finish pair of its own (Index =
+  // job kind), so even a job that never drives the speculation runtime
+  // (a sleeping callable, a pre-dispatch deadline expiry) leaves a span
+  // `/debug/trace` can find, and the job renders as one duration slice
+  // around its attempts in the Chrome dump.
+  struct JobMarker {
+    rt::Tracer &Tr;
+    int64_t Kind;
+    uint64_t AId;
+    rt::TraceContext Ctx;
+    ~JobMarker() { Tr.record(rt::SpecEventKind::Finish, Kind, AId, Ctx); }
+  } Marker{FlightTr, static_cast<int64_t>(Work.Kind), FlightTr.newAttemptId(),
+           Ctx};
+  FlightTr.record(rt::SpecEventKind::Start, Marker.Kind, Marker.AId, Ctx);
+  rt::SpecConfig Cfg = Tenant.Policy.toConfig(Ex, &FlightTr);
+  Cfg.traceContext(Ctx);
   if (Tenant.Profile)
     // Key the profile per job kind: lex and decode converge to very
     // different chunk sizes, so they must not share a site.

@@ -19,6 +19,7 @@
 #ifndef SPECPAR_SERVING_SHARD_H
 #define SPECPAR_SERVING_SHARD_H
 
+#include "runtime/FlightRecorder.h"
 #include "runtime/ProfileStore.h"
 #include "runtime/Speculation.h"
 #include "serving/Job.h"
@@ -122,6 +123,10 @@ struct Ticket {
   /// when the tenant has no deadline). Every attempt — first or retry —
   /// runs under whatever remains, never a fresh full deadline.
   std::chrono::steady_clock::time_point AbsDeadline{};
+  /// Causal trace identity: TraceId minted once at admission, SpanId
+  /// re-stamped per execution attempt (= Attempt), so every runtime
+  /// event of every attempt of this job carries the same TraceId.
+  rt::TraceContext Ctx;
 };
 
 class Shard {
@@ -134,8 +139,13 @@ public:
 
   /// \p NumThreads workers back this shard's executor; \p QueueCapacity
   /// bounds the admission queue (enqueue() refuses beyond it).
+  /// \p FlightOpts configures the shard's always-on flight recorder
+  /// (dump dir, retention); its Label and AttemptIdBase are overridden
+  /// per shard so every shard dumps under its own name and mints attempt
+  /// ids in its own namespace.
   Shard(unsigned Index, unsigned NumThreads, size_t QueueCapacity,
-        const WorkloadCatalog &Catalog);
+        const WorkloadCatalog &Catalog,
+        rt::FlightRecorder::Options FlightOpts = rt::FlightRecorder::Options());
 
   /// Stops the dispatch thread; queued-but-unstarted tickets are
   /// resolved as Rejected so no future is ever broken.
@@ -192,16 +202,24 @@ public:
   const std::shared_ptr<rt::SpecExecutor> &executor() const { return Ex; }
   rt::ExecutorStats executorStats() const { return Ex->stats(); }
 
+  /// The shard's always-on flight recorder: primary trace sink of every
+  /// job this shard runs (tenant tracers are tee'd off it), retaining
+  /// the recent-event window anomaly dumps and `/debug/trace` read.
+  rt::FlightRecorder &flight() { return Flight; }
+  const rt::FlightRecorder &flight() const { return Flight; }
+
 private:
   void dispatchLoop();
   void finish(Ticket &&T, JobResult &&R);
   JobResult runJob(const Job &Work, TenantState &Tenant,
-                   std::chrono::steady_clock::time_point AbsDeadline);
+                   std::chrono::steady_clock::time_point AbsDeadline,
+                   rt::TraceContext Ctx);
 
   const unsigned Index;
   const size_t QueueCapacity;
   const WorkloadCatalog &Catalog;
   const std::shared_ptr<rt::SpecExecutor> Ex;
+  rt::FlightRecorder Flight;
 
   mutable std::mutex M;
   std::condition_variable QueueCV; ///< Signals the dispatch thread.

@@ -23,18 +23,25 @@
 ///    and retries, and a wedged job gets its shard quarantined by the
 ///    health watchdog. PASS requires every admitted job to resolve
 ///    (Ok/TimedOut/Faulted — never lost, never rejected), /healthz to
-///    report degraded while the shard is out, and /metrics to show
-///    nonzero contained crashes, retries, and quarantines.
+///    report degraded while the shard is out, /metrics to show nonzero
+///    contained crashes, retries, and quarantines, the quarantine to
+///    leave a valid Chrome-trace flight dump under --flight-dir, and
+///    /statusz + /debug/trace to serve the span tree of an executed
+///    job by the TraceId its JobResult reported.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "serving/HttpMetricsServer.h"
 #include "serving/ServerContext.h"
 #include "support/CommandLine.h"
+#include "support/Json.h"
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -115,10 +122,57 @@ int runSmoke(ServerContext &Ctx, HttpMetricsServer &Http, int JobsPerTenant) {
   return 0;
 }
 
+/// The body of an `HttpMetricsServer::get` response (everything past the
+/// header terminator), empty when malformed.
+std::string httpBody(const std::string &Resp) {
+  const size_t At = Resp.find("\r\n\r\n");
+  return At == std::string::npos ? std::string() : Resp.substr(At + 4);
+}
+
+/// Polls \p Dir for up to ~2s until a flight dump pair appears, then
+/// validates the Chrome-trace JSON. Returns true when at least one dump
+/// exists and every `.trace.json` in the dir parses as valid JSON.
+bool checkFlightDumps(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Traces;
+  for (int Spin = 0; Spin < 200; ++Spin) {
+    Traces.clear();
+    std::error_code EC;
+    for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
+      const std::string Name = Entry.path().filename().string();
+      if (Name.size() > 11 &&
+          Name.compare(Name.size() - 11, 11, ".trace.json") == 0)
+        Traces.push_back(Entry.path().string());
+    }
+    if (!Traces.empty())
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (Traces.empty()) {
+    std::fprintf(stderr, "specd --chaos-smoke: no flight dump in %s\n",
+                 Dir.c_str());
+    return false;
+  }
+  for (const std::string &Path : Traces) {
+    std::ifstream In(Path);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    std::string Err;
+    if (!validateJson(SS.str(), &Err)) {
+      std::fprintf(stderr, "specd --chaos-smoke: invalid dump %s: %s\n",
+                   Path.c_str(), Err.c_str());
+      return false;
+    }
+  }
+  std::printf("specd --chaos-smoke: %zu valid flight dump(s) in %s\n",
+              Traces.size(), Dir.c_str());
+  return true;
+}
+
 /// The --chaos-smoke exercise. The tenants and fault plans are set up
 /// by main(); this drives the traffic and verdicts.
 int runChaosSmoke(ServerContext &Ctx, HttpMetricsServer &Http,
-                  int JobsPerTenant) {
+                  int JobsPerTenant, const std::string &FlightDir) {
   // Wedge one shard: a job that sleeps far past the watchdog's
   // StuckAfter. The health loop must quarantine the shard, re-dispatch
   // its backlog, and reinstate it once the sleep ends.
@@ -160,7 +214,10 @@ int runChaosSmoke(ServerContext &Ctx, HttpMetricsServer &Http,
 
   // Every admitted job must resolve — lost futures hang right here.
   int Ok = 0, TimedOut = 0, Faulted = 0, Rejected = 0;
+  uint64_t TracedJobId = 0; // TraceId of some job that actually executed
   auto Tally = [&](JobResult R) {
+    if (R.Executed && R.TraceId != 0)
+      TracedJobId = R.TraceId;
     switch (R.Outcome) {
     case JobOutcome::Ok:
       ++Ok;
@@ -209,9 +266,49 @@ int runChaosSmoke(ServerContext &Ctx, HttpMetricsServer &Http,
               "retries=%d quarantines=%d degraded_healthz=%d\n",
               HttpOk, HasCrashes, HasRetries, HasQuarantines, SawDegraded);
 
+  // The quarantine above must have produced a post-mortem flight dump,
+  // and it must be well-formed Chrome-trace JSON.
+  const bool DumpOk = checkFlightDumps(FlightDir);
+
+  // Live introspection: /statusz must be valid JSON naming the chaos
+  // tenants, and the span tree of an executed job must be retrievable
+  // by the TraceId its JobResult reported while an unknown id 404s.
+  std::string StatusErr;
+  const std::string StatusResp =
+      HttpMetricsServer::get(Http.port(), "/statusz");
+  const std::string StatusBody = httpBody(StatusResp);
+  const bool StatusOk = StatusResp.rfind("HTTP/1.1 200", 0) == 0 &&
+                        validateJson(StatusBody, &StatusErr) &&
+                        StatusBody.find("\"crashy\"") != std::string::npos &&
+                        StatusBody.find("\"shards\"") != std::string::npos;
+  if (!StatusOk)
+    std::fprintf(stderr, "specd --chaos-smoke: bad /statusz: %s\n",
+                 StatusErr.empty() ? "missing fields" : StatusErr.c_str());
+
+  std::string TraceErr;
+  const std::string TraceResp = HttpMetricsServer::get(
+      Http.port(), "/debug/trace?id=" + std::to_string(TracedJobId));
+  const std::string TraceBody = httpBody(TraceResp);
+  const bool TraceOk =
+      TracedJobId != 0 && TraceResp.rfind("HTTP/1.1 200", 0) == 0 &&
+      validateJson(TraceBody, &TraceErr) &&
+      TraceBody.find("\"trace_id\":" + std::to_string(TracedJobId)) !=
+          std::string::npos &&
+      TraceBody.find("\"spans\"") != std::string::npos;
+  if (!TraceOk)
+    std::fprintf(stderr, "specd --chaos-smoke: bad /debug/trace for id %llu\n",
+                 static_cast<unsigned long long>(TracedJobId));
+  const bool Trace404 =
+      HttpMetricsServer::get(Http.port(), "/debug/trace?id=999999999")
+          .rfind("HTTP/1.1 404", 0) == 0;
+  std::printf("specd --chaos-smoke: flight_dump=%d statusz=%d trace=%d "
+              "trace_404=%d\n",
+              DumpOk, StatusOk, TraceOk, Trace404);
+
   if (static_cast<size_t>(Ok + TimedOut + Faulted + Rejected) != Submitted ||
       Rejected > 0 || !HttpOk || !HasCrashes || !HasRetries ||
-      !HasQuarantines || !SawDegraded) {
+      !HasQuarantines || !SawDegraded || !DumpOk || !StatusOk || !TraceOk ||
+      !Trace404) {
     std::printf("specd --chaos-smoke: FAIL\n");
     return 1;
   }
@@ -239,6 +336,10 @@ int main(int Argc, char **Argv) {
       "chaos-smoke", "run the smoke exercise under injected faults");
   int64_t *SmokeJobs =
       Args.intOption("smoke-jobs", 9, "jobs per tenant in --smoke");
+  std::string *FlightDir = Args.strOption(
+      "flight-dir", "",
+      "directory for flight-recorder anomaly dumps (empty: in-memory only; "
+      "--chaos-smoke defaults it to specd-flight-dumps)");
   if (!Args.parse(Argc, Argv))
     return Args.helpRequested() ? 0 : 2;
 
@@ -251,11 +352,18 @@ int main(int Argc, char **Argv) {
   Opts.WorkloadScale = *Scale;
   if (*ChaosSmoke) {
     // Chaos wants the watchdog to catch the wedged job well inside the
-    // exercise, and round-robin so some burst jobs queue behind it.
+    // exercise, and round-robin so some burst jobs queue behind it. It
+    // also asserts on the anomaly dumps, so it always writes them.
     Opts.Admission = AdmissionPolicy::RoundRobin;
     Opts.StuckAfter = std::chrono::milliseconds(80);
     Opts.HealthPeriod = std::chrono::milliseconds(10);
+    if (FlightDir->empty())
+      *FlightDir = "specd-flight-dumps";
+    // The smoke induces several anomalies back to back; don't let the
+    // rate limiter swallow the one the verdict looks for.
+    Opts.FlightMinDumpGap = std::chrono::milliseconds(0);
   }
+  Opts.FlightDir = *FlightDir;
 
   // Fault plans for --chaos-smoke; declared before the context so they
   // outlive every job that probes them.
@@ -322,9 +430,10 @@ int main(int Argc, char **Argv) {
               static_cast<long long>(*Shards), Http.port());
 
   if (*Smoke || *ChaosSmoke) {
-    int Rc = *ChaosSmoke
-                 ? runChaosSmoke(Ctx, Http, static_cast<int>(*SmokeJobs))
-                 : runSmoke(Ctx, Http, static_cast<int>(*SmokeJobs));
+    int Rc = *ChaosSmoke ? runChaosSmoke(Ctx, Http,
+                                         static_cast<int>(*SmokeJobs),
+                                         *FlightDir)
+                         : runSmoke(Ctx, Http, static_cast<int>(*SmokeJobs));
     Ctx.shutdown();
     return Rc;
   }

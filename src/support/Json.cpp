@@ -1,0 +1,253 @@
+//===- support/Json.cpp - Minimal JSON syntax validation ------------------===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace specpar;
+
+namespace {
+
+/// Recursive-descent checker over the RFC 8259 grammar. Tracks only a
+/// position and a first-error offset; values are consumed, not built.
+struct Validator {
+  const std::string &S;
+  size_t Pos = 0;
+  size_t ErrAt = 0;
+  const char *ErrMsg = nullptr;
+  int Depth = 0;
+
+  /// Pathological nesting guard: the recursion below is bounded by input
+  /// depth, and a hostile "[[[[..." must not overflow the stack.
+  static constexpr int kMaxDepth = 256;
+
+  explicit Validator(const std::string &S) : S(S) {}
+
+  bool fail(const char *Msg) {
+    if (!ErrMsg) {
+      ErrMsg = Msg;
+      ErrAt = Pos;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t P = Pos;
+    for (; *Lit; ++Lit, ++P)
+      if (P >= S.size() || S[P] != *Lit)
+        return fail("invalid literal");
+    Pos = P;
+    return true;
+  }
+
+  bool string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < S.size()) {
+      unsigned char C = static_cast<unsigned char>(S[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("raw control character in string");
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return fail("truncated escape");
+        char E = S[Pos++];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I, ++Pos)
+            if (Pos >= S.size() ||
+                !std::isxdigit(static_cast<unsigned char>(S[Pos])))
+              return fail("bad \\u escape");
+        } else if (E != '"' && E != '\\' && E != '/' && E != 'b' &&
+                   E != 'f' && E != 'n' && E != 'r' && E != 't') {
+          return fail("bad escape character");
+        }
+        continue;
+      }
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (Pos >= S.size() || !std::isdigit(static_cast<unsigned char>(S[Pos])))
+      return fail("expected digit");
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    return true;
+  }
+
+  bool number() {
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    if (Pos < S.size() && S[Pos] == '0') {
+      ++Pos; // No leading zeros: "0" is complete, "01" is not.
+    } else if (!digits()) {
+      return false;
+    }
+    if (Pos < S.size() && S[Pos] == '.') {
+      ++Pos;
+      if (!digits())
+        return false;
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
+        ++Pos;
+      if (!digits())
+        return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++Depth > kMaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= S.size())
+      return fail("expected value");
+    bool Ok;
+    switch (S[Pos]) {
+    case '{':
+      Ok = object();
+      break;
+    case '[':
+      Ok = array();
+      break;
+    case '"':
+      Ok = string();
+      break;
+    case 't':
+      Ok = literal("true");
+      break;
+    case 'f':
+      Ok = literal("false");
+      break;
+    case 'n':
+      Ok = literal("null");
+      break;
+    default:
+      Ok = number();
+      break;
+    }
+    --Depth;
+    return Ok;
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+} // namespace
+
+bool specpar::validateJson(const std::string &Text, std::string *Err) {
+  Validator V(Text);
+  bool Ok = V.value();
+  if (Ok) {
+    V.skipWs();
+    if (V.Pos != Text.size()) {
+      Ok = false;
+      V.fail("trailing garbage after value");
+    }
+  }
+  if (!Ok && Err)
+    *Err = formatString("%s at offset %zu",
+                        V.ErrMsg ? V.ErrMsg : "invalid JSON", V.ErrAt);
+  return Ok;
+}
+
+void specpar::appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+}

@@ -1,0 +1,39 @@
+//===- support/Json.h - Minimal JSON syntax validation ----------*- C++ -*-===//
+//
+// Part of specpar, a reproduction of "Safe Programmable Speculative
+// Parallelism" (PLDI 2010). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free JSON *syntax* validator: does this text parse as one
+/// complete JSON value (RFC 8259 grammar — objects, arrays, strings,
+/// numbers, true/false/null), with nothing but whitespace after it?
+///
+/// It builds no value tree and resolves no semantics — the observability
+/// machinery only needs a self-check that its emitted artifacts (flight
+/// recorder Chrome-trace dumps, `/statusz` bodies) are well-formed, and
+/// the test suite needs the same check without a JSON library dependency.
+/// The serious consumers are chrome://tracing and real collectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECPAR_SUPPORT_JSON_H
+#define SPECPAR_SUPPORT_JSON_H
+
+#include <string>
+
+namespace specpar {
+
+/// True when \p Text is exactly one well-formed JSON value (plus optional
+/// surrounding whitespace). On failure, if \p Err is non-null it receives
+/// a one-line description with the byte offset of the first error.
+bool validateJson(const std::string &Text, std::string *Err = nullptr);
+
+/// Appends \p S to \p Out as a JSON string literal (quotes included),
+/// escaping quotes, backslashes, and control characters.
+void appendJsonString(std::string &Out, const std::string &S);
+
+} // namespace specpar
+
+#endif // SPECPAR_SUPPORT_JSON_H

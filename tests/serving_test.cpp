@@ -14,6 +14,7 @@
 
 #include "serving/HttpMetricsServer.h"
 #include "serving/ServerContext.h"
+#include "support/Json.h"
 
 #include "gtest/gtest.h"
 
@@ -858,6 +859,155 @@ TEST(Health, HealthzReportsOkDegradedAndDraining) {
   EXPECT_TRUE(Resp.rfind("HTTP/1.1 200", 0) == 0) << Resp.substr(0, 80);
   EXPECT_NE(Resp.find("draining\n"), std::string::npos);
   Http.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Causal tracing & live introspection
+//===----------------------------------------------------------------------===//
+
+TEST(Tracing, JobResultCarriesTheMintedTraceId) {
+  ServerContext Ctx(testOptions(1));
+  Ctx.registerTenant(basicTenant("t"));
+  JobResult A = Ctx.submit("t", Job::lex()).get();
+  JobResult B = Ctx.submit("t", Job::mwis()).get();
+  EXPECT_NE(A.TraceId, 0u);
+  EXPECT_NE(B.TraceId, 0u);
+  EXPECT_NE(A.TraceId, B.TraceId);
+  // Even a rejected-at-admission job gets an id (it was admitted far
+  // enough to mint one); only unknown tenants get none.
+  EXPECT_EQ(Ctx.submit("nobody", Job::lex()).get().TraceId, 0u);
+}
+
+TEST(Tracing, RetriedJobSpansTwoShardsUnderOneTraceId) {
+  // Attempt 1 fails on its shard and opens that shard's breaker
+  // (threshold 1), so the retry must hop to the other shard. The trace
+  // tree then has two spans — one per execution attempt — on two
+  // different shards, all under the one TraceId the JobResult reports.
+  ServerContext Ctx(testOptions(2));
+  TenantPolicy P = basicTenant("hop");
+  P.MaxRetries = 2;
+  P.RetryBackoff = std::chrono::milliseconds(2);
+  P.BreakerThreshold = 1;
+  P.BreakerResetAfter = std::chrono::seconds(30);
+  Ctx.registerTenant(P);
+
+  auto Calls = std::make_shared<std::atomic<int>>(0);
+  JobResult R =
+      Ctx.submit("hop", Job::callable([Calls](const rt::SpecConfig &Cfg) {
+        // Run a real speculative loop so runtime events (not just the
+        // job markers) carry the trace context.
+        auto Run = rt::Speculation::iterate<int64_t>(
+            0, 32, [](int64_t I, int64_t A) { return A + I; },
+            [](int64_t I) { return I * (I - 1) / 2; }, Cfg);
+        if (Calls->fetch_add(1) == 0)
+          throw std::runtime_error("transient");
+        return Run.Value;
+      })).get();
+  ASSERT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.Attempts, 2);
+  ASSERT_NE(R.TraceId, 0u);
+
+  std::string J;
+  ASSERT_TRUE(Ctx.traceJson(R.TraceId, J));
+  std::string Err;
+  EXPECT_TRUE(validateJson(J, &Err)) << Err << "\n" << J;
+  EXPECT_NE(J.find("\"trace_id\":" + std::to_string(R.TraceId)),
+            std::string::npos);
+  // One span per attempt...
+  EXPECT_NE(J.find("\"span\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"span\":2"), std::string::npos) << J;
+  // ...retained by two different shards' recorders.
+  EXPECT_NE(J.find("\"shard\":0"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"shard\":1"), std::string::npos) << J;
+
+  // The same tree over the wire.
+  HttpMetricsServer Http(Ctx, /*Port=*/0);
+  std::string Resp = HttpMetricsServer::get(
+      Http.port(), "/debug/trace?id=" + std::to_string(R.TraceId));
+  ASSERT_TRUE(Resp.rfind("HTTP/1.1 200", 0) == 0) << Resp.substr(0, 80);
+  EXPECT_NE(Resp.find("application/json"), std::string::npos);
+  EXPECT_NE(Resp.find("\"trace_id\":" + std::to_string(R.TraceId)),
+            std::string::npos);
+  Http.stop();
+}
+
+TEST(Tracing, DebugTraceAnswers404ForUnknownAnd400ForBadIds) {
+  ServerContext Ctx(testOptions(1));
+  Ctx.registerTenant(basicTenant("t"));
+  HttpMetricsServer Http(Ctx, /*Port=*/0);
+  // Never-minted id: 404, not an empty 200 — an operator must be able
+  // to tell "evicted/unknown" from "job with no events".
+  EXPECT_TRUE(HttpMetricsServer::get(Http.port(), "/debug/trace?id=987654321")
+                  .rfind("HTTP/1.1 404", 0) == 0);
+  // Missing or malformed id: 400.
+  EXPECT_TRUE(HttpMetricsServer::get(Http.port(), "/debug/trace")
+                  .rfind("HTTP/1.1 400", 0) == 0);
+  EXPECT_TRUE(HttpMetricsServer::get(Http.port(), "/debug/trace?id=abc")
+                  .rfind("HTTP/1.1 400", 0) == 0);
+  EXPECT_TRUE(HttpMetricsServer::get(Http.port(), "/debug/trace?id=12junk")
+                  .rfind("HTTP/1.1 400", 0) == 0);
+  Http.stop();
+}
+
+TEST(Tracing, StatuszParsesAndReconcilesWithMetrics) {
+  ServerContext Ctx(testOptions(2));
+  Ctx.registerTenant(basicTenant("alpha"));
+  TenantPolicy Traced = basicTenant("beta");
+  Traced.Trace = true;
+  Ctx.registerTenant(Traced);
+  std::vector<std::future<JobResult>> Fs;
+  for (int I = 0; I < 4; ++I) {
+    Fs.push_back(Ctx.submit("alpha", Job::lex()));
+    Fs.push_back(Ctx.submit("beta", Job::decode()));
+  }
+  for (auto &F : Fs)
+    EXPECT_EQ(F.get().Outcome, JobOutcome::Ok);
+  Ctx.drain();
+
+  HttpMetricsServer Http(Ctx, /*Port=*/0);
+  std::string Resp = HttpMetricsServer::get(Http.port(), "/statusz");
+  ASSERT_TRUE(Resp.rfind("HTTP/1.1 200", 0) == 0) << Resp.substr(0, 80);
+  EXPECT_NE(Resp.find("application/json"), std::string::npos);
+  size_t BodyAt = Resp.find("\r\n\r\n");
+  ASSERT_NE(BodyAt, std::string::npos);
+  const std::string Body = Resp.substr(BodyAt + 4);
+  std::string Err;
+  ASSERT_TRUE(validateJson(Body, &Err)) << Err << "\n" << Body;
+
+  // Structure: both shards, both tenants, no in-flight job after drain.
+  EXPECT_NE(Body.find("\"health\":\"ok\""), std::string::npos);
+  EXPECT_NE(Body.find("\"index\":0"), std::string::npos);
+  EXPECT_NE(Body.find("\"index\":1"), std::string::npos);
+  EXPECT_NE(Body.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(Body.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(Body.find("\"in_flight\":[]"), std::string::npos) << Body;
+
+  // Reconciliation: the outcome tallies /statusz reports must match
+  // what /metrics exposes for the same tenants.
+  const std::string Metrics = Ctx.metricsText();
+  EXPECT_NE(Metrics.find(
+                "specd_jobs_total{tenant=\"alpha\",outcome=\"ok\"} 4"),
+            std::string::npos);
+  EXPECT_NE(Body.find("\"ok\":4"), std::string::npos) << Body;
+  // And the flight drop counter family exists (zero on this tiny run).
+  EXPECT_NE(Metrics.find("specd_trace_dropped_events_total"),
+            std::string::npos);
+  Http.stop();
+}
+
+TEST(Tracing, FlightWindowEvictionTurnsTraceInto404) {
+  // A trace is servable only while the recorders retain its events; a
+  // tiny retention window ages it out and the endpoint 404s.
+  ServerOptions O = testOptions(1);
+  O.FlightRetain = std::chrono::milliseconds(40);
+  ServerContext Ctx(O);
+  Ctx.registerTenant(basicTenant("t"));
+  JobResult R = Ctx.submit("t", Job::lex()).get();
+  ASSERT_EQ(R.Outcome, JobOutcome::Ok) << R.Error;
+  std::string J;
+  EXPECT_TRUE(Ctx.traceJson(R.TraceId, J));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(Ctx.traceJson(R.TraceId, J));
 }
 
 //===----------------------------------------------------------------------===//
